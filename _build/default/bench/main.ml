@@ -1,0 +1,349 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 6) on the simulated substrate, plus bechamel
+   micro-benchmarks of the monitor's primitives.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- table1  # one artifact
+     ... table1 | figure9 | table2 | figure10 | figure11 | table3 | ablation | micro
+
+   Absolute numbers differ from the paper (the substrate is a machine
+   model, not an STM32 board); the comparisons of EXPERIMENTS.md are about
+   the shape of each result. *)
+
+module Apps = Opec_apps
+module Met = Opec_metrics
+module A = Opec_aces
+module C = Opec_core
+module R = Met.Report
+
+let say fmt = Format.printf (fmt ^^ "@.")
+
+let strategies =
+  [ A.Strategy.Filename; A.Strategy.Filename_no_opt; A.Strategy.By_peripheral ]
+
+(* ----------------------------------------------------------------- table 1 *)
+
+let table1 () =
+  say "%s" (R.heading "Table 1: security evaluation (OPEC)");
+  let rows =
+    List.map
+      (fun (app : Apps.App.t) ->
+        let image = Met.Workload.compile app in
+        Met.Security_eval.of_image ~app:app.Apps.App.app_name image)
+      (Apps.Registry.all ())
+  in
+  let rows = rows @ [ Met.Security_eval.average rows ] in
+  let cells (r : Met.Security_eval.row) =
+    [ r.Met.Security_eval.app;
+      string_of_int r.Met.Security_eval.ops;
+      R.f2 r.Met.Security_eval.avg_funcs;
+      Printf.sprintf "%d(%.2f)" r.Met.Security_eval.pri_code_bytes
+        r.Met.Security_eval.pri_code_pct;
+      Printf.sprintf "%.2f(%.2f)" r.Met.Security_eval.avg_gvars_bytes
+        r.Met.Security_eval.avg_gvars_pct ]
+  in
+  say "%s@."
+    (R.table
+       ~header:[ "Application"; "#OPs"; "#Avg.Funcs"; "#Pri.Code(%)"; "#Avg.GVars(%)" ]
+       (List.map cells rows))
+
+(* ---------------------------------------------------------------- figure 9 *)
+
+let figure9 () =
+  say "%s" (R.heading "Figure 9: performance overhead of OPEC");
+  let rows =
+    List.map Met.Overhead.fig9_of_app (Apps.Registry.all ())
+  in
+  let rows = rows @ [ Met.Overhead.fig9_average rows ] in
+  let cells (r : Met.Overhead.fig9_row) =
+    [ r.Met.Overhead.app;
+      R.pct r.Met.Overhead.runtime_pct;
+      R.pct r.Met.Overhead.flash_pct;
+      R.pct r.Met.Overhead.sram_pct ]
+  in
+  say "%s@."
+    (R.table ~header:[ "Application"; "Runtime"; "Flash"; "SRAM" ]
+       (List.map cells rows))
+
+(* ----------------------------------------------------------------- table 2 *)
+
+let table2 () =
+  say "%s" (R.heading "Table 2: OPEC vs ACES (RO runtime x, FO flash %, SO SRAM %, PAC priv. app code %)");
+  let rows =
+    List.concat_map Met.Overhead.table2_of_app (Apps.Registry.aces_apps ())
+  in
+  let cells (r : Met.Overhead.t2_row) =
+    [ r.Met.Overhead.t2_app;
+      r.Met.Overhead.policy;
+      R.f2 r.Met.Overhead.ro;
+      R.f2 r.Met.Overhead.fo;
+      R.f2 r.Met.Overhead.so;
+      R.f2 r.Met.Overhead.pac ]
+  in
+  say "%s@."
+    (R.table ~header:[ "Application"; "Policy"; "RO(X)"; "FO(%)"; "SO(%)"; "PAC(%)" ]
+       (List.map cells rows))
+
+(* --------------------------------------------------------------- figure 10 *)
+
+let figure10 () =
+  say "%s" (R.heading "Figure 10: cumulative ratio of partition-time over-privilege (PT)");
+  List.iter
+    (fun (app : Apps.App.t) ->
+      say "-- %s" app.Apps.App.app_name;
+      (* OPEC: every operation's PT (0 by construction, computed) *)
+      let image = Met.Workload.compile app in
+      let opec_samples = Met.Overprivilege.opec_pt image in
+      let max_pt =
+        List.fold_left
+          (fun acc s -> Float.max acc s.Met.Overprivilege.pt)
+          0.0 opec_samples
+      in
+      say "   OPEC: %d operations, max PT = %.3f" (List.length opec_samples) max_pt;
+      List.iter
+        (fun kind ->
+          let aces = A.Aces.analyze kind app.Apps.App.program in
+          let samples = Met.Overprivilege.aces_pt aces in
+          let cdf = Met.Overprivilege.cumulative_ratio samples in
+          let series =
+            String.concat " "
+              (List.map (fun (pt, cum) -> Printf.sprintf "(%.2f,%.2f)" pt cum) cdf)
+          in
+          say "   %s: %s" (A.Strategy.name kind) series)
+        strategies)
+    (Apps.Registry.aces_apps ());
+  say ""
+
+(* --------------------------------------------------------------- figure 11 *)
+
+let figure11 () =
+  say "%s" (R.heading "Figure 11: execution-time over-privilege (ET) per task");
+  List.iter
+    (fun (app : Apps.App.t) ->
+      say "-- %s" app.Apps.App.app_name;
+      let baseline = Met.Workload.run_baseline app in
+      let task_instances = Met.Workload.task_instances app baseline in
+      let image = Met.Workload.compile app in
+      let opec = Met.Overprivilege.opec_et image ~task_instances in
+      let aces_series =
+        List.map
+          (fun kind ->
+            let aces = A.Aces.analyze kind app.Apps.App.program in
+            (A.Strategy.name kind, Met.Overprivilege.aces_et aces ~task_instances))
+          strategies
+      in
+      let find series task =
+        match
+          List.find_opt (fun s -> String.equal s.Met.Overprivilege.task task) series
+        with
+        | Some s -> R.f2 s.Met.Overprivilege.et
+        | None -> "-"
+      in
+      let rows =
+        List.mapi
+          (fun i (s : Met.Overprivilege.et_sample) ->
+            [ string_of_int (i + 1);
+              s.Met.Overprivilege.task;
+              R.f2 s.Met.Overprivilege.et;
+              find (List.assoc "ACES1" aces_series) s.Met.Overprivilege.task;
+              find (List.assoc "ACES2" aces_series) s.Met.Overprivilege.task;
+              find (List.assoc "ACES3" aces_series) s.Met.Overprivilege.task ])
+          opec
+      in
+      say "%s@."
+        (R.table ~header:[ "#"; "Task"; "OPEC"; "ACES1"; "ACES2"; "ACES3" ] rows))
+    (Apps.Registry.aces_apps ())
+
+(* ----------------------------------------------------------------- table 3 *)
+
+let table3 () =
+  say "%s" (R.heading "Table 3: efficiency of the icall analysis");
+  let rows =
+    List.map
+      (fun (app : Apps.App.t) ->
+        let image = Met.Workload.compile app in
+        Met.Icall_eval.of_callgraph ~app:app.Apps.App.app_name
+          image.C.Image.callgraph)
+      (Apps.Registry.all ())
+  in
+  let cells (r : Met.Icall_eval.row) =
+    [ r.Met.Icall_eval.app;
+      string_of_int r.Met.Icall_eval.icalls;
+      string_of_int r.Met.Icall_eval.svf_resolved;
+      Printf.sprintf "%.3f" r.Met.Icall_eval.time_s;
+      string_of_int r.Met.Icall_eval.type_resolved;
+      R.f2 r.Met.Icall_eval.avg_targets;
+      string_of_int r.Met.Icall_eval.max_targets ]
+  in
+  say "%s@."
+    (R.table
+       ~header:[ "Application"; "#Icall"; "#SVF"; "Time(s)"; "#Type"; "#Avg."; "#Max" ]
+       (List.map cells rows))
+
+(* ---------------------------------------------------------------- ablation *)
+
+(* Ablation studies of the design choices DESIGN.md calls out. *)
+let ablation () =
+  say "%s" (R.heading "Ablations of OPEC's design choices");
+
+  (* 1. global shadowing vs ACES-style region merging: PT mass *)
+  say "-- (1) shadowing vs region merging: total PT mass across the five ACES apps";
+  let pt_mass samples =
+    List.fold_left
+      (fun acc s -> acc +. s.Opec_metrics.Overprivilege.pt)
+      0.0 samples
+  in
+  let opec_mass = ref 0.0 and aces_mass = ref 0.0 in
+  List.iter
+    (fun (app : Apps.App.t) ->
+      let image = Met.Workload.compile app in
+      opec_mass := !opec_mass +. pt_mass (Met.Overprivilege.opec_pt image);
+      let aces = A.Aces.analyze A.Strategy.Filename_no_opt app.Apps.App.program in
+      aces_mass := !aces_mass +. pt_mass (Met.Overprivilege.aces_pt aces))
+    (Apps.Registry.aces_apps ());
+  say "   OPEC (shadowing): %.3f     ACES2 (merging): %.3f@." !opec_mass !aces_mass;
+
+  (* 2. sync only shared variables vs whole-section copies at switches *)
+  say "-- (2) shared-only sync vs whole-section staging (PinLock, 20 rounds)";
+  let app = Apps.Registry.pinlock ~rounds:20 () in
+  let image = Met.Workload.compile app in
+  let run whole =
+    let world = app.Apps.App.make_world () in
+    world.Apps.App.prepare ();
+    let r =
+      Opec_monitor.Runner.run_protected ~sync_whole_section:whole
+        ~devices:world.Apps.App.devices image
+    in
+    ( Opec_exec.Interp.cycles r.Opec_monitor.Runner.interp,
+      (Opec_monitor.Monitor.stats r.Opec_monitor.Runner.monitor)
+        .Opec_monitor.Stats.synced_bytes )
+  in
+  let c_shared, b_shared = run false in
+  let c_whole, b_whole = run true in
+  say "   shared-only: %Ld cycles, %d bytes moved" c_shared b_shared;
+  say "   whole-section: %Ld cycles, %d bytes moved (%.2fx traffic)@." c_whole
+    b_whole
+    (float_of_int b_whole /. float_of_int (max 1 b_shared));
+
+  (* 3+4. peripheral sort-and-merge and MPU virtualization *)
+  say "-- (3) peripheral sort+merge vs one-region-per-peripheral; (4) ops needing virtualization";
+  List.iter
+    (fun (app : Apps.App.t) ->
+      let image = Met.Workload.compile app in
+      let merged, naive, over =
+        List.fold_left
+          (fun (m, n, o) (op : C.Operation.t) ->
+            let regions = List.length (C.Mpu_plan.peripheral_regions op) in
+            let periphs =
+              Opec_core.Operation.SS.cardinal
+                op.C.Operation.resources.Opec_analysis.Resource.peripherals
+            in
+            ( m + regions,
+              n + periphs,
+              o + if regions > C.Config.peripheral_region_count then 1 else 0 ))
+          (0, 0, 0) image.C.Image.ops
+      in
+      say "   %-10s merged regions: %2d  naive regions: %2d  ops needing virtualization: %d"
+        app.Apps.App.app_name merged naive over)
+    (Apps.Registry.all ());
+  say "";
+
+  (* 5. descending-size section placement vs declaration order *)
+  say "-- (5) descending-size placement vs declaration order (SRAM bytes incl. fragments)";
+  List.iter
+    (fun (app : Apps.App.t) ->
+      let sorted_img = Met.Workload.compile app in
+      let unsorted_img =
+        C.Compiler.compile ~board:app.Apps.App.board ~sort_sections:false
+          app.Apps.App.program app.Apps.App.dev_input
+      in
+      say "   %-10s sorted: %6d B   declaration order: %6d B"
+        app.Apps.App.app_name sorted_img.C.Image.sram_used
+        unsorted_img.C.Image.sram_used)
+    (Apps.Registry.all ());
+  say ""
+
+(* ------------------------------------------------------------------- micro *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let pinlock = Apps.Registry.pinlock ~rounds:2 () in
+  let image = Met.Workload.compile pinlock in
+  let switch_test =
+    Test.make ~name:"protected-run(pinlock,2 rounds)"
+      (Staged.stage (fun () -> ignore (Met.Workload.run_protected ~image pinlock)))
+  in
+  let baseline_test =
+    Test.make ~name:"baseline-run(pinlock,2 rounds)"
+      (Staged.stage (fun () -> ignore (Met.Workload.run_baseline pinlock)))
+  in
+  let compile_test =
+    Test.make ~name:"compile(pinlock)"
+      (Staged.stage (fun () -> ignore (Met.Workload.compile pinlock)))
+  in
+  let points_to_test =
+    Test.make ~name:"points-to(tcp-echo)"
+      (let p = (Apps.Registry.tcp_echo ()).Apps.App.program in
+       Staged.stage (fun () -> ignore (Opec_analysis.Points_to.solve p)))
+  in
+  let mpu = Opec_machine.Mpu.create () in
+  Opec_machine.Mpu.set mpu 0 (Some C.Mpu_plan.background_region);
+  Opec_machine.Mpu.enable mpu;
+  let mpu_test =
+    Test.make ~name:"mpu-check"
+      (Staged.stage (fun () ->
+           ignore
+             (Opec_machine.Mpu.check mpu ~privileged:false ~addr:0x2000_0100
+                ~access:Opec_machine.Fault.Read)))
+  in
+  Test.make_grouped ~name:"micro" ~fmt:"%s/%s"
+    [ mpu_test; compile_test; points_to_test; baseline_test; switch_test ]
+
+let micro () =
+  say "%s" (R.heading "Micro-benchmarks (bechamel, host-native OCaml time)");
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 100) ()
+  in
+  let raw = Benchmark.all cfg instances (bechamel_tests ()) in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> say "  %-40s %12.1f ns/run" name est
+      | Some _ | None -> say "  %-40s (no estimate)" name)
+    results;
+  say ""
+
+(* ------------------------------------------------------------------ driver *)
+
+let all () =
+  table1 ();
+  figure9 ();
+  table2 ();
+  figure10 ();
+  figure11 ();
+  table3 ();
+  ablation ();
+  micro ()
+
+let () =
+  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
+  | "table1" -> table1 ()
+  | "figure9" -> figure9 ()
+  | "table2" -> table2 ()
+  | "figure10" -> figure10 ()
+  | "figure11" -> figure11 ()
+  | "table3" -> table3 ()
+  | "ablation" -> ablation ()
+  | "micro" -> micro ()
+  | "all" -> all ()
+  | other ->
+    Format.eprintf
+      "unknown artifact %S (expected table1|figure9|table2|figure10|figure11|table3|ablation|micro|all)@."
+      other;
+    exit 2

@@ -1,0 +1,215 @@
+(* The opec command-line tool.
+
+     opec list                      enumerate bundled workloads
+     opec policy APP                print the operation policy file
+     opec run APP [--baseline]     execute a workload on the machine model
+     opec compare APP               baseline vs OPEC overhead for one app
+     opec aces APP [-s STRATEGY]    show the ACES baseline's compartments
+     opec trace APP [-n N]          operation-switch timeline of a run *)
+
+open Cmdliner
+module M = Opec_machine
+module C = Opec_core
+module A = Opec_aces
+module Mon = Opec_monitor
+module Apps = Opec_apps
+module Met = Opec_metrics
+
+let find_app name =
+  match Apps.Registry.find name (Apps.Registry.all ()) with
+  | Some app -> Ok app
+  | None ->
+    Error
+      (Printf.sprintf "unknown application %S; try `opec list'" name)
+
+let app_arg =
+  let doc = "Workload name (see `opec list')." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+
+let exits_with_error msg =
+  Format.eprintf "error: %s@." msg;
+  exit 1
+
+(* ------------------------------------------------------------------ list *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (app : Apps.App.t) ->
+        Format.printf "%-10s (%s, %d functions, %d globals)@."
+          app.Apps.App.app_name
+          app.Apps.App.board.M.Memmap.board_name
+          (List.length app.Apps.App.program.Opec_ir.Program.funcs)
+          (List.length app.Apps.App.program.Opec_ir.Program.globals))
+      (Apps.Registry.all ())
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the bundled workloads")
+    Term.(const run $ const ())
+
+(* ---------------------------------------------------------------- policy *)
+
+let policy_cmd =
+  let run name =
+    match find_app name with
+    | Error e -> exits_with_error e
+    | Ok app ->
+      let image = Met.Workload.compile app in
+      print_endline (C.Compiler.policy image)
+  in
+  Cmd.v
+    (Cmd.info "policy"
+       ~doc:"Partition a workload and print its operation policy file")
+    Term.(const run $ app_arg)
+
+(* ------------------------------------------------------------------- run *)
+
+let run_cmd =
+  let baseline =
+    Arg.(value & flag & info [ "baseline" ] ~doc:"Run the unprotected baseline binary.")
+  in
+  let run name baseline_only =
+    match find_app name with
+    | Error e -> exits_with_error e
+    | Ok app ->
+      if baseline_only then begin
+        let b = Met.Workload.run_baseline app in
+        Format.printf "cycles: %Ld@." b.Met.Workload.b_cycles;
+        match b.Met.Workload.b_check with
+        | Ok () -> Format.printf "world check: OK@."
+        | Error e -> exits_with_error ("world check failed: " ^ e)
+      end
+      else begin
+        let p = Met.Workload.run_protected app in
+        Format.printf "cycles: %Ld@." p.Met.Workload.p_cycles;
+        Format.printf "monitor: %a@." Mon.Stats.pp p.Met.Workload.p_stats;
+        match p.Met.Workload.p_check with
+        | Ok () -> Format.printf "world check: OK@."
+        | Error e -> exits_with_error ("world check failed: " ^ e)
+      end
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a workload on the machine model")
+    Term.(const run $ app_arg $ baseline)
+
+(* --------------------------------------------------------------- compare *)
+
+let compare_cmd =
+  let run name =
+    match find_app name with
+    | Error e -> exits_with_error e
+    | Ok app ->
+      let baseline = Met.Workload.run_baseline app in
+      let protected_ = Met.Workload.run_protected app in
+      let image = protected_.Met.Workload.p_image in
+      Format.printf "baseline cycles:  %Ld@." baseline.Met.Workload.b_cycles;
+      Format.printf "protected cycles: %Ld@." protected_.Met.Workload.p_cycles;
+      Format.printf "runtime overhead: %.2f%%@."
+        (Met.Workload.runtime_overhead_pct ~baseline ~protected_);
+      Format.printf "flash overhead:   %.2f%% of device flash@."
+        (C.Image.flash_overhead_pct image);
+      Format.printf "SRAM overhead:    %.2f%% of device SRAM@."
+        (C.Image.sram_overhead_pct image)
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Baseline vs OPEC overhead for one workload")
+    Term.(const run $ app_arg)
+
+(* ------------------------------------------------------------------ aces *)
+
+let strategy_conv =
+  let parse = function
+    | "1" | "filename" -> Ok A.Strategy.Filename
+    | "2" | "filename-no-opt" -> Ok A.Strategy.Filename_no_opt
+    | "3" | "peripheral" -> Ok A.Strategy.By_peripheral
+    | s -> Error (`Msg (Printf.sprintf "unknown strategy %S" s))
+  in
+  let print fmt k = Format.pp_print_string fmt (A.Strategy.name k) in
+  Arg.conv (parse, print)
+
+let aces_cmd =
+  let strategy =
+    Arg.(
+      value
+      & opt strategy_conv A.Strategy.Filename
+      & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+          ~doc:"ACES strategy: filename (1), filename-no-opt (2), peripheral (3).")
+  in
+  let run name kind =
+    match find_app name with
+    | Error e -> exits_with_error e
+    | Ok app ->
+      let aces = A.Aces.analyze kind app.Apps.App.program in
+      Format.printf "%a@." A.Aces.pp aces;
+      let samples = Met.Overprivilege.aces_pt aces in
+      List.iter
+        (fun (s : Met.Overprivilege.pt_sample) ->
+          if s.Met.Overprivilege.pt > 0.0 then
+            Format.printf "PT %-40s %.3f@." s.Met.Overprivilege.domain
+              s.Met.Overprivilege.pt)
+        samples
+  in
+  Cmd.v
+    (Cmd.info "aces" ~doc:"Show the ACES baseline's compartments for a workload")
+    Term.(const run $ app_arg $ strategy)
+
+(* ----------------------------------------------------------------- trace *)
+
+let trace_cmd =
+  let limit =
+    Arg.(
+      value & opt int 40
+      & info [ "n"; "limit" ] ~docv:"N" ~doc:"Events to print (default 40).")
+  in
+  let run name limit =
+    match find_app name with
+    | Error e -> exits_with_error e
+    | Ok app ->
+      let image = Met.Workload.compile app in
+      let world = app.Apps.App.make_world () in
+      world.Apps.App.prepare ();
+      let r = Mon.Runner.run_protected ~devices:world.Apps.App.devices image in
+      let events =
+        Opec_exec.Trace.events (Opec_exec.Interp.trace r.Mon.Runner.interp)
+      in
+      let switches =
+        List.filter
+          (function
+            | Opec_exec.Trace.Op_enter _ | Opec_exec.Trace.Op_exit _ -> true
+            | Opec_exec.Trace.Call _ | Opec_exec.Trace.Return _ -> false)
+          events
+      in
+      Format.printf "%d trace events, %d operation switch events@."
+        (List.length events) (List.length switches);
+      List.iteri
+        (fun i e ->
+          if i < limit then
+            Format.printf "%4d  %a@." i Opec_exec.Trace.pp_event e)
+        switches;
+      if List.length switches > limit then
+        Format.printf "... (%d more; raise -n to see them)@."
+          (List.length switches - limit);
+      (* per-operation invocation counts *)
+      let tbl = Hashtbl.create 16 in
+      List.iter
+        (function
+          | Opec_exec.Trace.Op_enter op ->
+            Hashtbl.replace tbl op
+              (1 + Option.value (Hashtbl.find_opt tbl op) ~default:0)
+          | _ -> ())
+        switches;
+      Format.printf "@.invocations per operation:@.";
+      Hashtbl.iter (fun op n -> Format.printf "  %-24s %d@." op n) tbl
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Run a workload and print its operation-switch timeline")
+    Term.(const run $ app_arg $ limit)
+
+let () =
+  let info =
+    Cmd.info "opec" ~version:"1.0.0"
+      ~doc:"Operation-based security isolation for bare-metal embedded systems"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; policy_cmd; run_cmd; compare_cmd; aces_cmd; trace_cmd ]))

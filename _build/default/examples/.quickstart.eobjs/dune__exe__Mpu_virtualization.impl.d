@@ -1,0 +1,1 @@
+examples/mpu_virtualization.ml: Build Expr Format List Opec_core Opec_exec Opec_ir Opec_machine Opec_monitor Peripheral Printf Program

@@ -1,0 +1,1 @@
+examples/mpu_virtualization.mli:

@@ -1,0 +1,1 @@
+examples/pinlock_case_study.ml: Build Expr Format Func List Opec_aces Opec_apps Opec_core Opec_exec Opec_ir Opec_machine Opec_monitor Program String Ty

@@ -1,0 +1,1 @@
+examples/pinlock_case_study.mli:

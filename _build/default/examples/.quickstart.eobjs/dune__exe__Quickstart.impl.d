@@ -1,0 +1,1 @@
+examples/quickstart.ml: Build Expr Format Opec_core Opec_exec Opec_ir Opec_machine Opec_monitor Peripheral Program

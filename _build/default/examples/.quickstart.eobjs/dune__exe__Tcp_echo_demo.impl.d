@@ -1,0 +1,1 @@
+examples/tcp_echo_demo.ml: Format List Opec_apps Opec_core Opec_exec Opec_machine Opec_metrics Opec_monitor

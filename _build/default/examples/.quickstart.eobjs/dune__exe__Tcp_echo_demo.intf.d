@@ -1,0 +1,1 @@
+examples/tcp_echo_demo.mli:

@@ -1,0 +1,1 @@
+examples/threads_demo.ml: Build Expr Format Instr Int64 List Opec_core Opec_exec Opec_ir Opec_machine Opec_monitor Program String

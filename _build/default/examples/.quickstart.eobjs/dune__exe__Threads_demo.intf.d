@@ -1,0 +1,1 @@
+examples/threads_demo.mli:

@@ -1,0 +1,131 @@
+(* The PinLock case study of Section 6.1.
+
+     dune exec examples/pinlock_case_study.exe
+
+   Both Unlock_Task and Lock_Task call the buggy HAL_UART_Receive_IT.  An
+   attacker who compromises Lock_Task gains an arbitrary-write primitive
+   and tries to overwrite KEY — the stored hash of the correct pin — with
+   the hash of a pin they know, then unlock with it.
+
+   Under ACES, KEY and PinRxBuffer end up grouped in one MPU region to
+   save regions, so the compromised Lock_Task can reach KEY: the
+   partition-time over-privilege issue.  Under OPEC, Lock_Task's operation
+   data section contains no shadow of KEY at all, and the write dies with
+   a memory-management fault. *)
+
+open Opec_ir
+open Build
+module E = Expr
+module M = Opec_machine
+module C = Opec_core
+module A = Opec_aces
+module Mon = Opec_monitor
+module Apps = Opec_apps
+
+(* PinLock with the attacker's payload spliced into Lock_Task: the
+   arbitrary write through the receive path overwrites KEY with the hash
+   of the attacker's pin "6666". *)
+let compromised_program () =
+  let p = Apps.Pinlock.program ~rounds:1 () in
+  let attack =
+    [ (* stage the attacker's pin "6666" on the stack, hash it, and use
+         the arbitrary-write primitive to overwrite KEY with that hash *)
+      alloca "apin" (Ty.Array (Ty.Byte, 4));
+      store8 (l "apin") (c 0x36);
+      store8 E.(l "apin" + c 1) (c 0x36);
+      store8 E.(l "apin" + c 2) (c 0x36);
+      store8 E.(l "apin" + c 3) (c 0x36);
+      alloca "evil" (Ty.Array (Ty.Word, 2));
+      call "hash" [ l "apin"; c 4; l "evil" ];
+      load "w0" (l "evil");
+      store (gv "KEY") (l "w0");
+      load "w1" E.(l "evil" + c 4);
+      store E.(gv "KEY" + c 4) (l "w1") ]
+  in
+  let funcs =
+    List.map
+      (fun (f : Func.t) ->
+        if String.equal f.name "Lock_Task" then
+          { f with Func.body = attack @ f.body }
+        else f)
+      p.Program.funcs
+  in
+  Program.v ~name:"PinLock-compromised" ~globals:p.Program.globals
+    ~peripherals:p.Program.peripherals ~funcs ()
+
+let () =
+  Format.printf "== PinLock case study (Section 6.1) ==@.@.";
+
+  (* 1. what ACES's region merging does to KEY *)
+  let benign = Apps.Pinlock.program ~rounds:1 () in
+  let aces = A.Aces.analyze A.Strategy.Filename benign in
+  let lock_comp =
+    List.find
+      (fun (c : A.Compartment.t) ->
+        A.Compartment.SS.mem "Lock_Task" c.A.Compartment.funcs)
+      aces.A.Aces.compartments
+  in
+  let accessible =
+    A.Region_merge.accessible_vars aces.A.Aces.regions
+      lock_comp.A.Compartment.name
+  in
+  let can_reach_key = A.Compartment.SS.mem "KEY" accessible in
+  Format.printf
+    "ACES1 places Lock_Task in compartment %S (%d functions).@."
+    lock_comp.A.Compartment.name
+    (A.Compartment.func_count lock_comp);
+  Format.printf
+    "That compartment can access KEY: %b -> a compromised Lock_Task can@.\
+     overwrite KEY and unlock with its own pin.@."
+    can_reach_key;
+  (* compartments that gained KEY purely through region merging *)
+  List.iter
+    (fun (comp : A.Compartment.t) ->
+      let acc = A.Region_merge.accessible_vars aces.A.Aces.regions comp.A.Compartment.name in
+      if
+        A.Compartment.SS.mem "KEY" acc
+        && not (A.Compartment.SS.mem "KEY" (A.Compartment.needed_globals comp))
+      then
+        Format.printf
+          "over-privilege: compartment %S can access KEY without needing it@."
+          comp.A.Compartment.name)
+    aces.A.Aces.compartments;
+
+  (* 2. the same attack under OPEC.  The policy comes from the benign
+     build (the compromise happens at runtime, not at partition time):
+     compile the benign program, then run the compromised code under the
+     benign image's layout and policy. *)
+  let benign_image =
+    C.Compiler.compile ~board:M.Memmap.stm32f4_discovery benign
+      Apps.Pinlock.dev_input
+  in
+  let compromised, _ =
+    C.Instrument.instrument (compromised_program ())
+      benign_image.C.Image.layout
+      ~entries:benign_image.C.Image.entries
+  in
+  let image = { benign_image with C.Image.program = compromised } in
+  (match
+     C.Layout.shadow_of image.C.Image.layout ~op:"Lock_Task" ~var:"KEY"
+   with
+  | None ->
+    Format.printf
+      "@.OPEC: Lock_Task's operation data section has NO shadow of KEY.@."
+  | Some _ -> Format.printf "@.OPEC: unexpected KEY shadow present!@.");
+  let uart_dev, uart = M.Uart.create "USART2" ~base:0x4000_4400 in
+  let gpiod_dev, gpiod = M.Gpio.create "GPIOD" ~base:0x4002_0C00 in
+  (* the attacker sends their own pin for the unlock attempt *)
+  M.Uart.inject uart "6666";
+  M.Uart.inject uart "x" (* lock command byte, never reached *);
+  (match
+     Mon.Runner.run_protected
+       ~devices:(Apps.Soc.config_devices () @ [ uart_dev; gpiod_dev ])
+       image
+   with
+  | _ -> Format.printf "UNEXPECTED: the attack went through!@."
+  | exception Opec_exec.Interp.Aborted msg ->
+    Format.printf "OPEC blocked the KEY overwrite:@.  %s@." msg);
+  Format.printf "lock output pin: %s@."
+    (if M.Gpio.output gpiod land (1 lsl Apps.Pinlock.lock_pin) <> 0 then
+       "UNLOCKED (bad)"
+     else "locked (good)")

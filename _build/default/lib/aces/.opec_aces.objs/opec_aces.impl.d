@@ -1,0 +1,1 @@
+lib/aces/opec_aces.ml: Aces Compartment Region_merge Strategy

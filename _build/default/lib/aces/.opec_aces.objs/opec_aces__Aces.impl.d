@@ -1,0 +1,1 @@
+lib/aces/aces.ml: Compartment Fmt List Opec_analysis Opec_exec Opec_ir Program Region_merge Set Strategy String

@@ -1,0 +1,1 @@
+lib/aces/aces.mli: Compartment Format Opec_analysis Opec_exec Opec_ir Program Region_merge Strategy

@@ -1,0 +1,1 @@
+lib/aces/compartment.ml: Fmt Opec_analysis Set String

@@ -1,0 +1,1 @@
+lib/aces/compartment.mli: Format Opec_analysis Set String

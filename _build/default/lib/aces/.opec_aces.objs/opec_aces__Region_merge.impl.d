@@ -1,0 +1,1 @@
+lib/aces/region_merge.ml: Compartment Global Hashtbl List Opec_ir Opec_machine Option Program Set String

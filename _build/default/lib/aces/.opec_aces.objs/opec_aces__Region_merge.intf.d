@@ -1,0 +1,1 @@
+lib/aces/region_merge.mli: Compartment Hashtbl Opec_ir Program Set String

@@ -1,0 +1,1 @@
+lib/aces/strategy.ml: Compartment Func Hashtbl List Opec_analysis Opec_ir Option Program Set String

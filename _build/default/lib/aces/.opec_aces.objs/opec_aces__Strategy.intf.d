@@ -1,0 +1,1 @@
+lib/aces/strategy.mli: Compartment Opec_analysis Opec_ir Program Set String

@@ -1,0 +1,129 @@
+(* The assembled ACES baseline: partition a program under one of the three
+   strategies, model its region assignment, and derive the cost metrics
+   Table 2 compares (runtime from switch counts on a trace, flash from
+   per-compartment metadata, SRAM from region padding, and the privileged
+   application code the lifting causes). *)
+
+open Opec_ir
+module SS = Set.Make (String)
+module R = Opec_analysis.Resource
+module CG = Opec_analysis.Callgraph
+
+type t = {
+  kind : Strategy.kind;
+  program : Program.t;
+  compartments : Compartment.t list;
+  regions : Region_merge.t;
+  resources : R.t;
+}
+
+let build kind (p : Program.t) (cg : CG.t) (resources : R.t) =
+  let compartments = Strategy.partition kind p cg resources in
+  let data_region_limit =
+    match kind with Strategy.Filename -> 1 | Strategy.Filename_no_opt | Strategy.By_peripheral -> 2
+  in
+  let regions = Region_merge.build ~data_region_limit p compartments in
+  { kind; program = p; compartments; regions; resources }
+
+let analyze kind (p : Program.t) =
+  let pts = Opec_analysis.Points_to.solve p in
+  let cg = Opec_analysis.Callgraph.build p pts in
+  let resources = Opec_analysis.Resource.analyze p pts in
+  build kind p cg resources
+
+(* --- metrics ------------------------------------------------------------ *)
+
+let compartment_of t f = Strategy.compartment_of t.compartments f
+
+(* Compartment switches along a call trace: every call or return edge that
+   crosses a compartment boundary is a switch (ACES switches on
+   inter-compartment transfers). *)
+let count_switches t (events : Opec_exec.Trace.event list) =
+  let comp f =
+    match compartment_of t f with
+    | Some c -> c.Compartment.index
+    | None -> -1
+  in
+  let switches = ref 0 in
+  let stack = ref [] in
+  let enter f =
+    (match !stack with
+    | cur :: _ when comp f <> cur -> incr switches
+    | [] | _ :: _ -> ());
+    stack := comp f :: !stack
+  in
+  let leave _f =
+    match !stack with
+    | c :: (prev :: _ as rest) ->
+      if c <> prev then incr switches;
+      stack := rest
+    | [ _ ] | [] -> stack := []
+  in
+  List.iter
+    (function
+      | Opec_exec.Trace.Call f | Opec_exec.Trace.Op_enter f -> enter f
+      | Opec_exec.Trace.Return f | Opec_exec.Trace.Op_exit f -> leave f)
+    events;
+  !switches
+
+(* cycles one ACES compartment switch costs: SVC entry/exit, MPU
+   reconfiguration of the data regions, and the switch bookkeeping *)
+let switch_cost_cycles = 60
+
+(* Privileged application code bytes: the code of compartments that were
+   lifted to the privileged level to reach core peripherals. *)
+let privileged_app_code t =
+  let fmap = Program.func_map t.program in
+  List.fold_left
+    (fun acc (c : Compartment.t) ->
+      if c.Compartment.privileged then
+        SS.fold
+          (fun f acc ->
+            match Program.String_map.find_opt f fmap with
+            | Some fn -> acc + Program.code_size_of_func fn
+            | None -> acc)
+          c.Compartment.funcs acc
+      else acc)
+    0 t.compartments
+
+let total_app_code t = Program.code_size t.program
+
+let privileged_app_code_pct t =
+  100.0 *. float_of_int (privileged_app_code t) /. float_of_int (total_app_code t)
+
+(* Flash overhead: per-compartment metadata (MPU configurations, region
+   table, emulator allow lists) plus the instrumentation ACES inserts at
+   every call edge that crosses a compartment boundary. *)
+let metadata_bytes_per_compartment = 96
+let bytes_per_cross_edge = 16
+
+let cross_compartment_edges t =
+  let comp f =
+    match Strategy.compartment_of t.compartments f with
+    | Some c -> c.Compartment.index
+    | None -> -1
+  in
+  List.fold_left
+    (fun acc (f : Opec_ir.Func.t) ->
+      let cf = comp f.Opec_ir.Func.name in
+      Opec_ir.Instr.fold_block
+        (fun acc instr ->
+          match instr with
+          | Opec_ir.Instr.Call (_, Opec_ir.Instr.Direct g, _) when comp g <> cf ->
+            acc + 1
+          | _ -> acc)
+        acc f.Opec_ir.Func.body)
+    0 t.program.Program.funcs
+
+let flash_overhead_bytes t =
+  (List.length t.compartments * metadata_bytes_per_compartment)
+  + (cross_compartment_edges t * bytes_per_cross_edge)
+  + 4096 (* ACES runtime library (compartment switcher + micro-emulator) *)
+
+let sram_overhead_bytes t = Region_merge.sram_padding t.regions
+
+let pp fmt t =
+  Fmt.pf fmt "@[<v>ACES %s: %d compartments@,%a@]" (Strategy.name t.kind)
+    (List.length t.compartments)
+    (Fmt.list ~sep:(Fmt.any "@,") Compartment.pp)
+    t.compartments

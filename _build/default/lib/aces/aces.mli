@@ -1,0 +1,48 @@
+(** The assembled ACES baseline (Section 6.4): partition a program under
+    one strategy, model its MPU-limited region assignment, and derive
+    the Table 2 cost metrics. *)
+
+open Opec_ir
+
+type t = {
+  kind : Strategy.kind;
+  program : Program.t;
+  compartments : Compartment.t list;
+  regions : Region_merge.t;
+  resources : Opec_analysis.Resource.t;
+}
+
+val build :
+  Strategy.kind ->
+  Program.t ->
+  Opec_analysis.Callgraph.t ->
+  Opec_analysis.Resource.t ->
+  t
+
+(** Run the analyses and build in one step. *)
+val analyze : Strategy.kind -> Program.t -> t
+
+val compartment_of : t -> string -> Compartment.t option
+
+(** Compartment switches along an execution trace: every call or return
+    crossing a compartment boundary. *)
+val count_switches : t -> Opec_exec.Trace.event list -> int
+
+(** Modeled cycles per ACES compartment switch. *)
+val switch_cost_cycles : int
+
+(** Bytes of application code running privileged because its compartment
+    needs core peripherals — the lifting OPEC avoids. *)
+val privileged_app_code : t -> int
+
+val total_app_code : t -> int
+val privileged_app_code_pct : t -> float
+val metadata_bytes_per_compartment : int
+val bytes_per_cross_edge : int
+
+(** Call edges crossing compartment boundaries (instrumented by ACES). *)
+val cross_compartment_edges : t -> int
+
+val flash_overhead_bytes : t -> int
+val sram_overhead_bytes : t -> int
+val pp : Format.formatter -> t -> unit

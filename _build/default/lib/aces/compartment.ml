@@ -1,0 +1,36 @@
+(* ACES-style compartments (Clements et al., USENIX Security '18), the
+   state-of-the-art baseline the paper compares against (Section 6.4).
+
+   A compartment is a set of functions with the merged resource
+   dependency of its members.  A compartment that must access core
+   peripherals is lifted to the privileged level — the behaviour OPEC
+   criticises and avoids through instruction emulation. *)
+
+module SS = Set.Make (String)
+module R = Opec_analysis.Resource
+
+type t = {
+  index : int;
+  name : string;
+  funcs : SS.t;
+  resources : R.func_resources;
+  privileged : bool;
+}
+
+let make ~index ~name ~funcs ~(resources : R.t) =
+  let res = R.of_funcs resources funcs in
+  { index;
+    name;
+    funcs;
+    resources = res;
+    privileged = not (SS.is_empty res.R.core_peripherals) }
+
+let needed_globals c = R.globals c.resources
+
+let func_count c = SS.cardinal c.funcs
+
+let pp fmt c =
+  Fmt.pf fmt "@[compartment %d %s%s: %d funcs, %d globals@]" c.index c.name
+    (if c.privileged then " (privileged)" else "")
+    (func_count c)
+    (SS.cardinal (needed_globals c))

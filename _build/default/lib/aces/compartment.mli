@@ -1,0 +1,21 @@
+(** ACES-style compartments: function sets with merged resource
+    dependencies; compartments needing core peripherals are lifted to
+    the privileged level (the behaviour OPEC's emulation avoids). *)
+
+module SS : Set.S with type elt = string and type t = Set.Make(String).t
+
+type t = {
+  index : int;
+  name : string;
+  funcs : SS.t;
+  resources : Opec_analysis.Resource.func_resources;
+  privileged : bool;  (** lifted: accesses core peripherals *)
+}
+
+val make :
+  index:int -> name:string -> funcs:SS.t ->
+  resources:Opec_analysis.Resource.t -> t
+
+val needed_globals : t -> SS.t
+val func_count : t -> int
+val pp : Format.formatter -> t -> unit

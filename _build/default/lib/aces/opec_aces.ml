@@ -1,0 +1,8 @@
+(** ACES baseline (USENIX Security '18) reimplementation for comparison:
+    the three partitioning strategies, MPU-limited region merging, and the
+    cost model used by Table 2 and Figures 10/11. *)
+
+module Compartment = Compartment
+module Strategy = Strategy
+module Region_merge = Region_merge
+module Aces = Aces

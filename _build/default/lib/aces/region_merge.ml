@@ -1,0 +1,131 @@
+(* ACES global-variable region assignment under the MPU limit — the source
+   of the partition-time over-privilege issue (paper, Section 3.1,
+   Figure 3).
+
+   ACES rearranges global variables so each group of variables with the
+   same sharing pattern could get its own MPU region.  But a compartment
+   only has a few data regions available; when it would need more, ACES
+   merges regions — and a merged region is accessible to every compartment
+   that could access either part, granting variables to compartments that
+   do not need them. *)
+
+open Opec_ir
+module SS = Set.Make (String)
+
+(* Data MPU regions available to one compartment (the rest of the 8 hold
+   code, stack, peripherals and the default region).  The optimized
+   filename strategy (ACES1) additionally coalesces each compartment's
+   data regions to one to cut region reloads at switches, at the price of
+   more over-privilege. *)
+let default_data_region_limit = 2
+
+type region = {
+  vars : SS.t;
+  users : SS.t;  (** compartments that can access the region *)
+  bytes : int;
+}
+
+type t = {
+  regions : region list;
+  (* accessible variable bytes per compartment after merging *)
+  accessible : (string * SS.t) list;
+}
+
+let region_bytes sizes vars =
+  SS.fold (fun v acc -> acc + Hashtbl.find sizes v) vars 0
+
+let build ?(data_region_limit = default_data_region_limit) (p : Program.t)
+    (compartments : Compartment.t list) =
+  let sizes = Hashtbl.create 64 in
+  List.iter
+    (fun (g : Global.t) ->
+      if not g.const then Hashtbl.replace sizes g.name (Global.size g))
+    p.globals;
+  (* initial regions: one per distinct sharing signature *)
+  let signature v =
+    List.filter_map
+      (fun (c : Compartment.t) ->
+        if SS.mem v (Compartment.needed_globals c) then Some c.Compartment.name
+        else None)
+      compartments
+    |> SS.of_list
+  in
+  let by_sig = Hashtbl.create 16 in
+  List.iter
+    (fun (g : Global.t) ->
+      if not g.const then begin
+        let s = signature g.name in
+        if not (SS.is_empty s) then begin
+          let key = String.concat "," (SS.elements s) in
+          let cur =
+            Option.value (Hashtbl.find_opt by_sig key) ~default:(s, SS.empty)
+          in
+          Hashtbl.replace by_sig key (s, SS.add g.name (snd cur))
+        end
+      end)
+    p.globals;
+  let regions =
+    Hashtbl.fold
+      (fun _ (users, vars) acc ->
+        { vars; users; bytes = region_bytes sizes vars } :: acc)
+      by_sig []
+  in
+  (* merge until every compartment fits in its data-region budget *)
+  let regions_of regions cname =
+    List.filter (fun r -> SS.mem cname r.users) regions
+  in
+  let rec settle regions =
+    let over =
+      List.find_opt
+        (fun (c : Compartment.t) ->
+          List.length (regions_of regions c.Compartment.name)
+          > data_region_limit)
+        compartments
+    in
+    match over with
+    | None -> regions
+    | Some c ->
+      (* merge the two smallest of the compartment's regions; the merged
+         region is accessible to the union of both user sets *)
+      let mine =
+        regions_of regions c.Compartment.name
+        |> List.sort (fun a b -> compare a.bytes b.bytes)
+      in
+      (match mine with
+      | a :: b :: _ ->
+        let merged =
+          { vars = SS.union a.vars b.vars;
+            users = SS.union a.users b.users;
+            bytes = a.bytes + b.bytes }
+        in
+        let rest = List.filter (fun r -> r != a && r != b) regions in
+        settle (merged :: rest)
+      | [ _ ] | [] -> regions)
+  in
+  let regions = settle regions in
+  let accessible =
+    List.map
+      (fun (c : Compartment.t) ->
+        let vars =
+          List.fold_left
+            (fun acc r ->
+              if SS.mem c.Compartment.name r.users then SS.union acc r.vars
+              else acc)
+            SS.empty regions
+        in
+        (c.Compartment.name, vars))
+      compartments
+  in
+  { regions; accessible }
+
+let accessible_vars t cname =
+  Option.value (List.assoc_opt cname t.accessible) ~default:SS.empty
+
+(* SRAM padding: every region must be covered by a power-of-two MPU
+   region; the round-up is ACES's SRAM overhead. *)
+let sram_padding t =
+  List.fold_left
+    (fun acc r ->
+      let size, _ = Opec_machine.Mpu.region_size_for (max r.bytes 32) in
+      acc + (size - r.bytes))
+    0 t.regions

@@ -1,0 +1,35 @@
+(** ACES global-variable region assignment under the MPU limit — the
+    source of partition-time over-privilege (Section 3.1, Figure 3).
+
+    Variables are first grouped by sharing signature; a compartment
+    needing more regions than its budget forces merges, and a merged
+    region is accessible to every compartment that could access either
+    part. *)
+
+open Opec_ir
+module SS : Set.S with type elt = string and type t = Set.Make(String).t
+
+(** Default data-region budget per compartment. *)
+val default_data_region_limit : int
+
+type region = {
+  vars : SS.t;
+  users : SS.t;  (** compartments that can access the region *)
+  bytes : int;
+}
+
+type t = {
+  regions : region list;
+  accessible : (string * SS.t) list;
+}
+
+val region_bytes : (string, int) Hashtbl.t -> SS.t -> int
+val build : ?data_region_limit:int -> Program.t -> Compartment.t list -> t
+
+(** Variables a compartment can reach after merging (a superset of what
+    it needs — the over-privilege PT measures). *)
+val accessible_vars : t -> string -> SS.t
+
+(** Power-of-two round-up padding of the final regions: ACES's SRAM
+    overhead. *)
+val sram_padding : t -> int

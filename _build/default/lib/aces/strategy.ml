@@ -1,0 +1,106 @@
+(* The three ACES partitioning strategies evaluated in the paper
+   (Section 6.4): filename with compartment-merging optimization (ACES1),
+   filename without optimization (ACES2), and peripheral (ACES3). *)
+
+open Opec_ir
+module SS = Set.Make (String)
+module R = Opec_analysis.Resource
+module CG = Opec_analysis.Callgraph
+
+type kind = Filename | Filename_no_opt | By_peripheral
+
+let name = function
+  | Filename -> "ACES1"
+  | Filename_no_opt -> "ACES2"
+  | By_peripheral -> "ACES3"
+
+(* group functions by source file *)
+let by_file (p : Program.t) =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Func.t) ->
+      let cur = Option.value (Hashtbl.find_opt tbl f.file) ~default:SS.empty in
+      Hashtbl.replace tbl f.file (SS.add f.name cur))
+    p.funcs;
+  Hashtbl.fold (fun file funcs acc -> (file, funcs) :: acc) tbl []
+  |> List.sort compare
+
+(* group functions by the first general peripheral they access; functions
+   with no peripheral dependency stay grouped by file *)
+let by_peripheral (p : Program.t) (resources : R.t) =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Func.t) ->
+      let res = R.of_func resources f.name in
+      let key =
+        match SS.min_elt_opt res.R.peripherals with
+        | Some periph -> "periph:" ^ periph
+        | None -> "file:" ^ f.file
+      in
+      let cur = Option.value (Hashtbl.find_opt tbl key) ~default:SS.empty in
+      Hashtbl.replace tbl key (SS.add f.name cur))
+    p.funcs;
+  Hashtbl.fold (fun key funcs acc -> (key, funcs) :: acc) tbl []
+  |> List.sort compare
+
+(* call edges between two function sets, in either direction *)
+let coupling (cg : CG.t) a b =
+  let count src dst =
+    SS.fold
+      (fun f acc -> acc + SS.cardinal (SS.inter (CG.callees cg f) dst))
+      src 0
+  in
+  count a b + count b a
+
+(* ACES1's optimization: repeatedly merge the most tightly coupled pair of
+   compartments to cut inter-compartment transitions, until the target
+   count is reached.  Bigger compartments mean fewer switches but more
+   over-privilege — the trade-off Section 3.1 describes. *)
+let max_compartment_funcs = 14 (* ACES bounds compartment growth *)
+
+let optimize (cg : CG.t) groups =
+  let target = max 4 (List.length groups * 3 / 5) in
+  let rec go groups =
+    if List.length groups <= target then groups
+    else
+      let best = ref None in
+      List.iteri
+        (fun i (ni, fi) ->
+          List.iteri
+            (fun j (nj, fj) ->
+              if j > i && SS.cardinal fi + SS.cardinal fj <= max_compartment_funcs
+              then begin
+                let c = coupling cg fi fj in
+                match !best with
+                | Some (bc, _, _, _, _) when bc >= c -> ()
+                | Some _ | None -> best := Some (c, ni, fi, nj, fj)
+              end)
+            groups)
+        groups;
+      match !best with
+      | None -> groups
+      | Some (0, _, _, _, _) -> groups (* nothing coupled is mergeable *)
+      | Some (_, ni, fi, nj, fj) ->
+        let merged = (ni ^ "+" ^ nj, SS.union fi fj) in
+        let rest =
+          List.filter (fun (n, _) -> n <> ni && n <> nj) groups
+        in
+        go (merged :: rest)
+  in
+  go groups
+
+let partition kind (p : Program.t) (cg : CG.t) (resources : R.t) =
+  let groups =
+    match kind with
+    | Filename_no_opt -> by_file p
+    | Filename -> optimize cg (by_file p)
+    | By_peripheral -> by_peripheral p resources
+  in
+  List.mapi
+    (fun index (name, funcs) ->
+      Compartment.make ~index ~name ~funcs ~resources)
+    groups
+
+(* which compartment a function belongs to (first match) *)
+let compartment_of compartments f =
+  List.find_opt (fun c -> SS.mem f c.Compartment.funcs) compartments

@@ -1,0 +1,27 @@
+(** The three ACES partitioning strategies (Section 6.4): filename with
+    the switch-reducing merge optimization (ACES1), filename without it
+    (ACES2), and peripheral (ACES3). *)
+
+open Opec_ir
+module SS : Set.S with type elt = string and type t = Set.Make(String).t
+
+type kind = Filename | Filename_no_opt | By_peripheral
+
+(** "ACES1" / "ACES2" / "ACES3". *)
+val name : kind -> string
+
+val by_file : Program.t -> (string * SS.t) list
+val by_peripheral : Program.t -> Opec_analysis.Resource.t -> (string * SS.t) list
+
+(** Upper bound on merged compartment size (ACES bounds growth). *)
+val max_compartment_funcs : int
+
+(** ACES1's optimization: repeatedly merge the most tightly coupled pair
+    of compartments — fewer switches, more over-privilege. *)
+val optimize : Opec_analysis.Callgraph.t -> (string * SS.t) list -> (string * SS.t) list
+
+val partition :
+  kind -> Program.t -> Opec_analysis.Callgraph.t -> Opec_analysis.Resource.t ->
+  Compartment.t list
+
+val compartment_of : Compartment.t list -> string -> Compartment.t option

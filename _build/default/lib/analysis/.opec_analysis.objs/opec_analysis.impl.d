@@ -1,0 +1,1 @@
+lib/analysis/opec_analysis.ml: Callgraph Node Points_to Resource Type_resolve

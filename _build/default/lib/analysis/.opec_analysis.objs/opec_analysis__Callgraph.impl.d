@@ -1,0 +1,1 @@
+lib/analysis/callgraph.ml: Func Hashtbl Instr List Opec_ir Option Points_to Program Set String Type_resolve

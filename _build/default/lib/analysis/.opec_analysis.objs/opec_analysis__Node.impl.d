@@ -1,0 +1,1 @@
+lib/analysis/node.ml: Printf Set String

@@ -1,0 +1,1 @@
+lib/analysis/node.mli: Set String

@@ -1,0 +1,1 @@
+lib/analysis/points_to.ml: Expr Func Hashtbl Instr Int64 List Node Opec_ir Option Peripheral Printf Program String Sys

@@ -1,0 +1,1 @@
+lib/analysis/points_to.mli: Expr Hashtbl Node Opec_ir Peripheral Program

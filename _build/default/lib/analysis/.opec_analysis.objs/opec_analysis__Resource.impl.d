@@ -1,0 +1,1 @@
+lib/analysis/resource.ml: Expr Func Hashtbl Instr List Node Opec_ir Option Peripheral Points_to Program Set String

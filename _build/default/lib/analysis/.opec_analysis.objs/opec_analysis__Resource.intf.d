@@ -1,0 +1,1 @@
+lib/analysis/resource.mli: Hashtbl Opec_ir Points_to Set String

@@ -1,0 +1,1 @@
+lib/analysis/type_resolve.ml: Expr Func Hashtbl Instr List Opec_ir Program

@@ -1,0 +1,1 @@
+lib/analysis/type_resolve.mli: Hashtbl Opec_ir Program

@@ -1,0 +1,7 @@
+(** Static analyses: points-to, call graph, resource dependencies. *)
+
+module Node = Node
+module Points_to = Points_to
+module Type_resolve = Type_resolve
+module Callgraph = Callgraph
+module Resource = Resource

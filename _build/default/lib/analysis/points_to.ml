@@ -1,0 +1,271 @@
+(* Inclusion-based (Andersen-style) points-to analysis, the stand-in for
+   SVF in the paper (Section 4.1).
+
+   Field-insensitive and flow-insensitive, with an on-the-fly call graph:
+   parameter/return copy edges for indirect calls are added as targets are
+   discovered, iterating to a fixpoint.  The result is sound and
+   over-approximate — the property the paper depends on ("the results of
+   the point-to analysis are conservative and over-approximated").
+
+   Constant MMIO addresses are modeled as peripheral objects, so datasheet
+   identification of peripheral accesses (the paper's IR-level backward
+   slicing) falls out of the same propagation: a HAL function receiving a
+   handle struct whose field holds a peripheral base sees that peripheral
+   in the points-to set of its address operand. *)
+
+open Opec_ir
+
+type constr =
+  | Addr_of of Node.t * Node.t  (* lhs ⊇ {obj} *)
+  | Copy of Node.t * Node.t     (* lhs ⊇ rhs *)
+  | Load of Node.t * Node.t     (* lhs ⊇ pts(o) for o ∈ pts(rhs) *)
+  | Store of Node.t * Node.t    (* pts(o) ⊇ pts(rhs) for o ∈ pts(lhs) *)
+
+type icall_site = { ic_func : string; ic_index : int; ic_node : Node.t; ic_arity : int }
+
+type t = {
+  pts : (Node.t, Node.Set.t) Hashtbl.t;
+  icalls : icall_site list;
+  solve_time : float;
+  iterations : int;
+}
+
+let find_pts t n = Option.value (Hashtbl.find_opt t.pts n) ~default:Node.Set.empty
+
+(* --- constraint generation --------------------------------------------- *)
+
+(* Value roots of an expression: the abstract values that may flow out of
+   it.  Constants inside a peripheral window become peripheral objects. *)
+let rec roots datasheet ~func (e : Expr.t) =
+  match e with
+  | Expr.Const n -> (
+    match Peripheral.find datasheet (Int64.to_int n) with
+    | Some p -> [ `Obj (Node.periph p.Peripheral.name) ]
+    | None -> [])
+  | Expr.Local x -> [ `Var (Node.local ~func ~name:x) ]
+  | Expr.Global_addr g -> [ `Obj (Node.global g) ]
+  | Expr.Func_addr f -> [ `Obj (Node.func f) ]
+  | Expr.Un (_, a) -> roots datasheet ~func a
+  | Expr.Bin (_, a, b) -> (
+    (* constant-folding arithmetic keeps peripheral identification exact
+       for base+offset forms *)
+    match Expr.const_fold e with
+    | Some n -> roots datasheet ~func (Expr.Const n)
+    | None -> roots datasheet ~func a @ roots datasheet ~func b)
+
+let flow_into acc lhs = function
+  | `Var v -> Copy (lhs, v) :: acc
+  | `Obj o -> Addr_of (lhs, o) :: acc
+
+let gen_function datasheet (f : Func.t) =
+  let func = f.name in
+  let icalls = ref [] in
+  let icall_counter = ref 0 in
+  let constraints = ref [] in
+  let add c = constraints := c :: !constraints in
+  let flow lhs e = List.iter (fun r -> constraints := flow_into [] lhs r @ !constraints) (roots datasheet ~func e) in
+  let rec gen_block block = List.iter gen_instr block
+  and gen_instr instr =
+    match instr with
+    | Instr.Let (x, e) -> flow (Node.local ~func ~name:x) e
+    | Instr.Alloca (x, _ty) ->
+      add (Addr_of (Node.local ~func ~name:x, Node.stack ~func ~site:x))
+    | Instr.Load (x, _w, a) ->
+      List.iter
+        (function
+          | `Var v -> add (Load (Node.local ~func ~name:x, v))
+          | `Obj o ->
+            (* loading through &g directly: the loaded value may be any
+               pointer stored into g (field-insensitive) *)
+            add (Copy (Node.local ~func ~name:x, o)))
+        (roots datasheet ~func a)
+    | Instr.Store (_w, a, v) ->
+      let rhs_roots = roots datasheet ~func v in
+      List.iter
+        (fun lhs_root ->
+          List.iter
+            (fun rhs ->
+              match (lhs_root, rhs) with
+              | `Var pv, `Var rv ->
+                (* tmp: pts(o) ⊇ pts(rv) for o ∈ pts(pv) *)
+                add (Store (pv, rv))
+              | `Var pv, `Obj ro ->
+                (* materialize through a synthetic copy node *)
+                let tmp = Node.local ~func ~name:("$store" ^ string_of_int !icall_counter) in
+                incr icall_counter;
+                add (Addr_of (tmp, ro));
+                add (Store (pv, tmp))
+              | `Obj po, `Var rv -> add (Copy (po, rv))
+              | `Obj po, `Obj ro ->
+                let tmp = Node.local ~func ~name:("$store" ^ string_of_int !icall_counter) in
+                incr icall_counter;
+                add (Addr_of (tmp, ro));
+                add (Copy (po, tmp)))
+            rhs_roots)
+        (roots datasheet ~func a)
+    | Instr.Call (dst, callee, args) ->
+      (match callee with
+      | Instr.Direct g ->
+        List.iteri
+          (fun i arg ->
+            let param = Node.local ~func:g ~name:(Printf.sprintf "$param%d" i) in
+            flow param arg)
+          args;
+        Option.iter
+          (fun x -> add (Copy (Node.local ~func ~name:x, Node.ret ~func:g)))
+          dst
+      | Instr.Indirect e ->
+        let node = Node.icall ~func ~index:!icall_counter in
+        let site =
+          { ic_func = func; ic_index = !icall_counter; ic_node = node;
+            ic_arity = List.length args }
+        in
+        incr icall_counter;
+        icalls := site :: !icalls;
+        flow node e;
+        (* argument and return linking is added once targets are known *)
+        List.iteri
+          (fun i arg -> flow (node ^ Printf.sprintf "$arg%d" i) arg)
+          args;
+        Option.iter
+          (fun x -> add (Copy (Node.local ~func ~name:x, node ^ "$ret")))
+          dst)
+    | Instr.Return (Some e) -> flow (Node.ret ~func) e
+    | Instr.Return None | Instr.Svc _ | Instr.Halt | Instr.Nop -> ()
+    | Instr.Memcpy (d, s, _n) ->
+      (* *d ⊇ *s, conservatively *)
+      List.iter
+        (fun dr ->
+          List.iter
+            (fun sr ->
+              match (dr, sr) with
+              | `Var dv, `Var sv ->
+                let tmp = Node.local ~func ~name:("$cpy" ^ string_of_int !icall_counter) in
+                incr icall_counter;
+                add (Load (tmp, sv));
+                add (Store (dv, tmp))
+              | `Var dv, `Obj so ->
+                let tmp = Node.local ~func ~name:("$cpy" ^ string_of_int !icall_counter) in
+                incr icall_counter;
+                add (Copy (tmp, so));
+                add (Store (dv, tmp))
+              | `Obj dobj, `Var sv ->
+                let tmp = Node.local ~func ~name:("$cpy" ^ string_of_int !icall_counter) in
+                incr icall_counter;
+                add (Load (tmp, sv));
+                add (Copy (dobj, tmp))
+              | `Obj dobj, `Obj so -> add (Copy (dobj, so)))
+            (roots datasheet ~func s))
+        (roots datasheet ~func d)
+    | Instr.Memset _ -> ()
+    | Instr.If (_, a, b) -> gen_block a; gen_block b
+    | Instr.While (_, body) -> gen_block body
+  in
+  gen_block f.body;
+  (* bind declared parameter names to the synthetic $paramN nodes *)
+  List.iteri
+    (fun i (x, _ty) ->
+      add (Copy (Node.local ~func ~name:x, Node.local ~func ~name:(Printf.sprintf "$param%d" i))))
+    f.params;
+  (!constraints, List.rev !icalls)
+
+(* --- solver ------------------------------------------------------------- *)
+
+let solve_constraints constraints =
+  let pts : (Node.t, Node.Set.t) Hashtbl.t = Hashtbl.create 256 in
+  let get n = Option.value (Hashtbl.find_opt pts n) ~default:Node.Set.empty in
+  let changed = ref true in
+  let add_set n s =
+    let cur = get n in
+    let nxt = Node.Set.union cur s in
+    if not (Node.Set.equal cur nxt) then begin
+      Hashtbl.replace pts n nxt;
+      changed := true
+    end
+  in
+  let iterations = ref 0 in
+  while !changed do
+    changed := false;
+    incr iterations;
+    List.iter
+      (function
+        | Addr_of (lhs, obj) -> add_set lhs (Node.Set.singleton obj)
+        | Copy (lhs, rhs) -> add_set lhs (get rhs)
+        | Load (lhs, rhs) ->
+          Node.Set.iter (fun o -> add_set lhs (get o)) (get rhs)
+        | Store (lhs, rhs) ->
+          Node.Set.iter (fun o -> add_set o (get rhs)) (get lhs))
+      constraints
+  done;
+  (pts, !iterations)
+
+(* --- driver with on-the-fly icall resolution --------------------------- *)
+
+let solve (p : Program.t) =
+  let t0 = Sys.time () in
+  let datasheet = p.peripherals in
+  let base_constraints, icalls =
+    List.fold_left
+      (fun (cs, ics) f ->
+        let c, i = gen_function datasheet f in
+        (c @ cs, i @ ics))
+      ([], []) p.funcs
+  in
+  let funcs_by_name = Program.func_map p in
+  (* iterate: solve, discover icall targets, add param/ret links, re-solve *)
+  let rec fixpoint extra known_links total_iters =
+    let pts, iters = solve_constraints (extra @ base_constraints) in
+    let get n = Option.value (Hashtbl.find_opt pts n) ~default:Node.Set.empty in
+    let new_links = ref [] in
+    let added = ref false in
+    List.iter
+      (fun site ->
+        Node.Set.iter
+          (fun target ->
+            match Node.as_func target with
+            | None -> ()
+            | Some g ->
+              if not (List.mem (site.ic_node, g) known_links) then begin
+                added := true;
+                new_links := (site.ic_node, g) :: !new_links
+              end)
+          (get site.ic_node))
+      icalls;
+    if not !added then (pts, total_iters + iters)
+    else begin
+      let links = !new_links @ known_links in
+      let extra' =
+        List.concat_map
+          (fun (node, g) ->
+            let arity =
+              match Program.String_map.find_opt g funcs_by_name with
+              | Some gf -> Func.arity gf
+              | None -> 0
+            in
+            let args =
+              List.init arity (fun i ->
+                  Copy
+                    ( Node.local ~func:g ~name:(Printf.sprintf "$param%d" i),
+                      node ^ Printf.sprintf "$arg%d" i ))
+            in
+            Copy (node ^ "$ret", Node.ret ~func:g) :: args)
+          links
+      in
+      fixpoint extra' links (total_iters + iters)
+    end
+  in
+  let pts, iterations = fixpoint [] [] 0 in
+  { pts; icalls; solve_time = Sys.time () -. t0; iterations }
+
+(* --- queries ------------------------------------------------------------ *)
+
+let points_to t ~func ~local = find_pts t (Node.local ~func ~name:local)
+
+(* Function targets the analysis found for each indirect call site. *)
+let icall_targets t site =
+  Node.Set.fold
+    (fun n acc -> match Node.as_func n with Some f -> f :: acc | None -> acc)
+    (find_pts t site.ic_node) []
+  |> List.sort String.compare
+
+let icall_sites t = t.icalls

@@ -1,0 +1,52 @@
+(** Inclusion-based (Andersen-style) points-to analysis — the stand-in
+    for SVF (Section 4.1).
+
+    Field- and flow-insensitive, with an on-the-fly call graph: indirect
+    calls add parameter/return copy edges as targets are discovered,
+    iterating to a fixpoint.  Sound and over-approximate, the property
+    the paper depends on.  Constant MMIO addresses are modeled as
+    peripheral objects, so datasheet identification of peripheral
+    accesses falls out of the same propagation. *)
+
+open Opec_ir
+
+type constr =
+  | Addr_of of Node.t * Node.t  (** lhs ⊇ \{obj\} *)
+  | Copy of Node.t * Node.t     (** lhs ⊇ rhs *)
+  | Load of Node.t * Node.t     (** lhs ⊇ pts(o) for o ∈ pts(rhs) *)
+  | Store of Node.t * Node.t    (** pts(o) ⊇ pts(rhs) for o ∈ pts(lhs) *)
+
+type icall_site = {
+  ic_func : string;   (** function containing the indirect call *)
+  ic_index : int;
+  ic_node : Node.t;   (** the callee expression's points-to node *)
+  ic_arity : int;
+}
+
+type t = {
+  pts : (Node.t, Node.Set.t) Hashtbl.t;
+  icalls : icall_site list;
+  solve_time : float;  (** seconds, reported in Table 3 *)
+  iterations : int;
+}
+
+val find_pts : t -> Node.t -> Node.Set.t
+
+(** Value roots of an expression in [func]: the abstract values that may
+    flow out of it. *)
+val roots :
+  Peripheral.t list ->
+  func:string ->
+  Expr.t ->
+  [ `Obj of Node.t | `Var of Node.t ] list
+
+(** Solve the whole program. *)
+val solve : Program.t -> t
+
+(** Points-to set of a local. *)
+val points_to : t -> func:string -> local:string -> Node.Set.t
+
+(** Function targets the analysis found for one indirect call site. *)
+val icall_targets : t -> icall_site -> string list
+
+val icall_sites : t -> icall_site list

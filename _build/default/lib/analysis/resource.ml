@@ -1,0 +1,95 @@
+(* Per-function resource dependency analysis (paper, Section 4.2):
+   which global variables (directly and through pointers) and which
+   peripherals each function may access. *)
+
+open Opec_ir
+module SS = Set.Make (String)
+
+type func_resources = {
+  direct_globals : SS.t;
+  indirect_globals : SS.t;   (** via the points-to analysis *)
+  peripherals : SS.t;        (** general peripherals, by datasheet name *)
+  core_peripherals : SS.t;   (** peripherals on the PPB *)
+}
+
+let empty =
+  { direct_globals = SS.empty;
+    indirect_globals = SS.empty;
+    peripherals = SS.empty;
+    core_peripherals = SS.empty }
+
+let globals r = SS.union r.direct_globals r.indirect_globals
+
+let union a b =
+  { direct_globals = SS.union a.direct_globals b.direct_globals;
+    indirect_globals = SS.union a.indirect_globals b.indirect_globals;
+    peripherals = SS.union a.peripherals b.peripherals;
+    core_peripherals = SS.union a.core_peripherals b.core_peripherals }
+
+type t = (string, func_resources) Hashtbl.t
+
+let classify_periph datasheet acc name =
+  match List.find_opt (fun (p : Peripheral.t) -> String.equal p.name name) datasheet with
+  | Some p when p.core -> { acc with core_peripherals = SS.add name acc.core_peripherals }
+  | Some _ -> { acc with peripherals = SS.add name acc.peripherals }
+  | None -> acc
+
+(* Resources reachable from an address expression in [func]. *)
+let expr_resources (p : Program.t) pts ~func acc (e : Expr.t) =
+  let datasheet = p.peripherals in
+  List.fold_left
+    (fun acc root ->
+      match root with
+      | `Obj o -> (
+        match Node.as_global o with
+        | Some g -> { acc with direct_globals = SS.add g acc.direct_globals }
+        | None -> (
+          match Node.as_periph o with
+          | Some pr -> classify_periph datasheet acc pr
+          | None -> acc))
+      | `Var v ->
+        Node.Set.fold
+          (fun o acc ->
+            match Node.as_global o with
+            | Some g ->
+              { acc with indirect_globals = SS.add g acc.indirect_globals }
+            | None -> (
+              match Node.as_periph o with
+              | Some pr -> classify_periph datasheet acc pr
+              | None -> acc))
+          (Points_to.find_pts pts v)
+          acc)
+    acc
+    (Points_to.roots datasheet ~func e)
+
+let analyze_function (p : Program.t) pts (f : Func.t) =
+  let func = f.name in
+  let acc = ref empty in
+  Instr.iter_block
+    (fun instr ->
+      match instr with
+      | Instr.Load (_, _, a) -> acc := expr_resources p pts ~func !acc a
+      | Instr.Store (_, a, _) -> acc := expr_resources p pts ~func !acc a
+      | Instr.Memcpy (d, s, _) ->
+        acc := expr_resources p pts ~func !acc d;
+        acc := expr_resources p pts ~func !acc s
+      | Instr.Memset (d, _, _) -> acc := expr_resources p pts ~func !acc d
+      | Instr.Let _ | Instr.Alloca _ | Instr.Call _ | Instr.If _
+      | Instr.While _ | Instr.Return _ | Instr.Svc _ | Instr.Halt
+      | Instr.Nop -> ())
+    f.body;
+  !acc
+
+let analyze (p : Program.t) pts : t =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Func.t) -> Hashtbl.replace tbl f.name (analyze_function p pts f))
+    p.funcs;
+  tbl
+
+let of_func (t : t) name = Option.value (Hashtbl.find_opt t name) ~default:empty
+
+(* Merged resources of a set of functions — the resource dependency of an
+   operation or an ACES compartment. *)
+let of_funcs (t : t) names =
+  SS.fold (fun f acc -> union acc (of_func t f)) names empty

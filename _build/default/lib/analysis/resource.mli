@@ -1,0 +1,31 @@
+(** Per-function resource dependency analysis (Section 4.2): which
+    globals (directly and through pointers) and which peripherals each
+    function may access. *)
+
+module SS : Set.S with type elt = string and type t = Set.Make(String).t
+
+type func_resources = {
+  direct_globals : SS.t;
+  indirect_globals : SS.t;  (** via the points-to analysis *)
+  peripherals : SS.t;       (** general peripherals, by datasheet name *)
+  core_peripherals : SS.t;  (** peripherals on the PPB *)
+}
+
+val empty : func_resources
+
+(** All globals, direct and indirect. *)
+val globals : func_resources -> SS.t
+
+val union : func_resources -> func_resources -> func_resources
+
+type t = (string, func_resources) Hashtbl.t
+
+(** Analyze every function of the program. *)
+val analyze : Opec_ir.Program.t -> Points_to.t -> t
+
+(** Resources of one function ({!empty} if unknown). *)
+val of_func : t -> string -> func_resources
+
+(** Merged resources of a function set — an operation's or compartment's
+    resource dependency. *)
+val of_funcs : t -> SS.t -> func_resources

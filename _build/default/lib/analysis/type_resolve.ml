@@ -1,0 +1,55 @@
+(* Type-based icall resolution, the fallback for sites the points-to
+   analysis cannot resolve (paper, Section 4.1): two function types are
+   considered identical when the number of arguments and the shapes of the
+   structure/pointer arguments match.
+
+   The IR carries no static type for call-site argument expressions, so
+   candidates are matched by arity among address-taken functions; if no
+   address-taken function matches, all non-IRQ functions of that arity are
+   candidates.  This keeps the target sets small (the quantity Table 3
+   reports) while remaining sound for the programs at hand. *)
+
+open Opec_ir
+
+(* Functions whose address is taken anywhere in the program — the only
+   legal indirect-call targets in a statically linked image. *)
+let address_taken (p : Program.t) =
+  let taken = Hashtbl.create 16 in
+  let rec scan_expr = function
+    | Expr.Func_addr f -> Hashtbl.replace taken f ()
+    | Expr.Const _ | Expr.Local _ | Expr.Global_addr _ -> ()
+    | Expr.Bin (_, a, b) -> scan_expr a; scan_expr b
+    | Expr.Un (_, a) -> scan_expr a
+  in
+  List.iter
+    (fun (f : Func.t) ->
+      Instr.iter_block
+        (fun instr ->
+          match instr with
+          | Instr.Let (_, e) -> scan_expr e
+          | Instr.Load (_, _, a) -> scan_expr a
+          | Instr.Store (_, a, v) -> scan_expr a; scan_expr v
+          | Instr.Call (_, Instr.Indirect e, args) ->
+            scan_expr e; List.iter scan_expr args
+          | Instr.Call (_, Instr.Direct _, args) -> List.iter scan_expr args
+          | Instr.If (c, _, _) | Instr.While (c, _) -> scan_expr c
+          | Instr.Return (Some e) -> scan_expr e
+          | Instr.Memcpy (a, b, c) | Instr.Memset (a, b, c) ->
+            scan_expr a; scan_expr b; scan_expr c
+          | Instr.Alloca _ | Instr.Return None | Instr.Svc _ | Instr.Halt
+          | Instr.Nop -> ())
+        f.body)
+    p.funcs;
+  taken
+
+let candidates (p : Program.t) ~arity =
+  let taken = address_taken p in
+  let matching pred =
+    List.filter
+      (fun (f : Func.t) -> (not f.irq) && Func.arity f = arity && pred f)
+      p.funcs
+    |> List.map (fun (f : Func.t) -> f.name)
+  in
+  match matching (fun f -> Hashtbl.mem taken f.Func.name) with
+  | [] -> matching (fun _ -> true)
+  | taken_matches -> taken_matches

@@ -1,0 +1,13 @@
+(** Type-based icall resolution, the fallback for sites the points-to
+    analysis cannot resolve (Section 4.1). *)
+
+open Opec_ir
+
+(** Functions whose address is taken anywhere — the only legal indirect
+    targets in a statically linked image. *)
+val address_taken : Program.t -> (string, unit) Hashtbl.t
+
+(** Candidate targets for an unresolved icall of the given arity:
+    address-taken matches first, all matching non-IRQ functions as a
+    last resort. *)
+val candidates : Program.t -> arity:int -> string list

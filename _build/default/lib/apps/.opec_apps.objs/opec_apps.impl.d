@@ -1,0 +1,1 @@
+lib/apps/opec_apps.ml: Animation App Camera Coremark Fatfs Fatfs_usd Hal Kheap Lcd_usd Lwip Pinlock Registry Soc Tcp_echo

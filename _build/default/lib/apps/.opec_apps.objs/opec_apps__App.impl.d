@@ -1,0 +1,1 @@
+lib/apps/app.ml: Opec_core Opec_ir Opec_machine

@@ -1,0 +1,1 @@
+lib/apps/app.mli: Opec_core Opec_ir Opec_machine

@@ -1,0 +1,1 @@
+lib/apps/camera.ml: App Build Expr Global Hal Opec_core Opec_ir Opec_machine Peripheral Printf Program Soc String Ty

@@ -1,0 +1,1 @@
+lib/apps/fatfs.ml: Build Expr Global Opec_ir Ty

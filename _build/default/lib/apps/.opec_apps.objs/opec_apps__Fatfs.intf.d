@@ -1,0 +1,1 @@
+lib/apps/fatfs.mli: Opec_ir

@@ -1,0 +1,1 @@
+lib/apps/fatfs_usd.ml: App Build Bytes Expr Fatfs Hal Int32 Opec_core Opec_ir Opec_machine Peripheral Printf Program Soc String Ty

@@ -1,0 +1,1 @@
+lib/apps/hal.ml: Build Expr Hal_extra Opec_ir Opec_machine Soc Ty

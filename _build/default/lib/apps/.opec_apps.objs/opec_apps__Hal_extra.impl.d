@@ -1,0 +1,1 @@
+lib/apps/hal_extra.ml: Build Expr List Opec_ir Peripheral Soc Ty

@@ -1,0 +1,1 @@
+lib/apps/kheap.ml: Build Expr Opec_ir Ty

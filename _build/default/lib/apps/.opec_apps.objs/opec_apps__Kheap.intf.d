@@ -1,0 +1,1 @@
+lib/apps/kheap.mli: Opec_ir

@@ -1,0 +1,1 @@
+lib/apps/lcd_usd.ml: App Build Bytes Char Expr Fatfs Hal Int32 Opec_core Opec_ir Opec_machine Peripheral Printf Program Soc String

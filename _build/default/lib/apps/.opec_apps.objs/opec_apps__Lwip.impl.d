@@ -1,0 +1,1 @@
+lib/apps/lwip.ml: Buffer Build Char Expr Global Opec_ir String Ty

@@ -1,0 +1,1 @@
+lib/apps/lwip.mli: Opec_ir

@@ -1,0 +1,1 @@
+lib/apps/pinlock.ml: App Build Expr Global Hal Int64 List Opec_core Opec_ir Opec_machine Peripheral Printf Program Soc String Ty

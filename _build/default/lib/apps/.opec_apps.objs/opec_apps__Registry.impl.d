@@ -1,0 +1,1 @@
+lib/apps/registry.ml: Animation App Camera Coremark Fatfs_usd Lcd_usd List Pinlock String Tcp_echo

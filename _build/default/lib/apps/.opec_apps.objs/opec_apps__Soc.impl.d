@@ -1,0 +1,1 @@
+lib/apps/soc.ml: Hashtbl Int64 Opec_ir Opec_machine Option Peripheral

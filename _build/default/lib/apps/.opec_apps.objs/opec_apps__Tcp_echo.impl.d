@@ -1,0 +1,1 @@
+lib/apps/tcp_echo.ml: App Array Build Expr Global Hal Int64 List Lwip Opec_core Opec_ir Opec_machine Peripheral Printf Program Soc String

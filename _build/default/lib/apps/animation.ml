@@ -1,0 +1,131 @@
+(* Animation (STM32479I-EVAL): reads pictures from the SD card and shows a
+   moving butterfly on the LCD with fade-in/fade-out effects.  The paper's
+   profiling run displays 11 pictures (Section 6.3).  Eight operations:
+   default, Sd_Setup, Lcd_Setup, Storage_Check, Load_Picture, Fade_In_Task,
+   Display_Task, Fade_Out_Task. *)
+
+open Opec_ir
+open Build
+module E = Expr
+module M = Opec_machine
+
+let picture_words = 128 (* one SD block per picture *)
+let picture_count = 11
+let first_picture_block = 8
+
+let globals =
+  Hal.all_globals
+  @ [ words "pic_buffer" picture_words;
+      word "pic_index";
+      word "frames_shown";
+      word "anim_rounds" ~init:(Int64.of_int picture_count);
+      word "storage_ok";
+      (* effect dispatch table: [LCD_FadeIn; LCD_FadeOut] *)
+      Global.v "effect_table" (Ty.Array (Ty.Pointer Ty.Word, 2)) ]
+
+let app_funcs =
+  [ func "Sd_Setup" [] ~file:"main.c"
+      [ call "BSP_SD_Init" []; ret0 ];
+    func "Lcd_Setup" [] ~file:"main.c"
+      [ call "BSP_LCD_Init" [];
+        call "BSP_LCD_Clear" [];
+        store (gv "effect_table") (fn "LCD_FadeIn");
+        store E.(gv "effect_table" + c 4) (fn "LCD_FadeOut");
+        ret0 ];
+    func "Storage_Check" [] ~file:"storage.c"
+      [ call ~dst:"det" "BSP_SD_IsDetected" [];
+        if_ E.(l "det" != c 0)
+          [ store (gv "storage_ok") (c 1) ]
+          [ store (gv "storage_ok") (c 0); call "SD_ErrorHandler" [] ];
+        ret0 ];
+    func "Load_Picture" [ pw "idx" ] ~file:"storage.c"
+      [ call "BSP_SD_ReadBlock"
+          [ gv "pic_buffer"; E.(c first_picture_block + l "idx") ];
+        store (gv "pic_index") (l "idx");
+        ret0 ];
+    func "Fade_In_Task" [] ~file:"display.c"
+      [ load "fx" (gv "effect_table");
+        icall (l "fx") [ gv "pic_buffer"; c picture_words ];
+        ret0 ];
+    func "Fade_Out_Task" [] ~file:"display.c"
+      [ load "fx" E.(gv "effect_table" + c 4);
+        icall (l "fx") [ gv "pic_buffer"; c picture_words ];
+        ret0 ];
+    func "Display_Task" [] ~file:"display.c"
+      [ call "BSP_LCD_SetTransparency" [ c 255 ];
+        call "BSP_LCD_DrawPicture" [ gv "pic_buffer"; c picture_words ];
+        load "n" (gv "frames_shown");
+        store (gv "frames_shown") E.(l "n" + c 1);
+        call "HAL_Delay" [ c 30000 ];
+        ret0 ];
+    func "main" [] ~file:"main.c"
+      [ call "SystemClock_Config" [];
+        call "HAL_Init" [];
+        call "Sd_Setup" [];
+        call "Lcd_Setup" [];
+        call "Storage_Check" [];
+        load "rounds" (gv "anim_rounds");
+        set "i" (c 0);
+        while_ E.(l "i" < l "rounds")
+          [ call "Load_Picture" [ l "i" ];
+            call "Fade_In_Task" [];
+            call "Display_Task" [];
+            call "Fade_Out_Task" [];
+            set "i" E.(l "i" + c 1) ];
+        halt ] ]
+
+let program ?(pictures = picture_count) () =
+  let globals =
+    List.map
+      (fun (g : Global.t) ->
+        if String.equal g.name "anim_rounds" then
+          { g with Global.init = [ Int64.of_int pictures ] }
+        else g)
+      globals
+  in
+  Program.v ~name:"Animation" ~globals ~peripherals:Soc.datasheet
+    ~funcs:(Hal.all_funcs @ app_funcs) ()
+
+let dev_input =
+  Opec_core.Dev_input.v
+    [ "Sd_Setup"; "Lcd_Setup"; "Storage_Check"; "Load_Picture";
+      "Fade_In_Task"; "Display_Task"; "Fade_Out_Task" ]
+    ~sanitize:
+      [ { Opec_core.Dev_input.sz_global = "pic_index"; sz_min = 0L;
+          sz_max = Int64.of_int (picture_count - 1) } ]
+
+let make_world ?(pictures = picture_count) () =
+  let sd_dev, sd =
+    M.Sd_card.create ~busy_interval:6000 "SDIO" ~base:Soc.sdio.Peripheral.base
+  in
+  let lcd_dev, lcd = M.Lcd.create "LTDC" ~base:Soc.ltdc.Peripheral.base in
+  let prepare () =
+    for i = 0 to pictures - 1 do
+      M.Sd_card.preload sd (first_picture_block + i)
+        (String.init 512 (fun j -> Char.chr ((i + j) land 0xFF)))
+    done
+  in
+  let check () =
+    (* each picture: 4 fade-in draws + 1 display + 4 fade-out draws *)
+    let expected_frames = pictures * 9 in
+    let expected_pixels = expected_frames * picture_words in
+    if M.Lcd.frames lcd <> expected_frames then
+      Error
+        (Printf.sprintf "expected %d LCD frames, saw %d" expected_frames
+           (M.Lcd.frames lcd))
+    else if M.Lcd.pixels lcd <> expected_pixels then
+      Error
+        (Printf.sprintf "expected %d pixels, saw %d" expected_pixels
+           (M.Lcd.pixels lcd))
+    else Ok ()
+  in
+  { App.devices = Soc.config_devices () @ [ sd_dev; lcd_dev ];
+    prepare;
+    check }
+
+let app ?(pictures = picture_count) () =
+  { App.app_name = "Animation";
+    board = M.Memmap.stm32479i_eval;
+    program = program ~pictures ();
+    dev_input;
+    make_world = (fun () -> make_world ~pictures ()) }

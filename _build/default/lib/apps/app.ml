@@ -1,0 +1,24 @@
+(* Common shape of a bundled workload: the program, the developer inputs
+   for the OPEC-Compiler, the board it targets, and a scripted "world"
+   (device models + input injection + output verification) standing in for
+   the paper's physical test harness. *)
+
+module M = Opec_machine
+
+type world = {
+  devices : M.Device.t list;
+  prepare : unit -> unit;                     (** inject external inputs *)
+  check : unit -> (unit, string) result;      (** verify external outputs *)
+}
+
+type t = {
+  app_name : string;
+  board : M.Memmap.board;
+  program : Opec_ir.Program.t;
+  dev_input : Opec_core.Dev_input.t;
+  make_world : unit -> world;
+}
+
+(* Entries including the implicit default operation, for trace analysis. *)
+let task_entries app =
+  app.program.Opec_ir.Program.main :: app.dev_input.Opec_core.Dev_input.entries

@@ -1,0 +1,22 @@
+(** Common shape of a bundled workload: the program, the developer
+    inputs for the OPEC-Compiler, the target board, and a scripted
+    "world" (device models + input injection + output verification)
+    standing in for the paper's physical test harness. *)
+
+type world = {
+  devices : Opec_machine.Device.t list;
+  prepare : unit -> unit;                 (** inject external inputs *)
+  check : unit -> (unit, string) result;  (** verify external outputs *)
+}
+
+type t = {
+  app_name : string;
+  board : Opec_machine.Memmap.board;
+  program : Opec_ir.Program.t;
+  dev_input : Opec_core.Dev_input.t;
+  make_world : unit -> world;
+}
+
+(** Task entries including the implicit default operation (main), for
+    trace segmentation. *)
+val task_entries : t -> string list

@@ -1,0 +1,141 @@
+(* Camera (STM32479I-EVAL): waits for a button press, captures a photo
+   through the DCMI interface, packs it, and saves it to a USB flash disk
+   (Section 6).  Nine operations: default, Button_Setup, Camera_Setup,
+   Usb_Setup, Wait_Button_Task, Capture_Task, Frame_Read_Task, Pack_Task,
+   Save_Task. *)
+
+open Opec_ir
+open Build
+module E = Expr
+module M = Opec_machine
+
+let button_pin = 0 (* GPIOA wakeup button *)
+let frame_max = 96
+
+let jpeg_header = "JPEG"
+let jpeg_footer = "END."
+
+let globals =
+  Hal.all_globals
+  @ [ bytes "frame_buf" frame_max;
+      word "frame_len";
+      bytes "jpeg_buf" (frame_max + 16);
+      word "jpeg_len";
+      word "photo_saved";
+      word "photo_crc";
+      (* capture pipeline: [Pack_Stage_Header; Pack_Stage_Footer] *)
+      Global.v "pipeline" (Ty.Array (Ty.Pointer Ty.Word, 2));
+      string_bytes ~const:true "JpegHeader" 4 jpeg_header;
+      string_bytes ~const:true "JpegFooter" 4 jpeg_footer ]
+
+let app_funcs =
+  [ func "Button_Setup" [] ~file:"main.c"
+      [ call "HAL_GPIO_Init" [ c Soc.gpioa.Peripheral.base; c button_pin ];
+        call "HAL_NVIC_EnableIRQ" [ c 6 ] (* EXTI0 *);
+        ret0 ];
+    func "Camera_Setup" [] ~file:"main.c"
+      [ call "BSP_CAMERA_Init" [];
+        store (gv "pipeline") (fn "Pack_Stage_Header");
+        store E.(gv "pipeline" + c 4) (fn "Pack_Stage_Footer");
+        ret0 ];
+    func "Pack_Stage_Header" [] ~file:"camera_app.c"
+      [ memcpy (gv "jpeg_buf") (gv "JpegHeader") (c 4); ret0 ];
+    func "Pack_Stage_Footer" [] ~file:"camera_app.c"
+      [ load "n" (gv "frame_len");
+        memcpy E.(gv "jpeg_buf" + c 4 + l "n") (gv "JpegFooter") (c 4);
+        ret0 ];
+    func "Usb_Setup" [] ~file:"main.c" [ call "USBH_MSC_Init" []; ret0 ];
+    func "Wait_Button_Task" [] ~file:"main.c"
+      [ call ~dst:"b" "HAL_GPIO_ReadPin"
+          [ c Soc.gpioa.Peripheral.base; c button_pin ];
+        while_ E.(l "b" == c 0)
+          [ call ~dst:"b" "HAL_GPIO_ReadPin"
+              [ c Soc.gpioa.Peripheral.base; c button_pin ] ];
+        ret0 ];
+    func "Capture_Task" [] ~file:"camera_app.c"
+      [ call "BSP_CAMERA_SnapshotStart" []; ret0 ];
+    func "Frame_Read_Task" [] ~file:"camera_app.c"
+      [ call ~dst:"rdy" "CAMERA_FrameReady" [];
+        while_ E.(l "rdy" == c 0) [ call ~dst:"rdy" "CAMERA_FrameReady" [] ];
+        call ~dst:"n" "CAMERA_ReadFrame" [ gv "frame_buf"; c frame_max ];
+        store (gv "frame_len") (l "n");
+        ret0 ];
+    (* wrap the raw frame into header + data + footer *)
+    func "Pack_Task" [] ~file:"camera_app.c"
+      ([ load "st0" (gv "pipeline");
+         icall (l "st0") [];
+         load "n" (gv "frame_len") ]
+      @ for_ "i" (l "n")
+          [ load8 "b" E.(gv "frame_buf" + l "i");
+            store8 E.(gv "jpeg_buf" + c 4 + l "i") (l "b") ]
+      @ [ load "st1" E.(gv "pipeline" + c 4);
+          icall (l "st1") [];
+          store (gv "jpeg_len") E.(l "n" + c 8);
+          call "HAL_CRC_Init" [];
+          call ~dst:"crc" "HAL_CRC_Accumulate" [ gv "jpeg_buf"; E.(l "n" + c 8) ];
+          store (gv "photo_crc") (l "crc");
+          ret0 ]);
+    func "Save_Task" [] ~file:"camera_app.c"
+      [ call "HAL_RTC_Init" [];
+        call "RTC_ReadTimestamp" [];
+        call "USBH_MSC_OpenFile" [];
+        load "n" (gv "jpeg_len");
+        call "USBH_MSC_WriteData" [ gv "jpeg_buf"; l "n" ];
+        call "USBH_MSC_CloseFile" [];
+        store (gv "photo_saved") (c 1);
+        ret0 ];
+    func "main" [] ~file:"main.c"
+      [ call "SystemClock_Config" [];
+        call "HAL_Init" [];
+        call "Button_Setup" [];
+        call "Camera_Setup" [];
+        call "Usb_Setup" [];
+        call "Wait_Button_Task" [];
+        call "Capture_Task" [];
+        call "Frame_Read_Task" [];
+        call "Pack_Task" [];
+        call "Save_Task" [];
+        halt ] ]
+
+let program () =
+  Program.v ~name:"Camera" ~globals ~peripherals:Soc.datasheet
+    ~funcs:(Hal.all_funcs @ app_funcs) ()
+
+let dev_input =
+  Opec_core.Dev_input.v
+    [ "Button_Setup"; "Camera_Setup"; "Usb_Setup"; "Wait_Button_Task";
+      "Capture_Task"; "Frame_Read_Task"; "Pack_Task"; "Save_Task" ]
+    ~sanitize:
+      [ { Opec_core.Dev_input.sz_global = "photo_saved"; sz_min = 0L;
+          sz_max = 1L } ]
+
+let scene = "pixels-of-a-butterfly-in-the-garden!"
+
+let make_world () =
+  let dcmi_dev, dcmi =
+    M.Dcmi.create ~ready_interval:20000 "DCMI" ~base:Soc.dcmi.Peripheral.base
+  in
+  let usb_dev, usb = M.Usb_msc.create "USB_OTG_FS" ~base:Soc.usb_fs.Peripheral.base in
+  let gpioa_dev, gpioa = M.Gpio.create "GPIOA" ~base:Soc.gpioa.Peripheral.base in
+  let prepare () =
+    M.Dcmi.stage_frame dcmi scene;
+    M.Gpio.set_input ~delay:20000 gpioa (1 lsl button_pin)
+  in
+  let check () =
+    match M.Usb_msc.pop_file usb with
+    | None -> Error "no file saved to the USB disk"
+    | Some f ->
+      let expected = jpeg_header ^ scene ^ jpeg_footer in
+      if String.equal f expected then Ok ()
+      else Error (Printf.sprintf "USB file holds %S" f)
+  in
+  { App.devices = Soc.config_devices () @ [ dcmi_dev; usb_dev; gpioa_dev ];
+    prepare;
+    check }
+
+let app () =
+  { App.app_name = "Camera";
+    board = M.Memmap.stm32479i_eval;
+    program = program ();
+    dev_input;
+    make_world }

@@ -1,0 +1,264 @@
+(* CoreMark (STM32F4-Discovery): the embedded benchmark's three kernels —
+   linked-list processing, matrix manipulation, and a state machine —
+   plus a CRC that folds their results together, reported over the UART
+   (paper, Section 6).  Nine operations: default, Core_List_Init_Task,
+   Core_List_Task, Core_Matrix_Init_Task, Core_Matrix_Task,
+   Core_State_Init_Task, Core_State_Task, Crc_Task, Report_Task. *)
+
+open Opec_ir
+open Build
+module E = Expr
+module M = Opec_machine
+
+let list_len = 16
+let mat_n = 4 (* 4x4 matrices *)
+let kernel_reps = 150 (* repetitions per task, keeping tasks compute-bound *)
+
+let globals =
+  Hal.all_globals
+  @ [ (* linked list as parallel value/next arrays inside one arena *)
+      words "list_values" list_len;
+      words "list_next" list_len;
+      word "list_head";
+      words "matrix_a" (mat_n * mat_n);
+      words "matrix_b" (mat_n * mat_n);
+      words "matrix_c" (mat_n * mat_n);
+      string_bytes ~const:true "state_input" 16 "012ab!9zx8.7qq+";
+      words "state_counts" 4;
+      word "crc_acc";
+      Global.v "list_cmp" (Ty.Pointer Ty.Word);
+      words "results" 4;
+      word "cm_iterations" ~init:4L;
+      string_bytes ~const:true "MsgDone" 4 "DONE" ]
+
+let mat i j = (i * mat_n) + j
+
+let kernel_funcs =
+  [ (* ----- list kernel (core_list_join.c) ----- *)
+    func "cmp_idx" [ pw "a"; pw "b" ] ~file:"core_list_join.c"
+      [ ret E.(l "a" == l "b") ];
+    func "core_list_init" [] ~file:"core_list_join.c"
+      ([ store (gv "list_cmp") (fn "cmp_idx") ]
+      @ for_ "i" (c list_len)
+         [ store E.(gv "list_values" + (l "i" * c 4))
+             E.((l "i" * c 7 + c 3) % c 64);
+           store E.(gv "list_next" + (l "i" * c 4))
+             E.((l "i" + c 1) % c list_len) ]
+      @ [ store (gv "list_head") (c 0); ret0 ]);
+    func "core_list_find" [ pw "value" ] ~file:"core_list_join.c"
+      [ load "cur" (gv "list_head");
+        set "steps" (c 0);
+        set "found" E.(c 0 - c 1);
+        load "cmp" (gv "list_cmp");
+        while_ E.(l "steps" < c list_len && l "found" < c 0)
+          [ load "v" E.(gv "list_values" + (l "cur" * c 4));
+            icall ~dst:"eq" (l "cmp") [ l "v"; l "value" ];
+            if_ E.(l "eq" != c 0) [ set "found" (l "cur") ] [];
+            load "cur" E.(gv "list_next" + (l "cur" * c 4));
+            set "steps" E.(l "steps" + c 1) ];
+        ret (l "found") ];
+    func "core_list_reverse" [] ~file:"core_list_join.c"
+      [ load "cur" (gv "list_head");
+        set "prev" E.(c 0 - c 1);
+        set "steps" (c 0);
+        while_ E.(l "steps" < c list_len)
+          [ load "nxt" E.(gv "list_next" + (l "cur" * c 4));
+            store E.(gv "list_next" + (l "cur" * c 4))
+              E.(l "prev" && c 0xFFFFFFFF);
+            set "prev" (l "cur");
+            set "cur" (l "nxt");
+            set "steps" E.(l "steps" + c 1) ];
+        store (gv "list_head") (l "prev");
+        ret0 ];
+    func "core_list_checksum" [] ~file:"core_list_join.c"
+      ([ set "sum" (c 0) ]
+      @ for_ "i" (c list_len)
+          [ load "v" E.(gv "list_values" + (l "i" * c 4));
+            set "sum" E.((l "sum" + l "v") && c 0xFFFF) ]
+      @ [ ret (l "sum") ]);
+    (* in-place insertion sort of the list values (core_list_mergesort) *)
+    func "core_list_sort" [] ~file:"core_list_join.c"
+      [ set "i" (c 1);
+        while_ E.(l "i" < c list_len)
+          [ load "key" E.(gv "list_values" + (l "i" * c 4));
+            set "j" E.(l "i" - c 1);
+            set "moving" (c 1);
+            while_ E.(l "j" >= c 0 && l "moving" != c 0)
+              [ load "vj" E.(gv "list_values" + (l "j" * c 4));
+                if_ E.(l "vj" > l "key")
+                  [ store E.(gv "list_values" + ((l "j" + c 1) * c 4)) (l "vj");
+                    set "j" E.(l "j" - c 1) ]
+                  [ set "moving" (c 0) ] ];
+            store E.(gv "list_values" + ((l "j" + c 1) * c 4)) (l "key");
+            set "i" E.(l "i" + c 1) ];
+        ret0 ];
+    (* ----- matrix kernel (core_matrix.c) ----- *)
+    func "core_matrix_init" [] ~file:"core_matrix.c"
+      (for_ "i" (c (mat_n * mat_n))
+         [ store E.(gv "matrix_a" + (l "i" * c 4)) E.(l "i" + c 1);
+           store E.(gv "matrix_b" + (l "i" * c 4)) E.(c 16 - l "i");
+           store E.(gv "matrix_c" + (l "i" * c 4)) (c 0) ]
+      @ [ ret0 ]);
+    func "core_matrix_mul" [] ~file:"core_matrix.c"
+      (for_ "i" (c mat_n)
+         (for_ "j" (c mat_n)
+            ([ set "acc" (c 0) ]
+            @ for_ "k" (c mat_n)
+                [ load "a" E.(gv "matrix_a" + ((l "i" * c mat_n + l "k") * c 4));
+                  load "b" E.(gv "matrix_b" + ((l "k" * c mat_n + l "j") * c 4));
+                  set "acc" E.(l "acc" + (l "a" * l "b")) ]
+            @ [ store E.(gv "matrix_c" + ((l "i" * c mat_n + l "j") * c 4))
+                  E.(l "acc" && c 0xFFFFFFFF) ]))
+      @ [ ret0 ]);
+    (* add a constant to every element (matrix_add_const) *)
+    func "core_matrix_add_const" [ pw "k" ] ~file:"core_matrix.c"
+      (for_ "i" (c (mat_n * mat_n))
+         [ load "v" E.(gv "matrix_a" + (l "i" * c 4));
+           store E.(gv "matrix_a" + (l "i" * c 4)) E.((l "v" + l "k") && c 0xFFFF) ]
+      @ [ ret0 ]);
+    (* multiply every element by a constant (matrix_mul_const) *)
+    func "core_matrix_mul_const" [ pw "k" ] ~file:"core_matrix.c"
+      (for_ "i" (c (mat_n * mat_n))
+         [ load "v" E.(gv "matrix_b" + (l "i" * c 4));
+           store E.(gv "matrix_b" + (l "i" * c 4)) E.((l "v" * l "k") && c 0xFFFF) ]
+      @ [ ret0 ]);
+    (* extract one column into the result diagonal (matrix_extract) *)
+    func "core_matrix_extract" [ pw "col" ] ~file:"core_matrix.c"
+      (for_ "i" (c mat_n)
+         [ load "v" E.(gv "matrix_c" + ((l "i" * c mat_n + l "col") * c 4));
+           store E.(gv "matrix_c" + ((l "i" * c mat_n + l "i") * c 4)) (l "v") ]
+      @ [ ret0 ]);
+    func "core_matrix_sum" [] ~file:"core_matrix.c"
+      ([ set "sum" (c 0) ]
+      @ for_ "i" (c (mat_n * mat_n))
+          [ load "v" E.(gv "matrix_c" + (l "i" * c 4));
+            set "sum" E.((l "sum" + l "v") && c 0xFFFF) ]
+      @ [ ret (l "sum") ]);
+    (* ----- state machine kernel (core_state.c) ----- *)
+    func "core_state_transition" [ pw "ch" ] ~file:"core_state.c"
+      [ if_ E.(l "ch" >= c 48 && l "ch" <= c 57)
+          [ ret (c 0) ] (* digit *)
+          [ if_ E.((l "ch" >= c 97 && l "ch" <= c 122)
+                   || (l "ch" >= c 65 && l "ch" <= c 90))
+              [ ret (c 1) ] (* alpha *)
+              [ if_ E.(l "ch" == c 46 || l "ch" == c 43)
+                  [ ret (c 2) ] (* numeric punctuation *)
+                  [ ret (c 3) ] (* invalid *) ] ] ];
+    func "core_state_run" [] ~file:"core_state.c"
+      (for_ "i" (c 15)
+         [ load8 "ch" E.(gv "state_input" + l "i");
+           call ~dst:"s" "core_state_transition" [ l "ch" ];
+           load "n" E.(gv "state_counts" + (l "s" * c 4));
+           store E.(gv "state_counts" + (l "s" * c 4)) E.(l "n" + c 1) ]
+      @ [ ret0 ]);
+    (* ----- crc (core_util.c) ----- *)
+    func "crc16_update" [ pw "crc"; pw "v" ] ~file:"core_util.c"
+      [ set "x" E.(l "crc" ^ l "v");
+        set "k" (c 0);
+        while_ E.(l "k" < c 8)
+          [ if_ E.((l "x" && c 1) != c 0)
+              [ set "x" E.((l "x" >> c 1) ^ c 0xA001) ]
+              [ set "x" E.(l "x" >> c 1) ];
+            set "k" E.(l "k" + c 1) ];
+        ret (l "x") ] ]
+
+let task_funcs =
+  [ func "Core_List_Init_Task" [] ~file:"main.c"
+      [ call "core_list_init" []; ret0 ];
+    func "Core_List_Task" [] ~file:"main.c"
+      (for_ "r" (c kernel_reps)
+         [ call ~dst:"f" "core_list_find" [ c 24 ];
+           call "core_list_reverse" [];
+           call "core_list_sort" [];
+           call ~dst:"sum" "core_list_checksum" [];
+           store (gv "results") E.(l "sum" + (l "f" && c 0xFF)) ]
+      @ [ ret0 ]);
+    func "Core_Matrix_Init_Task" [] ~file:"main.c"
+      [ call "core_matrix_init" []; ret0 ];
+    func "Core_Matrix_Task" [] ~file:"main.c"
+      (for_ "r" (c kernel_reps)
+         [ call "core_matrix_add_const" [ c 3 ];
+           call "core_matrix_mul_const" [ c 2 ];
+           call "core_matrix_mul" [];
+           call "core_matrix_extract" [ c 1 ];
+           call ~dst:"sum" "core_matrix_sum" [];
+           store E.(gv "results" + c 4) (l "sum") ]
+      @ [ ret0 ]);
+    func "Core_State_Init_Task" [] ~file:"main.c"
+      (for_ "i" (c 4)
+         [ store E.(gv "state_counts" + (l "i" * c 4)) (c 0) ]
+      @ [ ret0 ]);
+    func "Core_State_Task" [] ~file:"main.c"
+      (for_ "r" (c kernel_reps)
+         [ call "core_state_run" [];
+           load "digits" (gv "state_counts");
+           store E.(gv "results" + c 8) (l "digits") ]
+      @ [ ret0 ]);
+    func "Crc_Task" [] ~file:"main.c"
+      [ load "crc" (gv "crc_acc");
+        load "r0" (gv "results");
+        call ~dst:"crc" "crc16_update" [ l "crc"; l "r0" ];
+        load "r1" E.(gv "results" + c 4);
+        call ~dst:"crc" "crc16_update" [ l "crc"; l "r1" ];
+        load "r2" E.(gv "results" + c 8);
+        call ~dst:"crc" "crc16_update" [ l "crc"; l "r2" ];
+        store (gv "crc_acc") (l "crc");
+        ret0 ];
+    func "Report_Task" [] ~file:"main.c"
+      [ store (gv "UartHandle") (c Soc.usart2.Peripheral.base);
+        call "HAL_UART_Transmit" [ gv "UartHandle"; gv "MsgDone"; c 4 ];
+        ret0 ];
+    func "main" [] ~file:"main.c"
+      [ call "SystemClock_Config" [];
+        call "HAL_Init" [];
+        call "Core_List_Init_Task" [];
+        call "Core_Matrix_Init_Task" [];
+        call "Core_State_Init_Task" [];
+        load "iters" (gv "cm_iterations");
+        set "i" (c 0);
+        while_ E.(l "i" < l "iters")
+          [ call "Core_List_Task" [];
+            call "Core_Matrix_Task" [];
+            call "Core_State_Task" [];
+            call "Crc_Task" [];
+            set "i" E.(l "i" + c 1) ];
+        call "Report_Task" [];
+        halt ] ]
+
+let program ?(iterations = 4) () =
+  let globals =
+    List.map
+      (fun (g : Global.t) ->
+        if String.equal g.name "cm_iterations" then
+          { g with Global.init = [ Int64.of_int iterations ] }
+        else g)
+      globals
+  in
+  Program.v ~name:"CoreMark" ~globals ~peripherals:Soc.datasheet
+    ~funcs:(Hal.all_funcs @ kernel_funcs @ task_funcs) ()
+
+let dev_input =
+  Opec_core.Dev_input.v
+    [ "Core_List_Init_Task"; "Core_List_Task"; "Core_Matrix_Init_Task";
+      "Core_Matrix_Task"; "Core_State_Init_Task"; "Core_State_Task";
+      "Crc_Task"; "Report_Task" ]
+    ~sanitize:
+      [ { Opec_core.Dev_input.sz_global = "crc_acc"; sz_min = 0L;
+          sz_max = 0xFFFFL } ]
+
+let make_world () =
+  let uart_dev, uart = M.Uart.create "USART2" ~base:Soc.usart2.Peripheral.base in
+  let prepare () = () in
+  let check () =
+    let sent = M.Uart.transmitted uart in
+    if String.equal sent "DONE" then Ok ()
+    else Error (Printf.sprintf "expected DONE over the UART, saw %S" sent)
+  in
+  { App.devices = Soc.config_devices () @ [ uart_dev ]; prepare; check }
+
+let app ?(iterations = 4) () =
+  { App.app_name = "CoreMark";
+    board = M.Memmap.stm32f4_discovery;
+    program = program ~iterations ();
+    dev_input;
+    make_world }

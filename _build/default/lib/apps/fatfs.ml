@@ -1,0 +1,221 @@
+(* FAT-filesystem substrate modeled after FatFs (ff.c + sd_diskio.c),
+   implemented in the firmware IR and operating on the SD-card device
+   through the HAL.  Used by FatFs-uSD and LCD-uSD.
+
+   On-disk format (one SD block = 512 bytes):
+   - block 0: volume header — word0 magic 0xFA7F5, word1 directory block,
+     word2 first data block;
+   - directory block: 16 entries x 32 bytes — word0 name id, word1 size in
+     bytes, word2 start block (0 = free entry);
+   - file data: consecutive blocks from the start block.
+
+   The two big structure globals the paper calls out for FatFs-uSD —
+   [MyFile] (file object) and [SDFatFs] (filesystem object) — are shared
+   across several operations, which drives the accessible-globals metric
+   (Section 6.2). *)
+
+open Opec_ir
+open Build
+module E = Expr
+
+let file_ff = "ff.c"
+let file_diskio = "sd_diskio.c"
+
+let magic = 0xFA7F5
+
+let globals =
+  [ struct_ "SDFatFs"
+      [ ("fs_type", Ty.Word); ("dirbase", Ty.Word); ("database", Ty.Word);
+        ("mounted", Ty.Word) ];
+    struct_ "MyFile"
+      [ ("flag", Ty.Word); ("fsize", Ty.Word); ("sclust", Ty.Word);
+        ("fptr", Ty.Word); ("dir_index", Ty.Word) ];
+    (* shared 512-byte sector window *)
+    words "fatfs_win" 128;
+    word "fatfs_errors";
+    (* diskio dispatch table: [disk_initialize; disk_read; disk_write] *)
+    Global.v "disk_ops" (Ty.Array (Ty.Pointer Ty.Word, 3)) ]
+
+let off field = fst (Ty.field_offset
+  (Ty.Struct
+     [ { Ty.field_name = "fs_type"; field_ty = Ty.Word };
+       { Ty.field_name = "dirbase"; field_ty = Ty.Word };
+       { Ty.field_name = "database"; field_ty = Ty.Word };
+       { Ty.field_name = "mounted"; field_ty = Ty.Word } ]) field)
+
+let foff field = fst (Ty.field_offset
+  (Ty.Struct
+     [ { Ty.field_name = "flag"; field_ty = Ty.Word };
+       { Ty.field_name = "fsize"; field_ty = Ty.Word };
+       { Ty.field_name = "sclust"; field_ty = Ty.Word };
+       { Ty.field_name = "fptr"; field_ty = Ty.Word };
+       { Ty.field_name = "dir_index"; field_ty = Ty.Word } ]) field)
+
+let fs field = E.(gv "SDFatFs" + c (off field))
+let fil field = E.(gv "MyFile" + c (foff field))
+
+(* call through the diskio dispatch table: slot 1 = read, 2 = write *)
+let disk_call slot args =
+  let off = slot * 4 in
+  [ load "$dop" E.(gv "disk_ops" + c off); icall (l "$dop") args ]
+
+let funcs =
+  [ func "diskio_register" [] ~file:file_diskio
+      [ store (gv "disk_ops") (fn "disk_initialize");
+        store E.(gv "disk_ops" + c 4) (fn "disk_read");
+        store E.(gv "disk_ops" + c 8) (fn "disk_write");
+        ret0 ];
+    func "disk_initialize" [] ~file:file_diskio
+      [ call "BSP_SD_Init" []; call ~dst:"s" "SD_CheckStatus" []; ret (l "s") ];
+    func "disk_read" [ pp_ "buf" Ty.Word; pw "blk" ] ~file:file_diskio
+      [ call "BSP_SD_ReadBlock" [ l "buf"; l "blk" ]; ret0 ];
+    func "disk_write" [ pp_ "buf" Ty.Word; pw "blk" ] ~file:file_diskio
+      [ call "BSP_SD_WriteBlock" [ l "buf"; l "blk" ]; ret0 ];
+    func "f_mount" [] ~file:file_ff
+      ([ call "diskio_register" [];
+         call ~dst:"_s" "disk_initialize" [] ]
+      @ disk_call 1 [ gv "fatfs_win"; c 0 ]
+      @ [
+        load "m" (gv "fatfs_win");
+        if_ E.(l "m" != c magic)
+          [ call "ff_error" []; ret (c 1) ]
+          [ store (fs "fs_type") (l "m");
+            load "d" E.(gv "fatfs_win" + c 4);
+            store (fs "dirbase") (l "d");
+            load "db" E.(gv "fatfs_win" + c 8);
+            store (fs "database") (l "db");
+            store (fs "mounted") (c 1);
+            ret (c 0) ] ]);
+    func "ff_error" [] ~file:file_ff
+      [ load "e" (gv "fatfs_errors");
+        store (gv "fatfs_errors") E.(l "e" + c 1);
+        ret0 ];
+    (* locate the directory entry with [name] (0 on success) *)
+    func "dir_find" [ pw "name" ] ~file:file_ff
+      ([ load "dirb" (fs "dirbase") ]
+      @ disk_call 1 [ gv "fatfs_win"; l "dirb" ]
+      @ [ set "found" E.(c 0 - c 1);
+        set "i" (c 0);
+        while_ E.(l "i" < c 16 && l "found" < c 0)
+          [ load "n" E.(gv "fatfs_win" + (l "i" * c 32));
+            if_ E.(l "n" == l "name") [ set "found" (l "i") ] [];
+            set "i" E.(l "i" + c 1) ];
+        ret (l "found") ]);
+    (* open an existing file by name id *)
+    func "f_open" [ pw "name" ] ~file:file_ff
+      [ call ~dst:"idx" "dir_find" [ l "name" ];
+        if_ E.(l "idx" < c 0)
+          [ call "ff_error" []; ret (c 1) ]
+          [ load "size" E.(gv "fatfs_win" + (l "idx" * c 32) + c 4);
+            load "start" E.(gv "fatfs_win" + (l "idx" * c 32) + c 8);
+            store (fil "flag") (c 1);
+            store (fil "fsize") (l "size");
+            store (fil "sclust") (l "start");
+            store (fil "fptr") (c 0);
+            store (fil "dir_index") (l "idx");
+            ret (c 0) ] ];
+    (* create a fresh file: claim the first free directory entry *)
+    func "f_create" [ pw "name" ] ~file:file_ff
+      [ load "dirb" (fs "dirbase");
+        call "disk_read" [ gv "fatfs_win"; l "dirb" ];
+        set "free" E.(c 0 - c 1);
+        set "i" (c 0);
+        while_ E.(l "i" < c 16 && l "free" < c 0)
+          [ load "s" E.(gv "fatfs_win" + (l "i" * c 32) + c 8);
+            if_ E.(l "s" == c 0) [ set "free" (l "i") ] [];
+            set "i" E.(l "i" + c 1) ];
+        if_ E.(l "free" < c 0)
+          [ call "ff_error" []; ret (c 1) ]
+          [ load "db" (fs "database");
+            set "start" E.(l "db" + (l "free" * c 8));
+            store E.(gv "fatfs_win" + (l "free" * c 32)) (l "name");
+            store E.(gv "fatfs_win" + (l "free" * c 32) + c 4) (c 0);
+            store E.(gv "fatfs_win" + (l "free" * c 32) + c 8) (l "start");
+            call "disk_write" [ gv "fatfs_win"; l "dirb" ];
+            store (fil "flag") (c 1);
+            store (fil "fsize") (c 0);
+            store (fil "sclust") (l "start");
+            store (fil "fptr") (c 0);
+            store (fil "dir_index") (l "free");
+            ret (c 0) ] ];
+    (* append [len] bytes (<= 512, single block in the model) *)
+    func "f_write" [ pp_ "buf" Ty.Byte; pw "len" ] ~file:file_ff
+      ([ load "fptr" (fil "fptr");
+         load "start" (fil "sclust");
+         set "blk" E.(l "start" + (l "fptr" / c 512)) ]
+      @ disk_call 1 [ gv "fatfs_win"; l "blk" ]
+      @ [ set "woff" E.(l "fptr" % c 512) ]
+      @ for_ "i" (l "len")
+          [ load8 "b" E.(l "buf" + l "i");
+            store8 E.(gv "fatfs_win" + l "woff" + l "i") (l "b") ]
+      @ [ call "disk_write" [ gv "fatfs_win"; l "blk" ];
+          store (fil "fptr") E.(l "fptr" + l "len");
+          load "size" (fil "fsize");
+          if_ E.(l "fptr" + l "len" > l "size")
+            [ store (fil "fsize") E.(l "fptr" + l "len") ]
+            [];
+          ret (l "len") ]);
+    (* read [len] bytes from the current position into [buf] *)
+    func "f_read" [ pp_ "buf" Ty.Byte; pw "len" ] ~file:file_ff
+      ([ load "fptr" (fil "fptr");
+         load "start" (fil "sclust");
+         set "blk" E.(l "start" + (l "fptr" / c 512)) ]
+      @ disk_call 1 [ gv "fatfs_win"; l "blk" ]
+      @ [ set "roff" E.(l "fptr" % c 512) ]
+      @ for_ "i" (l "len")
+          [ load8 "b" E.(gv "fatfs_win" + l "roff" + l "i");
+            store8 E.(l "buf" + l "i") (l "b") ]
+      @ [ store (fil "fptr") E.(l "fptr" + l "len"); ret (l "len") ]);
+    func "f_lseek" [ pw "pos" ] ~file:file_ff
+      [ store (fil "fptr") (l "pos"); ret0 ];
+    (* size of a named file without opening it (-1 if absent) *)
+    func "f_stat" [ pw "name" ] ~file:file_ff
+      [ call ~dst:"idx" "dir_find" [ l "name" ];
+        if_ E.(l "idx" < c 0)
+          [ ret E.(c 0 - c 1) ]
+          [ load "size" E.(gv "fatfs_win" + (l "idx" * c 32) + c 4);
+            ret (l "size") ] ];
+    (* remove a directory entry *)
+    func "f_unlink" [ pw "name" ] ~file:file_ff
+      [ call ~dst:"idx" "dir_find" [ l "name" ];
+        if_ E.(l "idx" < c 0)
+          [ ret (c 1) ]
+          [ store E.(gv "fatfs_win" + (l "idx" * c 32)) (c 0);
+            store E.(gv "fatfs_win" + (l "idx" * c 32) + c 4) (c 0);
+            store E.(gv "fatfs_win" + (l "idx" * c 32) + c 8) (c 0);
+            load "dirb" (fs "dirbase");
+            call "disk_write" [ gv "fatfs_win"; l "dirb" ];
+            ret (c 0) ] ];
+    (* write that may span block boundaries: loops one block at a time *)
+    func "f_write_long" [ pp_ "buf" Ty.Byte; pw "len" ] ~file:file_ff
+      [ set "done_" (c 0);
+        while_ E.(l "done_" < l "len")
+          [ load "fptr" (fil "fptr");
+            set "room" E.(c 512 - (l "fptr" % c 512));
+            set "chunk" E.(l "len" - l "done_");
+            if_ E.(l "chunk" > l "room") [ set "chunk" (l "room") ] [];
+            call ~dst:"_n" "f_write" [ E.(l "buf" + l "done_"); l "chunk" ];
+            set "done_" E.(l "done_" + l "chunk") ];
+        ret (l "done_") ];
+    (* read that may span block boundaries *)
+    func "f_read_long" [ pp_ "buf" Ty.Byte; pw "len" ] ~file:file_ff
+      [ set "done_" (c 0);
+        while_ E.(l "done_" < l "len")
+          [ load "fptr" (fil "fptr");
+            set "room" E.(c 512 - (l "fptr" % c 512));
+            set "chunk" E.(l "len" - l "done_");
+            if_ E.(l "chunk" > l "room") [ set "chunk" (l "room") ] [];
+            call ~dst:"_n" "f_read" [ E.(l "buf" + l "done_"); l "chunk" ];
+            set "done_" E.(l "done_" + l "chunk") ];
+        ret (l "done_") ];
+    (* flush the directory entry's size *)
+    func "f_sync" [] ~file:file_ff
+      ([ load "dirb" (fs "dirbase") ]
+      @ disk_call 1 [ gv "fatfs_win"; l "dirb" ]
+      @ [ load "idx" (fil "dir_index");
+          load "size" (fil "fsize");
+          store E.(gv "fatfs_win" + (l "idx" * c 32) + c 4) (l "size") ]
+      @ disk_call 2 [ gv "fatfs_win"; l "dirb" ]
+      @ [ ret0 ]);
+    func "f_close" [] ~file:file_ff
+      [ call "f_sync" []; store (fil "flag") (c 0); ret0 ] ]

@@ -1,0 +1,27 @@
+(** FAT-filesystem substrate modeled after FatFs (ff.c + sd_diskio.c),
+    written in the firmware IR over the SD-card HAL; used by FatFs-uSD
+    and LCD-uSD.
+
+    On-disk format (512-byte blocks): block 0 holds {!magic}, the
+    directory block number, and the first data block; the directory has
+    16 entries of (name id, size, start block); file data occupies
+    consecutive blocks.
+
+    Exposed IR functions: [f_mount], [f_open name], [f_create name],
+    [f_write]/[f_read] (single block), [f_write_long]/[f_read_long]
+    (spanning blocks), [f_lseek], [f_sync], [f_close], [f_stat],
+    [f_unlink], plus the diskio layer dispatched through the [disk_ops]
+    function-pointer table (icall sites for Table 3). *)
+
+val file_ff : string
+val file_diskio : string
+
+(** Volume-header magic word. *)
+val magic : int
+
+(** The filesystem and file objects ([SDFatFs], [MyFile] — the shared
+    structures Section 6.2 discusses), the sector window, and the diskio
+    dispatch table. *)
+val globals : Opec_ir.Global.t list
+
+val funcs : Opec_ir.Func.t list

@@ -1,0 +1,129 @@
+(* FatFs-uSD (STM32479I-EVAL): creates a file on a FAT volume on the SD
+   card, writes a message, reads it back, and verifies the content,
+   reporting through an LED (paper, Section 6).  Ten operations:
+   default, Sd_Setup, FatFs_Mount_Task, File_Create_Task, File_Write_Task,
+   File_Sync_Task, File_Reopen_Task, File_Read_Task, File_Verify_Task,
+   Led_Report_Task.
+
+   The message travels to File_Write_Task through a stack buffer, so this
+   workload exercises the monitor's pointer-argument relocation
+   (Figure 8). *)
+
+open Opec_ir
+open Build
+module E = Expr
+module M = Opec_machine
+
+let message = "This is STM32 working with FatFs"
+let message_len = String.length message
+let file_name_id = 0x515  (* "STM32.TXT" *)
+let led_pin = 6 (* GPIOC *)
+
+let globals =
+  Hal.all_globals @ Fatfs.globals
+  @ [ string_bytes ~const:true "wtext" 36 message;
+      bytes "rtext" 64;
+      word "bytes_read";
+      word "verify_ok" ]
+
+let app_funcs =
+  [ func "Sd_Setup" [] ~file:"main.c" [ call "BSP_SD_Init" []; ret0 ];
+    func "FatFs_Mount_Task" [] ~file:"main.c"
+      [ call ~dst:"r" "f_mount" [];
+        ret (l "r") ];
+    func "File_Create_Task" [] ~file:"app_fatfs.c"
+      [ call ~dst:"r" "f_create" [ c file_name_id ]; ret (l "r") ];
+    func "File_Write_Task" [ pp_ "buf" Ty.Byte; pw "len" ] ~file:"app_fatfs.c"
+      [ call ~dst:"n" "f_write" [ l "buf"; l "len" ]; ret (l "n") ];
+    func "File_Sync_Task" [] ~file:"app_fatfs.c" [ call "f_sync" []; ret0 ];
+    func "File_Reopen_Task" [] ~file:"app_fatfs.c"
+      [ call "f_close" [];
+        call ~dst:"r" "f_open" [ c file_name_id ];
+        call "f_lseek" [ c 0 ];
+        ret (l "r") ];
+    func "File_Read_Task" [] ~file:"app_fatfs.c"
+      [ load "size" E.(gv "MyFile" + c 4);
+        call ~dst:"n" "f_read" [ gv "rtext"; l "size" ];
+        store (gv "bytes_read") (l "n");
+        ret0 ];
+    func "File_Verify_Task" [ pp_ "expect" Ty.Byte; pw "len" ] ~file:"app_fatfs.c"
+      ([ load "n" (gv "bytes_read");
+         set "ok" E.(l "n" == l "len") ]
+      @ for_ "i" (l "len")
+          [ load8 "a" E.(gv "rtext" + l "i");
+            load8 "b" E.(l "expect" + l "i");
+            if_ E.(l "a" != l "b") [ set "ok" (c 0) ] [] ]
+      @ [ store (gv "verify_ok") (l "ok"); ret (l "ok") ]);
+    func "Led_Report_Task" [] ~file:"main.c"
+      [ call "HAL_GPIO_Init" [ c Soc.gpioc.Peripheral.base; c led_pin ];
+        load "ok" (gv "verify_ok");
+        call "HAL_GPIO_WritePin" [ c Soc.gpioc.Peripheral.base; c led_pin; l "ok" ];
+        ret0 ];
+    func "main" [] ~file:"main.c"
+      [ call "SystemClock_Config" [];
+        call "HAL_Init" [];
+        call "Sd_Setup" [];
+        call ~dst:"_m" "FatFs_Mount_Task" [];
+        call ~dst:"_c" "File_Create_Task" [];
+        (* stage the message in a stack buffer; the pointer crosses the
+           operation boundary and is relocated by the monitor *)
+        alloca "msg" (Ty.Array (Ty.Byte, 36));
+        memcpy (l "msg") (gv "wtext") (c message_len);
+        call ~dst:"_w" "File_Write_Task" [ l "msg"; c message_len ];
+        call "File_Sync_Task" [];
+        call ~dst:"_o" "File_Reopen_Task" [];
+        call "File_Read_Task" [];
+        call ~dst:"_v" "File_Verify_Task" [ l "msg"; c message_len ];
+        call "Led_Report_Task" [];
+        halt ] ]
+
+let program () =
+  Program.v ~name:"FatFs-uSD" ~globals ~peripherals:Soc.datasheet
+    ~funcs:(Hal.all_funcs @ Fatfs.funcs @ app_funcs) ()
+
+let dev_input =
+  Opec_core.Dev_input.v
+    [ "Sd_Setup"; "FatFs_Mount_Task"; "File_Create_Task"; "File_Write_Task";
+      "File_Sync_Task"; "File_Reopen_Task"; "File_Read_Task";
+      "File_Verify_Task"; "Led_Report_Task" ]
+    ~stack_infos:
+      [ { Opec_core.Dev_input.si_entry = "File_Write_Task";
+          ptr_args = [ { Opec_core.Dev_input.param_index = 0; buffer_bytes = 36 } ] };
+        { Opec_core.Dev_input.si_entry = "File_Verify_Task";
+          ptr_args = [ { Opec_core.Dev_input.param_index = 0; buffer_bytes = 36 } ] } ]
+    ~sanitize:
+      [ { Opec_core.Dev_input.sz_global = "verify_ok"; sz_min = 0L; sz_max = 1L } ]
+
+(* volume header + empty directory, as mkfs would leave them *)
+let format_volume sd =
+  let head = Bytes.make 512 '\000' in
+  Bytes.set_int32_le head 0 (Int32.of_int Fatfs.magic);
+  Bytes.set_int32_le head 4 1l;  (* directory block *)
+  Bytes.set_int32_le head 8 2l;  (* first data block *)
+  M.Sd_card.preload sd 0 (Bytes.to_string head);
+  M.Sd_card.preload sd 1 (String.make 512 '\000')
+
+let make_world () =
+  let sd_dev, sd =
+    M.Sd_card.create ~busy_interval:6000 "SDIO" ~base:Soc.sdio.Peripheral.base
+  in
+  let gpioc_dev, gpioc = M.Gpio.create "GPIOC" ~base:Soc.gpioc.Peripheral.base in
+  let prepare () = format_volume sd in
+  let check () =
+    if M.Gpio.output gpioc land (1 lsl led_pin) = 0 then
+      Error "verification LED is off: file content mismatch"
+    else
+      (* the file's data block must carry the message *)
+      let data = M.Sd_card.block sd 2 in
+      if String.sub data 0 message_len <> message then
+        Error (Printf.sprintf "SD data block holds %S" (String.sub data 0 message_len))
+      else Ok ()
+  in
+  { App.devices = Soc.config_devices () @ [ sd_dev; gpioc_dev ]; prepare; check }
+
+let app () =
+  { App.app_name = "FatFs-uSD";
+    board = M.Memmap.stm32479i_eval;
+    program = program ();
+    dev_input;
+    make_world }

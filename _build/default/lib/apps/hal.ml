@@ -1,0 +1,362 @@
+(* Hardware Abstraction Layer substrate, modeled after the STM32Cube HAL
+   the paper's applications are built on.  Each driver lives in its own
+   "source file" (the unit of ACES's filename strategies) and exposes the
+   functions the seven workloads call.
+
+   Conventions shared with the device models in [Opec_machine]:
+   UART  — SR at +0 (bit0 RXNE), DR at +4
+   GPIO  — MODER +0, IDR +0x10, ODR +0x14
+   SDIO  — CMD +0, ARG +4, DATA +8, STATUS +0xC; 512-byte blocks
+   LTDC  — CTRL +0, PIXEL +4, ALPHA +8
+   ETH   — STATUS +0, RXLEN +4, RXDATA +8, TXDATA +0xC, TXCTRL +0x10
+   DCMI  — CTRL +0, STATUS +4, LENGTH +8, DATA +0xC
+   USB   — CTRL +0, DATA +4 *)
+
+open Opec_ir
+open Build
+module E = Expr
+
+let off_instance = 0 (* handle structs keep the peripheral base first *)
+
+(* ---------------------------------------------------------------- system *)
+module System = struct
+  let file = "system_stm32f4xx.c"
+
+  let globals = [ word "SystemCoreClock" ~init:168_000_000L; word "uwTick" ]
+
+  let funcs =
+    [ func "SystemClock_Config" [] ~file
+        [ store (reg Soc.rcc 0x00) (c 0x01);      (* HSE on *)
+          store (reg Soc.rcc 0x08) (c 0x1402);    (* PLL config *)
+          store (reg Soc.pwr 0x00) (c 0x4000);
+          store (reg Soc.flash_ctrl 0x00) (c 0x705);
+          store (gv "SystemCoreClock") (c 168_000_000);
+          ret0 ];
+      func "HAL_Init" [] ~file
+        [ store (reg Soc.flash_ctrl 0x00) (c 0x100);
+          call "HAL_SYSTICK_Config" [ c 168_000 ];
+          store (gv "uwTick") (c 0);
+          ret0 ];
+      (* core peripherals: unprivileged access bus-faults and is emulated
+         by OPEC-Monitor (Section 5.2) *)
+      func "HAL_SYSTICK_Config" [ pw "ticks" ] ~file
+        [ store (reg Soc.systick 0x4) (l "ticks");
+          store (reg Soc.systick 0x0) (c 0x7);
+          ret0 ];
+      func "HAL_NVIC_EnableIRQ" [ pw "irqn" ] ~file
+        [ store
+            E.(reg Soc.nvic 0x0 + (l "irqn" / c 32 * c 4))
+            E.(c 1 << l "irqn");
+          ret0 ];
+      func "DWT_GetCycles" [] ~file
+        [ load "v" (reg Soc.dwt 0x4); ret (l "v") ];
+      (* millisecond-style delay on the free-running TIM2 counter *)
+      func "HAL_Delay" [ pw "ticks" ] ~file
+        [ load "start" (reg Soc.tim2 0x24);
+          load "now" (reg Soc.tim2 0x24);
+          while_ E.(l "now" - l "start" < l "ticks")
+            [ load "now" (reg Soc.tim2 0x24) ];
+          ret0 ];
+      func "HAL_IncTick" [] ~file
+        [ load "t" (gv "uwTick");
+          store (gv "uwTick") E.(l "t" + c 1);
+          ret0 ];
+      func "HAL_GetTick" [] ~file [ load "t" (gv "uwTick"); ret (l "t") ] ]
+end
+
+(* ------------------------------------------------------------------ gpio *)
+module Gpio_hal = struct
+  let file = "stm32f4xx_hal_gpio.c"
+
+  let moder = Opec_machine.Gpio.moder
+  let idr = Opec_machine.Gpio.idr
+  let odr = Opec_machine.Gpio.odr
+
+  let funcs =
+    [ func "HAL_GPIO_Init" [ pw "port"; pw "pin" ] ~file
+        [ load "m" E.(l "port" + c moder);
+          store E.(l "port" + c moder) E.(l "m" || (c 1 << (l "pin" * c 2)));
+          ret0 ];
+      func "HAL_GPIO_WritePin" [ pw "port"; pw "pin"; pw "state" ] ~file
+        [ load "v" E.(l "port" + c odr);
+          if_ E.(l "state" != c 0)
+            [ store E.(l "port" + c odr) E.(l "v" || (c 1 << l "pin")) ]
+            [ store E.(l "port" + c odr)
+                E.(l "v" && Un (Not, Bin (Shl, c 1, l "pin"))) ];
+          ret0 ];
+      func "HAL_GPIO_ReadPin" [ pw "port"; pw "pin" ] ~file
+        [ load "v" E.(l "port" + c idr);
+          ret E.((l "v" >> l "pin") && c 1) ];
+      func "HAL_GPIO_TogglePin" [ pw "port"; pw "pin" ] ~file
+        [ load "v" E.(l "port" + c odr);
+          store E.(l "port" + c odr) E.(l "v" ^ (c 1 << l "pin"));
+          ret0 ] ]
+end
+
+(* ------------------------------------------------------------------ uart *)
+module Uart_hal = struct
+  let file = "stm32f4xx_hal_uart.c"
+
+  let sr = Opec_machine.Uart.sr
+  let dr = Opec_machine.Uart.dr
+
+  (* handle structs: Instance (peripheral base), BaudRate, State, Error *)
+  let handle name =
+    struct_ name
+      [ ("Instance", Ty.Pointer Ty.Word); ("BaudRate", Ty.Word);
+        ("State", Ty.Word); ("ErrorCode", Ty.Word) ]
+
+  let globals = [ handle "UartHandle" ]
+
+  let funcs =
+    [ func "UART_SetConfig" [ pp_ "huart" Ty.Word ] ~file
+        [ load "inst" (l "huart");
+          (* dummy baud configuration write through the handle *)
+          store E.(l "inst" + c sr) (c 0);
+          ret0 ];
+      func "UART_CheckIdleState" [ pp_ "huart" Ty.Word ] ~file
+        [ load "inst" (l "huart");
+          load "flags" E.(l "inst" + c sr);
+          store E.(l "huart" + c 8) (c 0x20) (* HAL_UART_STATE_READY *);
+          ret (l "flags") ];
+      func "HAL_UART_Init" [ pp_ "huart" Ty.Word ] ~file
+        [ call "HAL_UART_MspInit" [];
+          call "UART_SetConfig" [ l "huart" ];
+          call ~dst:"_f" "UART_CheckIdleState" [ l "huart" ];
+          ret0 ];
+      func "UART_WaitOnFlagUntilTimeout" [ pp_ "huart" Ty.Word; pw "flag" ] ~file
+        [ load "inst" (l "huart");
+          load "s" E.(l "inst" + c sr);
+          while_ E.((l "s" && l "flag") == c 0)
+            [ load "s" E.(l "inst" + c sr) ];
+          ret0 ];
+      func "HAL_UART_Receive" [ pp_ "huart" Ty.Word; pp_ "buf" Ty.Byte; pw "len" ] ~file
+        (for_ "i" (l "len")
+           [ call "UART_WaitOnFlagUntilTimeout" [ l "huart"; c 1 ];
+             load "inst" (l "huart");
+             load "b" E.(l "inst" + c dr);
+             store8 E.(l "buf" + l "i") (l "b") ]
+        @ [ ret0 ]);
+      (* the interrupt-driven receive of Listing 1; the model completes the
+         transfer synchronously *)
+      func "HAL_UART_Receive_IT" [ pp_ "huart" Ty.Word; pp_ "buf" Ty.Byte; pw "len" ] ~file
+        [ call "HAL_UART_Receive" [ l "huart"; l "buf"; l "len" ]; ret0 ];
+      func "HAL_UART_Transmit" [ pp_ "huart" Ty.Word; pp_ "buf" Ty.Byte; pw "len" ] ~file
+        (for_ "i" (l "len")
+           [ load "inst" (l "huart");
+             load8 "b" E.(l "buf" + l "i");
+             store E.(l "inst" + c dr) (l "b") ]
+        @ [ ret0 ]);
+      func "HAL_UART_GetState" [ pp_ "huart" Ty.Word ] ~file
+        [ load "s" E.(l "huart" + c 8); ret (l "s") ];
+      func "HAL_UART_ErrorCallback" [ pp_ "huart" Ty.Word ] ~file
+        [ store E.(l "huart" + c 12) (c 0xFF); ret0 ] ]
+end
+
+(* ------------------------------------------------------------------- sd *)
+module Sd_hal = struct
+  let file = "stm32f4xx_hal_sd.c"
+
+  let cmd = Opec_machine.Sd_card.cmd
+  let arg = Opec_machine.Sd_card.arg
+  let data = Opec_machine.Sd_card.data
+  let status = Opec_machine.Sd_card.status
+
+  let globals = [ word "sd_state"; word "sd_error_count" ]
+
+  let funcs =
+    [ func "BSP_SD_IsDetected" [] ~file
+        [ load "s" (reg Soc.sdio status); ret E.(l "s" && c 1) ];
+      (* spin until the card signals transfer-ready (bit 1) *)
+      func "SD_WaitReady" [] ~file
+        [ load "s" (reg Soc.sdio status);
+          while_ E.((l "s" && c 2) == c 0)
+            [ load "s" (reg Soc.sdio status) ];
+          ret0 ];
+      func "SD_PowerON" [] ~file
+        [ store (reg Soc.sdio cmd) (c 0); ret0 ];
+      func "SD_InitCard" [] ~file
+        [ store (reg Soc.sdio arg) (c 0);
+          store (reg Soc.sdio cmd) (c 2);
+          store (gv "sd_state") (c 1);
+          ret0 ];
+      func "BSP_SD_Init" [] ~file
+        [ call "HAL_SD_MspInit" [];
+          call ~dst:"det" "BSP_SD_IsDetected" [];
+          if_ E.(l "det" == c 0)
+            [ call "SD_ErrorHandler" [] ]
+            [ call "SD_PowerON" []; call "SD_InitCard" [] ];
+          ret0 ];
+      func "SD_ErrorHandler" [] ~file
+        [ load "e" (gv "sd_error_count");
+          store (gv "sd_error_count") E.(l "e" + c 1);
+          ret0 ];
+      (* read one 512-byte block into [buf] *)
+      func "BSP_SD_ReadBlock" [ pp_ "buf" Ty.Word; pw "blk" ] ~file
+        ([ store (reg Soc.sdio arg) (l "blk");
+           store (reg Soc.sdio cmd) (c 17);
+           call "SD_WaitReady" [] ]
+        @ for_ "i" (c 128)
+            [ load "w" (reg Soc.sdio data);
+              store E.(l "buf" + (l "i" * c 4)) (l "w") ]
+        @ [ ret0 ]);
+      func "BSP_SD_WriteBlock" [ pp_ "buf" Ty.Word; pw "blk" ] ~file
+        ([ store (reg Soc.sdio arg) (l "blk");
+           store (reg Soc.sdio cmd) (c 24);
+           call "SD_WaitReady" [] ]
+        @ for_ "i" (c 128)
+            [ load "w" E.(l "buf" + (l "i" * c 4));
+              store (reg Soc.sdio data) (l "w") ]
+        @ [ ret0 ]);
+      func "SD_CheckStatus" [] ~file
+        [ load "s" (gv "sd_state"); ret (l "s") ] ]
+end
+
+(* ------------------------------------------------------------------ lcd *)
+module Lcd_hal = struct
+  let file = "stm32469i_eval_lcd.c"
+
+  let ctrl = Opec_machine.Lcd.ctrl
+  let pixel = Opec_machine.Lcd.pixel
+  let alpha = Opec_machine.Lcd.alpha
+
+  let globals = [ word "lcd_initialized"; word "lcd_brightness" ~init:255L ]
+
+  let funcs =
+    [ func "BSP_LCD_Init" [] ~file
+        [ call "HAL_LTDC_MspInit" [];
+          store (reg Soc.ltdc ctrl) (c 0);
+          store (gv "lcd_initialized") (c 1);
+          ret0 ];
+      func "BSP_LCD_Clear" [] ~file
+        [ store (reg Soc.ltdc ctrl) (c 2) (* blank command, not a frame *);
+          store (reg Soc.ltdc 0x0C) (c 0) (* background colour *);
+          ret0 ];
+      func "BSP_LCD_SetTransparency" [ pw "a" ] ~file
+        [ store (reg Soc.ltdc alpha) (l "a"); ret0 ];
+      (* paint [n] pixels from the word buffer *)
+      func "BSP_LCD_DrawPicture" [ pp_ "buf" Ty.Word; pw "n" ] ~file
+        ([ store (reg Soc.ltdc ctrl) (c 1) ]
+        @ for_ "i" (l "n")
+            [ load "px" E.(l "buf" + (l "i" * c 4));
+              store (reg Soc.ltdc pixel) (l "px") ]
+        @ [ ret0 ]);
+      func "LCD_FadeIn" [ pp_ "buf" Ty.Word; pw "n" ] ~file
+        [ set "a" (c 0);
+          while_ E.(l "a" <= c 255)
+            [ call "BSP_LCD_SetTransparency" [ l "a" ];
+              call "BSP_LCD_DrawPicture" [ l "buf"; l "n" ];
+              call "HAL_Delay" [ c 4000 ];
+              set "a" E.(l "a" + c 85) ];
+          ret0 ];
+      func "LCD_FadeOut" [ pp_ "buf" Ty.Word; pw "n" ] ~file
+        [ set "a" (c 255);
+          while_ E.(l "a" >= c 0)
+            [ call "BSP_LCD_SetTransparency" [ l "a" ];
+              call "BSP_LCD_DrawPicture" [ l "buf"; l "n" ];
+              set "a" E.(l "a" - c 85) ];
+          ret0 ] ]
+end
+
+(* ------------------------------------------------------------------ eth *)
+module Eth_hal = struct
+  let file = "stm32f4xx_hal_eth.c"
+
+  let status = Opec_machine.Ethernet.status
+  let rx_len = Opec_machine.Ethernet.rx_len
+  let rx_data = Opec_machine.Ethernet.rx_data
+  let tx_data = Opec_machine.Ethernet.tx_data
+  let tx_ctrl = Opec_machine.Ethernet.tx_ctrl
+
+  let globals = [ word "eth_link_up" ]
+
+  let funcs =
+    [ func "ETH_MACDMAConfig" [] ~file
+        [ store (reg Soc.eth 0x100) (c 0x8000); ret0 ];
+      func "BSP_ETH_Init" [] ~file
+        [ call "HAL_ETH_MspInit" [];
+          call "ETH_MACDMAConfig" [];
+          store (gv "eth_link_up") (c 1);
+          ret0 ];
+      func "ETH_FrameWaiting" [] ~file
+        [ load "s" (reg Soc.eth status); ret (l "s") ];
+      (* copy the waiting frame into [buf]; returns its length *)
+      func "ETH_GetReceivedFrame" [ pp_ "buf" Ty.Byte; pw "max" ] ~file
+        ([ load "len" (reg Soc.eth rx_len);
+           if_ E.(l "len" > l "max") [ set "len" (l "max") ] [] ]
+        @ for_ "i" (l "len")
+            [ load "b" (reg Soc.eth rx_data);
+              store8 E.(l "buf" + l "i") (l "b") ]
+        @ [ ret (l "len") ]);
+      func "ETH_TransmitFrame" [ pp_ "buf" Ty.Byte; pw "len" ] ~file
+        (for_ "i" (l "len")
+           [ load8 "b" E.(l "buf" + l "i");
+             store (reg Soc.eth tx_data) (l "b") ]
+        @ [ store (reg Soc.eth tx_ctrl) (c 1); ret0 ]) ]
+end
+
+(* ----------------------------------------------------------------- dcmi *)
+module Dcmi_hal = struct
+  let file = "stm32f4xx_hal_dcmi.c"
+
+  let ctrl = Opec_machine.Dcmi.ctrl
+  let status = Opec_machine.Dcmi.status
+  let length = Opec_machine.Dcmi.length
+  let data = Opec_machine.Dcmi.data
+
+  let globals = [ word "camera_state" ]
+
+  let funcs =
+    [ func "BSP_CAMERA_Init" [] ~file
+        [ call "HAL_DCMI_MspInit" [];
+          store (reg Soc.dcmi ctrl) (c 0);
+          store (gv "camera_state") (c 1);
+          ret0 ];
+      func "BSP_CAMERA_SnapshotStart" [] ~file
+        [ store (reg Soc.dcmi ctrl) (c 1); ret0 ];
+      func "CAMERA_FrameReady" [] ~file
+        [ load "s" (reg Soc.dcmi status); ret (l "s") ];
+      func "CAMERA_ReadFrame" [ pp_ "buf" Ty.Byte; pw "max" ] ~file
+        ([ load "len" (reg Soc.dcmi length);
+           if_ E.(l "len" > l "max") [ set "len" (l "max") ] [] ]
+        @ for_ "i" (l "len")
+            [ load "b" (reg Soc.dcmi data);
+              store8 E.(l "buf" + l "i") (l "b") ]
+        @ [ ret (l "len") ]) ]
+end
+
+(* ------------------------------------------------------------------ usb *)
+module Usb_hal = struct
+  let file = "usbh_msc.c"
+
+  let ctrl = Opec_machine.Usb_msc.ctrl
+  let data = Opec_machine.Usb_msc.data
+
+  let globals = [ word "usb_host_state" ]
+
+  let funcs =
+    [ func "USBH_MSC_Init" [] ~file
+        [ call "HAL_USB_MspInit" [];
+          store (reg Soc.usb_fs ctrl) (c 0);
+          store (gv "usb_host_state") (c 1);
+          ret0 ];
+      func "USBH_MSC_OpenFile" [] ~file
+        [ store (reg Soc.usb_fs ctrl) (c 1); ret0 ];
+      func "USBH_MSC_WriteData" [ pp_ "buf" Ty.Byte; pw "len" ] ~file
+        (for_ "i" (l "len")
+           [ load8 "b" E.(l "buf" + l "i");
+             store (reg Soc.usb_fs data) (l "b") ]
+        @ [ ret0 ]);
+      func "USBH_MSC_CloseFile" [] ~file
+        [ store (reg Soc.usb_fs ctrl) (c 2); ret0 ] ]
+end
+
+let all_globals =
+  System.globals @ Uart_hal.globals @ Sd_hal.globals @ Lcd_hal.globals
+  @ Eth_hal.globals @ Dcmi_hal.globals @ Usb_hal.globals
+  @ Hal_extra.all_globals
+
+let all_funcs =
+  System.funcs @ Gpio_hal.funcs @ Uart_hal.funcs @ Sd_hal.funcs
+  @ Lcd_hal.funcs @ Eth_hal.funcs @ Dcmi_hal.funcs @ Usb_hal.funcs
+  @ Hal_extra.all_funcs

@@ -1,0 +1,333 @@
+(* Extended HAL drivers: RCC clock tree, DMA streams, SPI, I2C, ADC, RTC,
+   the CRC calculation unit, and the independent watchdog, modeled after
+   the corresponding STM32Cube drivers.  These give the driver-init call
+   chains the real firmware has (clock enable -> msp init -> peripheral
+   configuration), which is what makes operations contain dozens of
+   functions in the paper's Table 1. *)
+
+open Opec_ir
+open Build
+module E = Expr
+
+(* ------------------------------------------------------------------- rcc *)
+module Rcc_hal = struct
+  let file = "stm32f4xx_hal_rcc.c"
+
+  let cr = 0x00
+  let pllcfgr = 0x04
+  let cfgr = 0x08
+  let ahb1enr = 0x30
+  let ahb2enr = 0x34
+  let apb1enr = 0x40
+  let apb2enr = 0x44
+
+  let globals = [ word "rcc_sysclk_source" ]
+
+  (* set an enable bit in a bus clock-gate register *)
+  let enable_funcs =
+    List.map
+      (fun (name, off) ->
+        func name [ pw "bit" ] ~file
+          [ load "v" (reg Soc.rcc off);
+            store (reg Soc.rcc off) E.(l "v" || (c 1 << l "bit"));
+            (* the reference manual requires a read-back after enabling *)
+            load "_rb" (reg Soc.rcc off);
+            ret0 ])
+      [ ("RCC_AHB1_CLK_ENABLE", ahb1enr); ("RCC_AHB2_CLK_ENABLE", ahb2enr);
+        ("RCC_APB1_CLK_ENABLE", apb1enr); ("RCC_APB2_CLK_ENABLE", apb2enr) ]
+
+  let funcs =
+    enable_funcs
+    @ [ func "RCC_OscConfig" [] ~file
+          [ (* turn the HSE on and wait for it (the model latches the bit) *)
+            load "v" (reg Soc.rcc cr);
+            store (reg Soc.rcc cr) E.(l "v" || c 0x10000);
+            load "cr'" (reg Soc.rcc cr);
+            while_ E.((l "cr'" && c 0x10000) == c 0)
+              [ load "cr'" (reg Soc.rcc cr) ];
+            (* configure and start the PLL *)
+            store (reg Soc.rcc pllcfgr) (c 0x2403_1008);
+            load "v2" (reg Soc.rcc cr);
+            store (reg Soc.rcc cr) E.(l "v2" || c 0x1000000);
+            ret0 ];
+        func "RCC_ClockConfig" [] ~file
+          [ call "FLASH_SetLatency" [ c 5 ];
+            store (reg Soc.rcc cfgr) (c 0x0000_940A);
+            store (gv "rcc_sysclk_source") (c 2) (* PLL *);
+            ret0 ];
+        func "HAL_RCC_GetSysClockFreq" [] ~file
+          [ load "src" (gv "rcc_sysclk_source");
+            if_ E.(l "src" == c 2)
+              [ ret (c 168_000_000) ]
+              [ ret (c 16_000_000) ] ] ]
+end
+
+(* ----------------------------------------------------------------- flash *)
+module Flash_hal = struct
+  let file = "stm32f4xx_hal_flash.c"
+
+  let funcs =
+    [ func "FLASH_SetLatency" [ pw "ws" ] ~file
+        [ load "acr" (reg Soc.flash_ctrl 0x00);
+          store (reg Soc.flash_ctrl 0x00)
+            E.((l "acr" && Un (Not, Const 0xFL)) || l "ws");
+          ret0 ];
+      func "FLASH_EnableCaches" [] ~file
+        [ load "acr" (reg Soc.flash_ctrl 0x00);
+          store (reg Soc.flash_ctrl 0x00) E.(l "acr" || c 0x700);
+          ret0 ] ]
+end
+
+(* ------------------------------------------------------------------- pwr *)
+module Pwr_hal = struct
+  let file = "stm32f4xx_hal_pwr.c"
+
+  let funcs =
+    [ func "HAL_PWR_VoltageScaling" [ pw "scale" ] ~file
+        [ call "RCC_APB1_CLK_ENABLE" [ c 28 ] (* PWREN *);
+          store (reg Soc.pwr 0x00) E.(l "scale" << c 14);
+          ret0 ];
+      func "HAL_PWR_EnableOverDrive" [] ~file
+        [ load "csr" (reg Soc.pwr 0x04);
+          store (reg Soc.pwr 0x04) E.(l "csr" || c 0x10000);
+          ret0 ] ]
+end
+
+(* ------------------------------------------------------------------- dma *)
+module Dma_hal = struct
+  let file = "stm32f4xx_hal_dma.c"
+
+  (* per-stream register block: CR at 0x10 + 0x18*stream *)
+  let stream_cr n = 0x10 + (0x18 * n)
+  let stream_ndtr n = 0x14 + (0x18 * n)
+
+  let globals = [ word "dma_stream_state" ]
+
+  let funcs =
+    [ func "DMA_SetConfig" [ pw "stream"; pw "len" ] ~file
+        [ store E.(reg Soc.dma2 0 + c 0x14 + (l "stream" * c 0x18)) (l "len");
+          ret0 ];
+      func "HAL_DMA_Init" [ pw "stream" ] ~file
+        [ call "RCC_AHB1_CLK_ENABLE" [ c 22 ] (* DMA2EN *);
+          store E.(reg Soc.dma2 0 + c 0x10 + (l "stream" * c 0x18)) (c 0x0)
+          (* disable before configuration *);
+          call "DMA_SetConfig" [ l "stream"; c 0 ];
+          store (gv "dma_stream_state") (c 1);
+          ret0 ];
+      func "HAL_DMA_Start" [ pw "stream"; pw "len" ] ~file
+        [ call "DMA_SetConfig" [ l "stream"; l "len" ];
+          load "cr" E.(reg Soc.dma2 0 + c 0x10 + (l "stream" * c 0x18));
+          store
+            E.(reg Soc.dma2 0 + c 0x10 + (l "stream" * c 0x18))
+            E.(l "cr" || c 1);
+          ret0 ];
+      func "HAL_DMA_Abort" [ pw "stream" ] ~file
+        [ store E.(reg Soc.dma2 0 + c 0x10 + (l "stream" * c 0x18)) (c 0);
+          store (gv "dma_stream_state") (c 0);
+          ret0 ] ]
+
+  let _ = stream_cr
+  let _ = stream_ndtr
+end
+
+(* ------------------------------------------------------------------- spi *)
+module Spi_hal = struct
+  let file = "stm32f4xx_hal_spi.c"
+
+  let cr1 = 0x00
+  let sr = 0x08
+  let dr = 0x0C
+
+  let funcs =
+    [ func "HAL_SPI_Init" [] ~file
+        [ call "RCC_APB2_CLK_ENABLE" [ c 12 ] (* SPI1EN *);
+          store (reg Soc.spi1 cr1) (c 0x34C) (* master, 8-bit, enabled *);
+          ret0 ];
+      func "HAL_SPI_Transmit" [ pw "byte" ] ~file
+        [ store (reg Soc.spi1 dr) (l "byte");
+          load "_s" (reg Soc.spi1 sr);
+          ret0 ];
+      func "HAL_SPI_TransmitReceive" [ pw "byte" ] ~file
+        [ call "HAL_SPI_Transmit" [ l "byte" ];
+          load "rx" (reg Soc.spi1 dr);
+          ret (l "rx") ] ]
+end
+
+(* ------------------------------------------------------------------- i2c *)
+module I2c_hal = struct
+  let file = "stm32f4xx_hal_i2c.c"
+
+  let cr1 = 0x00
+  let dr = 0x10
+
+  let funcs =
+    [ func "HAL_I2C_Init" [] ~file
+        [ call "RCC_APB1_CLK_ENABLE" [ c 21 ] (* I2C1EN *);
+          store (reg Soc.i2c1 cr1) (c 1);
+          ret0 ];
+      func "HAL_I2C_Mem_Write" [ pw "devaddr"; pw "memaddr"; pw "v" ] ~file
+        [ store (reg Soc.i2c1 dr) (l "devaddr");
+          store (reg Soc.i2c1 dr) (l "memaddr");
+          store (reg Soc.i2c1 dr) (l "v");
+          ret0 ];
+      func "HAL_I2C_Mem_Read" [ pw "devaddr"; pw "memaddr" ] ~file
+        [ store (reg Soc.i2c1 dr) (l "devaddr");
+          store (reg Soc.i2c1 dr) (l "memaddr");
+          load "v" (reg Soc.i2c1 dr);
+          ret (l "v") ] ]
+end
+
+(* ------------------------------------------------------------------- adc *)
+module Adc_hal = struct
+  let file = "stm32f4xx_hal_adc.c"
+
+  let sr = 0x00
+  let cr2 = 0x08
+  let dr = 0x4C
+
+  let globals = [ word "adc_last_sample" ]
+
+  let funcs =
+    [ func "HAL_ADC_Init" [] ~file
+        [ call "RCC_APB2_CLK_ENABLE" [ c 8 ] (* ADC1EN *);
+          store (reg Soc.adc1 cr2) (c 1) (* ADON *);
+          ret0 ];
+      func "HAL_ADC_Start" [] ~file
+        [ load "cr" (reg Soc.adc1 cr2);
+          store (reg Soc.adc1 cr2) E.(l "cr" || c 0x40000000);
+          ret0 ];
+      func "HAL_ADC_GetValue" [] ~file
+        [ load "_s" (reg Soc.adc1 sr);
+          load "v" (reg Soc.adc1 dr);
+          store (gv "adc_last_sample") (l "v");
+          ret (l "v") ] ]
+end
+
+(* ------------------------------------------------------------------- rtc *)
+module Rtc_hal = struct
+  let file = "stm32f4xx_hal_rtc.c"
+
+  let tr = 0x00
+  let dr = 0x04
+  let wpr = 0x24
+
+  let globals = [ word "rtc_timestamp" ]
+
+  let funcs =
+    [ func "HAL_RTC_Init" [] ~file
+        [ call "RCC_APB1_CLK_ENABLE" [ c 10 ];
+          (* unlock the write protection with the magic sequence *)
+          store (reg Soc.rtc wpr) (c 0xCA);
+          store (reg Soc.rtc wpr) (c 0x53);
+          ret0 ];
+      func "HAL_RTC_GetTime" [] ~file
+        [ load "t" (reg Soc.rtc tr); ret (l "t") ];
+      func "HAL_RTC_GetDate" [] ~file
+        [ load "d" (reg Soc.rtc dr); ret (l "d") ];
+      func "RTC_ReadTimestamp" [] ~file
+        [ call ~dst:"t" "HAL_RTC_GetTime" [];
+          call ~dst:"d" "HAL_RTC_GetDate" [];
+          store (gv "rtc_timestamp") E.((l "d" << c 17) || l "t");
+          ret0 ] ]
+end
+
+(* ------------------------------------------------------------------- crc *)
+module Crc_hal = struct
+  let file = "stm32f4xx_hal_crc.c"
+
+  let dr = 0x00
+  let cr = 0x08
+
+  let funcs =
+    [ func "HAL_CRC_Init" [] ~file
+        [ call "RCC_AHB1_CLK_ENABLE" [ c 12 ] (* CRCEN *);
+          store (reg Soc.crc_unit cr) (c 1) (* RESET *);
+          ret0 ];
+      (* feed [len] bytes from [buf] through the CRC unit *)
+      func "HAL_CRC_Accumulate" [ pp_ "buf" Ty.Byte; pw "len" ] ~file
+        (for_ "i" (l "len")
+           [ load8 "b" E.(l "buf" + l "i");
+             store (reg Soc.crc_unit dr) (l "b") ]
+        @ [ load "v" (reg Soc.crc_unit dr); ret (l "v") ]) ]
+end
+
+(* ------------------------------------------------------------------ iwdg *)
+module Iwdg_hal = struct
+  let file = "stm32f4xx_hal_iwdg.c"
+
+  let kr = 0x00
+  let rlr = 0x08
+
+  let funcs =
+    [ func "HAL_IWDG_Init" [ pw "reload" ] ~file
+        [ store (reg Soc.iwdg kr) (c 0x5555);
+          store (reg Soc.iwdg rlr) (l "reload");
+          store (reg Soc.iwdg kr) (c 0xCCCC);
+          ret0 ];
+      func "HAL_IWDG_Refresh" [] ~file
+        [ store (reg Soc.iwdg kr) (c 0xAAAA); ret0 ] ]
+end
+
+(* ----------------------------------------------------- msp init chains *)
+(* Peripheral-specific low-level init, the *_MspInit layer of STM32Cube:
+   clock gates, GPIO alternate functions, DMA streams, NVIC lines. *)
+module Msp = struct
+  let file = "stm32f4xx_hal_msp.c"
+
+  let funcs =
+    [ func "HAL_MspInit" [] ~file
+        [ call "RCC_APB2_CLK_ENABLE" [ c 14 ] (* SYSCFGEN *);
+          store (reg Soc.syscfg 0x00) (c 0);
+          ret0 ];
+      func "HAL_UART_MspInit" [] ~file
+        [ call "RCC_APB1_CLK_ENABLE" [ c 17 ] (* USART2EN *);
+          call "RCC_AHB1_CLK_ENABLE" [ c 0 ]  (* GPIOAEN *);
+          call "HAL_GPIO_Init" [ c Soc.gpioa.Peripheral.base; c 2 ];
+          call "HAL_GPIO_Init" [ c Soc.gpioa.Peripheral.base; c 3 ];
+          call "HAL_NVIC_EnableIRQ" [ c 38 ];
+          ret0 ];
+      func "HAL_SD_MspInit" [] ~file
+        [ call "RCC_APB2_CLK_ENABLE" [ c 11 ] (* SDIOEN *);
+          call "RCC_AHB1_CLK_ENABLE" [ c 2 ]  (* GPIOCEN *);
+          call "HAL_GPIO_Init" [ c Soc.gpioc.Peripheral.base; c 8 ];
+          call "HAL_GPIO_Init" [ c Soc.gpioc.Peripheral.base; c 12 ];
+          call "HAL_DMA_Init" [ c 3 ];
+          call "HAL_NVIC_EnableIRQ" [ c 49 ];
+          ret0 ];
+      func "HAL_LTDC_MspInit" [] ~file
+        [ call "RCC_APB2_CLK_ENABLE" [ c 26 ] (* LTDCEN *);
+          call "RCC_AHB1_CLK_ENABLE" [ c 3 ]  (* GPIODEN *);
+          call "HAL_GPIO_Init" [ c Soc.gpiod.Peripheral.base; c 3 ];
+          call "HAL_SPI_Init" [] (* backlight controller *);
+          ret0 ];
+      func "HAL_ETH_MspInit" [] ~file
+        [ call "RCC_AHB1_CLK_ENABLE" [ c 25 ] (* ETHMACEN *);
+          call "RCC_AHB1_CLK_ENABLE" [ c 1 ]  (* GPIOBEN *);
+          call "HAL_GPIO_Init" [ c Soc.gpiob.Peripheral.base; c 11 ];
+          call "HAL_GPIO_Init" [ c Soc.gpiob.Peripheral.base; c 12 ];
+          call "HAL_NVIC_EnableIRQ" [ c 61 ];
+          ret0 ];
+      func "HAL_DCMI_MspInit" [] ~file
+        [ call "RCC_AHB2_CLK_ENABLE" [ c 0 ] (* DCMIEN *);
+          call "RCC_AHB1_CLK_ENABLE" [ c 0 ] (* GPIOAEN *);
+          call "HAL_GPIO_Init" [ c Soc.gpioa.Peripheral.base; c 4 ];
+          call "HAL_DMA_Init" [ c 1 ];
+          call "HAL_I2C_Init" [] (* camera configuration bus *);
+          call "HAL_NVIC_EnableIRQ" [ c 78 ];
+          ret0 ];
+      func "HAL_USB_MspInit" [] ~file
+        [ call "RCC_AHB2_CLK_ENABLE" [ c 7 ] (* OTGFSEN *);
+          call "RCC_AHB1_CLK_ENABLE" [ c 0 ];
+          call "HAL_GPIO_Init" [ c Soc.gpioa.Peripheral.base; c 11 ];
+          call "HAL_GPIO_Init" [ c Soc.gpioa.Peripheral.base; c 12 ];
+          call "HAL_NVIC_EnableIRQ" [ c 67 ];
+          ret0 ] ]
+end
+
+let all_globals =
+  Rcc_hal.globals @ Dma_hal.globals @ Adc_hal.globals @ Rtc_hal.globals
+
+let all_funcs =
+  Rcc_hal.funcs @ Flash_hal.funcs @ Pwr_hal.funcs @ Dma_hal.funcs
+  @ Spi_hal.funcs @ I2c_hal.funcs @ Adc_hal.funcs @ Rtc_hal.funcs
+  @ Crc_hal.funcs @ Iwdg_hal.funcs @ Msp.funcs

@@ -1,0 +1,80 @@
+(* A small first-fit heap allocator written in the firmware IR, running
+   inside a heap arena (Section 5.2: the heap lives in its own section,
+   accessible whole to the operations that use it and never copied at
+   operation switches).
+
+   Arena layout: word0 = initialized flag, word4 = free-list head.
+   Blocks: [size; next] header followed by the payload; size includes
+   the 8-byte header.  [free] pushes blocks back onto the list head
+   (no coalescing, as in many embedded allocators). *)
+
+open Opec_ir
+open Build
+module E = Expr
+
+let file = "heap.c"
+
+let arena_name = "kheap_arena"
+
+let globals ~arena_bytes = [ heap_arena arena_name arena_bytes ]
+
+let funcs ~arena_bytes =
+  [ (* lazily initialize the free list on first use *)
+    func "heap_init" [] ~file
+      [ load "flag" (gv arena_name);
+        if_ E.(l "flag" == c 0)
+          [ (* one free block covering the rest of the arena *)
+            set "first" E.(gv arena_name + c 8);
+            store (l "first") (c (arena_bytes - 8));
+            store E.(l "first" + c 4) (c 0);
+            store E.(gv arena_name + c 4) (l "first");
+            store (gv arena_name) (c 1) ]
+          [];
+        ret0 ];
+    (* first-fit allocation; returns 0 when the arena is exhausted *)
+    func "malloc" [ pw "size" ] ~file
+      [ call "heap_init" [];
+        set "need" E.((l "size" + c 15) && Un (Not, Const 7L));
+        set "prev" (c 0);
+        load "cur" E.(gv arena_name + c 4);
+        set "hit" (c 0);
+        while_ E.(l "cur" != c 0 && l "hit" == c 0)
+          [ load "bsz" (l "cur");
+            if_ E.(l "bsz" >= l "need")
+              [ set "hit" (l "cur") ]
+              [ set "prev" (l "cur");
+                load "cur" E.(l "cur" + c 4) ] ];
+        if_ E.(l "hit" == c 0)
+          [ ret (c 0) ]
+          [ load "bsz" (l "hit");
+            load "nxt" E.(l "hit" + c 4);
+            if_ E.(l "bsz" - l "need" >= c 16)
+              [ (* split: the tail stays on the free list *)
+                set "tail" E.(l "hit" + l "need");
+                store (l "tail") E.(l "bsz" - l "need");
+                store E.(l "tail" + c 4) (l "nxt");
+                store (l "hit") (l "need");
+                set "nxt" (l "tail") ]
+              [];
+            if_ E.(l "prev" == c 0)
+              [ store E.(gv arena_name + c 4) (l "nxt") ]
+              [ store E.(l "prev" + c 4) (l "nxt") ];
+            ret E.(l "hit" + c 8) ] ];
+    func "free" [ pp_ "p" Ty.Byte ] ~file
+      [ if_ E.(l "p" == c 0)
+          [ ret0 ]
+          [ set "blk" E.(l "p" - c 8);
+            load "head" E.(gv arena_name + c 4);
+            store E.(l "blk" + c 4) (l "head");
+            store E.(gv arena_name + c 4) (l "blk");
+            ret0 ] ];
+    (* bytes currently on the free list (for tests and telemetry) *)
+    func "heap_free_bytes" [] ~file
+      [ call "heap_init" [];
+        set "sum" (c 0);
+        load "cur" E.(gv arena_name + c 4);
+        while_ E.(l "cur" != c 0)
+          [ load "bsz" (l "cur");
+            set "sum" E.(l "sum" + l "bsz");
+            load "cur" E.(l "cur" + c 4) ];
+        ret (l "sum") ] ]

@@ -1,0 +1,16 @@
+(** A first-fit heap allocator written in the firmware IR, living inside
+    a heap arena (Section 5.2): the free list itself is stored in the
+    arena, so allocator state is consistent across operation and thread
+    switches without any synchronization.
+
+    Exposed IR functions: [heap_init] (lazy), [malloc size] (0 on
+    exhaustion), [free ptr], [heap_free_bytes]. *)
+
+val file : string
+val arena_name : string
+
+(** The arena global to add to a program's globals. *)
+val globals : arena_bytes:int -> Opec_ir.Global.t list
+
+(** The allocator functions to add to a program. *)
+val funcs : arena_bytes:int -> Opec_ir.Func.t list

@@ -1,0 +1,137 @@
+(* LCD-uSD (STM32479I-EVAL): lists picture files on a FAT volume and
+   presents each on the LCD with fade-in/fade-out effects; the profiling
+   run shows 6 pictures (Section 6.3).  Eleven operations: default,
+   Sd_Setup, Lcd_Setup, FatFs_Mount_Task, Dir_List_Task, File_Open_Task,
+   Picture_Load_Task, Picture_Draw_Task, Fade_Effect_Task,
+   File_Close_Task, Delay_Task. *)
+
+open Opec_ir
+open Build
+module E = Expr
+module M = Opec_machine
+
+let picture_count = 6
+let picture_words = 120 (* 480 bytes of pixels per picture file *)
+
+let globals =
+  Hal.all_globals @ Fatfs.globals
+  @ [ words "lcd_pic_buf" 128;
+      word "pics_found";
+      word "pics_shown";
+      word "current_pic" ]
+
+let app_funcs =
+  [ func "Sd_Setup" [] ~file:"main.c" [ call "BSP_SD_Init" []; ret0 ];
+    func "Lcd_Setup" [] ~file:"main.c"
+      [ call "BSP_LCD_Init" []; call "BSP_LCD_Clear" []; ret0 ];
+    func "FatFs_Mount_Task" [] ~file:"main.c"
+      [ call ~dst:"r" "f_mount" []; ret (l "r") ];
+    (* count directory entries that look like pictures (name id below 256) *)
+    func "Dir_List_Task" [] ~file:"storage.c"
+      [ load "dirb" E.(gv "SDFatFs" + c 4);
+        call "disk_read" [ gv "fatfs_win"; l "dirb" ];
+        set "count" (c 0);
+        set "i" (c 0);
+        while_ E.(l "i" < c 16)
+          [ load "nm" E.(gv "fatfs_win" + (l "i" * c 32));
+            load "st" E.(gv "fatfs_win" + (l "i" * c 32) + c 8);
+            if_ E.(l "st" != c 0 && l "nm" < c 256)
+              [ set "count" E.(l "count" + c 1) ]
+              [];
+            set "i" E.(l "i" + c 1) ];
+        store (gv "pics_found") (l "count");
+        ret (l "count") ];
+    func "File_Open_Task" [ pw "name" ] ~file:"storage.c"
+      [ call ~dst:"r" "f_open" [ l "name" ];
+        store (gv "current_pic") (l "name");
+        ret (l "r") ];
+    func "Picture_Load_Task" [] ~file:"storage.c"
+      [ load "size" E.(gv "MyFile" + c 4);
+        call ~dst:"_n" "f_read" [ gv "lcd_pic_buf"; l "size" ];
+        ret0 ];
+    func "Picture_Draw_Task" [] ~file:"display.c"
+      [ call "BSP_LCD_SetTransparency" [ c 255 ];
+        call "BSP_LCD_DrawPicture" [ gv "lcd_pic_buf"; c picture_words ];
+        load "n" (gv "pics_shown");
+        store (gv "pics_shown") E.(l "n" + c 1);
+        ret0 ];
+    func "Fade_Effect_Task" [] ~file:"display.c"
+      [ call "LCD_FadeIn" [ gv "lcd_pic_buf"; c picture_words ];
+        call "LCD_FadeOut" [ gv "lcd_pic_buf"; c picture_words ];
+        ret0 ];
+    func "File_Close_Task" [] ~file:"storage.c" [ call "f_close" []; ret0 ];
+    func "Delay_Task" [] ~file:"main.c" [ call "HAL_Delay" [ c 24000 ]; ret0 ];
+    func "main" [] ~file:"main.c"
+      [ call "SystemClock_Config" [];
+        call "HAL_Init" [];
+        call "Sd_Setup" [];
+        call "Lcd_Setup" [];
+        call ~dst:"_m" "FatFs_Mount_Task" [];
+        call ~dst:"found" "Dir_List_Task" [];
+        set "i" (c 0);
+        while_ E.(l "i" < l "found")
+          [ call ~dst:"_o" "File_Open_Task" [ E.(l "i" + c 1) ];
+            call "Picture_Load_Task" [];
+            call "Fade_Effect_Task" [];
+            call "Picture_Draw_Task" [];
+            call "Delay_Task" [];
+            call "File_Close_Task" [];
+            set "i" E.(l "i" + c 1) ];
+        halt ] ]
+
+let program () =
+  Program.v ~name:"LCD-uSD" ~globals ~peripherals:Soc.datasheet
+    ~funcs:(Hal.all_funcs @ Fatfs.funcs @ app_funcs) ()
+
+let dev_input =
+  Opec_core.Dev_input.v
+    [ "Sd_Setup"; "Lcd_Setup"; "FatFs_Mount_Task"; "Dir_List_Task";
+      "File_Open_Task"; "Picture_Load_Task"; "Picture_Draw_Task";
+      "Fade_Effect_Task"; "File_Close_Task"; "Delay_Task" ]
+    ~sanitize:
+      [ { Opec_core.Dev_input.sz_global = "pics_shown"; sz_min = 0L;
+          sz_max = 64L } ]
+
+(* a formatted volume holding [n] picture files named 1..n *)
+let format_volume sd n =
+  let head = Bytes.make 512 '\000' in
+  Bytes.set_int32_le head 0 (Int32.of_int Fatfs.magic);
+  Bytes.set_int32_le head 4 1l;
+  Bytes.set_int32_le head 8 2l;
+  M.Sd_card.preload sd 0 (Bytes.to_string head);
+  let dir = Bytes.make 512 '\000' in
+  for i = 0 to n - 1 do
+    let entry = i * 32 in
+    Bytes.set_int32_le dir entry (Int32.of_int (i + 1));        (* name id *)
+    Bytes.set_int32_le dir (entry + 4) (Int32.of_int (picture_words * 4));
+    Bytes.set_int32_le dir (entry + 8) (Int32.of_int (2 + (i * 8)))
+  done;
+  M.Sd_card.preload sd 1 (Bytes.to_string dir);
+  for i = 0 to n - 1 do
+    M.Sd_card.preload sd (2 + (i * 8))
+      (String.init 512 (fun j -> Char.chr (((17 * i) + j) land 0xFF)))
+  done
+
+let make_world () =
+  let sd_dev, sd =
+    M.Sd_card.create ~busy_interval:6000 "SDIO" ~base:Soc.sdio.Peripheral.base
+  in
+  let lcd_dev, lcd = M.Lcd.create "LTDC" ~base:Soc.ltdc.Peripheral.base in
+  let prepare () = format_volume sd picture_count in
+  let check () =
+    (* per picture: 4 fade-in + 4 fade-out + 1 plain draw *)
+    let expected = picture_count * 9 in
+    if M.Lcd.frames lcd <> expected then
+      Error
+        (Printf.sprintf "expected %d LCD frames, saw %d" expected
+           (M.Lcd.frames lcd))
+    else Ok ()
+  in
+  { App.devices = Soc.config_devices () @ [ sd_dev; lcd_dev ]; prepare; check }
+
+let app () =
+  { App.app_name = "LCD-uSD";
+    board = M.Memmap.stm32479i_eval;
+    program = program ();
+    dev_input;
+    make_world }

@@ -1,0 +1,219 @@
+(* lwIP-like TCP/IP substrate implemented in the firmware IR, used by the
+   TCP-Echo workload.  It reproduces the structural properties the paper
+   reports for TCP-Echo:
+   - packet-handling buffers and memory pools shared among several
+     operations (Section 6.2);
+   - protocol dispatch through a function-pointer table, giving the icall
+     the points-to analysis resolves (Table 3);
+   - a [udp_input] handler that exists but never executes, one source of
+     execution-time over-privilege (Section 6.5).
+
+   Model frame format (not wire-accurate, checksum-protected):
+   byte0 ethertype (0x08 = IPv4, 0x06 = ARP), byte1 protocol
+   (6 TCP / 17 UDP; for ARP: 1 request / 2 reply), byte2 checksum (sum of
+   payload bytes mod 256), byte3 TCP flags, byte4 payload length,
+   bytes 5.. payload. *)
+
+open Opec_ir
+open Build
+module E = Expr
+
+let file_pbuf = "pbuf.c"
+let file_ip = "ip4.c"
+let file_tcp = "tcp_in.c"
+let file_udp = "udp.c"
+let file_netif = "ethernetif.c"
+
+let frame_max = 192
+
+let globals =
+  [ (* memory pools, shared among the receive/process/send operations *)
+    bytes "pbuf_pool" 512;
+    word "pbuf_next";
+    word "pbuf_in_use";
+    (* frame staging buffers *)
+    bytes "rx_frame" frame_max;
+    bytes "tx_frame" frame_max;
+    (* protocol dispatch table: [tcp_input; udp_input] *)
+    Global.v "proto_handlers" (Ty.Array (Ty.Pointer Ty.Word, 2));
+    struct_ "tcp_pcb"
+      [ ("state", Ty.Word); ("seqno", Ty.Word); ("ackno", Ty.Word);
+        ("echoed", Ty.Word) ];
+    (* ARP cache: 4 entries of (ip, mac_lo) pairs *)
+    words "arp_cache" 8;
+    word "arp_entries";
+    struct_ "lwip_stats"
+      [ ("rx", Ty.Word); ("tx", Ty.Word); ("drop", Ty.Word);
+        ("tcp", Ty.Word); ("udp", Ty.Word); ("chkerr", Ty.Word) ] ]
+
+let stats_off field =
+  fst (Ty.field_offset
+    (Ty.Struct
+       [ { Ty.field_name = "rx"; field_ty = Ty.Word };
+         { Ty.field_name = "tx"; field_ty = Ty.Word };
+         { Ty.field_name = "drop"; field_ty = Ty.Word };
+         { Ty.field_name = "tcp"; field_ty = Ty.Word };
+         { Ty.field_name = "udp"; field_ty = Ty.Word };
+         { Ty.field_name = "chkerr"; field_ty = Ty.Word } ]) field)
+
+let stat field = E.(gv "lwip_stats" + c (stats_off field))
+
+let bump field =
+  [ load "$st" (stat field); store (stat field) E.(l "$st" + c 1) ]
+
+let funcs =
+  [ (* ----- pbuf pool ----- *)
+    func "pbuf_alloc" [ pw "len" ] ~file:file_pbuf
+      [ load "nxt" (gv "pbuf_next");
+        if_ E.(l "nxt" + l "len" > c 512)
+          [ store (gv "pbuf_next") (c 0); set "nxt" (c 0) ]
+          [];
+        store (gv "pbuf_next") E.(l "nxt" + l "len");
+        load "use" (gv "pbuf_in_use");
+        store (gv "pbuf_in_use") E.(l "use" + c 1);
+        ret E.(gv "pbuf_pool" + l "nxt") ];
+    func "pbuf_free" [ pp_ "p" Ty.Byte ] ~file:file_pbuf
+      [ load "use" (gv "pbuf_in_use");
+        if_ E.(l "use" > c 0)
+          [ store (gv "pbuf_in_use") E.(l "use" - c 1) ]
+          [];
+        ret0 ];
+    (* ----- checksum ----- *)
+    func "inet_chksum" [ pp_ "buf" Ty.Byte; pw "len" ] ~file:file_ip
+      ([ set "sum" (c 0) ]
+      @ for_ "i" (l "len")
+          [ load8 "b" E.(l "buf" + l "i");
+            set "sum" E.((l "sum" + l "b") % c 256) ]
+      @ [ ret (l "sum") ]);
+    (* ----- init: registers the protocol handlers (icall targets) ----- *)
+    func "lwip_init" [] ~file:file_ip
+      [ store (gv "proto_handlers") (fn "tcp_input");
+        store E.(gv "proto_handlers" + c 4) (fn "udp_input");
+        store E.(gv "tcp_pcb" + c 0) (c 1);
+        ret0 ];
+    (* ----- ARP (etharp.c) ----- *)
+    func "etharp_find" [ pw "ip" ] ~file:"etharp.c"
+      [ set "found" E.(c 0 - c 1);
+        set "i" (c 0);
+        load "n" (gv "arp_entries");
+        while_ E.(l "i" < l "n" && l "found" < c 0)
+          [ load "e" E.(gv "arp_cache" + (l "i" * c 8));
+            if_ E.(l "e" == l "ip") [ set "found" (l "i") ] [];
+            set "i" E.(l "i" + c 1) ];
+        ret (l "found") ];
+    func "etharp_update" [ pw "ip"; pw "mac" ] ~file:"etharp.c"
+      [ call ~dst:"idx" "etharp_find" [ l "ip" ];
+        if_ E.(l "idx" < c 0)
+          [ load "n" (gv "arp_entries");
+            if_ E.(l "n" < c 4)
+              [ store E.(gv "arp_cache" + (l "n" * c 8)) (l "ip");
+                store E.(gv "arp_cache" + (l "n" * c 8) + c 4) (l "mac");
+                store (gv "arp_entries") E.(l "n" + c 1) ]
+              [] ]
+          [ store E.(gv "arp_cache" + (l "idx" * c 8) + c 4) (l "mac") ];
+        ret0 ];
+    func "etharp_input" [ pp_ "buf" Ty.Byte ] ~file:"etharp.c"
+      [ load8 "op" E.(l "buf" + c 1);
+        load8 "ip" E.(l "buf" + c 5);
+        load8 "mac" E.(l "buf" + c 6);
+        call "etharp_update" [ l "ip"; l "mac" ];
+        if_ E.(l "op" == c 1)
+          [ (* request: reply with our address through the tx path *)
+            store8 (gv "tx_frame") (c 0x06);
+            store8 E.(gv "tx_frame" + c 1) (c 2);
+            store8 E.(gv "tx_frame" + c 2) (c 0);
+            store8 E.(gv "tx_frame" + c 3) (c 0);
+            store8 E.(gv "tx_frame" + c 4) (c 2);
+            store8 E.(gv "tx_frame" + c 5) (l "ip");
+            store8 E.(gv "tx_frame" + c 6) (c 0x42);
+            call "ETH_TransmitFrame" [ gv "tx_frame"; c 7 ] ]
+          [];
+        ret0 ];
+    (* ----- input path ----- *)
+    func "ethernetif_input" [ pp_ "buf" Ty.Byte ] ~file:file_netif
+      [ load8 "etype" (l "buf");
+        if_ E.(l "etype" == c 0x06)
+          [ call "etharp_input" [ l "buf" ]; ret (c 2) ]
+          [ ret E.(l "etype" == c 0x08) ] ];
+    func "ip_input" [ pp_ "buf" Ty.Byte; pw "len" ] ~file:file_ip
+      ([ load8 "plen" E.(l "buf" + c 4);
+         load8 "want" E.(l "buf" + c 2);
+         call ~dst:"sum" "inet_chksum" [ E.(l "buf" + c 5); l "plen" ] ]
+      @ [ if_ E.(l "sum" != l "want")
+            (bump "chkerr" @ bump "drop" @ [ ret (c 1) ])
+            [ load8 "proto" E.(l "buf" + c 1);
+              set "idx" E.(l "proto" == c 17);
+              load "h" E.(gv "proto_handlers" + (l "idx" * c 4));
+              icall ~dst:"r" (l "h") [ l "buf"; l "len" ];
+              ret (l "r") ] ]);
+    (* ----- TCP ----- *)
+    func "tcp_parse_header" [ pp_ "buf" Ty.Byte ] ~file:file_tcp
+      [ load8 "flags" E.(l "buf" + c 3); ret (l "flags") ];
+    (* the connection state machine: LISTEN -> SYN_RCVD -> ESTABLISHED;
+       data is echoed only on an established connection *)
+    func "tcp_process" [ pw "flags" ] ~file:file_tcp
+      [ load "st" (gv "tcp_pcb");
+        if_ E.(l "st" == c 1 && (l "flags" && c 0x02) != c 0) (* SYN *)
+          [ store (gv "tcp_pcb") (c 2); ret (c 0) ]
+          [ if_ E.(l "st" == c 2 && (l "flags" && c 0x10) != c 0) (* ACK *)
+              [ store (gv "tcp_pcb") (c 3); ret (c 0) ]
+              [ if_ E.(l "st" == c 3 && (l "flags" && c 0x01) != c 0) (* FIN *)
+                  [ store (gv "tcp_pcb") (c 1); ret (c 0) ]
+                  [ ret (l "st") ] ] ] ];
+    func "tcp_input" [ pp_ "buf" Ty.Byte; pw "len" ] ~file:file_tcp
+      ([ call ~dst:"flags" "tcp_parse_header" [ l "buf" ] ]
+      @ bump "tcp"
+      @ [ load "seq" E.(gv "tcp_pcb" + c 4);
+          store E.(gv "tcp_pcb" + c 4) E.(l "seq" + c 1);
+          call ~dst:"_st" "tcp_process" [ l "flags" ];
+          load "st'" (gv "tcp_pcb");
+          if_ E.(l "flags" == c 0x18 && l "st'" != c 0) (* PSH|ACK with a live pcb *)
+            [ call ~dst:"_e" "tcp_echo_recv" [ l "buf"; l "len" ] ]
+            (bump "drop");
+          ret (c 0) ]);
+    func "tcp_echo_recv" [ pp_ "buf" Ty.Byte; pw "len" ] ~file:file_tcp
+      [ load8 "plen" E.(l "buf" + c 4);
+        call "tcp_write" [ E.(l "buf" + c 5); l "plen" ];
+        call "tcp_output" [ l "plen" ];
+        load "e" E.(gv "tcp_pcb" + c 12);
+        store E.(gv "tcp_pcb" + c 12) E.(l "e" + c 1);
+        ret (c 0) ];
+    (* copy the payload into the tx frame behind a fresh header *)
+    func "tcp_write" [ pp_ "data" Ty.Byte; pw "len" ] ~file:file_tcp
+      ([ store8 (gv "tx_frame") (c 0x08);
+         store8 E.(gv "tx_frame" + c 1) (c 6);
+         call ~dst:"sum" "inet_chksum" [ l "data"; l "len" ];
+         store8 E.(gv "tx_frame" + c 2) (l "sum");
+         store8 E.(gv "tx_frame" + c 3) (c 0x18);
+         store8 E.(gv "tx_frame" + c 4) (l "len") ]
+      @ for_ "i" (l "len")
+          [ load8 "b" E.(l "data" + l "i");
+            store8 E.(gv "tx_frame" + c 5 + l "i") (l "b") ]
+      @ [ ret0 ]);
+    func "tcp_output" [ pw "plen" ] ~file:file_tcp
+      (bump "tx"
+      @ [ call "ETH_TransmitFrame" [ gv "tx_frame"; E.(l "plen" + c 5) ];
+          ret0 ]);
+    (* ----- UDP: present in the image, never executed by the workload ----- *)
+    func "udp_input" [ pp_ "buf" Ty.Byte; pw "len" ] ~file:file_udp
+      (bump "udp"
+      @ [ load8 "plen" E.(l "buf" + c 4);
+          call ~dst:"_s" "inet_chksum" [ E.(l "buf" + c 5); l "plen" ];
+          ret (c 0) ]);
+    func "udp_sendto" [ pp_ "buf" Ty.Byte; pw "len" ] ~file:file_udp
+      [ call "ETH_TransmitFrame" [ l "buf"; l "len" ]; ret0 ] ]
+
+(* build one model frame as an OCaml string for the workload harness *)
+let make_frame ~proto ~flags ~payload ~good_checksum =
+  let sum =
+    String.fold_left (fun acc ch -> (acc + Char.code ch) mod 256) 0 payload
+  in
+  let sum = if good_checksum then sum else (sum + 13) mod 256 in
+  let b = Buffer.create (5 + String.length payload) in
+  Buffer.add_char b '\x08';
+  Buffer.add_char b (Char.chr proto);
+  Buffer.add_char b (Char.chr sum);
+  Buffer.add_char b (Char.chr flags);
+  Buffer.add_char b (Char.chr (String.length payload));
+  Buffer.add_string b payload;
+  Buffer.contents b

@@ -1,0 +1,28 @@
+(** lwIP-like TCP/IP substrate in the firmware IR, used by TCP-Echo.
+
+    Reproduces the structural properties the paper reports: memory pools
+    and frame buffers shared among several operations (Section 6.2),
+    protocol dispatch through a function-pointer table (the icall of
+    Table 3), and a [udp_input] handler that exists but never executes
+    (execution-time over-privilege, Section 6.5).  Includes an ARP layer
+    with a small cache and a TCP LISTEN/SYN_RCVD/ESTABLISHED state
+    machine. *)
+
+val file_pbuf : string
+val file_ip : string
+val file_tcp : string
+val file_udp : string
+val file_netif : string
+
+(** Maximum model-frame size the staging buffers hold. *)
+val frame_max : int
+
+val globals : Opec_ir.Global.t list
+val funcs : Opec_ir.Func.t list
+
+(** Build one model frame for the scripted Ethernet device:
+    byte0 ethertype (0x08 IPv4 / 0x06 ARP), byte1 protocol, byte2
+    checksum (corrupted when [good_checksum] is false), byte3 TCP flags,
+    byte4 payload length, then the payload. *)
+val make_frame :
+  proto:int -> flags:int -> payload:string -> good_checksum:bool -> string

@@ -1,0 +1,18 @@
+(** The evaluated workloads and their substrates: SoC datasheet, HAL,
+    FatFs-like filesystem, lwIP-like TCP/IP stack, and the seven
+    applications with scripted device worlds. *)
+
+module Soc = Soc
+module Hal = Hal
+module Fatfs = Fatfs
+module Lwip = Lwip
+module Kheap = Kheap
+module App = App
+module Pinlock = Pinlock
+module Animation = Animation
+module Fatfs_usd = Fatfs_usd
+module Lcd_usd = Lcd_usd
+module Tcp_echo = Tcp_echo
+module Camera = Camera
+module Coremark = Coremark
+module Registry = Registry

@@ -1,0 +1,178 @@
+(* PinLock (paper, Listing 1): a smart lock on the STM32F4-Discovery.
+   Receives a pin over the UART, hashes it, compares against the stored
+   KEY, and drives the lock actuator through a GPIO pin.  Six operations:
+   the default (main + System_Init), Uart_Init, Key_Init, Init_Lock,
+   Unlock_Task, and Lock_Task. *)
+
+open Opec_ir
+open Build
+module E = Expr
+module M = Opec_machine
+
+let pin_len = 4
+let lock_pin = 12 (* GPIOD pin driving the actuator *)
+
+(* the correct pin "1234" *)
+let correct_pin = "1234"
+
+let globals =
+  Hal.all_globals
+  @ [ bytes "PinRxBuffer" 16;
+      words "KEY" 2;
+      word "lock_state";
+      word "unlock_count";
+      word "lock_count";
+      word "profile_rounds" ~init:100L;
+      Global.v "unlock_cb" (Ty.Pointer Ty.Word);
+      string_bytes ~const:true "CorrectPin" 16 correct_pin;
+      string_bytes ~const:true "MsgOk" 4 "OK";
+      string_bytes ~const:true "MsgErr" 4 "ER" ]
+
+(* FNV-1a-style hash over [len] bytes, two 32-bit words of output *)
+let hash_funcs =
+  [ func "hash" [ pp_ "buf" Ty.Byte; pw "len"; pp_ "out" Ty.Word ]
+      ~file:"crypto.c"
+      ([ set "h" (c 0x811C9DC5) ]
+      @ for_ "i" (l "len")
+          [ load8 "b" E.(l "buf" + l "i");
+            set "h" E.((l "h" ^ l "b") * c 0x01000193 && c 0xFFFFFFFF) ]
+      @ [ store (l "out") (l "h");
+          store E.(l "out" + c 4) E.(l "h" ^ c 0x5A5A5A5A);
+          ret0 ]);
+    func "compare" [ pp_ "a" Ty.Word; pp_ "b" Ty.Word; pw "words" ]
+      ~file:"crypto.c"
+      ([ set "eq" (c 1) ]
+      @ for_ "i" (l "words")
+          [ load "x" E.(l "a" + (l "i" * c 4));
+            load "y" E.(l "b" + (l "i" * c 4));
+            if_ E.(l "x" != l "y") [ set "eq" (c 0) ] [] ]
+      @ [ ret (l "eq") ]) ]
+
+let app_funcs =
+  [ func "Battery_Check" [] ~file:"main.c"
+      [ call "HAL_ADC_Init" [];
+        call "HAL_ADC_Start" [];
+        call ~dst:"_mv" "HAL_ADC_GetValue" [];
+        ret0 ];
+    func "Uart_Init" [] ~file:"main.c"
+      [ store (gv "UartHandle") (c Soc.usart2.Peripheral.base);
+        store E.(gv "UartHandle" + c 4) (c 115200);
+        call "HAL_UART_Init" [ gv "UartHandle" ];
+        ret0 ];
+    func "Key_Init" [] ~file:"main.c"
+      [ call "hash" [ gv "CorrectPin"; c pin_len; gv "KEY" ]; ret0 ];
+    func "Init_Lock" [] ~file:"main.c"
+      [ store (gv "unlock_cb") (fn "do_unlock");
+        call "HAL_GPIO_Init" [ c Soc.gpiod.Peripheral.base; c lock_pin ];
+        call "HAL_GPIO_WritePin" [ c Soc.gpiod.Peripheral.base; c lock_pin; c 0 ];
+        store (gv "lock_state") (c 0);
+        ret0 ];
+    func "do_unlock" [] ~file:"lock.c"
+      [ call "HAL_GPIO_WritePin" [ c Soc.gpiod.Peripheral.base; c lock_pin; c 1 ];
+        store (gv "lock_state") (c 1);
+        load "n" (gv "unlock_count");
+        store (gv "unlock_count") E.(l "n" + c 1);
+        ret0 ];
+    func "do_lock" [] ~file:"lock.c"
+      [ call "HAL_GPIO_WritePin" [ c Soc.gpiod.Peripheral.base; c lock_pin; c 0 ];
+        store (gv "lock_state") (c 0);
+        load "n" (gv "lock_count");
+        store (gv "lock_count") E.(l "n" + c 1);
+        ret0 ];
+    func "send_result" [ pw "ok" ] ~file:"main.c"
+      [ if_ E.(l "ok" != c 0)
+          [ call "HAL_UART_Transmit" [ gv "UartHandle"; gv "MsgOk"; c 2 ] ]
+          [ call "HAL_UART_Transmit" [ gv "UartHandle"; gv "MsgErr"; c 2 ] ];
+        ret0 ];
+    func "Unlock_Task" [] ~file:"main.c"
+      [ call "HAL_UART_Receive_IT" [ gv "UartHandle"; gv "PinRxBuffer"; c pin_len ];
+        alloca "result" (Ty.Array (Ty.Word, 2));
+        call "hash" [ gv "PinRxBuffer"; c pin_len; l "result" ];
+        call ~dst:"ok" "compare" [ l "result"; gv "KEY"; c 2 ];
+        if_ E.(l "ok" != c 0)
+          [ load "cb" (gv "unlock_cb"); icall (l "cb") [] ]
+          [];
+        call "send_result" [ l "ok" ];
+        ret0 ];
+    func "Lock_Task" [] ~file:"main.c"
+      [ call "HAL_UART_Receive_IT" [ gv "UartHandle"; gv "PinRxBuffer"; c 1 ];
+        load8 "b" (gv "PinRxBuffer");
+        if_ E.(l "b" == c 48) (* '0' *) [ call "do_lock" [] ] [];
+        ret0 ];
+    func "main" [] ~file:"main.c"
+      [ call "SystemClock_Config" [];
+        call "HAL_Init" [];
+        call "Battery_Check" [];
+        call "Uart_Init" [];
+        call "Key_Init" [];
+        call "Init_Lock" [];
+        load "rounds" (gv "profile_rounds");
+        set "i" (c 0);
+        while_ E.(l "i" < l "rounds")
+          [ call "Unlock_Task" [];
+            call "Lock_Task" [];
+            set "i" E.(l "i" + c 1) ];
+        halt ] ]
+
+let program ?(rounds = 100) () =
+  let globals =
+    List.map
+      (fun (g : Global.t) ->
+        if String.equal g.name "profile_rounds" then
+          { g with Global.init = [ Int64.of_int rounds ] }
+        else g)
+      globals
+  in
+  Program.v ~name:"PinLock" ~globals ~peripherals:Soc.datasheet
+    ~funcs:(Hal.all_funcs @ hash_funcs @ app_funcs)
+    ()
+
+let dev_input =
+  Opec_core.Dev_input.v
+    [ "Uart_Init"; "Key_Init"; "Init_Lock"; "Unlock_Task"; "Lock_Task" ]
+    ~sanitize:
+      [ { Opec_core.Dev_input.sz_global = "lock_state"; sz_min = 0L; sz_max = 1L } ]
+
+let make_world ?(rounds = 100) () =
+  let uart_dev, uart =
+    M.Uart.create ~ready_interval:2000 "USART2"
+      ~base:Soc.usart2.Peripheral.base
+  in
+  let gpiod_dev, gpiod = M.Gpio.create "GPIOD" ~base:Soc.gpiod.Peripheral.base in
+  let prepare () =
+    (* alternate correct and wrong pins; every round also sends the lock
+       command byte '0' *)
+    for i = 1 to rounds do
+      if i mod 2 = 1 then M.Uart.inject uart correct_pin
+      else M.Uart.inject uart "9999";
+      M.Uart.inject uart "0"
+    done
+  in
+  let check () =
+    let sent = M.Uart.transmitted uart in
+    let expected_oks = (rounds + 1) / 2 in
+    let count_sub s sub =
+      let n = String.length s and m = String.length sub in
+      let rec go i acc =
+        if i + m > n then acc
+        else if String.sub s i m = sub then go (i + m) (acc + 1)
+        else go (i + 1) acc
+      in
+      go 0 0
+    in
+    if count_sub sent "OK" <> expected_oks then
+      Error (Printf.sprintf "expected %d OK replies, uart sent %S" expected_oks sent)
+    else if M.Gpio.output gpiod land (1 lsl lock_pin) <> 0 then
+      Error "lock left open after the last lock command"
+    else Ok ()
+  in
+  { App.devices = Soc.config_devices () @ [ uart_dev; gpiod_dev ];
+    prepare;
+    check }
+
+let app ?(rounds = 100) () =
+  { App.app_name = "PinLock";
+    board = M.Memmap.stm32f4_discovery;
+    program = program ~rounds ();
+    dev_input;
+    make_world = (fun () -> make_world ~rounds ()) }

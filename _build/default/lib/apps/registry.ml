@@ -1,0 +1,31 @@
+(* The seven evaluated workloads (paper, Section 6): six representative
+   IoT applications plus the CoreMark benchmark. *)
+
+let pinlock = Pinlock.app
+let animation = Animation.app
+let fatfs_usd = Fatfs_usd.app
+let lcd_usd = Lcd_usd.app
+let tcp_echo = Tcp_echo.app
+let camera = Camera.app
+let coremark = Coremark.app
+
+(* Workloads at their paper-profiling sizes. *)
+let all () =
+  [ pinlock (); animation (); fatfs_usd (); lcd_usd (); tcp_echo ();
+    camera (); coremark () ]
+
+(* Reduced-size variants for quick tests (same code, fewer rounds). *)
+let all_small () =
+  [ pinlock ~rounds:4 (); animation ~pictures:2 (); fatfs_usd ();
+    lcd_usd (); tcp_echo ~valid:2 ~invalid:6 (); camera ();
+    coremark ~iterations:2 () ]
+
+(* The five applications ACES also evaluates (Section 6.4). *)
+let aces_apps () =
+  [ pinlock (); animation (); fatfs_usd (); lcd_usd (); tcp_echo () ]
+
+let find name apps =
+  List.find_opt
+    (fun (a : App.t) ->
+      String.lowercase_ascii a.App.app_name = String.lowercase_ascii name)
+    apps

@@ -1,0 +1,21 @@
+(** The seven evaluated workloads (Section 6). *)
+
+val pinlock : ?rounds:int -> unit -> App.t
+val animation : ?pictures:int -> unit -> App.t
+val fatfs_usd : unit -> App.t
+val lcd_usd : unit -> App.t
+val tcp_echo : ?valid:int -> ?invalid:int -> unit -> App.t
+val camera : unit -> App.t
+val coremark : ?iterations:int -> unit -> App.t
+
+(** Workloads at their paper-profiling sizes. *)
+val all : unit -> App.t list
+
+(** Reduced-size variants for quick tests (same code, fewer rounds). *)
+val all_small : unit -> App.t list
+
+(** The five applications ACES also evaluates (Section 6.4). *)
+val aces_apps : unit -> App.t list
+
+(** Case-insensitive lookup by name. *)
+val find : string -> App.t list -> App.t option

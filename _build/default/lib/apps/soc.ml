@@ -1,0 +1,97 @@
+(* The SoC "datasheet": peripheral address ranges of the STM32F4-family
+   parts on the two evaluation boards.  The OPEC-Compiler checks sliced
+   load/store addresses against this list (paper, Section 4.2). *)
+
+open Opec_ir
+
+let rcc = Peripheral.v "RCC" ~base:0x4002_3800 ~size:0x400
+let flash_ctrl = Peripheral.v "FLASH_CTRL" ~base:0x4002_3C00 ~size:0x400
+let pwr = Peripheral.v "PWR" ~base:0x4000_7000 ~size:0x400
+let gpioa = Peripheral.v "GPIOA" ~base:0x4002_0000 ~size:0x400
+let gpiob = Peripheral.v "GPIOB" ~base:0x4002_0400 ~size:0x400
+let gpioc = Peripheral.v "GPIOC" ~base:0x4002_0800 ~size:0x400
+let gpiod = Peripheral.v "GPIOD" ~base:0x4002_0C00 ~size:0x400
+let usart1 = Peripheral.v "USART1" ~base:0x4001_1000 ~size:0x400
+let usart2 = Peripheral.v "USART2" ~base:0x4000_4400 ~size:0x400
+let tim2 = Peripheral.v "TIM2" ~base:0x4000_0000 ~size:0x400
+let tim3 = Peripheral.v "TIM3" ~base:0x4000_0400 ~size:0x400
+let sdio = Peripheral.v "SDIO" ~base:0x4001_2C00 ~size:0x400
+let ltdc = Peripheral.v "LTDC" ~base:0x4001_6800 ~size:0x400
+let dma2d = Peripheral.v "DMA2D" ~base:0x4002_B000 ~size:0x400
+let eth = Peripheral.v "ETH" ~base:0x4002_8000 ~size:0x1400
+let dcmi = Peripheral.v "DCMI" ~base:0x5005_0000 ~size:0x400
+let usb_fs = Peripheral.v "USB_OTG_FS" ~base:0x5000_0000 ~size:0x400
+let rng = Peripheral.v "RNG" ~base:0x5006_0800 ~size:0x400
+let exti = Peripheral.v "EXTI" ~base:0x4001_3C00 ~size:0x400
+let syscfg = Peripheral.v "SYSCFG" ~base:0x4001_3800 ~size:0x400
+let dma1 = Peripheral.v "DMA1" ~base:0x4002_6000 ~size:0x400
+let dma2 = Peripheral.v "DMA2" ~base:0x4002_6400 ~size:0x400
+let spi1 = Peripheral.v "SPI1" ~base:0x4001_3000 ~size:0x400
+let i2c1 = Peripheral.v "I2C1" ~base:0x4000_5400 ~size:0x400
+let adc1 = Peripheral.v "ADC1" ~base:0x4001_2000 ~size:0x400
+let rtc = Peripheral.v "RTC" ~base:0x4000_2800 ~size:0x400
+let crc_unit = Peripheral.v "CRC" ~base:0x4002_3000 ~size:0x400
+let iwdg = Peripheral.v "IWDG" ~base:0x4000_3000 ~size:0x400
+
+(* core peripherals on the Private Peripheral Bus *)
+let systick = Peripheral.v ~core:true "SYSTICK" ~base:0xE000_E010 ~size:0x10
+let nvic = Peripheral.v ~core:true "NVIC" ~base:0xE000_E100 ~size:0x400
+let scb = Peripheral.v ~core:true "SCB" ~base:0xE000_ED00 ~size:0x90
+let dwt = Peripheral.v ~core:true "DWT" ~base:0xE000_1000 ~size:0x400
+
+let datasheet =
+  [ rcc; flash_ctrl; pwr; gpioa; gpiob; gpioc; gpiod; usart1; usart2; tim2;
+    tim3; sdio; ltdc; dma2d; eth; dcmi; usb_fs; rng; exti; syscfg; dma1;
+    dma2; spi1; i2c1; adc1; rtc; crc_unit; iwdg; systick; nvic; scb; dwt ]
+
+(* --- device instantiation helpers for the workload harness ------------- *)
+
+module M = Opec_machine
+
+(* free-running timer: CNT at +0x24 advances on every read *)
+let timer name ~base ~size =
+  let cnt = ref 0 in
+  let regs = Hashtbl.create 4 in
+  M.Device.v name ~base ~size
+    ~read:(fun off _w ->
+      if off = 0x24 then begin
+        cnt := !cnt + 8;
+        Int64.of_int !cnt
+      end
+      else Option.value (Hashtbl.find_opt regs off) ~default:0L)
+    ~write:(fun off _w v -> Hashtbl.replace regs off v)
+
+(* simple latched-register devices for configuration-only peripherals *)
+let latched name ~base ~size =
+  let regs = Hashtbl.create 8 in
+  M.Device.v name ~base ~size
+    ~read:(fun off _w -> Option.value (Hashtbl.find_opt regs off) ~default:0L)
+    ~write:(fun off _w v -> Hashtbl.replace regs off v)
+
+let config_devices () =
+  [ (* default GPIO ports; worlds that script a port attach their own
+       model for it, which takes precedence on the bus *)
+    latched "GPIOA" ~base:gpioa.Peripheral.base ~size:gpioa.Peripheral.size;
+    latched "GPIOB" ~base:gpiob.Peripheral.base ~size:gpiob.Peripheral.size;
+    latched "GPIOC" ~base:gpioc.Peripheral.base ~size:gpioc.Peripheral.size;
+    latched "GPIOD" ~base:gpiod.Peripheral.base ~size:gpiod.Peripheral.size;
+    latched "RCC" ~base:rcc.Peripheral.base ~size:rcc.Peripheral.size;
+    latched "FLASH_CTRL" ~base:flash_ctrl.Peripheral.base ~size:flash_ctrl.Peripheral.size;
+    latched "PWR" ~base:pwr.Peripheral.base ~size:pwr.Peripheral.size;
+    latched "EXTI" ~base:exti.Peripheral.base ~size:exti.Peripheral.size;
+    latched "SYSCFG" ~base:syscfg.Peripheral.base ~size:syscfg.Peripheral.size;
+    timer "TIM2" ~base:tim2.Peripheral.base ~size:tim2.Peripheral.size;
+    timer "TIM3" ~base:tim3.Peripheral.base ~size:tim3.Peripheral.size;
+    latched "DMA2D" ~base:dma2d.Peripheral.base ~size:dma2d.Peripheral.size;
+    latched "RNG" ~base:rng.Peripheral.base ~size:rng.Peripheral.size;
+    latched "DMA1" ~base:dma1.Peripheral.base ~size:dma1.Peripheral.size;
+    latched "DMA2" ~base:dma2.Peripheral.base ~size:dma2.Peripheral.size;
+    latched "SPI1" ~base:spi1.Peripheral.base ~size:spi1.Peripheral.size;
+    latched "I2C1" ~base:i2c1.Peripheral.base ~size:i2c1.Peripheral.size;
+    latched "ADC1" ~base:adc1.Peripheral.base ~size:adc1.Peripheral.size;
+    latched "RTC" ~base:rtc.Peripheral.base ~size:rtc.Peripheral.size;
+    latched "CRC" ~base:crc_unit.Peripheral.base ~size:crc_unit.Peripheral.size;
+    latched "IWDG" ~base:iwdg.Peripheral.base ~size:iwdg.Peripheral.size;
+    M.Device.v ~core:true "NVIC" ~base:nvic.Peripheral.base
+      ~size:nvic.Peripheral.size
+      ~read:(fun _ _ -> 0L) ~write:(fun _ _ _ -> ()) ]

@@ -1,0 +1,166 @@
+(* TCP-Echo (STM32479I-EVAL): a TCP echo server on the lwIP-like stack.
+   The profiling run handles 5 valid TCP packets and 45 invalid ones
+   (Section 6.3).  Nine operations: default, Netif_Setup, Lwip_Setup,
+   Link_Check_Task, Packet_Receive_Task, Packet_Process_Task,
+   Echo_Report_Task, Timeout_Task, Stats_Task. *)
+
+open Opec_ir
+open Build
+module E = Expr
+module M = Opec_machine
+
+let valid_packets = 5
+let invalid_packets = 45
+
+let globals =
+  Hal.all_globals @ Lwip.globals
+  @ [ word "frames_handled";
+      word "frames_expected" ~init:(Int64.of_int (valid_packets + invalid_packets));
+      word "idle_polls" ]
+
+let app_funcs =
+  [ func "Netif_Setup" [] ~file:"main.c"
+      [ call "BSP_ETH_Init" [];
+        call "HAL_IWDG_Init" [ c 0xFFF ];
+        ret0 ];
+    func "Lwip_Setup" [] ~file:"main.c" [ call "lwip_init" []; ret0 ];
+    func "Link_Check_Task" [] ~file:"main.c"
+      [ load "up" (gv "eth_link_up"); ret (l "up") ];
+    (* pull one frame from the MAC into the staging buffer *)
+    func "Packet_Receive_Task" [] ~file:"app_ethernet.c"
+      [ call ~dst:"_p" "pbuf_alloc" [ c 64 ];
+        call ~dst:"len" "ETH_GetReceivedFrame"
+          [ gv "rx_frame"; c Lwip.frame_max ];
+        ret (l "len") ];
+    func "Packet_Process_Task" [ pw "len" ] ~file:"app_ethernet.c"
+      [ call ~dst:"et" "ethernetif_input" [ gv "rx_frame" ];
+        if_ E.(l "et" != c 0)
+          [ call ~dst:"_r" "ip_input" [ gv "rx_frame"; l "len" ] ]
+          [];
+        load "n" (gv "frames_handled");
+        store (gv "frames_handled") E.(l "n" + c 1);
+        call "pbuf_free" [ gv "pbuf_pool" ];
+        ret0 ];
+    func "Echo_Report_Task" [] ~file:"app_ethernet.c"
+      [ load "e" E.(gv "tcp_pcb" + c 12); ret (l "e") ];
+    func "Timeout_Task" [] ~file:"main.c"
+      [ load "n" (gv "idle_polls");
+        store (gv "idle_polls") E.(l "n" + c 1);
+        call "HAL_IWDG_Refresh" [];
+        ret0 ];
+    func "Stats_Task" [] ~file:"main.c"
+      [ load "rx" (gv "lwip_stats");
+        load "tx" E.(gv "lwip_stats" + c 4);
+        ret E.(l "rx" + l "tx") ];
+    func "main" [] ~file:"main.c"
+      [ call "SystemClock_Config" [];
+        call "HAL_Init" [];
+        call "Netif_Setup" [];
+        call "Lwip_Setup" [];
+        call ~dst:"_up" "Link_Check_Task" [];
+        load "want" (gv "frames_expected");
+        set "done_" (c 0);
+        set "idle" (c 0);
+        while_ E.(l "done_" < l "want")
+          [ call ~dst:"waiting" "ETH_FrameWaiting" [];
+            if_ E.(l "waiting" != c 0)
+              [ call ~dst:"len" "Packet_Receive_Task" [];
+                call "Packet_Process_Task" [ l "len" ];
+                set "done_" E.(l "done_" + c 1) ]
+              [ set "idle" E.(l "idle" + c 1);
+                if_ E.((l "idle" && c 8191) == c 0)
+                  [ call "Timeout_Task" [] ]
+                  [] ] ];
+        call ~dst:"_e" "Echo_Report_Task" [];
+        call ~dst:"_s" "Stats_Task" [];
+        halt ] ]
+
+let program () =
+  Program.v ~name:"TCP-Echo" ~globals ~peripherals:Soc.datasheet
+    ~funcs:(Hal.all_funcs @ Lwip.funcs @ app_funcs) ()
+
+let dev_input =
+  Opec_core.Dev_input.v
+    [ "Netif_Setup"; "Lwip_Setup"; "Link_Check_Task"; "Packet_Receive_Task";
+      "Packet_Process_Task"; "Echo_Report_Task"; "Timeout_Task"; "Stats_Task" ]
+    ~sanitize:
+      [ { Opec_core.Dev_input.sz_global = "frames_handled"; sz_min = 0L;
+          sz_max = 1000L } ]
+
+let make_world ?(valid = valid_packets) ?(invalid = invalid_packets) () =
+  let eth_dev, eth =
+    M.Ethernet.create ~frame_interval:12000 "ETH" ~base:Soc.eth.Peripheral.base
+  in
+  let payloads = Array.init valid (fun i -> Printf.sprintf "echo-%02d" i) in
+  let prepare () =
+    (* interleave valid and invalid traffic like the desktop client *)
+    let vi = ref 0 in
+    let stride = if valid = 0 then max_int else (valid + invalid) / valid in
+    for i = 0 to valid + invalid - 1 do
+      if i mod stride = 0 && !vi < valid then begin
+        M.Ethernet.inject_frame eth
+          (Lwip.make_frame ~proto:6 ~flags:0x18 ~payload:payloads.(!vi)
+             ~good_checksum:true);
+        incr vi
+      end
+      else
+        (* invalid: corrupted checksum, mixed TCP/UDP protocol numbers *)
+        M.Ethernet.inject_frame eth
+          (Lwip.make_frame
+             ~proto:(if i mod 2 = 0 then 6 else 17)
+             ~flags:0x10 ~payload:"junk!" ~good_checksum:false)
+    done;
+    (* top up in case rounding skipped some valid ones *)
+    while !vi < valid do
+      M.Ethernet.inject_frame eth
+        (Lwip.make_frame ~proto:6 ~flags:0x18 ~payload:payloads.(!vi)
+           ~good_checksum:true);
+      incr vi
+    done
+  in
+  let check () =
+    let echoed = ref [] in
+    let rec drain () =
+      match M.Ethernet.pop_transmitted eth with
+      | Some f ->
+        echoed := f :: !echoed;
+        drain ()
+      | None -> ()
+    in
+    drain ();
+    let echoed = List.rev !echoed in
+    if List.length echoed <> valid then
+      Error
+        (Printf.sprintf "expected %d echoes, saw %d" valid
+           (List.length echoed))
+    else
+      let bad =
+        List.exists2
+          (fun frame payload ->
+            String.length frame < 5 + String.length payload
+            || String.sub frame 5 (String.length payload) <> payload)
+          echoed
+          (Array.to_list payloads)
+      in
+      if bad then Error "echoed payload mismatch" else Ok ()
+  in
+  { App.devices = Soc.config_devices () @ [ eth_dev ]; prepare; check }
+
+let app ?(valid = valid_packets) ?(invalid = invalid_packets) () =
+  let total = valid + invalid in
+  let program =
+    let p = program () in
+    { p with
+      Opec_ir.Program.globals =
+        List.map
+          (fun (g : Global.t) ->
+            if String.equal g.name "frames_expected" then
+              { g with Global.init = [ Int64.of_int total ] }
+            else g)
+          p.Opec_ir.Program.globals }
+  in
+  { App.app_name = "TCP-Echo";
+    board = M.Memmap.stm32479i_eval;
+    program;
+    dev_input;
+    make_world = (fun () -> make_world ~valid ~invalid ()) }

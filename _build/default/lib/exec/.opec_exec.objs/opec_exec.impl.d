@@ -1,0 +1,1 @@
+lib/exec/opec_exec.ml: Address_map Interp Trace Vanilla_layout

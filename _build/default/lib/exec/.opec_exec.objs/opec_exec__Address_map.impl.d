@@ -1,0 +1,1 @@
+lib/exec/address_map.ml: Hashtbl List Opec_ir

@@ -1,0 +1,1 @@
+lib/exec/address_map.mli: Opec_ir

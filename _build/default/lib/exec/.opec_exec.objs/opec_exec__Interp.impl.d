@@ -1,0 +1,1 @@
+lib/exec/interp.ml: Address_map Array Expr Fmt Func Hashtbl Instr Int64 List Opec_ir Opec_machine Option Printf Program Trace Ty

@@ -1,0 +1,1 @@
+lib/exec/interp.mli: Address_map Func Opec_ir Opec_machine Program Trace

@@ -1,0 +1,1 @@
+lib/exec/trace.ml: Fmt List String

@@ -1,0 +1,1 @@
+lib/exec/trace.mli: Format

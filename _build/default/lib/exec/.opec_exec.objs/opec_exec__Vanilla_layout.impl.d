@@ -1,0 +1,1 @@
+lib/exec/vanilla_layout.ml: Address_map Global Hashtbl List Opec_ir Opec_machine Program Ty

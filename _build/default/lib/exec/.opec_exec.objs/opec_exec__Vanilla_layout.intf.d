@@ -1,0 +1,1 @@
+lib/exec/vanilla_layout.mli: Address_map Opec_ir Opec_machine Program

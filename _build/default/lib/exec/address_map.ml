@@ -1,0 +1,31 @@
+(* Where the linker placed things: resolves IR-level names to machine
+   addresses.  Produced either by the vanilla layout (baseline binaries) or
+   by the OPEC image builder (instrumented binaries). *)
+
+type t = {
+  global_addr : string -> int;
+  func_addr : string -> int;
+  func_of_addr : int -> string option;
+  stack_top : int;     (** initial stack pointer *)
+  stack_base : int;    (** lowest valid stack address *)
+}
+
+(* Build function code addresses by laying functions out in flash after
+   [code_base], 4 bytes per instruction (see Program.code_size_of_func). *)
+let layout_functions ~code_base (p : Opec_ir.Program.t) =
+  let tbl = Hashtbl.create 64 in
+  let rev = Hashtbl.create 64 in
+  let next = ref code_base in
+  List.iter
+    (fun (f : Opec_ir.Func.t) ->
+      Hashtbl.add tbl f.name !next;
+      Hashtbl.add rev !next f.name;
+      next := !next + Opec_ir.Program.code_size_of_func f)
+    p.funcs;
+  let func_addr name =
+    match Hashtbl.find_opt tbl name with
+    | Some a -> a
+    | None -> invalid_arg ("Address_map.func_addr: " ^ name)
+  in
+  let func_of_addr a = Hashtbl.find_opt rev a in
+  (func_addr, func_of_addr, !next)

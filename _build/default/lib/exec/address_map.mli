@@ -1,0 +1,17 @@
+(** Where the linker placed things: name-to-address resolution produced
+    by the vanilla layout (baselines) or the OPEC image builder. *)
+
+type t = {
+  global_addr : string -> int;
+  func_addr : string -> int;
+  func_of_addr : int -> string option;  (** for indirect calls *)
+  stack_top : int;                      (** initial stack pointer *)
+  stack_base : int;                     (** lowest valid stack address *)
+}
+
+(** Lay functions out in flash from [code_base] using the program's
+    code-size model; returns lookup functions and the end address. *)
+val layout_functions :
+  code_base:int ->
+  Opec_ir.Program.t ->
+  (string -> int) * (int -> string option) * int

@@ -1,0 +1,335 @@
+(* The firmware interpreter.
+
+   Executes the structured IR against the machine model.  Every memory
+   access (loads, stores, memcpy/memset, spilled arguments) goes through
+   the bus, so the MPU and privilege checks fire exactly where they would
+   on hardware.  Supervisor calls and faults are delivered to a pluggable
+   handler — OPEC-Monitor in instrumented runs, an abort-everything
+   handler in baseline runs.
+
+   Operation switching: the image marks operation entry functions.  When a
+   call targets one, the interpreter performs the SVC protocol of
+   Section 5.3: it traps to the handler with the evaluated arguments (the
+   handler sanitizes/synchronizes globals, relocates stack data and
+   rewrites the pointer arguments, reconfigures the MPU) and then invokes
+   the entry with the arguments the handler returned; a second trap fires
+   when the entry returns. *)
+
+open Opec_ir
+module M = Opec_machine
+
+exception Aborted of string
+exception Fuel_exhausted
+
+type access_desc =
+  | Access_load of { addr : int; width : int }
+  | Access_store of { addr : int; width : int; value : int64 }
+
+type fault_action = Retry | Abort of string
+type bus_action = Emulated of int64 | Bus_abort of string
+
+type handler = {
+  on_operation_enter : entry:Func.t -> args:int64 array -> int64 array;
+  on_operation_exit : entry:Func.t -> unit;
+  on_mem_fault : access_desc -> M.Fault.info -> fault_action;
+  on_bus_fault : access_desc -> M.Fault.info -> bus_action;
+  on_svc : int -> unit;
+}
+
+(* Baseline handler: no monitor; any fault kills the firmware, any SVC is
+   ignored (baseline images contain none). *)
+let abort_handler =
+  { on_operation_enter = (fun ~entry:_ ~args -> args);
+    on_operation_exit = (fun ~entry:_ -> ());
+    on_mem_fault =
+      (fun _ info -> Abort (Fmt.str "MemManage: %a" M.Fault.pp_info info));
+    on_bus_fault =
+      (fun _ info -> Bus_abort (Fmt.str "BusFault: %a" M.Fault.pp_info info));
+    on_svc = (fun _ -> ()) }
+
+type t = {
+  program : Program.t;
+  funcs : Func.t Program.String_map.t;
+  bus : M.Bus.t;
+  map : Address_map.t;
+  mutable handler : handler;
+  trace : Trace.t;
+  entries : (string, unit) Hashtbl.t;  (** operation entry functions *)
+  mutable fuel : int;
+  mutable depth : int;
+  max_depth : int;
+  (* switch bookkeeping for metrics *)
+  mutable operation_switches : int;
+}
+
+let create ?(fuel = 200_000_000) ?(max_depth = 200) ?(handler = abort_handler)
+    ?(entries = []) ~bus ~map program =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace tbl e ()) entries;
+  { program;
+    funcs = Program.func_map program;
+    bus;
+    map;
+    handler;
+    trace = Trace.create ();
+    entries = tbl;
+    fuel;
+    depth = 0;
+    max_depth;
+    operation_switches = 0 }
+
+let cpu t = t.bus.M.Bus.cpu
+let set_handler t handler = t.handler <- handler
+let trace t = t.trace
+let cycles t = M.Cpu.cycles (cpu t)
+let switches t = t.operation_switches
+
+exception Halted
+exception Returning of int64
+
+(* --- environment ------------------------------------------------------ *)
+
+module Env = struct
+  type t = (string, int64) Hashtbl.t
+
+  let create () : t = Hashtbl.create 16
+  let get env x =
+    match Hashtbl.find_opt env x with
+    | Some v -> v
+    | None -> raise (M.Fault.Usage (Printf.sprintf "use of undefined local %s" x))
+
+  let set env x v = Hashtbl.replace env x v
+end
+
+(* --- expression evaluation -------------------------------------------- *)
+
+let truthy v = not (Int64.equal v 0L)
+
+let rec eval t env (e : Expr.t) =
+  M.Cpu.charge (cpu t) 1;
+  match e with
+  | Expr.Const n -> n
+  | Expr.Local x -> Env.get env x
+  | Expr.Global_addr g -> Int64.of_int (t.map.Address_map.global_addr g)
+  | Expr.Func_addr f -> Int64.of_int (t.map.Address_map.func_addr f)
+  | Expr.Un (Expr.Neg, a) -> Int64.neg (eval t env a)
+  | Expr.Un (Expr.Not, a) -> Int64.lognot (eval t env a)
+  | Expr.Bin (op, a, b) -> (
+    let va = eval t env a in
+    let vb = eval t env b in
+    match Expr.eval_bin op va vb with
+    | Some v -> v
+    | None -> raise (M.Fault.Usage "division by zero"))
+
+(* --- MPU-checked access with fault delivery --------------------------- *)
+
+let rec checked_load t addr width =
+  try M.Bus.read t.bus addr width with
+  | M.Fault.Mem_manage info -> (
+    let desc = Access_load { addr; width } in
+    match t.handler.on_mem_fault desc info with
+    | Retry -> checked_load t addr width
+    | Abort msg -> raise (Aborted msg))
+  | M.Fault.Bus info -> (
+    let desc = Access_load { addr; width } in
+    match t.handler.on_bus_fault desc info with
+    | Emulated v -> v
+    | Bus_abort msg -> raise (Aborted msg))
+
+let rec checked_store t addr width v =
+  try M.Bus.write t.bus addr width v with
+  | M.Fault.Mem_manage info -> (
+    let desc = Access_store { addr; width; value = v } in
+    match t.handler.on_mem_fault desc info with
+    | Retry -> checked_store t addr width v
+    | Abort msg -> raise (Aborted msg))
+  | M.Fault.Bus info -> (
+    let desc = Access_store { addr; width; value = v } in
+    match t.handler.on_bus_fault desc info with
+    | Emulated _ -> ()
+    | Bus_abort msg -> raise (Aborted msg))
+
+(* --- instruction execution -------------------------------------------- *)
+
+let spill_threshold = 4 (* first four arguments travel in registers *)
+
+let rec exec_block t env block =
+  List.iter (exec_instr t env) block
+
+and exec_instr t env instr =
+  if t.fuel <= 0 then raise Fuel_exhausted;
+  t.fuel <- t.fuel - 1;
+  M.Cpu.charge (cpu t) 1;
+  match instr with
+  | Instr.Nop -> ()
+  | Instr.Let (x, e) -> Env.set env x (eval t env e)
+  | Instr.Load (x, w, a) ->
+    let addr = Int64.to_int (eval t env a) in
+    Env.set env x (checked_load t addr (Instr.width_bytes w))
+  | Instr.Store (w, a, v) ->
+    let addr = Int64.to_int (eval t env a) in
+    let v = eval t env v in
+    checked_store t addr (Instr.width_bytes w) v
+  | Instr.Alloca (x, ty) ->
+    let c = cpu t in
+    let size = (Ty.size_of ty + 7) land lnot 7 in
+    let sp = c.M.Cpu.sp - size in
+    if sp < c.M.Cpu.stack_base then raise (Aborted "stack overflow");
+    c.M.Cpu.sp <- sp;
+    Env.set env x (Int64.of_int sp)
+  | Instr.Call (dst, callee, args) ->
+    let fname =
+      match callee with
+      | Instr.Direct f -> f
+      | Instr.Indirect e ->
+        let addr = Int64.to_int (eval t env e) in
+        (match t.map.Address_map.func_of_addr addr with
+        | Some f -> f
+        | None ->
+          raise
+            (Aborted (Printf.sprintf "indirect call to non-function 0x%08X" addr)))
+    in
+    let argv = List.map (eval t env) args in
+    let ret = call t fname argv in
+    Option.iter (fun x -> Env.set env x ret) dst
+  | Instr.If (c, a, b) ->
+    if truthy (eval t env c) then exec_block t env a else exec_block t env b
+  | Instr.While (c, body) ->
+    let rec loop () =
+      if t.fuel <= 0 then raise Fuel_exhausted;
+      if truthy (eval t env c) then begin
+        exec_block t env body;
+        loop ()
+      end
+    in
+    loop ()
+  | Instr.Return e ->
+    let v = match e with None -> 0L | Some e -> eval t env e in
+    raise (Returning v)
+  | Instr.Memcpy (d, s, n) ->
+    let dst = Int64.to_int (eval t env d) in
+    let src = Int64.to_int (eval t env s) in
+    let len = Int64.to_int (eval t env n) in
+    let rec go off =
+      if off < len then begin
+        let w = if len - off >= 4 && (dst + off) land 3 = 0 && (src + off) land 3 = 0 then 4 else 1 in
+        checked_store t (dst + off) w (checked_load t (src + off) w);
+        go (off + w)
+      end
+    in
+    go 0
+  | Instr.Memset (d, v, n) ->
+    let dst = Int64.to_int (eval t env d) in
+    let v = eval t env v in
+    let len = Int64.to_int (eval t env n) in
+    let word =
+      let b = Int64.logand v 0xFFL in
+      List.fold_left
+        (fun acc sh -> Int64.logor acc (Int64.shift_left b sh))
+        0L [ 0; 8; 16; 24 ]
+    in
+    let rec go off =
+      if off < len then begin
+        let w = if len - off >= 4 && (dst + off) land 3 = 0 then 4 else 1 in
+        checked_store t (dst + off) w (if w = 4 then word else v);
+        go (off + w)
+      end
+    in
+    go 0
+  | Instr.Svc n -> t.handler.on_svc n
+  | Instr.Halt -> raise Halted
+
+(* --- function calls ---------------------------------------------------- *)
+
+and call t fname argv =
+  let f =
+    match Program.String_map.find_opt fname t.funcs with
+    | Some f -> f
+    | None -> raise (Aborted ("call to undefined function " ^ fname))
+  in
+  (* instruction-fetch permission for the callee's first instruction *)
+  (try M.Bus.check_execute t.bus (t.map.Address_map.func_addr fname)
+   with
+  | M.Fault.Mem_manage info | M.Fault.Bus info ->
+    raise (Aborted (Fmt.str "execute fault entering %s: %a" fname M.Fault.pp_info info)));
+  if t.depth >= t.max_depth then raise (Aborted "call depth exceeded");
+  if Hashtbl.mem t.entries fname then call_operation t f argv
+  else call_plain t f argv
+
+and call_plain t (f : Func.t) argv =
+  let c = cpu t in
+  let saved_sp = c.M.Cpu.sp in
+  (* arguments beyond the register set travel on the caller's stack *)
+  let argv = Array.of_list argv in
+  let spill_count = max 0 (Array.length argv - spill_threshold) in
+  if spill_count > 0 then begin
+    let base = c.M.Cpu.sp - (spill_count * 4) in
+    if base < c.M.Cpu.stack_base then raise (Aborted "stack overflow");
+    c.M.Cpu.sp <- base;
+    for i = 0 to spill_count - 1 do
+      checked_store t (base + (i * 4)) 4 argv.(spill_threshold + i)
+    done;
+    (* the callee reads them back *)
+    for i = 0 to spill_count - 1 do
+      argv.(spill_threshold + i) <- checked_load t (base + (i * 4)) 4
+    done
+  end;
+  M.Cpu.charge c 2;
+  Trace.record t.trace (Trace.Call f.name);
+  t.depth <- t.depth + 1;
+  let env = Env.create () in
+  List.iteri
+    (fun i (x, _ty) ->
+      Env.set env x (if i < Array.length argv then argv.(i) else 0L))
+    f.params;
+  let ret =
+    match exec_block t env f.body with
+    | () -> 0L
+    | exception Returning v -> v
+  in
+  t.depth <- t.depth - 1;
+  Trace.record t.trace (Trace.Return f.name);
+  c.M.Cpu.sp <- saved_sp;
+  ret
+
+(* Operation switch protocol: SVC trap in, run entry, SVC trap out. *)
+and call_operation t (f : Func.t) argv =
+  let c = cpu t in
+  let saved_sp = c.M.Cpu.sp in
+  M.Cpu.charge c 4 (* SVC entry/exit pipeline cost *);
+  let argv = Array.of_list argv in
+  let argv' =
+    M.Cpu.with_privilege c (fun () -> t.handler.on_operation_enter ~entry:f ~args:argv)
+  in
+  t.operation_switches <- t.operation_switches + 1;
+  Trace.record t.trace (Trace.Op_enter f.name);
+  t.depth <- t.depth + 1;
+  let env = Env.create () in
+  List.iteri
+    (fun i (x, _ty) ->
+      Env.set env x (if i < Array.length argv' then argv'.(i) else 0L))
+    f.params;
+  let finish () =
+    M.Cpu.charge c 4;
+    M.Cpu.with_privilege c (fun () -> t.handler.on_operation_exit ~entry:f);
+    t.depth <- t.depth - 1;
+    Trace.record t.trace (Trace.Op_exit f.name);
+    c.M.Cpu.sp <- saved_sp
+  in
+  match exec_block t env f.body with
+  | () -> finish (); 0L
+  | exception Returning v -> finish (); v
+  | exception e -> finish (); raise e
+
+(* --- program entry ------------------------------------------------------ *)
+
+let run ?(reset_stack = true) t =
+  let c = cpu t in
+  if reset_stack then begin
+    c.M.Cpu.sp <- t.map.Address_map.stack_top;
+    c.M.Cpu.stack_base <- t.map.Address_map.stack_base;
+    c.M.Cpu.stack_limit <- t.map.Address_map.stack_top
+  end;
+  match call t t.program.Program.main [] with
+  | _ -> ()
+  | exception Halted -> ()

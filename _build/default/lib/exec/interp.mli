@@ -1,0 +1,86 @@
+(** The firmware interpreter.
+
+    Executes the structured IR against the machine model; every memory
+    access goes through the bus so MPU and privilege checks fire where
+    hardware would fire them.  Supervisor calls and faults are delivered
+    to a pluggable {!handler} — OPEC-Monitor in protected runs. *)
+
+open Opec_ir
+
+(** Runtime termination with a diagnostic (isolation violation,
+    sanitization failure, stack overflow, ...). *)
+exception Aborted of string
+
+(** The instruction budget ran out (runaway program). *)
+exception Fuel_exhausted
+
+(** Description of a faulting access, given to fault handlers so the
+    monitor can emulate or retry it. *)
+type access_desc =
+  | Access_load of { addr : int; width : int }
+  | Access_store of { addr : int; width : int; value : int64 }
+
+type fault_action =
+  | Retry           (** re-execute the access (the handler fixed the MPU) *)
+  | Abort of string
+
+type bus_action =
+  | Emulated of int64  (** the handler performed the access *)
+  | Bus_abort of string
+
+(** Trap interface (the monitor).  [on_operation_enter] receives the
+    evaluated arguments of a call to an operation entry and returns the
+    (possibly relocated) arguments to run it with; [on_operation_exit]
+    fires when the entry returns.  Both run at the privileged level. *)
+type handler = {
+  on_operation_enter : entry:Func.t -> args:int64 array -> int64 array;
+  on_operation_exit : entry:Func.t -> unit;
+  on_mem_fault : access_desc -> Opec_machine.Fault.info -> fault_action;
+  on_bus_fault : access_desc -> Opec_machine.Fault.info -> bus_action;
+  on_svc : int -> unit;
+}
+
+(** Baseline handler: no monitor, any fault aborts. *)
+val abort_handler : handler
+
+type t
+
+(** [create ~bus ~map program] builds an interpreter.  [entries] lists
+    the operation entry functions (calls to them run the SVC switch
+    protocol); [fuel] bounds executed instructions; [max_depth] bounds
+    the call stack. *)
+val create :
+  ?fuel:int ->
+  ?max_depth:int ->
+  ?handler:handler ->
+  ?entries:string list ->
+  bus:Opec_machine.Bus.t ->
+  map:Address_map.t ->
+  Program.t ->
+  t
+
+val cpu : t -> Opec_machine.Cpu.t
+
+(** Replace the trap handler (used by the cooperative-thread scheduler
+    to interpose on the yield SVC). *)
+val set_handler : t -> handler -> unit
+
+(** The execution trace collected so far. *)
+val trace : t -> Trace.t
+
+(** Cycles charged so far (the DWT measurement). *)
+val cycles : t -> int64
+
+(** Operation switches performed. *)
+val switches : t -> int
+
+(** Normal termination via the [Halt] instruction. *)
+exception Halted
+
+(** Call a function by name with argument values. *)
+val call : t -> string -> int64 list -> int64
+
+(** Run the program from [main]; returns on [Halt] or when [main]
+    returns.  [reset_stack] (default true) initializes SP from the
+    address map. *)
+val run : ?reset_stack:bool -> t -> unit

@@ -1,0 +1,6 @@
+(** IR interpreter with MPU/privilege enforcement and trap delivery. *)
+
+module Trace = Trace
+module Address_map = Address_map
+module Vanilla_layout = Vanilla_layout
+module Interp = Interp

@@ -1,0 +1,66 @@
+(* Execution trace at function granularity.
+
+   This replaces the paper's GDB single-stepping (Section 6.4): the
+   interpreter records call/return events natively, and the metrics layer
+   segments them into tasks to compute the execution-time over-privilege
+   value. *)
+
+type event =
+  | Call of string          (** function entered *)
+  | Return of string        (** function returned *)
+  | Op_enter of string      (** operation switch: entering entry function *)
+  | Op_exit of string       (** operation switch: leaving entry function *)
+
+type t = { mutable events : event list; mutable enabled : bool }
+
+let create () = { events = []; enabled = true }
+let record t e = if t.enabled then t.events <- e :: t.events
+let events t = List.rev t.events
+let clear t = t.events <- []
+
+(* Functions executed anywhere in the trace. *)
+let executed_functions t =
+  List.filter_map (function Call f -> Some f | Return _ | Op_enter _ | Op_exit _ -> None)
+    (events t)
+  |> List.sort_uniq String.compare
+
+(* Segment the trace into task instances: a task spans an [Op_enter e]
+   (or, in an uninstrumented run, a [Call e] to a designated task entry at
+   nesting depth relative to its return) until the matching exit.  Returns
+   (entry, executed functions) per task instance. *)
+let tasks ~entries t =
+  let is_entry f = List.mem f entries in
+  let finished = ref [] in
+  (* stack of (entry, functions accumulated) for nested tasks *)
+  let active = ref [] in
+  let push_funcs f =
+    active := List.map (fun (e, fs) -> (e, f :: fs)) !active
+  in
+  let handle_enter f =
+    if is_entry f then active := (f, [ f ]) :: List.map (fun (e, fs) -> (e, f :: fs)) !active
+    else push_funcs f
+  in
+  let handle_exit f =
+    if is_entry f then
+      match !active with
+      | (e, fs) :: rest when String.equal e f ->
+        finished := (e, List.sort_uniq String.compare fs) :: !finished;
+        active := rest
+      | _ -> ()
+  in
+  List.iter
+    (function
+      | Call f | Op_enter f -> handle_enter f
+      | Return f | Op_exit f -> handle_exit f)
+    (events t);
+  (* tasks still open at the end of the run (e.g. the main loop) *)
+  List.iter
+    (fun (e, fs) -> finished := (e, List.sort_uniq String.compare fs) :: !finished)
+    !active;
+  List.rev !finished
+
+let pp_event fmt = function
+  | Call f -> Fmt.pf fmt "call %s" f
+  | Return f -> Fmt.pf fmt "ret %s" f
+  | Op_enter f -> Fmt.pf fmt "op+ %s" f
+  | Op_exit f -> Fmt.pf fmt "op- %s" f

@@ -1,0 +1,29 @@
+(** Execution trace at function granularity — the stand-in for the
+    paper's GDB single-stepping (Section 6.4). *)
+
+type event =
+  | Call of string      (** function entered *)
+  | Return of string    (** function returned *)
+  | Op_enter of string  (** operation switch: entering an entry function *)
+  | Op_exit of string   (** operation switch: leaving an entry function *)
+
+type t = { mutable events : event list; mutable enabled : bool }
+
+val create : unit -> t
+val record : t -> event -> unit
+
+(** Events in execution order. *)
+val events : t -> event list
+
+val clear : t -> unit
+
+(** Functions executed anywhere in the trace, sorted and deduplicated. *)
+val executed_functions : t -> string list
+
+(** Segment the trace into task instances: each call to a function in
+    [entries] opens a task that spans until the matching return.
+    Returns [(entry, executed functions)] per instance; tasks still open
+    at the end of the run (e.g. the main loop) are included. *)
+val tasks : entries:string list -> t -> (string * string list) list
+
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,80 @@
+(* Baseline ("vanilla") linker layout: code then read-only data in flash,
+   data globals packed in SRAM, stack at the top of SRAM.  This is the
+   unprotected image OPEC is compared against (Section 6). *)
+
+open Opec_ir
+
+type t = {
+  map : Address_map.t;
+  flash_used : int;     (** code + read-only data bytes *)
+  sram_used : int;      (** data globals bytes (excluding stack) *)
+  data_base : int;
+  data_limit : int;
+}
+
+let align a n = (n + a - 1) / a * a
+
+let make ?(stack_size = 16 * 1024) ~(board : Opec_machine.Memmap.board)
+    (p : Program.t) =
+  let func_addr, func_of_addr, code_end =
+    Address_map.layout_functions ~code_base:Opec_machine.Memmap.flash_base p
+  in
+  (* const globals in flash after the code *)
+  let globals = Hashtbl.create 64 in
+  let flash_cursor = ref (align 4 code_end) in
+  List.iter
+    (fun (g : Global.t) ->
+      if g.const then begin
+        let a = align (Ty.alignment g.ty) !flash_cursor in
+        Hashtbl.add globals g.name a;
+        flash_cursor := a + Global.size g
+      end)
+    p.globals;
+  (* data globals packed in SRAM *)
+  let data_base = Opec_machine.Memmap.sram_base in
+  let sram_cursor = ref data_base in
+  List.iter
+    (fun (g : Global.t) ->
+      if not g.const then begin
+        let a = align (Ty.alignment g.ty) !sram_cursor in
+        Hashtbl.add globals g.name a;
+        sram_cursor := a + Global.size g
+      end)
+    p.globals;
+  let data_limit = !sram_cursor in
+  let stack_top = Opec_machine.Memmap.sram_base + board.sram_size in
+  let stack_base = stack_top - stack_size in
+  if stack_base < data_limit then invalid_arg "Vanilla_layout: SRAM exhausted";
+  let global_addr name =
+    match Hashtbl.find_opt globals name with
+    | Some a -> a
+    | None -> invalid_arg ("Vanilla_layout.global_addr: " ^ name)
+  in
+  { map =
+      { Address_map.global_addr; func_addr; func_of_addr; stack_top; stack_base };
+    flash_used = !flash_cursor - Opec_machine.Memmap.flash_base;
+    sram_used = data_limit - data_base;
+    data_base;
+    data_limit }
+
+(* Write every global's initial value through the bus (raw: the loader
+   runs before the MPU is armed). *)
+let load_initial_values (bus : Opec_machine.Bus.t) ~global_addr
+    (p : Program.t) =
+  List.iter
+    (fun (g : Global.t) ->
+      let addr = global_addr g.name in
+      let size = Global.size g in
+      (* zero first *)
+      let rec zero off =
+        if off < size then begin
+          let w = if size - off >= 4 then 4 else 1 in
+          Opec_machine.Bus.write_raw bus (addr + off) w 0L;
+          zero (off + w)
+        end
+      in
+      if not g.const || g.init <> [] then zero 0;
+      List.iteri
+        (fun i v -> Opec_machine.Bus.write_raw bus (addr + (i * 4)) 4 v)
+        g.init)
+    p.globals

@@ -1,0 +1,21 @@
+(** Baseline ("vanilla") linker layout: code then read-only data in
+    flash, data globals packed in SRAM, stack at the top — the
+    unprotected image OPEC is compared against (Section 6). *)
+
+open Opec_ir
+
+type t = {
+  map : Address_map.t;
+  flash_used : int;  (** code + read-only data bytes *)
+  sram_used : int;   (** data-global bytes (excluding stack) *)
+  data_base : int;
+  data_limit : int;
+}
+
+val align : int -> int -> int
+val make : ?stack_size:int -> board:Opec_machine.Memmap.board -> Program.t -> t
+
+(** Write every global's initial value through the bus (raw: the loader
+    runs before the MPU is armed). *)
+val load_initial_values :
+  Opec_machine.Bus.t -> global_addr:(string -> int) -> Program.t -> unit

@@ -1,0 +1,1 @@
+lib/ir/opec_ir.ml: Build Expr Func Global Instr Peripheral Program Ty

@@ -1,0 +1,1 @@
+lib/ir/build.ml: Char Expr Func Global Instr Int64 List Option Peripheral String Ty

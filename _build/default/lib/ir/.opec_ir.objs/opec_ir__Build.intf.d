@@ -1,0 +1,1 @@
+lib/ir/build.mli: Expr Func Global Instr Peripheral Ty

@@ -1,0 +1,1 @@
+lib/ir/expr.ml: Fmt Int64 Option

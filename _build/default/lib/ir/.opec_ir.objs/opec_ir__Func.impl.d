@@ -1,0 +1,1 @@
+lib/ir/func.ml: Fmt Instr List Ty

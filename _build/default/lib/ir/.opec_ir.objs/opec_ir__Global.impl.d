@@ -1,0 +1,1 @@
+lib/ir/global.ml: Fmt Ty

@@ -1,0 +1,1 @@
+lib/ir/global.mli: Format Ty

@@ -1,0 +1,1 @@
+lib/ir/peripheral.ml: Fmt List

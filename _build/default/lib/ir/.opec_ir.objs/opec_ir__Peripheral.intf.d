@@ -1,0 +1,1 @@
+lib/ir/peripheral.mli: Format

@@ -1,0 +1,1 @@
+lib/ir/program.ml: Expr Fmt Func Global Hashtbl Instr List Map Peripheral Printf Set String

@@ -1,0 +1,1 @@
+lib/ir/program.mli: Format Func Global Map Peripheral Set

@@ -1,0 +1,1 @@
+lib/ir/ty.ml: Fmt List String

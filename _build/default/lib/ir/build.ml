@@ -1,0 +1,78 @@
+(* Terse construction helpers used by the bundled applications and tests.
+
+   The DSL mirrors the C the paper's firmware is written in: globals,
+   HAL-style functions, MMIO register reads/writes by datasheet address. *)
+
+let word ?init ?(const = false) name =
+  Global.v ?init:(Option.map (fun v -> [ v ]) init) ~const name Ty.Word
+
+let bytes ?init ?(const = false) name n =
+  Global.v ?init ~const name (Ty.Array (Ty.Byte, n))
+
+let words ?init ?(const = false) name n =
+  Global.v ?init ~const name (Ty.Array (Ty.Word, n))
+
+(* Pack a string into little-endian init words for a byte-array global. *)
+let pack_string s =
+  let n = (String.length s + 3) / 4 in
+  List.init n (fun w ->
+      let byte i =
+        if (w * 4) + i < String.length s then
+          Int64.of_int (Char.code s.[(w * 4) + i])
+        else 0L
+      in
+      List.fold_left
+        (fun acc i -> Int64.logor acc (Int64.shift_left (byte i) (8 * i)))
+        0L [ 0; 1; 2; 3 ])
+
+(* a heap arena: placed in the separate heap section (Section 5.2) *)
+let heap_arena name n = Global.v ~heap:true name (Ty.Array (Ty.Byte, n))
+
+let string_bytes ?(const = false) name n s =
+  Global.v ~init:(pack_string s) ~const name (Ty.Array (Ty.Byte, n))
+
+let struct_ ?init ?(const = false) name fields =
+  let fields =
+    List.map (fun (field_name, field_ty) -> { Ty.field_name; field_ty }) fields
+  in
+  Global.v ?init ~const name (Ty.Struct fields)
+
+(* Expressions *)
+let c = Expr.i
+let cl n = Expr.Const n
+let l x = Expr.Local x
+let gv g = Expr.Global_addr g
+let fn f = Expr.Func_addr f
+
+(* A peripheral register address: base + byte offset. *)
+let reg (p : Peripheral.t) off = Expr.i (p.base + off)
+
+(* Instructions *)
+let set x e = Instr.Let (x, e)
+let load x a = Instr.Load (x, Instr.W32, a)
+let load8 x a = Instr.Load (x, Instr.W8, a)
+let store a v = Instr.Store (Instr.W32, a, v)
+let store8 a v = Instr.Store (Instr.W8, a, v)
+let alloca x ty = Instr.Alloca (x, ty)
+let call ?dst f args = Instr.Call (dst, Instr.Direct f, args)
+let icall ?dst e args = Instr.Call (dst, Instr.Indirect e, args)
+let if_ c a b = Instr.If (c, a, b)
+let while_ c body = Instr.While (c, body)
+let ret e = Instr.Return (Some e)
+let ret0 = Instr.Return None
+let memcpy d s n = Instr.Memcpy (d, s, n)
+let memset d v n = Instr.Memset (d, v, n)
+let halt = Instr.Halt
+
+(* Count-bounded loop: for i = 0 to n-1. *)
+let for_ ix n body =
+  [ set ix (c 0);
+    while_ (Expr.Bin (Lt, l ix, n))
+      (body @ [ set ix (Expr.Bin (Add, l ix, c 1)) ]) ]
+
+let func ?file ?irq ?varargs name params body =
+  Func.v ?file ?irq ?varargs name ~params ~body
+
+let p0 = []
+let pw x = (x, Ty.Word)
+let pp_ x ty = (x, Ty.Pointer ty)

@@ -1,0 +1,69 @@
+(** Terse construction helpers for authoring firmware in the IR — the
+    DSL the bundled applications, examples, and tests are written in. *)
+
+(** {2 Globals} *)
+
+val word : ?init:int64 -> ?const:bool -> string -> Global.t
+val bytes : ?init:int64 list -> ?const:bool -> string -> int -> Global.t
+val words : ?init:int64 list -> ?const:bool -> string -> int -> Global.t
+
+(** Pack a string into little-endian init words for a byte array. *)
+val pack_string : string -> int64 list
+
+(** A byte array of size [n] initialized from a string. *)
+val string_bytes : ?const:bool -> string -> int -> string -> Global.t
+
+(** A heap arena: placed in the separate heap section (Section 5.2). *)
+val heap_arena : string -> int -> Global.t
+
+val struct_ : ?init:int64 list -> ?const:bool -> string -> (string * Ty.t) list -> Global.t
+
+(** {2 Expressions} *)
+
+val c : int -> Expr.t
+val cl : int64 -> Expr.t
+val l : string -> Expr.t
+
+(** Address of a global. *)
+val gv : string -> Expr.t
+
+(** A function pointer constant. *)
+val fn : string -> Expr.t
+
+(** A peripheral register address: base + byte offset. *)
+val reg : Peripheral.t -> int -> Expr.t
+
+(** {2 Instructions} *)
+
+val set : string -> Expr.t -> Instr.t
+val load : string -> Expr.t -> Instr.t
+val load8 : string -> Expr.t -> Instr.t
+val store : Expr.t -> Expr.t -> Instr.t
+val store8 : Expr.t -> Expr.t -> Instr.t
+val alloca : string -> Ty.t -> Instr.t
+val call : ?dst:string -> string -> Expr.t list -> Instr.t
+val icall : ?dst:string -> Expr.t -> Expr.t list -> Instr.t
+val if_ : Expr.t -> Instr.block -> Instr.block -> Instr.t
+val while_ : Expr.t -> Instr.block -> Instr.t
+val ret : Expr.t -> Instr.t
+val ret0 : Instr.t
+val memcpy : Expr.t -> Expr.t -> Expr.t -> Instr.t
+val memset : Expr.t -> Expr.t -> Expr.t -> Instr.t
+val halt : Instr.t
+
+(** Count-bounded loop: for [ix] = 0 while [ix] < [n]. *)
+val for_ : string -> Expr.t -> Instr.block -> Instr.block
+
+(** {2 Functions} *)
+
+val func :
+  ?file:string -> ?irq:bool -> ?varargs:bool -> string ->
+  (string * Ty.t) list -> Instr.block -> Func.t
+
+val p0 : (string * Ty.t) list
+
+(** A word parameter. *)
+val pw : string -> string * Ty.t
+
+(** A pointer parameter with pointee type. *)
+val pp_ : string -> Ty.t -> string * Ty.t

@@ -1,0 +1,119 @@
+(* Pure expressions of the firmware IR.
+
+   Address expressions are ordinary expressions; the analysis classifies a
+   load/store by abstractly evaluating its address operand (the IR-level
+   "backward slicing" of the paper, Section 4.2): rooted at a global ->
+   direct global access; constant within a datasheet range -> peripheral
+   access; rooted at a pointer-typed local -> indirect access resolved by
+   the points-to analysis. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+
+type unop = Neg | Not
+
+type t =
+  | Const of int64
+  | Local of string               (** read a local/virtual register *)
+  | Global_addr of string         (** address of a global variable *)
+  | Func_addr of string           (** function pointer constant *)
+  | Bin of binop * t * t
+  | Un of unop * t
+
+let i n = Const (Int64.of_int n)
+
+(* Free locals read by the expression. *)
+let rec locals = function
+  | Const _ | Global_addr _ | Func_addr _ -> []
+  | Local x -> [ x ]
+  | Bin (_, a, b) -> locals a @ locals b
+  | Un (_, a) -> locals a
+
+(* Constant-fold the expression with no environment.  Returns the address
+   if the expression is a compile-time constant — the backward-slicing
+   primitive used for peripheral identification. *)
+let rec const_fold = function
+  | Const n -> Some n
+  | Local _ | Global_addr _ | Func_addr _ -> None
+  | Un (Neg, a) -> Option.map Int64.neg (const_fold a)
+  | Un (Not, a) -> Option.map Int64.lognot (const_fold a)
+  | Bin (op, a, b) -> (
+    match (const_fold a, const_fold b) with
+    | Some a, Some b -> eval_bin op a b
+    | (Some _ | None), _ -> None)
+
+and eval_bin op a b =
+  let bool_of c = if c then 1L else 0L in
+  match op with
+  | Add -> Some (Int64.add a b)
+  | Sub -> Some (Int64.sub a b)
+  | Mul -> Some (Int64.mul a b)
+  | Div -> if Int64.equal b 0L then None else Some (Int64.div a b)
+  | Rem -> if Int64.equal b 0L then None else Some (Int64.rem a b)
+  | And -> Some (Int64.logand a b)
+  | Or -> Some (Int64.logor a b)
+  | Xor -> Some (Int64.logxor a b)
+  | Shl -> Some (Int64.shift_left a (Int64.to_int b land 63))
+  | Shr -> Some (Int64.shift_right_logical a (Int64.to_int b land 63))
+  | Eq -> Some (bool_of (Int64.equal a b))
+  | Ne -> Some (bool_of (not (Int64.equal a b)))
+  | Lt -> Some (bool_of (Int64.compare a b < 0))
+  | Le -> Some (bool_of (Int64.compare a b <= 0))
+  | Gt -> Some (bool_of (Int64.compare a b > 0))
+  | Ge -> Some (bool_of (Int64.compare a b >= 0))
+
+(* The syntactic root of an address expression, ignoring arithmetic on the
+   non-pointer side.  [`Global g] means the address is [&g + offset];
+   [`Local x] means it flows from local [x]; [`Const] means it folds to a
+   constant; [`Mixed] when no single root dominates. *)
+let rec address_root e =
+  match e with
+  | Global_addr g -> `Global g
+  | Func_addr f -> `Func f
+  | Local x -> `Local x
+  | Const _ -> `Const
+  | Un _ -> `Mixed
+  | Bin ((Add | Sub), a, b) -> (
+    match (address_root a, address_root b) with
+    | `Const, r | r, `Const -> r
+    | (`Global _ | `Func _ | `Local _ | `Mixed), _ -> `Mixed)
+  | Bin (_, _, _) -> if const_fold e <> None then `Const else `Mixed
+
+let pp_binop fmt op =
+  Fmt.string fmt
+    (match op with
+    | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Rem -> "%"
+    | And -> "&" | Or -> "|" | Xor -> "^" | Shl -> "<<" | Shr -> ">>"
+    | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=")
+
+let rec pp fmt = function
+  | Const n ->
+    if Int64.compare n 4096L >= 0 then Fmt.pf fmt "0x%LX" n
+    else Fmt.pf fmt "%Ld" n
+  | Local x -> Fmt.string fmt x
+  | Global_addr g -> Fmt.pf fmt "&%s" g
+  | Func_addr f -> Fmt.pf fmt "&%s" f
+  | Bin (op, a, b) -> Fmt.pf fmt "(%a %a %a)" pp a pp_binop op pp b
+  | Un (Neg, a) -> Fmt.pf fmt "(-%a)" pp a
+  | Un (Not, a) -> Fmt.pf fmt "(~%a)" pp a
+
+(* Infix constructors, kept last so they do not shadow the integer
+   operators used above.  Open locally: [Expr.(l "x" + i 1)]. *)
+let ( + ) a b = Bin (Add, a, b)
+let ( - ) a b = Bin (Sub, a, b)
+let ( * ) a b = Bin (Mul, a, b)
+let ( / ) a b = Bin (Div, a, b)
+let ( % ) a b = Bin (Rem, a, b)
+let ( == ) a b = Bin (Eq, a, b)
+let ( != ) a b = Bin (Ne, a, b)
+let ( < ) a b = Bin (Lt, a, b)
+let ( <= ) a b = Bin (Le, a, b)
+let ( > ) a b = Bin (Gt, a, b)
+let ( >= ) a b = Bin (Ge, a, b)
+let ( && ) a b = Bin (And, a, b)
+let ( || ) a b = Bin (Or, a, b)
+let ( ^ ) a b = Bin (Xor, a, b)
+let ( << ) a b = Bin (Shl, a, b)
+let ( >> ) a b = Bin (Shr, a, b)

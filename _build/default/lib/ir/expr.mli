@@ -1,0 +1,63 @@
+(** Pure expressions of the firmware IR.
+
+    Address expressions are ordinary expressions; {!address_root} and
+    {!const_fold} implement the IR-level backward slicing the resource
+    analysis uses to classify accesses (Section 4.2). *)
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+
+type unop = Neg | Not
+
+type t =
+  | Const of int64
+  | Local of string        (** read a local/virtual register *)
+  | Global_addr of string  (** address of a global variable *)
+  | Func_addr of string    (** function pointer constant *)
+  | Bin of binop * t * t
+  | Un of unop * t
+
+(** [i n] is the integer constant [n]. *)
+val i : int -> t
+
+(** Free locals read by the expression, in syntactic order. *)
+val locals : t -> string list
+
+(** Fold the expression to a constant if it contains no locals or
+    symbols (division by zero does not fold). *)
+val const_fold : t -> int64 option
+
+(** Evaluate one binary operation; comparisons yield 0/1, shifts are
+    masked to 6 bits, [Shr] is logical.  [None] on division by zero. *)
+val eval_bin : binop -> int64 -> int64 -> int64 option
+
+(** The syntactic root of an address expression, ignoring constant
+    arithmetic: a global, a function, a single local it flows from, a
+    compile-time constant, or [`Mixed] when no single root dominates. *)
+val address_root :
+  t ->
+  [ `Const | `Func of string | `Global of string | `Local of string | `Mixed ]
+
+val pp_binop : Format.formatter -> binop -> unit
+val pp : Format.formatter -> t -> unit
+
+(** Infix constructors, for local open: [Expr.(l "x" + i 1)]. *)
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( % ) : t -> t -> t
+val ( == ) : t -> t -> t
+val ( != ) : t -> t -> t
+val ( < ) : t -> t -> t
+val ( <= ) : t -> t -> t
+val ( > ) : t -> t -> t
+val ( >= ) : t -> t -> t
+val ( && ) : t -> t -> t
+val ( || ) : t -> t -> t
+val ( ^ ) : t -> t -> t
+val ( << ) : t -> t -> t
+val ( >> ) : t -> t -> t

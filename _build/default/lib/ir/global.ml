@@ -1,0 +1,24 @@
+(* Global variable descriptors.
+
+   Globals are the central resource the paper isolates: each operation may
+   access only the globals it depends on, and shared ("external") globals
+   are shadow-copied into per-operation data sections. *)
+
+type t = {
+  name : string;
+  ty : Ty.t;
+  init : int64 list;
+  const : bool;
+  heap : bool;
+}
+
+let v ?(init = []) ?(const = false) ?(heap = false) name ty =
+  { name; ty; init; const; heap }
+
+let size g = Ty.size_of g.ty
+let pointer_field_offsets g = Ty.pointer_field_offsets g.ty
+
+let pp fmt g =
+  Fmt.pf fmt "@[%s%s : %a (%d bytes)@]"
+    (if g.const then "const " else "")
+    g.name Ty.pp g.ty (size g)

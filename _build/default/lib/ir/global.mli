@@ -1,0 +1,26 @@
+(** Global variable descriptors — the central resource OPEC isolates. *)
+
+type t = {
+  name : string;
+  ty : Ty.t;
+  init : int64 list;  (** initial words, zero-extended to the full size *)
+  const : bool;       (** flash read-only data; never shadowed *)
+  heap : bool;
+      (** heap arena: lives in the separate heap section, accessible
+          whole to every operation that uses it, never shadowed or
+          synchronized (Section 5.2) *)
+}
+
+(** [v name ty] builds a descriptor; [init] lists 32-bit initialization
+    words written at 4-byte strides, [const] places it in flash,
+    [heap] marks a heap arena. *)
+val v : ?init:int64 list -> ?const:bool -> ?heap:bool -> string -> Ty.t -> t
+
+(** Byte size of the variable. *)
+val size : t -> int
+
+(** Offsets of the variable's pointer fields (see
+    {!Ty.pointer_field_offsets}). *)
+val pointer_field_offsets : t -> int list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,91 @@
+(* Instructions and blocks of the firmware IR.
+
+   The IR is structured (no raw machine encodings): that is the simulator
+   substitution documented in DESIGN.md.  Memory effects — loads, stores,
+   memcpy/memset, stack allocation, calls — are explicit so that the
+   interpreter can route every access through the machine bus and MPU, and
+   so the static analyses see the same access structure the paper's LLVM
+   passes see. *)
+
+type width = W8 | W32
+
+let width_bytes = function W8 -> 1 | W32 -> 4
+
+type callee =
+  | Direct of string
+  | Indirect of Expr.t  (** indirect call through a function pointer *)
+
+type t =
+  | Let of string * Expr.t                (** local := expr *)
+  | Load of string * width * Expr.t      (** local := mem[addr] *)
+  | Store of width * Expr.t * Expr.t     (** mem[addr] := value *)
+  | Alloca of string * Ty.t              (** local := fresh stack address *)
+  | Call of string option * callee * Expr.t list
+  | If of Expr.t * block * block
+  | While of Expr.t * block
+  | Return of Expr.t option
+  | Memcpy of Expr.t * Expr.t * Expr.t   (** dst, src, byte length *)
+  | Memset of Expr.t * Expr.t * Expr.t   (** dst, byte value, byte length *)
+  | Svc of int                            (** supervisor call (instrumentation) *)
+  | Halt                                  (** stop the whole program *)
+  | Nop
+
+and block = t list
+
+(* Fold over every instruction in a block, descending into branches. *)
+let rec fold_block f acc block =
+  List.fold_left
+    (fun acc instr ->
+      let acc = f acc instr in
+      match instr with
+      | If (_, a, b) -> fold_block f (fold_block f acc a) b
+      | While (_, body) -> fold_block f acc body
+      | Let _ | Load _ | Store _ | Alloca _ | Call _ | Return _ | Memcpy _
+      | Memset _ | Svc _ | Halt | Nop -> acc)
+    acc block
+
+let iter_block f block = fold_block (fun () i -> f i) () block
+
+(* Map every instruction bottom-up (used by the instrumentation pass). *)
+let rec map_block f block = List.concat_map (map_instr f) block
+
+and map_instr f instr =
+  let instr =
+    match instr with
+    | If (c, a, b) -> If (c, map_block f a, map_block f b)
+    | While (c, body) -> While (c, map_block f body)
+    | Let _ | Load _ | Store _ | Alloca _ | Call _ | Return _ | Memcpy _
+    | Memset _ | Svc _ | Halt | Nop -> instr
+  in
+  f instr
+
+let pp_width fmt = function W8 -> Fmt.string fmt "i8" | W32 -> Fmt.string fmt "i32"
+
+let pp_callee fmt = function
+  | Direct f -> Fmt.string fmt f
+  | Indirect e -> Fmt.pf fmt "*%a" Expr.pp e
+
+let rec pp fmt = function
+  | Let (x, e) -> Fmt.pf fmt "%s = %a" x Expr.pp e
+  | Load (x, w, a) -> Fmt.pf fmt "%s = load %a [%a]" x pp_width w Expr.pp a
+  | Store (w, a, v) -> Fmt.pf fmt "store %a [%a] <- %a" pp_width w Expr.pp a Expr.pp v
+  | Alloca (x, ty) -> Fmt.pf fmt "%s = alloca %a" x Ty.pp ty
+  | Call (dst, callee, args) ->
+    Fmt.pf fmt "%acall %a(%a)"
+      (Fmt.option (fun fmt x -> Fmt.pf fmt "%s = " x)) dst
+      pp_callee callee
+      (Fmt.list ~sep:(Fmt.any ", ") Expr.pp) args
+  | If (c, a, b) ->
+    Fmt.pf fmt "@[<v 2>if %a {@,%a@]@,@[<v 2>} else {@,%a@]@,}"
+      Expr.pp c pp_block a pp_block b
+  | While (c, body) ->
+    Fmt.pf fmt "@[<v 2>while %a {@,%a@]@,}" Expr.pp c pp_block body
+  | Return None -> Fmt.string fmt "return"
+  | Return (Some e) -> Fmt.pf fmt "return %a" Expr.pp e
+  | Memcpy (d, s, n) -> Fmt.pf fmt "memcpy(%a, %a, %a)" Expr.pp d Expr.pp s Expr.pp n
+  | Memset (d, v, n) -> Fmt.pf fmt "memset(%a, %a, %a)" Expr.pp d Expr.pp v Expr.pp n
+  | Svc n -> Fmt.pf fmt "svc #%d" n
+  | Halt -> Fmt.string fmt "halt"
+  | Nop -> Fmt.string fmt "nop"
+
+and pp_block fmt block = Fmt.(list ~sep:(Fmt.any "@,") pp) fmt block

@@ -1,0 +1,46 @@
+(** Instructions and blocks of the firmware IR.
+
+    Memory effects are explicit, so the interpreter routes every access
+    through the machine bus (MPU-checked) and the analyses see the access
+    structure the paper's LLVM passes see. *)
+
+type width = W8 | W32
+
+val width_bytes : width -> int
+
+type callee =
+  | Direct of string
+  | Indirect of Expr.t  (** indirect call through a function pointer *)
+
+type t =
+  | Let of string * Expr.t             (** local := expr *)
+  | Load of string * width * Expr.t    (** local := mem\[addr\] *)
+  | Store of width * Expr.t * Expr.t   (** mem\[addr\] := value *)
+  | Alloca of string * Ty.t            (** local := fresh stack address *)
+  | Call of string option * callee * Expr.t list
+  | If of Expr.t * block * block
+  | While of Expr.t * block
+  | Return of Expr.t option
+  | Memcpy of Expr.t * Expr.t * Expr.t (** dst, src, byte length *)
+  | Memset of Expr.t * Expr.t * Expr.t (** dst, byte value, byte length *)
+  | Svc of int                          (** raw supervisor call *)
+  | Halt                                (** stop the whole program *)
+  | Nop
+
+and block = t list
+
+(** Fold over every instruction, descending into branch and loop
+    bodies. *)
+val fold_block : ('a -> t -> 'a) -> 'a -> block -> 'a
+
+val iter_block : (t -> unit) -> block -> unit
+
+(** Rewrite a block bottom-up; the mapper may expand one instruction
+    into several. *)
+val map_block : (t -> t list) -> block -> block
+
+val map_instr : (t -> t list) -> t -> t list
+val pp_width : Format.formatter -> width -> unit
+val pp_callee : Format.formatter -> callee -> unit
+val pp : Format.formatter -> t -> unit
+val pp_block : Format.formatter -> block -> unit

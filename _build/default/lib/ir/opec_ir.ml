@@ -1,0 +1,14 @@
+(** Firmware intermediate representation.
+
+    The IR plays the role of LLVM IR in the paper: the OPEC compiler
+    analyses and instruments it, and the machine-model interpreter
+    executes it under MPU enforcement. *)
+
+module Ty = Ty
+module Global = Global
+module Peripheral = Peripheral
+module Expr = Expr
+module Instr = Instr
+module Func = Func
+module Program = Program
+module Build = Build

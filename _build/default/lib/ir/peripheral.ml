@@ -1,0 +1,26 @@
+(* Memory-mapped peripheral descriptors.
+
+   The compiler receives the SoC "datasheet": the list of peripheral
+   address ranges.  Backward slicing of load/store address operands is
+   checked against this list to classify peripheral accesses
+   (paper, Section 4.2).  Core peripherals live on the Private Peripheral
+   Bus and are only reachable at the privileged level (Section 2.1). *)
+
+type t = {
+  name : string;
+  base : int;
+  size : int;
+  core : bool;  (** on the Private Peripheral Bus (MPU, SysTick, DWT, ...) *)
+}
+
+let v ?(core = false) name ~base ~size = { name; base; size; core }
+
+let contains p addr = addr >= p.base && addr < p.base + p.size
+let limit p = p.base + p.size
+
+(* Find the peripheral covering [addr] in the datasheet list. *)
+let find datasheet addr = List.find_opt (fun p -> contains p addr) datasheet
+
+let pp fmt p =
+  Fmt.pf fmt "@[%s%s @@ 0x%08X..0x%08X@]"
+    p.name (if p.core then " (core)" else "") p.base (limit p - 1)

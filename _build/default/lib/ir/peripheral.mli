@@ -1,0 +1,22 @@
+(** Memory-mapped peripheral descriptors — the SoC "datasheet" the
+    compiler checks sliced addresses against (Section 4.2). *)
+
+type t = {
+  name : string;
+  base : int;   (** first mapped address *)
+  size : int;   (** window size in bytes *)
+  core : bool;  (** on the Private Peripheral Bus (privileged-only) *)
+}
+
+val v : ?core:bool -> string -> base:int -> size:int -> t
+
+(** [contains p addr] tests membership of [addr] in [p]'s window. *)
+val contains : t -> int -> bool
+
+(** One past the last mapped address. *)
+val limit : t -> int
+
+(** [find datasheet addr] is the peripheral covering [addr], if any. *)
+val find : t list -> int -> t option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,97 @@
+(* Data types of the firmware IR.
+
+   The IR is word-oriented like the paper's LLVM IR view of C firmware:
+   scalars are 32-bit words, buffers are byte or word arrays, and structs
+   are flat sequences of fields.  Pointer fields carry their pointee type
+   so the compiler can record "pointer fields of a global variable by
+   leveraging its type" (paper, Section 4.2) and the monitor can redirect
+   them during operation switches (Section 5.3). *)
+
+type t =
+  | Byte                        (** 1-byte scalar (buffer element) *)
+  | Word                        (** 4-byte scalar *)
+  | Pointer of t                (** 4-byte pointer with pointee type *)
+  | Array of t * int            (** fixed-size array *)
+  | Struct of field list        (** flat record *)
+
+and field = { field_name : string; field_ty : t }
+
+let rec size_of = function
+  | Byte -> 1
+  | Word -> 4
+  | Pointer _ -> 4
+  | Array (ty, n) -> n * size_of ty
+  | Struct fields ->
+    List.fold_left (fun acc f -> align4 acc + size_of f.field_ty) 0 fields
+    |> align4
+
+and align4 n = (n + 3) land lnot 3
+
+let rec alignment = function
+  | Byte -> 1
+  | Word | Pointer _ -> 4
+  | Array (ty, _) -> alignment ty
+  | Struct _ -> 4
+
+(* Byte offsets (from the start of a value of type [ty]) at which pointers
+   are stored.  Used by the monitor to fix up pointer fields that point into
+   another operation's shadow section. *)
+let pointer_field_offsets ty =
+  let rec go base acc = function
+    | Byte | Word -> acc
+    | Pointer _ -> base :: acc
+    | Array (elem, n) ->
+      let esz = size_of elem in
+      let rec each i acc =
+        if i >= n then acc else each (i + 1) (go (base + (i * esz)) acc elem)
+      in
+      each 0 acc
+    | Struct fields ->
+      let _, acc =
+        List.fold_left
+          (fun (off, acc) f ->
+            let off = align4 off in
+            (off + size_of f.field_ty, go (base + off) acc f.field_ty))
+          (0, acc) fields
+      in
+      acc
+  in
+  List.rev (go 0 [] ty)
+
+(* Byte offset of a named struct field. *)
+let field_offset ty name =
+  match ty with
+  | Struct fields ->
+    let rec find off = function
+      | [] -> invalid_arg ("Ty.field_offset: no field " ^ name)
+      | f :: rest ->
+        let off = align4 off in
+        if String.equal f.field_name name then (off, f.field_ty)
+        else find (off + size_of f.field_ty) rest
+    in
+    find 0 fields
+  | _ -> invalid_arg "Ty.field_offset: not a struct"
+
+(* Structural compatibility used by the type-based icall resolution
+   (paper, Section 4.1): two types are signature-equal if their shapes
+   match up to array lengths. *)
+let rec signature_equal a b =
+  match (a, b) with
+  | Byte, Byte | Word, Word -> true
+  | Pointer a, Pointer b -> signature_equal a b
+  | Array (a, _), Array (b, _) -> signature_equal a b
+  | Struct fa, Struct fb ->
+    List.length fa = List.length fb
+    && List.for_all2 (fun x y -> signature_equal x.field_ty y.field_ty) fa fb
+  | (Byte | Word | Pointer _ | Array _ | Struct _), _ -> false
+
+let rec pp fmt = function
+  | Byte -> Fmt.string fmt "i8"
+  | Word -> Fmt.string fmt "i32"
+  | Pointer t -> Fmt.pf fmt "%a*" pp t
+  | Array (t, n) -> Fmt.pf fmt "[%d x %a]" n pp t
+  | Struct fields ->
+    Fmt.pf fmt "{%a}"
+      (Fmt.list ~sep:(Fmt.any ", ")
+         (fun fmt f -> Fmt.pf fmt "%s: %a" f.field_name pp f.field_ty))
+      fields

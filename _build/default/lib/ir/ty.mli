@@ -1,0 +1,42 @@
+(** Data types of the firmware IR.
+
+    Word-oriented, like the paper's LLVM-IR view of C firmware: scalars
+    are 32-bit words, buffers are byte or word arrays, structs are flat
+    field sequences.  Pointer fields carry their pointee type so the
+    compiler can record a global's pointer fields (Section 4.2) and the
+    monitor can redirect them at operation switches (Section 5.3). *)
+
+type t =
+  | Byte                 (** 1-byte scalar (buffer element) *)
+  | Word                 (** 4-byte scalar *)
+  | Pointer of t         (** 4-byte pointer with pointee type *)
+  | Array of t * int     (** fixed-size array *)
+  | Struct of field list (** flat record, fields word-aligned *)
+
+and field = { field_name : string; field_ty : t }
+
+(** [size_of ty] is the byte size of a value of type [ty]; struct sizes
+    round fields up to word boundaries. *)
+val size_of : t -> int
+
+(** [align4 n] rounds [n] up to the next multiple of four. *)
+val align4 : int -> int
+
+(** Natural alignment of a value of the type: 1 for byte data, 4 for
+    words, pointers, and structs. *)
+val alignment : t -> int
+
+(** Byte offsets (from the start of a value) at which pointers are
+    stored; used by the monitor's shadow pointer fix-up. *)
+val pointer_field_offsets : t -> int list
+
+(** [field_offset struct_ty name] is the byte offset and type of the
+    named field.  Raises [Invalid_argument] on non-structs or missing
+    fields. *)
+val field_offset : t -> string -> int * t
+
+(** Structural compatibility used by the type-based icall resolution
+    (Section 4.1): shapes must match up to array lengths. *)
+val signature_equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

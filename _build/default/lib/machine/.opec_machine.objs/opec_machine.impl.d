@@ -1,0 +1,1 @@
+lib/machine/opec_machine.ml: Bus Core_periph Cpu Dcmi Device Ethernet Fault Gpio Lcd Memmap Memory Mpu Pmp Sd_card Uart Usb_msc

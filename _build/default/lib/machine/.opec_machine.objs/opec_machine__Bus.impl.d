@@ -1,0 +1,1 @@
+lib/machine/bus.ml: Cpu Device Fault List Memmap Memory Mpu

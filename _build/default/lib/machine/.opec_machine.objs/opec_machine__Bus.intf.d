@@ -1,0 +1,1 @@
+lib/machine/bus.mli: Cpu Device Memmap Memory Mpu

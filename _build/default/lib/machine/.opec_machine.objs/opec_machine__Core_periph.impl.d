@@ -1,0 +1,1 @@
+lib/machine/core_periph.ml: Device Hashtbl Int64 Option

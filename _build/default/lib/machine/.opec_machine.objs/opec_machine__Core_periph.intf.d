@@ -1,0 +1,1 @@
+lib/machine/core_periph.mli: Device

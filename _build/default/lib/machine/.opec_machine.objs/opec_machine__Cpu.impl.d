@@ -1,0 +1,1 @@
+lib/machine/cpu.ml: Fmt Fun Int64

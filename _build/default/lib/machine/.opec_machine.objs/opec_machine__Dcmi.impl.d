@@ -1,0 +1,1 @@
+lib/machine/dcmi.ml: Char Device Int64 String

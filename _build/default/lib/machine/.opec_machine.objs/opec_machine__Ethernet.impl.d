@@ -1,0 +1,1 @@
+lib/machine/ethernet.ml: Buffer Char Device Int64 Queue String

@@ -1,0 +1,1 @@
+lib/machine/ethernet.mli: Device

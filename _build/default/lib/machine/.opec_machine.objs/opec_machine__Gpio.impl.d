@@ -1,0 +1,1 @@
+lib/machine/gpio.ml: Device Int64

@@ -1,0 +1,1 @@
+lib/machine/gpio.mli: Device

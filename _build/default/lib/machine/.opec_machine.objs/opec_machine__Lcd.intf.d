@@ -1,0 +1,1 @@
+lib/machine/lcd.mli: Device

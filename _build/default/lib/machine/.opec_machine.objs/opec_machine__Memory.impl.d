@@ -1,0 +1,1 @@
+lib/machine/memory.ml: Bytes Char Fault Int64

@@ -1,0 +1,1 @@
+lib/machine/memory.mli: Bytes

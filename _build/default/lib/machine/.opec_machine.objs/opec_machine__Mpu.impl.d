@@ -1,0 +1,1 @@
+lib/machine/mpu.ml: Array Fault Fmt Printf

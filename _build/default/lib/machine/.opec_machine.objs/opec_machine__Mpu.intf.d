@@ -1,0 +1,1 @@
+lib/machine/mpu.mli: Fault Format

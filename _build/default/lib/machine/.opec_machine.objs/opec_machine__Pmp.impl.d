@@ -1,0 +1,1 @@
+lib/machine/pmp.ml: Array Fault Fmt Printf

@@ -1,0 +1,1 @@
+lib/machine/pmp.mli: Fault Format

@@ -1,0 +1,1 @@
+lib/machine/sd_card.ml: Bytes Char Device Hashtbl Int64 String

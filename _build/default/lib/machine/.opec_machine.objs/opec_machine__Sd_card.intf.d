@@ -1,0 +1,1 @@
+lib/machine/sd_card.mli: Device

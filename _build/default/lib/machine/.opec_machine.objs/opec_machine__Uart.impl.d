@@ -1,0 +1,1 @@
+lib/machine/uart.ml: Buffer Char Device Int64 Queue String

@@ -1,0 +1,1 @@
+lib/machine/uart.mli: Device

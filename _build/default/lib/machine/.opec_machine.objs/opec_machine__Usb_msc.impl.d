@@ -1,0 +1,1 @@
+lib/machine/usb_msc.ml: Buffer Char Device Int64 Queue

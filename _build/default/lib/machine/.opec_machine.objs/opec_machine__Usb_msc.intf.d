@@ -1,0 +1,1 @@
+lib/machine/usb_msc.mli: Device

@@ -1,0 +1,102 @@
+(* The system bus: routes accesses to flash, SRAM, mapped devices, and the
+   PPB, enforcing the MPU and the privilege rules of Section 2.
+
+   Check order models the hardware:
+   1. PPB accesses require the privileged level, else bus fault;
+   2. the MPU checks every non-PPB access (the ARM MPU does not confine
+      PPB accesses);
+   3. unmapped addresses bus-fault;
+   4. flash writes bus-fault (the model has no flash programming). *)
+
+type t = {
+  flash : Memory.t;
+  sram : Memory.t;
+  mutable devices : Device.t list;
+  mpu : Mpu.t;
+  cpu : Cpu.t;
+}
+
+let create ~(board : Memmap.board) =
+  let cpu = Cpu.create () in
+  { flash = Memory.create ~base:Memmap.flash_base ~size:board.flash_size;
+    sram = Memory.create ~base:Memmap.sram_base ~size:board.sram_size;
+    devices = [];
+    mpu = Mpu.create ();
+    cpu }
+
+let attach t d = t.devices <- d :: t.devices
+
+let find_device t addr = List.find_opt (fun d -> Device.contains d addr) t.devices
+
+let mpu_check t ~addr ~access =
+  match Mpu.check t.mpu ~privileged:t.cpu.Cpu.privileged ~addr ~access with
+  | Ok () -> ()
+  | Error info -> raise (Fault.Mem_manage info)
+
+let fault_bus t ~addr ~access =
+  raise (Fault.Bus { Fault.addr; access; privileged = t.cpu.Cpu.privileged })
+
+(* Read [width] bytes at [addr] honouring privilege and MPU. *)
+let read t addr width =
+  Cpu.charge t.cpu 1;
+  match Memmap.classify addr with
+  | Memmap.Ppb ->
+    if not t.cpu.Cpu.privileged then fault_bus t ~addr ~access:Fault.Read;
+    (match find_device t addr with
+    | Some d -> d.Device.read (addr - d.Device.base) width
+    | None -> fault_bus t ~addr ~access:Fault.Read)
+  | Memmap.Code | Memmap.Sram | Memmap.Peripheral | Memmap.External_ram
+  | Memmap.External_device | Memmap.Vendor ->
+    mpu_check t ~addr ~access:Fault.Read;
+    if Memory.contains t.flash addr then Memory.read t.flash addr width
+    else if Memory.contains t.sram addr then Memory.read t.sram addr width
+    else (
+      match find_device t addr with
+      | Some d -> d.Device.read (addr - d.Device.base) width
+      | None -> fault_bus t ~addr ~access:Fault.Read)
+
+let write t addr width v =
+  Cpu.charge t.cpu 1;
+  match Memmap.classify addr with
+  | Memmap.Ppb ->
+    if not t.cpu.Cpu.privileged then fault_bus t ~addr ~access:Fault.Write;
+    (match find_device t addr with
+    | Some d -> d.Device.write (addr - d.Device.base) width v
+    | None -> fault_bus t ~addr ~access:Fault.Write)
+  | Memmap.Code | Memmap.Sram | Memmap.Peripheral | Memmap.External_ram
+  | Memmap.External_device | Memmap.Vendor ->
+    mpu_check t ~addr ~access:Fault.Write;
+    if Memory.contains t.flash addr then fault_bus t ~addr ~access:Fault.Write
+    else if Memory.contains t.sram addr then Memory.write t.sram addr width v
+    else (
+      match find_device t addr with
+      | Some d -> d.Device.write (addr - d.Device.base) width v
+      | None -> fault_bus t ~addr ~access:Fault.Write)
+
+(* Privileged raw accessors for the monitor and the loader: bypass the
+   MPU (the monitor runs on the background map) but still route devices. *)
+let read_raw t addr width =
+  Cpu.with_privilege t.cpu (fun () ->
+      if Memory.contains t.flash addr then Memory.read t.flash addr width
+      else if Memory.contains t.sram addr then Memory.read t.sram addr width
+      else
+        match find_device t addr with
+        | Some d -> d.Device.read (addr - d.Device.base) width
+        | None -> fault_bus t ~addr ~access:Fault.Read)
+
+let write_raw t addr width v =
+  Cpu.with_privilege t.cpu (fun () ->
+      if Memory.contains t.flash addr then Memory.write t.flash addr width v
+      else if Memory.contains t.sram addr then Memory.write t.sram addr width v
+      else
+        match find_device t addr with
+        | Some d -> d.Device.write (addr - d.Device.base) width v
+        | None -> fault_bus t ~addr ~access:Fault.Write)
+
+(* Check an instruction fetch from [addr] (function entry). *)
+let check_execute t addr =
+  match Memmap.classify addr with
+  | Memmap.Ppb -> fault_bus t ~addr ~access:Fault.Execute
+  | Memmap.Code | Memmap.Sram | Memmap.Peripheral | Memmap.External_ram
+  | Memmap.External_device | Memmap.Vendor ->
+    mpu_check t ~addr ~access:Fault.Execute

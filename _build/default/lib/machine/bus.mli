@@ -1,0 +1,37 @@
+(** The system bus: routes accesses to flash, SRAM, mapped devices, and
+    the PPB, enforcing MPU and privilege rules (Section 2).
+
+    PPB accesses require the privileged level (else {!Fault.Bus}); all
+    other accesses are MPU-checked; unmapped addresses and flash writes
+    bus-fault. *)
+
+type t = {
+  flash : Memory.t;
+  sram : Memory.t;
+  mutable devices : Device.t list;
+  mpu : Mpu.t;
+  cpu : Cpu.t;
+}
+
+val create : board:Memmap.board -> t
+
+(** Map a device window onto the bus. Devices attached later take
+    precedence on overlapping ranges. *)
+val attach : t -> Device.t -> unit
+
+val find_device : t -> int -> Device.t option
+
+(** [read t addr width] / [write t addr width v] perform checked
+    accesses at the CPU's current privilege level, charging one cycle. *)
+val read : t -> int -> int -> int64
+
+val write : t -> int -> int -> int64 -> unit
+
+(** Privileged raw accessors for the loader and the monitor: bypass the
+    MPU (background map) but still route to devices. *)
+val read_raw : t -> int -> int -> int64
+
+val write_raw : t -> int -> int -> int64 -> unit
+
+(** Instruction-fetch permission check for a function entry address. *)
+val check_execute : t -> int -> unit

@@ -1,0 +1,55 @@
+(* Core peripherals on the Private Peripheral Bus.
+
+   Unprivileged access to any of these triggers a bus fault (paper,
+   Section 2.1); OPEC-Monitor then emulates the load/store if the current
+   operation's policy permits it (Section 5.2).
+
+   - SysTick (0xE000E010): CTRL, LOAD, VAL — VAL derives from the cycle
+     counter so firmware delay loops make progress;
+   - DWT (0xE0001000): CYCCNT at offset 4 reads the cycle counter, the
+     instrument the paper uses to measure runtime overhead;
+   - SCB (0xE000ED00): control/configuration scratch registers. *)
+
+let systick_base = 0xE000_E010
+let dwt_base = 0xE000_1000
+let scb_base = 0xE000_ED00
+
+let systick ~cycles =
+  let load = ref 0xFFFFFFL in
+  let ctrl = ref 0 in
+  let read off _width =
+    match off with
+    | 0x0 -> Int64.of_int !ctrl
+    | 0x4 -> !load
+    | 0x8 ->
+      (* VAL counts down from LOAD with the core clock *)
+      let c = cycles () in
+      if Int64.equal !load 0L then 0L else Int64.rem c (Int64.add !load 1L)
+    | _ -> 0L
+  in
+  let write off _width v =
+    match off with
+    | 0x0 -> ctrl := Int64.to_int v
+    | 0x4 -> load := v
+    | _ -> ()
+  in
+  Device.v ~core:true "SysTick" ~base:systick_base ~size:0x10 ~read ~write
+
+let dwt ~cycles =
+  let ctrl = ref 1 in
+  let read off _width =
+    match off with
+    | 0x0 -> Int64.of_int !ctrl
+    | 0x4 -> cycles ()
+    | _ -> 0L
+  in
+  let write off _width v = if off = 0x0 then ctrl := Int64.to_int v in
+  Device.v ~core:true "DWT" ~base:dwt_base ~size:0x400 ~read ~write
+
+let scb () =
+  let regs = Hashtbl.create 8 in
+  let read off _width =
+    Option.value (Hashtbl.find_opt regs off) ~default:0L
+  in
+  let write off _width v = Hashtbl.replace regs off v in
+  Device.v ~core:true "SCB" ~base:scb_base ~size:0x90 ~read ~write

@@ -1,0 +1,17 @@
+(** Core peripherals on the Private Peripheral Bus.  Unprivileged access
+    bus-faults (Section 2.1); OPEC-Monitor emulates permitted accesses
+    (Section 5.2). *)
+
+val systick_base : int
+val dwt_base : int
+val scb_base : int
+
+(** SysTick: CTRL/LOAD/VAL; VAL derives from the cycle counter. *)
+val systick : cycles:(unit -> int64) -> Device.t
+
+(** DWT: CYCCNT at +4 reads the cycle counter — the paper's measurement
+    instrument. *)
+val dwt : cycles:(unit -> int64) -> Device.t
+
+(** System control block: latched scratch registers. *)
+val scb : unit -> Device.t

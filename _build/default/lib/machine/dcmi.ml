@@ -1,0 +1,64 @@
+(* Digital camera interface (DCMI) model.  Register layout (byte offsets):
+   - [ctrl]   0x00: writing [ctrl_capture] latches the staged frame;
+   - [status] 0x04: bit0 set when a captured frame is ready;
+   - [length] 0x08: byte length of the captured frame;
+   - [data]   0x0C: byte stream of the captured frame.
+
+   The handle stages the scene in front of the sensor. *)
+
+type handle = {
+  mutable staged : string;
+  mutable captured : string option;
+  mutable cursor : int;
+  mutable ready_interval : int;  (* STATUS polls until the frame is ready *)
+  mutable countdown : int;
+}
+
+let ctrl = 0x00
+let status = 0x04
+let length = 0x08
+let data = 0x0C
+let ctrl_capture = 1
+
+let create ?(ready_interval = 0) name ~base =
+  let h =
+    { staged = ""; captured = None; cursor = 0; ready_interval;
+      countdown = ready_interval }
+  in
+  let read off _width =
+    match off with
+    | _ when off = status ->
+      if h.captured = None then 0L
+      else if h.countdown <= 0 then 1L
+      else begin
+        h.countdown <- h.countdown - 1;
+        0L
+      end
+    | _ when off = length -> (
+      match h.captured with
+      | None -> 0L
+      | Some f -> Int64.of_int (String.length f))
+    | _ when off = data -> (
+      match h.captured with
+      | None -> 0L
+      | Some f ->
+        let byte =
+          if h.cursor < String.length f then Char.code f.[h.cursor] else 0
+        in
+        h.cursor <- h.cursor + 1;
+        Int64.of_int byte)
+    | _ -> 0L
+  in
+  let write off _width v =
+    if off = ctrl && Int64.to_int v = ctrl_capture then begin
+      h.captured <- Some h.staged;
+      h.cursor <- 0;
+      h.countdown <- h.ready_interval
+    end
+  in
+  (Device.v name ~base ~size:0x400 ~read ~write, h)
+
+let stage_frame h f = h.staged <- f
+let set_ready_interval h n =
+  h.ready_interval <- n;
+  h.countdown <- n

@@ -1,0 +1,19 @@
+(** Camera interface (DCMI) model: CTRL +0 (1 captures), STATUS +4,
+    LENGTH +8, DATA +0xC. *)
+
+type handle
+
+val ctrl : int
+val status : int
+val length : int
+val data : int
+val ctrl_capture : int
+
+(** [ready_interval] models exposure/readout: STATUS polls after a
+    capture before the frame is ready. *)
+val create : ?ready_interval:int -> string -> base:int -> Device.t * handle
+
+(** Put a scene in front of the sensor. *)
+val stage_frame : handle -> string -> unit
+
+val set_ready_interval : handle -> int -> unit

@@ -1,0 +1,26 @@
+(* Memory-mapped device interface.
+
+   A device exposes a register window on the bus.  Reads and writes receive
+   the byte offset within the window and the access width in bytes.
+   Devices keep their own state in closures; the constructor of each model
+   also returns a control handle that tests and workload drivers use to
+   script the outside world (inject UART bytes, preload SD blocks, ...). *)
+
+type t = {
+  name : string;
+  base : int;
+  size : int;
+  core : bool;  (** lives on the Private Peripheral Bus *)
+  read : int -> int -> int64;         (** offset -> width-bytes -> value *)
+  write : int -> int -> int64 -> unit; (** offset -> width-bytes -> value *)
+}
+
+let v ?(core = false) name ~base ~size ~read ~write =
+  { name; base; size; core; read; write }
+
+let contains d addr = addr >= d.base && addr < d.base + d.size
+
+(* A device that ignores writes and reads as zero; useful filler for
+   address ranges a workload configures but never meaningfully reads. *)
+let stub ?(core = false) name ~base ~size =
+  v ~core name ~base ~size ~read:(fun _ _ -> 0L) ~write:(fun _ _ _ -> ())

@@ -1,0 +1,30 @@
+(** Memory-mapped device interface.
+
+    A device exposes a register window on the bus; reads and writes get
+    the byte offset within the window and the access width.  Device
+    models keep state in closures, and their constructors also return a
+    control handle the workload harness uses to script the outside
+    world. *)
+
+type t = {
+  name : string;
+  base : int;
+  size : int;
+  core : bool;  (** lives on the Private Peripheral Bus *)
+  read : int -> int -> int64;          (** offset -> width-bytes -> value *)
+  write : int -> int -> int64 -> unit; (** offset -> width-bytes -> value *)
+}
+
+val v :
+  ?core:bool ->
+  string ->
+  base:int ->
+  size:int ->
+  read:(int -> int -> int64) ->
+  write:(int -> int -> int64 -> unit) ->
+  t
+
+val contains : t -> int -> bool
+
+(** A device that ignores writes and reads as zero. *)
+val stub : ?core:bool -> string -> base:int -> size:int -> t

@@ -1,0 +1,31 @@
+(* Hardware faults.  The monitor installs handlers for the memory
+   management fault (MPU violations) and the bus fault (unprivileged PPB
+   access, unmapped addresses), exactly the two exception classes the
+   paper's OPEC-Monitor relies on (Sections 5.1, 5.2). *)
+
+type access = Read | Write | Execute
+
+type info = { addr : int; access : access; privileged : bool }
+
+(* MPU denied the access. *)
+exception Mem_manage of info
+
+(* Unmapped address or unprivileged PPB access. *)
+exception Bus of info
+
+(* Undefined behaviour in the program. *)
+exception Usage of string
+
+let pp_access fmt a =
+  Fmt.string fmt (match a with Read -> "read" | Write -> "write" | Execute -> "exec")
+
+let pp_info fmt { addr; access; privileged } =
+  Fmt.pf fmt "%a of 0x%08X at %s level" pp_access access addr
+    (if privileged then "privileged" else "unprivileged")
+
+let () =
+  Printexc.register_printer (function
+    | Mem_manage i -> Some (Fmt.str "MemManage fault: %a" pp_info i)
+    | Bus i -> Some (Fmt.str "BusFault: %a" pp_info i)
+    | Usage msg -> Some (Fmt.str "UsageFault: %s" msg)
+    | _ -> None)

@@ -1,0 +1,18 @@
+(** Hardware faults: the exception classes OPEC-Monitor handles
+    (Sections 5.1–5.2). *)
+
+type access = Read | Write | Execute
+
+type info = { addr : int; access : access; privileged : bool }
+
+(** The MPU denied the access. *)
+exception Mem_manage of info
+
+(** Unmapped address, flash write, or unprivileged PPB access. *)
+exception Bus of info
+
+(** Undefined behaviour in the program (e.g. use of an unset local). *)
+exception Usage of string
+
+val pp_access : Format.formatter -> access -> unit
+val pp_info : Format.formatter -> info -> unit

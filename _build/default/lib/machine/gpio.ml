@@ -1,0 +1,44 @@
+(* GPIO port model.  Register layout (byte offsets):
+   - [moder] 0x00: pin mode configuration (stored, not interpreted);
+   - [idr]   0x10: input data register (set by the control handle);
+   - [odr]   0x14: output data register (readable back by the handle).
+
+   PinLock drives its lock actuator through ODR bits; the test harness
+   reads them back to decide whether the lock physically moved. *)
+
+type handle = {
+  mutable idr : int;
+  mutable odr : int;
+  mutable moder : int;
+  mutable input_delay : int;  (* IDR reads before inputs become visible *)
+}
+
+let moder = 0x00
+let idr = 0x10
+let odr = 0x14
+
+let create name ~base =
+  let h = { idr = 0; odr = 0; moder = 0; input_delay = 0 } in
+  let read off _width =
+    if off = idr then
+      if h.input_delay > 0 then begin
+        h.input_delay <- h.input_delay - 1;
+        0L
+      end
+      else Int64.of_int h.idr
+    else if off = odr then Int64.of_int h.odr
+    else if off = moder then Int64.of_int h.moder
+    else 0L
+  in
+  let write off _width v =
+    let v = Int64.to_int v in
+    if off = odr then h.odr <- v land 0xFFFF
+    else if off = moder then h.moder <- v
+  in
+  (Device.v name ~base ~size:0x400 ~read ~write, h)
+
+let set_input ?(delay = 0) h pins =
+  h.idr <- pins land 0xFFFF;
+  h.input_delay <- delay
+
+let output h = h.odr

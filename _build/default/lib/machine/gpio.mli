@@ -1,0 +1,15 @@
+(** GPIO port model: MODER +0, IDR +0x10, ODR +0x14. *)
+
+type handle
+
+val moder : int
+val idr : int
+val odr : int
+val create : string -> base:int -> Device.t * handle
+
+(** Drive the input pins; [delay] models debounce/arrival latency in IDR
+    reads before the value becomes visible. *)
+val set_input : ?delay:int -> handle -> int -> unit
+
+(** The output data register, as the outside world sees it. *)
+val output : handle -> int

@@ -1,0 +1,41 @@
+(* LCD controller model.  Register layout (byte offsets):
+   - [ctrl]  0x00: control — writes select the drawing mode / start frame;
+   - [pixel] 0x04: pixel port — each word written paints one pixel;
+   - [alpha] 0x08: blend factor used by the fade-in/fade-out effects.
+
+   The handle counts frames and pixels and keeps a running checksum so the
+   Animation and LCD-uSD workloads can assert the display really received
+   the decoded pictures. *)
+
+type handle = {
+  mutable frames : int;
+  mutable pixels : int;
+  mutable checksum : int64;
+  mutable last_alpha : int;
+}
+
+let ctrl = 0x00
+let pixel = 0x04
+let alpha = 0x08
+let ctrl_start_frame = 1
+
+let create name ~base =
+  let h = { frames = 0; pixels = 0; checksum = 0L; last_alpha = 0 } in
+  let read off _width =
+    if off = alpha then Int64.of_int h.last_alpha else 0L
+  in
+  let write off _width v =
+    if off = ctrl then begin
+      if Int64.to_int v = ctrl_start_frame then h.frames <- h.frames + 1
+    end
+    else if off = pixel then begin
+      h.pixels <- h.pixels + 1;
+      h.checksum <- Int64.add (Int64.mul h.checksum 31L) v
+    end
+    else if off = alpha then h.last_alpha <- Int64.to_int v land 0xFF
+  in
+  (Device.v name ~base ~size:0x400 ~read ~write, h)
+
+let frames h = h.frames
+let pixels h = h.pixels
+let checksum h = h.checksum

@@ -1,0 +1,14 @@
+(** LCD controller model: CTRL +0 (1 starts a frame), PIXEL +4,
+    ALPHA +8.  The handle counts frames/pixels and keeps a checksum so
+    workloads can assert what reached the panel. *)
+
+type handle
+
+val ctrl : int
+val pixel : int
+val alpha : int
+val ctrl_start_frame : int
+val create : string -> base:int -> Device.t * handle
+val frames : handle -> int
+val pixels : handle -> int
+val checksum : handle -> int64

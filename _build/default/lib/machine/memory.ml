@@ -1,0 +1,42 @@
+(* Flat byte memories for flash and SRAM.  Little-endian, like Cortex-M. *)
+
+type t = { base : int; data : Bytes.t }
+
+let create ~base ~size = { base; data = Bytes.make size '\000' }
+
+let size t = Bytes.length t.data
+let limit t = t.base + size t
+let contains t addr = addr >= t.base && addr < limit t
+
+let in_range t addr bytes = addr >= t.base && addr + bytes <= limit t
+
+let read t addr bytes =
+  if not (in_range t addr bytes) then
+    raise (Fault.Bus { addr; access = Fault.Read; privileged = true });
+  let off = addr - t.base in
+  let rec go i acc =
+    if i < 0 then acc
+    else
+      go (i - 1)
+        (Int64.logor
+           (Int64.shift_left acc 8)
+           (Int64.of_int (Char.code (Bytes.get t.data (off + i)))))
+  in
+  go (bytes - 1) 0L
+
+let write t addr bytes v =
+  if not (in_range t addr bytes) then
+    raise (Fault.Bus { addr; access = Fault.Write; privileged = true });
+  let off = addr - t.base in
+  for i = 0 to bytes - 1 do
+    Bytes.set t.data (off + i)
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)))
+  done
+
+let blit_out t addr len =
+  let off = addr - t.base in
+  Bytes.sub t.data off len
+
+let blit_in t addr src =
+  let off = addr - t.base in
+  Bytes.blit src 0 t.data off (Bytes.length src)

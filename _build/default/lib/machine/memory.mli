@@ -1,0 +1,20 @@
+(** Flat little-endian byte memories for flash and SRAM. *)
+
+type t
+
+val create : base:int -> size:int -> t
+val size : t -> int
+val limit : t -> int
+val contains : t -> int -> bool
+val in_range : t -> int -> int -> bool
+
+(** [read t addr bytes] / [write t addr bytes v]: little-endian accesses
+    of 1..8 bytes; out-of-range accesses raise {!Fault.Bus}. *)
+val read : t -> int -> int -> int64
+
+val write : t -> int -> int -> int64 -> unit
+
+(** Bulk extraction/injection for loaders and tests. *)
+val blit_out : t -> int -> int -> Bytes.t
+
+val blit_in : t -> int -> Bytes.t -> unit

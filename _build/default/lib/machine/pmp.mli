@@ -1,0 +1,51 @@
+(** RISC-V Physical Memory Protection (PMP), the alternative protection
+    unit for porting OPEC to other platforms (Section 7).
+
+    Differences from the ARM MPU that matter to OPEC: 16 entries, the
+    LOWEST-numbered matching entry decides, NAPOT/TOR addressing, and
+    lock bits that bind even machine-mode (privileged) accesses. *)
+
+type mode =
+  | Off
+  | Napot of { base : int; size_log2 : int }
+  | Tor of { base : int; limit : int }  (** [\[base, limit)] *)
+
+type entry = {
+  mode : mode;
+  r : bool;
+  w : bool;
+  x : bool;
+  locked : bool;  (** enforced even on machine-mode accesses *)
+}
+
+type t = { entries : entry array; mutable enforcing : bool }
+
+exception Invalid_entry of string
+
+val entry_count : int
+val create : unit -> t
+
+(** Validated NAPOT entry: naturally aligned power-of-two of >= 8 B. *)
+val napot :
+  ?locked:bool -> base:int -> size_log2:int -> r:bool -> w:bool -> x:bool ->
+  unit -> entry
+
+(** Validated top-of-range entry covering [\[base, limit)]. *)
+val tor :
+  ?locked:bool -> base:int -> limit:int -> r:bool -> w:bool -> x:bool ->
+  unit -> entry
+
+val set : t -> int -> entry -> unit
+val get : t -> int -> entry
+val enable : t -> unit
+val matches : entry -> int -> bool
+val entry_allows : entry -> Fault.access -> bool
+
+(** Check one access: lowest-numbered matching entry decides; machine
+    mode passes unless the entry is locked; no match faults lower
+    privileges. *)
+val check :
+  t -> privileged:bool -> addr:int -> access:Fault.access ->
+  (unit, Fault.info) result
+
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,0 +1,1 @@
+lib/metrics/opec_metrics.ml: Icall_eval Overhead Overprivilege Report Security_eval Var_size Workload

@@ -1,0 +1,1 @@
+lib/metrics/icall_eval.ml: List Opec_analysis

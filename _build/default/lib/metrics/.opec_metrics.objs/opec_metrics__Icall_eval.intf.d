@@ -1,0 +1,1 @@
+lib/metrics/icall_eval.mli: Opec_analysis

@@ -1,0 +1,1 @@
+lib/metrics/overhead.ml: Int64 List Opec_aces Opec_apps Opec_core Opec_machine Workload

@@ -1,0 +1,1 @@
+lib/metrics/overhead.mli: Opec_aces Opec_apps Workload

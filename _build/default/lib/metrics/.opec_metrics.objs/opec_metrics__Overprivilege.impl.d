@@ -1,0 +1,1 @@
+lib/metrics/overprivilege.ml: Hashtbl List Opec_aces Opec_analysis Opec_core Option Set String Var_size

@@ -1,0 +1,1 @@
+lib/metrics/overprivilege.mli: Hashtbl Opec_aces Opec_analysis Opec_core Set String Var_size

@@ -1,0 +1,1 @@
+lib/metrics/report.ml: List Option Printf String

@@ -1,0 +1,1 @@
+lib/metrics/security_eval.ml: List Opec_core Opec_ir Set String Var_size

@@ -1,0 +1,1 @@
+lib/metrics/security_eval.mli: Opec_core

@@ -1,0 +1,1 @@
+lib/metrics/var_size.ml: Global Hashtbl List Opec_ir Program Set String

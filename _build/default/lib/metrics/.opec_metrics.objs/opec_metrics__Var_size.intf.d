@@ -1,0 +1,1 @@
+lib/metrics/var_size.mli: Hashtbl Opec_ir Set String

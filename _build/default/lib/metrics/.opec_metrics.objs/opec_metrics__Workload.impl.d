@@ -1,0 +1,1 @@
+lib/metrics/workload.ml: Int64 List Opec_apps Opec_core Opec_exec Opec_machine Opec_monitor

@@ -1,0 +1,1 @@
+lib/metrics/workload.mli: Opec_apps Opec_core Opec_exec Opec_monitor

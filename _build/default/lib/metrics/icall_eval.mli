@@ -1,0 +1,14 @@
+(** Table 3's icall-analysis efficiency metrics (Section 6.5). *)
+
+type row = {
+  app : string;
+  icalls : int;
+  svf_resolved : int;   (** resolved by the points-to analysis *)
+  time_s : float;       (** points-to solve time *)
+  type_resolved : int;  (** resolved by the type-based fallback *)
+  unresolved : int;
+  avg_targets : float;
+  max_targets : int;
+}
+
+val of_callgraph : app:string -> Opec_analysis.Callgraph.t -> row

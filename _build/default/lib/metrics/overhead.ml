@@ -1,0 +1,81 @@
+(* Figure 9 (runtime/flash/SRAM overhead of OPEC) and Table 2 (comparison
+   of OPEC with the three ACES strategies). *)
+
+module M = Opec_machine
+module C = Opec_core
+module A = Opec_aces
+
+type fig9_row = {
+  app : string;
+  runtime_pct : float;
+  flash_pct : float;
+  sram_pct : float;
+}
+
+let fig9_average rows =
+  let n = float_of_int (max 1 (List.length rows)) in
+  let sum f = List.fold_left (fun acc r -> acc +. f r) 0.0 rows in
+  { app = "Average";
+    runtime_pct = sum (fun r -> r.runtime_pct) /. n;
+    flash_pct = sum (fun r -> r.flash_pct) /. n;
+    sram_pct = sum (fun r -> r.sram_pct) /. n }
+
+let fig9_of_app (app : Opec_apps.App.t) =
+  let baseline = Workload.run_baseline app in
+  let protected_ = Workload.run_protected app in
+  let image = protected_.Workload.p_image in
+  { app = app.Opec_apps.App.app_name;
+    runtime_pct = Workload.runtime_overhead_pct ~baseline ~protected_;
+    flash_pct = C.Image.flash_overhead_pct image;
+    sram_pct = C.Image.sram_overhead_pct image }
+
+(* --- Table 2 rows -------------------------------------------------------- *)
+
+type t2_row = {
+  t2_app : string;
+  policy : string;     (** OPEC / ACES-1 / ACES-2 / ACES-3 *)
+  ro : float;          (** runtime ratio vs baseline (x) *)
+  fo : float;          (** flash overhead %, of device flash *)
+  so : float;          (** SRAM overhead %, of device SRAM *)
+  pac : float;         (** privileged application code % *)
+}
+
+let t2_opec (app : Opec_apps.App.t) ~baseline ~(protected_ : Workload.protected_result) =
+  let image = protected_.Workload.p_image in
+  { t2_app = app.Opec_apps.App.app_name;
+    policy = "OPEC";
+    ro =
+      Int64.to_float protected_.Workload.p_cycles
+      /. Int64.to_float (max 1L baseline.Workload.b_cycles);
+    fo = C.Image.flash_overhead_pct image;
+    so = C.Image.sram_overhead_pct image;
+    pac = 0.0 (* instruction emulation keeps all application code unprivileged *) }
+
+let t2_aces (app : Opec_apps.App.t) kind ~(baseline : Workload.baseline_result) =
+  let aces = A.Aces.analyze kind app.Opec_apps.App.program in
+  let switches = A.Aces.count_switches aces baseline.Workload.b_trace in
+  let switch_cycles = switches * A.Aces.switch_cost_cycles in
+  let board = app.Opec_apps.App.board in
+  { t2_app = app.Opec_apps.App.app_name;
+    policy = A.Strategy.name kind;
+    ro =
+      (Int64.to_float baseline.Workload.b_cycles +. float_of_int switch_cycles)
+      /. Int64.to_float (max 1L baseline.Workload.b_cycles);
+    fo =
+      100.0
+      *. float_of_int (A.Aces.flash_overhead_bytes aces)
+      /. float_of_int board.M.Memmap.flash_size;
+    so =
+      100.0
+      *. float_of_int (A.Aces.sram_overhead_bytes aces)
+      /. float_of_int board.M.Memmap.sram_size;
+    pac = A.Aces.privileged_app_code_pct aces }
+
+let table2_of_app (app : Opec_apps.App.t) =
+  let baseline = Workload.run_baseline app in
+  let protected_ = Workload.run_protected app in
+  t2_opec app ~baseline ~protected_
+  :: List.map
+       (fun kind -> t2_aces app kind ~baseline)
+       [ A.Strategy.Filename; A.Strategy.Filename_no_opt;
+         A.Strategy.By_peripheral ]

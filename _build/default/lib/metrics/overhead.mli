@@ -1,0 +1,33 @@
+(** Figure 9 (OPEC overhead) and Table 2 (comparison to ACES). *)
+
+type fig9_row = {
+  app : string;
+  runtime_pct : float;
+  flash_pct : float;  (** of device flash capacity *)
+  sram_pct : float;   (** of device SRAM capacity *)
+}
+
+val fig9_average : fig9_row list -> fig9_row
+
+(** Run one workload baseline + protected and derive its Figure 9 row. *)
+val fig9_of_app : Opec_apps.App.t -> fig9_row
+
+type t2_row = {
+  t2_app : string;
+  policy : string;  (** OPEC / ACES1 / ACES2 / ACES3 *)
+  ro : float;       (** runtime ratio vs baseline (x) *)
+  fo : float;       (** flash overhead, % of device flash *)
+  so : float;       (** SRAM overhead, % of device SRAM *)
+  pac : float;      (** privileged application code, % *)
+}
+
+val t2_opec :
+  Opec_apps.App.t -> baseline:Workload.baseline_result ->
+  protected_:Workload.protected_result -> t2_row
+
+val t2_aces :
+  Opec_apps.App.t -> Opec_aces.Strategy.kind ->
+  baseline:Workload.baseline_result -> t2_row
+
+(** The four policy rows of one application. *)
+val table2_of_app : Opec_apps.App.t -> t2_row list

@@ -1,0 +1,137 @@
+(* The paper's two over-privilege metrics.
+
+   Partition-time over-privilege (PT, equation 1): for a domain, the share
+   of its accessible global-variable bytes that no member function
+   actually depends on.  OPEC is 0 by construction (shadow sections
+   contain exactly the needed variables); ACES accrues PT through
+   MPU-limited region merging.
+
+   Execution-time over-privilege (ET, equation 2): for a task, one minus
+   the share of needed global-variable bytes actually used during
+   execution.  Needed = the resource dependency of the domain(s) involved;
+   used = the dependency of the functions that really executed. *)
+
+module SS = Set.Make (String)
+module R = Opec_analysis.Resource
+
+(* --- PT ------------------------------------------------------------------ *)
+
+type pt_sample = { domain : string; pt : float }
+
+let pt_value sizes ~accessible ~needed =
+  let accessible = Var_size.filter_writable sizes accessible in
+  let acc_size = Var_size.size_of_set sizes accessible in
+  if acc_size = 0 then 0.0
+  else
+    let unneeded = SS.diff accessible needed in
+    float_of_int (Var_size.size_of_set sizes unneeded) /. float_of_int acc_size
+
+(* PT of every compartment of an ACES build. *)
+let aces_pt (aces : Opec_aces.Aces.t) =
+  let sizes = Var_size.of_program aces.Opec_aces.Aces.program in
+  List.map
+    (fun (comp : Opec_aces.Compartment.t) ->
+      let needed = Opec_aces.Compartment.needed_globals comp in
+      let accessible =
+        Opec_aces.Region_merge.accessible_vars aces.Opec_aces.Aces.regions
+          comp.Opec_aces.Compartment.name
+      in
+      { domain = comp.Opec_aces.Compartment.name;
+        pt = pt_value sizes ~accessible ~needed })
+    aces.Opec_aces.Aces.compartments
+
+(* PT of every OPEC operation: the operation data section holds exactly
+   the needed variables, so every sample is 0; computed (not assumed) as a
+   cross-check. *)
+let opec_pt (image : Opec_core.Image.t) =
+  let sizes = Var_size.of_program image.Opec_core.Image.source in
+  List.map
+    (fun (op : Opec_core.Operation.t) ->
+      let needed = Opec_core.Operation.accessible_globals op in
+      let accessible =
+        match
+          Opec_core.Layout.section_of image.Opec_core.Image.layout
+            op.Opec_core.Operation.name
+        with
+        | None -> SS.empty
+        | Some sec ->
+          List.fold_left
+            (fun acc (s : Opec_core.Layout.slot) -> SS.add s.Opec_core.Layout.var acc)
+            SS.empty sec.Opec_core.Layout.slots
+      in
+      { domain = op.Opec_core.Operation.name;
+        pt = pt_value sizes ~accessible ~needed })
+    image.Opec_core.Image.ops
+
+(* cumulative-ratio points for the CDF of Figure 10 *)
+let cumulative_ratio samples =
+  let sorted = List.sort compare (List.map (fun s -> s.pt) samples) in
+  let n = List.length sorted in
+  List.mapi
+    (fun i pt -> (pt, float_of_int (i + 1) /. float_of_int (max 1 n)))
+    sorted
+
+(* --- ET ------------------------------------------------------------------ *)
+
+type et_sample = { task : string; et : float }
+
+(* global dependencies of a set of functions *)
+let deps_of_funcs (resources : R.t) funcs =
+  SS.fold (fun f acc -> SS.union acc (R.globals (R.of_func resources f)))
+    funcs SS.empty
+
+let et_value sizes ~used ~needed =
+  let needed = Var_size.filter_writable sizes needed in
+  let needed_size = Var_size.size_of_set sizes needed in
+  if needed_size = 0 then 0.0
+  else
+    let used = SS.inter used needed in
+    1.0 -. (float_of_int (Var_size.size_of_set sizes used) /. float_of_int needed_size)
+
+(* Merge per-instance executed-function sets into one set per task. *)
+let merge_tasks task_instances =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (entry, funcs) ->
+      let cur = Option.value (Hashtbl.find_opt tbl entry) ~default:SS.empty in
+      Hashtbl.replace tbl entry (SS.union cur (SS.of_list funcs)))
+    task_instances;
+  tbl
+
+(* ET of each task under OPEC: needed = the operation's resources. *)
+let opec_et (image : Opec_core.Image.t) ~task_instances =
+  let sizes = Var_size.of_program image.Opec_core.Image.source in
+  let resources = image.Opec_core.Image.resources in
+  let merged = merge_tasks task_instances in
+  List.filter_map
+    (fun (op : Opec_core.Operation.t) ->
+      match Hashtbl.find_opt merged op.Opec_core.Operation.entry with
+      | None -> None (* task never executed *)
+      | Some executed ->
+        let used = deps_of_funcs resources executed in
+        let needed = Opec_core.Operation.accessible_globals op in
+        Some { task = op.Opec_core.Operation.entry;
+               et = et_value sizes ~used ~needed })
+    image.Opec_core.Image.ops
+
+(* ET of each task under an ACES build: needed = dependencies of all
+   functions within every compartment entered during the task. *)
+let aces_et (aces : Opec_aces.Aces.t) ~task_instances =
+  let sizes = Var_size.of_program aces.Opec_aces.Aces.program in
+  let resources = aces.Opec_aces.Aces.resources in
+  let merged = merge_tasks task_instances in
+  Hashtbl.fold
+    (fun task executed acc ->
+      let used = deps_of_funcs resources executed in
+      let involved =
+        SS.fold
+          (fun f acc ->
+            match Opec_aces.Aces.compartment_of aces f with
+            | Some comp -> SS.union acc comp.Opec_aces.Compartment.funcs
+            | None -> acc)
+          executed SS.empty
+      in
+      let needed = deps_of_funcs resources involved in
+      { task; et = et_value sizes ~used ~needed } :: acc)
+    merged []
+  |> List.sort (fun a b -> compare a.task b.task)

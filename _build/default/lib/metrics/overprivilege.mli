@@ -1,0 +1,49 @@
+(** The paper's two over-privilege metrics.
+
+    Partition-time over-privilege (PT, equation 1): the share of a
+    domain's accessible global-variable bytes that no member function
+    depends on.  OPEC is 0 by construction; ACES accrues PT through
+    MPU-limited region merging.
+
+    Execution-time over-privilege (ET, equation 2): one minus the share
+    of a task's needed global-variable bytes actually used during
+    execution. *)
+
+module SS : Set.S with type elt = string and type t = Set.Make(String).t
+
+type pt_sample = { domain : string; pt : float }
+
+(** Equation (1): unneeded writable bytes / accessible writable bytes
+    (0 when nothing is accessible). *)
+val pt_value : Var_size.t -> accessible:SS.t -> needed:SS.t -> float
+
+(** PT of every ACES compartment. *)
+val aces_pt : Opec_aces.Aces.t -> pt_sample list
+
+(** PT of every OPEC operation, computed from the layout (all zero). *)
+val opec_pt : Opec_core.Image.t -> pt_sample list
+
+(** Sorted (pt, cumulative ratio) points — Figure 10's CDF. *)
+val cumulative_ratio : pt_sample list -> (float * float) list
+
+type et_sample = { task : string; et : float }
+
+(** Global dependencies of a set of executed functions. *)
+val deps_of_funcs : Opec_analysis.Resource.t -> SS.t -> SS.t
+
+(** Equation (2). *)
+val et_value : Var_size.t -> used:SS.t -> needed:SS.t -> float
+
+(** Merge per-instance executed-function sets into one set per task. *)
+val merge_tasks : (string * string list) list -> (string, SS.t) Hashtbl.t
+
+(** ET per executed task under OPEC: needed = the operation's resources. *)
+val opec_et :
+  Opec_core.Image.t -> task_instances:(string * string list) list ->
+  et_sample list
+
+(** ET per task under an ACES build: needed = the dependencies of every
+    function in every compartment entered during the task. *)
+val aces_et :
+  Opec_aces.Aces.t -> task_instances:(string * string list) list ->
+  et_sample list

@@ -1,0 +1,35 @@
+(* Plain-text table rendering for the benchmark harness. *)
+
+let pad width s =
+  if String.length s >= width then s
+  else s ^ String.make (width - String.length s) ' '
+
+(* render rows of cells with aligned columns *)
+let table ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let widths =
+    List.init cols (fun i ->
+        List.fold_left
+          (fun acc row ->
+            max acc (String.length (List.nth_opt row i |> Option.value ~default:"")))
+          0 all)
+  in
+  let render_row row =
+    String.concat "  "
+      (List.mapi
+         (fun i cell -> pad (List.nth widths i) cell)
+         (List.init cols (fun i -> Option.value (List.nth_opt row i) ~default:"")))
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (render_row header :: sep :: List.map render_row rows)
+
+let f1 x = Printf.sprintf "%.1f" x
+let f2 x = Printf.sprintf "%.2f" x
+let pct x = Printf.sprintf "%.2f%%" x
+
+let heading title =
+  let bar = String.make (String.length title) '=' in
+  Printf.sprintf "%s\n%s" title bar

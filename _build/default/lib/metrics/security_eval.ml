@@ -1,0 +1,59 @@
+(* Table 1's security metrics (paper, Section 6.2): number of operations,
+   average functions per operation, privileged code size (and its share of
+   the baseline, where ALL code runs privileged), and the average
+   accessible global-variable bytes per operation (and the share of the
+   writable globals a vanilla build exposes everywhere). *)
+
+module SS = Set.Make (String)
+module C = Opec_core
+
+type row = {
+  app : string;
+  ops : int;
+  avg_funcs : float;
+  pri_code_bytes : int;
+  pri_code_pct : float;
+  avg_gvars_bytes : float;
+  avg_gvars_pct : float;
+}
+
+let of_image ~app (image : C.Image.t) =
+  let ops = image.C.Image.ops in
+  let n = List.length ops in
+  let sizes = Var_size.of_program image.C.Image.source in
+  let avg_funcs =
+    float_of_int
+      (List.fold_left (fun acc op -> acc + C.Operation.func_count op) 0 ops)
+    /. float_of_int (max 1 n)
+  in
+  let pri_code_bytes = C.Image.privileged_code_bytes image in
+  let baseline_code = Opec_ir.Program.code_size image.C.Image.source in
+  let avg_gvars_bytes =
+    float_of_int
+      (List.fold_left
+         (fun acc op ->
+           acc
+           + Var_size.size_of_set sizes (C.Operation.accessible_globals op))
+         0 ops)
+    /. float_of_int (max 1 n)
+  in
+  { app;
+    ops = n;
+    avg_funcs;
+    pri_code_bytes;
+    pri_code_pct =
+      100.0 *. float_of_int pri_code_bytes /. float_of_int (max 1 baseline_code);
+    avg_gvars_bytes;
+    avg_gvars_pct =
+      100.0 *. avg_gvars_bytes /. float_of_int (max 1 sizes.Var_size.total_writable) }
+
+let average rows =
+  let n = float_of_int (max 1 (List.length rows)) in
+  let sum f = List.fold_left (fun acc r -> acc +. f r) 0.0 rows in
+  { app = "Average";
+    ops = int_of_float (sum (fun r -> float_of_int r.ops) /. n +. 0.5);
+    avg_funcs = sum (fun r -> r.avg_funcs) /. n;
+    pri_code_bytes = int_of_float (sum (fun r -> float_of_int r.pri_code_bytes) /. n);
+    pri_code_pct = sum (fun r -> r.pri_code_pct) /. n;
+    avg_gvars_bytes = sum (fun r -> r.avg_gvars_bytes) /. n;
+    avg_gvars_pct = sum (fun r -> r.avg_gvars_pct) /. n }

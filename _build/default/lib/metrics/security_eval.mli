@@ -1,0 +1,15 @@
+(** Table 1's security metrics (Section 6.2). *)
+
+type row = {
+  app : string;
+  ops : int;                (** number of operations *)
+  avg_funcs : float;        (** average functions per operation *)
+  pri_code_bytes : int;     (** privileged bytes (monitor + metadata) *)
+  pri_code_pct : float;     (** share of the baseline's code, where all
+                                code runs privileged *)
+  avg_gvars_bytes : float;  (** average accessible global bytes per op *)
+  avg_gvars_pct : float;    (** share of all writable global bytes *)
+}
+
+val of_image : app:string -> Opec_core.Image.t -> row
+val average : row list -> row

@@ -1,0 +1,32 @@
+(* Size accounting over sets of global variables ([var2size] in the
+   paper's equations (1) and (2)): only writable data globals participate,
+   since read-only data is never shadowed or region-protected. *)
+
+open Opec_ir
+module SS = Set.Make (String)
+
+type t = { sizes : (string, int) Hashtbl.t; total_writable : int }
+
+let of_program (p : Program.t) =
+  let sizes = Hashtbl.create 64 in
+  let total = ref 0 in
+  List.iter
+    (fun (g : Global.t) ->
+      if not g.const then begin
+        Hashtbl.replace sizes g.name (Global.size g);
+        total := !total + Global.size g
+      end)
+    p.globals;
+  { sizes; total_writable = !total }
+
+(* size of the writable subset of [vars] *)
+let size_of_set t vars =
+  SS.fold
+    (fun v acc ->
+      match Hashtbl.find_opt t.sizes v with
+      | Some s -> acc + s
+      | None -> acc (* constant or undefined: not isolated data *))
+    vars 0
+
+let writable t v = Hashtbl.mem t.sizes v
+let filter_writable t vars = SS.filter (writable t) vars

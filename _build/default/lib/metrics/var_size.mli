@@ -1,0 +1,14 @@
+(** Size accounting over sets of globals ([var2size] in equations (1)
+    and (2)): only writable data globals participate. *)
+
+module SS : Set.S with type elt = string and type t = Set.Make(String).t
+
+type t = { sizes : (string, int) Hashtbl.t; total_writable : int }
+
+val of_program : Opec_ir.Program.t -> t
+
+(** Byte size of the writable subset of a variable set. *)
+val size_of_set : t -> SS.t -> int
+
+val writable : t -> string -> bool
+val filter_writable : t -> SS.t -> SS.t

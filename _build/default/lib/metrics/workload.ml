@@ -1,0 +1,62 @@
+(* Drive a workload once as the vanilla baseline and once under OPEC,
+   collecting the measurements the evaluation consumes: the DWT-style
+   cycle counts, the execution trace, and the monitor statistics. *)
+
+module M = Opec_machine
+module C = Opec_core
+module E = Opec_exec
+module Mon = Opec_monitor
+module Apps = Opec_apps
+
+type baseline_result = {
+  b_cycles : int64;
+  b_trace : E.Trace.event list;
+  b_check : (unit, string) result;
+  b_flash : int;
+  b_sram : int;
+}
+
+let run_baseline (app : Apps.App.t) =
+  let world = app.Apps.App.make_world () in
+  world.Apps.App.prepare ();
+  let r =
+    Mon.Runner.run_baseline ~devices:world.Apps.App.devices
+      ~board:app.Apps.App.board app.Apps.App.program
+  in
+  { b_cycles = E.Interp.cycles r.Mon.Runner.b_interp;
+    b_trace = E.Trace.events (E.Interp.trace r.Mon.Runner.b_interp);
+    b_check = world.Apps.App.check ();
+    b_flash = r.Mon.Runner.b_layout.E.Vanilla_layout.flash_used;
+    b_sram = r.Mon.Runner.b_layout.E.Vanilla_layout.sram_used }
+
+type protected_result = {
+  p_cycles : int64;
+  p_check : (unit, string) result;
+  p_stats : Mon.Stats.t;
+  p_image : C.Image.t;
+}
+
+let compile (app : Apps.App.t) =
+  C.Compiler.compile ~board:app.Apps.App.board app.Apps.App.program
+    app.Apps.App.dev_input
+
+let run_protected ?image (app : Apps.App.t) =
+  let image = match image with Some i -> i | None -> compile app in
+  let world = app.Apps.App.make_world () in
+  world.Apps.App.prepare ();
+  let r = Mon.Runner.run_protected ~devices:world.Apps.App.devices image in
+  { p_cycles = E.Interp.cycles r.Mon.Runner.interp;
+    p_check = world.Apps.App.check ();
+    p_stats = (Mon.Monitor.stats r.Mon.Runner.monitor);
+    p_image = image }
+
+(* task instances (entry, executed functions) from a baseline trace *)
+let task_instances (app : Apps.App.t) (b : baseline_result) =
+  let t = { E.Trace.events = List.rev b.b_trace; enabled = false } in
+  E.Trace.tasks ~entries:(Apps.App.task_entries app) t
+
+let runtime_overhead_pct ~(baseline : baseline_result)
+    ~(protected_ : protected_result) =
+  let b = Int64.to_float baseline.b_cycles in
+  let p = Int64.to_float protected_.p_cycles in
+  if b = 0.0 then 0.0 else (p -. b) /. b *. 100.0

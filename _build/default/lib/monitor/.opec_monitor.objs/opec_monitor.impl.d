@@ -1,0 +1,1 @@
+lib/monitor/opec_monitor.ml: Monitor Mpu_install Runner Stats Threads

@@ -1,0 +1,1 @@
+lib/monitor/monitor.ml: Array Fmt Func Global Hashtbl Int64 List Mpu_install Opec_core Opec_exec Opec_ir Opec_machine Peripheral Program Set Stats String

@@ -1,0 +1,1 @@
+lib/monitor/monitor.mli: Opec_core Opec_exec Opec_ir Opec_machine Stats

@@ -1,0 +1,1 @@
+lib/monitor/mpu_install.ml: List Opec_core Opec_machine

@@ -1,0 +1,1 @@
+lib/monitor/runner.ml: List Monitor Opec_core Opec_exec Opec_ir Opec_machine

@@ -1,0 +1,1 @@
+lib/monitor/runner.mli: Monitor Opec_core Opec_exec Opec_ir Opec_machine

@@ -1,0 +1,1 @@
+lib/monitor/stats.ml: Fmt

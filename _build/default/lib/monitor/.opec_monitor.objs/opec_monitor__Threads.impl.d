@@ -1,0 +1,1 @@
+lib/monitor/threads.ml: Effect List Monitor Opec_core Opec_exec Opec_machine Runner

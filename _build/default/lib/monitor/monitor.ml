@@ -1,0 +1,469 @@
+(* OPEC-Monitor: the privileged reference monitor (paper, Section 5).
+
+   Linked against the image, it performs:
+   - initialization: fill shadow sections, arm the MPU, drop privilege
+     (Section 5.1);
+   - operation switch: sanitize + synchronize shared globals through the
+     public section, fix up shadow pointer fields, relocate pointer-type
+     entry arguments onto the new operation's stack sub-regions, and
+     reconfigure the MPU (Sections 5.2, 5.3);
+   - MPU virtualization: rotate the four reserved peripheral regions
+     round-robin from the memory-management fault handler;
+   - core-peripheral emulation: perform permitted PPB loads/stores from
+     the bus-fault handler so application code never runs privileged. *)
+
+open Opec_ir
+module M = Opec_machine
+module C = Opec_core
+module SS = Set.Make (String)
+
+type frame = {
+  op : C.Operation.t;
+  meta : C.Metadata.op_meta;
+  srd : int;                        (** sub-region disable mask while active *)
+  saved_sp : int;                   (** caller sp to restore bookkeeping *)
+  relocated : (int * int * int) list; (** (orig, copy, bytes) to copy back *)
+  mutable virt_next : int;          (** round-robin cursor for regions 4..7 *)
+}
+
+type t = {
+  image : C.Image.t;
+  bus : M.Bus.t;
+  stats : Stats.t;
+  var_size : (string, int) Hashtbl.t;
+  ptr_offsets : (string, int list) Hashtbl.t;
+  (* reverse index: (op, var, base, size) for pointer translation *)
+  shadow_ranges : (string * string * int * int) list;
+  sync_whole_section : bool;
+      (** ablation: copy entire sections at switches instead of only the
+          shared variables (Section 6.3 credits the shared-only policy) *)
+  mutable frames : frame list;      (** head = current operation *)
+}
+
+exception Violation of string
+
+let stats t = t.stats
+
+let abort t msg =
+  t.stats.Stats.denied <- t.stats.Stats.denied + 1;
+  raise (Violation msg)
+
+let current t =
+  match t.frames with
+  | f :: _ -> f
+  | [] -> invalid_arg "Monitor: no active operation"
+
+(* --- construction ------------------------------------------------------- *)
+
+let create ?(sync_whole_section = false) (image : C.Image.t) (bus : M.Bus.t) =
+  let var_size = Hashtbl.create 64 in
+  let ptr_offsets = Hashtbl.create 64 in
+  List.iter
+    (fun (g : Global.t) ->
+      Hashtbl.replace var_size g.name (Global.size g);
+      match Global.pointer_field_offsets g with
+      | [] -> ()
+      | offs -> Hashtbl.replace ptr_offsets g.name offs)
+    image.C.Image.source.Program.globals;
+  let shadow_ranges =
+    Hashtbl.fold
+      (fun var homes acc ->
+        List.fold_left
+          (fun acc (op, base) ->
+            (op, var, base, Hashtbl.find var_size var) :: acc)
+          acc homes)
+      image.C.Image.layout.C.Layout.shadow_addr []
+  in
+  { image; bus; stats = Stats.create (); var_size; ptr_offsets; shadow_ranges;
+    sync_whole_section; frames = [] }
+
+(* --- privileged memory helpers ----------------------------------------- *)
+
+let priv_read t addr width =
+  M.Cpu.with_privilege t.bus.M.Bus.cpu (fun () -> M.Bus.read t.bus addr width)
+
+let priv_write t addr width v =
+  M.Cpu.with_privilege t.bus.M.Bus.cpu (fun () -> M.Bus.write t.bus addr width v)
+
+let copy_words t ~src ~dst bytes =
+  let rec go off =
+    if off < bytes then begin
+      let w = if bytes - off >= 4 then 4 else 1 in
+      priv_write t (dst + off) w (priv_read t (src + off) w);
+      go (off + w)
+    end
+  in
+  go 0;
+  t.stats.Stats.synced_bytes <- t.stats.Stats.synced_bytes + bytes
+
+(* --- sanitization ------------------------------------------------------- *)
+
+(* Check the developer-provided valid range for [var]'s first word before
+   its shadow value propagates out of the operation (Section 5.3). *)
+let sanitize t (meta : C.Metadata.op_meta) var shadow_addr =
+  List.iter
+    (fun (r : C.Dev_input.sanitize_rule) ->
+      if String.equal r.C.Dev_input.sz_global var then begin
+        let v = priv_read t shadow_addr 4 in
+        if Int64.compare v r.C.Dev_input.sz_min < 0
+           || Int64.compare v r.C.Dev_input.sz_max > 0 then
+          abort t
+            (Fmt.str "sanitization failed for %s: %Ld not in [%Ld, %Ld]" var v
+               r.C.Dev_input.sz_min r.C.Dev_input.sz_max)
+      end)
+    meta.C.Metadata.sanitize
+
+(* --- global synchronization (Figure 7) ---------------------------------- *)
+
+let master_of t var =
+  match C.Layout.master_of t.image.C.Image.layout var with
+  | Some a -> a
+  | None -> invalid_arg ("Monitor: no master for " ^ var)
+
+(* In the whole-section ablation every slot of the section is staged,
+   modeling a design without the shared-variable filter; internal slots
+   copy in place, costing the same bus traffic. *)
+let stage_whole_section t (meta : C.Metadata.op_meta) =
+  if t.sync_whole_section then
+    match meta.C.Metadata.section with
+    | None -> ()
+    | Some sec ->
+      List.iter
+        (fun (slot : C.Layout.slot) ->
+          if not (List.mem_assoc slot.C.Layout.var meta.C.Metadata.shadow_slots)
+          then
+            copy_words t ~src:slot.C.Layout.addr ~dst:slot.C.Layout.addr
+              slot.C.Layout.size)
+        sec.C.Layout.slots
+
+(* write back the current operation's shadows to the public section *)
+let sync_out t (meta : C.Metadata.op_meta) =
+  stage_whole_section t meta;
+  List.iter
+    (fun (var, shadow) ->
+      sanitize t meta var shadow;
+      copy_words t ~src:shadow ~dst:(master_of t var)
+        (Hashtbl.find t.var_size var))
+    meta.C.Metadata.shadow_slots
+
+(* Translate a pointer that targets another operation's shadow section to
+   the equivalent location visible to [op] (Section 5.3). *)
+let translate_pointer t ~op v =
+  let addr = Int64.to_int v in
+  let hit =
+    List.find_opt
+      (fun (owner, _var, base, size) ->
+        (not (String.equal owner op)) && addr >= base && addr < base + size)
+      t.shadow_ranges
+  in
+  match hit with
+  | None -> v
+  | Some (_owner, var, base, _size) ->
+    let delta = addr - base in
+    let target =
+      match C.Layout.shadow_of t.image.C.Image.layout ~op ~var with
+      | Some s -> s + delta
+      | None -> master_of t var + delta
+    in
+    t.stats.Stats.pointer_fixups <- t.stats.Stats.pointer_fixups + 1;
+    Int64.of_int target
+
+(* copy masters into the incoming operation's shadows and fix up pointer
+   fields that still reference another operation's section *)
+let sync_in t (meta : C.Metadata.op_meta) =
+  stage_whole_section t meta;
+  let op = meta.C.Metadata.op.C.Operation.name in
+  List.iter
+    (fun (var, shadow) ->
+      copy_words t ~src:(master_of t var) ~dst:shadow
+        (Hashtbl.find t.var_size var);
+      match Hashtbl.find_opt t.ptr_offsets var with
+      | None -> ()
+      | Some offsets ->
+        List.iter
+          (fun off ->
+            let v = priv_read t (shadow + off) 4 in
+            let v' = translate_pointer t ~op v in
+            if not (Int64.equal v v') then priv_write t (shadow + off) 4 v')
+          offsets)
+    meta.C.Metadata.shadow_slots
+
+(* point every relocation-table slot at the operation's shadow, or NULL
+   when the operation has no access to the variable *)
+let update_reloc_table t (meta : C.Metadata.op_meta) =
+  let layout = t.image.C.Image.layout in
+  List.iter
+    (fun (var, slot) ->
+      let target =
+        match List.assoc_opt var meta.C.Metadata.shadow_slots with
+        | Some shadow -> Int64.of_int shadow
+        | None -> 0L
+      in
+      priv_write t slot 4 target)
+    layout.C.Layout.reloc_slots
+
+(* --- stack protection (Figure 8) ---------------------------------------- *)
+
+let subregion_of t addr =
+  let layout = t.image.C.Image.layout in
+  (addr - layout.C.Layout.stack_base) / C.Config.stack_subregion_size
+
+(* Disable every sub-region strictly above the one containing [sp]. *)
+let srd_for t sp =
+  let top_sub = subregion_of t (min sp (t.image.C.Image.layout.C.Layout.stack_top - 1)) in
+  let rec mask i acc = if i > 7 then acc else mask (i + 1) (acc lor (1 lsl i)) in
+  if top_sub >= 7 then 0 else mask (top_sub + 1) 0
+
+(* Relocate the buffers pointed to by pointer-type entry arguments onto
+   the incoming operation's stack and redirect the arguments. *)
+let relocate_arguments t (meta : C.Metadata.op_meta) (args : int64 array) =
+  let cpu = t.bus.M.Bus.cpu in
+  match meta.C.Metadata.stack_info with
+  | None -> (args, [])
+  | Some si ->
+    let relocated = ref [] in
+    let args = Array.copy args in
+    List.iter
+      (fun (pa : C.Dev_input.ptr_arg) ->
+        let idx = pa.C.Dev_input.param_index in
+        if idx < Array.length args then begin
+          let orig = Int64.to_int args.(idx) in
+          let bytes = pa.C.Dev_input.buffer_bytes in
+          let copy = (cpu.M.Cpu.sp - bytes) land lnot 7 in
+          if copy < cpu.M.Cpu.stack_base then
+            abort t "stack exhausted during argument relocation";
+          copy_words t ~src:orig ~dst:copy bytes;
+          t.stats.Stats.relocated_bytes <- t.stats.Stats.relocated_bytes + bytes;
+          cpu.M.Cpu.sp <- copy;
+          args.(idx) <- Int64.of_int copy;
+          relocated := (orig, copy, bytes) :: !relocated
+        end)
+      si.C.Dev_input.ptr_args;
+    (args, !relocated)
+
+let copy_back_relocated t frame =
+  List.iter
+    (fun (orig, copy, bytes) -> copy_words t ~src:copy ~dst:orig bytes)
+    frame.relocated
+
+(* --- MPU installation ---------------------------------------------------- *)
+
+let install_mpu t (meta : C.Metadata.op_meta) ~srd =
+  M.Cpu.with_privilege t.bus.M.Bus.cpu (fun () ->
+      ignore (Mpu_install.install t.bus.M.Bus.mpu ~image:t.image ~meta ~srd))
+
+(* --- switch protocol ----------------------------------------------------- *)
+
+let meta_exn t op_name =
+  match C.Image.meta_of t.image op_name with
+  | Some m -> m
+  | None -> invalid_arg ("Monitor: no metadata for operation " ^ op_name)
+
+let enter_operation t ~(entry : Func.t) ~(args : int64 array) =
+  let op =
+    match C.Image.op_of_entry t.image entry.Func.name with
+    | Some op -> op
+    | None -> invalid_arg ("Monitor: not an operation entry: " ^ entry.Func.name)
+  in
+  let meta = meta_exn t op.C.Operation.name in
+  (* 1. write back the previous operation's shadows *)
+  (match t.frames with
+  | prev :: _ -> sync_out t prev.meta
+  | [] -> ());
+  (* 2. fill the new operation's shadows and fix pointers *)
+  sync_in t meta;
+  update_reloc_table t meta;
+  (* 3. relocate stack arguments *)
+  let cpu = t.bus.M.Bus.cpu in
+  let saved_sp = cpu.M.Cpu.sp in
+  let args, relocated = relocate_arguments t meta args in
+  (* 4. disable the sub-regions of previous stack frames *)
+  let srd = srd_for t cpu.M.Cpu.sp in
+  let frame = { op; meta; srd; saved_sp; relocated; virt_next = 0 } in
+  t.frames <- frame :: t.frames;
+  install_mpu t meta ~srd;
+  t.stats.Stats.switches <- t.stats.Stats.switches + 1;
+  args
+
+let exit_operation t ~(entry : Func.t) =
+  match t.frames with
+  | [] -> invalid_arg "Monitor: exit with no active operation"
+  | frame :: rest ->
+    if not (String.equal frame.op.C.Operation.entry entry.Func.name) then
+      invalid_arg "Monitor: mismatched operation exit";
+    (* 1. sanitize + write back the exiting operation's shadows.  (The
+       paper also clears the general-purpose registers here; the
+       interpreter gives every activation a fresh register file, so no
+       register value can survive an operation exit by construction.) *)
+    sync_out t frame.meta;
+    (* 2. restore stack data and pointer arguments *)
+    copy_back_relocated t frame;
+    t.frames <- rest;
+    (* 3. refill the resumed operation's shadows and MPU *)
+    (match rest with
+    | prev :: _ ->
+      sync_in t prev.meta;
+      update_reloc_table t prev.meta;
+      install_mpu t prev.meta ~srd:prev.srd
+    | [] -> ());
+    t.stats.Stats.switches <- t.stats.Stats.switches + 1
+
+(* --- thread context switching (Section 7) -------------------------------- *)
+
+(* An inactive thread's operation-context stack. *)
+type thread_snapshot = frame list
+
+let initial_snapshot t =
+  let dop = C.Image.default_op t.image in
+  let meta = meta_exn t dop.C.Operation.name in
+  [ { op = dop; meta; srd = 0;
+      saved_sp = t.image.C.Image.map.Opec_exec.Address_map.stack_top;
+      relocated = []; virt_next = 0 } ]
+
+(* The single-core context switch of Section 7: write back the previous
+   thread's operation shadows, adopt the next thread's context, refill
+   its shadows, and reconfigure the MPU. *)
+let thread_switch t ~(next : thread_snapshot) : thread_snapshot =
+  (match t.frames with
+  | f :: _ -> sync_out t f.meta
+  | [] -> ());
+  let prev = t.frames in
+  t.frames <- next;
+  (match next with
+  | f :: _ ->
+    sync_in t f.meta;
+    update_reloc_table t f.meta;
+    install_mpu t f.meta ~srd:f.srd
+  | [] -> ());
+  t.stats.Stats.switches <- t.stats.Stats.switches + 1;
+  prev
+
+(* --- fault handlers ------------------------------------------------------ *)
+
+(* Memory-management fault: peripheral MPU virtualization (Section 5.2). *)
+let handle_mem_fault t (_desc : Opec_exec.Interp.access_desc)
+    (info : M.Fault.info) =
+  let frame = current t in
+  let addr = info.M.Fault.addr in
+  let permitted =
+    List.exists
+      (fun (base, limit) -> addr >= base && addr < limit)
+      frame.op.C.Operation.periph_ranges
+  in
+  if not permitted then
+    Opec_exec.Interp.Abort
+      (Fmt.str "isolation violation in %s: %a" frame.op.C.Operation.name
+         M.Fault.pp_info info)
+  else begin
+    (* the access is in the allow list: rotate one of the four reserved
+       regions to cover it (round-robin) *)
+    let covering =
+      List.find_opt
+        (fun (r : M.Mpu.region) ->
+          addr >= r.M.Mpu.base && addr < r.M.Mpu.base + (1 lsl r.M.Mpu.size_log2))
+        frame.meta.C.Metadata.periph_regions
+    in
+    match covering with
+    | None ->
+      Opec_exec.Interp.Abort
+        (Fmt.str "no planned region covers permitted address 0x%08X" addr)
+    | Some region ->
+      let first =
+        C.Config.peripheral_region_first
+        + if frame.meta.C.Metadata.uses_heap then 1 else 0
+      in
+      let count =
+        (C.Config.peripheral_region_first + C.Config.peripheral_region_count)
+        - first
+      in
+      let slot = first + (frame.virt_next mod max 1 count) in
+      frame.virt_next <- frame.virt_next + 1;
+      M.Cpu.with_privilege t.bus.M.Bus.cpu (fun () ->
+          M.Mpu.set t.bus.M.Bus.mpu slot (Some region));
+      t.stats.Stats.virt_swaps <- t.stats.Stats.virt_swaps + 1;
+      Opec_exec.Interp.Retry
+  end
+
+(* Bus fault: emulate permitted core-peripheral loads/stores
+   (Section 5.2). *)
+let handle_bus_fault t (desc : Opec_exec.Interp.access_desc)
+    (info : M.Fault.info) =
+  let frame = current t in
+  let addr = info.M.Fault.addr in
+  let in_ppb =
+    addr >= M.Memmap.ppb_base && addr < M.Memmap.ppb_limit
+  in
+  let periph =
+    Peripheral.find t.image.C.Image.source.Program.peripherals addr
+  in
+  let permitted =
+    (not info.M.Fault.privileged) && in_ppb
+    &&
+    match periph with
+    | Some p -> C.Operation.uses_core_peripheral frame.op p.Peripheral.name
+    | None -> false
+  in
+  if not permitted then
+    Opec_exec.Interp.Bus_abort
+      (Fmt.str "bus fault in %s: %a" frame.op.C.Operation.name
+         M.Fault.pp_info info)
+  else begin
+    t.stats.Stats.emulations <- t.stats.Stats.emulations + 1;
+    match desc with
+    | Opec_exec.Interp.Access_load { addr; width } ->
+      Opec_exec.Interp.Emulated (priv_read t addr width)
+    | Opec_exec.Interp.Access_store { addr; width; value } ->
+      priv_write t addr width value;
+      Opec_exec.Interp.Emulated 0L
+  end
+
+(* --- initialization (Section 5.1) ---------------------------------------- *)
+
+let init t =
+  let image = t.image in
+  (* copy the initial value of every shared global into its shadows *)
+  List.iter
+    (fun (_op_name, (meta : C.Metadata.op_meta)) ->
+      List.iter
+        (fun (var, shadow) ->
+          copy_words t ~src:(master_of t var) ~dst:shadow
+            (Hashtbl.find t.var_size var))
+        meta.C.Metadata.shadow_slots)
+    image.C.Image.metas;
+  (* start in the default operation *)
+  let dop = C.Image.default_op image in
+  let meta = meta_exn t dop.C.Operation.name in
+  let frame =
+    { op = dop; meta; srd = 0;
+      saved_sp = image.C.Image.map.Opec_exec.Address_map.stack_top;
+      relocated = []; virt_next = 0 }
+  in
+  t.frames <- [ frame ];
+  sync_in t meta;
+  update_reloc_table t meta;
+  install_mpu t meta ~srd:0;
+  (* drop privilege: the application code runs unprivileged *)
+  M.Cpu.drop_privilege t.bus.M.Bus.cpu
+
+(* --- the interpreter-facing handler -------------------------------------- *)
+
+let handler t : Opec_exec.Interp.handler =
+  { Opec_exec.Interp.on_operation_enter =
+      (fun ~entry ~args ->
+        try enter_operation t ~entry ~args
+        with Violation msg -> raise (Opec_exec.Interp.Aborted msg));
+    on_operation_exit =
+      (fun ~entry ->
+        try exit_operation t ~entry
+        with Violation msg -> raise (Opec_exec.Interp.Aborted msg));
+    on_mem_fault =
+      (fun desc info ->
+        M.Cpu.with_privilege t.bus.M.Bus.cpu (fun () ->
+            try handle_mem_fault t desc info
+            with Violation msg -> Opec_exec.Interp.Abort msg));
+    on_bus_fault =
+      (fun desc info ->
+        M.Cpu.with_privilege t.bus.M.Bus.cpu (fun () ->
+            try handle_bus_fault t desc info
+            with Violation msg -> Opec_exec.Interp.Bus_abort msg));
+    on_svc = (fun _ -> ()) }

@@ -1,0 +1,53 @@
+(** OPEC-Monitor: the privileged reference monitor (Section 5).
+
+    Linked against the image, it performs initialization (shadow fill,
+    MPU arm, privilege drop), the operation switch (sanitize +
+    synchronize shared globals through the public section, fix up shadow
+    pointer fields, relocate pointer-type entry arguments onto the
+    incoming stack sub-regions, reinstall the MPU), round-robin MPU
+    virtualization for peripherals, and load/store emulation for core
+    peripherals so no application code ever runs privileged. *)
+
+type t
+
+(** Raised internally on blocked accesses and failed sanitization;
+    surfaced to callers as {!Opec_exec.Interp.Aborted}. *)
+exception Violation of string
+
+(** [create image bus] builds the monitor state.
+    [sync_whole_section:true] selects the ablation that stages entire
+    sections at switches instead of only the shared variables. *)
+val create :
+  ?sync_whole_section:bool -> Opec_core.Image.t -> Opec_machine.Bus.t -> t
+
+(** Runtime counters (switches, synced bytes, rotations, emulations,
+    fix-ups, denials). *)
+val stats : t -> Stats.t
+
+(** Initialization (Section 5.1): copy initial values into every shadow
+    section, enter the default operation, install its MPU plan, and drop
+    privilege. *)
+val init : t -> unit
+
+(** The switch protocol (Section 5.3), normally invoked through
+    {!handler}. *)
+val enter_operation :
+  t -> entry:Opec_ir.Func.t -> args:int64 array -> int64 array
+
+val exit_operation : t -> entry:Opec_ir.Func.t -> unit
+
+(** The interpreter-facing trap interface. *)
+val handler : t -> Opec_exec.Interp.handler
+
+(** {2 Thread support (Section 7, single-core)} *)
+
+(** An inactive thread's operation-context stack. *)
+type thread_snapshot
+
+(** The context a fresh thread starts with: the default operation. *)
+val initial_snapshot : t -> thread_snapshot
+
+(** Context switch: write back the current thread's operation shadows,
+    adopt [next], refill its shadows and MPU plan; returns the previous
+    thread's snapshot. *)
+val thread_switch : t -> next:thread_snapshot -> thread_snapshot

@@ -1,0 +1,31 @@
+(* Glue between the compile-time MPU plan and the machine's MPU. *)
+
+module C = Opec_core
+
+let install mpu ~(image : C.Image.t) ~(meta : C.Metadata.op_meta) ~srd =
+  let heap =
+    if meta.C.Metadata.uses_heap then
+      image.C.Image.layout.C.Layout.heap_section
+    else None
+  in
+  let overflow =
+    C.Mpu_plan.install mpu ~code_base:image.C.Image.code_base
+      ~code_bytes:image.C.Image.code_bytes
+      ~stack_base:image.C.Image.layout.C.Layout.stack_base ~srd ?heap
+      meta.C.Metadata.section meta.C.Metadata.op
+  in
+  (* Regions that did not fit are rotated in on demand by the monitor's
+     fault handler; clear the remaining reserved slots so stale mappings
+     from the previous operation cannot leak through. *)
+  let installed =
+    List.length meta.C.Metadata.periph_regions - List.length overflow
+  in
+  let first_free =
+    C.Config.peripheral_region_first
+    + (if meta.C.Metadata.uses_heap then 1 else 0)
+    + installed
+  in
+  for slot = first_free to C.Config.peripheral_region_first + C.Config.peripheral_region_count - 1 do
+    Opec_machine.Mpu.set mpu slot None
+  done;
+  overflow

@@ -1,0 +1,7 @@
+(** OPEC-Monitor: privileged runtime enforcing operation isolation. *)
+
+module Stats = Stats
+module Mpu_install = Mpu_install
+module Monitor = Monitor
+module Runner = Runner
+module Threads = Threads

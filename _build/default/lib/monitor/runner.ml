@@ -1,0 +1,65 @@
+(* Convenience driver: assemble a machine for a board, load an image (or a
+   vanilla baseline), wire the monitor into the interpreter, and run. *)
+
+module M = Opec_machine
+module C = Opec_core
+module E = Opec_exec
+
+type protected_run = {
+  interp : E.Interp.t;
+  monitor : Monitor.t;
+  bus : M.Bus.t;
+}
+
+(* Build a protected run: machine + loaded image + monitor handler.
+   [devices] are attached to the bus before loading. *)
+let prepare ?(devices = []) ?sync_whole_section (image : C.Image.t) =
+  let bus = M.Bus.create ~board:image.C.Image.board in
+  List.iter (M.Bus.attach bus) devices;
+  M.Bus.attach bus (M.Core_periph.systick ~cycles:(fun () -> M.Cpu.cycles bus.M.Bus.cpu));
+  M.Bus.attach bus (M.Core_periph.dwt ~cycles:(fun () -> M.Cpu.cycles bus.M.Bus.cpu));
+  M.Bus.attach bus (M.Core_periph.scb ());
+  C.Image.load image bus;
+  let monitor = Monitor.create ?sync_whole_section image bus in
+  let interp =
+    E.Interp.create ~handler:(Monitor.handler monitor)
+      ~entries:image.C.Image.entries ~bus ~map:image.C.Image.map
+      image.C.Image.program
+  in
+  { interp; monitor; bus }
+
+(* Initialize the monitor (shadow fill, MPU arm, privilege drop) and run
+   the program from main. *)
+let run_protected ?devices ?sync_whole_section image =
+  let r = prepare ?devices ?sync_whole_section image in
+  let cpu = r.bus.M.Bus.cpu in
+  cpu.M.Cpu.sp <- image.C.Image.map.E.Address_map.stack_top;
+  cpu.M.Cpu.stack_base <- image.C.Image.map.E.Address_map.stack_base;
+  cpu.M.Cpu.stack_limit <- image.C.Image.map.E.Address_map.stack_top;
+  Monitor.init r.monitor;
+  E.Interp.run ~reset_stack:false r.interp;
+  r
+
+type baseline_run = {
+  b_interp : E.Interp.t;
+  b_bus : M.Bus.t;
+  b_layout : E.Vanilla_layout.t;
+}
+
+(* Build and run the unprotected baseline binary of [program]. *)
+let prepare_baseline ?(devices = []) ~board (program : Opec_ir.Program.t) =
+  let bus = M.Bus.create ~board in
+  List.iter (M.Bus.attach bus) devices;
+  M.Bus.attach bus (M.Core_periph.systick ~cycles:(fun () -> M.Cpu.cycles bus.M.Bus.cpu));
+  M.Bus.attach bus (M.Core_periph.dwt ~cycles:(fun () -> M.Cpu.cycles bus.M.Bus.cpu));
+  M.Bus.attach bus (M.Core_periph.scb ());
+  let layout = E.Vanilla_layout.make ~board program in
+  E.Vanilla_layout.load_initial_values bus
+    ~global_addr:layout.E.Vanilla_layout.map.E.Address_map.global_addr program;
+  let interp = E.Interp.create ~bus ~map:layout.E.Vanilla_layout.map program in
+  { b_interp = interp; b_bus = bus; b_layout = layout }
+
+let run_baseline ?devices ~board program =
+  let r = prepare_baseline ?devices ~board program in
+  E.Interp.run r.b_interp;
+  r

@@ -1,0 +1,47 @@
+(** Convenience driver: assemble a machine, load an image (or a vanilla
+    baseline), wire the monitor into the interpreter, and run. *)
+
+module M = Opec_machine
+module C = Opec_core
+module E = Opec_exec
+
+type protected_run = {
+  interp : E.Interp.t;
+  monitor : Monitor.t;
+  bus : M.Bus.t;
+}
+
+(** Build a protected run without starting it: machine + devices + core
+    peripherals + loaded image + monitor-backed interpreter. *)
+val prepare :
+  ?devices:M.Device.t list ->
+  ?sync_whole_section:bool ->
+  C.Image.t ->
+  protected_run
+
+(** Initialize the monitor (shadow fill, MPU arm, privilege drop) and
+    run the program from [main]. *)
+val run_protected :
+  ?devices:M.Device.t list ->
+  ?sync_whole_section:bool ->
+  C.Image.t ->
+  protected_run
+
+type baseline_run = {
+  b_interp : E.Interp.t;
+  b_bus : M.Bus.t;
+  b_layout : E.Vanilla_layout.t;
+}
+
+(** Build the unprotected baseline binary of a program. *)
+val prepare_baseline :
+  ?devices:M.Device.t list ->
+  board:M.Memmap.board ->
+  Opec_ir.Program.t ->
+  baseline_run
+
+val run_baseline :
+  ?devices:M.Device.t list ->
+  board:M.Memmap.board ->
+  Opec_ir.Program.t ->
+  baseline_run

@@ -1,0 +1,22 @@
+(* Runtime counters the evaluation and the tests inspect. *)
+
+type t = {
+  mutable switches : int;          (** operation switches performed *)
+  mutable synced_bytes : int;      (** bytes moved by global synchronization *)
+  mutable relocated_bytes : int;   (** bytes moved by stack relocation *)
+  mutable virt_swaps : int;        (** MPU peripheral region rotations *)
+  mutable emulations : int;        (** core-peripheral loads/stores emulated *)
+  mutable pointer_fixups : int;    (** shadow pointer fields redirected *)
+  mutable denied : int;            (** isolation violations blocked *)
+}
+
+let create () =
+  { switches = 0; synced_bytes = 0; relocated_bytes = 0; virt_swaps = 0;
+    emulations = 0; pointer_fixups = 0; denied = 0 }
+
+let pp fmt s =
+  Fmt.pf fmt
+    "switches=%d synced=%dB relocated=%dB virt_swaps=%d emulations=%d \
+     fixups=%d denied=%d"
+    s.switches s.synced_bytes s.relocated_bytes s.virt_swaps s.emulations
+    s.pointer_fixups s.denied

@@ -1,0 +1,14 @@
+(** Runtime counters the evaluation and the tests inspect. *)
+
+type t = {
+  mutable switches : int;         (** operation switches performed *)
+  mutable synced_bytes : int;     (** bytes moved by global synchronization *)
+  mutable relocated_bytes : int;  (** bytes moved by stack-argument relocation *)
+  mutable virt_swaps : int;       (** MPU peripheral-region rotations *)
+  mutable emulations : int;       (** core-peripheral loads/stores emulated *)
+  mutable pointer_fixups : int;   (** shadow pointer fields redirected *)
+  mutable denied : int;           (** isolation violations blocked *)
+}
+
+val create : unit -> t
+val pp : Format.formatter -> t -> unit

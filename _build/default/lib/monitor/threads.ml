@@ -1,0 +1,155 @@
+(* Cooperative multi-threading on top of OPEC, the single-core design of
+   the paper's Section 7: at each context switch the monitor (1) writes
+   back the previous thread's operation shadows and synchronizes the new
+   thread's, and (2) reconfigures the MPU.
+
+   Each thread runs the interpreter inside an OCaml effect fiber; the
+   firmware yields with the dedicated supervisor call [yield_svc], which
+   the scheduler's handler turns into a captured continuation.  Threads
+   get disjoint slices of the application stack; the per-thread machine
+   context (SP, stack bounds) and monitor context (operation frames) are
+   swapped at every switch. *)
+
+module M = Opec_machine
+module C = Opec_core
+module E = Opec_exec
+
+(* the SVC number firmware executes to yield the CPU *)
+let yield_svc = 0xF0
+
+type _ Effect.t += Yield : unit Effect.t
+
+type status = Ready | Running | Finished
+
+type thread = {
+  tid : int;
+  entry : string;
+  args : int64 list;
+  stack_base : int;
+  stack_limit : int;
+  mutable sp : int;
+  mutable snapshot : Monitor.thread_snapshot;
+  mutable status : status;
+  mutable resume : (unit, unit) Effect.Deep.continuation option;
+}
+
+type t = {
+  interp : E.Interp.t;
+  monitor : Monitor.t;
+  bus : M.Bus.t;
+  mutable threads : thread list;
+  mutable current : thread option;
+  mutable context_switches : int;
+}
+
+(* The scheduler-aware trap handler: wraps the monitor's, turning the
+   yield SVC into the scheduling effect. *)
+let handler t =
+  let base = Monitor.handler t.monitor in
+  { base with
+    E.Interp.on_svc =
+      (fun n ->
+        if n = yield_svc then Effect.perform Yield
+        else base.E.Interp.on_svc n) }
+
+let create (run : Runner.protected_run) =
+  let t =
+    { interp = run.Runner.interp;
+      monitor = run.Runner.monitor;
+      bus = run.Runner.bus;
+      threads = [];
+      current = None;
+      context_switches = 0 }
+  in
+  E.Interp.set_handler t.interp (handler t);
+  t
+
+exception Too_many_threads
+
+(* Carve the next free stack slice (one per thread, top-down). *)
+let spawn t ~entry ~args ~stack_bytes =
+  let image_top = t.bus.M.Bus.cpu.M.Cpu.stack_limit in
+  let used =
+    List.fold_left (fun acc th -> acc + (th.stack_limit - th.stack_base)) 0
+      t.threads
+  in
+  let limit = image_top - used in
+  let base = limit - stack_bytes in
+  if base < t.bus.M.Bus.cpu.M.Cpu.stack_base then raise Too_many_threads;
+  let th =
+    { tid = List.length t.threads;
+      entry;
+      args;
+      stack_base = base;
+      stack_limit = limit;
+      sp = limit;
+      snapshot = Monitor.initial_snapshot t.monitor;
+      status = Ready;
+      resume = None }
+  in
+  t.threads <- t.threads @ [ th ];
+  th
+
+(* Restore a thread's machine and monitor context; the operation frames
+   the monitor held for the previously running thread are saved back
+   into that thread. *)
+let activate t th =
+  let cpu = t.bus.M.Bus.cpu in
+  cpu.M.Cpu.sp <- th.sp;
+  cpu.M.Cpu.stack_base <- th.stack_base;
+  cpu.M.Cpu.stack_limit <- th.stack_limit;
+  let prev_frames = Monitor.thread_switch t.monitor ~next:th.snapshot in
+  (match t.current with
+  | Some prev when prev != th -> prev.snapshot <- prev_frames
+  | Some _ | None -> ());
+  t.current <- Some th;
+  t.context_switches <- t.context_switches + 1
+
+let next_ready t =
+  List.find_opt (fun th -> th.status = Ready) t.threads
+
+(* Run all spawned threads round-robin until every one finishes.  The
+   firmware yields by executing [Svc yield_svc]. *)
+let run t =
+  let rec schedule () =
+    match next_ready t with
+    | None -> ()
+    | Some th ->
+      activate t th;
+      th.status <- Running;
+      (match th.resume with
+      | Some k ->
+        th.resume <- None;
+        Effect.Deep.continue k ()
+      | None -> start th);
+      (* round-robin: the thread that just ran goes to the back *)
+      t.threads <- List.filter (fun o -> o != th) t.threads @ [ th ];
+      schedule ()
+  and start th =
+    Effect.Deep.match_with
+      (fun () ->
+        ignore (E.Interp.call t.interp th.entry th.args);
+        th.status <- Finished;
+        park th)
+      ()
+      { Effect.Deep.retc = (fun () -> ());
+        exnc = (fun e -> raise e);
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Yield ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  th.status <- Ready;
+                  park th;
+                  th.resume <- Some k)
+            | _ -> None) }
+  and park th =
+    (* capture the machine stack pointer; the monitor frames are captured
+       lazily by the next [activate] *)
+    th.sp <- t.bus.M.Bus.cpu.M.Cpu.sp
+  in
+  schedule ()
+
+let context_switches t = t.context_switches
+let thread_count t = List.length t.threads

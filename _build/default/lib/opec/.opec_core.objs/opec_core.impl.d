@@ -1,0 +1,1 @@
+lib/opec/opec_core.ml: Compiler Config Dev_input Image Instrument Layout Metadata Mpu_plan Operation Partition Pmp_plan Policy

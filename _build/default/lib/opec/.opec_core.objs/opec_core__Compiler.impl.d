@@ -1,0 +1,1 @@
+lib/opec/compiler.ml: Dev_input Image Instrument Layout List Metadata Opec_analysis Opec_ir Opec_machine Operation Partition Policy Program

@@ -1,0 +1,1 @@
+lib/opec/compiler.mli: Dev_input Image Opec_ir Opec_machine

@@ -1,0 +1,1 @@
+lib/opec/config.ml:

@@ -1,0 +1,1 @@
+lib/opec/dev_input.ml: List String

@@ -1,0 +1,1 @@
+lib/opec/image.ml: Config Dev_input Global Hashtbl Instrument Int64 Layout List Metadata Opec_analysis Opec_exec Opec_ir Opec_machine Operation Program Set String Ty

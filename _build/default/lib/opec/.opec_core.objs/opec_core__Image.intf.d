@@ -1,0 +1,1 @@
+lib/opec/image.mli: Dev_input Instrument Layout Metadata Opec_analysis Opec_exec Opec_ir Opec_machine Operation Program

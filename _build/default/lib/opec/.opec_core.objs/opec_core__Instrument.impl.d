@@ -1,0 +1,1 @@
+lib/opec/instrument.ml: Expr Func Instr Layout List Opec_ir Program String

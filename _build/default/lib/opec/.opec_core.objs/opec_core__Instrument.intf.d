@@ -1,0 +1,1 @@
+lib/opec/instrument.mli: Func Layout Opec_ir Program

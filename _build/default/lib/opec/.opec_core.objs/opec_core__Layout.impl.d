@@ -1,0 +1,1 @@
+lib/opec/layout.ml: Config Fmt Global Hashtbl List Opec_ir Opec_machine Operation Option Partition Program Set String

@@ -1,0 +1,1 @@
+lib/opec/layout.mli: Format Hashtbl Opec_ir Operation Partition Program

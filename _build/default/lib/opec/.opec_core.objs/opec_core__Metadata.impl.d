@@ -1,0 +1,1 @@
+lib/opec/metadata.ml: Config Dev_input Layout List Mpu_plan Opec_machine Operation Partition Set String

@@ -1,0 +1,1 @@
+lib/opec/metadata.mli: Dev_input Layout Opec_machine Operation Partition

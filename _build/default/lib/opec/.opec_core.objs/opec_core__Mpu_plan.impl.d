@@ -1,0 +1,1 @@
+lib/opec/mpu_plan.ml: Config Layout List Opec_machine Operation

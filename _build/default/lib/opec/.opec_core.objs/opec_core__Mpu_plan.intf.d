@@ -1,0 +1,1 @@
+lib/opec/mpu_plan.mli: Layout Opec_machine Operation

@@ -1,0 +1,1 @@
+lib/opec/operation.ml: Fmt Opec_analysis Set String

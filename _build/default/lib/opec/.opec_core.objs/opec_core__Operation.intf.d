@@ -1,0 +1,1 @@
+lib/opec/operation.mli: Format Opec_analysis Set String

@@ -1,0 +1,1 @@
+lib/opec/partition.ml: Dev_input Func Global List Opec_analysis Opec_ir Operation Peripheral Program Set String

@@ -1,0 +1,1 @@
+lib/opec/partition.mli: Dev_input Opec_analysis Opec_ir Operation Program

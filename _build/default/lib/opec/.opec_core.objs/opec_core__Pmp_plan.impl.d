@@ -1,0 +1,1 @@
+lib/opec/pmp_plan.ml: Layout List Mpu_plan Opec_machine Operation

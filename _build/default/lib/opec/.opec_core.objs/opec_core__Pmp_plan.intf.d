@@ -1,0 +1,1 @@
+lib/opec/pmp_plan.mli: Layout Opec_machine Operation

@@ -1,0 +1,1 @@
+lib/opec/policy.ml: Fmt Opec_analysis Operation Set String

@@ -1,0 +1,1 @@
+lib/opec/policy.mli: Format Operation

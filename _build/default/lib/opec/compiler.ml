@@ -1,0 +1,30 @@
+(* The OPEC-Compiler pipeline (paper, Figure 5):
+   call graph generation -> resource dependency analysis -> operation
+   partitioning -> program image generation. *)
+
+open Opec_ir
+
+let compile ?(board = Opec_machine.Memmap.stm32f4_discovery)
+    ?(sort_sections = true) (program : Program.t) (input : Dev_input.t) :
+    Image.t =
+  let program = Program.validate program in
+  (* Stage 1a: call graph generation (points-to + type-based fallback) *)
+  let points_to = Opec_analysis.Points_to.solve program in
+  let callgraph = Opec_analysis.Callgraph.build program points_to in
+  (* Stage 1b: resource dependency analysis *)
+  let resources = Opec_analysis.Resource.analyze program points_to in
+  (* Stage 1c: operation partitioning *)
+  let ops = Partition.partition program callgraph resources input in
+  let classification = Partition.classify_globals program ops in
+  (* Stage 1d: image generation *)
+  let layout = Layout.build ~sort_sections program ops classification in
+  let metas = Metadata.build ~cls:classification layout input ops in
+  let instrumented, stats =
+    Instrument.instrument program layout
+      ~entries:(List.map (fun (op : Operation.t) -> op.Operation.entry) ops)
+  in
+  Image.assemble ~board ~input ~ops ~layout ~metas ~stats ~callgraph
+    ~resources ~points_to ~source:program instrumented
+
+(* The policy file for an image. *)
+let policy (image : Image.t) = Policy.to_string image.Image.ops

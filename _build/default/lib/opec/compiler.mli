@@ -1,0 +1,16 @@
+(** The OPEC-Compiler pipeline (Figure 5): call-graph generation →
+    resource dependency analysis → operation partitioning → image
+    generation. *)
+
+(** Compile a program with the developer inputs into a protected image.
+    [sort_sections:false] selects declaration-order section placement
+    (ablation). *)
+val compile :
+  ?board:Opec_machine.Memmap.board ->
+  ?sort_sections:bool ->
+  Opec_ir.Program.t ->
+  Dev_input.t ->
+  Image.t
+
+(** Render the image's operation policy file. *)
+val policy : Image.t -> string

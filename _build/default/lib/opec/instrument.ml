@@ -1,0 +1,133 @@
+(* Code instrumentation (paper, Section 4.4).
+
+   External (shared) globals are reached through the variables relocation
+   table: every use of [&g] for an external [g] is rewritten to go through
+   the table slot — the monitor keeps each slot pointing at the current
+   operation's shadow copy.  The table lives in memory that is read-only
+   at the unprivileged level, so a compromised operation cannot re-point
+   it.
+
+   The slot loads are hoisted to function entry (one load per external the
+   function touches), the register-caching a compiler would do: the table
+   can only change across an operation switch, and a switch triggered by a
+   nested call restores the caller's table before returning, so a cached
+   slot value stays valid for the whole activation.
+
+   The SVC instructions inserted before and after operation entry call
+   sites are represented by marking the entry functions in the produced
+   image: the interpreter performs the SVC trap protocol at every call to
+   a marked function, which is observationally the same control transfer
+   (DESIGN.md, deviations). *)
+
+open Opec_ir
+
+type stats = {
+  reloc_sites : int;   (** relocation loads inserted (per function/extern) *)
+  svc_sites : int;     (** call sites of operation entry functions *)
+}
+
+(* externals mentioned in an expression *)
+let rec externals_in is_external (e : Expr.t) =
+  match e with
+  | Expr.Global_addr g when is_external g -> [ g ]
+  | Expr.Global_addr _ | Expr.Const _ | Expr.Local _ | Expr.Func_addr _ -> []
+  | Expr.Bin (_, a, b) -> externals_in is_external a @ externals_in is_external b
+  | Expr.Un (_, a) -> externals_in is_external a
+
+let rec subst map (e : Expr.t) =
+  match e with
+  | Expr.Global_addr g -> (
+    match List.assoc_opt g map with
+    | Some tmp -> Expr.Local tmp
+    | None -> e)
+  | Expr.Const _ | Expr.Local _ | Expr.Func_addr _ -> e
+  | Expr.Bin (op, a, b) -> Expr.Bin (op, subst map a, subst map b)
+  | Expr.Un (op, a) -> Expr.Un (op, subst map a)
+
+(* every external global referenced anywhere in the function body *)
+let function_externals is_external (f : Func.t) =
+  let acc = ref [] in
+  let scan e = acc := externals_in is_external e @ !acc in
+  Instr.iter_block
+    (fun instr ->
+      match instr with
+      | Instr.Let (_, e) -> scan e
+      | Instr.Load (_, _, a) -> scan a
+      | Instr.Store (_, a, v) -> scan a; scan v
+      | Instr.Call (_, callee, args) ->
+        (match callee with Instr.Indirect e -> scan e | Instr.Direct _ -> ());
+        List.iter scan args
+      | Instr.If (cond, _, _) | Instr.While (cond, _) -> scan cond
+      | Instr.Return (Some e) -> scan e
+      | Instr.Memcpy (a, b, n) | Instr.Memset (a, b, n) ->
+        scan a; scan b; scan n
+      | Instr.Alloca _ | Instr.Return None | Instr.Svc _ | Instr.Halt
+      | Instr.Nop -> ())
+    f.body;
+  List.sort_uniq String.compare !acc
+
+let rewrite_function ~is_external ~slot_addr counter (f : Func.t) =
+  match function_externals is_external f with
+  | [] -> f
+  | externals ->
+    let map = List.map (fun g -> (g, "$rel_" ^ g)) externals in
+    let prologue =
+      List.map
+        (fun (g, tmp) ->
+          incr counter;
+          Instr.Load (tmp, Instr.W32, Expr.i (slot_addr g)))
+        map
+    in
+    let body =
+      Instr.map_block
+        (fun instr ->
+          [ (match instr with
+          | Instr.Let (x, e) -> Instr.Let (x, subst map e)
+          | Instr.Load (x, w, a) -> Instr.Load (x, w, subst map a)
+          | Instr.Store (w, a, v) -> Instr.Store (w, subst map a, subst map v)
+          | Instr.Call (dst, callee, args) ->
+            let callee =
+              match callee with
+              | Instr.Direct _ -> callee
+              | Instr.Indirect e -> Instr.Indirect (subst map e)
+            in
+            Instr.Call (dst, callee, List.map (subst map) args)
+          | Instr.If (cond, a, b) -> Instr.If (subst map cond, a, b)
+          | Instr.While (cond, body) -> Instr.While (subst map cond, body)
+          | Instr.Return (Some e) -> Instr.Return (Some (subst map e))
+          | Instr.Memcpy (a, b, n) ->
+            Instr.Memcpy (subst map a, subst map b, subst map n)
+          | Instr.Memset (a, b, n) ->
+            Instr.Memset (subst map a, subst map b, subst map n)
+          | Instr.Alloca _ | Instr.Return None | Instr.Svc _ | Instr.Halt
+          | Instr.Nop -> instr) ])
+        f.body
+    in
+    { f with Func.body = prologue @ body }
+
+let count_svc_sites (p : Program.t) entries =
+  let entry_set = List.sort_uniq String.compare entries in
+  List.fold_left
+    (fun acc (f : Func.t) ->
+      Instr.fold_block
+        (fun acc instr ->
+          match instr with
+          | Instr.Call (_, Instr.Direct g, _) when List.mem g entry_set ->
+            acc + 1
+          | _ -> acc)
+        acc f.body)
+    0 p.funcs
+
+let instrument (p : Program.t) (layout : Layout.t) ~entries =
+  let is_external g = Layout.is_external layout g in
+  let slot_addr g =
+    match Layout.reloc_slot layout g with
+    | Some a -> a
+    | None -> invalid_arg ("Instrument: no relocation slot for " ^ g)
+  in
+  let counter = ref 0 in
+  let funcs =
+    List.map (rewrite_function ~is_external ~slot_addr counter) p.funcs
+  in
+  let p' = { p with Program.funcs } in
+  (p', { reloc_sites = !counter; svc_sites = count_svc_sites p entries })

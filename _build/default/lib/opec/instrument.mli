@@ -1,0 +1,25 @@
+(** Code instrumentation (Section 4.4): rewrite every use of a shared
+    global's address to go through its relocation-table slot, with the
+    slot loads hoisted to function entry (a switch triggered by a nested
+    call restores the caller's table before returning, so the cached
+    value stays valid for the activation). *)
+
+open Opec_ir
+
+type stats = {
+  reloc_sites : int;  (** relocation loads inserted (per function/extern) *)
+  svc_sites : int;    (** call sites of operation entry functions *)
+}
+
+(** Shared globals referenced anywhere in the function body. *)
+val function_externals : (string -> bool) -> Func.t -> string list
+
+val rewrite_function :
+  is_external:(string -> bool) -> slot_addr:(string -> int) -> int ref ->
+  Func.t -> Func.t
+
+val count_svc_sites : Program.t -> string list -> int
+
+(** Instrument the whole program against a layout. *)
+val instrument :
+  Program.t -> Layout.t -> entries:string list -> Program.t * stats

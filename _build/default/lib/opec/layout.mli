@@ -1,0 +1,70 @@
+(** SRAM layout with global-data shadowing (Section 4.4).
+
+    Each operation gets an exclusive data section (internal globals plus
+    shadows of its shared globals), confined by one MPU region, so bases
+    are aligned to power-of-two region sizes; sections are placed in
+    descending size order to limit fragmentation.  Masters of shared
+    variables live in the public section; the relocation table holds one
+    pointer per shared variable. *)
+
+open Opec_ir
+
+type slot = { var : string; addr : int; size : int }
+
+type section = {
+  owner : string;     (** operation name, or ["public"] *)
+  base : int;
+  used : int;         (** bytes occupied by variables *)
+  region_log2 : int;  (** MPU region size covering the section *)
+  slots : slot list;
+}
+
+type t = {
+  op_sections : (string * section) list;
+  public : section;
+  heap_section : section option;  (** heap arenas (Section 5.2) *)
+  externals : string list;             (** shared (shadowed) variables *)
+  reloc_base : int;
+  reloc_slots : (string * int) list;   (** shared var -> table slot addr *)
+  stack_base : int;
+  stack_top : int;
+  data_base : int;
+  data_limit : int;
+  var_home : (string, int) Hashtbl.t;
+  shadow_addr : (string, (string * int) list) Hashtbl.t;
+}
+
+val align : int -> int -> int
+val section_region_log2 : int -> int
+
+(** Pack variables into a section at [base], large ones first. *)
+val pack_section : owner:string -> base:int -> (string * int) list -> section
+
+val slot_addr : section -> string -> int option
+
+(** Build the layout.  [sort_sections:false] keeps declaration order —
+    the placement ablation. *)
+val build :
+  ?sort_sections:bool ->
+  Program.t ->
+  Operation.t list ->
+  Partition.classification ->
+  t
+
+val section_of : t -> string -> section option
+val reloc_slot : t -> string -> int option
+
+(** Address of [var]'s shadow in [op]'s section, if the operation
+    accesses it. *)
+val shadow_of : t -> op:string -> var:string -> int option
+
+(** Master address (public section) of a shared variable, or the single
+    home of an internal one. *)
+val master_of : t -> string -> int option
+
+val is_external : t -> string -> bool
+
+(** SRAM bytes the plan consumes, including MPU-alignment fragments. *)
+val sram_bytes : t -> int
+
+val pp_section : Format.formatter -> section -> unit

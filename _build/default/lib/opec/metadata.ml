@@ -1,0 +1,70 @@
+(* Per-operation metadata (paper, Section 4.4): MPU configurations, stack
+   information, sanitization values, the peripheral allow list, and the
+   relocation-table entries.  Stored in flash (read-only), except the
+   relocation table itself, which the monitor mutates.  The byte counts
+   model the flash overhead the metadata causes. *)
+
+module SS = Set.Make (String)
+
+type op_meta = {
+  op : Operation.t;
+  section : Layout.section option;
+  uses_heap : bool;  (** map the heap section read-write for this op *)
+  shadow_slots : (string * int) list;   (** external var -> shadow addr *)
+  sanitize : Dev_input.sanitize_rule list;
+  stack_info : Dev_input.stack_info option;
+  periph_regions : Opec_machine.Mpu.region list;
+  bytes : int;
+}
+
+let bytes_of ~shadow_count ~periph_region_count ~sanitize_count ~stack_args =
+  Config.metadata_fixed_bytes
+  + (periph_region_count * Config.metadata_periph_entry_bytes)
+  + (sanitize_count * Config.metadata_sanitize_entry_bytes)
+  + (stack_args * Config.metadata_stack_arg_entry_bytes)
+  + (shadow_count * Config.metadata_reloc_entry_bytes)
+
+let build ?(cls : Partition.classification option) (layout : Layout.t)
+    (input : Dev_input.t) (ops : Operation.t list) =
+  List.map
+    (fun (op : Operation.t) ->
+      let section = Layout.section_of layout op.Operation.name in
+      let shadow_slots =
+        SS.fold
+          (fun v acc ->
+            match Layout.shadow_of layout ~op:op.Operation.name ~var:v with
+            | Some addr -> (v, addr) :: acc
+            | None -> acc)
+          (Operation.accessible_globals op)
+          []
+      in
+      let sanitize =
+        List.filter
+          (fun (r : Dev_input.sanitize_rule) ->
+            SS.mem r.Dev_input.sz_global (Operation.accessible_globals op))
+          input.Dev_input.sanitize
+      in
+      let stack_info = Dev_input.stack_info_for input op.Operation.entry in
+      let periph_regions = Mpu_plan.peripheral_regions op in
+      let stack_args =
+        match stack_info with
+        | None -> 0
+        | Some si -> List.length si.Dev_input.ptr_args
+      in
+      let bytes =
+        bytes_of ~shadow_count:(List.length shadow_slots)
+          ~periph_region_count:(List.length periph_regions)
+          ~sanitize_count:(List.length sanitize) ~stack_args
+      in
+      let uses_heap =
+        match cls with
+        | Some cls -> Partition.op_uses_heap cls op
+        | None -> false
+      in
+      ( op.Operation.name,
+        { op; section; uses_heap; shadow_slots; sanitize; stack_info;
+          periph_regions; bytes } ))
+    ops
+
+let total_bytes metas =
+  List.fold_left (fun acc (_, m) -> acc + m.bytes) 0 metas

@@ -1,0 +1,110 @@
+(* MPU region planning (paper, Section 5.2).
+
+   Fixed plan per operation:
+   - region 0: background — code and SRAM readable, nothing writable at
+     the unprivileged level (peripheral space is deliberately outside it,
+     so unlisted peripherals fault);
+   - region 1: application code, unprivileged read + execute;
+   - region 2: the application stack, read-write, with sub-regions
+     disabled dynamically by the monitor;
+   - region 3: the operation's data section, read-write;
+   - regions 4..7: the operation's (merged) peripheral ranges; ranges
+     beyond four regions are virtualized by the monitor at runtime.
+
+   A merged peripheral range that cannot be covered by one aligned
+   power-of-two region is split into multiple chunks, which is why "one
+   peripheral may need two more MPU regions" (Section 5.2). *)
+
+module Mpu = Opec_machine.Mpu
+
+let background_region =
+  Mpu.region ~base:0x0 ~size_log2:30 ~privileged:Mpu.Read_write
+    ~unprivileged:Mpu.Read_only ()
+
+let code_region ~code_base ~code_bytes =
+  let _, log2 = Mpu.region_size_for code_bytes in
+  (* align the base down to the region size; flash base is 2^27-aligned *)
+  let size = 1 lsl log2 in
+  let base = code_base land lnot (size - 1) in
+  Mpu.region ~executable:true ~base ~size_log2:log2 ~privileged:Mpu.Read_write
+    ~unprivileged:Mpu.Read_only ()
+
+let stack_region ~stack_base ?(srd = 0) () =
+  let log2 =
+    let rec go k = if 1 lsl k >= Config.stack_size then k else go (k + 1) in
+    go Mpu.min_size_log2
+  in
+  Mpu.region ~srd ~base:stack_base ~size_log2:log2 ~privileged:Mpu.Read_write
+    ~unprivileged:Mpu.Read_write ()
+
+(* the heap section: read-write for operations that use the heap *)
+let heap_region (section : Layout.section) =
+  Mpu.region ~base:section.Layout.base ~size_log2:section.Layout.region_log2
+    ~privileged:Mpu.Read_write ~unprivileged:Mpu.Read_write ()
+
+let opdata_region (section : Layout.section) =
+  Mpu.region ~base:section.Layout.base ~size_log2:section.Layout.region_log2
+    ~privileged:Mpu.Read_write ~unprivileged:Mpu.Read_write ()
+
+(* Cover [lo, hi) with aligned power-of-two regions, greedily taking the
+   largest chunk legal at the current base. *)
+let cover_range (lo, hi) =
+  let rec largest_at base remaining k =
+    let size = 1 lsl (k + 1) in
+    if size <= remaining && base land (size - 1) = 0 && k + 1 <= 30 then
+      largest_at base remaining (k + 1)
+    else k
+  in
+  let rec go base acc =
+    if base >= hi then List.rev acc
+    else
+      let remaining = hi - base in
+      let k =
+        if remaining < 32 then Mpu.min_size_log2
+        else largest_at base remaining (Mpu.min_size_log2 - 1)
+      in
+      let k = max k Mpu.min_size_log2 in
+      go (base + (1 lsl k)) ((base, k) :: acc)
+  in
+  go lo []
+
+let peripheral_regions (op : Operation.t) =
+  List.concat_map cover_range op.Operation.periph_ranges
+  |> List.map (fun (base, size_log2) ->
+         Mpu.region ~base ~size_log2 ~privileged:Mpu.Read_write
+           ~unprivileged:Mpu.Read_write ())
+
+(* Install the full plan for [op] into the machine's MPU.  Returns the
+   peripheral regions that did not fit into the four reserved slots —
+   they will be faulted in and rotated by the monitor's virtualization. *)
+let install mpu ~code_base ~code_bytes ~stack_base ~srd ?heap
+    (section : Layout.section option) (op : Operation.t) =
+  Mpu.clear mpu;
+  Mpu.set mpu Config.region_background (Some background_region);
+  Mpu.set mpu Config.region_code (Some (code_region ~code_base ~code_bytes));
+  Mpu.set mpu Config.region_stack (Some (stack_region ~stack_base ~srd ()));
+  (match section with
+  | Some s -> Mpu.set mpu Config.region_opdata (Some (opdata_region s))
+  | None -> Mpu.set mpu Config.region_opdata None);
+  (* operations using the heap dedicate the first reserved slot to it *)
+  let first_periph =
+    match heap with
+    | Some hs ->
+      Mpu.set mpu Config.peripheral_region_first (Some (heap_region hs));
+      Config.peripheral_region_first + 1
+    | None -> Config.peripheral_region_first
+  in
+  let periphs = peripheral_regions op in
+  let last = Config.peripheral_region_first + Config.peripheral_region_count in
+  let rec fill slot = function
+    | [] -> []
+    | r :: rest when slot < last ->
+      Mpu.set mpu slot (Some r);
+      fill (slot + 1) rest
+    | rest ->
+      (* clear remaining slots handled below; return the overflow *)
+      rest
+  in
+  let overflow = fill first_periph periphs in
+  Mpu.enable mpu;
+  overflow

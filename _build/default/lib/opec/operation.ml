@@ -1,0 +1,35 @@
+(* An operation: a logically independent task — an entry function plus all
+   functions reachable from it, with the resources those functions need
+   (paper, Sections 1 and 4.3). *)
+
+module SS = Set.Make (String)
+
+type t = {
+  index : int;
+  name : string;
+  entry : string;
+  funcs : SS.t;
+  resources : Opec_analysis.Resource.func_resources;
+  (* general peripherals after sort-and-merge, as address ranges *)
+  periph_ranges : (int * int) list;  (** (base, limit) pairs *)
+}
+
+let func_count op = SS.cardinal op.funcs
+
+let accessible_globals op = Opec_analysis.Resource.globals op.resources
+
+let uses_peripheral op name =
+  SS.mem name op.resources.Opec_analysis.Resource.peripherals
+
+let uses_core_peripheral op name =
+  SS.mem name op.resources.Opec_analysis.Resource.core_peripherals
+
+let pp fmt op =
+  Fmt.pf fmt "@[<v 2>operation %d %s (entry %s):@,funcs: %a@,globals: %a@,periphs: %a@,core: %a@]"
+    op.index op.name op.entry
+    Fmt.(list ~sep:sp string) (SS.elements op.funcs)
+    Fmt.(list ~sep:sp string) (SS.elements (accessible_globals op))
+    Fmt.(list ~sep:sp string)
+    (SS.elements op.resources.Opec_analysis.Resource.peripherals)
+    Fmt.(list ~sep:sp string)
+    (SS.elements op.resources.Opec_analysis.Resource.core_peripherals)

@@ -1,0 +1,24 @@
+(** An operation: a logically independent task — an entry function plus
+    all functions reachable from it, with the resources those functions
+    need (Sections 1, 4.3). *)
+
+module SS : Set.S with type elt = string and type t = Set.Make(String).t
+
+type t = {
+  index : int;         (** 0 is the default operation *)
+  name : string;
+  entry : string;
+  funcs : SS.t;
+  resources : Opec_analysis.Resource.func_resources;
+  periph_ranges : (int * int) list;
+      (** general peripherals after sort-and-merge, as (base, limit) *)
+}
+
+val func_count : t -> int
+
+(** All globals in the operation's resource dependency. *)
+val accessible_globals : t -> SS.t
+
+val uses_peripheral : t -> string -> bool
+val uses_core_peripheral : t -> string -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,100 @@
+(* Operation partitioning (paper, Section 4.3).
+
+   For each developer-provided entry function, a depth-first traversal of
+   the call graph collects the operation's member functions, backtracking
+   when it reaches another operation's entry.  The function [main] forms
+   the default operation.  Operations may share functions; each
+   operation's resource dependency is the merge of its members'. *)
+
+open Opec_ir
+module SS = Set.Make (String)
+module R = Opec_analysis.Resource
+module CG = Opec_analysis.Callgraph
+
+exception Invalid_entry of string
+
+let validate_entry (p : Program.t) name =
+  match Program.find_func p name with
+  | None -> raise (Invalid_entry (name ^ " is not defined"))
+  | Some f ->
+    if f.Func.varargs then
+      raise (Invalid_entry (name ^ " has variable-length arguments"));
+    if f.Func.irq then
+      raise (Invalid_entry (name ^ " is within an interrupt handling routine"))
+
+(* Sort peripherals needed by one operation in ascending order of start
+   address and merge adjacent ones so one MPU region can protect several
+   (Section 4.3). *)
+let merge_peripheral_ranges (p : Program.t) periphs =
+  let ranges =
+    List.filter_map
+      (fun (pe : Peripheral.t) ->
+        if SS.mem pe.name periphs then Some (pe.base, Peripheral.limit pe)
+        else None)
+      p.peripherals
+    |> List.sort compare
+  in
+  let rec merge = function
+    | (b1, l1) :: (b2, l2) :: rest when l1 >= b2 ->
+      merge ((b1, max l1 l2) :: rest)
+    | r :: rest -> r :: merge rest
+    | [] -> []
+  in
+  merge ranges
+
+let partition (p : Program.t) (cg : CG.t) (resources : R.t)
+    (input : Dev_input.t) =
+  List.iter (validate_entry p) input.Dev_input.entries;
+  let entry_set = SS.of_list input.Dev_input.entries in
+  let all_entries = SS.add p.main entry_set in
+  let make index entry =
+    let funcs = CG.reachable_stopping cg ~entry ~stops:all_entries in
+    let res = R.of_funcs resources funcs in
+    { Operation.index;
+      name = (if String.equal entry p.main then "default" else entry);
+      entry;
+      funcs;
+      resources = res;
+      periph_ranges = merge_peripheral_ranges p res.R.peripherals }
+  in
+  let ops =
+    List.mapi (fun i e -> make (i + 1) e) input.Dev_input.entries
+  in
+  make 0 p.main :: ops
+
+(* Operations (by name) whose resource dependency includes global [g]. *)
+let users_of_global ops g =
+  List.filter (fun op -> SS.mem g (Operation.accessible_globals op)) ops
+
+(* Writable globals accessed by two or more operations get shadow copies
+   ("external"); those accessed by exactly one live directly in that
+   operation's data section ("internal") — Section 4.4. *)
+type classification = {
+  internal : (string * Operation.t) list;   (** var, owning operation *)
+  external_ : string list;
+  unused : string list;  (** writable globals no operation touches *)
+  heap : string list;    (** heap arenas: separate section, never shadowed *)
+}
+
+let classify_globals (p : Program.t) ops =
+  let internal = ref [] and external_ = ref [] and unused = ref [] in
+  let heap = ref [] in
+  List.iter
+    (fun (g : Global.t) ->
+      if g.heap then heap := g.name :: !heap
+      else if not g.const then
+        match users_of_global ops g.name with
+        | [] -> unused := g.name :: !unused
+        | [ op ] -> internal := (g.name, op) :: !internal
+        | _ :: _ :: _ -> external_ := g.name :: !external_)
+    p.globals;
+  { internal = List.rev !internal;
+    external_ = List.rev !external_;
+    unused = List.rev !unused;
+    heap = List.rev !heap }
+
+(* Does the operation touch any heap arena? *)
+let op_uses_heap (cls : classification) (op : Operation.t) =
+  List.exists
+    (fun v -> Operation.SS.mem v (Operation.accessible_globals op))
+    cls.heap

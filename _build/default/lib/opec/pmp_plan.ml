@@ -1,0 +1,75 @@
+(* Translate an operation's MPU plan onto RISC-V PMP (paper, Section 7:
+   porting OPEC requires "a memory protection unit ... similar to the ARM
+   MPU, e.g., RISC-V PMP").
+
+   The PMP picks the LOWEST-numbered matching entry, the opposite of the
+   MPU's highest-wins rule, so the translation reverses the plan: the
+   specific read-write windows (stack, operation data section, heap,
+   peripherals) come first and the read-only background entry last.  The
+   16 entries also leave room for more peripheral windows before
+   virtualization is needed. *)
+
+module Pmp = Opec_machine.Pmp
+
+let of_mpu_region (r : Opec_machine.Mpu.region) =
+  (* the MPU plan never uses sub-regions for the translated entries
+     (the stack SRD is handled by splitting into a TOR entry) *)
+  Pmp.napot ~base:r.Opec_machine.Mpu.base
+    ~size_log2:r.Opec_machine.Mpu.size_log2
+    ~r:(r.Opec_machine.Mpu.unprivileged <> Opec_machine.Mpu.No_access)
+    ~w:(r.Opec_machine.Mpu.unprivileged = Opec_machine.Mpu.Read_write)
+    ~x:r.Opec_machine.Mpu.executable ()
+
+(* Install the plan for [op]: entries 0.. hold the specific windows (a
+   TOR entry models the enabled prefix of the stack), then the code
+   window, then the all-memory read-only background. *)
+let install pmp ~code_base ~code_bytes ~stack_base ~stack_accessible_limit
+    ?heap (section : Layout.section option) (op : Operation.t) =
+  for i = 0 to Pmp.entry_count - 1 do
+    Pmp.set pmp i
+      { Pmp.mode = Pmp.Off; r = false; w = false; x = false; locked = false }
+  done;
+  let next = ref 0 in
+  let push e =
+    if !next >= Pmp.entry_count - 2 then None
+    else begin
+      Pmp.set pmp !next e;
+      incr next;
+      Some ()
+    end
+  in
+  (* stack: the accessible prefix as a TOR range (replaces SRD masking) *)
+  ignore
+    (push (Pmp.tor ~base:stack_base ~limit:stack_accessible_limit ~r:true ~w:true ~x:false ()));
+  (match section with
+  | Some s ->
+    ignore
+      (push
+         (Pmp.napot ~base:s.Layout.base ~size_log2:s.Layout.region_log2
+            ~r:true ~w:true ~x:false ()))
+  | None -> ());
+  (match heap with
+  | Some (hs : Layout.section) ->
+    ignore
+      (push
+         (Pmp.napot ~base:hs.Layout.base ~size_log2:hs.Layout.region_log2
+            ~r:true ~w:true ~x:false ()))
+  | None -> ());
+  let overflow = ref [] in
+  List.iter
+    (fun r ->
+      match push (of_mpu_region r) with
+      | Some () -> ()
+      | None -> overflow := r :: !overflow)
+    (Mpu_plan.peripheral_regions op);
+  (* code window, executable *)
+  let _, code_log2 = Opec_machine.Mpu.region_size_for code_bytes in
+  let code_aligned = code_base land lnot ((1 lsl code_log2) - 1) in
+  ignore
+    (push (Pmp.napot ~base:code_aligned ~size_log2:code_log2 ~r:true ~w:false ~x:true ()));
+  (* background: code + SRAM read-only, lowest priority *)
+  Pmp.set pmp
+    (Pmp.entry_count - 1)
+    (Pmp.napot ~base:0x0 ~size_log2:30 ~r:true ~w:false ~x:false ());
+  Pmp.enable pmp;
+  List.rev !overflow

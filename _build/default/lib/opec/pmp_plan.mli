@@ -1,0 +1,26 @@
+(** Translate an operation's MPU plan onto RISC-V PMP (Section 7).
+
+    PMP picks the lowest-numbered matching entry, so the translation
+    reverses the plan: specific read-write windows first (stack prefix as
+    a TOR entry in place of sub-region masking, the operation data
+    section, the heap, peripherals), then the executable code window,
+    then the read-only background last. *)
+
+module Pmp = Opec_machine.Pmp
+
+(** Translate one MPU region to a NAPOT entry with the unprivileged
+    permissions. *)
+val of_mpu_region : Opec_machine.Mpu.region -> Pmp.entry
+
+(** Install the plan; returns the peripheral regions that did not fit
+    (to be virtualized, as on the MPU). *)
+val install :
+  Pmp.t ->
+  code_base:int ->
+  code_bytes:int ->
+  stack_base:int ->
+  stack_accessible_limit:int ->
+  ?heap:Layout.section ->
+  Layout.section option ->
+  Operation.t ->
+  Opec_machine.Mpu.region list

@@ -1,0 +1,30 @@
+(* The operation policy file the compiler emits (paper, Section 4.3):
+   the accessible resources of each operation, in a human-readable form
+   used by the CLI and the test suite. *)
+
+module SS = Set.Make (String)
+
+let pp_operation fmt (op : Operation.t) =
+  let r = op.Operation.resources in
+  Fmt.pf fmt
+    "@[<v 2>operation %d: %s@,entry: %s@,functions (%d): @[<hov>%a@]@,\
+     globals (%d): @[<hov>%a@]@,peripherals: @[<hov>%a@]@,\
+     core peripherals: @[<hov>%a@]@,peripheral MPU ranges: @[<hov>%a@]@]"
+    op.Operation.index op.Operation.name op.Operation.entry
+    (Operation.func_count op)
+    Fmt.(list ~sep:sp string)
+    (SS.elements op.Operation.funcs)
+    (SS.cardinal (Operation.accessible_globals op))
+    Fmt.(list ~sep:sp string)
+    (SS.elements (Operation.accessible_globals op))
+    Fmt.(list ~sep:sp string)
+    (SS.elements r.Opec_analysis.Resource.peripherals)
+    Fmt.(list ~sep:sp string)
+    (SS.elements r.Opec_analysis.Resource.core_peripherals)
+    Fmt.(list ~sep:sp (fun fmt (b, l) -> Fmt.pf fmt "0x%08X-0x%08X" b (l - 1)))
+    op.Operation.periph_ranges
+
+let pp fmt (ops : Operation.t list) =
+  Fmt.pf fmt "@[<v>%a@]" (Fmt.list ~sep:(Fmt.any "@,@,") pp_operation) ops
+
+let to_string ops = Fmt.str "%a" pp ops

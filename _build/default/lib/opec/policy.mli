@@ -1,0 +1,6 @@
+(** The operation policy file the compiler emits (Section 4.3): each
+    operation's accessible resources in a human-readable form. *)
+
+val pp_operation : Format.formatter -> Operation.t -> unit
+val pp : Format.formatter -> Operation.t list -> unit
+val to_string : Operation.t list -> string

@@ -1,0 +1,1 @@
+test/test_aces.ml: Alcotest Build Expr List Opec_aces Opec_analysis Opec_exec Opec_ir Option Peripheral Program Set String

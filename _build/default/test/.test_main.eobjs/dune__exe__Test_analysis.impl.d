@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Build Expr Global List Opec_analysis Opec_ir Peripheral Program Set String Ty

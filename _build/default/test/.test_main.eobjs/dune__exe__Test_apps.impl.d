@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest List Opec_apps Opec_core Opec_machine Opec_monitor

@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Build Expr Func Instr Int64 List Opec_core Opec_ir Opec_machine Option Peripheral Printf Program QCheck QCheck_alcotest Set String

@@ -1,0 +1,1 @@
+test/test_differential.ml: Build Expr Instr Int64 List Opec_core Opec_exec Opec_ir Opec_machine Opec_monitor Printf Program QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Expr Fmt Int64 Opec_ir QCheck QCheck_alcotest

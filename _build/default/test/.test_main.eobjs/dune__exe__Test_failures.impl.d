@@ -1,0 +1,1 @@
+test/test_failures.ml: Alcotest Build Expr Func List Opec_apps Opec_core Opec_exec Opec_ir Opec_machine Opec_metrics Opec_monitor Peripheral Program Result String

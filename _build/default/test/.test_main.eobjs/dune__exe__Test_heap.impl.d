@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Build Expr Func Int64 List Opec_apps Opec_core Opec_exec Opec_ir Opec_machine Opec_monitor Option Program String

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Build Char Expr Global Int64 List Opec_exec Opec_ir Opec_machine Program Ty

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Char Fmt Int64 Opec_machine String

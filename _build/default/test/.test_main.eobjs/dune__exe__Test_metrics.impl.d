@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Build Expr Float List Opec_aces Opec_apps Opec_core Opec_exec Opec_ir Opec_metrics Program Set String

@@ -1,0 +1,1 @@
+test/test_monitor.ml: Alcotest Build Expr Func Int64 List Opec_core Opec_exec Opec_ir Opec_machine Opec_monitor Option Peripheral Printf Program String Ty

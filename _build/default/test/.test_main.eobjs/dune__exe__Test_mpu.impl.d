@@ -1,0 +1,1 @@
+test/test_mpu.ml: Alcotest Opec_machine QCheck QCheck_alcotest

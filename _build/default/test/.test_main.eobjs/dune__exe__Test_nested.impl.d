@@ -1,0 +1,1 @@
+test/test_nested.ml: Alcotest Build Expr Int64 List Opec_core Opec_exec Opec_ir Opec_machine Opec_monitor Printf Program Ty

@@ -1,0 +1,1 @@
+test/test_pmp.ml: Alcotest Build Expr List Opec_core Opec_ir Opec_machine Option Peripheral Program QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_smoke.ml: Alcotest Build Expr List Opec_core Opec_exec Opec_ir Opec_machine Opec_monitor Peripheral Program

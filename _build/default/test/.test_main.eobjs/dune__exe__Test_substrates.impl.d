@@ -1,0 +1,1 @@
+test/test_substrates.ml: Alcotest Build Bytes Expr Int32 Int64 List Opec_apps Opec_exec Opec_ir Opec_machine Opec_monitor Peripheral Program String

@@ -1,0 +1,1 @@
+test/test_threads.ml: Alcotest Build Char Expr Func Instr Int64 List Opec_core Opec_exec Opec_ir Opec_machine Opec_monitor Program String

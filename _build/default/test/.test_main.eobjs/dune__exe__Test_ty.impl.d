@@ -1,0 +1,1 @@
+test/test_ty.ml: Alcotest Fmt List Opec_ir Printf QCheck QCheck_alcotest Ty

@@ -1,0 +1,1 @@
+test/test_vanilla.ml: Alcotest Build Expr Global List Opec_core Opec_exec Opec_ir Opec_machine Opec_monitor Peripheral Printf Program

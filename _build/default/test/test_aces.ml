@@ -1,0 +1,145 @@
+(* Tests for the ACES baseline: compartment formation under the three
+   strategies, MPU-limited region merging, switch counting, and the
+   privileged-code lifting OPEC avoids. *)
+
+open Opec_ir
+open Build
+module E = Expr
+module A = Opec_aces
+module SS = Set.Make (String)
+
+let uart = Peripheral.v "UART" ~base:0x4000_4400 ~size:0x400
+let gpio = Peripheral.v "GPIO" ~base:0x4002_0C00 ~size:0x400
+let dwt = Peripheral.v ~core:true "DWT" ~base:0xE000_1000 ~size:0x400
+
+let sample () =
+  Program.v ~name:"aces-sample"
+    ~globals:[ word "shared"; word "ua"; word "ub" ]
+    ~peripherals:[ uart; gpio; dwt ]
+    ~funcs:
+      [ func "uart_io" [] ~file:"uart.c" [ store (reg uart 4) (c 1); ret0 ];
+        func "gpio_io" [] ~file:"gpio.c" [ store (reg gpio 0x14) (c 1); ret0 ];
+        func "tick" [] ~file:"system.c" [ load "v" (reg dwt 4); ret (l "v") ];
+        func "logic_a" [] ~file:"app.c"
+          [ call "uart_io" []; store (gv "ua") (c 1);
+            store (gv "shared") (c 2); ret0 ];
+        func "logic_b" [] ~file:"app.c"
+          [ call "gpio_io" []; store (gv "ub") (c 1);
+            load "x" (gv "shared"); ret0 ];
+        func "main" [] ~file:"main.c"
+          [ call ~dst:"_t" "tick" []; call "logic_a" []; call "logic_b" []; halt ] ]
+    ()
+
+let test_filename_no_opt () =
+  let aces = A.Aces.analyze A.Strategy.Filename_no_opt (sample ()) in
+  let names =
+    List.map (fun (c : A.Compartment.t) -> c.A.Compartment.name)
+      aces.A.Aces.compartments
+    |> List.sort String.compare
+  in
+  Alcotest.(check (list string)) "one compartment per file"
+    [ "app.c"; "gpio.c"; "main.c"; "system.c"; "uart.c" ]
+    names
+
+let test_peripheral_strategy () =
+  let aces = A.Aces.analyze A.Strategy.By_peripheral (sample ()) in
+  let comp_of f = Option.get (A.Aces.compartment_of aces f) in
+  Alcotest.(check bool) "uart_io grouped by UART" true
+    ((comp_of "uart_io").A.Compartment.name = "periph:UART");
+  Alcotest.(check bool) "gpio_io grouped by GPIO" true
+    ((comp_of "gpio_io").A.Compartment.name = "periph:GPIO");
+  (* functions with no general peripheral stay with their file *)
+  Alcotest.(check bool) "logic_a stays in app.c" true
+    ((comp_of "logic_a").A.Compartment.name = "file:app.c")
+
+let test_privileged_lifting () =
+  let aces = A.Aces.analyze A.Strategy.Filename_no_opt (sample ()) in
+  let comp name =
+    List.find
+      (fun (c : A.Compartment.t) -> String.equal c.A.Compartment.name name)
+      aces.A.Aces.compartments
+  in
+  (* tick accesses the DWT on the PPB, so its compartment is lifted *)
+  Alcotest.(check bool) "system.c privileged" true
+    (comp "system.c").A.Compartment.privileged;
+  Alcotest.(check bool) "uart.c unprivileged" false
+    (comp "uart.c").A.Compartment.privileged;
+  Alcotest.(check bool) "PAC counts lifted code" true
+    (A.Aces.privileged_app_code aces > 0)
+
+let test_region_merging_overprivilege () =
+  (* three compartments, three distinct sharing signatures for compartment
+     c1, with a data-region budget of 1: merging must grant some
+     compartment variables it does not need *)
+  let p =
+    Program.v ~name:"merge"
+      ~globals:[ word "v1"; word "v2"; word "v3" ]
+      ~peripherals:[]
+      ~funcs:
+        [ func "f1" [] ~file:"c1.c"
+            [ store (gv "v1") (c 1); store (gv "v2") (c 1);
+              store (gv "v3") (c 1); ret0 ];
+          func "f2" [] ~file:"c2.c" [ load "x" (gv "v2"); ret0 ];
+          func "f3" [] ~file:"c3.c" [ load "x" (gv "v3"); ret0 ];
+          func "main" [] ~file:"main.c"
+            [ call "f1" []; call "f2" []; call "f3" []; halt ] ]
+      ()
+  in
+  let pts = Opec_analysis.Points_to.solve p in
+  let cg = Opec_analysis.Callgraph.build p pts in
+  let resources = Opec_analysis.Resource.analyze p pts in
+  let compartments =
+    A.Strategy.partition A.Strategy.Filename_no_opt p cg resources
+  in
+  let regions = A.Region_merge.build ~data_region_limit:1 p compartments in
+  (* c1 needed three signatures; with one region they merged, and now
+     either c2 or c3 can reach a variable it never needed *)
+  let over =
+    List.exists
+      (fun (comp : A.Compartment.t) ->
+        let acc = A.Region_merge.accessible_vars regions comp.A.Compartment.name in
+        not (SS.subset acc (A.Compartment.needed_globals comp)))
+      compartments
+  in
+  Alcotest.(check bool) "merging grants unneeded variables" true over;
+  (* with a generous budget there is no over-privilege *)
+  let regions4 = A.Region_merge.build ~data_region_limit:4 p compartments in
+  let over4 =
+    List.exists
+      (fun (comp : A.Compartment.t) ->
+        let acc = A.Region_merge.accessible_vars regions4 comp.A.Compartment.name in
+        not (SS.subset acc (A.Compartment.needed_globals comp)))
+      compartments
+  in
+  Alcotest.(check bool) "no merging needed at limit 4" false over4
+
+let test_switch_counting () =
+  let aces = A.Aces.analyze A.Strategy.Filename_no_opt (sample ()) in
+  (* main(main.c) -> tick(system.c) -> back -> logic_a(app.c) ->
+     uart_io(uart.c) -> back -> logic_b(app.c, no switch from app.c?
+     main->logic_b crosses) -> gpio_io(gpio.c) -> back *)
+  let events =
+    [ Opec_exec.Trace.Call "main"; Opec_exec.Trace.Call "tick";
+      Opec_exec.Trace.Return "tick"; Opec_exec.Trace.Call "logic_a";
+      Opec_exec.Trace.Call "uart_io"; Opec_exec.Trace.Return "uart_io";
+      Opec_exec.Trace.Return "logic_a"; Opec_exec.Trace.Call "logic_b";
+      Opec_exec.Trace.Call "gpio_io"; Opec_exec.Trace.Return "gpio_io";
+      Opec_exec.Trace.Return "logic_b" ]
+  in
+  Alcotest.(check int) "ten crossings" 10 (A.Aces.count_switches aces events)
+
+let test_overhead_models_positive () =
+  let aces = A.Aces.analyze A.Strategy.Filename (sample ()) in
+  Alcotest.(check bool) "flash overhead positive" true
+    (A.Aces.flash_overhead_bytes aces > 0);
+  Alcotest.(check bool) "sram padding non-negative" true
+    (A.Aces.sram_overhead_bytes aces >= 0)
+
+let suite () =
+  [ ( "aces",
+      [ Alcotest.test_case "filename strategy" `Quick test_filename_no_opt;
+        Alcotest.test_case "peripheral strategy" `Quick test_peripheral_strategy;
+        Alcotest.test_case "privileged lifting" `Quick test_privileged_lifting;
+        Alcotest.test_case "region merging over-privilege" `Quick test_region_merging_overprivilege;
+        Alcotest.test_case "switch counting" `Quick test_switch_counting;
+        Alcotest.test_case "overhead models" `Quick test_overhead_models_positive ] ) ]

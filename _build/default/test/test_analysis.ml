@@ -1,0 +1,233 @@
+(* Tests for the points-to analysis, icall resolution, call graph, and
+   resource dependency analysis. *)
+
+open Opec_ir
+open Build
+module E = Expr
+module An = Opec_analysis
+module SS = Set.Make (String)
+
+let uart = Peripheral.v "UART" ~base:0x4000_4400 ~size:0x400
+let tim = Peripheral.v "TIM" ~base:0x4000_0000 ~size:0x400
+let dwt = Peripheral.v ~core:true "DWT" ~base:0xE000_1000 ~size:0x400
+
+let mk ?(globals = []) funcs =
+  Program.v ~name:"t" ~globals ~peripherals:[ tim; uart; dwt ] ~funcs ()
+
+let sorted l = List.sort String.compare l
+
+let targets_of p =
+  let pts = An.Points_to.solve p in
+  List.map (fun site -> An.Points_to.icall_targets pts site)
+    (An.Points_to.icall_sites pts)
+
+let test_direct_global_use () =
+  let p =
+    mk
+      ~globals:[ word "a"; word "b" ]
+      [ func "f" []
+          [ load "x" (gv "a"); store (gv "b") (l "x"); ret0 ];
+        func "main" [] [ call "f" []; halt ] ]
+  in
+  let pts = An.Points_to.solve p in
+  let res = An.Resource.analyze p pts in
+  let fr = An.Resource.of_func res "f" in
+  Alcotest.(check (list string)) "direct globals" [ "a"; "b" ]
+    (sorted (SS.elements fr.An.Resource.direct_globals));
+  let mr = An.Resource.of_func res "main" in
+  Alcotest.(check (list string)) "main touches nothing" []
+    (SS.elements (An.Resource.globals mr))
+
+let test_indirect_global_use () =
+  (* g is reached through a pointer passed as an argument *)
+  let p =
+    mk
+      ~globals:[ words "g" 4 ]
+      [ func "write_to" [ pp_ "p" Ty.Word ] [ store (l "p") (c 1); ret0 ];
+        func "main" [] [ call "write_to" [ gv "g" ]; halt ] ]
+  in
+  let pts = An.Points_to.solve p in
+  let res = An.Resource.analyze p pts in
+  let fr = An.Resource.of_func res "write_to" in
+  Alcotest.(check (list string)) "indirect" [ "g" ]
+    (SS.elements fr.An.Resource.indirect_globals)
+
+let test_local_targets_filtered () =
+  (* pointers to stack data must not be reported as globals *)
+  let p =
+    mk
+      [ func "write_to" [ pp_ "p" Ty.Word ] [ store (l "p") (c 1); ret0 ];
+        func "main" []
+          [ alloca "buf" (Ty.Array (Ty.Word, 2));
+            call "write_to" [ l "buf" ];
+            halt ] ]
+  in
+  let pts = An.Points_to.solve p in
+  let res = An.Resource.analyze p pts in
+  let fr = An.Resource.of_func res "write_to" in
+  Alcotest.(check (list string)) "no globals" []
+    (SS.elements (An.Resource.globals fr))
+
+let test_peripheral_constant () =
+  let p =
+    mk [ func "f" [] [ store (reg uart 4) (c 1); ret0 ];
+         func "main" [] [ call "f" []; halt ] ]
+  in
+  let pts = An.Points_to.solve p in
+  let res = An.Resource.analyze p pts in
+  let fr = An.Resource.of_func res "f" in
+  Alcotest.(check (list string)) "uart found" [ "UART" ]
+    (SS.elements fr.An.Resource.peripherals)
+
+let test_peripheral_through_handle () =
+  (* the datasheet address flows through a handle struct in a global,
+     as STM32 HAL drivers do *)
+  let p =
+    mk
+      ~globals:[ struct_ "h" [ ("Instance", Ty.Pointer Ty.Word) ] ]
+      [ func "init" [] [ store (gv "h") (c 0x4000_4400); ret0 ];
+        func "use" [ pp_ "handle" Ty.Word ]
+          [ load "inst" (l "handle");
+            store E.(l "inst" + c 4) (c 0xFF);
+            ret0 ];
+        func "main" [] [ call "init" []; call "use" [ gv "h" ]; halt ] ]
+  in
+  let pts = An.Points_to.solve p in
+  let res = An.Resource.analyze p pts in
+  let ur = An.Resource.of_func res "use" in
+  Alcotest.(check (list string)) "uart via handle" [ "UART" ]
+    (SS.elements ur.An.Resource.peripherals)
+
+let test_core_peripheral_classified () =
+  let p =
+    mk [ func "f" [] [ load "v" (reg dwt 4); ret (l "v") ];
+         func "main" [] [ call "f" []; halt ] ]
+  in
+  let pts = An.Points_to.solve p in
+  let res = An.Resource.analyze p pts in
+  let fr = An.Resource.of_func res "f" in
+  Alcotest.(check (list string)) "core" [ "DWT" ]
+    (SS.elements fr.An.Resource.core_peripherals);
+  Alcotest.(check (list string)) "not general" []
+    (SS.elements fr.An.Resource.peripherals)
+
+let test_icall_points_to () =
+  let p =
+    mk
+      ~globals:[ Global.v "cb" (Ty.Pointer Ty.Word) ]
+      [ func "handler" [ pw "x" ] [ ret (l "x") ];
+        func "other" [ pw "x" ] [ ret (l "x") ];
+        func "main" []
+          [ store (gv "cb") (fn "handler");
+            load "f" (gv "cb");
+            icall ~dst:"r" (l "f") [ c 1 ];
+            halt ] ]
+  in
+  (match targets_of p with
+  | [ targets ] ->
+    Alcotest.(check (list string)) "only the stored handler" [ "handler" ] targets
+  | l -> Alcotest.failf "expected 1 icall site, got %d" (List.length l));
+  (* over-approximation: storing both makes both targets *)
+  let p2 =
+    mk
+      ~globals:[ Global.v "cb" (Ty.Pointer Ty.Word) ]
+      [ func "handler" [ pw "x" ] [ ret (l "x") ];
+        func "other" [ pw "x" ] [ ret (l "x") ];
+        func "main" []
+          [ store (gv "cb") (fn "handler");
+            store (gv "cb") (fn "other");
+            load "f" (gv "cb");
+            icall ~dst:"r" (l "f") [ c 1 ];
+            halt ] ]
+  in
+  match targets_of p2 with
+  | [ targets ] ->
+    Alcotest.(check (list string)) "both (flow-insensitive)"
+      [ "handler"; "other" ] (sorted targets)
+  | l -> Alcotest.failf "expected 1 icall site, got %d" (List.length l)
+
+let test_icall_through_argument () =
+  (* the function pointer travels through a call *)
+  let p =
+    mk
+      [ func "apply" [ pp_ "f" Ty.Word; pw "x" ]
+          [ icall ~dst:"r" (l "f") [ l "x" ]; ret (l "r") ];
+        func "inc" [ pw "x" ] [ ret E.(l "x" + c 1) ];
+        func "main" [] [ call ~dst:"r" "apply" [ fn "inc"; c 1 ]; halt ] ]
+  in
+  match targets_of p with
+  | [ targets ] -> Alcotest.(check (list string)) "via param" [ "inc" ] targets
+  | l -> Alcotest.failf "expected 1 icall site, got %d" (List.length l)
+
+let test_type_fallback () =
+  (* a pointer the points-to analysis cannot resolve (loaded from a
+     peripheral register) falls back to arity-based matching among
+     address-taken functions *)
+  let p =
+    mk
+      ~globals:[ Global.v "unused_ref" (Ty.Pointer Ty.Word) ]
+      [ func "two_args" [ pw "a"; pw "b" ] [ ret E.(l "a" + l "b") ];
+        func "one_arg" [ pw "a" ] [ ret (l "a") ];
+        func "main" []
+          [ store (gv "unused_ref") (fn "one_arg");
+            load "f" (reg tim 0);
+            icall ~dst:"r" (l "f") [ c 1 ];
+            halt ] ]
+  in
+  let pts = An.Points_to.solve p in
+  let cg = An.Callgraph.build p pts in
+  match cg.An.Callgraph.icalls with
+  | [ info ] ->
+    Alcotest.(check bool) "resolved by types" true
+      (info.An.Callgraph.resolved_by = `Types);
+    Alcotest.(check (list string)) "arity-1 address-taken candidate"
+      [ "one_arg" ] info.An.Callgraph.targets
+  | l -> Alcotest.failf "expected 1 icall, got %d" (List.length l)
+
+let test_reachability_stopping () =
+  let p =
+    mk
+      [ func "leaf" [] [ ret0 ];
+        func "taskb" [] [ call "leaf" []; ret0 ];
+        func "taska" [] [ call "leaf" []; call "taskb" []; ret0 ];
+        func "main" [] [ call "taska" []; halt ] ]
+  in
+  let pts = An.Points_to.solve p in
+  let cg = An.Callgraph.build p pts in
+  let all = An.Callgraph.reachable cg "taska" in
+  Alcotest.(check (list string)) "unrestricted reach"
+    [ "leaf"; "taska"; "taskb" ]
+    (sorted (An.Callgraph.SS.elements all));
+  let stopped =
+    An.Callgraph.reachable_stopping cg ~entry:"taska"
+      ~stops:(An.Callgraph.SS.of_list [ "taska"; "taskb" ])
+  in
+  Alcotest.(check (list string)) "backtracks at taskb" [ "leaf"; "taska" ]
+    (sorted (An.Callgraph.SS.elements stopped))
+
+let test_memcpy_dependency () =
+  let p =
+    mk
+      ~globals:[ words "src" 4; words "dst" 4 ]
+      [ func "f" [] [ memcpy (gv "dst") (gv "src") (c 16); ret0 ];
+        func "main" [] [ call "f" []; halt ] ]
+  in
+  let pts = An.Points_to.solve p in
+  let res = An.Resource.analyze p pts in
+  let fr = An.Resource.of_func res "f" in
+  Alcotest.(check (list string)) "both sides" [ "dst"; "src" ]
+    (sorted (SS.elements (An.Resource.globals fr)))
+
+let suite () =
+  [ ( "analysis",
+      [ Alcotest.test_case "direct globals" `Quick test_direct_global_use;
+        Alcotest.test_case "indirect globals" `Quick test_indirect_global_use;
+        Alcotest.test_case "locals filtered" `Quick test_local_targets_filtered;
+        Alcotest.test_case "peripheral constants" `Quick test_peripheral_constant;
+        Alcotest.test_case "peripheral via handle" `Quick test_peripheral_through_handle;
+        Alcotest.test_case "core peripherals" `Quick test_core_peripheral_classified;
+        Alcotest.test_case "icall via points-to" `Quick test_icall_points_to;
+        Alcotest.test_case "icall via argument" `Quick test_icall_through_argument;
+        Alcotest.test_case "type-based fallback" `Quick test_type_fallback;
+        Alcotest.test_case "DFS backtracking" `Quick test_reachability_stopping;
+        Alcotest.test_case "memcpy deps" `Quick test_memcpy_dependency ] ) ]

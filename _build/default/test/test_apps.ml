@@ -1,0 +1,49 @@
+(* Integration tests: every bundled workload must run to completion and
+   pass its external-world check, both as the unprotected baseline and
+   under OPEC with the monitor enforcing isolation. *)
+
+module M = Opec_machine
+module C = Opec_core
+module Mon = Opec_monitor
+module Apps = Opec_apps
+
+let run_baseline (app : Apps.App.t) =
+  let world = app.Apps.App.make_world () in
+  world.Apps.App.prepare ();
+  let _r =
+    Mon.Runner.run_baseline ~devices:world.Apps.App.devices
+      ~board:app.Apps.App.board app.Apps.App.program
+  in
+  world.Apps.App.check ()
+
+let run_protected (app : Apps.App.t) =
+  let image =
+    C.Compiler.compile ~board:app.Apps.App.board app.Apps.App.program
+      app.Apps.App.dev_input
+  in
+  let world = app.Apps.App.make_world () in
+  world.Apps.App.prepare ();
+  let r = Mon.Runner.run_protected ~devices:world.Apps.App.devices image in
+  match world.Apps.App.check () with
+  | Error e -> Error e
+  | Ok () ->
+    if (Mon.Monitor.stats r.Mon.Runner.monitor).Mon.Stats.switches = 0 then
+      Error "no operation switches recorded"
+    else Ok ()
+
+let check_result name = function
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: %s" name e
+
+let baseline_case (app : Apps.App.t) =
+  Alcotest.test_case (app.Apps.App.app_name ^ " baseline") `Quick (fun () ->
+      check_result app.Apps.App.app_name (run_baseline app))
+
+let protected_case (app : Apps.App.t) =
+  Alcotest.test_case (app.Apps.App.app_name ^ " protected") `Quick (fun () ->
+      check_result app.Apps.App.app_name (run_protected app))
+
+let suite () =
+  let apps = Apps.Registry.all_small () in
+  [ ("apps-baseline", List.map baseline_case apps);
+    ("apps-protected", List.map protected_case apps) ]

@@ -1,0 +1,83 @@
+(* Tests for expression folding and the address-root classification the
+   resource analysis builds on. *)
+
+open Opec_ir
+
+let fold e =
+  match Expr.const_fold e with
+  | Some v -> v
+  | None -> Alcotest.fail "expected a constant"
+
+let test_const_fold () =
+  Alcotest.(check int64) "add" 7L Expr.(fold (i 3 + i 4));
+  Alcotest.(check int64) "mixed" 20L Expr.(fold ((i 2 + i 3) * i 4));
+  Alcotest.(check int64) "shift" 256L Expr.(fold (i 1 << i 8));
+  Alcotest.(check int64) "comparison true" 1L Expr.(fold (i 3 < i 4));
+  Alcotest.(check int64) "comparison false" 0L Expr.(fold (i 4 < i 3));
+  Alcotest.(check bool) "division by zero does not fold" true
+    (Expr.const_fold Expr.(i 1 / i 0) = None);
+  Alcotest.(check bool) "locals do not fold" true
+    (Expr.const_fold Expr.(Local "x" + i 1) = None)
+
+let root_testable =
+  Alcotest.testable
+    (fun fmt r ->
+      Fmt.string fmt
+        (match r with
+        | `Global g -> "global " ^ g
+        | `Func f -> "func " ^ f
+        | `Local x -> "local " ^ x
+        | `Const -> "const"
+        | `Mixed -> "mixed"))
+    ( = )
+
+let test_address_root () =
+  let check name expected e =
+    Alcotest.check root_testable name expected (Expr.address_root e)
+  in
+  check "plain global" (`Global "g") (Expr.Global_addr "g");
+  check "global + const offset" (`Global "g") Expr.(Global_addr "g" + i 8);
+  check "const + global" (`Global "g") Expr.(i 8 + Global_addr "g");
+  check "local + offset" (`Local "p") Expr.(Local "p" + i 4);
+  check "scaled index is mixed" `Mixed Expr.(Global_addr "g" + (Local "i" * i 4));
+  check "pure constant" `Const Expr.(i 0x4000 + i 4);
+  check "function pointer" (`Func "f") (Expr.Func_addr "f");
+  check "two globals" `Mixed Expr.(Global_addr "a" + Global_addr "b")
+
+let test_locals () =
+  Alcotest.(check (list string)) "collects locals" [ "a"; "b" ]
+    (Expr.locals Expr.(Local "a" + (Local "b" * i 2)));
+  Alcotest.(check (list string)) "no locals" [] (Expr.locals (Expr.i 4))
+
+(* properties of the binary evaluator *)
+let arb_pair = QCheck.(pair int64 int64)
+
+let prop_add_commutes =
+  QCheck.Test.make ~name:"eval Add commutes" ~count:300 arb_pair (fun (a, b) ->
+      Expr.eval_bin Expr.Add a b = Expr.eval_bin Expr.Add b a)
+
+let prop_compare_total =
+  QCheck.Test.make ~name:"Lt and Ge partition" ~count:300 arb_pair
+    (fun (a, b) ->
+      match (Expr.eval_bin Expr.Lt a b, Expr.eval_bin Expr.Ge a b) with
+      | Some x, Some y -> Int64.add x y = 1L
+      | _ -> false)
+
+let prop_fold_matches_eval =
+  (* folding a two-level expression agrees with direct evaluation *)
+  let arb = QCheck.(triple int64 int64 int64) in
+  QCheck.Test.make ~name:"const_fold agrees with eval_bin" ~count:300 arb
+    (fun (a, b, c) ->
+      let e = Expr.(Bin (Add, Bin (Mul, Const a, Const b), Const c)) in
+      match Expr.const_fold e with
+      | Some v -> Int64.equal v (Int64.add (Int64.mul a b) c)
+      | None -> false)
+
+let suite () =
+  [ ( "expr",
+      [ Alcotest.test_case "const folding" `Quick test_const_fold;
+        Alcotest.test_case "address roots" `Quick test_address_root;
+        Alcotest.test_case "free locals" `Quick test_locals;
+        QCheck_alcotest.to_alcotest prop_add_commutes;
+        QCheck_alcotest.to_alcotest prop_compare_total;
+        QCheck_alcotest.to_alcotest prop_fold_matches_eval ] ) ]

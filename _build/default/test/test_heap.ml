@@ -1,0 +1,167 @@
+(* Tests for the heap extension (Section 5.2): the heap lives in a
+   separate section, is never shadowed or synchronized, is read-write
+   for operations that use it, and is write-protected from operations
+   that do not. *)
+
+open Opec_ir
+open Build
+module E = Expr
+module M = Opec_machine
+module C = Opec_core
+module Mon = Opec_monitor
+module Ex = Opec_exec
+module Kheap = Opec_apps.Kheap
+
+let arena_bytes = 1024
+
+let heap_program ?(alloc_rounds = 3) () =
+  Program.v ~name:"heap-test"
+    ~globals:(Kheap.globals ~arena_bytes @ [ word "sum"; word "leak_probe" ])
+    ~peripherals:[]
+    ~funcs:
+      (Kheap.funcs ~arena_bytes
+      @ [ (* allocates, writes, reads back, frees *)
+          func "alloc_task" [] ~file:"app.c"
+            ([ set "total" (c 0) ]
+            @ for_ "i" (c alloc_rounds)
+                [ call ~dst:"p" "malloc" [ c 48 ];
+                  store (l "p") E.(l "i" + c 7);
+                  load "v" (l "p");
+                  set "total" E.(l "total" + l "v");
+                  call "free" [ l "p" ] ]
+            @ [ store (gv "sum") (l "total"); ret0 ]);
+          (* a second heap user: allocations must see a consistent
+             free list across operation switches (no shadowing) *)
+          func "audit_task" [] ~file:"app.c"
+            [ call ~dst:"f" "heap_free_bytes" [];
+              store (gv "leak_probe") (l "f");
+              ret0 ];
+          func "main" [] ~file:"main.c"
+            [ call "alloc_task" [];
+              call "audit_task" [];
+              call "alloc_task" [];
+              call "audit_task" [];
+              halt ] ])
+    ()
+
+let compile_heap ?alloc_rounds () =
+  C.Compiler.compile (heap_program ?alloc_rounds ())
+    (C.Dev_input.v [ "alloc_task"; "audit_task" ])
+
+let read_global image bus name =
+  M.Bus.read_raw bus (image.C.Image.map.Ex.Address_map.global_addr name) 4
+
+let test_heap_section_exists () =
+  let image = compile_heap () in
+  match image.C.Image.layout.C.Layout.heap_section with
+  | None -> Alcotest.fail "no heap section"
+  | Some sec ->
+    Alcotest.(check string) "owner" "heap" sec.C.Layout.owner;
+    Alcotest.(check bool) "arena in section" true
+      (C.Layout.slot_addr sec Kheap.arena_name <> None);
+    (* the arena is not external and has no shadows *)
+    Alcotest.(check bool) "not shadowed" false
+      (C.Layout.is_external image.C.Image.layout Kheap.arena_name)
+
+let test_heap_ops_marked () =
+  let image = compile_heap () in
+  let meta name = Option.get (C.Image.meta_of image name) in
+  Alcotest.(check bool) "alloc_task uses heap" true
+    (meta "alloc_task").C.Metadata.uses_heap;
+  Alcotest.(check bool) "audit_task uses heap" true
+    (meta "audit_task").C.Metadata.uses_heap;
+  Alcotest.(check bool) "default op does not" false
+    (meta "default").C.Metadata.uses_heap
+
+let test_heap_allocation_under_opec () =
+  let image = compile_heap ~alloc_rounds:4 () in
+  let r = Mon.Runner.run_protected image in
+  (* 7+8+9+10 from the second alloc_task run *)
+  Alcotest.(check int64) "allocations worked" 34L
+    (read_global image r.Mon.Runner.bus "sum");
+  (* everything was freed: the audit sees the full arena minus the
+     initial header *)
+  Alcotest.(check int64) "no leak across switches"
+    (Int64.of_int (arena_bytes - 8))
+    (read_global image r.Mon.Runner.bus "leak_probe");
+  (* heap state is never synchronized *)
+  let stats = Mon.Monitor.stats r.Mon.Runner.monitor in
+  Alcotest.(check bool) "switches happened" true (stats.Mon.Stats.switches > 0)
+
+let test_heap_not_writable_by_nonusers () =
+  (* a third task never touches the heap; a compromised version of it
+     then scribbles on the arena *)
+  let with_spy =
+    Program.v ~name:"heap-spy"
+      ~globals:(Kheap.globals ~arena_bytes @ [ word "sum"; word "leak_probe"; word "spy_state" ])
+      ~peripherals:[]
+      ~funcs:
+        (Kheap.funcs ~arena_bytes
+        @ [ func "alloc_task" [] ~file:"app.c"
+              [ call ~dst:"p" "malloc" [ c 16 ];
+                store (gv "sum") (l "p");
+                ret0 ];
+            func "spy_task" [] ~file:"app.c"
+              [ store (gv "spy_state") (c 1); ret0 ];
+            func "main" [] ~file:"main.c"
+              [ call "alloc_task" []; call "spy_task" []; halt ] ])
+      ()
+  in
+  let image =
+    C.Compiler.compile with_spy (C.Dev_input.v [ "alloc_task"; "spy_task" ])
+  in
+  Alcotest.(check bool) "spy does not use the heap" false
+    (Option.get (C.Image.meta_of image "spy_task")).C.Metadata.uses_heap;
+  let arena_addr =
+    image.C.Image.map.Opec_exec.Address_map.global_addr Kheap.arena_name
+  in
+  let rogue =
+    { with_spy with
+      Program.funcs =
+        List.map
+          (fun (f : Func.t) ->
+            if String.equal f.Func.name "spy_task" then
+              { f with
+                Func.body =
+                  [ store (cl (Int64.of_int arena_addr)) (c 0xBAD); ret0 ] }
+            else f)
+          with_spy.Program.funcs }
+  in
+  let rogue_instr, _ =
+    C.Instrument.instrument rogue image.C.Image.layout
+      ~entries:image.C.Image.entries
+  in
+  let rogue_image = { image with C.Image.program = rogue_instr } in
+  match Mon.Runner.run_protected rogue_image with
+  | _ -> Alcotest.fail "heap write by a non-user should abort"
+  | exception Ex.Interp.Aborted _ -> ()
+
+let test_exhaustion_returns_null () =
+  let p =
+    Program.v ~name:"heap-oom"
+      ~globals:(Kheap.globals ~arena_bytes:64 @ [ word "got_null" ])
+      ~peripherals:[]
+      ~funcs:
+        (Kheap.funcs ~arena_bytes:64
+        @ [ func "greedy" [] ~file:"app.c"
+              [ call ~dst:"a" "malloc" [ c 40 ];
+                call ~dst:"b" "malloc" [ c 40 ];
+                store (gv "got_null") E.(l "b" == c 0);
+                ret0 ];
+            func "main" [] ~file:"main.c" [ call "greedy" []; halt ] ])
+      ()
+  in
+  let image = C.Compiler.compile p (C.Dev_input.v [ "greedy" ]) in
+  let r = Mon.Runner.run_protected image in
+  Alcotest.(check int64) "second allocation failed cleanly" 1L
+    (M.Bus.read_raw r.Mon.Runner.bus
+       (image.C.Image.map.Opec_exec.Address_map.global_addr "got_null")
+       4)
+
+let suite () =
+  [ ( "heap",
+      [ Alcotest.test_case "heap section" `Quick test_heap_section_exists;
+        Alcotest.test_case "heap ops marked" `Quick test_heap_ops_marked;
+        Alcotest.test_case "allocation under OPEC" `Quick test_heap_allocation_under_opec;
+        Alcotest.test_case "write-protected from non-users" `Quick test_heap_not_writable_by_nonusers;
+        Alcotest.test_case "exhaustion" `Quick test_exhaustion_returns_null ] ) ]

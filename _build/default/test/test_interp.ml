@@ -1,0 +1,243 @@
+(* Tests for the IR interpreter: evaluation, control flow, calls, stack
+   discipline, memory intrinsics, and resource limits. *)
+
+open Opec_ir
+open Build
+module E = Expr
+module M = Opec_machine
+module Ex = Opec_exec
+
+let board = M.Memmap.stm32f4_discovery
+
+(* run [funcs ++ main] as a baseline binary and return a probe of the
+   given global's final value *)
+let run_and_read ?(globals = []) ?(devices = []) ~probe funcs =
+  let p =
+    Program.v ~name:"t" ~globals ~peripherals:[] ~funcs ()
+  in
+  let bus = M.Bus.create ~board in
+  List.iter (M.Bus.attach bus) devices;
+  let layout = Ex.Vanilla_layout.make ~board p in
+  Ex.Vanilla_layout.load_initial_values bus
+    ~global_addr:layout.Ex.Vanilla_layout.map.Ex.Address_map.global_addr p;
+  let interp = Ex.Interp.create ~bus ~map:layout.Ex.Vanilla_layout.map p in
+  Ex.Interp.run interp;
+  M.Bus.read_raw bus
+    (layout.Ex.Vanilla_layout.map.Ex.Address_map.global_addr probe)
+    4
+
+let test_arith_and_store () =
+  let v =
+    run_and_read ~globals:[ word "out" ] ~probe:"out"
+      [ func "main" []
+          [ set "x" (c 6);
+            set "y" E.(l "x" * c 7);
+            store (gv "out") (l "y");
+            halt ] ]
+  in
+  Alcotest.(check int64) "6*7" 42L v
+
+let test_if_while () =
+  let v =
+    run_and_read ~globals:[ word "out" ] ~probe:"out"
+      [ func "main" []
+          ([ set "acc" (c 0) ]
+          @ for_ "i" (c 10)
+              [ if_ E.(l "i" % c 2 == c 0)
+                  [ set "acc" E.(l "acc" + l "i") ]
+                  [] ]
+          @ [ store (gv "out") (l "acc"); halt ]) ]
+  in
+  Alcotest.(check int64) "sum of evens < 10" 20L v
+
+let test_call_and_return () =
+  let v =
+    run_and_read ~globals:[ word "out" ] ~probe:"out"
+      [ func "add3" [ pw "a"; pw "b"; pw "d" ] [ ret E.(l "a" + l "b" + l "d") ];
+        func "main" []
+          [ call ~dst:"r" "add3" [ c 1; c 2; c 3 ];
+            store (gv "out") (l "r");
+            halt ] ]
+  in
+  Alcotest.(check int64) "sum" 6L v
+
+let test_spilled_arguments () =
+  (* more than four arguments travel via the stack *)
+  let v =
+    run_and_read ~globals:[ word "out" ] ~probe:"out"
+      [ func "six" [ pw "a"; pw "b"; pw "d"; pw "e"; pw "f"; pw "g" ]
+          [ ret E.(l "a" + l "b" + l "d" + l "e" + l "f" + l "g") ];
+        func "main" []
+          [ call ~dst:"r" "six" [ c 1; c 2; c 3; c 4; c 5; c 6 ];
+            store (gv "out") (l "r");
+            halt ] ]
+  in
+  Alcotest.(check int64) "six args" 21L v
+
+let test_alloca_and_memset () =
+  let v =
+    run_and_read ~globals:[ word "out" ] ~probe:"out"
+      [ func "main" []
+          [ alloca "buf" (Ty.Array (Ty.Byte, 16));
+            memset (l "buf") (c 0xAB) (c 16);
+            load8 "b" E.(l "buf" + c 7);
+            store (gv "out") (l "b");
+            halt ] ]
+  in
+  Alcotest.(check int64) "memset byte" 0xABL v
+
+let test_memcpy () =
+  let v =
+    run_and_read
+      ~globals:[ string_bytes ~const:true "src" 8 "OCaml"; bytes "dst" 8; word "out" ]
+      ~probe:"out"
+      [ func "main" []
+          [ memcpy (gv "dst") (gv "src") (c 5);
+            load8 "b" E.(gv "dst" + c 1);
+            store (gv "out") (l "b");
+            halt ] ]
+  in
+  Alcotest.(check int64) "copied 'C'" (Int64.of_int (Char.code 'C')) v
+
+let test_recursion () =
+  let v =
+    run_and_read ~globals:[ word "out" ] ~probe:"out"
+      [ func "fib" [ pw "n" ]
+          [ if_ E.(l "n" < c 2)
+              [ ret (l "n") ]
+              [ call ~dst:"a" "fib" [ E.(l "n" - c 1) ];
+                call ~dst:"b" "fib" [ E.(l "n" - c 2) ];
+                ret E.(l "a" + l "b") ] ];
+        func "main" []
+          [ call ~dst:"r" "fib" [ c 10 ];
+            store (gv "out") (l "r");
+            halt ] ]
+  in
+  Alcotest.(check int64) "fib 10" 55L v
+
+let test_icall () =
+  let v =
+    run_and_read
+      ~globals:[ Global.v "table" (Ty.Array (Ty.Pointer Ty.Word, 2)); word "out" ]
+      ~probe:"out"
+      [ func "double" [ pw "x" ] [ ret E.(l "x" * c 2) ];
+        func "square" [ pw "x" ] [ ret E.(l "x" * l "x") ];
+        func "main" []
+          [ store (gv "table") (fn "double");
+            store E.(gv "table" + c 4) (fn "square");
+            load "f" E.(gv "table" + c 4);
+            icall ~dst:"r" (l "f") [ c 9 ];
+            store (gv "out") (l "r");
+            halt ] ]
+  in
+  Alcotest.(check int64) "dispatched square" 81L v
+
+let test_icall_to_non_function () =
+  let p =
+    Program.v ~name:"t" ~globals:[] ~peripherals:[]
+      ~funcs:
+        [ func "main" [] [ icall (c 0x1234) []; halt ] ]
+      ()
+  in
+  let bus = M.Bus.create ~board in
+  let layout = Ex.Vanilla_layout.make ~board p in
+  let interp = Ex.Interp.create ~bus ~map:layout.Ex.Vanilla_layout.map p in
+  Alcotest.check_raises "aborts"
+    (Ex.Interp.Aborted "indirect call to non-function 0x00001234") (fun () ->
+      Ex.Interp.run interp)
+
+let test_fuel_exhaustion () =
+  let p =
+    Program.v ~name:"t" ~globals:[] ~peripherals:[]
+      ~funcs:[ func "main" [] [ while_ (c 1) [ set "x" (c 0) ] ] ]
+      ()
+  in
+  let bus = M.Bus.create ~board in
+  let layout = Ex.Vanilla_layout.make ~board p in
+  let interp = Ex.Interp.create ~fuel:10_000 ~bus ~map:layout.Ex.Vanilla_layout.map p in
+  Alcotest.check_raises "fuel" Ex.Interp.Fuel_exhausted (fun () ->
+      Ex.Interp.run interp)
+
+let test_stack_overflow () =
+  let p =
+    Program.v ~name:"t" ~globals:[] ~peripherals:[]
+      ~funcs:
+        [ func "main" []
+            [ while_ (c 1) [ alloca "b" (Ty.Array (Ty.Word, 4096)) ] ] ]
+      ()
+  in
+  let bus = M.Bus.create ~board in
+  let layout = Ex.Vanilla_layout.make ~stack_size:4096 ~board p in
+  let interp = Ex.Interp.create ~bus ~map:layout.Ex.Vanilla_layout.map p in
+  Alcotest.check_raises "overflow" (Ex.Interp.Aborted "stack overflow")
+    (fun () -> Ex.Interp.run interp)
+
+let test_call_depth () =
+  let p =
+    Program.v ~name:"t" ~globals:[] ~peripherals:[]
+      ~funcs:
+        [ func "loop" [] [ call "loop" []; ret0 ];
+          func "main" [] [ call "loop" []; halt ] ]
+      ()
+  in
+  let bus = M.Bus.create ~board in
+  let layout = Ex.Vanilla_layout.make ~board p in
+  let interp = Ex.Interp.create ~bus ~map:layout.Ex.Vanilla_layout.map p in
+  Alcotest.check_raises "depth" (Ex.Interp.Aborted "call depth exceeded")
+    (fun () -> Ex.Interp.run interp)
+
+let test_cycles_monotonic () =
+  let run_with extra =
+    let p =
+      Program.v ~name:"t" ~globals:[ word "out" ] ~peripherals:[]
+        ~funcs:
+          [ func "main" []
+              (for_ "i" (c extra) [ set "x" E.(l "i" + c 1) ] @ [ halt ]) ]
+        ()
+    in
+    let bus = M.Bus.create ~board in
+    let layout = Ex.Vanilla_layout.make ~board p in
+    Ex.Vanilla_layout.load_initial_values bus
+      ~global_addr:layout.Ex.Vanilla_layout.map.Ex.Address_map.global_addr p;
+    let interp = Ex.Interp.create ~bus ~map:layout.Ex.Vanilla_layout.map p in
+    Ex.Interp.run interp;
+    Ex.Interp.cycles interp
+  in
+  Alcotest.(check bool) "more work costs more cycles" true
+    (Int64.compare (run_with 100) (run_with 10) > 0)
+
+let test_trace_records_calls () =
+  let p =
+    Program.v ~name:"t" ~globals:[] ~peripherals:[]
+      ~funcs:
+        [ func "leaf" [] [ ret0 ];
+          func "mid" [] [ call "leaf" []; ret0 ];
+          func "main" [] [ call "mid" []; halt ] ]
+      ()
+  in
+  let bus = M.Bus.create ~board in
+  let layout = Ex.Vanilla_layout.make ~board p in
+  let interp = Ex.Interp.create ~bus ~map:layout.Ex.Vanilla_layout.map p in
+  Ex.Interp.run interp;
+  let events = Ex.Trace.events (Ex.Interp.trace interp) in
+  Alcotest.(check bool) "call order" true
+    (events
+    = [ Ex.Trace.Call "main"; Ex.Trace.Call "mid"; Ex.Trace.Call "leaf";
+        Ex.Trace.Return "leaf"; Ex.Trace.Return "mid" ])
+
+let suite () =
+  [ ( "interp",
+      [ Alcotest.test_case "arithmetic" `Quick test_arith_and_store;
+        Alcotest.test_case "if/while" `Quick test_if_while;
+        Alcotest.test_case "calls" `Quick test_call_and_return;
+        Alcotest.test_case "spilled args" `Quick test_spilled_arguments;
+        Alcotest.test_case "alloca/memset" `Quick test_alloca_and_memset;
+        Alcotest.test_case "memcpy" `Quick test_memcpy;
+        Alcotest.test_case "recursion" `Quick test_recursion;
+        Alcotest.test_case "icall" `Quick test_icall;
+        Alcotest.test_case "icall to garbage" `Quick test_icall_to_non_function;
+        Alcotest.test_case "fuel" `Quick test_fuel_exhaustion;
+        Alcotest.test_case "stack overflow" `Quick test_stack_overflow;
+        Alcotest.test_case "call depth" `Quick test_call_depth;
+        Alcotest.test_case "cycle accounting" `Quick test_cycles_monotonic;
+        Alcotest.test_case "trace" `Quick test_trace_records_calls ] ) ]

@@ -1,0 +1,10 @@
+let () =
+  Alcotest.run "opec"
+    (Test_ty.suite () @ Test_expr.suite () @ Test_mpu.suite ()
+    @ Test_machine.suite () @ Test_pmp.suite () @ Test_interp.suite () @ Test_analysis.suite ()
+    @ Test_compiler.suite () @ Test_monitor.suite () @ Test_aces.suite ()
+    @ Test_metrics.suite () @ Test_differential.suite () @ Test_heap.suite ()
+    @ Test_nested.suite () @ Test_threads.suite () @ Test_substrates.suite ()
+    @ Test_failures.suite () @ Test_vanilla.suite ()
+    @ Test_smoke.suite ()
+    @ Test_apps.suite ())

@@ -1,0 +1,427 @@
+(* Security tests for OPEC-Monitor: shadow synchronization (Figure 7),
+   sanitization, stack protection and argument relocation (Figure 8),
+   MPU virtualization, core-peripheral emulation, and the isolation
+   guarantees of Section 3.3. *)
+
+open Opec_ir
+open Build
+module E = Expr
+module M = Opec_machine
+module C = Opec_core
+module Mon = Opec_monitor
+module Ex = Opec_exec
+
+let uart = Peripheral.v "UART" ~base:0x4000_4400 ~size:0x400
+let gpio = Peripheral.v "GPIO" ~base:0x4002_0C00 ~size:0x400
+let dwt = Peripheral.v ~core:true "DWT" ~base:0xE000_1000 ~size:0x400
+
+let compile ?(sanitize = []) ?(stack_infos = []) ?(entries = []) p =
+  C.Compiler.compile p (C.Dev_input.v ~sanitize ~stack_infos entries)
+
+let run ?devices image = Mon.Runner.run_protected ?devices image
+
+let read_global image bus name =
+  M.Bus.read_raw bus
+    (image.C.Image.map.Ex.Address_map.global_addr name) 4
+
+(* --- shadow synchronization --------------------------------------------- *)
+
+(* Figure 7 in miniature: a shared counter incremented by two tasks in
+   turn must see each other's updates through the public section. *)
+let test_sync_propagates () =
+  let p =
+    Program.v ~name:"sync"
+      ~globals:[ word "counter"; word "a_sum"; word "b_sum" ]
+      ~peripherals:[]
+      ~funcs:
+        [ func "bump_a" []
+            [ load "v" (gv "counter");
+              store (gv "counter") E.(l "v" + c 1);
+              store (gv "a_sum") (l "v");
+              ret0 ];
+          func "bump_b" []
+            [ load "v" (gv "counter");
+              store (gv "counter") E.(l "v" + c 10);
+              store (gv "b_sum") (l "v");
+              ret0 ];
+          func "main" []
+            [ call "bump_a" []; call "bump_b" []; call "bump_a" []; halt ] ]
+      ()
+  in
+  let image = compile ~entries:[ "bump_a"; "bump_b" ] p in
+  let r = run image in
+  (* 0 +1 -> 1 +10 -> 11 +1 -> 12, each task reading the previous value *)
+  Alcotest.(check int64) "master counter" 12L (read_global image r.Mon.Runner.bus "counter");
+  Alcotest.(check int64) "a saw b's +10" 11L (read_global image r.Mon.Runner.bus "a_sum");
+  Alcotest.(check int64) "b saw a's +1" 1L (read_global image r.Mon.Runner.bus "b_sum")
+
+(* variables not shared with the entered operation must not be synced *)
+let test_sync_only_shared () =
+  let p =
+    Program.v ~name:"noshare"
+      ~globals:[ word "a_private"; word "b_private"; word "common" ]
+      ~peripherals:[]
+      ~funcs:
+        [ func "task_a" []
+            [ store (gv "a_private") (c 7);
+              store (gv "common") (c 1);
+              ret0 ];
+          func "task_b" []
+            [ store (gv "b_private") (c 8);
+              load "x" (gv "common");
+              store (gv "common") E.(l "x" + c 1);
+              ret0 ];
+          func "main" [] [ call "task_a" []; call "task_b" []; halt ] ]
+      ()
+  in
+  let image = compile ~entries:[ "task_a"; "task_b" ] p in
+  let r = run image in
+  (* internals land at their single home; common synced through master *)
+  Alcotest.(check int64) "a_private" 7L (read_global image r.Mon.Runner.bus "a_private");
+  Alcotest.(check int64) "b_private" 8L (read_global image r.Mon.Runner.bus "b_private");
+  Alcotest.(check int64) "common" 2L (read_global image r.Mon.Runner.bus "common")
+
+(* --- isolation ------------------------------------------------------------ *)
+
+(* a compromised task writing another operation's internal variable (at
+   its linked address) dies with a MemManage fault *)
+let test_cross_section_write_blocked () =
+  let benign =
+    Program.v ~name:"iso"
+      ~globals:[ word "a_secret"; word "shared" ]
+      ~peripherals:[]
+      ~funcs:
+        [ func "task_a" []
+            [ store (gv "a_secret") (c 42);
+              load "x" (gv "shared");
+              ret0 ];
+          func "task_b" [] [ store (gv "shared") (c 1); ret0 ];
+          func "main" [] [ call "task_a" []; call "task_b" []; halt ] ]
+      ()
+  in
+  let image = compile ~entries:[ "task_a"; "task_b" ] benign in
+  (* runtime compromise of task_b: overwrite task_a's internal variable *)
+  let a_secret_addr = image.C.Image.map.Ex.Address_map.global_addr "a_secret" in
+  let rogue =
+    { benign with
+      Program.funcs =
+        List.map
+          (fun (f : Func.t) ->
+            if String.equal f.Func.name "task_b" then
+              { f with
+                Func.body = [ store (cl (Int64.of_int a_secret_addr)) (c 666); ret0 ] }
+            else f)
+          benign.Program.funcs }
+  in
+  let rogue_instr, _ =
+    C.Instrument.instrument rogue image.C.Image.layout
+      ~entries:image.C.Image.entries
+  in
+  let rogue_image = { image with C.Image.program = rogue_instr } in
+  (match run rogue_image with
+  | _ -> Alcotest.fail "cross-section write should abort"
+  | exception Ex.Interp.Aborted msg ->
+    Alcotest.(check bool) "isolation violation reported" true
+      (String.length msg > 0 &&
+       String.sub msg 0 (min 9 (String.length msg)) = "isolation"))
+
+(* reading another operation's section is allowed by region 0 (integrity,
+   not confidentiality — see DESIGN.md), but writing never is *)
+let test_unlisted_peripheral_blocked () =
+  let benign =
+    Program.v ~name:"periph-iso" ~globals:[ word "g" ]
+      ~peripherals:[ uart; gpio ]
+      ~funcs:
+        [ func "task_a" [] [ store (reg uart 4) (c 1); ret0 ];
+          func "main" [] [ call "task_a" []; halt ] ]
+      ()
+  in
+  let image = compile ~entries:[ "task_a" ] benign in
+  let rogue =
+    { benign with
+      Program.funcs =
+        List.map
+          (fun (f : Func.t) ->
+            if String.equal f.Func.name "task_a" then
+              { f with Func.body = [ store (reg gpio 0x14) (c 1); ret0 ] }
+            else f)
+          benign.Program.funcs }
+  in
+  let rogue_instr, _ =
+    C.Instrument.instrument rogue image.C.Image.layout
+      ~entries:image.C.Image.entries
+  in
+  let rogue_image = { image with C.Image.program = rogue_instr } in
+  let dev = M.Device.stub "GPIO" ~base:0x4002_0C00 ~size:0x400 in
+  let dev2 = M.Device.stub "UART" ~base:0x4000_4400 ~size:0x400 in
+  match run ~devices:[ dev; dev2 ] rogue_image with
+  | _ -> Alcotest.fail "unlisted peripheral should abort"
+  | exception Ex.Interp.Aborted _ -> ()
+
+(* the relocation table is read-only at the unprivileged level *)
+let test_reloc_table_not_writable () =
+  let benign =
+    Program.v ~name:"reloc-iso"
+      ~globals:[ word "shared" ]
+      ~peripherals:[]
+      ~funcs:
+        [ func "task_a" [] [ store (gv "shared") (c 1); ret0 ];
+          func "task_b" [] [ load "x" (gv "shared"); ret0 ];
+          func "main" [] [ call "task_a" []; call "task_b" []; halt ] ]
+      ()
+  in
+  let image = compile ~entries:[ "task_a"; "task_b" ] benign in
+  let slot = Option.get (C.Layout.reloc_slot image.C.Image.layout "shared") in
+  let rogue =
+    { benign with
+      Program.funcs =
+        List.map
+          (fun (f : Func.t) ->
+            if String.equal f.Func.name "task_a" then
+              { f with
+                Func.body =
+                  [ (* re-point the relocation slot at attacker data *)
+                    store (cl (Int64.of_int slot)) (c 0x2000_0000);
+                    ret0 ] }
+            else f)
+          benign.Program.funcs }
+  in
+  let rogue_instr, _ =
+    C.Instrument.instrument rogue image.C.Image.layout
+      ~entries:image.C.Image.entries
+  in
+  let rogue_image = { image with C.Image.program = rogue_instr } in
+  match run rogue_image with
+  | _ -> Alcotest.fail "relocation table write should abort"
+  | exception Ex.Interp.Aborted _ -> ()
+
+(* --- sanitization --------------------------------------------------------- *)
+
+let test_sanitization_aborts () =
+  let p =
+    Program.v ~name:"sanitize"
+      ~globals:[ word "speed" ]
+      ~peripherals:[]
+      ~funcs:
+        [ func "set_speed" [ pw "v" ] [ store (gv "speed") (l "v"); ret0 ];
+          func "reader" [] [ load "x" (gv "speed"); ret0 ];
+          func "main" []
+            [ call "set_speed" [ c 500 ]; call "reader" []; halt ] ]
+      ()
+  in
+  let sanitize =
+    [ { C.Dev_input.sz_global = "speed"; sz_min = 0L; sz_max = 100L } ]
+  in
+  let image = compile ~sanitize ~entries:[ "set_speed"; "reader" ] p in
+  (match run image with
+  | _ -> Alcotest.fail "out-of-range value should abort at sync"
+  | exception Ex.Interp.Aborted msg ->
+    Alcotest.(check bool) "mentions sanitization" true
+      (String.length msg >= 12 && String.sub msg 0 12 = "sanitization"));
+  (* and an in-range value passes *)
+  let ok =
+    Program.v ~name:"sanitize-ok"
+      ~globals:[ word "speed" ]
+      ~peripherals:[]
+      ~funcs:
+        [ func "set_speed" [ pw "v" ] [ store (gv "speed") (l "v"); ret0 ];
+          func "reader" [] [ load "x" (gv "speed"); ret0 ];
+          func "main" [] [ call "set_speed" [ c 55 ]; call "reader" []; halt ] ]
+      ()
+  in
+  let image = compile ~sanitize ~entries:[ "set_speed"; "reader" ] ok in
+  ignore (run image)
+
+(* --- stack protection (Figure 8) ------------------------------------------ *)
+
+let test_argument_relocation () =
+  let p =
+    Program.v ~name:"stack"
+      ~globals:[ word "sum" ]
+      ~peripherals:[]
+      ~funcs:
+        [ (* fills the caller-stack buffer through the relocated pointer;
+             the monitor copies the result back on exit *)
+          func "fill" [ pp_ "buf" Ty.Byte; pw "len" ]
+            (for_ "i" (l "len")
+               [ store8 E.(l "buf" + l "i") E.(l "i" + c 1) ]
+            @ [ ret0 ]);
+          func "main" []
+            [ alloca "buf" (Ty.Array (Ty.Byte, 8));
+              memset (l "buf") (c 0) (c 8);
+              call "fill" [ l "buf"; c 8 ];
+              (* read back through the original stack buffer *)
+              load8 "b0" (l "buf");
+              load8 "b7" E.(l "buf" + c 7);
+              store (gv "sum") E.(l "b0" + l "b7");
+              halt ] ]
+      ()
+  in
+  let stack_infos =
+    [ { C.Dev_input.si_entry = "fill";
+        ptr_args = [ { C.Dev_input.param_index = 0; buffer_bytes = 8 } ] } ]
+  in
+  let image = compile ~stack_infos ~entries:[ "fill" ] p in
+  let r = run image in
+  Alcotest.(check int64) "copy-back landed" 9L
+    (read_global image r.Mon.Runner.bus "sum");
+  Alcotest.(check bool) "bytes were relocated" true
+    ((Mon.Monitor.stats r.Mon.Runner.monitor).Mon.Stats.relocated_bytes >= 8)
+
+(* Without relocation info, WRITING to the caller's disabled stack
+   sub-region faults — the protection Figure 8 illustrates.  (Reads fall
+   through to the read-only background region: integrity, not
+   confidentiality.) *)
+let test_stack_subregions_disabled () =
+  let p2 =
+    Program.v ~name:"stackfault"
+      ~globals:[ word "sink" ]
+      ~peripherals:[]
+      ~funcs:
+        [ func "scribble" [ pp_ "buf" Ty.Byte ]
+            [ store8 (l "buf") (c 1); ret0 ];
+          func "main" []
+            [ alloca "top_buf" (Ty.Array (Ty.Byte, 16));
+              store8 (l "top_buf") (c 9);
+              (* spacer pushes sp down at least one sub-region, so
+                 top_buf lands in a sub-region the entry must not touch *)
+              alloca "spacer" (Ty.Array (Ty.Byte, C.Config.stack_subregion_size));
+              store8 (l "spacer") (c 1);
+              call "scribble" [ l "top_buf" ];
+              halt ] ]
+      ()
+  in
+  (* no stack_info for scribble: the pointer still targets main's frame *)
+  let image = compile ~entries:[ "scribble" ] p2 in
+  match run image with
+  | _ -> Alcotest.fail "write to the previous sub-region should fault"
+  | exception Ex.Interp.Aborted _ -> ()
+
+(* --- MPU virtualization ----------------------------------------------------- *)
+
+let test_peripheral_virtualization () =
+  let periphs =
+    List.init 6 (fun i ->
+        Peripheral.v (Printf.sprintf "P%d" i)
+          ~base:(0x4001_0000 + (i * 0x10000)) ~size:0x400)
+  in
+  let p =
+    Program.v ~name:"virt" ~globals:[ word "acc" ]
+      ~peripherals:periphs
+      ~funcs:
+        [ func "t" []
+            (List.concat_map
+               (fun (pe : Peripheral.t) ->
+                 [ store (reg pe 0) (c 1); load ("v" ^ pe.Peripheral.name) (reg pe 0) ])
+               periphs
+            @ [ ret0 ]);
+          func "main" [] [ call "t" []; halt ] ]
+      ()
+  in
+  let image = compile ~entries:[ "t" ] p in
+  let devices =
+    List.map
+      (fun (pe : Peripheral.t) ->
+        M.Device.stub pe.Peripheral.name ~base:pe.Peripheral.base ~size:0x400)
+      periphs
+  in
+  let r = run ~devices image in
+  Alcotest.(check bool) "rotations happened" true
+    ((Mon.Monitor.stats r.Mon.Runner.monitor).Mon.Stats.virt_swaps >= 2)
+
+(* --- core peripheral emulation ---------------------------------------------- *)
+
+let test_core_peripheral_emulation () =
+  let p =
+    Program.v ~name:"ppb" ~globals:[ word "ticks" ]
+      ~peripherals:[ dwt ]
+      ~funcs:
+        [ func "t" []
+            [ load "v" (reg dwt 4);
+              store (gv "ticks") (l "v");
+              ret0 ];
+          func "main" [] [ call "t" []; halt ] ]
+      ()
+  in
+  let image = compile ~entries:[ "t" ] p in
+  let r = run image in
+  Alcotest.(check bool) "emulation used" true
+    ((Mon.Monitor.stats r.Mon.Runner.monitor).Mon.Stats.emulations >= 1);
+  Alcotest.(check bool) "got a cycle count" true
+    (Int64.compare (read_global image r.Mon.Runner.bus "ticks") 0L > 0)
+
+let test_core_peripheral_unlisted_blocked () =
+  let benign =
+    Program.v ~name:"ppb-iso" ~globals:[ word "g" ]
+      ~peripherals:[ dwt ]
+      ~funcs:
+        [ func "t" [] [ store (gv "g") (c 1); ret0 ];
+          func "main" [] [ call "t" []; halt ] ]
+      ()
+  in
+  let image = compile ~entries:[ "t" ] benign in
+  let rogue =
+    { benign with
+      Program.funcs =
+        List.map
+          (fun (f : Func.t) ->
+            if String.equal f.Func.name "t" then
+              { f with Func.body = [ load "v" (reg dwt 4); ret0 ] }
+            else f)
+          benign.Program.funcs }
+  in
+  let rogue_instr, _ =
+    C.Instrument.instrument rogue image.C.Image.layout
+      ~entries:image.C.Image.entries
+  in
+  let rogue_image = { image with C.Image.program = rogue_instr } in
+  match run rogue_image with
+  | _ -> Alcotest.fail "unlisted core peripheral should abort"
+  | exception Ex.Interp.Aborted _ -> ()
+
+(* --- pointer-field fixup ------------------------------------------------------ *)
+
+let test_pointer_field_fixup () =
+  (* a shared struct holds a pointer to another shared variable; after a
+     switch, the pointer must target the new operation's shadow *)
+  let p =
+    Program.v ~name:"ptrfix"
+      ~globals:
+        [ struct_ "box" [ ("data_ptr", Ty.Pointer Ty.Word) ];
+          words "payload" 2;
+          word "seen" ]
+      ~peripherals:[]
+      ~funcs:
+        [ func "producer" []
+            [ store (gv "payload") (c 77);
+              store (gv "box") (gv "payload");
+              ret0 ];
+          func "consumer" []
+            [ load "p" (gv "box");
+              load "v" (l "p");
+              store (gv "seen") (l "v");
+              ret0 ];
+          func "main" [] [ call "producer" []; call "consumer" []; halt ] ]
+      ()
+  in
+  let image = compile ~entries:[ "producer"; "consumer" ] p in
+  let r = run image in
+  Alcotest.(check int64) "consumer dereferenced its own shadow" 77L
+    (read_global image r.Mon.Runner.bus "seen");
+  Alcotest.(check bool) "a fixup happened" true
+    ((Mon.Monitor.stats r.Mon.Runner.monitor).Mon.Stats.pointer_fixups >= 1)
+
+let suite () =
+  [ ( "monitor",
+      [ Alcotest.test_case "sync propagates" `Quick test_sync_propagates;
+        Alcotest.test_case "sync only shared" `Quick test_sync_only_shared;
+        Alcotest.test_case "cross-section write blocked" `Quick test_cross_section_write_blocked;
+        Alcotest.test_case "unlisted peripheral blocked" `Quick test_unlisted_peripheral_blocked;
+        Alcotest.test_case "reloc table protected" `Quick test_reloc_table_not_writable;
+        Alcotest.test_case "sanitization" `Quick test_sanitization_aborts;
+        Alcotest.test_case "argument relocation" `Quick test_argument_relocation;
+        Alcotest.test_case "stack sub-regions" `Quick test_stack_subregions_disabled;
+        Alcotest.test_case "MPU virtualization" `Quick test_peripheral_virtualization;
+        Alcotest.test_case "core periph emulation" `Quick test_core_peripheral_emulation;
+        Alcotest.test_case "unlisted core periph blocked" `Quick test_core_peripheral_unlisted_blocked;
+        Alcotest.test_case "pointer field fixup" `Quick test_pointer_field_fixup ] ) ]

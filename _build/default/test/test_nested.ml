@@ -1,0 +1,126 @@
+(* Nested operation switches: Figure 8's main -> Foo -> Bar chain, where
+   one operation entry calls another.  The monitor must stack contexts,
+   restore the caller operation's MPU plan and relocation table on
+   return, and keep the stack sub-region discipline consistent. *)
+
+open Opec_ir
+open Build
+module E = Expr
+module M = Opec_machine
+module C = Opec_core
+module Mon = Opec_monitor
+module Ex = Opec_exec
+
+let read_global image bus name =
+  M.Bus.read_raw bus (image.C.Image.map.Ex.Address_map.global_addr name) 4
+
+(* the paper's example: main stages a buffer, foo fills it and calls bar
+   with a size, bar records it *)
+let figure8_program () =
+  Program.v ~name:"figure8"
+    ~globals:[ word "bar_seen"; word "foo_check"; word "main_check" ]
+    ~peripherals:[]
+    ~funcs:
+      [ func "bar" [ pw "size" ] ~file:"app.c"
+          [ store (gv "bar_seen") (l "size"); ret0 ];
+        func "foo"
+          [ pw "a1"; pw "a2"; pw "a3"; pw "a4"; pp_ "buf" Ty.Byte; pw "size" ]
+          ~file:"app.c"
+          [ memset (l "buf") (c 0x42) (l "size");
+            call "bar" [ l "size" ];
+            load8 "b" (l "buf");
+            store (gv "foo_check") E.(l "b" + l "a1" + l "a4");
+            ret0 ];
+        func "main" [] ~file:"main.c"
+          [ alloca "buf" (Ty.Array (Ty.Byte, 16));
+            memset (l "buf") (c 0x41) (c 16);
+            call "foo" [ c 1; c 2; c 3; c 4; l "buf"; c 16 ];
+            (* the monitor copied the filled buffer back to main's frame *)
+            load8 "b0" (l "buf");
+            load8 "b15" E.(l "buf" + c 15);
+            store (gv "main_check") E.(l "b0" + l "b15");
+            halt ] ]
+    ()
+
+let dev_input =
+  C.Dev_input.v [ "foo"; "bar" ]
+    ~stack_infos:
+      [ { C.Dev_input.si_entry = "foo";
+          ptr_args = [ { C.Dev_input.param_index = 4; buffer_bytes = 16 } ] } ]
+
+let test_figure8 () =
+  let image = C.Compiler.compile (figure8_program ()) dev_input in
+  let r = Mon.Runner.run_protected image in
+  Alcotest.(check int64) "bar ran inside foo" 16L
+    (read_global image r.Mon.Runner.bus "bar_seen");
+  (* foo saw its own relocated copy filled with 0x42, plus args 1 and 4 *)
+  Alcotest.(check int64) "foo's write through the relocated pointer"
+    (Int64.of_int (0x42 + 1 + 4))
+    (read_global image r.Mon.Runner.bus "foo_check");
+  (* main got the monitor's copy-back: both ends hold 0x42 *)
+  Alcotest.(check int64) "copy-back to main's frame"
+    (Int64.of_int (0x42 * 2))
+    (read_global image r.Mon.Runner.bus "main_check");
+  let stats = Mon.Monitor.stats r.Mon.Runner.monitor in
+  (* four switches: enter/exit foo, enter/exit bar *)
+  Alcotest.(check int) "four switches" 4 stats.Mon.Stats.switches;
+  Alcotest.(check bool) "relocation happened" true
+    (stats.Mon.Stats.relocated_bytes >= 16)
+
+(* deep nesting: a chain of operations each calling the next *)
+let test_deep_nesting () =
+  let depth = 6 in
+  let task i = Printf.sprintf "level%d" i in
+  let funcs =
+    List.init depth (fun i ->
+        let body =
+          [ load "a" (gv "acc"); store (gv "acc") E.(l "a" + c 1) ]
+          @ (if i + 1 < depth then [ call (task (i + 1)) [] ] else [])
+          @ [ ret0 ]
+        in
+        func (task i) [] ~file:"app.c" body)
+    @ [ func "main" [] ~file:"main.c" [ call (task 0) []; halt ] ]
+  in
+  let p =
+    Program.v ~name:"deep" ~globals:[ word "acc" ] ~peripherals:[] ~funcs ()
+  in
+  let image =
+    C.Compiler.compile p (C.Dev_input.v (List.init depth task))
+  in
+  let r = Mon.Runner.run_protected image in
+  Alcotest.(check int64) "every level bumped the shared counter"
+    (Int64.of_int depth)
+    (read_global image r.Mon.Runner.bus "acc");
+  let stats = Mon.Monitor.stats r.Mon.Runner.monitor in
+  Alcotest.(check int) "two switches per level" (2 * depth)
+    stats.Mon.Stats.switches
+
+(* recursion within one operation is supported (Section 4.3) *)
+let test_recursive_entry () =
+  let p =
+    Program.v ~name:"rec" ~globals:[ word "result" ] ~peripherals:[]
+      ~funcs:
+        [ func "fact_worker" [ pw "n" ] ~file:"app.c"
+            [ if_ E.(l "n" <= c 1)
+                [ ret (c 1) ]
+                [ call ~dst:"r" "fact_worker" [ E.(l "n" - c 1) ];
+                  ret E.(l "n" * l "r") ] ];
+          func "fact_task" [ pw "n" ] ~file:"app.c"
+            [ call ~dst:"r" "fact_worker" [ l "n" ];
+              store (gv "result") (l "r");
+              ret0 ];
+          func "main" [] ~file:"main.c" [ call "fact_task" [ c 6 ]; halt ] ]
+      ()
+  in
+  let image = C.Compiler.compile p (C.Dev_input.v [ "fact_task" ]) in
+  let r = Mon.Runner.run_protected image in
+  Alcotest.(check int64) "6!" 720L (read_global image r.Mon.Runner.bus "result");
+  (* the recursion stayed inside one operation: exactly one enter+exit *)
+  Alcotest.(check int) "one operation instance" 2
+    (Mon.Monitor.stats r.Mon.Runner.monitor).Mon.Stats.switches
+
+let suite () =
+  [ ( "nested-operations",
+      [ Alcotest.test_case "figure 8 scenario" `Quick test_figure8;
+        Alcotest.test_case "deep nesting" `Quick test_deep_nesting;
+        Alcotest.test_case "recursive entry" `Quick test_recursive_entry ] ) ]

@@ -1,0 +1,108 @@
+(* End-to-end smoke tests: a toy firmware compiled with OPEC and executed
+   under the monitor on the machine model. *)
+
+open Opec_ir
+module B = Build
+module M = Opec_machine
+module C = Opec_core
+module E = Opec_exec
+module Mon = Opec_monitor
+
+let uart_periph = Peripheral.v "USART2" ~base:0x4000_4400 ~size:0x400
+let gpio_periph = Peripheral.v "GPIOD" ~base:0x4002_0C00 ~size:0x400
+let dwt_periph = Peripheral.v ~core:true "DWT" ~base:0xE000_1000 ~size:0x400
+
+(* A miniature PinLock-like firmware:
+   - task_a reads a byte from the UART into [shared_buf] and bumps [a_only];
+   - task_b reads [shared_buf] and drives the GPIO. *)
+let toy_program () =
+  let globals =
+    [ B.words "shared_buf" 4;
+      B.word "a_only" ~init:1L;
+      B.word "b_only" ~init:2L;
+      B.word ~const:true "magic" ~init:77L ]
+  in
+  let funcs =
+    [ B.func "read_uart" [] ~file:"hal.c"
+        [ B.load "v" (B.reg uart_periph M.Uart.dr);
+          B.store (B.gv "shared_buf") (B.l "v");
+          B.ret0 ];
+      B.func "task_a" [] ~file:"app.c"
+        [ B.call "read_uart" [];
+          B.load "x" (B.gv "a_only");
+          B.store (B.gv "a_only") Expr.(B.l "x" + B.c 1);
+          B.ret0 ];
+      B.func "task_b" [] ~file:"app.c"
+        [ B.load "v" (B.gv "shared_buf");
+          B.store (B.reg gpio_periph M.Gpio.odr) (B.l "v");
+          B.load "y" (B.gv "b_only");
+          B.store (B.gv "b_only") Expr.(B.l "y" + B.c 10);
+          B.ret0 ];
+      B.func "main" [] ~file:"main.c"
+        [ B.call "task_a" []; B.call "task_b" []; B.halt ] ]
+  in
+  Program.v ~name:"toy" ~globals
+    ~peripherals:[ uart_periph; gpio_periph; dwt_periph ]
+    ~funcs ()
+
+let compile_toy () =
+  C.Compiler.compile (toy_program ())
+    (C.Dev_input.v [ "task_a"; "task_b" ])
+
+let devices () =
+  let uart_dev, uart = M.Uart.create "USART2" ~base:0x4000_4400 in
+  let gpio_dev, gpio = M.Gpio.create "GPIOD" ~base:0x4002_0C00 in
+  ((uart_dev, gpio_dev), uart, gpio)
+
+let test_partition () =
+  let image = compile_toy () in
+  Alcotest.(check int) "three operations" 3 (List.length image.C.Image.ops);
+  let op_a =
+    match C.Image.op_of_entry image "task_a" with
+    | Some op -> op
+    | None -> Alcotest.fail "no operation for task_a"
+  in
+  Alcotest.(check bool) "task_a contains read_uart" true
+    (C.Operation.SS.mem "read_uart" op_a.C.Operation.funcs);
+  Alcotest.(check bool) "task_a uses the UART" true
+    (C.Operation.uses_peripheral op_a "USART2")
+
+let test_shadowing () =
+  let image = compile_toy () in
+  let layout = image.C.Image.layout in
+  Alcotest.(check (list string)) "shared_buf is external" [ "shared_buf" ]
+    layout.C.Layout.externals;
+  (* a_only is internal to task_a's section *)
+  let sec =
+    match C.Layout.section_of layout "task_a" with
+    | Some s -> s
+    | None -> Alcotest.fail "no section for task_a"
+  in
+  Alcotest.(check bool) "a_only in task_a section" true
+    (C.Layout.slot_addr sec "a_only" <> None)
+
+let test_protected_run () =
+  let image = compile_toy () in
+  let (uart_dev, gpio_dev), uart, gpio = devices () in
+  M.Uart.inject uart "\x2A";
+  let r = Mon.Runner.run_protected ~devices:[ uart_dev; gpio_dev ] image in
+  Alcotest.(check int) "GPIO saw the UART byte" 0x2A (M.Gpio.output gpio);
+  Alcotest.(check bool) "operation switches happened" true
+    ((Mon.Monitor.stats r.Mon.Runner.monitor).Mon.Stats.switches >= 4)
+
+let test_baseline_run () =
+  let p = toy_program () in
+  let (uart_dev, gpio_dev), uart, gpio = devices () in
+  M.Uart.inject uart "\x11";
+  let _r =
+    Mon.Runner.run_baseline ~devices:[ uart_dev; gpio_dev ]
+      ~board:M.Memmap.stm32f4_discovery p
+  in
+  Alcotest.(check int) "baseline GPIO output" 0x11 (M.Gpio.output gpio)
+
+let suite () =
+  [ ( "smoke",
+      [ Alcotest.test_case "partition" `Quick test_partition;
+        Alcotest.test_case "shadowing" `Quick test_shadowing;
+        Alcotest.test_case "protected run" `Quick test_protected_run;
+        Alcotest.test_case "baseline run" `Quick test_baseline_run ] ) ]

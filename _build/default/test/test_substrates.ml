@@ -1,0 +1,191 @@
+(* Direct tests of the firmware substrates (FatFs, lwIP, CoreMark
+   kernels) executed as baseline binaries on the machine model. *)
+
+open Opec_ir
+open Build
+module E = Expr
+module M = Opec_machine
+module Mon = Opec_monitor
+module Ex = Opec_exec
+module Apps = Opec_apps
+
+let board = M.Memmap.stm32479i_eval
+
+let run_with_sd ~main_body ~globals ~extra_funcs =
+  let p =
+    Program.v ~name:"substrate"
+      ~globals:(Apps.Hal.all_globals @ Apps.Fatfs.globals @ globals)
+      ~peripherals:Apps.Soc.datasheet
+      ~funcs:
+        (Apps.Hal.all_funcs @ Apps.Fatfs.funcs @ extra_funcs
+        @ [ func "main" [] ~file:"main.c" (main_body @ [ halt ]) ])
+      ()
+  in
+  let sd_dev, sd = M.Sd_card.create "SDIO" ~base:Apps.Soc.sdio.Peripheral.base in
+  let head = Bytes.make 512 '\000' in
+  Bytes.set_int32_le head 0 (Int32.of_int Apps.Fatfs.magic);
+  Bytes.set_int32_le head 4 1l;
+  Bytes.set_int32_le head 8 2l;
+  M.Sd_card.preload sd 0 (Bytes.to_string head);
+  let r =
+    Mon.Runner.run_baseline
+      ~devices:(Apps.Soc.config_devices () @ [ sd_dev ])
+      ~board p
+  in
+  (r, sd, p)
+
+let read_global (r : Mon.Runner.baseline_run) p name =
+  ignore p;
+  M.Bus.read_raw r.Mon.Runner.b_bus
+    (r.Mon.Runner.b_layout.Ex.Vanilla_layout.map.Ex.Address_map.global_addr name)
+    4
+
+(* --- FatFs -------------------------------------------------------------- *)
+
+let test_fatfs_multiblock () =
+  (* write 700 bytes (crosses a block boundary), read them back *)
+  let n = 700 in
+  let r, _sd, p =
+    run_with_sd
+      ~globals:[ bytes "big" 1024; bytes "back" 1024; word "match_" ]
+      ~extra_funcs:[]
+      ~main_body:
+        ([ call ~dst:"_m" "f_mount" [];
+           call ~dst:"_c" "f_create" [ c 0x77 ] ]
+        @ for_ "i" (c n)
+            [ store8 E.(gv "big" + l "i") E.((l "i" * c 7) && c 0xFF) ]
+        @ [ call ~dst:"_w" "f_write_long" [ gv "big"; c n ];
+            call "f_sync" [];
+            call "f_lseek" [ c 0 ];
+            call ~dst:"_r" "f_read_long" [ gv "back"; c n ];
+            set "ok" (c 1) ]
+        @ for_ "i" (c n)
+            [ load8 "a" E.(gv "big" + l "i");
+              load8 "b" E.(gv "back" + l "i");
+              if_ E.(l "a" != l "b") [ set "ok" (c 0) ] [] ]
+        @ [ store (gv "match_") (l "ok") ])
+  in
+  Alcotest.(check int64) "700 bytes round-tripped" 1L (read_global r p "match_")
+
+let test_fatfs_stat_unlink () =
+  let r, _sd, p =
+    run_with_sd
+      ~globals:[ word "size_before"; word "stat_after" ]
+      ~extra_funcs:[]
+      ~main_body:
+        [ call ~dst:"_m" "f_mount" [];
+          call ~dst:"_c" "f_create" [ c 0x31 ];
+          call ~dst:"_w" "f_write" [ gv "fatfs_win"; c 10 ];
+          call "f_sync" [];
+          call ~dst:"sb" "f_stat" [ c 0x31 ];
+          store (gv "size_before") (l "sb");
+          call ~dst:"_u" "f_unlink" [ c 0x31 ];
+          call ~dst:"sa" "f_stat" [ c 0x31 ];
+          store (gv "stat_after") (l "sa") ]
+  in
+  Alcotest.(check int64) "stat sees the size" 10L (read_global r p "size_before");
+  Alcotest.(check int64) "unlinked file gone" 0xFFFFFFFFL
+    (read_global r p "stat_after")
+
+(* --- lwIP --------------------------------------------------------------- *)
+
+let run_tcp_stack frames =
+  let p =
+    Program.v ~name:"lwip-test"
+      ~globals:(Apps.Hal.all_globals @ Apps.Lwip.globals @ [ word "handled" ])
+      ~peripherals:Apps.Soc.datasheet
+      ~funcs:
+        (Apps.Hal.all_funcs @ Apps.Lwip.funcs
+        @ [ func "main" [] ~file:"main.c"
+              [ call "lwip_init" [];
+                set "more" (c 1);
+                while_ E.(l "more" != c 0)
+                  [ call ~dst:"waiting" "ETH_FrameWaiting" [];
+                    if_ E.(l "waiting" != c 0)
+                      [ call ~dst:"len" "ETH_GetReceivedFrame"
+                          [ gv "rx_frame"; c Apps.Lwip.frame_max ];
+                        call ~dst:"et" "ethernetif_input" [ gv "rx_frame" ];
+                        if_ E.(l "et" == c 1)
+                          [ call ~dst:"_r" "ip_input" [ gv "rx_frame"; l "len" ] ]
+                          [];
+                        load "h" (gv "handled");
+                        store (gv "handled") E.(l "h" + c 1) ]
+                      [ set "more" (c 0) ] ];
+                halt ] ])
+      ()
+  in
+  let eth_dev, eth = M.Ethernet.create "ETH" ~base:Apps.Soc.eth.Peripheral.base in
+  List.iter (M.Ethernet.inject_frame eth) frames;
+  let r =
+    Mon.Runner.run_baseline
+      ~devices:(Apps.Soc.config_devices () @ [ eth_dev ])
+      ~board p
+  in
+  (r, eth, p)
+
+let syn = Apps.Lwip.make_frame ~proto:6 ~flags:0x02 ~payload:"" ~good_checksum:true
+let ack = Apps.Lwip.make_frame ~proto:6 ~flags:0x10 ~payload:"" ~good_checksum:true
+let data payload =
+  Apps.Lwip.make_frame ~proto:6 ~flags:0x18 ~payload ~good_checksum:true
+
+let test_tcp_handshake_and_echo () =
+  let r, eth, p = run_tcp_stack [ syn; ack; data "hi!" ] in
+  (* pcb reached ESTABLISHED (3) and the payload was echoed *)
+  Alcotest.(check int64) "established" 3L (read_global r p "tcp_pcb");
+  (match M.Ethernet.pop_transmitted eth with
+  | Some f -> Alcotest.(check string) "echoed payload" "hi!" (String.sub f 5 3)
+  | None -> Alcotest.fail "no echo transmitted")
+
+let test_arp_request_reply () =
+  let arp_req =
+    (* ethertype 0x06, op 1 (request), checksum/flags unused, payload
+       carries (ip, mac) at bytes 5..6 *)
+    "\x06\x01\x00\x00\x02\x0A\x1B"
+  in
+  let r, eth, p = run_tcp_stack [ arp_req ] in
+  Alcotest.(check int64) "cache filled" 1L (read_global r p "arp_entries");
+  match M.Ethernet.pop_transmitted eth with
+  | Some reply ->
+    Alcotest.(check char) "ARP ethertype" '\x06' reply.[0];
+    Alcotest.(check char) "reply opcode" '\x02' reply.[1]
+  | None -> Alcotest.fail "no ARP reply"
+
+let test_fin_returns_to_listen () =
+  let fin = Apps.Lwip.make_frame ~proto:6 ~flags:0x01 ~payload:"" ~good_checksum:true in
+  let r, _eth, p = run_tcp_stack [ syn; ack; fin ] in
+  Alcotest.(check int64) "back to LISTEN" 1L (read_global r p "tcp_pcb")
+
+(* --- CoreMark kernels ---------------------------------------------------- *)
+
+let test_coremark_sort () =
+  let app = Apps.Registry.coremark ~iterations:1 () in
+  let world = app.Apps.App.make_world () in
+  world.Apps.App.prepare ();
+  let r =
+    Mon.Runner.run_baseline ~devices:world.Apps.App.devices
+      ~board:app.Apps.App.board app.Apps.App.program
+  in
+  (match world.Apps.App.check () with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* after core_list_sort the values are non-decreasing *)
+  let map = r.Mon.Runner.b_layout.Ex.Vanilla_layout.map in
+  let base = map.Ex.Address_map.global_addr "list_values" in
+  let values =
+    List.init 16 (fun i ->
+        Int64.to_int (M.Bus.read_raw r.Mon.Runner.b_bus (base + (4 * i)) 4))
+  in
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a <= b && sorted rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "list sorted" true (sorted values)
+
+let suite () =
+  [ ( "substrates",
+      [ Alcotest.test_case "fatfs multi-block" `Quick test_fatfs_multiblock;
+        Alcotest.test_case "fatfs stat/unlink" `Quick test_fatfs_stat_unlink;
+        Alcotest.test_case "tcp handshake + echo" `Quick test_tcp_handshake_and_echo;
+        Alcotest.test_case "arp request/reply" `Quick test_arp_request_reply;
+        Alcotest.test_case "fin returns to listen" `Quick test_fin_returns_to_listen;
+        Alcotest.test_case "coremark sort" `Quick test_coremark_sort ] ) ]

@@ -1,0 +1,108 @@
+(* Unit and property tests for the IR type model. *)
+
+open Opec_ir
+
+let word = Ty.Word
+let byte = Ty.Byte
+let ptr t = Ty.Pointer t
+let arr t n = Ty.Array (t, n)
+let fld name ty = { Ty.field_name = name; field_ty = ty }
+
+let test_sizes () =
+  Alcotest.(check int) "word" 4 (Ty.size_of word);
+  Alcotest.(check int) "byte" 1 (Ty.size_of byte);
+  Alcotest.(check int) "pointer" 4 (Ty.size_of (ptr word));
+  Alcotest.(check int) "byte array" 10 (Ty.size_of (arr byte 10));
+  Alcotest.(check int) "word array" 40 (Ty.size_of (arr word 10));
+  Alcotest.(check int) "struct rounds up to words" 8
+    (Ty.size_of (Ty.Struct [ fld "a" word; fld "b" byte ]));
+  Alcotest.(check int) "nested struct"
+    16
+    (Ty.size_of
+       (Ty.Struct [ fld "a" (arr byte 5); fld "b" word; fld "c" (ptr word) ]))
+
+let test_alignment () =
+  Alcotest.(check int) "word align" 4 (Ty.alignment word);
+  Alcotest.(check int) "byte align" 1 (Ty.alignment byte);
+  Alcotest.(check int) "byte array align" 1 (Ty.alignment (arr byte 3));
+  Alcotest.(check int) "struct align" 4 (Ty.alignment (Ty.Struct [ fld "a" byte ]))
+
+let test_pointer_offsets () =
+  Alcotest.(check (list int)) "no pointers" [] (Ty.pointer_field_offsets word);
+  Alcotest.(check (list int)) "plain pointer" [ 0 ]
+    (Ty.pointer_field_offsets (ptr word));
+  Alcotest.(check (list int)) "struct pointers" [ 4; 8 ]
+    (Ty.pointer_field_offsets
+       (Ty.Struct [ fld "n" word; fld "p" (ptr word); fld "q" (ptr byte) ]));
+  Alcotest.(check (list int)) "pointer array" [ 0; 4; 8 ]
+    (Ty.pointer_field_offsets (arr (ptr word) 3));
+  Alcotest.(check (list int)) "nested struct pointer" [ 8 ]
+    (Ty.pointer_field_offsets
+       (Ty.Struct
+          [ fld "hdr" (arr byte 8);
+            fld "inner" (Ty.Struct [ fld "next" (ptr word) ]) ]))
+
+let test_field_offset () =
+  let s = Ty.Struct [ fld "a" word; fld "b" (arr byte 6); fld "c" word ] in
+  Alcotest.(check int) "first" 0 (fst (Ty.field_offset s "a"));
+  Alcotest.(check int) "second" 4 (fst (Ty.field_offset s "b"));
+  Alcotest.(check int) "third after padding" 12 (fst (Ty.field_offset s "c"));
+  Alcotest.check_raises "missing field"
+    (Invalid_argument "Ty.field_offset: no field z") (fun () ->
+      ignore (Ty.field_offset s "z"))
+
+let test_signature_equal () =
+  Alcotest.(check bool) "same shape, different length" true
+    (Ty.signature_equal (arr word 4) (arr word 9));
+  Alcotest.(check bool) "ptr vs word" false
+    (Ty.signature_equal (ptr word) word);
+  Alcotest.(check bool) "struct shapes" true
+    (Ty.signature_equal
+       (Ty.Struct [ fld "x" word; fld "p" (ptr byte) ])
+       (Ty.Struct [ fld "y" word; fld "q" (ptr byte) ]))
+
+(* random type generator for property tests *)
+let ty_gen =
+  let open QCheck.Gen in
+  sized @@ fix (fun self n ->
+      if n <= 0 then oneofl [ Ty.Word; Ty.Byte ]
+      else
+        frequency
+          [ (3, oneofl [ Ty.Word; Ty.Byte ]);
+            (2, map (fun t -> Ty.Pointer t) (self (n / 2)));
+            (2, map2 (fun t k -> Ty.Array (t, 1 + (k mod 8))) (self (n / 2)) nat);
+            ( 1,
+              map
+                (fun tys ->
+                  Ty.Struct
+                    (List.mapi (fun i t -> fld (Printf.sprintf "f%d" i) t) tys))
+                (list_size (int_range 1 4) (self (n / 3))) ) ])
+
+let arbitrary_ty = QCheck.make ~print:(Fmt.to_to_string Ty.pp) ty_gen
+
+let prop_size_positive =
+  QCheck.Test.make ~name:"size is positive" ~count:200 arbitrary_ty (fun ty ->
+      Ty.size_of ty > 0)
+
+let prop_pointer_offsets_in_bounds =
+  QCheck.Test.make ~name:"pointer offsets lie within the value" ~count:200
+    arbitrary_ty (fun ty ->
+      let size = Ty.size_of ty in
+      List.for_all
+        (fun off -> off >= 0 && off + 4 <= size)
+        (Ty.pointer_field_offsets ty))
+
+let prop_signature_reflexive =
+  QCheck.Test.make ~name:"signature_equal is reflexive" ~count:200 arbitrary_ty
+    (fun ty -> Ty.signature_equal ty ty)
+
+let suite () =
+  [ ( "ty",
+      [ Alcotest.test_case "sizes" `Quick test_sizes;
+        Alcotest.test_case "alignment" `Quick test_alignment;
+        Alcotest.test_case "pointer offsets" `Quick test_pointer_offsets;
+        Alcotest.test_case "field offsets" `Quick test_field_offset;
+        Alcotest.test_case "signature equality" `Quick test_signature_equal;
+        QCheck_alcotest.to_alcotest prop_size_positive;
+        QCheck_alcotest.to_alcotest prop_pointer_offsets_in_bounds;
+        QCheck_alcotest.to_alcotest prop_signature_reflexive ] ) ]

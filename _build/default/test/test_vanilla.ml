@@ -1,0 +1,116 @@
+(* Tests for the baseline linker layout and a precise check of the
+   monitor's round-robin MPU virtualization. *)
+
+open Opec_ir
+open Build
+module E = Expr
+module M = Opec_machine
+module C = Opec_core
+module Mon = Opec_monitor
+module Ex = Opec_exec
+
+let board = M.Memmap.stm32f4_discovery
+
+(* --- vanilla layout ------------------------------------------------------ *)
+
+let sample_program () =
+  Program.v ~name:"layout-sample"
+    ~globals:
+      [ word "w"; bytes "b" 13; words "arr" 5;
+        word ~const:true "k" ~init:3L; string_bytes ~const:true "s" 8 "hey" ]
+    ~peripherals:[]
+    ~funcs:
+      [ func "f" [] [ load "x" (gv "w"); ret (l "x") ];
+        func "main" [] [ call ~dst:"_r" "f" []; halt ] ]
+    ()
+
+let test_vanilla_placement () =
+  let p = sample_program () in
+  let layout = Ex.Vanilla_layout.make ~board p in
+  let map = layout.Ex.Vanilla_layout.map in
+  let addr = map.Ex.Address_map.global_addr in
+  (* const globals in flash, data globals in SRAM *)
+  Alcotest.(check bool) "k in flash" true
+    (M.Memmap.classify (addr "k") = M.Memmap.Code);
+  Alcotest.(check bool) "w in sram" true
+    (M.Memmap.classify (addr "w") = M.Memmap.Sram);
+  (* word-typed data is 4-aligned *)
+  Alcotest.(check int) "w aligned" 0 (addr "w" mod 4);
+  Alcotest.(check int) "arr aligned" 0 (addr "arr" mod 4);
+  (* globals do not overlap *)
+  let data =
+    List.filter_map
+      (fun (g : Global.t) ->
+        if g.const then None else Some (addr g.name, Global.size g))
+      p.Program.globals
+    |> List.sort compare
+  in
+  let rec disjoint = function
+    | (a, sa) :: ((b, _) :: _ as rest) ->
+      Alcotest.(check bool) "no overlap" true (a + sa <= b);
+      disjoint rest
+    | [ _ ] | [] -> ()
+  in
+  disjoint data;
+  (* the data region stays clear of the stack *)
+  Alcotest.(check bool) "data below stack" true
+    (layout.Ex.Vanilla_layout.data_limit <= map.Ex.Address_map.stack_base);
+  (* flash accounting covers the code *)
+  Alcotest.(check bool) "flash covers code" true
+    (layout.Ex.Vanilla_layout.flash_used >= Program.code_size p)
+
+let test_vanilla_sram_exhaustion () =
+  let huge =
+    Program.v ~name:"huge"
+      ~globals:[ bytes "blob" (256 * 1024) ]
+      ~peripherals:[]
+      ~funcs:[ func "main" [] [ halt ] ]
+      ()
+  in
+  (* 256 KiB of data does not fit the Discovery board's 192 KiB SRAM *)
+  Alcotest.check_raises "exhaustion detected"
+    (Invalid_argument "Vanilla_layout: SRAM exhausted") (fun () ->
+      ignore (Ex.Vanilla_layout.make ~board huge))
+
+(* --- precise round-robin virtualization ----------------------------------- *)
+
+let test_round_robin_eviction () =
+  (* six scattered peripherals; the plan installs 4, so P4 and P5 fault
+     in and evict slots round-robin; touching everything a second time
+     re-faults the evicted ones *)
+  let periphs =
+    List.init 6 (fun i ->
+        Peripheral.v (Printf.sprintf "P%d" i)
+          ~base:(0x4001_0000 + (i * 0x10000)) ~size:0x400)
+  in
+  let touch_all =
+    List.concat_map (fun (pe : Peripheral.t) -> [ store (reg pe 0) (c 1) ]) periphs
+  in
+  let p =
+    Program.v ~name:"rr" ~globals:[ word "g" ] ~peripherals:periphs
+      ~funcs:
+        [ func "t" [] (touch_all @ touch_all @ [ ret0 ]);
+          func "main" [] [ call "t" []; halt ] ]
+      ()
+  in
+  let image = C.Compiler.compile p (C.Dev_input.v [ "t" ]) in
+  let devices =
+    List.map
+      (fun (pe : Peripheral.t) ->
+        M.Device.stub pe.Peripheral.name ~base:pe.Peripheral.base ~size:0x400)
+      periphs
+  in
+  let r = Mon.Runner.run_protected ~devices image in
+  let stats = Mon.Monitor.stats r.Mon.Runner.monitor in
+  (* first pass: P4, P5 fault (2 swaps, evicting slots 4 and 5 = P0, P1);
+     second pass: P0, P1 fault back in (evicting P2, P3), then P2, P3
+     fault (evicting P4, P5), then P4, P5 fault again: 2 + 6 = 8 swaps *)
+  Alcotest.(check int) "exact rotation count" 8 stats.Mon.Stats.virt_swaps;
+  Alcotest.(check int) "nothing denied" 0 stats.Mon.Stats.denied
+
+let suite () =
+  [ ( "vanilla-layout",
+      [ Alcotest.test_case "placement" `Quick test_vanilla_placement;
+        Alcotest.test_case "SRAM exhaustion" `Quick test_vanilla_sram_exhaustion ] );
+    ( "virtualization",
+      [ Alcotest.test_case "round-robin eviction" `Quick test_round_robin_eviction ] ) ]
