@@ -5,7 +5,8 @@
      opec run APP [--baseline]     execute a workload on the machine model
      opec compare APP               baseline vs OPEC overhead for one app
      opec aces APP [-s STRATEGY]    show the ACES baseline's compartments
-     opec trace APP [-n N]          operation-switch timeline of a run *)
+     opec trace APP [-n N]          operation-switch timeline of a run
+     opec lint [APP] [--all] [--json]  verify the derived policy *)
 
 open Cmdliner
 module M = Opec_machine
@@ -175,7 +176,8 @@ let trace_cmd =
         List.filter
           (function
             | Opec_exec.Trace.Op_enter _ | Opec_exec.Trace.Op_exit _ -> true
-            | Opec_exec.Trace.Call _ | Opec_exec.Trace.Return _ -> false)
+            | Opec_exec.Trace.Call _ | Opec_exec.Trace.Return _
+            | Opec_exec.Trace.Access _ -> false)
           events
       in
       Format.printf "%d trace events, %d operation switch events@."
@@ -204,6 +206,62 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Run a workload and print its operation-switch timeline")
     Term.(const run $ app_arg $ limit)
 
+(* ------------------------------------------------------------------ lint *)
+
+let lint_cmd =
+  let app_opt =
+    let doc = "Workload to lint (default: every bundled workload)." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+  in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:
+            "Also run the dynamic trace oracle (L007) and show \
+             info-severity diagnostics.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics as JSON.")
+  in
+  let lint_app ~all ~json (app : Apps.App.t) =
+    let image = Met.Workload.compile app in
+    let world () =
+      let w = app.Apps.App.make_world () in
+      w.Apps.App.prepare ();
+      w.Apps.App.devices
+    in
+    let diags = Opec_lint.Lint.run ~dynamic:all ~world image in
+    if json then
+      Format.printf {|{"app":"%s","diagnostics":%s}@.|} app.Apps.App.app_name
+        (Opec_lint.Lint.to_json diags)
+    else begin
+      Format.printf "== %s ==@." app.Apps.App.app_name;
+      Opec_lint.Lint.render ~all Format.std_formatter diags
+    end;
+    Opec_lint.Lint.errors diags = []
+  in
+  let run name all json =
+    let apps =
+      match name with
+      | None -> Ok (Apps.Registry.all ())
+      | Some n -> Result.map (fun a -> [ a ]) (find_app n)
+    in
+    match apps with
+    | Error e -> exits_with_error e
+    | Ok apps ->
+      let ok =
+        List.fold_left (fun ok app -> lint_app ~all ~json app && ok) true apps
+      in
+      if not ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Verify a workload's derived policy: static checks over the \
+          compiled image, plus (with --all) a dynamic trace oracle")
+    Term.(const run $ app_opt $ all $ json)
+
 let () =
   let info =
     Cmd.info "opec" ~version:"1.0.0"
@@ -212,4 +270,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; policy_cmd; run_cmd; compare_cmd; aces_cmd; trace_cmd ]))
+          [ list_cmd; policy_cmd; run_cmd; compare_cmd; aces_cmd; trace_cmd;
+            lint_cmd ]))

@@ -62,7 +62,8 @@ let count_switches t (events : Opec_exec.Trace.event list) =
   List.iter
     (function
       | Opec_exec.Trace.Call f | Opec_exec.Trace.Op_enter f -> enter f
-      | Opec_exec.Trace.Return f | Opec_exec.Trace.Op_exit f -> leave f)
+      | Opec_exec.Trace.Return f | Opec_exec.Trace.Op_exit f -> leave f
+      | Opec_exec.Trace.Access _ -> ())
     events;
   !switches
 

@@ -212,12 +212,29 @@ let solve (p : Program.t) =
       ([], []) p.funcs
   in
   let funcs_by_name = Program.func_map p in
-  (* iterate: solve, discover icall targets, add param/ret links, re-solve *)
-  let rec fixpoint extra known_links total_iters =
+  (* iterate: solve, discover icall targets, add param/ret links, re-solve.
+     [known] is a (site node, target) pair-set, so each round costs one
+     hash probe per discovered target instead of a scan of every link
+     wired so far. *)
+  let known : (Node.t * string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let link_constraints (node, g) =
+    let arity =
+      match Program.String_map.find_opt g funcs_by_name with
+      | Some gf -> Func.arity gf
+      | None -> 0
+    in
+    let args =
+      List.init arity (fun i ->
+          Copy
+            ( Node.local ~func:g ~name:(Printf.sprintf "$param%d" i),
+              node ^ Printf.sprintf "$arg%d" i ))
+    in
+    Copy (node ^ "$ret", Node.ret ~func:g) :: args
+  in
+  let rec fixpoint extra total_iters =
     let pts, iters = solve_constraints (extra @ base_constraints) in
     let get n = Option.value (Hashtbl.find_opt pts n) ~default:Node.Set.empty in
     let new_links = ref [] in
-    let added = ref false in
     List.iter
       (fun site ->
         Node.Set.iter
@@ -225,36 +242,18 @@ let solve (p : Program.t) =
             match Node.as_func target with
             | None -> ()
             | Some g ->
-              if not (List.mem (site.ic_node, g) known_links) then begin
-                added := true;
+              if not (Hashtbl.mem known (site.ic_node, g)) then begin
+                Hashtbl.replace known (site.ic_node, g) ();
                 new_links := (site.ic_node, g) :: !new_links
               end)
           (get site.ic_node))
       icalls;
-    if not !added then (pts, total_iters + iters)
-    else begin
-      let links = !new_links @ known_links in
-      let extra' =
-        List.concat_map
-          (fun (node, g) ->
-            let arity =
-              match Program.String_map.find_opt g funcs_by_name with
-              | Some gf -> Func.arity gf
-              | None -> 0
-            in
-            let args =
-              List.init arity (fun i ->
-                  Copy
-                    ( Node.local ~func:g ~name:(Printf.sprintf "$param%d" i),
-                      node ^ Printf.sprintf "$arg%d" i ))
-            in
-            Copy (node ^ "$ret", Node.ret ~func:g) :: args)
-          links
-      in
-      fixpoint extra' links (total_iters + iters)
-    end
+    match !new_links with
+    | [] -> (pts, total_iters + iters)
+    | links ->
+      fixpoint (List.concat_map link_constraints links @ extra) (total_iters + iters)
   in
-  let pts, iterations = fixpoint [] [] 0 in
+  let pts, iterations = fixpoint [] 0 in
   { pts; icalls; solve_time = Sys.time () -. t0; iterations }
 
 (* --- queries ------------------------------------------------------------ *)

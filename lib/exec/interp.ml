@@ -124,7 +124,11 @@ let rec eval t env (e : Expr.t) =
 (* --- MPU-checked access with fault delivery --------------------------- *)
 
 let rec checked_load t addr width =
-  try M.Bus.read t.bus addr width with
+  try
+    let v = M.Bus.read t.bus addr width in
+    Trace.record_access t.trace ~addr ~write:false;
+    v
+  with
   | M.Fault.Mem_manage info -> (
     let desc = Access_load { addr; width } in
     match t.handler.on_mem_fault desc info with
@@ -137,7 +141,10 @@ let rec checked_load t addr width =
     | Bus_abort msg -> raise (Aborted msg))
 
 let rec checked_store t addr width v =
-  try M.Bus.write t.bus addr width v with
+  try
+    M.Bus.write t.bus addr width v;
+    Trace.record_access t.trace ~addr ~write:true
+  with
   | M.Fault.Mem_manage info -> (
     let desc = Access_store { addr; width; value = v } in
     match t.handler.on_mem_fault desc info with

@@ -10,17 +10,30 @@ type event =
   | Return of string        (** function returned *)
   | Op_enter of string      (** operation switch: entering entry function *)
   | Op_exit of string       (** operation switch: leaving entry function *)
+  | Access of { addr : int; write : bool }
+      (** one MPU-visible memory access (recorded only when {!t.mem} is set) *)
 
-type t = { mutable events : event list; mutable enabled : bool }
+type t = {
+  mutable events : event list;
+  mutable enabled : bool;
+  mutable mem : bool;  (** also record individual memory accesses *)
+}
 
-let create () = { events = []; enabled = true }
+let create () = { events = []; enabled = true; mem = false }
 let record t e = if t.enabled then t.events <- e :: t.events
+
+let record_access t ~addr ~write =
+  if t.enabled && t.mem then t.events <- Access { addr; write } :: t.events
+
 let events t = List.rev t.events
 let clear t = t.events <- []
 
 (* Functions executed anywhere in the trace. *)
 let executed_functions t =
-  List.filter_map (function Call f -> Some f | Return _ | Op_enter _ | Op_exit _ -> None)
+  List.filter_map
+    (function
+      | Call f -> Some f
+      | Return _ | Op_enter _ | Op_exit _ | Access _ -> None)
     (events t)
   |> List.sort_uniq String.compare
 
@@ -51,7 +64,8 @@ let tasks ~entries t =
   List.iter
     (function
       | Call f | Op_enter f -> handle_enter f
-      | Return f | Op_exit f -> handle_exit f)
+      | Return f | Op_exit f -> handle_exit f
+      | Access _ -> ())
     (events t);
   (* tasks still open at the end of the run (e.g. the main loop) *)
   List.iter
@@ -64,3 +78,5 @@ let pp_event fmt = function
   | Return f -> Fmt.pf fmt "ret %s" f
   | Op_enter f -> Fmt.pf fmt "op+ %s" f
   | Op_exit f -> Fmt.pf fmt "op- %s" f
+  | Access { addr; write } ->
+    Fmt.pf fmt "%s 0x%08X" (if write then "wr" else "rd") addr

@@ -6,11 +6,22 @@ type event =
   | Return of string    (** function returned *)
   | Op_enter of string  (** operation switch: entering an entry function *)
   | Op_exit of string   (** operation switch: leaving an entry function *)
+  | Access of { addr : int; write : bool }
+      (** one MPU-visible memory access (recorded only when {!t.mem} is
+          set) — the raw material of the lint trace-oracle *)
 
-type t = { mutable events : event list; mutable enabled : bool }
+type t = {
+  mutable events : event list;
+  mutable enabled : bool;
+  mutable mem : bool;  (** also record individual memory accesses *)
+}
 
 val create : unit -> t
 val record : t -> event -> unit
+
+(** Record a memory access; a no-op unless both [enabled] and [mem] are
+    set, so function-granularity tracing stays cheap. *)
+val record_access : t -> addr:int -> write:bool -> unit
 
 (** Events in execution order. *)
 val events : t -> event list

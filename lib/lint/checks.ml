@@ -1,0 +1,425 @@
+(* Static policy checkers over a compiled image.
+
+   Every checker re-derives the invariant it guards from first
+   principles (re-validating region records, re-merging resource sets,
+   re-counting instrumentation sites) rather than trusting the
+   compiler's own intermediate results — the linter is only worth
+   running if it computes the answer a second way. *)
+
+open Opec_ir
+module C = Opec_core
+module A = Opec_analysis
+module M = Opec_machine
+module R = A.Resource
+module SS = R.SS
+
+type check = C.Image.t -> Diag.t list
+
+(* --- L001: unresolved indirect calls ----------------------------------- *)
+
+let unresolved_icall (image : C.Image.t) =
+  let index_in = Hashtbl.create 8 in
+  List.concat_map
+    (fun (ic : A.Callgraph.icall_info) ->
+      let index =
+        let i = Option.value (Hashtbl.find_opt index_in ic.site_func) ~default:0 in
+        Hashtbl.replace index_in ic.site_func (i + 1);
+        i
+      in
+      let loc = Diag.Icall { func = ic.site_func; index } in
+      match ic.resolved_by with
+      | `Points_to -> []
+      | `Types ->
+        [ Diag.vf ~code:"L001" Diag.Warning loc
+            "indirect call resolved only by type matching (%d candidate%s); \
+             points-to analysis found no targets"
+            (List.length ic.targets)
+            (if List.length ic.targets = 1 then "" else "s") ]
+      | `Unresolved ->
+        [ Diag.vf ~code:"L001" Diag.Error loc
+            "indirect call has no resolved targets: the call graph is \
+             incomplete and the operation's function set may be unsound" ])
+    image.callgraph.icalls
+
+(* --- L002: functions outside every operation ---------------------------- *)
+
+let unreachable_function (image : C.Image.t) =
+  let covered =
+    List.fold_left
+      (fun acc (op : C.Operation.t) -> SS.union acc op.funcs)
+      SS.empty image.ops
+  in
+  List.filter_map
+    (fun (f : Func.t) ->
+      if SS.mem f.name covered then None
+      else if f.irq then
+        Some
+          (Diag.vf ~code:"L002" Diag.Info (Diag.Function f.name)
+             "interrupt handler is outside every operation (runs under the \
+              default operation's policy)")
+      else
+        (* info, not warning: applications linking a library (as all the
+           bundled workloads do with the shared HAL) legitimately leave
+           most of it unreached *)
+        Some
+          (Diag.vf ~code:"L002" Diag.Info (Diag.Function f.name)
+             "function is reachable from no operation entry: dead code the \
+              policy does not cover"))
+    image.source.funcs
+
+(* --- L003: MPU plan validity -------------------------------------------- *)
+
+(* Re-validate a region record directly (it may have been built without
+   going through the checked constructor). *)
+let validate_region ~opn ~slot (r : M.Mpu.region) =
+  let loc = Diag.Region { op = opn; slot } in
+  let size = 1 lsl r.size_log2 in
+  let bad =
+    if r.size_log2 < M.Mpu.min_size_log2 || r.size_log2 > 32 then
+      Some (Printf.sprintf "illegal region size 2^%d" r.size_log2)
+    else if r.base land (size - 1) <> 0 then
+      Some
+        (Printf.sprintf "base 0x%08X not aligned to region size 0x%X" r.base
+           size)
+    else if r.srd < 0 || r.srd > 0xFF then
+      Some (Printf.sprintf "sub-region disable mask 0x%X out of range" r.srd)
+    else if r.srd <> 0 && r.size_log2 < M.Mpu.subregion_min_log2 then
+      Some
+        (Printf.sprintf
+           "sub-regions used on a %d-byte region (hardware requires >= 256)"
+           size)
+    else None
+  in
+  match bad with
+  | Some msg -> [ Diag.v ~code:"L003" Diag.Error loc msg ]
+  | None ->
+    if r.srd = 0xFF then
+      [ Diag.v ~code:"L003" Diag.Warning loc
+          "all eight sub-regions disabled: the region never matches" ]
+    else []
+
+let region_span (r : M.Mpu.region) = (r.base, r.base + (1 lsl r.size_log2))
+
+(* Is every address of [lo, hi) matched by some region?  Permissions are
+   constant over 32-byte chunks (the smallest region and sub-region
+   granularity), so probing one address per chunk is exact. *)
+let covered regions (lo, hi) =
+  let rec go chunk missing =
+    if chunk >= hi then missing
+    else
+      let addr = max lo chunk in
+      let hit = List.exists (fun r -> M.Mpu.region_matches r addr) regions in
+      go (chunk + 32) (if hit then missing else addr :: missing)
+  in
+  List.rev (go (lo land lnot 31) [])
+
+let mpu_plan_validity (image : C.Image.t) =
+  let fixed_region opn slot build =
+    match build () with
+    | r -> validate_region ~opn ~slot r
+    | exception M.Mpu.Invalid_region msg ->
+      [ Diag.vf ~code:"L003" Diag.Error
+          (Diag.Region { op = opn; slot })
+          "region not constructible: %s" msg ]
+  in
+  List.concat_map
+    (fun (op : C.Operation.t) ->
+      let opn = op.name in
+      match C.Image.meta_of image opn with
+      | None ->
+        [ Diag.v ~code:"L003" Diag.Error (Diag.Operation opn)
+            "no metadata entry: the monitor cannot switch to this operation" ]
+      | Some meta ->
+        let code =
+          fixed_region opn "code" (fun () ->
+              C.Mpu_plan.code_region ~code_base:image.code_base
+                ~code_bytes:image.code_bytes)
+          @
+          match
+            C.Mpu_plan.code_region ~code_base:image.code_base
+              ~code_bytes:image.code_bytes
+          with
+          | r ->
+            let lo, hi = region_span r in
+            if lo > image.code_base || hi < image.code_base + image.code_bytes
+            then
+              [ Diag.vf ~code:"L003" Diag.Error
+                  (Diag.Region { op = opn; slot = "code" })
+                  "code region [0x%08X,0x%08X) does not cover the code span \
+                   [0x%08X,0x%08X)"
+                  lo hi image.code_base
+                  (image.code_base + image.code_bytes) ]
+            else []
+          | exception M.Mpu.Invalid_region _ -> []
+        in
+        let stack =
+          fixed_region opn "stack" (fun () ->
+              C.Mpu_plan.stack_region ~stack_base:image.layout.stack_base ())
+        in
+        let opdata =
+          match meta.section with
+          | None -> []
+          | Some s ->
+            fixed_region opn "opdata" (fun () -> C.Mpu_plan.opdata_region s)
+            @
+            if s.used > 1 lsl s.region_log2 then
+              [ Diag.vf ~code:"L003" Diag.Error
+                  (Diag.Region { op = opn; slot = "opdata" })
+                  "data section uses %d bytes but its region covers only %d"
+                  s.used (1 lsl s.region_log2) ]
+            else []
+        in
+        let periphs =
+          List.concat
+            (List.mapi
+               (fun i r ->
+                 validate_region ~opn ~slot:(Printf.sprintf "P%d" i) r)
+               meta.periph_regions)
+        in
+        let coverage =
+          List.concat_map
+            (fun (lo, hi) ->
+              match covered meta.periph_regions (lo, hi) with
+              | [] -> []
+              | addr :: _ ->
+                [ Diag.vf ~code:"L003" Diag.Error (Diag.Operation opn)
+                    "peripheral range [0x%08X,0x%08X) not covered by the \
+                     region plan (first hole at 0x%08X): accesses would fault"
+                    lo hi addr ])
+            op.periph_ranges
+        in
+        let budget =
+          let n = List.length meta.periph_regions in
+          let slots =
+            C.Config.peripheral_region_count - if meta.uses_heap then 1 else 0
+          in
+          if n > slots then
+            [ Diag.vf ~code:"L003" Diag.Info (Diag.Operation opn)
+                "%d peripheral regions exceed the %d available slots; the \
+                 overflow is virtualized by the monitor at runtime"
+                n slots ]
+          else []
+        in
+        code @ stack @ opdata @ periphs @ coverage @ budget)
+    image.ops
+
+(* --- L004: resource-coverage soundness ---------------------------------- *)
+
+let missing_from ~granted needed = SS.diff needed granted
+
+let names s = String.concat ", " (SS.elements s)
+
+let resource_coverage (image : C.Image.t) =
+  List.concat_map
+    (fun (op : C.Operation.t) ->
+      let granted = op.resources in
+      SS.fold
+        (fun f acc ->
+          let r = R.of_func image.resources f in
+          let check what needed granted_set =
+            let miss = missing_from ~granted:granted_set needed in
+            if SS.is_empty miss then []
+            else
+              [ Diag.vf ~code:"L004" Diag.Error (Diag.Operation op.name)
+                  "member function %s needs %s {%s} missing from the \
+                   operation's resource set: accesses would fault at runtime"
+                  f what (names miss) ]
+          in
+          check "global(s)" (R.globals r) (R.globals granted)
+          @ check "peripheral(s)" r.peripherals granted.peripherals
+          @ check "core peripheral(s)" r.core_peripherals
+              granted.core_peripherals
+          @ acc)
+        op.funcs [])
+    image.ops
+
+(* --- L005: over-privilege ------------------------------------------------ *)
+
+let over_privilege (image : C.Image.t) =
+  let static =
+    List.concat_map
+      (fun (op : C.Operation.t) ->
+        let needed = R.of_funcs image.resources op.funcs in
+        let check what granted_set needed_set =
+          let extra = SS.diff granted_set needed_set in
+          if SS.is_empty extra then []
+          else
+            [ Diag.vf ~code:"L005" Diag.Error (Diag.Operation op.name)
+                "operation is granted %s {%s} that no member function needs"
+                what (names extra) ]
+        in
+        check "global(s)" (R.globals op.resources) (R.globals needed)
+        @ check "peripheral(s)" op.resources.peripherals needed.peripherals
+        @ check "core peripheral(s)" op.resources.core_peripherals
+            needed.core_peripherals)
+      image.ops
+  in
+  let pt =
+    List.filter_map
+      (fun (s : Opec_metrics.Overprivilege.pt_sample) ->
+        if s.pt > 0.0 then
+          Some
+            (Diag.vf ~code:"L005" Diag.Error (Diag.Operation s.domain)
+               "partition-time over-privilege is %.3f (OPEC must be 0 by \
+                construction: the data section holds unneeded writable bytes)"
+               s.pt)
+        else None)
+      (Opec_metrics.Overprivilege.opec_pt image)
+  in
+  static @ pt
+
+(* --- L006: SVC instrumentation ------------------------------------------- *)
+
+let svc_instrumentation (image : C.Image.t) =
+  let entry_set = SS.of_list image.entries in
+  let ops_not_listed =
+    List.filter_map
+      (fun (op : C.Operation.t) ->
+        if op.index = 0 || SS.mem op.entry entry_set then None
+        else
+          Some
+            (Diag.vf ~code:"L006" Diag.Error (Diag.Operation op.name)
+               "entry %s is not in the image's entry list: calls to it will \
+                not go through the SVC switch protocol"
+               op.entry))
+      image.ops
+  in
+  let entries_valid =
+    List.concat_map
+      (fun e ->
+        let loc = Diag.Function e in
+        let op_known =
+          match C.Image.op_of_entry image e with
+          | Some _ -> []
+          | None ->
+            [ Diag.v ~code:"L006" Diag.Error loc
+                "listed as an operation entry but no operation has this \
+                 entry: the monitor would switch to nothing" ]
+        in
+        let shape =
+          match Program.find_func image.program e with
+          | None ->
+            [ Diag.v ~code:"L006" Diag.Error loc
+                "listed as an operation entry but not defined in the image" ]
+          | Some f ->
+            (if f.irq then
+               [ Diag.v ~code:"L006" Diag.Error loc
+                   "interrupt handler listed as an operation entry" ]
+             else [])
+            @
+            if f.varargs then
+              [ Diag.v ~code:"L006" Diag.Error loc
+                  "variadic function listed as an operation entry (argument \
+                   relocation is undefined)" ]
+            else []
+        in
+        op_known @ shape)
+      image.entries
+  in
+  let stray_svc =
+    List.concat_map
+      (fun (f : Func.t) ->
+        Instr.fold_block
+          (fun acc i ->
+            match i with
+            | Instr.Svc n when n <> Opec_monitor.Threads.yield_svc ->
+              Diag.vf ~code:"L006" Diag.Error (Diag.Function f.name)
+                "raw SVC #%d in instrumented code bypasses the monitor's \
+                 switch protocol"
+                n
+              :: acc
+            | _ -> acc)
+          [] f.body)
+      image.program.funcs
+  in
+  let recount =
+    let counted = C.Instrument.count_svc_sites image.source image.entries in
+    if counted <> image.stats.svc_sites then
+      [ Diag.vf ~code:"L006" Diag.Warning Diag.Program
+          "image records %d SVC sites but a recount finds %d"
+          image.stats.svc_sites counted ]
+    else []
+  in
+  ops_not_listed @ entries_valid @ stray_svc @ recount
+
+(* --- L008: layout consistency ------------------------------------------- *)
+
+let layout_consistency (image : C.Image.t) =
+  let l = image.layout in
+  (* MPU-aligned sections own their full region span; the public section
+     is privileged-only and owns just its used bytes. *)
+  let span ~aligned (s : C.Layout.section) =
+    (s.base, s.base + (if aligned then 1 lsl s.region_log2 else max s.used 4))
+  in
+  let sections =
+    (("public", span ~aligned:false l.public)
+    :: List.map (fun (n, s) -> (n, span ~aligned:true s)) l.op_sections)
+    @ (match l.heap_section with
+      | Some h -> [ ("heap", span ~aligned:true h) ]
+      | None -> [])
+    @ [ ("stack", (l.stack_base, l.stack_top)) ]
+  in
+  let bounds =
+    List.concat_map
+      (fun (n, (lo, hi)) ->
+        if lo < l.data_base || hi > l.data_limit then
+          [ Diag.vf ~code:"L008" Diag.Error (Diag.Operation n)
+              "section [0x%08X,0x%08X) escapes the SRAM data window \
+               [0x%08X,0x%08X)"
+              lo hi l.data_base l.data_limit ]
+        else [])
+      sections
+  in
+  let rec overlaps = function
+    | [] -> []
+    | (n1, (lo1, hi1)) :: rest ->
+      List.concat_map
+        (fun (n2, (lo2, hi2)) ->
+          if lo1 < hi2 && lo2 < hi1 then
+            [ Diag.vf ~code:"L008" Diag.Error (Diag.Operation n1)
+                "section [0x%08X,0x%08X) overlaps section %s \
+                 [0x%08X,0x%08X): one operation could reach another's data"
+                lo1 hi1 n2 lo2 hi2 ]
+          else [])
+        rest
+      @ overlaps rest
+  in
+  let fit =
+    List.concat_map
+      (fun (n, (s : C.Layout.section)) ->
+        if s.used > 1 lsl s.region_log2 then
+          [ Diag.vf ~code:"L008" Diag.Error (Diag.Operation n)
+              "section packs %d bytes into a 2^%d-byte MPU region" s.used
+              s.region_log2 ]
+        else [])
+      l.op_sections
+  in
+  let globals = Program.global_map image.source in
+  let addressing =
+    List.concat_map
+      (fun (op : C.Operation.t) ->
+        SS.fold
+          (fun g acc ->
+            match Program.String_map.find_opt g globals with
+            | None -> acc (* L004 territory: not a program global *)
+            | Some gl when gl.const || gl.heap -> acc
+            | Some _ ->
+              let need what = function
+                | Some _ -> []
+                | None ->
+                  [ Diag.vf ~code:"L008" Diag.Error (Diag.Operation op.name)
+                      "accessible global %s has no %s: instrumentation \
+                       cannot address it"
+                      g what ]
+              in
+              (if C.Layout.is_external l g then
+                 need "shadow slot" (C.Layout.shadow_of l ~op:op.name ~var:g)
+                 @ need "relocation slot" (C.Layout.reloc_slot l g)
+                 @ need "master address" (C.Layout.master_of l g)
+               else need "home address" (C.Layout.master_of l g))
+              @ acc)
+          (C.Operation.accessible_globals op)
+          [])
+      image.ops
+  in
+  bounds @ overlaps sections @ fit @ addressing

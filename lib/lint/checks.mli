@@ -1,0 +1,44 @@
+(** The static policy checkers (codes L001–L006, L008).
+
+    Each checker examines one facet of a compiled {!Opec_core.Image.t}
+    against the isolation policy the OPEC compiler derived: indirect-call
+    resolution, operation reachability, MPU-plan legality, resource-set
+    soundness, over-privilege, SVC instrumentation, and layout
+    consistency.  The dynamic trace oracle (L007) lives in {!Oracle}. *)
+
+type check = Opec_core.Image.t -> Diag.t list
+
+(** L001: indirect-call sites the points-to analysis could not resolve
+    (error), or that fell back to type-based matching (warning). *)
+val unresolved_icall : check
+
+(** L002: functions belonging to no operation — dead code the policy
+    does not cover (info: linked-library code is legitimately unused). *)
+val unreachable_function : check
+
+(** L003: every operation's MPU plan is constructible and legal — region
+    sizes, base alignment, sub-region masks — and its regions cover the
+    code span, the data section, and every merged peripheral range. *)
+val mpu_plan_validity : check
+
+(** L004: soundness of resource coverage — every resource of every
+    member function is included in its operation's resource set.  A miss
+    here is a hole in the paper's core invariant (Section 4.2). *)
+val resource_coverage : check
+
+(** L005: over-privilege — resources granted to an operation that no
+    member function needs, plus any nonzero partition-time
+    over-privilege sample from {!Opec_metrics.Overprivilege.opec_pt}. *)
+val over_privilege : check
+
+(** L006: SVC instrumentation — every non-default operation entry is in
+    the image's entry list (and vice versa), entries are valid switch
+    targets, no stray [Svc] instruction bypasses the monitor protocol,
+    and the recorded SVC-site count matches a recount. *)
+val svc_instrumentation : check
+
+(** L008: layout consistency — sections within SRAM bounds and their MPU
+    spans mutually disjoint, and every accessible writable global of
+    every operation has the addresses instrumentation relies on (master,
+    shadow, relocation slot). *)
+val layout_consistency : check

@@ -1,0 +1,82 @@
+(* Structured diagnostics for the policy-verification linter. *)
+
+type severity = Error | Warning | Info
+
+type loc =
+  | Program
+  | Function of string
+  | Operation of string
+  | Icall of { func : string; index : int }
+  | Region of { op : string; slot : string }
+  | Address of int
+
+type t = { code : string; severity : severity; loc : loc; message : string }
+
+let v ~code severity loc message = { code; severity; loc; message }
+
+let vf ~code severity loc fmt =
+  Format.kasprintf (fun message -> { code; severity; loc; message }) fmt
+
+let is_error d = d.severity = Error
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare a b =
+  match Int.compare (severity_rank a.severity) (severity_rank b.severity) with
+  | 0 -> (
+    match String.compare a.code b.code with
+    | 0 -> Stdlib.compare (a.loc, a.message) (b.loc, b.message)
+    | c -> c)
+  | c -> c
+
+let pp_severity fmt s =
+  Fmt.string fmt
+    (match s with Error -> "error" | Warning -> "warning" | Info -> "info")
+
+let pp_loc fmt = function
+  | Program -> Fmt.string fmt "program"
+  | Function f -> Fmt.pf fmt "function %s" f
+  | Operation op -> Fmt.pf fmt "operation %s" op
+  | Icall { func; index } -> Fmt.pf fmt "icall %s#%d" func index
+  | Region { op; slot } -> Fmt.pf fmt "operation %s/region %s" op slot
+  | Address a -> Fmt.pf fmt "address 0x%08X" a
+
+let pp fmt d =
+  Fmt.pf fmt "%s %a [%a] %s" d.code pp_severity d.severity pp_loc d.loc
+    d.message
+
+(* --- JSON (hand-rendered; the tree carries no JSON library) ------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04X" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let loc_json = function
+  | Program -> Printf.sprintf {|{"kind":"program"}|}
+  | Function f -> Printf.sprintf {|{"kind":"function","name":"%s"}|} (json_escape f)
+  | Operation op ->
+    Printf.sprintf {|{"kind":"operation","name":"%s"}|} (json_escape op)
+  | Icall { func; index } ->
+    Printf.sprintf {|{"kind":"icall","function":"%s","index":%d}|}
+      (json_escape func) index
+  | Region { op; slot } ->
+    Printf.sprintf {|{"kind":"region","operation":"%s","slot":"%s"}|}
+      (json_escape op) (json_escape slot)
+  | Address a -> Printf.sprintf {|{"kind":"address","address":%d}|} a
+
+let to_json d =
+  Printf.sprintf {|{"code":"%s","severity":"%s","loc":%s,"message":"%s"}|}
+    (json_escape d.code)
+    (Fmt.str "%a" pp_severity d.severity)
+    (loc_json d.loc) (json_escape d.message)

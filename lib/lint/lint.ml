@@ -1,0 +1,74 @@
+(* Checker registry and linter driver. *)
+
+type world = unit -> Opec_machine.Device.t list
+
+type checker = {
+  code : string;
+  name : string;
+  doc : string;
+  dynamic : bool;
+  run : world option -> Opec_core.Image.t -> Diag.t list;
+}
+
+let static name ~code ~doc run =
+  { code; name; doc; dynamic = false; run = (fun _world image -> run image) }
+
+let checkers =
+  [ static "unresolved-icall" ~code:"L001"
+      ~doc:"indirect-call sites the points-to analysis could not resolve"
+      Checks.unresolved_icall;
+    static "unreachable-function" ~code:"L002"
+      ~doc:"functions reachable from no operation entry"
+      Checks.unreachable_function;
+    static "mpu-plan-validity" ~code:"L003"
+      ~doc:"MPU regions legal, constructible, and covering their targets"
+      Checks.mpu_plan_validity;
+    static "resource-coverage" ~code:"L004"
+      ~doc:"every member function's resources inside its operation's set"
+      Checks.resource_coverage;
+    static "over-privilege" ~code:"L005"
+      ~doc:"resources granted that no member function needs (PT > 0)"
+      Checks.over_privilege;
+    static "svc-instrumentation" ~code:"L006"
+      ~doc:"operation entries wired through the SVC switch protocol"
+      Checks.svc_instrumentation;
+    { code = "L007";
+      name = "trace-oracle";
+      doc = "replayed baseline accesses all statically predicted";
+      dynamic = true;
+      run =
+        (fun world image ->
+          let devices = match world with Some w -> w () | None -> [] in
+          Oracle.check ~devices image) };
+    static "layout-consistency" ~code:"L008"
+      ~doc:"data sections disjoint, in bounds, and fully addressable"
+      Checks.layout_consistency ]
+
+let find_checker code =
+  List.find_opt (fun c -> String.equal c.code code) checkers
+
+let run ?(dynamic = false) ?world image =
+  List.concat_map
+    (fun c -> if c.dynamic && not dynamic then [] else c.run world image)
+    checkers
+  |> List.sort Diag.compare
+
+let errors = List.filter Diag.is_error
+
+let render ?(all = false) fmt diags =
+  let shown =
+    List.filter (fun d -> all || d.Diag.severity <> Diag.Info) diags
+  in
+  List.iter (fun d -> Format.fprintf fmt "%a@." Diag.pp d) shown;
+  let count sev =
+    List.length (List.filter (fun d -> d.Diag.severity = sev) diags)
+  in
+  Format.fprintf fmt "%d error%s, %d warning%s, %d info@."
+    (count Diag.Error)
+    (if count Diag.Error = 1 then "" else "s")
+    (count Diag.Warning)
+    (if count Diag.Warning = 1 then "" else "s")
+    (count Diag.Info)
+
+let to_json diags =
+  "[" ^ String.concat "," (List.map Diag.to_json diags) ^ "]"

@@ -1,0 +1,37 @@
+(** Checker registry and linter driver.
+
+    [run] executes every registered checker over a compiled image and
+    returns the sorted diagnostics.  Static checkers always run; the
+    dynamic trace oracle (L007) needs a live machine, so it only runs
+    when [~dynamic:true] and it draws its board devices from the
+    optional [world] thunk. *)
+
+(** Produces the board's devices, input already prepared (e.g. an
+    application's [make_world] followed by [prepare]). *)
+type world = unit -> Opec_machine.Device.t list
+
+type checker = {
+  code : string;       (** stable diagnostic code, ["L001"].. *)
+  name : string;       (** short kebab-case name *)
+  doc : string;        (** one-line description *)
+  dynamic : bool;      (** needs to execute the program *)
+  run : world option -> Opec_core.Image.t -> Diag.t list;
+}
+
+(** The registry, in code order.  Extend by adding a checker here and a
+    row to the README table; codes are never reused. *)
+val checkers : checker list
+
+val find_checker : string -> checker option
+
+(** Run the registry over an image; [dynamic] defaults to [false]. *)
+val run : ?dynamic:bool -> ?world:world -> Opec_core.Image.t -> Diag.t list
+
+val errors : Diag.t list -> Diag.t list
+
+(** Render a report: one line per diagnostic plus a summary.  Info
+    diagnostics are hidden unless [all] is set. *)
+val render : ?all:bool -> Format.formatter -> Diag.t list -> unit
+
+(** The diagnostics as a JSON array. *)
+val to_json : Diag.t list -> string

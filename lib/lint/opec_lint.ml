@@ -1,0 +1,8 @@
+(** Static policy verification and diagnostics for compiled images: a
+    structured {!Diag} framework, the {!Checks} and {!Oracle} checkers,
+    and the {!Lint} registry driving them. *)
+
+module Diag = Diag
+module Checks = Checks
+module Oracle = Oracle
+module Lint = Lint

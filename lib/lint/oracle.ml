@@ -1,0 +1,166 @@
+(* L007: dynamic trace oracle (see oracle.mli).
+
+   The baseline interpreter records Call/Return events and — with the
+   trace's [mem] flag set — every MPU-visible load and store.  Walking
+   that stream with a stack of active operations reproduces exactly the
+   attribution the monitor would make at runtime: an access belongs to
+   the innermost entered operation, because that is the operation whose
+   MPU plan would be live. *)
+
+open Opec_ir
+module C = Opec_core
+module A = Opec_analysis
+module M = Opec_machine
+module E = Opec_exec
+module SS = A.Resource.SS
+
+(* Sorted interval table of the baseline's globals, searched per access. *)
+type interval = {
+  lo : int;
+  hi : int;
+  g_name : string;
+  g_const : bool;
+}
+
+let interval_table (image : C.Image.t) (map : E.Address_map.t) =
+  let arr =
+    List.map
+      (fun (g : Global.t) ->
+        let lo = map.global_addr g.name in
+        { lo; hi = lo + Global.size g; g_name = g.name; g_const = g.const })
+      image.source.globals
+    |> List.sort (fun a b -> Int.compare a.lo b.lo)
+    |> Array.of_list
+  in
+  fun addr ->
+    let rec bsearch l r =
+      if l >= r then None
+      else
+        let m = (l + r) / 2 in
+        let iv = arr.(m) in
+        if addr < iv.lo then bsearch l m
+        else if addr >= iv.hi then bsearch (m + 1) r
+        else Some iv
+    in
+    bsearch 0 (Array.length arr)
+
+let check ?(devices = []) (image : C.Image.t) =
+  let module Mon = Opec_monitor in
+  let r = Mon.Runner.prepare_baseline ~devices ~board:image.board image.source in
+  let tr = E.Interp.trace r.b_interp in
+  tr.E.Trace.mem <- true;
+  tr.E.Trace.enabled <- true;
+  let run_failure =
+    match E.Interp.run r.b_interp with
+    | () -> []
+    | exception E.Interp.Aborted msg ->
+      [ Diag.vf ~code:"L007" Diag.Error Diag.Program
+          "baseline replay aborted (%s): no trace to check" msg ]
+    | exception E.Interp.Fuel_exhausted ->
+      [ Diag.v ~code:"L007" Diag.Error Diag.Program
+          "baseline replay ran out of fuel: no complete trace to check" ]
+  in
+  let map = r.b_layout.E.Vanilla_layout.map in
+  let find_global = interval_table image map in
+  let op_of_entry = Hashtbl.create 8 in
+  List.iter
+    (fun (op : C.Operation.t) -> Hashtbl.replace op_of_entry op.entry op)
+    image.ops;
+  Hashtbl.replace op_of_entry image.source.main (C.Image.default_op image);
+  let seen = Hashtbl.create 64 in
+  let diags = ref (List.rev run_failure) in
+  let report key d =
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      diags := d :: !diags
+    end
+  in
+  let stack = ref [] in
+  let current () =
+    match !stack with op :: _ -> op | [] -> C.Image.default_op image
+  in
+  let on_access addr write =
+    let op = current () in
+    let opn = op.C.Operation.name in
+    let kind = if write then "write" else "read" in
+    if addr >= map.stack_base && addr < map.stack_top then ()
+    else
+      match find_global addr with
+      | Some iv when iv.g_const ->
+        if write then
+          report
+            ("wconst:" ^ opn ^ ":" ^ iv.g_name)
+            (Diag.vf ~code:"L007" Diag.Error (Diag.Operation opn)
+               "trace writes read-only global %s (at 0x%08X)" iv.g_name addr)
+      | Some iv ->
+        if not (SS.mem iv.g_name (C.Operation.accessible_globals op)) then
+          report
+            ("g:" ^ opn ^ ":" ^ iv.g_name)
+            (Diag.vf ~code:"L007" Diag.Error (Diag.Operation opn)
+               "trace %ss global %s (at 0x%08X) absent from the operation's \
+                static resource set: this access would fault under the MPU"
+               kind iv.g_name addr)
+      | None -> (
+        match Peripheral.find image.source.peripherals addr with
+        | Some p ->
+          let allowed =
+            if p.core then
+              C.Operation.uses_core_peripheral op p.Peripheral.name
+            else C.Operation.uses_peripheral op p.Peripheral.name
+          in
+          if not allowed then
+            report
+              ("p:" ^ opn ^ ":" ^ p.Peripheral.name)
+              (Diag.vf ~code:"L007" Diag.Error (Diag.Operation opn)
+                 "trace %ss peripheral %s (at 0x%08X) absent from the \
+                  operation's static resource set"
+                 kind p.Peripheral.name addr)
+        | None -> (
+          match M.Memmap.classify addr with
+          | M.Memmap.Code ->
+            if write then
+              report
+                (Printf.sprintf "wflash:%s:0x%X" opn addr)
+                (Diag.vf ~code:"L007" Diag.Error (Diag.Operation opn)
+                   "trace writes flash at 0x%08X" addr)
+          | M.Memmap.Ppb ->
+            report
+              (Printf.sprintf "ppb:%s:0x%X" opn addr)
+              (Diag.vf ~code:"L007" Diag.Warning (Diag.Address addr)
+                 "access to the private peripheral bus outside the modeled \
+                  datasheet (operation %s)"
+                 opn)
+          | _ ->
+            report
+              (Printf.sprintf "unk:%s:0x%X" opn addr)
+              (Diag.vf ~code:"L007" Diag.Warning (Diag.Address addr)
+                 "%s of an address in no global, stack, or datasheet window \
+                  (operation %s)"
+                 kind opn)))
+  in
+  let on_call f =
+    match Hashtbl.find_opt op_of_entry f with
+    | Some op -> stack := op :: !stack
+    | None ->
+      let op = current () in
+      if not (SS.mem f op.C.Operation.funcs) then
+        report
+          ("f:" ^ op.C.Operation.name ^ ":" ^ f)
+          (Diag.vf ~code:"L007" Diag.Error (Diag.Function f)
+             "trace executes this function inside operation %s, which does \
+              not contain it"
+             op.C.Operation.name)
+  in
+  let on_return f =
+    match !stack with
+    | op :: rest when String.equal op.C.Operation.entry f -> stack := rest
+    | _ -> ()
+  in
+  List.iter
+    (fun (ev : E.Trace.event) ->
+      match ev with
+      | E.Trace.Call f | E.Trace.Op_enter f -> on_call f
+      | E.Trace.Return f | E.Trace.Op_exit f -> on_return f
+      | E.Trace.Access { addr; write } -> on_access addr write)
+    (E.Trace.events tr);
+  List.rev !diags

@@ -1,0 +1,20 @@
+(** L007: the dynamic trace oracle.
+
+    Replays the application's unprotected baseline build with
+    memory-access tracing enabled, attributes every access to the
+    operation that would be active at that point under OPEC, and checks
+    it against that operation's *static* resource set.  Any access the
+    policy did not predict is an error: it would fault under the MPU in
+    a protected run, so the static analysis under-approximated — the
+    one failure mode the paper's soundness argument excludes.
+
+    The replay runs the vanilla layout (not the OPEC image), so the
+    oracle cross-checks the policy against ground-truth behaviour that
+    the instrumentation cannot have masked. *)
+
+(** [check ?devices image] runs the baseline and returns the
+    diagnostics.  [devices] are the board devices (with their input
+    already prepared); findings are deduplicated per (operation,
+    resource) pair. *)
+val check :
+  ?devices:Opec_machine.Device.t list -> Opec_core.Image.t -> Diag.t list

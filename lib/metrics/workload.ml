@@ -52,7 +52,7 @@ let run_protected ?image (app : Apps.App.t) =
 
 (* task instances (entry, executed functions) from a baseline trace *)
 let task_instances (app : Apps.App.t) (b : baseline_result) =
-  let t = { E.Trace.events = List.rev b.b_trace; enabled = false } in
+  let t = { E.Trace.events = List.rev b.b_trace; enabled = false; mem = false } in
   E.Trace.tasks ~entries:(Apps.App.task_entries app) t
 
 let runtime_overhead_pct ~(baseline : baseline_result)

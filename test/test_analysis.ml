@@ -218,6 +218,71 @@ let test_memcpy_dependency () =
   Alcotest.(check (list string)) "both sides" [ "dst"; "src" ]
     (sorted (SS.elements (An.Resource.globals fr)))
 
+let test_memcpy_pointer_propagation () =
+  (* a pointer stored into [src] must flow through memcpy into [dst]:
+     a load from dst afterwards may yield &target *)
+  let p =
+    mk
+      ~globals:[ word "target"; word "src_slot"; word "dst_slot" ]
+      [ func "main" []
+          [ store (gv "src_slot") (gv "target");
+            memcpy (gv "dst_slot") (gv "src_slot") (c 4);
+            load "p" (gv "dst_slot");
+            store (l "p") (c 9);
+            halt ] ]
+  in
+  let pts = An.Points_to.solve p in
+  let set = An.Points_to.points_to pts ~func:"main" ~local:"p" in
+  Alcotest.(check bool) "p may point to target" true
+    (An.Node.Set.mem (An.Node.global "target") set);
+  (* and the resource analysis sees the write through it *)
+  let res = An.Resource.analyze p pts in
+  let fr = An.Resource.of_func res "main" in
+  Alcotest.(check bool) "target in indirect globals" true
+    (SS.mem "target" fr.An.Resource.indirect_globals)
+
+let test_peripheral_base_plus_offset () =
+  (* base+offset arithmetic must const-fold into the datasheet window *)
+  let p =
+    mk
+      [ func "f" [] [ store E.(c 0x4000_0000 + c 0x14) (c 1); ret0 ];
+        func "main" [] [ call "f" []; halt ] ]
+  in
+  let pts = An.Points_to.solve p in
+  let res = An.Resource.analyze p pts in
+  let fr = An.Resource.of_func res "f" in
+  Alcotest.(check (list string)) "TIM identified" [ "TIM" ]
+    (SS.elements fr.An.Resource.peripherals)
+
+let test_icall_arity_mismatch_unresolved () =
+  (* a pointer the analysis cannot resolve, at an arity no function
+     has: the type fallback must NOT invent targets *)
+  let p =
+    mk
+      [ func "cb2" [ pw "a"; pw "b" ] [ ret E.(l "a" + l "b") ];
+        func "main" [] [ set "p" (c 0); icall (l "p") [ c 1 ]; halt ] ]
+  in
+  let pts = An.Points_to.solve p in
+  let cg = An.Callgraph.build p pts in
+  (match cg.An.Callgraph.icalls with
+  | [ ic ] ->
+    Alcotest.(check bool) "unresolved" true (ic.resolved_by = `Unresolved);
+    Alcotest.(check (list string)) "no targets" [] ic.targets
+  | l -> Alcotest.failf "expected one icall site, got %d" (List.length l));
+  (* control: at a matching arity the fallback does resolve *)
+  let p2 =
+    mk
+      [ func "cb2" [ pw "a"; pw "b" ] [ ret E.(l "a" + l "b") ];
+        func "main" [] [ set "p" (c 0); icall (l "p") [ c 1; c 2 ]; halt ] ]
+  in
+  let pts2 = An.Points_to.solve p2 in
+  let cg2 = An.Callgraph.build p2 pts2 in
+  match cg2.An.Callgraph.icalls with
+  | [ ic ] ->
+    Alcotest.(check bool) "type fallback" true (ic.resolved_by = `Types);
+    Alcotest.(check (list string)) "cb2 candidate" [ "cb2" ] ic.targets
+  | l -> Alcotest.failf "expected one icall site, got %d" (List.length l)
+
 let suite () =
   [ ( "analysis",
       [ Alcotest.test_case "direct globals" `Quick test_direct_global_use;
@@ -230,4 +295,10 @@ let suite () =
         Alcotest.test_case "icall via argument" `Quick test_icall_through_argument;
         Alcotest.test_case "type-based fallback" `Quick test_type_fallback;
         Alcotest.test_case "DFS backtracking" `Quick test_reachability_stopping;
-        Alcotest.test_case "memcpy deps" `Quick test_memcpy_dependency ] ) ]
+        Alcotest.test_case "memcpy deps" `Quick test_memcpy_dependency;
+        Alcotest.test_case "memcpy pointer propagation" `Quick
+          test_memcpy_pointer_propagation;
+        Alcotest.test_case "peripheral base+offset" `Quick
+          test_peripheral_base_plus_offset;
+        Alcotest.test_case "icall arity mismatch" `Quick
+          test_icall_arity_mismatch_unresolved ] ) ]

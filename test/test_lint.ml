@@ -1,0 +1,288 @@
+(* Tests for the policy-verification linter: a clean bill of health on
+   the bundled workloads, the dynamic trace oracle on a full PinLock
+   run, and one seeded defect per checker class proving each fires. *)
+
+open Opec_ir
+open Build
+module E = Expr
+module M = Opec_machine
+module C = Opec_core
+module An = Opec_analysis
+module L = Opec_lint
+module Apps = Opec_apps
+module SS = An.Resource.SS
+
+let uart = Peripheral.v "UART" ~base:0x4000_4400 ~size:0x400
+
+let sample_program ?(extra_funcs = []) () =
+  Program.v ~name:"lint-sample"
+    ~globals:
+      [ word "shared"; word "only_a"; word "only_b";
+        word ~const:true "k" ~init:7L ]
+    ~peripherals:[ uart ]
+    ~funcs:
+      ([ func "helper" [] [ load "x" (gv "shared"); ret (l "x") ];
+         func "task_a" []
+           [ call ~dst:"v" "helper" [];
+             store (gv "only_a") (l "v");
+             store (gv "shared") E.(l "v" + c 1);
+             store (reg uart 4) (c 1);
+             ret0 ];
+         func "task_b" []
+           [ call ~dst:"v" "helper" []; store (gv "only_b") (l "v"); ret0 ];
+         func "main" [] [ call "task_a" []; call "task_b" []; halt ] ]
+      @ extra_funcs)
+    ()
+
+let compile ?extra_funcs ?(entries = [ "task_a"; "task_b" ]) () =
+  C.Compiler.compile (sample_program ?extra_funcs ()) (C.Dev_input.v entries)
+
+let error_codes diags =
+  List.sort_uniq String.compare
+    (List.map (fun d -> d.L.Diag.code) (L.Lint.errors diags))
+
+let has_error code diags = List.mem code (error_codes diags)
+
+let check_fires name code diags =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s raises a %s error" name code)
+    true (has_error code diags)
+
+(* Rewrite one operation's record in an image (records are open enough
+   to seed defects without re-running the compiler). *)
+let with_op image entry f =
+  let ops =
+    List.map
+      (fun (op : C.Operation.t) ->
+        if String.equal op.entry entry then f op else op)
+      image.C.Image.ops
+  in
+  { image with C.Image.ops }
+
+(* --- the bundled workloads are clean ------------------------------------ *)
+
+let test_apps_clean () =
+  List.iter
+    (fun (app : Apps.App.t) ->
+      let image = Opec_metrics.Workload.compile app in
+      let diags = L.Lint.run image in
+      Alcotest.(check (list string))
+        (app.app_name ^ " has no lint errors")
+        [] (error_codes diags))
+    (Apps.Registry.all_small ())
+
+(* --- L007 trace oracle on a full PinLock run ---------------------------- *)
+
+let test_oracle_pinlock () =
+  let app = Apps.Registry.pinlock () in
+  let image = Opec_metrics.Workload.compile app in
+  let world () =
+    let w = app.make_world () in
+    w.Apps.App.prepare ();
+    w.Apps.App.devices
+  in
+  let diags = L.Lint.run ~dynamic:true ~world image in
+  Alcotest.(check (list string)) "full pinlock run predicted" []
+    (error_codes diags)
+
+(* --- seeded defects: one per checker class ------------------------------ *)
+
+let strip_global g (r : An.Resource.func_resources) =
+  { r with
+    An.Resource.direct_globals = SS.remove g r.An.Resource.direct_globals;
+    indirect_globals = SS.remove g r.An.Resource.indirect_globals }
+
+let test_seeded_l001_unresolved_icall () =
+  (* an icall whose pointer points nowhere, with an argument count no
+     defined function has: both resolution tiers fail *)
+  let image =
+    compile
+      ~extra_funcs:
+        [ func "task_c" []
+            [ set "p" (c 0); icall (l "p") [ c 1; c 2 ]; ret0 ] ]
+      ~entries:[ "task_a"; "task_b"; "task_c" ] ()
+  in
+  check_fires "unresolved icall" "L001" (L.Lint.run image)
+
+let test_seeded_l003_bad_region () =
+  (* replace task_a's peripheral plan with a region whose base is not
+     aligned to its 1 KiB size: illegal, and the UART range uncovered *)
+  let image = compile () in
+  let bad =
+    { M.Mpu.base = 0x4000_4404; size_log2 = 10; srd = 0;
+      privileged = M.Mpu.Read_write; unprivileged = M.Mpu.Read_write;
+      executable = false }
+  in
+  let metas =
+    List.map
+      (fun (name, (meta : C.Metadata.op_meta)) ->
+        if String.equal meta.op.C.Operation.entry "task_a" then
+          (name, { meta with C.Metadata.periph_regions = [ bad ] })
+        else (name, meta))
+      image.C.Image.metas
+  in
+  let image = { image with C.Image.metas } in
+  check_fires "invalid MPU plan" "L003" (L.Lint.run image)
+
+let test_seeded_l004_missing_resource () =
+  (* task_a's functions need [shared]; strip it from the granted set *)
+  let image = compile () in
+  let image =
+    with_op image "task_a" (fun op ->
+        { op with C.Operation.resources = strip_global "shared" op.resources })
+  in
+  check_fires "resource hole" "L004" (L.Lint.run image)
+
+let test_seeded_l005_over_privilege () =
+  (* grant task_a a global none of its member functions touches *)
+  let image = compile () in
+  let image =
+    with_op image "task_a" (fun op ->
+        { op with
+          C.Operation.resources =
+            { op.resources with
+              An.Resource.direct_globals =
+                SS.add "only_b" op.resources.An.Resource.direct_globals } })
+  in
+  check_fires "over-privilege" "L005" (L.Lint.run image)
+
+let test_seeded_l006_missing_entry () =
+  (* drop task_b from the entry list: calls to it bypass the monitor *)
+  let image = compile () in
+  let image = { image with C.Image.entries = [ "task_a" ] } in
+  check_fires "entry not instrumented" "L006" (L.Lint.run image)
+
+let test_seeded_l006_stray_svc () =
+  (* a raw SVC that is not the thread-yield service *)
+  let image = compile () in
+  let rogue =
+    Func.v "rogue" ~params:[] ~body:[ Instr.Svc 3; Instr.Return None ]
+  in
+  let program =
+    { image.C.Image.program with
+      Program.funcs = rogue :: image.C.Image.program.Program.funcs }
+  in
+  let image = { image with C.Image.program = program } in
+  check_fires "stray svc" "L006" (L.Lint.run image)
+
+let test_seeded_l007_unpredicted_access () =
+  (* the oracle replays the baseline (no devices: the program only
+     touches globals); with [secret] stripped from task_s's static
+     resource set, the replayed accesses are no longer predicted *)
+  let p =
+    Program.v ~name:"oracle-sample"
+      ~globals:[ word "secret" ~init:41L; word "out" ]
+      ~peripherals:[]
+      ~funcs:
+        [ func "task_s" []
+            [ load "x" (gv "secret"); store (gv "out") E.(l "x" + c 1); ret0 ];
+          func "main" [] [ call "task_s" []; halt ] ]
+      ()
+  in
+  let image = C.Compiler.compile p (C.Dev_input.v [ "task_s" ]) in
+  Alcotest.(check (list string)) "clean program passes the oracle" []
+    (error_codes (L.Oracle.check image));
+  let image =
+    with_op image "task_s" (fun op ->
+        { op with C.Operation.resources = strip_global "secret" op.resources })
+  in
+  check_fires "unpredicted access" "L007" (L.Oracle.check image)
+
+let test_seeded_l008_layout_hole () =
+  (* an operation granted a writable global the layout never placed *)
+  let image = compile () in
+  let phantom = word "phantom" in
+  let source =
+    { image.C.Image.source with
+      Program.globals = phantom :: image.C.Image.source.Program.globals }
+  in
+  let image = { image with C.Image.source = source } in
+  let image =
+    with_op image "task_a" (fun op ->
+        { op with
+          C.Operation.resources =
+            { op.resources with
+              An.Resource.direct_globals =
+                SS.add "phantom" op.resources.An.Resource.direct_globals } })
+  in
+  check_fires "unaddressable global" "L008"
+    (L.Checks.layout_consistency image)
+
+(* --- framework behaviour ------------------------------------------------- *)
+
+let test_l002_dead_code_is_info () =
+  let image =
+    compile ~extra_funcs:[ func "orphan" [] [ ret0 ] ] ()
+  in
+  let diags = L.Lint.run image in
+  let dead =
+    List.filter
+      (fun d ->
+        String.equal d.L.Diag.code "L002"
+        && d.L.Diag.loc = L.Diag.Function "orphan")
+      diags
+  in
+  Alcotest.(check int) "orphan reported once" 1 (List.length dead);
+  Alcotest.(check bool) "as info, not an error" false
+    (List.exists L.Diag.is_error dead)
+
+let test_diag_ordering_and_json () =
+  let e =
+    L.Diag.v ~code:"L004" L.Diag.Error (L.Diag.Operation "op") "boom"
+  in
+  let w =
+    L.Diag.vf ~code:"L001" L.Diag.Warning
+      (L.Diag.Icall { func = "f"; index = 0 })
+      "weak \"resolution\""
+  in
+  Alcotest.(check bool) "errors sort first" true (L.Diag.compare e w < 0);
+  let contains needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.equal (String.sub hay i n) needle || go (i + 1)) in
+    go 0
+  in
+  let json = L.Lint.to_json [ w ] in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "json contains %s" needle)
+        true (contains needle json))
+    [ {|"code":"L001"|}; {|"severity":"warning"|}; {|\"resolution\"|} ]
+
+let test_registry_complete () =
+  let codes = List.map (fun c -> c.L.Lint.code) L.Lint.checkers in
+  Alcotest.(check (list string)) "registry codes"
+    [ "L001"; "L002"; "L003"; "L004"; "L005"; "L006"; "L007"; "L008" ]
+    codes;
+  Alcotest.(check bool) "only the oracle is dynamic" true
+    (List.for_all
+       (fun c -> c.L.Lint.dynamic = String.equal c.L.Lint.code "L007")
+       L.Lint.checkers)
+
+let suite () =
+  [ ( "lint",
+      [ Alcotest.test_case "bundled apps are clean" `Quick test_apps_clean;
+        Alcotest.test_case "trace oracle on full pinlock" `Slow
+          test_oracle_pinlock;
+        Alcotest.test_case "seeded L001 unresolved icall" `Quick
+          test_seeded_l001_unresolved_icall;
+        Alcotest.test_case "seeded L003 bad region" `Quick
+          test_seeded_l003_bad_region;
+        Alcotest.test_case "seeded L004 resource hole" `Quick
+          test_seeded_l004_missing_resource;
+        Alcotest.test_case "seeded L005 over-privilege" `Quick
+          test_seeded_l005_over_privilege;
+        Alcotest.test_case "seeded L006 missing entry" `Quick
+          test_seeded_l006_missing_entry;
+        Alcotest.test_case "seeded L006 stray svc" `Quick
+          test_seeded_l006_stray_svc;
+        Alcotest.test_case "seeded L007 unpredicted access" `Quick
+          test_seeded_l007_unpredicted_access;
+        Alcotest.test_case "seeded L008 layout hole" `Quick
+          test_seeded_l008_layout_hole;
+        Alcotest.test_case "L002 dead code is info" `Quick
+          test_l002_dead_code_is_info;
+        Alcotest.test_case "diag ordering and json" `Quick
+          test_diag_ordering_and_json;
+        Alcotest.test_case "checker registry" `Quick test_registry_complete ] )
+  ]

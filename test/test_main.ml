@@ -7,4 +7,5 @@ let () =
     @ Test_nested.suite () @ Test_threads.suite () @ Test_substrates.suite ()
     @ Test_failures.suite () @ Test_vanilla.suite ()
     @ Test_smoke.suite ()
+    @ Test_lint.suite ()
     @ Test_apps.suite ())
