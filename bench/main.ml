@@ -4,7 +4,7 @@
 
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe -- table1  # one artifact
-     ... table1 | figure9 | table2 | figure10 | figure11 | table3 | ablation | micro
+     ... table1 | figure9 | table2 | figure10 | figure11 | table3 | campaign | ablation | micro
 
    Absolute numbers differ from the paper (the substrate is a machine
    model, not an STM32 board); the comparisons of EXPERIMENTS.md are about
@@ -200,6 +200,17 @@ let table3 () =
     (List.length largest.Apps.App.program.Opec_ir.Program.funcs)
     pt.Opec_analysis.Points_to.iterations pt.Opec_analysis.Points_to.solve_time
 
+(* ---------------------------------------------------------------- campaign *)
+
+(* Attack-containment matrix, the analogue of the paper's CVE-outcome
+   table: every planned primitive against every defense, per app.
+   Reduced-size app variants keep the run quick; code and policy are
+   the same as the full-size workloads. *)
+let campaign () =
+  let ms = Opec_attack.Campaign.run_all (Apps.Registry.all_small ()) in
+  List.iter (fun m -> say "%s" (Opec_attack.Report.render m)) ms;
+  say "%s" (Opec_attack.Report.summary ms)
+
 (* ---------------------------------------------------------------- ablation *)
 
 (* Ablation studies of the design choices DESIGN.md calls out. *)
@@ -348,6 +359,7 @@ let all () =
   figure10 ();
   figure11 ();
   table3 ();
+  campaign ();
   ablation ();
   micro ()
 
@@ -359,11 +371,12 @@ let () =
   | "figure10" -> figure10 ()
   | "figure11" -> figure11 ()
   | "table3" -> table3 ()
+  | "campaign" -> campaign ()
   | "ablation" -> ablation ()
   | "micro" -> micro ()
   | "all" -> all ()
   | other ->
     Format.eprintf
-      "unknown artifact %S (expected table1|figure9|table2|figure10|figure11|table3|ablation|micro|all)@."
+      "unknown artifact %S (expected table1|figure9|table2|figure10|figure11|table3|campaign|ablation|micro|all)@."
       other;
     exit 2

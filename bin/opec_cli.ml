@@ -6,7 +6,8 @@
      opec compare APP               baseline vs OPEC overhead for one app
      opec aces APP [-s STRATEGY]    show the ACES baseline's compartments
      opec trace APP [-n N]          operation-switch timeline of a run
-     opec lint [APP] [--all] [--json]  verify the derived policy *)
+     opec lint [APP] [--all] [--json]  verify the derived policy
+     opec attack [APP] [--all] [--json]  run the attack-injection campaign *)
 
 open Cmdliner
 module M = Opec_machine
@@ -262,6 +263,85 @@ let lint_cmd =
           compiled image, plus (with --all) a dynamic trace oracle")
     Term.(const run $ app_opt $ all $ json)
 
+(* ---------------------------------------------------------------- attack *)
+
+let attack_cmd =
+  let app_opt =
+    let doc = "Workload to attack (default: every bundled workload)." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+  in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:
+            "Attack every bundled workload (the default when APP is \
+             omitted).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the matrix as JSON.")
+  in
+  let details =
+    Arg.(
+      value & flag
+      & info [ "details" ]
+          ~doc:"Show each cell's injection rationale and classification.")
+  in
+  let run name all json details =
+    (* reduced-size workload variants: same code and policy, fewer
+       rounds, so the 30-cell matrix per app stays quick *)
+    let small = Apps.Registry.all_small () in
+    let apps =
+      match (if all then None else name) with
+      | None -> Ok small
+      | Some n -> (
+        match Apps.Registry.find n small with
+        | Some a -> Ok [ a ]
+        | None ->
+          Error (Printf.sprintf "unknown application %S; try `opec list'" n))
+    in
+    match apps with
+    | Error e -> exits_with_error e
+    | Ok apps ->
+      let ms = Opec_attack.Campaign.run_all apps in
+      if json then print_endline (Opec_attack.Report.to_json ms)
+      else begin
+        List.iter
+          (fun m ->
+            print_endline (Opec_attack.Report.render ~details m);
+            print_newline ())
+          ms;
+        if List.length ms > 1 then
+          print_endline (Opec_attack.Report.summary ms)
+      end;
+      (* the security-regression gate: any escape under OPEC fails *)
+      let escaped =
+        List.fold_left
+          (fun acc (m : Opec_attack.Campaign.matrix) ->
+            List.fold_left
+              (fun acc (c : Opec_attack.Campaign.cell) ->
+                Format.eprintf "OPEC ESCAPE in %s/%s: %s@."
+                  m.Opec_attack.Campaign.app
+                  (Opec_attack.Primitive.name
+                     c.Opec_attack.Campaign.injection
+                       .Opec_attack.Planner.primitive)
+                  c.Opec_attack.Campaign.detail;
+                acc + 1)
+              acc
+              (Opec_attack.Campaign.opec_escapes m))
+          0 ms
+      in
+      if escaped > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "attack"
+       ~doc:
+         "Run the attack-injection campaign: every planner-derived \
+          primitive against every defense (vanilla, ACES1-3, OPEC), \
+          with outcomes classified as blocked / contained / escaped / \
+          crashed.  Exits nonzero if any attack escapes OPEC.")
+    Term.(const run $ app_opt $ all $ json $ details)
+
 let () =
   let info =
     Cmd.info "opec" ~version:"1.0.0"
@@ -271,4 +351,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; policy_cmd; run_cmd; compare_cmd; aces_cmd; trace_cmd;
-            lint_cmd ]))
+            lint_cmd; attack_cmd ]))

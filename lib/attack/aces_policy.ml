@@ -1,0 +1,68 @@
+(* The ACES defense oracle.
+
+   ACES images are not executable under this repo's monitor (ACES has
+   its own instrumentation), so the campaign models its enforcement
+   statically, the same way `lib/metrics` scores it: an access is
+   allowed exactly when the attacker's compartment — after the
+   MPU-limited region merging that causes ACES's partition-time
+   over-privilege — could reach the target.  Allowed accesses are then
+   applied raw by the injector so containment is judged on real machine
+   state; denied accesses end the run like an ACES MPU fault would. *)
+
+module A = Opec_aces
+module An = Opec_analysis
+
+type t = { aces : A.Aces.t }
+
+let build kind program = { aces = A.Aces.analyze kind program }
+let kind t = t.aces.A.Aces.kind
+
+type verdict = Allowed of string | Denied of string
+
+let judge t ~attacker (p : Primitive.t) =
+  match A.Aces.compartment_of t.aces attacker with
+  | None -> Denied (attacker ^ " belongs to no compartment")
+  | Some comp -> (
+    let cname = comp.A.Compartment.name in
+    match p with
+    | Primitive.Global_write { var; _ } ->
+      let reach =
+        A.Region_merge.accessible_vars t.aces.A.Aces.regions cname
+      in
+      if A.Region_merge.SS.mem var reach then
+        Allowed
+          (Printf.sprintf "region merging grants %s to compartment %s" var
+             cname)
+      else
+        Denied
+          (Printf.sprintf "%s is outside compartment %s's merged regions" var
+             cname)
+    | Primitive.Icall_hijack { target } ->
+      if A.Compartment.SS.mem target comp.A.Compartment.funcs then
+        Allowed (target ^ " is inside the attacker's compartment")
+      else
+        Denied
+          ("cross-compartment transfer to " ^ target
+         ^ " rejected at the compartment gate")
+    | Primitive.Stack_smash _ ->
+      Allowed "single shared stack: no sub-region guard between frames"
+    | Primitive.Mmio_write { periph; _ } ->
+      if
+        An.Resource.SS.mem periph
+          comp.A.Compartment.resources.An.Resource.peripherals
+      then Allowed (periph ^ " is mapped for compartment " ^ cname)
+      else
+        Denied (periph ^ " is outside compartment " ^ cname ^ "'s regions")
+    | Primitive.Ppb_write { periph; _ } ->
+      if comp.A.Compartment.privileged then
+        Allowed
+          (Printf.sprintf
+             "compartment %s is lifted to the privileged level, so %s is \
+              writable"
+             cname periph)
+      else Denied ("unprivileged compartment: PPB store to " ^ periph
+                   ^ " bus-faults")
+    | Primitive.Svc_forge { svc } ->
+      Denied
+        (Printf.sprintf
+           "compartment-switch dispatcher rejects unknown SVC #0x%02X" svc))

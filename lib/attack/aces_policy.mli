@@ -1,0 +1,20 @@
+(** The ACES defense oracle: models ACES1–3 enforcement for the
+    campaign.  ACES images are not executable under this repo's monitor,
+    so a primitive is judged against the attacker compartment's
+    post-merging reach (the same model [lib/metrics] scores); allowed
+    accesses are applied raw by the injector, denied ones end the run
+    like an ACES MPU fault would. *)
+
+type t
+
+(** [build kind program] runs the ACES analysis for one strategy. *)
+val build : Opec_aces.Strategy.kind -> Opec_ir.Program.t -> t
+
+val kind : t -> Opec_aces.Strategy.kind
+
+type verdict = Allowed of string | Denied of string
+
+(** [judge t ~attacker p]: would the compartment containing function
+    [attacker] be able to perform [p]?  The payload carries the reason
+    either way. *)
+val judge : t -> attacker:string -> Primitive.t -> verdict

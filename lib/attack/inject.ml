@@ -1,0 +1,257 @@
+(* The injector: executes one planned injection inside a live run.
+
+   The campaign wraps the run's trap handler with [handler]; at the nth
+   entry of the chosen operation (after the inner handler has completed
+   the switch, so the victim MPU configuration and shadow state are
+   exactly what the defense provides) the primitive is performed through
+   a mode matching the defense:
+
+   - [Mpu_enforced] (OPEC): the access runs at the unprivileged level of
+     the compromised operation, and faults are delivered to the wrapped
+     monitor handler exactly as the interpreter would deliver them — the
+     monitor gets its chance to virtualize, emulate, or kill;
+   - [Unchecked] (vanilla): the access runs like any other baseline
+     access — privileged, MPU disabled — so nothing stands in its way;
+   - [Modeled] (ACES1-3): the access is judged by the static
+     {!Aces_policy} oracle; allowed accesses are applied through the raw
+     bus port (ACES's own MPU would permit them), denied ones end the
+     run like an ACES MPU fault would.
+
+   The injector records what actually happened as {!evidence}; the
+   campaign classifies it together with the end-state diff. *)
+
+open Opec_ir
+module M = Opec_machine
+module E = Opec_exec
+module C = Opec_core
+
+type mode =
+  | Mpu_enforced
+  | Unchecked
+  | Modeled of Aces_policy.t
+
+type evidence =
+  | Not_fired
+  | Faulted of { detail : string }
+  | Performed of { detail : string; corroborate : bool }
+      (** [corroborate]: the direct effect is not itself out of policy —
+          classify by diffing end state against a clean run *)
+  | Svc_ignored
+
+type t = {
+  injection : Planner.injection;
+  mode : mode;
+  global_addr : string -> int;
+  mutable bus : M.Bus.t option;
+  mutable interp : E.Interp.t option;
+  mutable seen : int;
+  mutable smash_target : int option;
+  mutable evidence : evidence;
+}
+
+let create ~mode ~global_addr injection =
+  { injection; mode; global_addr; bus = None; interp = None; seen = 0;
+    smash_target = None; evidence = Not_fired }
+
+let attach t ~bus ~interp =
+  t.bus <- Some bus;
+  t.interp <- Some interp
+
+let evidence t = t.evidence
+
+let bus_exn t =
+  match t.bus with Some b -> b | None -> invalid_arg "Inject: not attached"
+
+let attacker t = t.injection.Planner.op.C.Operation.entry
+
+(* a blocked injection ends the firmware the way a real unrecovered
+   fault would *)
+let blocked t detail =
+  t.evidence <- Faulted { detail };
+  raise (E.Interp.Aborted detail)
+
+(* Store at the application's effective privilege level, delivering
+   faults to the wrapped handler exactly like [Interp.checked_store]. *)
+let store_as_app t (inner : E.Interp.handler) addr width value =
+  let bus = bus_exn t in
+  let cpu = bus.M.Bus.cpu in
+  let saved = cpu.M.Cpu.privileged in
+  (* the trigger runs inside the privileged switch trap; the attack
+     itself executes as the (unprivileged) operation under OPEC *)
+  if t.mode = Mpu_enforced then cpu.M.Cpu.privileged <- false;
+  Fun.protect ~finally:(fun () -> cpu.M.Cpu.privileged <- saved) @@ fun () ->
+  let desc = E.Interp.Access_store { addr; width; value } in
+  let rec go () =
+    match M.Bus.write bus addr width value with
+    | () -> Ok ()
+    | exception M.Fault.Mem_manage info -> (
+      match inner.E.Interp.on_mem_fault desc info with
+      | E.Interp.Retry -> go ()
+      | E.Interp.Abort msg -> Error msg)
+    | exception M.Fault.Bus info -> (
+      match inner.E.Interp.on_bus_fault desc info with
+      | E.Interp.Emulated _ -> Ok ()
+      | E.Interp.Bus_abort msg -> Error msg)
+  in
+  go ()
+
+let do_store t inner ~addr ~width ~value ~detail ~corroborate =
+  match t.mode with
+  | Modeled oracle -> (
+    match
+      Aces_policy.judge oracle ~attacker:(attacker t)
+        t.injection.Planner.primitive
+    with
+    | Aces_policy.Denied reason -> blocked t ("modeled ACES fault: " ^ reason)
+    | Aces_policy.Allowed reason ->
+      M.Bus.write_raw (bus_exn t) addr width value;
+      t.evidence <- Performed { detail = detail ^ " (" ^ reason ^ ")"; corroborate })
+  | Mpu_enforced | Unchecked -> (
+    match store_as_app t inner addr width value with
+    | Ok () -> t.evidence <- Performed { detail; corroborate }
+    | Error msg -> blocked t msg)
+
+(* --- stack smash --------------------------------------------------------- *)
+
+(* Pre-switch phase: plant a "caller frame" word just under the caller's
+   SP, then lower SP past [subregions] whole stack sub-regions, so the
+   victim word lies in a sub-region strictly above the one the incoming
+   operation runs in — under OPEC the switch's SRD guard must disable
+   it.  (Interpreter locals live outside machine memory; the planted
+   word stands in for the caller's saved state a linear overflow would
+   reach first.) *)
+let sentinel = 0x5AFECA11L
+
+let prepare_smash t subregions =
+  let bus = bus_exn t in
+  let cpu = bus.M.Bus.cpu in
+  let sp0 = cpu.M.Cpu.sp in
+  let victim = (sp0 - 8) land lnot 7 in
+  let new_sp = sp0 - (subregions * C.Config.stack_subregion_size) in
+  if new_sp >= cpu.M.Cpu.stack_base && victim >= cpu.M.Cpu.stack_base then begin
+    M.Bus.write_raw bus victim 4 sentinel;
+    cpu.M.Cpu.sp <- new_sp;
+    t.smash_target <- Some victim
+  end
+
+let fire_smash t inner value =
+  match t.smash_target with
+  | None ->
+    (* stack too shallow to carve the frame: nothing to overflow into *)
+    t.evidence <-
+      Performed { detail = "stack too shallow: smash skipped"; corroborate = true }
+  | Some addr ->
+    let detail =
+      Printf.sprintf "overflowed the caller-frame word at 0x%08X" addr
+    in
+    do_store t inner ~addr ~width:4 ~value ~detail ~corroborate:false;
+    (match t.evidence with
+    | Performed _ when not (Int64.equal (M.Bus.read_raw (bus_exn t) addr 4) value)
+      ->
+      (* the store was accepted but the victim word survived (e.g. an
+         emulation path absorbed it): fall back to end-state diffing *)
+      t.evidence <-
+        Performed
+          { detail = "smash store absorbed; caller word unchanged";
+            corroborate = true }
+    | _ -> ())
+
+(* --- icall hijack -------------------------------------------------------- *)
+
+let fire_hijack t inner target =
+  ignore inner;
+  let interp =
+    match t.interp with
+    | Some i -> i
+    | None -> invalid_arg "Inject: not attached"
+  in
+  let run_call () =
+    let cpu = (bus_exn t).M.Bus.cpu in
+    let saved = cpu.M.Cpu.privileged in
+    if t.mode = Mpu_enforced then cpu.M.Cpu.privileged <- false;
+    Fun.protect ~finally:(fun () -> cpu.M.Cpu.privileged <- saved)
+    @@ fun () ->
+    match E.Interp.call interp target [] with
+    | _ ->
+      t.evidence <-
+        Performed
+          { detail = "hijacked call to " ^ target ^ " ran to completion";
+            corroborate = true }
+    | exception E.Interp.Aborted msg ->
+      t.evidence <- Faulted { detail = "hijacked call trapped: " ^ msg };
+      raise (E.Interp.Aborted msg)
+  in
+  match t.mode with
+  | Modeled oracle -> (
+    match
+      Aces_policy.judge oracle ~attacker:(attacker t)
+        t.injection.Planner.primitive
+    with
+    | Aces_policy.Denied reason -> blocked t ("modeled ACES fault: " ^ reason)
+    | Aces_policy.Allowed _ -> run_call ())
+  | Mpu_enforced | Unchecked -> run_call ()
+
+(* --- SVC forgery --------------------------------------------------------- *)
+
+let fire_forge t (inner : E.Interp.handler) svc =
+  match t.mode with
+  | Modeled oracle -> (
+    match
+      Aces_policy.judge oracle ~attacker:(attacker t)
+        t.injection.Planner.primitive
+    with
+    | Aces_policy.Denied reason -> blocked t ("modeled ACES fault: " ^ reason)
+    | Aces_policy.Allowed reason ->
+      t.evidence <- Performed { detail = reason; corroborate = true })
+  | Mpu_enforced | Unchecked -> (
+    match inner.E.Interp.on_svc svc with
+    | () -> t.evidence <- Svc_ignored
+    | exception E.Interp.Aborted msg ->
+      t.evidence <- Faulted { detail = msg };
+      raise (E.Interp.Aborted msg))
+
+(* --- firing -------------------------------------------------------------- *)
+
+let fire t inner =
+  match t.injection.Planner.primitive with
+  | Primitive.Global_write { var; value } ->
+    let addr = t.global_addr var in
+    do_store t inner ~addr ~width:4 ~value ~corroborate:false
+      ~detail:(Printf.sprintf "wrote 0x%08LX over %s at 0x%08X" value var addr)
+  | Primitive.Mmio_write { periph; addr; value } ->
+    do_store t inner ~addr ~width:4 ~value ~corroborate:false
+      ~detail:
+        (Printf.sprintf "stored 0x%08LX to non-owned %s at 0x%08X" value
+           periph addr)
+  | Primitive.Ppb_write { periph; addr; value } ->
+    do_store t inner ~addr ~width:4 ~value ~corroborate:false
+      ~detail:
+        (Printf.sprintf "stored 0x%08LX to core peripheral %s at 0x%08X" value
+           periph addr)
+  | Primitive.Stack_smash { value; _ } -> fire_smash t inner value
+  | Primitive.Icall_hijack { target } -> fire_hijack t inner target
+  | Primitive.Svc_forge { svc } -> fire_forge t inner svc
+
+(* Wrap a trap handler: pass everything through, and on the nth entry of
+   the chosen operation perform the injection right after the inner
+   handler finishes the switch. *)
+let handler t (inner : E.Interp.handler) : E.Interp.handler =
+  { inner with
+    E.Interp.on_operation_enter =
+      (fun ~entry ~args ->
+        let is_target =
+          String.equal entry.Func.name t.injection.Planner.op.C.Operation.entry
+        in
+        if is_target then t.seen <- t.seen + 1;
+        let trigger =
+          is_target
+          && t.seen = t.injection.Planner.nth
+          && t.evidence = Not_fired
+        in
+        (match (t.injection.Planner.primitive, trigger) with
+        | Primitive.Stack_smash { subregions; _ }, true ->
+          prepare_smash t subregions
+        | _ -> ());
+        let args' = inner.E.Interp.on_operation_enter ~entry ~args in
+        if trigger then fire t inner;
+        args') }

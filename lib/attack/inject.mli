@@ -1,0 +1,47 @@
+(** The injector: executes one planned injection inside a live run by
+    wrapping the run's trap handler.  At the nth entry of the chosen
+    operation — after the inner handler completes the switch, so the
+    MPU configuration and shadow state are exactly what the defense
+    provides — the primitive is performed through a mode matching the
+    defense, and what actually happened is recorded as {!evidence}. *)
+
+type mode =
+  | Mpu_enforced
+      (** OPEC: the access runs unprivileged as the compromised
+          operation; faults are delivered to the wrapped monitor
+          handler exactly as the interpreter would deliver them *)
+  | Unchecked
+      (** vanilla: privileged, MPU disabled — nothing stands in the
+          way *)
+  | Modeled of Aces_policy.t
+      (** ACES1–3: judged by the static oracle; allowed accesses are
+          applied raw, denied ones end the run like an ACES MPU fault *)
+
+type evidence =
+  | Not_fired       (** the trigger entry was never reached *)
+  | Faulted of { detail : string }
+      (** the defense stopped the injection *)
+  | Performed of { detail : string; corroborate : bool }
+      (** the injection went through; [corroborate] asks the campaign
+          to classify by end-state diff rather than directly *)
+  | Svc_ignored     (** the forged SVC fell through (no supervisor) *)
+
+type t
+
+(** [create ~mode ~global_addr injection] builds an injector.
+    [global_addr] resolves a victim global to its address on the
+    campaign's machine (vanilla home, or master under OPEC). *)
+val create :
+  mode:mode ->
+  global_addr:(string -> int) ->
+  Planner.injection ->
+  t
+
+(** Late-bind the live machine; must be called before the run starts. *)
+val attach : t -> bus:Opec_machine.Bus.t -> interp:Opec_exec.Interp.t -> unit
+
+val evidence : t -> evidence
+
+(** [handler t inner] wraps a trap handler with the injection trigger;
+    everything else passes through to [inner]. *)
+val handler : t -> Opec_exec.Interp.handler -> Opec_exec.Interp.handler

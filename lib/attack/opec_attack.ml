@@ -1,0 +1,13 @@
+(** Deterministic attack injection and containment evaluation: the
+    {!Primitive} threat-model DSL, the {!Planner} mining out-of-policy
+    targets from compiled images, the {!Inject} trap-handler injector,
+    {!Snapshot} state diffing, the {!Campaign} (app × primitive ×
+    defense) runner, and the {!Report} matrix renderer. *)
+
+module Primitive = Primitive
+module Planner = Planner
+module Aces_policy = Aces_policy
+module Inject = Inject
+module Snapshot = Snapshot
+module Campaign = Campaign
+module Report = Report

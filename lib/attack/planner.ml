@@ -1,0 +1,253 @@
+(* The injection planner: mine a compiled image for concrete attack
+   targets.
+
+   For each non-default operation it derives, from the image's own
+   policy (operation resource sets, merged peripheral ranges, layout),
+   an instantiation of every applicable primitive that is *out of
+   policy* for that operation — a global outside its resource
+   dependency, a function outside its member set, a peripheral outside
+   its merged MPU ranges, a core peripheral it never uses.  Attacks are
+   thus derived from the image rather than hand-written, so every
+   workload (and every future workload) gets a campaign for free.
+
+   Everything iterates sorted lists, so plans are deterministic. *)
+
+open Opec_ir
+module C = Opec_core
+module An = Opec_analysis
+module SS = Set.Make (String)
+
+type injection = {
+  op : C.Operation.t;   (** the compromised (attacking) operation *)
+  nth : int;            (** fire at the nth entry of [op] (1-based) *)
+  primitive : Primitive.t;
+  rationale : string;   (** why the target is out of policy for [op] *)
+}
+
+let payload = 0xDEADBEEFL
+
+(* canonical SVC number for the forged-id probe; distinct from the
+   cooperative-thread yield (0xF0) and anything the instrumentation
+   emits *)
+let forged_svc = 0xA5
+
+let in_ranges ranges addr =
+  List.exists (fun (base, limit) -> addr >= base && addr < limit) ranges
+
+let by_name_g (a : Global.t) (b : Global.t) = String.compare a.name b.name
+let by_name_f (a : Func.t) (b : Func.t) = String.compare a.name b.name
+let by_name_p (a : Peripheral.t) (b : Peripheral.t) =
+  String.compare a.name b.name
+
+(* ---- per-primitive target mining --------------------------------------- *)
+
+(* First shadowable data global outside the operation's resource
+   dependency; word-sized-or-larger targets preferred so the 4-byte
+   payload stays inside the victim. *)
+let plan_global_write (op : C.Operation.t) globals =
+  let accessible = C.Operation.accessible_globals op in
+  let candidates =
+    List.filter
+      (fun (g : Global.t) ->
+        (not g.const) && (not g.heap)
+        && not (C.Operation.SS.mem g.name accessible))
+      globals
+  in
+  let pick =
+    match List.find_opt (fun g -> Global.size g >= 4) candidates with
+    | Some g -> Some g
+    | None -> (match candidates with g :: _ -> Some g | [] -> None)
+  in
+  Option.map
+    (fun (g : Global.t) ->
+      ( Primitive.Global_write { var = g.name; value = payload },
+        Printf.sprintf "%s is outside %s's resource dependency" g.name
+          op.C.Operation.name ))
+    pick
+
+(* A function outside the operation's member set that is not an
+   operation entry (calling one of those is a *legal* switch) and not
+   main.  Zero-parameter functions touching globals outside the
+   operation's policy — but only mapped peripherals, so running them on
+   the undefended baseline corrupts state instead of bus-faulting — are
+   preferred: a successful hijack then visibly corrupts foreign state. *)
+let plan_icall_hijack (image : C.Image.t) (op : C.Operation.t) ~mapped funcs
+    =
+  let entries =
+    SS.add image.C.Image.source.Program.main
+      (SS.of_list image.C.Image.entries)
+  in
+  let accessible = C.Operation.accessible_globals op in
+  let datasheet = image.C.Image.source.Program.peripherals in
+  let candidates =
+    List.filter
+      (fun (f : Func.t) ->
+        (not (C.Operation.SS.mem f.name op.C.Operation.funcs))
+        && not (SS.mem f.name entries))
+      funcs
+  in
+  let resources (f : Func.t) =
+    An.Resource.of_func image.C.Image.resources f.name
+  in
+  let corrupts (f : Func.t) =
+    An.Resource.SS.exists
+      (fun g -> not (C.Operation.SS.mem g accessible))
+      (An.Resource.globals (resources f))
+  in
+  let devices_ok (f : Func.t) =
+    An.Resource.SS.for_all
+      (fun p ->
+        match List.find_opt (fun (d : Peripheral.t) -> d.name = p) datasheet
+        with
+        | Some d -> mapped d.base
+        | None -> false)
+      (resources f).An.Resource.peripherals
+  in
+  let tiers : (Func.t -> bool) list =
+    [ (fun f -> f.Func.params = [] && corrupts f && devices_ok f);
+      (fun f -> f.Func.params = [] && devices_ok f);
+      (fun f -> f.Func.params = []) ]
+  in
+  let pick =
+    List.fold_left
+      (fun acc tier ->
+        match acc with
+        | Some _ -> acc
+        | None -> List.find_opt tier candidates)
+      None tiers
+  in
+  Option.map
+    (fun (f : Func.t) ->
+      ( Primitive.Icall_hijack { target = f.name },
+        Printf.sprintf "%s is not a member of %s" f.name op.C.Operation.name ))
+    pick
+
+let plan_stack_smash (_op : C.Operation.t) =
+  Some
+    ( Primitive.Stack_smash { subregions = 2; value = payload },
+      "caller frames above the operation's active sub-region are disabled \
+       by the stack SRD guard" )
+
+(* A mapped, non-core datasheet peripheral outside the operation's
+   merged (base, limit) MPU ranges — the merge can legitimately cover
+   neighbours, so membership is tested against the ranges, not the
+   resource names.  Peripherals no operation uses are preferred: their
+   corruption cannot re-enter the workload's own device scripting. *)
+let plan_mmio_write (image : C.Image.t) (op : C.Operation.t) ~mapped periphs
+    =
+  let used_by_any =
+    List.fold_left
+      (fun acc (o : C.Operation.t) ->
+        SS.union acc
+          (SS.of_list
+             (An.Resource.SS.elements
+                o.C.Operation.resources.An.Resource.peripherals)))
+      SS.empty image.C.Image.ops
+  in
+  let candidates =
+    List.filter
+      (fun (p : Peripheral.t) ->
+        (not p.core)
+        && (not (in_ranges op.C.Operation.periph_ranges p.base))
+        && mapped p.base)
+      periphs
+  in
+  let pick =
+    match
+      List.find_opt
+        (fun (p : Peripheral.t) -> not (SS.mem p.name used_by_any))
+        candidates
+    with
+    | Some p -> Some p
+    | None -> (match candidates with p :: _ -> Some p | [] -> None)
+  in
+  Option.map
+    (fun (p : Peripheral.t) ->
+      ( Primitive.Mmio_write { periph = p.name; addr = p.base; value = payload },
+        Printf.sprintf "%s (0x%08X) is outside %s's merged peripheral ranges"
+          p.name p.base op.C.Operation.name ))
+    pick
+
+(* A mapped core peripheral the operation never uses: its PPB loads and
+   stores are not in the monitor's emulation allow-list. *)
+let plan_ppb_write (op : C.Operation.t) ~mapped periphs =
+  let used = op.C.Operation.resources.An.Resource.core_peripherals in
+  let candidates =
+    List.filter
+      (fun (p : Peripheral.t) ->
+        p.core && (not (An.Resource.SS.mem p.name used)) && mapped p.base)
+      periphs
+  in
+  let pick =
+    (* SCB first: its VTOR-class registers are the classic privileged
+       target (CVE-style vector-table redirection) *)
+    match List.find_opt (fun (p : Peripheral.t) -> p.name = "SCB") candidates
+    with
+    | Some p -> Some p
+    | None -> (match candidates with p :: _ -> Some p | [] -> None)
+  in
+  Option.map
+    (fun (p : Peripheral.t) ->
+      let addr = if p.size > 12 then p.base + 8 else p.base in
+      ( Primitive.Ppb_write { periph = p.name; addr; value = 0x20000000L },
+        Printf.sprintf "%s is not in %s's core-peripheral emulation list"
+          p.name op.C.Operation.name ))
+    pick
+
+let plan_svc_forge (_op : C.Operation.t) =
+  Some
+    ( Primitive.Svc_forge { svc = forged_svc },
+      "the instrumentation never mints this operation id" )
+
+(* ---- the plan ----------------------------------------------------------- *)
+
+let plan ?(mapped = fun _ -> true) (image : C.Image.t) =
+  let src = image.C.Image.source in
+  let globals = List.sort by_name_g src.Program.globals in
+  let funcs = List.sort by_name_f src.Program.funcs in
+  let periphs = List.sort by_name_p src.Program.peripherals in
+  let ops =
+    List.sort
+      (fun (a : C.Operation.t) b -> Int.compare a.index b.index)
+      (List.filter (fun (o : C.Operation.t) -> o.C.Operation.index <> 0)
+         image.C.Image.ops)
+  in
+  List.concat_map
+    (fun (op : C.Operation.t) ->
+      List.filter_map
+        (fun c ->
+          Option.map
+            (fun (primitive, rationale) -> { op; nth = 1; primitive; rationale })
+            c)
+        [ plan_global_write op globals;
+          plan_icall_hijack image op ~mapped funcs;
+          plan_stack_smash op;
+          plan_mmio_write image op ~mapped periphs;
+          plan_ppb_write op ~mapped periphs;
+          plan_svc_forge op ])
+    ops
+
+(* One injection per primitive kind (the first applicable operation, in
+   index order) — bounds the campaign matrix at |primitives| rows per
+   app while still exercising every capability. *)
+let select injections =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun inj ->
+      let key = Primitive.name inj.primitive in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    (List.stable_sort
+       (fun a b ->
+         match Primitive.compare a.primitive b.primitive with
+         | 0 -> Int.compare a.op.C.Operation.index b.op.C.Operation.index
+         | c -> c)
+       injections)
+
+let pp fmt inj =
+  Format.fprintf fmt "@[<h>%s (entry %d of %s): %s@]"
+    (Primitive.name inj.primitive) inj.nth inj.op.C.Operation.name
+    inj.rationale

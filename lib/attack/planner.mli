@@ -1,0 +1,30 @@
+(** The injection planner: mine a compiled image for concrete attack
+    targets that are {e out of policy} for the operation they fire in —
+    derived from the image's own operation resource sets, merged
+    peripheral ranges, and layout, never hand-written.  Plans iterate
+    sorted lists only, so they are deterministic. *)
+
+type injection = {
+  op : Opec_core.Operation.t;
+      (** the compromised (attacking) operation *)
+  nth : int;  (** fire at the nth entry of [op] (1-based) *)
+  primitive : Primitive.t;
+  rationale : string;
+      (** why the target is out of policy for [op] *)
+}
+
+(** The SVC number used for forged-operation-id probes (0xA5). *)
+val forged_svc : int
+
+(** [plan image] enumerates, for every non-default operation, one
+    concrete instantiation of each applicable primitive.  [mapped]
+    restricts MMIO/PPB targets to addresses backed by an attached
+    device model on the campaign's machine (default: accept all). *)
+val plan :
+  ?mapped:(int -> bool) -> Opec_core.Image.t -> injection list
+
+(** Keep the first injection per primitive kind (lowest operation
+    index), in canonical primitive order — the campaign's matrix rows. *)
+val select : injection list -> injection list
+
+val pp : Format.formatter -> injection -> unit

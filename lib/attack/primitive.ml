@@ -1,0 +1,64 @@
+(* Attack primitives: the paper's threat model (Sections 2, 6.2) as
+   data.  Each constructor is one capability an attacker gains from a
+   memory-corruption vulnerability inside an operation; the planner
+   instantiates them at concrete out-of-policy targets mined from the
+   compiled image, and the campaign executes them under each defense. *)
+
+type t =
+  | Global_write of { var : string; value : int64 }
+      (** arbitrary-write: clobber a global outside the active
+          operation's resource dependency *)
+  | Icall_hijack of { target : string }
+      (** control-flow hijack: redirect an indirect call to a function
+          outside the active operation *)
+  | Stack_smash of { subregions : int; value : int64 }
+      (** linear overflow past the operation frame into the callers'
+          stack sub-regions *)
+  | Mmio_write of { periph : string; addr : int; value : int64 }
+      (** direct MMIO store to a peripheral the operation does not own *)
+  | Ppb_write of { periph : string; addr : int; value : int64 }
+      (** store to a core peripheral (PPB) from unprivileged code *)
+  | Svc_forge of { svc : int }
+      (** supervisor call with a forged operation id *)
+
+(* stable kebab-case identifiers: report rows, JSON, CI matching *)
+let name = function
+  | Global_write _ -> "global-write"
+  | Icall_hijack _ -> "icall-hijack"
+  | Stack_smash _ -> "stack-smash"
+  | Mmio_write _ -> "mmio-write"
+  | Ppb_write _ -> "ppb-write"
+  | Svc_forge _ -> "svc-forge"
+
+let all_names =
+  [ "global-write"; "icall-hijack"; "stack-smash"; "mmio-write";
+    "ppb-write"; "svc-forge" ]
+
+let order = function
+  | Global_write _ -> 0
+  | Icall_hijack _ -> 1
+  | Stack_smash _ -> 2
+  | Mmio_write _ -> 3
+  | Ppb_write _ -> 4
+  | Svc_forge _ -> 5
+
+let compare a b = Int.compare (order a) (order b)
+
+let describe = function
+  | Global_write { var; value } ->
+    Printf.sprintf "write 0x%08LX over out-of-policy global %s" value var
+  | Icall_hijack { target } ->
+    "redirect an indirect call to out-of-operation function " ^ target
+  | Stack_smash { subregions; value } ->
+    Printf.sprintf "overflow 0x%08LX into a caller frame %d sub-region(s) up"
+      value subregions
+  | Mmio_write { periph; addr; value } ->
+    Printf.sprintf "write 0x%08LX to non-owned peripheral %s (0x%08X)" value
+      periph addr
+  | Ppb_write { periph; addr; value } ->
+    Printf.sprintf "unprivileged write of 0x%08LX to core peripheral %s (0x%08X)"
+      value periph addr
+  | Svc_forge { svc } ->
+    Printf.sprintf "SVC #0x%02X carrying a forged operation id" svc
+
+let pp fmt p = Format.fprintf fmt "%s: %s" (name p) (describe p)

@@ -1,0 +1,35 @@
+(** Attack primitives: the paper's threat model (Sections 2, 6.2) as
+    data.  The planner instantiates them at concrete out-of-policy
+    targets mined from a compiled image; the campaign executes them
+    under each defense. *)
+
+type t =
+  | Global_write of { var : string; value : int64 }
+      (** arbitrary-write: clobber a global outside the active
+          operation's resource dependency *)
+  | Icall_hijack of { target : string }
+      (** control-flow hijack: redirect an indirect call to a function
+          outside the active operation *)
+  | Stack_smash of { subregions : int; value : int64 }
+      (** linear overflow past the operation frame into the callers'
+          stack sub-regions *)
+  | Mmio_write of { periph : string; addr : int; value : int64 }
+      (** direct MMIO store to a peripheral the operation does not own *)
+  | Ppb_write of { periph : string; addr : int; value : int64 }
+      (** store to a core peripheral (PPB) from unprivileged code *)
+  | Svc_forge of { svc : int }
+      (** supervisor call with a forged operation id *)
+
+(** Stable kebab-case identifier ("global-write", ...): report rows,
+    JSON, CI matching.  Never reused. *)
+val name : t -> string
+
+(** Every identifier, in canonical report order. *)
+val all_names : string list
+
+(** Canonical report order. *)
+val order : t -> int
+
+val compare : t -> t -> int
+val describe : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,13 @@
+(** Containment-matrix rendering.  Output depends only on the matrix —
+    never on wall-clock or iteration order — so two campaigns over the
+    same apps render byte-identically. *)
+
+(** One app's matrix as an aligned text table; [details] appends the
+    per-cell rationale and classification detail. *)
+val render : ?details:bool -> Campaign.matrix -> string
+
+(** Cross-app outcome counts per defense. *)
+val summary : Campaign.matrix list -> string
+
+(** The whole campaign as one JSON document (stable field order). *)
+val to_json : Campaign.matrix list -> string

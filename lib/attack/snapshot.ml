@@ -1,0 +1,53 @@
+(* Machine-state snapshots for containment classification.
+
+   A snapshot is the byte image of every mutable global, read through
+   the privileged raw bus port (no MPU interference, no cycle charge).
+   On a protected machine the *master* copies are read — the public
+   section is the ground truth the monitor synchronizes through, so
+   corruption that leaked past a shadow section shows up there.  Diffing
+   an attacked run against a clean run of the same defense yields the
+   set of corrupted globals; the campaign then asks which of them lie
+   outside the attacking operation's policy. *)
+
+open Opec_ir
+module M = Opec_machine
+module C = Opec_core
+module E = Opec_exec
+
+type t = (string * string) list  (* global name -> hex byte image *)
+
+let hex_bytes bus addr size =
+  String.concat ""
+    (List.init size (fun i ->
+         Printf.sprintf "%02LX" (M.Bus.read_raw bus (addr + i) 1)))
+
+let mutable_globals (program : Program.t) =
+  List.sort
+    (fun (a : Global.t) b -> String.compare a.name b.name)
+    (List.filter (fun (g : Global.t) -> not g.Global.const) program.globals)
+
+(* vanilla/ACES machine: globals live at their address-map homes *)
+let baseline bus ~(map : E.Address_map.t) (program : Program.t) : t =
+  List.map
+    (fun (g : Global.t) ->
+      (g.name, hex_bytes bus (map.E.Address_map.global_addr g.name) (Global.size g)))
+    (mutable_globals program)
+
+(* protected machine: read each global's master (public section) or
+   internal home; heap arenas have no master and are skipped *)
+let protected_ bus (image : C.Image.t) : t =
+  List.filter_map
+    (fun (g : Global.t) ->
+      match C.Layout.master_of image.C.Image.layout g.name with
+      | Some addr -> Some (g.name, hex_bytes bus addr (Global.size g))
+      | None -> None)
+    (mutable_globals image.C.Image.source)
+
+(* globals whose byte image differs from the clean run *)
+let changed ~clean ~attacked =
+  List.filter_map
+    (fun (name, bytes) ->
+      match List.assoc_opt name attacked with
+      | Some bytes' when not (String.equal bytes bytes') -> Some name
+      | _ -> None)
+    clean

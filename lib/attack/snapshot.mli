@@ -1,0 +1,22 @@
+(** Machine-state snapshots for containment classification: the byte
+    image of every mutable global, read through the privileged raw bus
+    port, diffed between an attacked and a clean run. *)
+
+type t = (string * string) list
+(** global name -> hex byte image, sorted by name *)
+
+(** Snapshot a vanilla/ACES machine (globals at their address-map
+    homes). *)
+val baseline :
+  Opec_machine.Bus.t ->
+  map:Opec_exec.Address_map.t ->
+  Opec_ir.Program.t ->
+  t
+
+(** Snapshot a protected machine: each global's master copy in the
+    public section (or internal home).  Heap arenas have no master and
+    are skipped. *)
+val protected_ : Opec_machine.Bus.t -> Opec_core.Image.t -> t
+
+(** Names of globals whose byte image differs between the two runs. *)
+val changed : clean:t -> attacked:t -> string list

@@ -60,6 +60,9 @@ type t = {
   max_depth : int;
   (* switch bookkeeping for metrics *)
   mutable operation_switches : int;
+  (* last data-access fault delivered to the handler, for post-mortem
+     classification (the attack campaign reads it after an abort) *)
+  mutable last_fault : (access_desc * M.Fault.info) option;
 }
 
 let create ?(fuel = 200_000_000) ?(max_depth = 200) ?(handler = abort_handler)
@@ -76,10 +79,12 @@ let create ?(fuel = 200_000_000) ?(max_depth = 200) ?(handler = abort_handler)
     fuel;
     depth = 0;
     max_depth;
-    operation_switches = 0 }
+    operation_switches = 0;
+    last_fault = None }
 
 let cpu t = t.bus.M.Bus.cpu
 let set_handler t handler = t.handler <- handler
+let last_fault t = t.last_fault
 let trace t = t.trace
 let cycles t = M.Cpu.cycles (cpu t)
 let switches t = t.operation_switches
@@ -131,11 +136,13 @@ let rec checked_load t addr width =
   with
   | M.Fault.Mem_manage info -> (
     let desc = Access_load { addr; width } in
+    t.last_fault <- Some (desc, info);
     match t.handler.on_mem_fault desc info with
     | Retry -> checked_load t addr width
     | Abort msg -> raise (Aborted msg))
   | M.Fault.Bus info -> (
     let desc = Access_load { addr; width } in
+    t.last_fault <- Some (desc, info);
     match t.handler.on_bus_fault desc info with
     | Emulated v -> v
     | Bus_abort msg -> raise (Aborted msg))
@@ -147,11 +154,13 @@ let rec checked_store t addr width v =
   with
   | M.Fault.Mem_manage info -> (
     let desc = Access_store { addr; width; value = v } in
+    t.last_fault <- Some (desc, info);
     match t.handler.on_mem_fault desc info with
     | Retry -> checked_store t addr width v
     | Abort msg -> raise (Aborted msg))
   | M.Fault.Bus info -> (
     let desc = Access_store { addr; width; value = v } in
+    t.last_fault <- Some (desc, info);
     match t.handler.on_bus_fault desc info with
     | Emulated _ -> ()
     | Bus_abort msg -> raise (Aborted msg))

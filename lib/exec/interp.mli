@@ -65,6 +65,13 @@ val cpu : t -> Opec_machine.Cpu.t
     to interpose on the yield SVC). *)
 val set_handler : t -> handler -> unit
 
+(** The last data-access fault delivered to the trap handler, if any —
+    the faulting access plus the machine's {!Opec_machine.Fault.info}
+    (address, access kind, privilege level).  Survives an [Aborted]
+    unwind, so post-mortem classifiers (e.g. the attack campaign) can
+    recover the faulting address instead of parsing the message. *)
+val last_fault : t -> (access_desc * Opec_machine.Fault.info) option
+
 (** The execution trace collected so far. *)
 val trace : t -> Trace.t
 

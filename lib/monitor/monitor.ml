@@ -366,7 +366,8 @@ let handle_mem_fault t (_desc : Opec_exec.Interp.access_desc)
     match covering with
     | None ->
       Opec_exec.Interp.Abort
-        (Fmt.str "no planned region covers permitted address 0x%08X" addr)
+        (Fmt.str "no planned region in %s covers permitted access: %a"
+           frame.op.C.Operation.name M.Fault.pp_info info)
     | Some region ->
       let first =
         C.Config.peripheral_region_first
@@ -466,4 +467,15 @@ let handler t : Opec_exec.Interp.handler =
         M.Cpu.with_privilege t.bus.M.Bus.cpu (fun () ->
             try handle_bus_fault t desc info
             with Violation msg -> Opec_exec.Interp.Bus_abort msg));
-    on_svc = (fun _ -> ()) }
+    (* Operation switches arrive through [on_operation_enter]/[_exit] and
+       the cooperative-thread scheduler intercepts its yield SVC before
+       delegating here, so any SVC that reaches the monitor carries a
+       forged operation id: reject it (Section 5.3's dispatcher only
+       accepts ids minted by the instrumentation). *)
+    on_svc =
+      (fun n ->
+        try
+          abort t
+            (Fmt.str "SVC with forged operation id #0x%02X in %s" n
+               (current t).op.C.Operation.name)
+        with Violation msg -> raise (Opec_exec.Interp.Aborted msg)) }

@@ -1,0 +1,15 @@
+(** Glue between the compile-time MPU plan and the machine's MPU. *)
+
+(** [install mpu ~image ~meta ~srd] installs the operation's planned
+    regions (code, data section, stack with sub-region disable mask
+    [srd], optional heap, peripherals) and clears the reserved
+    peripheral slots left over from the previous operation.  Returns
+    the planned peripheral regions that did not fit in the reserved
+    slots — the monitor's fault handler rotates them in on demand
+    (Section 5.2's MPU virtualization). *)
+val install :
+  Opec_machine.Mpu.t ->
+  image:Opec_core.Image.t ->
+  meta:Opec_core.Metadata.op_meta ->
+  srd:int ->
+  Opec_machine.Mpu.region list

@@ -12,8 +12,11 @@ type protected_run = {
 }
 
 (* Build a protected run: machine + loaded image + monitor handler.
-   [devices] are attached to the bus before loading. *)
-let prepare ?(devices = []) ?sync_whole_section (image : C.Image.t) =
+   [devices] are attached to the bus before loading; [wrap_handler]
+   interposes on the monitor's trap handler (instrumentation such as the
+   attack-injection campaign). *)
+let prepare ?(devices = []) ?sync_whole_section ?wrap_handler
+    (image : C.Image.t) =
   let bus = M.Bus.create ~board:image.C.Image.board in
   List.iter (M.Bus.attach bus) devices;
   M.Bus.attach bus (M.Core_periph.systick ~cycles:(fun () -> M.Cpu.cycles bus.M.Bus.cpu));
@@ -21,17 +24,20 @@ let prepare ?(devices = []) ?sync_whole_section (image : C.Image.t) =
   M.Bus.attach bus (M.Core_periph.scb ());
   C.Image.load image bus;
   let monitor = Monitor.create ?sync_whole_section image bus in
+  let handler = Monitor.handler monitor in
+  let handler =
+    match wrap_handler with None -> handler | Some wrap -> wrap handler
+  in
   let interp =
-    E.Interp.create ~handler:(Monitor.handler monitor)
-      ~entries:image.C.Image.entries ~bus ~map:image.C.Image.map
-      image.C.Image.program
+    E.Interp.create ~handler ~entries:image.C.Image.entries ~bus
+      ~map:image.C.Image.map image.C.Image.program
   in
   { interp; monitor; bus }
 
 (* Initialize the monitor (shadow fill, MPU arm, privilege drop) and run
    the program from main. *)
-let run_protected ?devices ?sync_whole_section image =
-  let r = prepare ?devices ?sync_whole_section image in
+let run_protected ?devices ?sync_whole_section ?wrap_handler image =
+  let r = prepare ?devices ?sync_whole_section ?wrap_handler image in
   let cpu = r.bus.M.Bus.cpu in
   cpu.M.Cpu.sp <- image.C.Image.map.E.Address_map.stack_top;
   cpu.M.Cpu.stack_base <- image.C.Image.map.E.Address_map.stack_base;
@@ -46,8 +52,13 @@ type baseline_run = {
   b_layout : E.Vanilla_layout.t;
 }
 
-(* Build and run the unprotected baseline binary of [program]. *)
-let prepare_baseline ?(devices = []) ~board (program : Opec_ir.Program.t) =
+(* Build the unprotected baseline binary of [program].  [entries] marks
+   operation entry functions so the interpreter still reports switch
+   trigger points to [handler] (the campaign's injection wrapper around
+   [E.Interp.abort_handler]); with neither, calls are plain and faults
+   abort. *)
+let prepare_baseline ?(devices = []) ?(entries = []) ?handler ~board
+    (program : Opec_ir.Program.t) =
   let bus = M.Bus.create ~board in
   List.iter (M.Bus.attach bus) devices;
   M.Bus.attach bus (M.Core_periph.systick ~cycles:(fun () -> M.Cpu.cycles bus.M.Bus.cpu));
@@ -56,10 +67,13 @@ let prepare_baseline ?(devices = []) ~board (program : Opec_ir.Program.t) =
   let layout = E.Vanilla_layout.make ~board program in
   E.Vanilla_layout.load_initial_values bus
     ~global_addr:layout.E.Vanilla_layout.map.E.Address_map.global_addr program;
-  let interp = E.Interp.create ~bus ~map:layout.E.Vanilla_layout.map program in
+  let interp =
+    E.Interp.create ?handler ~entries ~bus ~map:layout.E.Vanilla_layout.map
+      program
+  in
   { b_interp = interp; b_bus = bus; b_layout = layout }
 
-let run_baseline ?devices ~board program =
-  let r = prepare_baseline ?devices ~board program in
+let run_baseline ?devices ?entries ?handler ~board program =
+  let r = prepare_baseline ?devices ?entries ?handler ~board program in
   E.Interp.run r.b_interp;
   r

@@ -12,10 +12,13 @@ type protected_run = {
 }
 
 (** Build a protected run without starting it: machine + devices + core
-    peripherals + loaded image + monitor-backed interpreter. *)
+    peripherals + loaded image + monitor-backed interpreter.
+    [wrap_handler] interposes on the monitor's trap handler — used by
+    instrumentation such as the attack-injection campaign. *)
 val prepare :
   ?devices:M.Device.t list ->
   ?sync_whole_section:bool ->
+  ?wrap_handler:(E.Interp.handler -> E.Interp.handler) ->
   C.Image.t ->
   protected_run
 
@@ -24,6 +27,7 @@ val prepare :
 val run_protected :
   ?devices:M.Device.t list ->
   ?sync_whole_section:bool ->
+  ?wrap_handler:(E.Interp.handler -> E.Interp.handler) ->
   C.Image.t ->
   protected_run
 
@@ -33,15 +37,22 @@ type baseline_run = {
   b_layout : E.Vanilla_layout.t;
 }
 
-(** Build the unprotected baseline binary of a program. *)
+(** Build the unprotected baseline binary of a program.  [entries] marks
+    operation entry functions so the interpreter still notifies
+    [handler] at switch points (the attack campaign's injection trigger);
+    both default to the plain uninstrumented baseline. *)
 val prepare_baseline :
   ?devices:M.Device.t list ->
+  ?entries:string list ->
+  ?handler:E.Interp.handler ->
   board:M.Memmap.board ->
   Opec_ir.Program.t ->
   baseline_run
 
 val run_baseline :
   ?devices:M.Device.t list ->
+  ?entries:string list ->
+  ?handler:E.Interp.handler ->
   board:M.Memmap.board ->
   Opec_ir.Program.t ->
   baseline_run

@@ -1,0 +1,39 @@
+(** Cooperative multi-threading on top of OPEC (paper, Section 7).
+
+    Each thread runs the interpreter inside an OCaml effect fiber on a
+    disjoint slice of the application stack.  At every context switch
+    the monitor writes back the outgoing thread's operation shadows,
+    synchronizes the incoming thread's, and reconfigures the MPU;
+    firmware yields the CPU by executing [Svc yield_svc]. *)
+
+(** The SVC number firmware executes to yield the CPU.  The scheduler's
+    trap handler intercepts it before the monitor (which rejects every
+    other raw SVC as a forged operation id). *)
+val yield_svc : int
+
+(** A spawned thread (opaque; scheduling state lives inside). *)
+type thread
+
+(** The scheduler. *)
+type t
+
+(** Adopt a prepared protected run: installs the scheduler-aware trap
+    handler (wrapping the monitor's) into the run's interpreter. *)
+val create : Runner.protected_run -> t
+
+exception Too_many_threads
+
+(** [spawn t ~entry ~args ~stack_bytes] carves the next free stack slice
+    (top-down) and registers a thread that will call [entry] with
+    [args].  Raises {!Too_many_threads} when the slices exhaust the
+    application stack. *)
+val spawn :
+  t -> entry:string -> args:int64 list -> stack_bytes:int -> thread
+
+(** Run all spawned threads round-robin until every one finishes. *)
+val run : t -> unit
+
+(** Context switches performed (for the Section 7 measurements). *)
+val context_switches : t -> int
+
+val thread_count : t -> int

@@ -8,4 +8,5 @@ let () =
     @ Test_failures.suite () @ Test_vanilla.suite ()
     @ Test_smoke.suite ()
     @ Test_lint.suite ()
+    @ Test_attack.suite ()
     @ Test_apps.suite ())
