@@ -4,27 +4,49 @@
 
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe -- table1  # one artifact
-     ... table1 | figure9 | table2 | figure10 | figure11 | table3 | campaign | ablation | micro
+     ... table1 | figure9 | table2 | figure10 | figure11 | table3 | campaign | ablation | micro | pipeline
 
    Absolute numbers differ from the paper (the substrate is a machine
    model, not an STM32 board); the comparisons of EXPERIMENTS.md are about
-   the shape of each result. *)
+   the shape of each result.
+
+   Every artifact draws from the compile-once pipeline
+   ({!Opec_pipeline.Pipeline}): each target first materializes the
+   artifacts it needs with one domain per app, then renders sequentially
+   from the cache, so a full sweep compiles and runs each workload
+   exactly once.  The [pipeline] target measures the store itself and
+   writes BENCH_pipeline.json. *)
 
 module Apps = Opec_apps
 module Met = Opec_metrics
 module A = Opec_aces
 module C = Opec_core
 module R = Met.Report
+module P = Opec_pipeline.Pipeline
 
 let say fmt = Format.printf (fmt ^^ "@.")
 
 let strategies =
   [ A.Strategy.Filename; A.Strategy.Filename_no_opt; A.Strategy.By_peripheral ]
 
+(* Materialize the listed stages for every app, one domain per app, so
+   the sequential rendering below it hits only the cache.  Pointless
+   when caching is off (the legacy emulation): the work would be
+   recomputed anyway. *)
+let prewarm stages apps =
+  if P.caching_enabled () then
+    ignore (P.parallel_map (fun c -> List.iter (fun f -> f c) stages) apps)
+
+let w_image c = ignore (P.image c)
+let w_baseline c = ignore (P.baseline c)
+let w_protected c = ignore (P.protected_ c)
+let w_aces c = List.iter (fun k -> ignore (P.aces c k)) strategies
+
 (* ----------------------------------------------------------------- table 1 *)
 
 let table1 () =
   say "%s" (R.heading "Table 1: security evaluation (OPEC)");
+  prewarm [ w_image ] (Apps.Registry.all ());
   let rows =
     List.map
       (fun (app : Apps.App.t) ->
@@ -51,6 +73,7 @@ let table1 () =
 
 let figure9 () =
   say "%s" (R.heading "Figure 9: performance overhead of OPEC");
+  prewarm [ w_image; w_baseline; w_protected ] (Apps.Registry.all ());
   let rows =
     List.map Met.Overhead.fig9_of_app (Apps.Registry.all ())
   in
@@ -69,6 +92,9 @@ let figure9 () =
 
 let table2 () =
   say "%s" (R.heading "Table 2: OPEC vs ACES (RO runtime x, FO flash %, SO SRAM %, PAC priv. app code %)");
+  prewarm
+    [ w_image; w_baseline; w_protected; w_aces ]
+    (Apps.Registry.aces_apps ());
   let rows =
     List.concat_map Met.Overhead.table2_of_app (Apps.Registry.aces_apps ())
   in
@@ -88,6 +114,7 @@ let table2 () =
 
 let figure10 () =
   say "%s" (R.heading "Figure 10: cumulative ratio of partition-time over-privilege (PT)");
+  prewarm [ w_image; w_aces ] (Apps.Registry.aces_apps ());
   List.iter
     (fun (app : Apps.App.t) ->
       say "-- %s" app.Apps.App.app_name;
@@ -102,7 +129,7 @@ let figure10 () =
       say "   OPEC: %d operations, max PT = %.3f" (List.length opec_samples) max_pt;
       List.iter
         (fun kind ->
-          let aces = A.Aces.analyze kind app.Apps.App.program in
+          let aces = P.aces (P.ctx app) kind in
           let samples = Met.Overprivilege.aces_pt aces in
           let cdf = Met.Overprivilege.cumulative_ratio samples in
           let series =
@@ -118,6 +145,7 @@ let figure10 () =
 
 let figure11 () =
   say "%s" (R.heading "Figure 11: execution-time over-privilege (ET) per task");
+  prewarm [ w_image; w_baseline; w_aces ] (Apps.Registry.aces_apps ());
   List.iter
     (fun (app : Apps.App.t) ->
       say "-- %s" app.Apps.App.app_name;
@@ -128,7 +156,7 @@ let figure11 () =
       let aces_series =
         List.map
           (fun kind ->
-            let aces = A.Aces.analyze kind app.Apps.App.program in
+            let aces = P.aces (P.ctx app) kind in
             (A.Strategy.name kind, Met.Overprivilege.aces_et aces ~task_instances))
           strategies
       in
@@ -158,6 +186,7 @@ let figure11 () =
 
 let table3 () =
   say "%s" (R.heading "Table 3: efficiency of the icall analysis");
+  prewarm [ w_image ] (Apps.Registry.all ());
   let images =
     List.map
       (fun (app : Apps.App.t) -> (app, Met.Workload.compile app))
@@ -229,7 +258,7 @@ let ablation () =
     (fun (app : Apps.App.t) ->
       let image = Met.Workload.compile app in
       opec_mass := !opec_mass +. pt_mass (Met.Overprivilege.opec_pt image);
-      let aces = A.Aces.analyze A.Strategy.Filename_no_opt app.Apps.App.program in
+      let aces = P.aces (P.ctx app) A.Strategy.Filename_no_opt in
       aces_mass := !aces_mass +. pt_mass (Met.Overprivilege.aces_pt aces))
     (Apps.Registry.aces_apps ());
   say "   OPEC (shadowing): %.3f     ACES2 (merging): %.3f@." !opec_mass !aces_mass;
@@ -284,6 +313,8 @@ let ablation () =
   List.iter
     (fun (app : Apps.App.t) ->
       let sorted_img = Met.Workload.compile app in
+      (* the unsorted image is the ablation itself, a non-canonical
+         artifact the store never carries: compiled privately *)
       let unsorted_img =
         C.Compiler.compile ~board:app.Apps.App.board ~sort_sections:false
           app.Apps.App.program app.Apps.App.dev_input
@@ -300,17 +331,21 @@ let bechamel_tests () =
   let open Bechamel in
   let pinlock = Apps.Registry.pinlock ~rounds:2 () in
   let image = Met.Workload.compile pinlock in
+  (* micro-benchmarks time the *uncached* work: the memoized paths
+     would measure a store lookup, so every test below uses the fresh
+     variants *)
   let switch_test =
     Test.make ~name:"protected-run(pinlock,2 rounds)"
-      (Staged.stage (fun () -> ignore (Met.Workload.run_protected ~image pinlock)))
+      (Staged.stage (fun () ->
+           ignore (Met.Workload.run_protected_fresh ~image pinlock)))
   in
   let baseline_test =
     Test.make ~name:"baseline-run(pinlock,2 rounds)"
-      (Staged.stage (fun () -> ignore (Met.Workload.run_baseline pinlock)))
+      (Staged.stage (fun () -> ignore (Met.Workload.run_baseline_fresh pinlock)))
   in
   let compile_test =
     Test.make ~name:"compile(pinlock)"
-      (Staged.stage (fun () -> ignore (Met.Workload.compile pinlock)))
+      (Staged.stage (fun () -> ignore (Met.Workload.compile_fresh pinlock)))
   in
   let points_to_test =
     Test.make ~name:"points-to(tcp-echo)"
@@ -350,9 +385,127 @@ let micro () =
     results;
   say ""
 
+(* -------------------------------------------------------------- pipeline *)
+
+(* Benchmark of the pipeline itself: per-target wall clock on a cold
+   (empty) vs warm (fully cached) store, the shared-store sweep against
+   the compile-per-target sum it replaces, and the decode-once
+   interpreter's throughput on CoreMark.  Results also land in
+   BENCH_pipeline.json for CI. *)
+
+let perf_targets =
+  [ ("table1", table1); ("figure9", figure9); ("table2", table2);
+    ("figure10", figure10); ("figure11", figure11); ("table3", table3);
+    ("campaign", campaign); ("ablation", ablation) ]
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+(* Run [f] with the evaluation's own printing swallowed, so the timing
+   loop doesn't scroll eight reports past the reader. *)
+let quietly f =
+  let devnull = open_out "/dev/null" in
+  let saved = Format.pp_get_formatter_out_functions Format.std_formatter () in
+  Format.pp_set_formatter_out_channel Format.std_formatter devnull;
+  Fun.protect
+    ~finally:(fun () ->
+      Format.pp_print_flush Format.std_formatter ();
+      Format.pp_set_formatter_out_functions Format.std_formatter saved;
+      close_out devnull)
+    f
+
+let pipeline_bench () =
+  say "%s" (R.heading "Pipeline benchmark: compile-once artifact store");
+  (* every timed block starts from an empty store and a compacted heap,
+     so one block's garbage doesn't tax the next one's clock *)
+  let timed f =
+    P.reset ();
+    Gc.compact ();
+    time (fun () -> quietly f)
+  in
+  (* the end-to-end sweep over one shared store *)
+  let sweep () = List.iter (fun (_, f) -> f ()) perf_targets in
+  let shared = timed sweep in
+  (* each target alone: cold store, then fully warm *)
+  let rows =
+    List.map
+      (fun (name, f) ->
+        let cold = timed f in
+        let warm = time (fun () -> quietly f) in
+        say "  %-10s cold %7.3f s   warm %7.3f s" name cold warm;
+        (name, cold, warm))
+      perf_targets
+  in
+  (* the pre-refactor sequence, emulated faithfully: no artifact store
+     (every consumer recompiles and reruns privately) and the
+     tree-walking interpreter *)
+  P.set_caching false;
+  P.set_engine Opec_exec.Interp.Tree;
+  let legacy = timed sweep in
+  P.set_caching true;
+  P.set_engine Opec_exec.Interp.Decoded;
+  P.reset ();
+  let cold_sum = List.fold_left (fun acc (_, c, _) -> acc +. c) 0.0 rows in
+  let speedup = legacy /. Float.max 1e-9 shared in
+  say "  sweep over a shared store: %.3f s" shared;
+  say "  isolated cold targets sum: %.3f s" cold_sum;
+  say "  pre-pipeline emulation (no store, tree interpreter): %.3f s" legacy;
+  say "  end-to-end speedup: %.2fx" speedup;
+  (* decode-once interpreter throughput: a fresh CoreMark baseline *)
+  let cm = Apps.Registry.coremark () in
+  let cm_cycles = ref 0L in
+  let cm_wall =
+    time (fun () ->
+        cm_cycles := (Met.Workload.run_baseline_fresh cm).Met.Workload.b_cycles)
+  in
+  let cps = Int64.to_float !cm_cycles /. Float.max 1e-9 cm_wall in
+  say "  CoreMark baseline: %Ld cycles in %.3f s (%.0f cycles/s)" !cm_cycles
+    cm_wall cps;
+  (* per-artifact cycle counts, the invariance record for CI diffs *)
+  let cycles =
+    P.parallel_map
+      (fun c ->
+        let b = P.baseline c in
+        let p = P.protected_ c in
+        (P.app c).Apps.App.app_name, b.P.b_cycles, p.P.p_cycles)
+      (Apps.Registry.all ())
+  in
+  let oc = open_out "BENCH_pipeline.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n  \"targets\": [\n";
+  List.iteri
+    (fun i (name, cold, warm) ->
+      out "    {\"name\": %S, \"cold_s\": %.6f, \"warm_s\": %.6f}%s\n" name cold
+        warm
+        (if i < List.length rows - 1 then "," else ""))
+    rows;
+  out "  ],\n";
+  out
+    "  \"sweep\": {\"shared_store_s\": %.6f, \"isolated_cold_sum_s\": %.6f, \
+     \"legacy_s\": %.6f, \"speedup\": %.3f},\n"
+    shared cold_sum legacy speedup;
+  out
+    "  \"coremark\": {\"cycles\": %Ld, \"wall_s\": %.6f, \"cycles_per_sec\": \
+     %.0f},\n"
+    !cm_cycles cm_wall cps;
+  out "  \"cycles\": {\n";
+  List.iteri
+    (fun i (name, b, p) ->
+      out "    %S: {\"baseline\": %Ld, \"protected\": %Ld}%s\n" name b p
+        (if i < List.length cycles - 1 then "," else ""))
+    cycles;
+  out "  },\n";
+  out "  \"domains\": %d\n}\n" (Opec_pipeline.Pool.default_domains ());
+  close_out oc;
+  say "  wrote BENCH_pipeline.json"
+
 (* ------------------------------------------------------------------ driver *)
 
 let all () =
+  (* one parallel pass materializes every artifact the sweep reads *)
+  P.warm_all (Apps.Registry.all ());
   table1 ();
   figure9 ();
   table2 ();
@@ -374,9 +527,10 @@ let () =
   | "campaign" -> campaign ()
   | "ablation" -> ablation ()
   | "micro" -> micro ()
+  | "pipeline" -> pipeline_bench ()
   | "all" -> all ()
   | other ->
     Format.eprintf
-      "unknown artifact %S (expected table1|figure9|table2|figure10|figure11|table3|campaign|ablation|micro|all)@."
+      "unknown artifact %S (expected table1|figure9|table2|figure10|figure11|table3|campaign|ablation|micro|pipeline|all)@."
       other;
     exit 2

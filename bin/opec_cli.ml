@@ -6,8 +6,13 @@
      opec compare APP               baseline vs OPEC overhead for one app
      opec aces APP [-s STRATEGY]    show the ACES baseline's compartments
      opec trace APP [-n N]          operation-switch timeline of a run
+     opec profile [APP]             per-stage pipeline timings
      opec lint [APP] [--all] [--json]  verify the derived policy
-     opec attack [APP] [--all] [--json]  run the attack-injection campaign *)
+     opec attack [APP] [--all] [--json]  run the attack-injection campaign
+
+   Every command draws its artifacts from the compile-once pipeline, so
+   within one invocation each workload is compiled and run at most
+   once no matter how many commands' worth of work an invocation does. *)
 
 open Cmdliner
 module M = Opec_machine
@@ -16,6 +21,7 @@ module A = Opec_aces
 module Mon = Opec_monitor
 module Apps = Opec_apps
 module Met = Opec_metrics
+module P = Opec_pipeline.Pipeline
 
 let find_app name =
   match Apps.Registry.find name (Apps.Registry.all ()) with
@@ -166,13 +172,9 @@ let trace_cmd =
     match find_app name with
     | Error e -> exits_with_error e
     | Ok app ->
-      let image = Met.Workload.compile app in
-      let world = app.Apps.App.make_world () in
-      world.Apps.App.prepare ();
-      let r = Mon.Runner.run_protected ~devices:world.Apps.App.devices image in
-      let events =
-        Opec_exec.Trace.events (Opec_exec.Interp.trace r.Mon.Runner.interp)
-      in
+      let p = P.protected_traced (P.ctx app) in
+      P.reraise p.P.p_err;
+      let events = p.P.p_events in
       let switches =
         List.filter
           (function
@@ -207,6 +209,43 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Run a workload and print its operation-switch timeline")
     Term.(const run $ app_arg $ limit)
 
+(* --------------------------------------------------------------- profile *)
+
+let profile_cmd =
+  let app_opt =
+    let doc = "Workload to profile (default: every bundled workload)." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+  in
+  let profile_app (app : Apps.App.t) =
+    let c = P.ctx app in
+    let t0 = Unix.gettimeofday () in
+    P.warm c;
+    let total = Unix.gettimeofday () -. t0 in
+    Format.printf "== %s ==@." app.Apps.App.app_name;
+    List.iter
+      (fun (stage, dt) ->
+        Format.printf "  %-18s %9.2f ms@." stage (dt *. 1000.0))
+      (P.timings c);
+    Format.printf "  %-18s %9.2f ms@." "total" (total *. 1000.0)
+  in
+  let run name =
+    let apps =
+      match name with
+      | None -> Ok (Apps.Registry.all ())
+      | Some n -> Result.map (fun a -> [ a ]) (find_app n)
+    in
+    match apps with
+    | Error e -> exits_with_error e
+    | Ok apps -> List.iter profile_app apps
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Materialize a workload's full artifact pipeline and print the \
+          wall-clock cost of every stage (validate, analyses, partition, \
+          image, reference runs, ACES)")
+    Term.(const run $ app_opt)
+
 (* ------------------------------------------------------------------ lint *)
 
 let lint_cmd =
@@ -226,13 +265,24 @@ let lint_cmd =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics as JSON.")
   in
   let lint_app ~all ~json (app : Apps.App.t) =
-    let image = Met.Workload.compile app in
-    let world () =
-      let w = app.Apps.App.make_world () in
-      w.Apps.App.prepare ();
-      w.Apps.App.devices
+    let c = P.ctx app in
+    let image = P.image c in
+    (* the oracle walks the pipeline's memoized traced baseline: no
+       private replay, and the compile is shared with every other
+       command in this process *)
+    let source =
+      if all then begin
+        let b = P.baseline_traced c in
+        Some
+          (Opec_lint.Lint.Recorded
+             { Opec_lint.Lint.map =
+                 b.P.b_run.Mon.Runner.b_layout.Opec_exec.Vanilla_layout.map;
+               events = b.P.b_events;
+               failure = b.P.b_err })
+      end
+      else None
     in
-    let diags = Opec_lint.Lint.run ~dynamic:all ~world image in
+    let diags = Opec_lint.Lint.run ~dynamic:all ?source image in
     if json then
       Format.printf {|{"app":"%s","diagnostics":%s}@.|} app.Apps.App.app_name
         (Opec_lint.Lint.to_json diags)
@@ -351,4 +401,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; policy_cmd; run_cmd; compare_cmd; aces_cmd; trace_cmd;
-            lint_cmd; attack_cmd ]))
+            profile_cmd; lint_cmd; attack_cmd ]))

@@ -39,10 +39,20 @@ let compartment_of t f = Strategy.compartment_of t.compartments f
    crosses a compartment boundary is a switch (ACES switches on
    inter-compartment transfers). *)
 let count_switches t (events : Opec_exec.Trace.event list) =
+  (* the trace revisits the same few hundred functions millions of
+     times; resolve each name's compartment once *)
+  let comp_cache = Hashtbl.create 64 in
   let comp f =
-    match compartment_of t f with
-    | Some c -> c.Compartment.index
-    | None -> -1
+    match Hashtbl.find_opt comp_cache f with
+    | Some i -> i
+    | None ->
+      let i =
+        match compartment_of t f with
+        | Some c -> c.Compartment.index
+        | None -> -1
+      in
+      Hashtbl.add comp_cache f i;
+      i
   in
   let switches = ref 0 in
   let stack = ref [] in

@@ -15,6 +15,7 @@ module E = Opec_exec
 module Mon = Opec_monitor
 module A = Opec_aces
 module Apps = Opec_apps
+module P = Opec_pipeline.Pipeline
 
 type defense = Vanilla | Aces of A.Strategy.kind | Opec
 
@@ -121,8 +122,11 @@ let opec_cell (app : Apps.App.t) (image : C.Image.t) ~clean inj =
   in
   let r =
     Mon.Runner.prepare ~devices:world.Apps.App.devices
-      ~wrap_handler:(Inject.handler injector) image
+      ~engine:(P.current_engine ()) ~wrap_handler:(Inject.handler injector)
+      image
   in
+  (* nothing reads a cell's trace; don't accumulate one *)
+  (E.Interp.trace r.Mon.Runner.interp).E.Trace.enabled <- false;
   Inject.attach injector ~bus:r.Mon.Runner.bus ~interp:r.Mon.Runner.interp;
   let cpu = r.Mon.Runner.bus.M.Bus.cpu in
   cpu.M.Cpu.sp <- image.C.Image.map.E.Address_map.stack_top;
@@ -145,13 +149,14 @@ let baseline_cell (app : Apps.App.t) (image : C.Image.t) ~clean ~defense ~mode
   world.Apps.App.prepare ();
   let r =
     Mon.Runner.prepare_baseline ~devices:world.Apps.App.devices
-      ~entries:image.C.Image.entries ~board:app.Apps.App.board
-      app.Apps.App.program
+      ~engine:(P.current_engine ()) ~entries:image.C.Image.entries
+      ~board:app.Apps.App.board app.Apps.App.program
   in
   let map = r.Mon.Runner.b_layout.E.Vanilla_layout.map in
   let injector =
     Inject.create ~mode ~global_addr:map.E.Address_map.global_addr inj
   in
+  (E.Interp.trace r.Mon.Runner.b_interp).E.Trace.enabled <- false;
   E.Interp.set_handler r.Mon.Runner.b_interp
     (Inject.handler injector E.Interp.abort_handler);
   Inject.attach injector ~bus:r.Mon.Runner.b_bus
@@ -170,14 +175,17 @@ let baseline_cell (app : Apps.App.t) (image : C.Image.t) ~clean ~defense ~mode
 
 (* The clean baseline also runs with [entries] marked (through the
    pass-through abort handler), so its cycle accounting — visible to
-   firmware through SysTick/DWT — matches the attacked runs exactly. *)
+   firmware through SysTick/DWT — matches the attacked runs exactly.
+   These legacy private runs survive only for foreign images the
+   artifact store did not produce; the normal path reads the pipeline's
+   memoized marked-baseline and protected runs. *)
 let clean_baseline (app : Apps.App.t) (image : C.Image.t) =
   let world = app.Apps.App.make_world () in
   world.Apps.App.prepare ();
   let r =
     Mon.Runner.run_baseline ~devices:world.Apps.App.devices
-      ~entries:image.C.Image.entries ~board:app.Apps.App.board
-      app.Apps.App.program
+      ~engine:(P.current_engine ()) ~entries:image.C.Image.entries
+      ~board:app.Apps.App.board app.Apps.App.program
   in
   Snapshot.baseline r.Mon.Runner.b_bus
     ~map:r.Mon.Runner.b_layout.E.Vanilla_layout.map app.Apps.App.program
@@ -185,31 +193,52 @@ let clean_baseline (app : Apps.App.t) (image : C.Image.t) =
 let clean_protected (app : Apps.App.t) (image : C.Image.t) =
   let world = app.Apps.App.make_world () in
   world.Apps.App.prepare ();
-  let r = Mon.Runner.run_protected ~devices:world.Apps.App.devices image in
+  let r =
+    Mon.Runner.run_protected ~devices:world.Apps.App.devices
+      ~engine:(P.current_engine ()) image
+  in
   Snapshot.protected_ r.Mon.Runner.bus image
 
 (* --- the campaign -------------------------------------------------------- *)
 
-let compile (app : Apps.App.t) =
-  C.Compiler.compile ~board:app.Apps.App.board app.Apps.App.program
-    app.Apps.App.dev_input
+let compile (app : Apps.App.t) = P.image (P.ctx app)
 
 let run_app ?image (app : Apps.App.t) : matrix =
-  let image = match image with Some i -> i | None -> compile app in
+  let c = P.ctx app in
+  let image = match image with Some i -> i | None -> P.image c in
+  let pipelined = image == P.image c in
   (* device-presence probe: restrict MMIO/PPB targets to addresses the
      campaign machine actually maps, so a vanilla escape is a real
-     peripheral write, not an unmapped-bus crash *)
-  let mapped =
-    let world = app.Apps.App.make_world () in
-    let probe =
-      Mon.Runner.prepare_baseline ~devices:world.Apps.App.devices
-        ~board:app.Apps.App.board app.Apps.App.program
-    in
-    fun addr -> Option.is_some (M.Bus.find_device probe.Mon.Runner.b_bus addr)
+     peripheral write, not an unmapped-bus crash.  The pipeline's
+     marked-baseline bus carries the same device set the probe used to
+     build privately. *)
+  let mapped, clean_b, clean_p =
+    if pipelined then begin
+      let bm = P.baseline_marked c in
+      P.reraise bm.P.b_err;
+      let p = P.protected_ c in
+      P.reraise p.P.p_err;
+      let map = bm.P.b_run.Mon.Runner.b_layout.E.Vanilla_layout.map in
+      ( (fun addr ->
+          Option.is_some
+            (M.Bus.find_device bm.P.b_run.Mon.Runner.b_bus addr)),
+        Snapshot.baseline bm.P.b_run.Mon.Runner.b_bus ~map
+          app.Apps.App.program,
+        Snapshot.protected_ p.P.p_run.Mon.Runner.bus image )
+    end
+    else begin
+      let world = app.Apps.App.make_world () in
+      let probe =
+        Mon.Runner.prepare_baseline ~devices:world.Apps.App.devices
+          ~board:app.Apps.App.board app.Apps.App.program
+      in
+      ( (fun addr ->
+          Option.is_some (M.Bus.find_device probe.Mon.Runner.b_bus addr)),
+        clean_baseline app image,
+        clean_protected app image )
+    end
   in
   let injections = Planner.select (Planner.plan ~mapped image) in
-  let clean_b = clean_baseline app image in
-  let clean_p = clean_protected app image in
   let oracles =
     List.map
       (fun k -> (k, Aces_policy.build k app.Apps.App.program))
@@ -234,7 +263,11 @@ let run_app ?image (app : Apps.App.t) : matrix =
   in
   { app = app.Apps.App.app_name; injections; cells }
 
-let run_all apps = List.map (fun app -> run_app app) apps
+(* Per-app matrices are independent (every cell is a fresh machine), so
+   they fan out across the domain pool; results come back in input
+   order, so the report is byte-identical to a sequential run. *)
+let run_all ?domains apps =
+  P.parallel_map ?domains (fun c -> run_app (P.app c)) apps
 
 (* --- assertion helpers --------------------------------------------------- *)
 

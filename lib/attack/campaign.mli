@@ -36,14 +36,20 @@ type matrix = {
       (** row-major: for each injection, one cell per defense *)
 }
 
-(** Compile an app with its developer input (the campaign's image). *)
+(** Compile an app with its developer input (the campaign's image) —
+    memoized through the compile-once artifact pipeline. *)
 val compile : Opec_apps.App.t -> Opec_core.Image.t
 
 (** Run the full matrix for one app ([image] defaults to
-    {!compile}[ app]). *)
+    {!compile}[ app]).  With the store's own image the clean reference
+    runs are the pipeline's memoized artifacts; a foreign [image] falls
+    back to private runs. *)
 val run_app : ?image:Opec_core.Image.t -> Opec_apps.App.t -> matrix
 
-val run_all : Opec_apps.App.t list -> matrix list
+(** Run every app's matrix, fanned out across a domain pool
+    ([domains] defaults to the pool's recommended size).  Results are
+    in input order: byte-identical to a sequential run. *)
+val run_all : ?domains:int -> Opec_apps.App.t list -> matrix list
 
 val cells_of : matrix -> defense:defense -> cell list
 

@@ -13,7 +13,27 @@
    handler sanitizes/synchronizes globals, relocates stack data and
    rewrites the pointer arguments, reconfigures the MPU) and then invokes
    the entry with the arguments the handler returned; a second trap fires
-   when the entry returns. *)
+   when the entry returns.
+
+   Two execution engines share the machine-facing plumbing:
+
+   - [Tree] walks the IR directly: a string-keyed hashtable environment
+     per activation and a recursive [eval] dispatch per expression node.
+     It is the reference semantics.
+   - [Decoded] (the default) decodes each function once at image-load
+     time: locals are resolved to integer slots in a flat frame array
+     and every instruction and expression is compiled to a closure, so
+     the hot path performs no string hashing and no per-node match
+     dispatch.
+
+   Cycle accounting is identical bit-for-bit between the engines at
+   every observable point — bus accesses, operation switches, SVCs, and
+   run completion — so every overhead ratio the evaluation reports is
+   unchanged by the engine choice.  (The decoded engine batches an
+   instruction's expression-node cycles up front; see [decode] for the
+   argument and for the one divergence window, aborts inside an
+   expression.)  The differential tests replay whole workloads under
+   both engines and assert equal traces, cycles, and memory. *)
 
 open Opec_ir
 module M = Opec_machine
@@ -47,6 +67,21 @@ let abort_handler =
       (fun _ info -> Bus_abort (Fmt.str "BusFault: %a" M.Fault.pp_info info));
     on_svc = (fun _ -> ()) }
 
+type engine = Tree | Decoded
+
+(* A decoded activation record: locals live in [regs] at slots assigned
+   at decode time; [def] tracks which slots have been written, so a read
+   of a never-assigned local raises the same usage fault the tree
+   engine's hashtable miss does. *)
+type frame = { regs : int64 array; def : Bytes.t }
+
+type dfunc = {
+  df_func : Func.t;
+  df_nslots : int;
+  df_nparams : int;
+  df_body : (frame -> unit) array;
+}
+
 type t = {
   program : Program.t;
   funcs : Func.t Program.String_map.t;
@@ -58,6 +93,8 @@ type t = {
   mutable fuel : int;
   mutable depth : int;
   max_depth : int;
+  engine : engine;
+  dfuncs : (string, dfunc) Hashtbl.t;  (** decoded code, [Decoded] only *)
   (* switch bookkeeping for metrics *)
   mutable operation_switches : int;
   (* last data-access fault delivered to the handler, for post-mortem
@@ -65,34 +102,18 @@ type t = {
   mutable last_fault : (access_desc * M.Fault.info) option;
 }
 
-let create ?(fuel = 200_000_000) ?(max_depth = 200) ?(handler = abort_handler)
-    ?(entries = []) ~bus ~map program =
-  let tbl = Hashtbl.create 16 in
-  List.iter (fun e -> Hashtbl.replace tbl e ()) entries;
-  { program;
-    funcs = Program.func_map program;
-    bus;
-    map;
-    handler;
-    trace = Trace.create ();
-    entries = tbl;
-    fuel;
-    depth = 0;
-    max_depth;
-    operation_switches = 0;
-    last_fault = None }
-
 let cpu t = t.bus.M.Bus.cpu
 let set_handler t handler = t.handler <- handler
 let last_fault t = t.last_fault
 let trace t = t.trace
 let cycles t = M.Cpu.cycles (cpu t)
 let switches t = t.operation_switches
+let engine t = t.engine
 
 exception Halted
 exception Returning of int64
 
-(* --- environment ------------------------------------------------------ *)
+(* --- environment (tree engine) ---------------------------------------- *)
 
 module Env = struct
   type t = (string, int64) Hashtbl.t
@@ -106,7 +127,7 @@ module Env = struct
   let set env x v = Hashtbl.replace env x v
 end
 
-(* --- expression evaluation -------------------------------------------- *)
+(* --- expression evaluation (tree engine) ------------------------------- *)
 
 let truthy v = not (Int64.equal v 0L)
 
@@ -165,7 +186,7 @@ let rec checked_store t addr width v =
     | Emulated _ -> ()
     | Bus_abort msg -> raise (Aborted msg))
 
-(* --- instruction execution -------------------------------------------- *)
+(* --- instruction execution (tree engine) ------------------------------- *)
 
 let spill_threshold = 4 (* first four arguments travel in registers *)
 
@@ -255,7 +276,7 @@ and exec_instr t env instr =
   | Instr.Svc n -> t.handler.on_svc n
   | Instr.Halt -> raise Halted
 
-(* --- function calls ---------------------------------------------------- *)
+(* --- function calls (tree engine) --------------------------------------- *)
 
 and call t fname argv =
   let f =
@@ -277,19 +298,7 @@ and call_plain t (f : Func.t) argv =
   let saved_sp = c.M.Cpu.sp in
   (* arguments beyond the register set travel on the caller's stack *)
   let argv = Array.of_list argv in
-  let spill_count = max 0 (Array.length argv - spill_threshold) in
-  if spill_count > 0 then begin
-    let base = c.M.Cpu.sp - (spill_count * 4) in
-    if base < c.M.Cpu.stack_base then raise (Aborted "stack overflow");
-    c.M.Cpu.sp <- base;
-    for i = 0 to spill_count - 1 do
-      checked_store t (base + (i * 4)) 4 argv.(spill_threshold + i)
-    done;
-    (* the callee reads them back *)
-    for i = 0 to spill_count - 1 do
-      argv.(spill_threshold + i) <- checked_load t (base + (i * 4)) 4
-    done
-  end;
+  spill t argv;
   M.Cpu.charge c 2;
   Trace.record t.trace (Trace.Call f.name);
   t.depth <- t.depth + 1;
@@ -337,7 +346,451 @@ and call_operation t (f : Func.t) argv =
   | exception Returning v -> finish (); v
   | exception e -> finish (); raise e
 
+(* Spill arguments beyond the register set onto the caller's stack and
+   read them back, exactly as the callee's prologue would. *)
+and spill t (argv : int64 array) =
+  let c = cpu t in
+  let spill_count = max 0 (Array.length argv - spill_threshold) in
+  if spill_count > 0 then begin
+    let base = c.M.Cpu.sp - (spill_count * 4) in
+    if base < c.M.Cpu.stack_base then raise (Aborted "stack overflow");
+    c.M.Cpu.sp <- base;
+    for i = 0 to spill_count - 1 do
+      checked_store t (base + (i * 4)) 4 argv.(spill_threshold + i)
+    done;
+    (* the callee reads them back *)
+    for i = 0 to spill_count - 1 do
+      argv.(spill_threshold + i) <- checked_load t (base + (i * 4)) 4
+    done
+  end
+
+(* --- decoded engine ----------------------------------------------------- *)
+
+(* A call target resolved once: the decoded code, the code address for
+   the execute check, and whether the callee is an operation entry.
+   Direct calls cache this in the call site's closure after the first
+   call, so the hot path performs no string hashing at all. *)
+type dtarget = {
+  dt_func : dfunc;
+  dt_addr : int;
+  dt_entry : bool;
+}
+
+(* Calls between decoded functions: same protocol as the tree engine but
+   over decoded activation frames; argument vectors are already arrays. *)
+let rec dresolve t fname =
+  match Hashtbl.find_opt t.dfuncs fname with
+  | None -> raise (Aborted ("call to undefined function " ^ fname))
+  | Some df ->
+    { dt_func = df;
+      dt_addr = t.map.Address_map.func_addr fname;
+      dt_entry = Hashtbl.mem t.entries fname }
+
+and dcall_target t dt (argv : int64 array) =
+  (try M.Bus.check_execute t.bus dt.dt_addr
+   with
+  | M.Fault.Mem_manage info | M.Fault.Bus info ->
+    raise
+      (Aborted
+         (Fmt.str "execute fault entering %s: %a" dt.dt_func.df_func.Func.name
+            M.Fault.pp_info info)));
+  if t.depth >= t.max_depth then raise (Aborted "call depth exceeded");
+  if dt.dt_entry then dcall_operation t dt.dt_func argv
+  else dcall_plain t dt.dt_func argv
+
+and dcall t fname (argv : int64 array) = dcall_target t (dresolve t fname) argv
+
+and dframe df (argv : int64 array) =
+  let fr =
+    { regs = Array.make df.df_nslots 0L; def = Bytes.make df.df_nslots '\000' }
+  in
+  let n = Array.length argv in
+  for i = 0 to df.df_nparams - 1 do
+    fr.regs.(i) <- (if i < n then argv.(i) else 0L);
+    Bytes.unsafe_set fr.def i '\001'
+  done;
+  fr
+
+and dexec_body body fr =
+  let n = Array.length (body : (frame -> unit) array) in
+  for i = 0 to n - 1 do (Array.unsafe_get body i) fr done
+
+and dcall_plain t df (argv : int64 array) =
+  let c = cpu t in
+  let saved_sp = c.M.Cpu.sp in
+  spill t argv;
+  M.Cpu.charge c 2;
+  Trace.record t.trace (Trace.Call df.df_func.Func.name);
+  t.depth <- t.depth + 1;
+  let fr = dframe df argv in
+  let ret =
+    match dexec_body df.df_body fr with
+    | () -> 0L
+    | exception Returning v -> v
+  in
+  t.depth <- t.depth - 1;
+  Trace.record t.trace (Trace.Return df.df_func.Func.name);
+  c.M.Cpu.sp <- saved_sp;
+  ret
+
+and dcall_operation t df (argv : int64 array) =
+  let c = cpu t in
+  let saved_sp = c.M.Cpu.sp in
+  M.Cpu.charge c 4 (* SVC entry/exit pipeline cost *);
+  let f = df.df_func in
+  let argv' =
+    M.Cpu.with_privilege c (fun () -> t.handler.on_operation_enter ~entry:f ~args:argv)
+  in
+  t.operation_switches <- t.operation_switches + 1;
+  Trace.record t.trace (Trace.Op_enter f.Func.name);
+  t.depth <- t.depth + 1;
+  let fr = dframe df argv' in
+  let finish () =
+    M.Cpu.charge c 4;
+    M.Cpu.with_privilege c (fun () -> t.handler.on_operation_exit ~entry:f);
+    t.depth <- t.depth - 1;
+    Trace.record t.trace (Trace.Op_exit f.Func.name);
+    c.M.Cpu.sp <- saved_sp
+  in
+  match dexec_body df.df_body fr with
+  | () -> finish (); 0L
+  | exception Returning v -> finish (); v
+  | exception e -> finish (); raise e
+
+(* Decode one function: assign every local name a slot (parameters
+   first, then names in order of appearance) and compile the body to
+   closures.
+
+   Cycle accounting is batched: expression closures themselves charge
+   nothing; each instruction closure charges, up front, the one cycle
+   the tree walker's dispatch charges plus one cycle per expression node
+   the instruction is about to evaluate.  Expressions never touch the
+   bus (loads are instructions), so at every observable point — a bus
+   access, an operation switch, an SVC — the cumulative count is
+   bit-identical to the tree engine's node-by-node charging.  The only
+   divergence window is a run aborting *inside* an expression (division
+   by zero, read of a never-assigned local): the batched count is then
+   ahead by the nodes that never evaluated.  Such a run dies on the
+   spot, and no evaluation artifact compares cycle counts of aborted
+   runs across engines.
+
+   Direct call sites resolve their target (decoded code, code address,
+   entry bit) once, on first execution, and cache it in the closure —
+   no string hashing on the call hot path. *)
+let decode t (f : Func.t) : dfunc =
+  let c = cpu t in
+  let slots = Hashtbl.create 16 in
+  let nslots = ref 0 in
+  let slot x =
+    match Hashtbl.find_opt slots x with
+    | Some i -> i
+    | None ->
+      let i = !nslots in
+      incr nslots;
+      Hashtbl.add slots x i;
+      i
+  in
+  List.iter (fun (x, _ty) -> ignore (slot x)) f.Func.params;
+  (* [dexpr e] is the uncharged evaluation closure and the node count
+     of [e] — the cycles its evaluation owes, charged by the enclosing
+     instruction. *)
+  let rec dexpr (e : Expr.t) : (frame -> int64) * int =
+    match e with
+    | Expr.Const n -> ((fun _fr -> n), 1)
+    | Expr.Local x ->
+      let i = slot x in
+      ( (fun fr ->
+          if Bytes.unsafe_get fr.def i = '\000' then
+            raise
+              (M.Fault.Usage (Printf.sprintf "use of undefined local %s" x))
+          else Array.unsafe_get fr.regs i),
+        1 )
+    | Expr.Global_addr g -> (
+      (* resolve at decode time when possible; an unknown name keeps
+         the tree engine's fault-at-evaluation behaviour *)
+      match Int64.of_int (t.map.Address_map.global_addr g) with
+      | addr -> ((fun _fr -> addr), 1)
+      | exception _ ->
+        ((fun _fr -> Int64.of_int (t.map.Address_map.global_addr g)), 1))
+    | Expr.Func_addr fn -> (
+      match Int64.of_int (t.map.Address_map.func_addr fn) with
+      | addr -> ((fun _fr -> addr), 1)
+      | exception _ ->
+        ((fun _fr -> Int64.of_int (t.map.Address_map.func_addr fn)), 1))
+    | Expr.Un (Expr.Neg, a) ->
+      let ka, wa = dexpr a in
+      ((fun fr -> Int64.neg (ka fr)), wa + 1)
+    | Expr.Un (Expr.Not, a) ->
+      let ka, wa = dexpr a in
+      ((fun fr -> Int64.lognot (ka fr)), wa + 1)
+    | Expr.Bin (op, a, b) ->
+      let ka, wa = dexpr a in
+      let kb, wb = dexpr b in
+      let w = wa + wb + 1 in
+      (* specialize the operator at decode time: no dispatch and no
+         option allocation per evaluation *)
+      let k =
+        match op with
+        | Expr.Add -> fun fr -> Int64.add (ka fr) (kb fr)
+        | Expr.Sub -> fun fr -> Int64.sub (ka fr) (kb fr)
+        | Expr.Mul -> fun fr -> Int64.mul (ka fr) (kb fr)
+        | Expr.Div ->
+          fun fr ->
+            let va = ka fr in
+            let vb = kb fr in
+            if Int64.equal vb 0L then
+              raise (M.Fault.Usage "division by zero")
+            else Int64.div va vb
+        | Expr.Rem ->
+          fun fr ->
+            let va = ka fr in
+            let vb = kb fr in
+            if Int64.equal vb 0L then
+              raise (M.Fault.Usage "division by zero")
+            else Int64.rem va vb
+        | Expr.And -> fun fr -> Int64.logand (ka fr) (kb fr)
+        | Expr.Or -> fun fr -> Int64.logor (ka fr) (kb fr)
+        | Expr.Xor -> fun fr -> Int64.logxor (ka fr) (kb fr)
+        | Expr.Shl ->
+          fun fr ->
+            let va = ka fr in
+            let vb = kb fr in
+            Int64.shift_left va (Int64.to_int vb land 63)
+        | Expr.Shr ->
+          fun fr ->
+            let va = ka fr in
+            let vb = kb fr in
+            Int64.shift_right_logical va (Int64.to_int vb land 63)
+        | Expr.Eq -> fun fr -> if Int64.equal (ka fr) (kb fr) then 1L else 0L
+        | Expr.Ne ->
+          fun fr -> if Int64.equal (ka fr) (kb fr) then 0L else 1L
+        | Expr.Lt ->
+          fun fr -> if Int64.compare (ka fr) (kb fr) < 0 then 1L else 0L
+        | Expr.Le ->
+          fun fr -> if Int64.compare (ka fr) (kb fr) <= 0 then 1L else 0L
+        | Expr.Gt ->
+          fun fr -> if Int64.compare (ka fr) (kb fr) > 0 then 1L else 0L
+        | Expr.Ge ->
+          fun fr -> if Int64.compare (ka fr) (kb fr) >= 0 then 1L else 0L
+      in
+      (k, w)
+  in
+  let set fr i v =
+    Array.unsafe_set fr.regs i v;
+    Bytes.unsafe_set fr.def i '\001'
+  in
+  (* the per-instruction prologue: the tree walker's fuel/dispatch cost
+     plus the batched cycles of the instruction's expressions *)
+  let pre w =
+    if t.fuel <= 0 then raise Fuel_exhausted;
+    t.fuel <- t.fuel - 1;
+    M.Cpu.charge c w
+  in
+  let rec dinstr (instr : Instr.t) : frame -> unit =
+    match instr with
+    | Instr.Nop -> fun _fr -> pre 1
+    | Instr.Let (x, e) ->
+      let i = slot x in
+      let ke, we = dexpr e in
+      let w = we + 1 in
+      fun fr -> pre w; set fr i (ke fr)
+    | Instr.Load (x, w, a) ->
+      let i = slot x in
+      let ka, wa = dexpr a in
+      let width = Instr.width_bytes w in
+      let w = wa + 1 in
+      fun fr ->
+        pre w;
+        let addr = Int64.to_int (ka fr) in
+        set fr i (checked_load t addr width)
+    | Instr.Store (w, a, v) ->
+      let ka, wa = dexpr a in
+      let kv, wv = dexpr v in
+      let width = Instr.width_bytes w in
+      let w = wa + wv + 1 in
+      fun fr ->
+        pre w;
+        let addr = Int64.to_int (ka fr) in
+        let v = kv fr in
+        checked_store t addr width v
+    | Instr.Alloca (x, ty) ->
+      let i = slot x in
+      let size = (Ty.size_of ty + 7) land lnot 7 in
+      fun fr ->
+        pre 1;
+        let sp = c.M.Cpu.sp - size in
+        if sp < c.M.Cpu.stack_base then raise (Aborted "stack overflow");
+        c.M.Cpu.sp <- sp;
+        set fr i (Int64.of_int sp)
+    | Instr.Call (dst, callee, args) ->
+      let kargs_l = List.map dexpr args in
+      let kargs = Array.of_list (List.map fst kargs_l) in
+      let wargs = List.fold_left (fun acc (_, w) -> acc + w) 0 kargs_l in
+      let idst = Option.map slot dst in
+      let eval_args fr =
+        let n = Array.length kargs in
+        let argv = Array.make n 0L in
+        for i = 0 to n - 1 do
+          Array.unsafe_set argv i ((Array.unsafe_get kargs i) fr)
+        done;
+        argv
+      in
+      (match callee with
+      | Instr.Direct fname ->
+        let w = wargs + 1 in
+        let target = ref None in
+        fun fr ->
+          pre w;
+          let argv = eval_args fr in
+          let dt =
+            match !target with
+            | Some dt -> dt
+            | None ->
+              let dt = dresolve t fname in
+              target := Some dt;
+              dt
+          in
+          let ret = dcall_target t dt argv in
+          (match idst with Some i -> set fr i ret | None -> ())
+      | Instr.Indirect e ->
+        let ke, we = dexpr e in
+        let w = wargs + we + 1 in
+        fun fr ->
+          pre w;
+          let addr = Int64.to_int (ke fr) in
+          let fname =
+            match t.map.Address_map.func_of_addr addr with
+            | Some f -> f
+            | None ->
+              raise
+                (Aborted
+                   (Printf.sprintf "indirect call to non-function 0x%08X" addr))
+          in
+          let argv = eval_args fr in
+          let ret = dcall t fname argv in
+          (match idst with Some i -> set fr i ret | None -> ()))
+    | Instr.If (cond, a, b) ->
+      let kc, wc = dexpr cond in
+      let ka = dblock a in
+      let kb = dblock b in
+      let w = wc + 1 in
+      fun fr ->
+        pre w;
+        if truthy (kc fr) then dexec_body ka fr else dexec_body kb fr
+    | Instr.While (cond, body) ->
+      let kc, wc = dexpr cond in
+      let kb = dblock body in
+      fun fr ->
+        pre 1;
+        let rec loop () =
+          if t.fuel <= 0 then raise Fuel_exhausted;
+          M.Cpu.charge c wc;
+          if truthy (kc fr) then begin
+            dexec_body kb fr;
+            loop ()
+          end
+        in
+        loop ()
+    | Instr.Return e ->
+      let ke = match e with None -> None | Some e -> Some (dexpr e) in
+      let w = match ke with None -> 1 | Some (_, we) -> we + 1 in
+      let ke = Option.map fst ke in
+      fun fr ->
+        pre w;
+        let v = match ke with None -> 0L | Some k -> k fr in
+        raise (Returning v)
+    | Instr.Memcpy (d, s, n) ->
+      let kd, wd = dexpr d in
+      let ks, ws = dexpr s in
+      let kn, wn = dexpr n in
+      let w = wd + ws + wn + 1 in
+      fun fr ->
+        pre w;
+        let dst = Int64.to_int (kd fr) in
+        let src = Int64.to_int (ks fr) in
+        let len = Int64.to_int (kn fr) in
+        let rec go off =
+          if off < len then begin
+            let w =
+              if len - off >= 4 && (dst + off) land 3 = 0 && (src + off) land 3 = 0
+              then 4
+              else 1
+            in
+            checked_store t (dst + off) w (checked_load t (src + off) w);
+            go (off + w)
+          end
+        in
+        go 0
+    | Instr.Memset (d, v, n) ->
+      let kd, wd = dexpr d in
+      let kv, wv = dexpr v in
+      let kn, wn = dexpr n in
+      let w = wd + wv + wn + 1 in
+      fun fr ->
+        pre w;
+        let dst = Int64.to_int (kd fr) in
+        let v = kv fr in
+        let len = Int64.to_int (kn fr) in
+        let word =
+          let b = Int64.logand v 0xFFL in
+          List.fold_left
+            (fun acc sh -> Int64.logor acc (Int64.shift_left b sh))
+            0L [ 0; 8; 16; 24 ]
+        in
+        let rec go off =
+          if off < len then begin
+            let w = if len - off >= 4 && (dst + off) land 3 = 0 then 4 else 1 in
+            checked_store t (dst + off) w (if w = 4 then word else v);
+            go (off + w)
+          end
+        in
+        go 0
+    | Instr.Svc n -> fun _fr -> pre 1; t.handler.on_svc n
+    | Instr.Halt -> fun _fr -> pre 1; raise Halted
+  and dblock (block : Instr.block) : (frame -> unit) array =
+    Array.of_list (List.map dinstr block)
+  in
+  let body = dblock f.Func.body in
+  { df_func = f; df_nslots = !nslots; df_nparams = List.length f.Func.params;
+    df_body = body }
+
+(* --- construction ------------------------------------------------------- *)
+
+let create ?(fuel = 200_000_000) ?(max_depth = 200) ?(handler = abort_handler)
+    ?(entries = []) ?(engine = Decoded) ~bus ~map program =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace tbl e ()) entries;
+  let t =
+    { program;
+      funcs = Program.func_map program;
+      bus;
+      map;
+      handler;
+      trace = Trace.create ();
+      entries = tbl;
+      fuel;
+      depth = 0;
+      max_depth;
+      engine;
+      dfuncs = Hashtbl.create 64;
+      operation_switches = 0;
+      last_fault = None }
+  in
+  (match engine with
+  | Tree -> ()
+  | Decoded ->
+    (* decode once, at image-load time *)
+    List.iter
+      (fun (f : Func.t) -> Hashtbl.replace t.dfuncs f.Func.name (decode t f))
+      program.Program.funcs);
+  t
+
 (* --- program entry ------------------------------------------------------ *)
+
+let call t fname argv =
+  match t.engine with
+  | Tree -> call t fname argv
+  | Decoded -> dcall t fname (Array.of_list argv)
 
 let run ?(reset_stack = true) t =
   let c = cpu t in

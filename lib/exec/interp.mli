@@ -43,21 +43,34 @@ type handler = {
 (** Baseline handler: no monitor, any fault aborts. *)
 val abort_handler : handler
 
+(** Execution engine.  [Decoded] (the default) resolves each function's
+    locals to array slots and compiles its instructions and expressions
+    to closures once, at image-load time — the fast path.  [Tree] walks
+    the IR with a hashtable environment per activation — the reference
+    semantics the differential tests replay against.  Cycle accounting,
+    traces, and memory effects are identical between the two. *)
+type engine = Tree | Decoded
+
 type t
 
 (** [create ~bus ~map program] builds an interpreter.  [entries] lists
     the operation entry functions (calls to them run the SVC switch
     protocol); [fuel] bounds executed instructions; [max_depth] bounds
-    the call stack. *)
+    the call stack; [engine] selects the execution engine (default
+    [Decoded]). *)
 val create :
   ?fuel:int ->
   ?max_depth:int ->
   ?handler:handler ->
   ?entries:string list ->
+  ?engine:engine ->
   bus:Opec_machine.Bus.t ->
   map:Address_map.t ->
   Program.t ->
   t
+
+(** The engine this interpreter was created with. *)
+val engine : t -> engine
 
 val cpu : t -> Opec_machine.Cpu.t
 

@@ -41,7 +41,7 @@ let executed_functions t =
    (or, in an uninstrumented run, a [Call e] to a designated task entry at
    nesting depth relative to its return) until the matching exit.  Returns
    (entry, executed functions) per task instance. *)
-let tasks ~entries t =
+let tasks_of ~entries (events : event list) =
   let is_entry f = List.mem f entries in
   let finished = ref [] in
   (* stack of (entry, functions accumulated) for nested tasks *)
@@ -66,12 +66,14 @@ let tasks ~entries t =
       | Call f | Op_enter f -> handle_enter f
       | Return f | Op_exit f -> handle_exit f
       | Access _ -> ())
-    (events t);
+    events;
   (* tasks still open at the end of the run (e.g. the main loop) *)
   List.iter
     (fun (e, fs) -> finished := (e, List.sort_uniq String.compare fs) :: !finished)
     !active;
   List.rev !finished
+
+let tasks ~entries t = tasks_of ~entries (events t)
 
 let pp_event fmt = function
   | Call f -> Fmt.pf fmt "call %s" f

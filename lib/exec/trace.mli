@@ -37,4 +37,10 @@ val executed_functions : t -> string list
     at the end of the run (e.g. the main loop) are included. *)
 val tasks : entries:string list -> t -> (string * string list) list
 
+(** {!tasks} over an already-captured event list in execution order —
+    avoids re-copying a trace that was already drained out of the
+    interpreter (e.g. the pipeline's memoized [b_events]). *)
+val tasks_of :
+  entries:string list -> event list -> (string * string list) list
+
 val pp_event : Format.formatter -> event -> unit

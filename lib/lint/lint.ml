@@ -2,16 +2,24 @@
 
 type world = unit -> Opec_machine.Device.t list
 
+type recorded = {
+  map : Opec_exec.Address_map.t;
+  events : Opec_exec.Trace.event list;
+  failure : exn option;
+}
+
+type source = Live of world | Recorded of recorded
+
 type checker = {
   code : string;
   name : string;
   doc : string;
   dynamic : bool;
-  run : world option -> Opec_core.Image.t -> Diag.t list;
+  run : source option -> Opec_core.Image.t -> Diag.t list;
 }
 
 let static name ~code ~doc run =
-  { code; name; doc; dynamic = false; run = (fun _world image -> run image) }
+  { code; name; doc; dynamic = false; run = (fun _source image -> run image) }
 
 let checkers =
   [ static "unresolved-icall" ~code:"L001"
@@ -37,9 +45,13 @@ let checkers =
       doc = "replayed baseline accesses all statically predicted";
       dynamic = true;
       run =
-        (fun world image ->
-          let devices = match world with Some w -> w () | None -> [] in
-          Oracle.check ~devices image) };
+        (fun source image ->
+          match source with
+          | Some (Recorded r) ->
+            Oracle.check_trace ~map:r.map ~events:r.events ~failure:r.failure
+              image
+          | Some (Live w) -> Oracle.check ~devices:(w ()) image
+          | None -> Oracle.check image) };
     static "layout-consistency" ~code:"L008"
       ~doc:"data sections disjoint, in bounds, and fully addressable"
       Checks.layout_consistency ]
@@ -47,9 +59,9 @@ let checkers =
 let find_checker code =
   List.find_opt (fun c -> String.equal c.code code) checkers
 
-let run ?(dynamic = false) ?world image =
+let run ?(dynamic = false) ?source image =
   List.concat_map
-    (fun c -> if c.dynamic && not dynamic then [] else c.run world image)
+    (fun c -> if c.dynamic && not dynamic then [] else c.run source image)
     checkers
   |> List.sort Diag.compare
 

@@ -44,23 +44,26 @@ let interval_table (image : C.Image.t) (map : E.Address_map.t) =
     in
     bsearch 0 (Array.length arr)
 
-let check ?(devices = []) (image : C.Image.t) =
-  let module Mon = Opec_monitor in
-  let r = Mon.Runner.prepare_baseline ~devices ~board:image.board image.source in
-  let tr = E.Interp.trace r.b_interp in
-  tr.E.Trace.mem <- true;
-  tr.E.Trace.enabled <- true;
+(* Walk a recorded baseline trace (however it was produced — a private
+   replay or the pipeline's memoized traced run) against the image's
+   static policy.  [failure] is the exception that ended the replay, if
+   any. *)
+let check_trace ~(map : E.Address_map.t) ~(events : E.Trace.event list)
+    ~(failure : exn option) (image : C.Image.t) =
   let run_failure =
-    match E.Interp.run r.b_interp with
-    | () -> []
-    | exception E.Interp.Aborted msg ->
+    match failure with
+    | None -> []
+    | Some (E.Interp.Aborted msg) ->
       [ Diag.vf ~code:"L007" Diag.Error Diag.Program
           "baseline replay aborted (%s): no trace to check" msg ]
-    | exception E.Interp.Fuel_exhausted ->
+    | Some E.Interp.Fuel_exhausted ->
       [ Diag.v ~code:"L007" Diag.Error Diag.Program
           "baseline replay ran out of fuel: no complete trace to check" ]
+    | Some e ->
+      [ Diag.vf ~code:"L007" Diag.Error Diag.Program
+          "baseline replay failed (%s): no trace to check"
+          (Printexc.to_string e) ]
   in
-  let map = r.b_layout.E.Vanilla_layout.map in
   let find_global = interval_table image map in
   let op_of_entry = Hashtbl.create 8 in
   List.iter
@@ -162,5 +165,20 @@ let check ?(devices = []) (image : C.Image.t) =
       | E.Trace.Call f | E.Trace.Op_enter f -> on_call f
       | E.Trace.Return f | E.Trace.Op_exit f -> on_return f
       | E.Trace.Access { addr; write } -> on_access addr write)
-    (E.Trace.events tr);
+    events;
   List.rev !diags
+
+let check ?(devices = []) (image : C.Image.t) =
+  let module Mon = Opec_monitor in
+  let r = Mon.Runner.prepare_baseline ~devices ~board:image.board image.source in
+  let tr = E.Interp.trace r.b_interp in
+  tr.E.Trace.mem <- true;
+  tr.E.Trace.enabled <- true;
+  let failure =
+    match E.Interp.run r.b_interp with
+    | () -> None
+    | exception (E.Interp.Aborted _ as e) -> Some e
+    | exception (E.Interp.Fuel_exhausted as e) -> Some e
+  in
+  check_trace ~map:r.b_layout.E.Vanilla_layout.map ~events:(E.Trace.events tr)
+    ~failure image

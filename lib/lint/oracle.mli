@@ -12,9 +12,22 @@
     oracle cross-checks the policy against ground-truth behaviour that
     the instrumentation cannot have masked. *)
 
-(** [check ?devices image] runs the baseline and returns the
-    diagnostics.  [devices] are the board devices (with their input
-    already prepared); findings are deduplicated per (operation,
-    resource) pair. *)
+(** [check_trace ~map ~events ~failure image] walks an already recorded
+    baseline trace (with memory accesses) against the image's static
+    policy.  [map] is the vanilla layout's address map of the replay,
+    [failure] the exception that ended it, if any.  This is the oracle's
+    core; the pipeline's memoized traced baseline feeds it directly, so
+    linting costs no private replay.  Findings are deduplicated per
+    (operation, resource) pair. *)
+val check_trace :
+  map:Opec_exec.Address_map.t ->
+  events:Opec_exec.Trace.event list ->
+  failure:exn option ->
+  Opec_core.Image.t ->
+  Diag.t list
+
+(** [check ?devices image] replays the baseline itself and checks the
+    trace.  [devices] are the board devices (with their input already
+    prepared). *)
 val check :
   ?devices:Opec_machine.Device.t list -> Opec_core.Image.t -> Diag.t list

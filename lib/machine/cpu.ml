@@ -11,14 +11,17 @@ type t = {
   mutable sp : int;
   mutable stack_base : int;   (** lowest valid stack address *)
   mutable stack_limit : int;  (** highest valid stack address + 1 *)
-  mutable cycles : int64;
+  mutable cycles : int;
+      (* unboxed [int]: a boxed [int64] here would allocate on every
+         charge, and charges happen per instruction, per expression
+         node, and per bus access *)
 }
 
 let create () =
-  { privileged = true; sp = 0; stack_base = 0; stack_limit = 0; cycles = 0L }
+  { privileged = true; sp = 0; stack_base = 0; stack_limit = 0; cycles = 0 }
 
-let charge t n = t.cycles <- Int64.add t.cycles (Int64.of_int n)
-let cycles t = t.cycles
+let charge t n = t.cycles <- t.cycles + n
+let cycles t = Int64.of_int t.cycles
 
 let drop_privilege t = t.privileged <- false
 let raise_privilege t = t.privileged <- true
@@ -31,6 +34,6 @@ let with_privilege t f =
   Fun.protect ~finally:(fun () -> t.privileged <- saved) f
 
 let pp fmt t =
-  Fmt.pf fmt "cpu{%s sp=0x%08X cycles=%Ld}"
+  Fmt.pf fmt "cpu{%s sp=0x%08X cycles=%d}"
     (if t.privileged then "priv" else "unpriv")
     t.sp t.cycles

@@ -6,7 +6,12 @@ type t = {
   mutable sp : int;
   mutable stack_base : int;   (** lowest valid stack address *)
   mutable stack_limit : int;  (** one past the highest valid stack address *)
-  mutable cycles : int64;
+  mutable cycles : int;
+      (** unboxed on purpose: [charge] runs on every instruction,
+          expression node, and bus access, and a boxed [int64] field
+          would allocate on each of them.  63 bits dwarf any run's
+          cycle count; the public reading is still {!cycles}'s
+          [int64]. *)
 }
 
 (** A privileged CPU with an unset stack. *)

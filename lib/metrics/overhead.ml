@@ -52,7 +52,9 @@ let t2_opec (app : Opec_apps.App.t) ~baseline ~(protected_ : Workload.protected_
     pac = 0.0 (* instruction emulation keeps all application code unprivileged *) }
 
 let t2_aces (app : Opec_apps.App.t) kind ~(baseline : Workload.baseline_result) =
-  let aces = A.Aces.analyze kind app.Opec_apps.App.program in
+  let aces =
+    Opec_pipeline.Pipeline.aces (Opec_pipeline.Pipeline.ctx app) kind
+  in
   let switches = A.Aces.count_switches aces baseline.Workload.b_trace in
   let switch_cycles = switches * A.Aces.switch_cost_cycles in
   let board = app.Opec_apps.App.board in

@@ -15,7 +15,7 @@ type protected_run = {
    [devices] are attached to the bus before loading; [wrap_handler]
    interposes on the monitor's trap handler (instrumentation such as the
    attack-injection campaign). *)
-let prepare ?(devices = []) ?sync_whole_section ?wrap_handler
+let prepare ?(devices = []) ?sync_whole_section ?wrap_handler ?engine
     (image : C.Image.t) =
   let bus = M.Bus.create ~board:image.C.Image.board in
   List.iter (M.Bus.attach bus) devices;
@@ -29,15 +29,15 @@ let prepare ?(devices = []) ?sync_whole_section ?wrap_handler
     match wrap_handler with None -> handler | Some wrap -> wrap handler
   in
   let interp =
-    E.Interp.create ~handler ~entries:image.C.Image.entries ~bus
+    E.Interp.create ~handler ~entries:image.C.Image.entries ?engine ~bus
       ~map:image.C.Image.map image.C.Image.program
   in
   { interp; monitor; bus }
 
 (* Initialize the monitor (shadow fill, MPU arm, privilege drop) and run
    the program from main. *)
-let run_protected ?devices ?sync_whole_section ?wrap_handler image =
-  let r = prepare ?devices ?sync_whole_section ?wrap_handler image in
+let run_protected ?devices ?sync_whole_section ?wrap_handler ?engine image =
+  let r = prepare ?devices ?sync_whole_section ?wrap_handler ?engine image in
   let cpu = r.bus.M.Bus.cpu in
   cpu.M.Cpu.sp <- image.C.Image.map.E.Address_map.stack_top;
   cpu.M.Cpu.stack_base <- image.C.Image.map.E.Address_map.stack_base;
@@ -57,7 +57,7 @@ type baseline_run = {
    trigger points to [handler] (the campaign's injection wrapper around
    [E.Interp.abort_handler]); with neither, calls are plain and faults
    abort. *)
-let prepare_baseline ?(devices = []) ?(entries = []) ?handler ~board
+let prepare_baseline ?(devices = []) ?(entries = []) ?handler ?engine ~board
     (program : Opec_ir.Program.t) =
   let bus = M.Bus.create ~board in
   List.iter (M.Bus.attach bus) devices;
@@ -68,12 +68,12 @@ let prepare_baseline ?(devices = []) ?(entries = []) ?handler ~board
   E.Vanilla_layout.load_initial_values bus
     ~global_addr:layout.E.Vanilla_layout.map.E.Address_map.global_addr program;
   let interp =
-    E.Interp.create ?handler ~entries ~bus ~map:layout.E.Vanilla_layout.map
-      program
+    E.Interp.create ?handler ~entries ?engine ~bus
+      ~map:layout.E.Vanilla_layout.map program
   in
   { b_interp = interp; b_bus = bus; b_layout = layout }
 
-let run_baseline ?devices ?entries ?handler ~board program =
-  let r = prepare_baseline ?devices ?entries ?handler ~board program in
+let run_baseline ?devices ?entries ?handler ?engine ~board program =
+  let r = prepare_baseline ?devices ?entries ?handler ?engine ~board program in
   E.Interp.run r.b_interp;
   r

@@ -19,6 +19,7 @@ val prepare :
   ?devices:M.Device.t list ->
   ?sync_whole_section:bool ->
   ?wrap_handler:(E.Interp.handler -> E.Interp.handler) ->
+  ?engine:E.Interp.engine ->
   C.Image.t ->
   protected_run
 
@@ -28,6 +29,7 @@ val run_protected :
   ?devices:M.Device.t list ->
   ?sync_whole_section:bool ->
   ?wrap_handler:(E.Interp.handler -> E.Interp.handler) ->
+  ?engine:E.Interp.engine ->
   C.Image.t ->
   protected_run
 
@@ -45,6 +47,7 @@ val prepare_baseline :
   ?devices:M.Device.t list ->
   ?entries:string list ->
   ?handler:E.Interp.handler ->
+  ?engine:E.Interp.engine ->
   board:M.Memmap.board ->
   Opec_ir.Program.t ->
   baseline_run
@@ -53,6 +56,7 @@ val run_baseline :
   ?devices:M.Device.t list ->
   ?entries:string list ->
   ?handler:E.Interp.handler ->
+  ?engine:E.Interp.engine ->
   board:M.Memmap.board ->
   Opec_ir.Program.t ->
   baseline_run

@@ -1,6 +1,10 @@
 (** The OPEC-Compiler pipeline (Figure 5): call-graph generation →
     resource dependency analysis → operation partitioning → image
-    generation. *)
+    generation.
+
+    The pipeline is exposed in stages so the artifact store
+    (lib/pipeline) can memoize each intermediate result; {!compile} is
+    the one-shot composition. *)
 
 (** Compile a program with the developer inputs into a protected image.
     [sort_sections:false] selects declaration-order section placement
@@ -11,6 +15,30 @@ val compile :
   Opec_ir.Program.t ->
   Dev_input.t ->
   Image.t
+
+(** Stage 0: static well-formedness ({!Opec_ir.Program.validate}). *)
+val front : Opec_ir.Program.t -> Opec_ir.Program.t
+
+(** Stage 1d alone: image generation (global classification, layout,
+    metadata, instrumentation, assembly) from precomputed analysis
+    artifacts.  The program must already be validated. *)
+val back :
+  ?board:Opec_machine.Memmap.board ->
+  ?sort_sections:bool ->
+  points_to:Opec_analysis.Points_to.t ->
+  callgraph:Opec_analysis.Callgraph.t ->
+  resources:Opec_analysis.Resource.t ->
+  ops:Operation.t list ->
+  Opec_ir.Program.t ->
+  Dev_input.t ->
+  Image.t
+
+(** Image generations performed since start (or the last reset) — the
+    call-count probe evaluation sweeps use to assert each workload is
+    compiled exactly once.  Domain-safe. *)
+val compile_count : unit -> int
+
+val reset_compile_count : unit -> unit
 
 (** Render the image's operation policy file. *)
 val policy : Image.t -> string

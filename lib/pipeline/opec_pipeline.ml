@@ -1,0 +1,6 @@
+(** Compile-once artifact pipeline: a staged, memoized, domain-safe
+    store of per-workload evaluation artifacts, plus the domain pool it
+    fans out on. *)
+
+module Pool = Pool
+module Pipeline = Pipeline

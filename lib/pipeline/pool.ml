@@ -1,0 +1,53 @@
+(* A tiny fixed-size domain pool over the stdlib [Domain] API (no
+   external dependencies).
+
+   [map f xs] preserves input order in its result list, so any
+   evaluation built on it is deterministic regardless of how work is
+   interleaved across domains: workers race only on an atomic work
+   index, every result lands in its own slot, and [Domain.join]
+   publishes the slots to the caller. *)
+
+let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
+
+let map ?domains (f : 'a -> 'b) (xs : 'a list) : 'b list =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  let d =
+    match domains with
+    | Some d -> max 1 d
+    | None -> default_domains ()
+  in
+  let d = min d n in
+  if n = 0 then []
+  else if d <= 1 then List.map f xs
+  else begin
+    let results : ('b, exn * Printexc.raw_backtrace) result option array =
+      Array.make n None
+    in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          let r =
+            try Ok (f arr.(i))
+            with e -> Error (e, Printexc.get_raw_backtrace ())
+          in
+          results.(i) <- Some r;
+          go ()
+        end
+      in
+      go ()
+    in
+    (* d-1 helper domains; the calling domain works too *)
+    let helpers = List.init (d - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join helpers;
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok v) -> v
+         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+         | None -> assert false)
+  end
+
+let iter ?domains f xs = ignore (map ?domains (fun x -> f x) xs)

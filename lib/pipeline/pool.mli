@@ -1,0 +1,11 @@
+(** A tiny fixed-size domain pool over the stdlib [Domain] API.
+
+    [map f xs] applies [f] to every element, fanning the calls out
+    across [domains] domains (default: recommended count minus one, the
+    caller participates).  Results come back in input order, so
+    pool-based evaluation is deterministic; the first exception raised
+    by [f] is re-raised in the caller with its backtrace. *)
+
+val default_domains : unit -> int
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+val iter : ?domains:int -> ('a -> unit) -> 'a list -> unit

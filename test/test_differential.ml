@@ -147,7 +147,71 @@ let prop_overhead_nonnegative =
         (Ex.Interp.cycles b.Mon.Runner.b_interp)
       >= 0)
 
+(* --- engine differential -------------------------------------------------
+   The decode-once interpreter must be observationally identical to the
+   reference tree-walker: replaying a whole application under both
+   engines must produce the same trace events, the same cycle count,
+   and the same final memory — for the vanilla baseline and for the
+   OPEC-protected run alike. *)
+
+module Apps = Opec_apps
+module Atk = Opec_attack
+
+let baseline_observation (app : Apps.App.t) engine =
+  let world = app.Apps.App.make_world () in
+  world.Apps.App.prepare ();
+  let r =
+    Mon.Runner.run_baseline ~devices:world.Apps.App.devices ~engine
+      ~board:app.Apps.App.board app.Apps.App.program
+  in
+  let mem =
+    Atk.Snapshot.baseline r.Mon.Runner.b_bus
+      ~map:r.Mon.Runner.b_layout.Ex.Vanilla_layout.map app.Apps.App.program
+  in
+  ( Ex.Interp.cycles r.Mon.Runner.b_interp,
+    Ex.Trace.events (Ex.Interp.trace r.Mon.Runner.b_interp),
+    mem,
+    world.Apps.App.check () )
+
+let protected_observation (app : Apps.App.t) image engine =
+  let world = app.Apps.App.make_world () in
+  world.Apps.App.prepare ();
+  let r =
+    Mon.Runner.run_protected ~devices:world.Apps.App.devices ~engine image
+  in
+  ( Ex.Interp.cycles r.Mon.Runner.interp,
+    Ex.Trace.events (Ex.Interp.trace r.Mon.Runner.interp),
+    Atk.Snapshot.protected_ r.Mon.Runner.bus image,
+    world.Apps.App.check () )
+
+let check_same_observation what (c1, e1, m1, k1) (c2, e2, m2, k2) =
+  Alcotest.(check int64) (what ^ ": cycle counts equal") c1 c2;
+  Alcotest.(check int)
+    (what ^ ": trace lengths equal")
+    (List.length e1) (List.length e2);
+  Alcotest.(check bool) (what ^ ": trace events identical") true (e1 = e2);
+  Alcotest.(check bool) (what ^ ": final memory identical") true (m1 = m2);
+  Alcotest.(check bool) (what ^ ": both runs pass the app check") true
+    (k1 = Ok () && k2 = Ok ())
+
+let test_engines_agree (app : Apps.App.t) () =
+  let name = app.Apps.App.app_name in
+  let tree = baseline_observation app Ex.Interp.Tree in
+  let decoded = baseline_observation app Ex.Interp.Decoded in
+  check_same_observation (name ^ " baseline") tree decoded;
+  let image =
+    C.Compiler.compile ~board:app.Apps.App.board app.Apps.App.program
+      app.Apps.App.dev_input
+  in
+  let tree_p = protected_observation app image Ex.Interp.Tree in
+  let decoded_p = protected_observation app image Ex.Interp.Decoded in
+  check_same_observation (name ^ " protected") tree_p decoded_p
+
 let suite () =
   [ ( "differential",
       [ QCheck_alcotest.to_alcotest prop_transparent;
-        QCheck_alcotest.to_alcotest prop_overhead_nonnegative ] ) ]
+        QCheck_alcotest.to_alcotest prop_overhead_nonnegative;
+        Alcotest.test_case "engines agree on PinLock" `Slow
+          (test_engines_agree (Apps.Registry.pinlock ()));
+        Alcotest.test_case "engines agree on TCP-Echo" `Slow
+          (test_engines_agree (Apps.Registry.tcp_echo ())) ] ) ]

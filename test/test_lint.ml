@@ -81,7 +81,7 @@ let test_oracle_pinlock () =
     w.Apps.App.prepare ();
     w.Apps.App.devices
   in
-  let diags = L.Lint.run ~dynamic:true ~world image in
+  let diags = L.Lint.run ~dynamic:true ~source:(L.Lint.Live world) image in
   Alcotest.(check (list string)) "full pinlock run predicted" []
     (error_codes diags)
 

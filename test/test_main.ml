@@ -9,4 +9,5 @@ let () =
     @ Test_smoke.suite ()
     @ Test_lint.suite ()
     @ Test_attack.suite ()
+    @ Test_pipeline.suite ()
     @ Test_apps.suite ())

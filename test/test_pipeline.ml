@@ -1,0 +1,176 @@
+(* Tests for the compile-once artifact pipeline: memoization (physical
+   sharing across consumers), cache keying on the developer input,
+   the caching knob, deterministic parallel evaluation, the stage
+   instrumentation, and the compile-exactly-once guarantee the full
+   evaluation sweep relies on. *)
+
+module C = Opec_core
+module Apps = Opec_apps
+module Met = Opec_metrics
+module Atk = Opec_attack
+module P = Opec_pipeline.Pipeline
+
+(* Every test starts from an empty store so earlier suites (or earlier
+   cases) can't satisfy its cache hits. *)
+let fresh () =
+  P.reset ();
+  C.Compiler.reset_compile_count ()
+
+(* --- memoization --------------------------------------------------------- *)
+
+let test_image_physically_shared () =
+  fresh ();
+  let app = Apps.Registry.pinlock () in
+  let c = P.ctx app in
+  let i1 = P.image c in
+  let i2 = P.image c in
+  Alcotest.(check bool) "second access is the same artifact" true (i1 == i2);
+  (* every consumer-facing compile returns the same physical image *)
+  Alcotest.(check bool) "Workload.compile shares it" true
+    (Met.Workload.compile app == i1);
+  Alcotest.(check bool) "Campaign.compile shares it" true
+    (Atk.Campaign.compile app == i1);
+  Alcotest.(check int) "the compiler ran once" 1 (C.Compiler.compile_count ())
+
+let test_baseline_physically_shared () =
+  fresh ();
+  let app = Apps.Registry.pinlock () in
+  let c = P.ctx app in
+  let b1 = P.baseline c in
+  let b2 = P.baseline c in
+  Alcotest.(check bool) "baseline memoized" true (b1 == b2);
+  let p1 = P.protected_ c in
+  let p2 = P.protected_ c in
+  Alcotest.(check bool) "protected run memoized" true (p1 == p2)
+
+let test_caching_knob () =
+  fresh ();
+  let app = Apps.Registry.pinlock () in
+  let c = P.ctx app in
+  Fun.protect
+    ~finally:(fun () -> P.set_caching true)
+    (fun () ->
+      P.set_caching false;
+      let i1 = P.image c in
+      let i2 = P.image c in
+      Alcotest.(check bool) "caching off recomputes" false (i1 == i2);
+      Alcotest.(check int) "two private compiles" 2
+        (C.Compiler.compile_count ()));
+  let i3 = P.image c in
+  let i4 = P.image c in
+  Alcotest.(check bool) "caching restored memoizes again" true (i3 == i4)
+
+let test_dev_input_mutation_misses () =
+  fresh ();
+  let app = Apps.Registry.pinlock () in
+  let mutated =
+    { app with
+      Apps.App.dev_input =
+        { app.Apps.App.dev_input with
+          C.Dev_input.entries = List.rev app.Apps.App.dev_input.C.Dev_input.entries } }
+  in
+  Alcotest.(check bool) "mutated dev_input has ≥2 entries" true
+    (List.length app.Apps.App.dev_input.C.Dev_input.entries >= 2);
+  let c = P.ctx app in
+  let c' = P.ctx mutated in
+  Alcotest.(check bool) "fingerprints differ" false
+    (String.equal (P.key c) (P.key c'));
+  let i = P.image c in
+  let i' = P.image c' in
+  Alcotest.(check bool) "distinct artifacts" false (i == i');
+  Alcotest.(check int) "both compiled" 2 (C.Compiler.compile_count ());
+  (* the original entry is untouched: re-reading it is still a hit *)
+  Alcotest.(check bool) "original still cached" true (P.image c == i)
+
+(* --- compile-exactly-once across a full sweep ---------------------------- *)
+
+(* Drive every consumer the evaluation sweep runs — tables, figures,
+   and the attack campaign — over the same workloads and assert the
+   OPEC compiler ran exactly once per workload. *)
+let test_sweep_compiles_once () =
+  fresh ();
+  let apps = Apps.Registry.all_small () in
+  List.iter
+    (fun app ->
+      let baseline = Met.Workload.run_baseline app in
+      let protected_ = Met.Workload.run_protected app in
+      ignore (Met.Workload.runtime_overhead_pct ~baseline ~protected_);
+      ignore (Met.Workload.task_instances app baseline);
+      List.iter
+        (fun k -> ignore (P.aces (P.ctx app) k))
+        [ Opec_aces.Strategy.Filename; Opec_aces.Strategy.Filename_no_opt;
+          Opec_aces.Strategy.By_peripheral ];
+      ignore (Atk.Campaign.run_app app))
+    apps;
+  Alcotest.(check int) "one compile per workload"
+    (List.length apps)
+    (C.Compiler.compile_count ())
+
+(* --- deterministic parallel evaluation ----------------------------------- *)
+
+let test_parallel_map_order () =
+  fresh ();
+  let apps = Apps.Registry.all_small () in
+  let names = P.parallel_map (fun c -> (P.app c).Apps.App.app_name) apps in
+  Alcotest.(check (list string))
+    "results come back in input order"
+    (List.map (fun (a : Apps.App.t) -> a.Apps.App.app_name) apps)
+    names
+
+let test_campaign_parallel_deterministic () =
+  fresh ();
+  let apps = Apps.Registry.all_small () in
+  let sequential = List.map (fun app -> Atk.Campaign.run_app app) apps in
+  P.reset ();
+  let fanned = Atk.Campaign.run_all ~domains:2 apps in
+  (* byte-identical reports: every injection and cell classification
+     matches the sequential run *)
+  Alcotest.(check bool) "same matrices" true (sequential = fanned)
+
+(* --- instrumentation ----------------------------------------------------- *)
+
+let test_timings_and_counts () =
+  fresh ();
+  let app = Apps.Registry.pinlock () in
+  let c = P.ctx app in
+  P.warm c;
+  Alcotest.(check int) "image computed once" 1 (P.compute_count c "image");
+  Alcotest.(check int) "baseline computed once" 1
+    (P.compute_count c "baseline");
+  ignore (P.image c);
+  ignore (P.baseline c);
+  Alcotest.(check int) "hits don't recount" 1 (P.compute_count c "image");
+  let timings = P.timings c in
+  Alcotest.(check bool) "timings recorded" true (List.length timings > 0);
+  List.iter
+    (fun (stage, seconds) ->
+      (* ACES stages carry the strategy name as a suffix *)
+      let known =
+        List.mem stage P.stage_names
+        || String.length stage > 5 && String.sub stage 0 5 = "aces:"
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "stage %s is known" stage)
+        true known;
+      Alcotest.(check bool)
+        (Printf.sprintf "stage %s has a sane duration" stage)
+        true (seconds >= 0.0))
+    timings
+
+let suite () =
+  [ ( "pipeline",
+      [ Alcotest.test_case "image physically shared" `Quick
+          test_image_physically_shared;
+        Alcotest.test_case "runs memoized" `Quick
+          test_baseline_physically_shared;
+        Alcotest.test_case "caching knob" `Quick test_caching_knob;
+        Alcotest.test_case "mutated dev_input misses" `Quick
+          test_dev_input_mutation_misses;
+        Alcotest.test_case "sweep compiles once per app" `Slow
+          test_sweep_compiles_once;
+        Alcotest.test_case "parallel_map keeps input order" `Quick
+          test_parallel_map_order;
+        Alcotest.test_case "campaign fan-out deterministic" `Slow
+          test_campaign_parallel_deterministic;
+        Alcotest.test_case "timings and compute counts" `Quick
+          test_timings_and_counts ] ) ]
