@@ -9,6 +9,8 @@
      opec profile [APP]             per-stage pipeline timings
      opec lint [APP] [--all] [--json]  verify the derived policy
      opec attack [APP] [--all] [--json]  run the attack-injection campaign
+     opec fuzz [--seeds A..B] [--size N] [--property P] [--replay FILE]
+                                    property-based differential fuzzing
 
    Every command draws its artifacts from the compile-once pipeline, so
    within one invocation each workload is compiled and run at most
@@ -392,6 +394,103 @@ let attack_cmd =
           crashed.  Exits nonzero if any attack escapes OPEC.")
     Term.(const run $ app_opt $ all $ json $ details)
 
+(* ------------------------------------------------------------------ fuzz *)
+
+let fuzz_cmd =
+  let module F = Opec_fuzz in
+  let seeds =
+    let parse s =
+      match String.index_opt s '.' with
+      | Some i
+        when i + 1 < String.length s
+             && s.[i + 1] = '.'
+             && i + 2 <= String.length s -> (
+        let lo = String.sub s 0 i
+        and hi = String.sub s (i + 2) (String.length s - i - 2) in
+        match (int_of_string_opt lo, int_of_string_opt hi) with
+        | Some lo, Some hi when lo <= hi -> Ok (lo, hi)
+        | _ -> Error (`Msg (Printf.sprintf "bad seed range %S" s)))
+      | _ -> Error (`Msg (Printf.sprintf "bad seed range %S (want A..B)" s))
+    in
+    let print f (lo, hi) = Format.fprintf f "%d..%d" lo hi in
+    Arg.conv (parse, print)
+  in
+  let seeds_arg =
+    Arg.(
+      value
+      & opt seeds (0, 50)
+      & info [ "seeds" ] ~docv:"A..B"
+          ~doc:"Inclusive seed range to sweep (default 0..50).")
+  in
+  let size =
+    Arg.(
+      value & opt int 2
+      & info [ "size" ]
+          ~doc:"Generator size: scales globals, entries, and body length.")
+  in
+  let properties =
+    Arg.(
+      value & opt_all string []
+      & info [ "property"; "p" ] ~docv:"P"
+          ~doc:"Check only this oracle property (repeatable; default all).")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Re-judge a saved reproducer instead of sweeping.")
+  in
+  let out_dir =
+    Arg.(
+      value & opt string "_fuzz"
+      & info [ "out" ] ~docv:"DIR" ~doc:"Where to write reproducers.")
+  in
+  let no_shrink =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ] ~doc:"Skip delta-debugging of failures.")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "domains" ] ~docv:"N"
+          ~doc:"Worker domains for the sweep (default: pool size).")
+  in
+  let run (lo, hi) size properties replay out_dir no_shrink domains =
+    match replay with
+    | Some path -> (
+      match F.Runner.replay path with
+      | [] -> Format.printf "%s: failure no longer reproduces@." path
+      | fails ->
+        List.iter
+          (fun (p, d) -> Format.printf "%s: %s — %s@." path p d)
+          fails;
+        exit 1)
+    | None -> (
+      let properties = if properties = [] then None else Some properties in
+      match
+        F.Runner.run ?domains ~size ?properties ~out_dir
+          ~shrink:(not no_shrink) ~lo ~hi ()
+      with
+      | exception Invalid_argument msg -> exits_with_error msg
+      | report ->
+        Format.printf "%a@." F.Runner.pp_report report;
+        if report.F.Runner.r_failures <> [] then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Generate random well-formed firmware from seeds and check \
+          differential properties: lint cleanliness, trace-oracle \
+          inclusion, baseline/protected transparency, engine agreement, \
+          and attack containment.  Failures are shrunk and written as \
+          replayable reproducers; exits nonzero if any seed fails.")
+    Term.(
+      const run $ seeds_arg $ size $ properties $ replay $ out_dir
+      $ no_shrink $ domains)
+
 let () =
   let info =
     Cmd.info "opec" ~version:"1.0.0"
@@ -401,4 +500,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; policy_cmd; run_cmd; compare_cmd; aces_cmd; trace_cmd;
-            profile_cmd; lint_cmd; attack_cmd ]))
+            profile_cmd; lint_cmd; attack_cmd; fuzz_cmd ]))

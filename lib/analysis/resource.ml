@@ -62,12 +62,41 @@ let expr_resources (p : Program.t) pts ~func acc (e : Expr.t) =
     acc
     (Points_to.roots datasheet ~func e)
 
+(* Address-taken globals.  A [Global_addr] in value position (bound,
+   stored, passed or returned) escapes the function that forms it: at
+   run time the operation resolves the address through its relocation
+   slot, which is NULL unless the variable is in the operation's
+   resources.  So taking an address is itself a dependency, even when
+   the taker never dereferences it — the dereferencing functions are
+   found separately through the points-to sets. *)
+let rec taken acc (e : Expr.t) =
+  match e with
+  | Expr.Global_addr g -> SS.add g acc
+  | Expr.Bin (_, a, b) -> taken (taken acc a) b
+  | Expr.Un (_, a) -> taken acc a
+  | Expr.Const _ | Expr.Local _ | Expr.Func_addr _ -> acc
+
+let instr_exprs (i : Instr.t) =
+  match i with
+  | Instr.Let (_, e) -> [ e ]
+  | Instr.Load (_, _, a) -> [ a ]
+  | Instr.Store (_, a, v) -> [ a; v ]
+  | Instr.Call (_, callee, args) -> (
+    match callee with
+    | Instr.Indirect e -> e :: args
+    | Instr.Direct _ -> args)
+  | Instr.If (c, _, _) | Instr.While (c, _) -> [ c ]
+  | Instr.Return (Some e) -> [ e ]
+  | Instr.Memcpy (a, b, n) | Instr.Memset (a, b, n) -> [ a; b; n ]
+  | Instr.Alloca _ | Instr.Return None | Instr.Svc _ | Instr.Halt
+  | Instr.Nop -> []
+
 let analyze_function (p : Program.t) pts (f : Func.t) =
   let func = f.name in
   let acc = ref empty in
   Instr.iter_block
     (fun instr ->
-      match instr with
+      (match instr with
       | Instr.Load (_, _, a) -> acc := expr_resources p pts ~func !acc a
       | Instr.Store (_, a, _) -> acc := expr_resources p pts ~func !acc a
       | Instr.Memcpy (d, s, _) ->
@@ -76,7 +105,10 @@ let analyze_function (p : Program.t) pts (f : Func.t) =
       | Instr.Memset (d, _, _) -> acc := expr_resources p pts ~func !acc d
       | Instr.Let _ | Instr.Alloca _ | Instr.Call _ | Instr.If _
       | Instr.While _ | Instr.Return _ | Instr.Svc _ | Instr.Halt
-      | Instr.Nop -> ())
+      | Instr.Nop -> ());
+      let t = List.fold_left taken SS.empty (instr_exprs instr) in
+      if not (SS.is_empty t) then
+        acc := { !acc with direct_globals = SS.union t !acc.direct_globals })
     f.body;
   !acc
 

@@ -263,6 +263,38 @@ let run_app ?image (app : Apps.App.t) : matrix =
   in
   { app = app.Apps.App.app_name; injections; cells }
 
+(* OPEC-only column: every planned injection against the real monitor,
+   skipping the vanilla and ACES baselines.  The fuzz harness runs this
+   per generated program, where only the "all Blocked under OPEC"
+   verdict matters and the 4 baseline columns would triple the cost. *)
+let run_opec_only ?image (app : Apps.App.t) =
+  let c = P.ctx app in
+  let image = match image with Some i -> i | None -> P.image c in
+  let pipelined = image == P.image c in
+  let mapped, clean_p =
+    if pipelined then begin
+      let bm = P.baseline_marked c in
+      P.reraise bm.P.b_err;
+      let p = P.protected_ c in
+      P.reraise p.P.p_err;
+      ( (fun addr ->
+          Option.is_some (M.Bus.find_device bm.P.b_run.Mon.Runner.b_bus addr)),
+        Snapshot.protected_ p.P.p_run.Mon.Runner.bus image )
+    end
+    else begin
+      let world = app.Apps.App.make_world () in
+      let probe =
+        Mon.Runner.prepare_baseline ~devices:world.Apps.App.devices
+          ~board:app.Apps.App.board app.Apps.App.program
+      in
+      ( (fun addr ->
+          Option.is_some (M.Bus.find_device probe.Mon.Runner.b_bus addr)),
+        clean_protected app image )
+    end
+  in
+  let injections = Planner.select (Planner.plan ~mapped image) in
+  List.map (fun inj -> opec_cell app image ~clean:clean_p inj) injections
+
 (* Per-app matrices are independent (every cell is a fresh machine), so
    they fan out across the domain pool; results come back in input
    order, so the report is byte-identical to a sequential run. *)

@@ -46,6 +46,12 @@ val compile : Opec_apps.App.t -> Opec_core.Image.t
     back to private runs. *)
 val run_app : ?image:Opec_core.Image.t -> Opec_apps.App.t -> matrix
 
+(** The OPEC column alone: every planned injection against the real
+    monitor, no vanilla/ACES baseline cells.  The fuzz harness's
+    containment oracle — it only needs the "all Blocked" verdict. *)
+val run_opec_only :
+  ?image:Opec_core.Image.t -> Opec_apps.App.t -> cell list
+
 (** Run every app's matrix, fanned out across a domain pool
     ([domains] defaults to the pool's recommended size).  Results are
     in input order: byte-identical to a sequential run. *)

@@ -793,6 +793,10 @@ let call t fname argv =
   | Decoded -> dcall t fname (Array.of_list argv)
 
 let run ?(reset_stack = true) t =
+  (* a fresh run must not inherit the previous run's fault: interpreters
+     live beyond one run in the memoized pipeline store, and post-mortem
+     classifiers read [last_fault] after the run ends *)
+  t.last_fault <- None;
   let c = cpu t in
   if reset_stack then begin
     c.M.Cpu.sp <- t.map.Address_map.stack_top;

@@ -1,0 +1,27 @@
+(** Seeded defects: deliberate image corruptions, one per defense
+    layer, that the corresponding fuzz property must catch.  The gate
+    test applies each defect to a generated app's image and asserts the
+    routed property fails — evidence the oracles detect real policy
+    bugs, not just that clean images pass. *)
+
+type t =
+  | Drop_svc       (** remove an operation entry from the image's entry
+                       list — the SVC instrumentation and the entry list
+                       disagree (a lost switch point) *)
+  | Widen_mpu      (** append an MPU region spanning the whole
+                       peripheral space to every operation's metadata —
+                       out-of-policy MMIO stops faulting *)
+  | Corrupt_shadow (** repoint shadow slots at the master copies — the
+                       shared-variable sync degenerates and unprivileged
+                       writes land on the privileged public section *)
+
+val all : t list
+val name : t -> string
+val of_name : string -> t option
+
+(** The property ({!Oracle.all}) that must catch the defect. *)
+val caught_by : t -> string
+
+(** Apply the defect; [None] when the image has no site for it (e.g.
+    no entries, or nothing shadowed). *)
+val apply : t -> Opec_core.Image.t -> Opec_core.Image.t option

@@ -1,0 +1,501 @@
+(* Random firmware, correct by construction.
+
+   The generated shape mirrors the bundled applications: [main] (the
+   default operation) initializes a function-pointer table and a
+   pointer field, then drives every task entry at least once per round
+   for two rounds, so operation switches, shadow synchronization, and
+   the attack planner's first-occurrence triggers all fire.  The call
+   graph is a DAG by ranking: entries call helpers, helpers call
+   strictly higher-ranked helpers, and indirect calls only reach leaf
+   table functions — recursion is impossible by construction.
+
+   Determinism rules the statement soup:
+   - division and remainder only by non-zero constants;
+   - MMIO reads only follow writes of the same register (the scratch
+     device echoes them back);
+   - locals defined inside a branch never escape it (a later use could
+     read an undefined register on the untaken path);
+   - address-derived values (function or global addresses) flow only
+     into the function table and the struct's pointer field, never into
+     plain word globals — so every [observable] global holds the same
+     bits under the vanilla and the OPEC layout. *)
+
+open Opec_ir
+open Build
+module E = Expr
+module C = Opec_core
+module M = Opec_machine
+
+let app_name ~seed = Printf.sprintf "fuzz-%d" seed
+let gname i = Printf.sprintf "g%d" i
+
+type cfg = {
+  rng : Rng.t;
+  n_words : int;
+  arr_len : int;  (* words in "arr" *)
+  buf_len : int;  (* bytes in "buf" *)
+  has_heap : bool;
+  periphs : Peripheral.t list;
+  n_table : int;
+  n_helpers : int;
+  ptr_helper : bool array;  (* shape of h_i: takes a 2-word buffer *)
+  n_entries : int;
+}
+
+type env = {
+  cfg : cfg;
+  fresh : unit -> string;
+  mutable vals : string list;     (* word-valued locals in scope *)
+  callables : string list;        (* value helpers callable from here *)
+  ptr_callables : string list;    (* buffer helpers callable from here *)
+  can_icall : bool;
+  ptr_param : string option;      (* entry's pointer argument, if any *)
+}
+
+(* --- expressions ------------------------------------------------------- *)
+
+let operand env =
+  if env.vals = [] || Rng.bool env.cfg.rng then
+    c (Rng.range env.cfg.rng ~lo:0 ~hi:63)
+  else l (Rng.choose env.cfg.rng env.vals)
+
+let value_expr env =
+  let rng = env.cfg.rng in
+  match Rng.below rng 6 with
+  | 0 | 1 -> operand env
+  | 2 -> E.(operand env + operand env)
+  | 3 -> E.(operand env ^ operand env)
+  | 4 ->
+    let k = Rng.range rng ~lo:1 ~hi:7 in
+    E.(operand env * c k)
+  | _ ->
+    let k = Rng.range rng ~lo:1 ~hi:7 in
+    E.(operand env / c k)
+
+(* --- statements -------------------------------------------------------- *)
+
+let bind env x = env.vals <- x :: env.vals
+
+let word_g env = gname (Rng.below env.cfg.rng env.cfg.n_words)
+
+let st_load env =
+  let x = env.fresh () in
+  let is = [ load x (gv (word_g env)) ] in
+  bind env x;
+  is
+
+let st_store env = [ store (gv (word_g env)) (value_expr env) ]
+
+let st_update env =
+  let g = word_g env in
+  let x = env.fresh () in
+  let is = [ load x (gv g); store (gv g) E.(l x + value_expr env) ] in
+  bind env x;
+  is
+
+let st_arr env =
+  let rng = env.cfg.rng in
+  let o1 = 4 * Rng.below rng env.cfg.arr_len
+  and o2 = 4 * Rng.below rng env.cfg.arr_len in
+  let x = env.fresh () in
+  let is =
+    [ store E.(gv "arr" + c o1) (value_expr env);
+      load x E.(gv "arr" + c o2) ]
+  in
+  bind env x;
+  is
+
+let st_buf env =
+  let rng = env.cfg.rng in
+  let i1 = Rng.below rng env.cfg.buf_len and i2 = Rng.below rng env.cfg.buf_len in
+  let x = env.fresh () in
+  let is =
+    [ store8 E.(gv "buf" + c i1) (value_expr env);
+      load8 x E.(gv "buf" + c i2) ]
+  in
+  bind env x;
+  is
+
+let st_rom env =
+  let x = env.fresh () in
+  let off = 4 * Rng.below env.cfg.rng 4 in
+  let is = [ load x E.(gv "rom" + c off) ] in
+  bind env x;
+  is
+
+let st_memblk env =
+  match Rng.below env.cfg.rng 3 with
+  | 0 -> [ memset (gv "buf") (c (Rng.below env.cfg.rng 256)) (c 8) ]
+  | 1 -> [ memcpy (gv "buf") (gv "rom") (c 8) ]
+  | _ ->
+    let n = min 8 env.cfg.buf_len in
+    let off = env.cfg.buf_len - n in
+    [ memcpy E.(gv "buf" + c off) (gv "buf") (c n) ]
+
+let st_mmio env =
+  match env.cfg.periphs with
+  | [] -> st_update env
+  | ps ->
+    let p = Rng.choose env.cfg.rng ps in
+    let off = 4 * Rng.below env.cfg.rng 8 in
+    let x = env.fresh () in
+    let is = [ store (reg p off) (value_expr env); load x (reg p off) ] in
+    bind env x;
+    is
+
+let st_struct env =
+  match Rng.below env.cfg.rng 4 with
+  | 0 -> [ store E.(gv "st" + c 0) (value_expr env) ]
+  | 1 -> [ store E.(gv "st" + c 8) (value_expr env) ]
+  | 2 -> [ store E.(gv "st" + c 4) (gv (word_g env)) ]  (* repoint st.p *)
+  | _ ->
+    (* traffic through the pointer field *)
+    let p = env.fresh () and x = env.fresh () in
+    let is =
+      [ load p E.(gv "st" + c 4);
+        store (l p) (value_expr env);
+        load x (l p) ]
+    in
+    bind env x;
+    is
+
+let st_heap env =
+  if not env.cfg.has_heap then st_store env
+  else begin
+    let i1 = 4 * Rng.below env.cfg.rng 8 and i2 = 4 * Rng.below env.cfg.rng 8 in
+    let x = env.fresh () in
+    let is =
+      [ store E.(gv "hp" + c i1) (value_expr env); load x E.(gv "hp" + c i2) ]
+    in
+    bind env x;
+    is
+  end
+
+let st_icall env =
+  if (not env.can_icall) || env.cfg.n_table = 0 then st_update env
+  else begin
+    let off = 4 * Rng.below env.cfg.rng env.cfg.n_table in
+    let f = env.fresh () and x = env.fresh () in
+    let is =
+      [ load f E.(gv "fptab" + c off);
+        icall ~dst:x (l f) [ value_expr env ] ]
+    in
+    bind env x;
+    is
+  end
+
+let st_call env =
+  match env.callables with
+  | [] -> st_store env
+  | cs ->
+    let f = Rng.choose env.cfg.rng cs in
+    let x = env.fresh () in
+    let is = [ call ~dst:x f [ value_expr env ] ] in
+    bind env x;
+    is
+
+let st_ptr_call env =
+  match env.ptr_callables with
+  | [] -> st_call env
+  | cs ->
+    let f = Rng.choose env.cfg.rng cs in
+    let b = env.fresh () and x = env.fresh () in
+    let is =
+      [ alloca b (Ty.Array (Ty.Word, 2));
+        store (l b) (value_expr env);
+        call f [ l b ];
+        load x (l b) ]
+    in
+    bind env x;
+    is
+
+let st_ptr_param env =
+  match env.ptr_param with
+  | None -> st_arr env
+  | Some p ->
+    let rng = env.cfg.rng in
+    let i1 = 4 * Rng.below rng 4 and i2 = 4 * Rng.below rng 4 in
+    let x = env.fresh () in
+    let is =
+      [ store E.(l p + c i1) (value_expr env); load x E.(l p + c i2) ]
+    in
+    bind env x;
+    is
+
+let rec statement env depth =
+  let rng = env.cfg.rng in
+  match Rng.below rng (if depth > 0 then 17 else 15) with
+  | 0 | 1 -> st_update env
+  | 2 -> st_load env
+  | 3 -> st_store env
+  | 4 -> st_arr env
+  | 5 -> st_buf env
+  | 6 -> st_rom env
+  | 7 -> st_memblk env
+  | 8 | 9 -> st_mmio env
+  | 10 -> st_struct env
+  | 11 -> st_heap env
+  | 12 -> st_icall env
+  | 13 -> st_call env
+  | 14 -> if Rng.bool rng then st_ptr_call env else st_ptr_param env
+  | 15 ->
+    (* branch on a global's parity; branch-local registers stay local *)
+    let x = env.fresh () in
+    let g = word_g env in
+    let saved = env.vals in
+    let then_b = block env (depth - 1) (1 + Rng.below rng 2) in
+    env.vals <- saved;
+    let else_b = if Rng.bool rng then [] else block env (depth - 1) 1 in
+    env.vals <- saved;
+    [ load x (gv g); if_ E.((l x && c 1) != c 0) then_b else_b ]
+  | _ ->
+    let ix = env.fresh () in
+    let n = 1 + Rng.below rng 3 in
+    let saved = env.vals in
+    let body = block env (depth - 1) (1 + Rng.below rng 2) in
+    env.vals <- saved;
+    for_ ix (c n) body
+
+and block env depth n =
+  if n = 0 then []
+  else
+    (* force left-to-right generation: [@] evaluates right-to-left, and
+       a later statement's fresh locals must not leak into the register
+       pool an earlier statement draws operands from *)
+    let head = statement env depth in
+    head @ block env depth (n - 1)
+
+(* --- functions --------------------------------------------------------- *)
+
+let fresh_counter () =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Printf.sprintf "v%d" !n
+
+let body_size cfg = 2 + Rng.below cfg.rng (2 + (2 * cfg.n_entries))
+
+let table_func cfg i =
+  let env =
+    { cfg; fresh = fresh_counter (); vals = [ "x" ]; callables = [];
+      ptr_callables = []; can_icall = false; ptr_param = None }
+  in
+  let body = block env 1 (1 + Rng.below cfg.rng 2) in
+  func (Printf.sprintf "t%d" i) [ pw "x" ]
+    (body @ [ ret E.(l "x" + operand env) ])
+
+let helper_func cfg i =
+  (* helpers may call strictly higher-ranked helpers: a DAG by rank *)
+  let higher shape =
+    List.filter_map
+      (fun j ->
+        if j > i && cfg.ptr_helper.(j) = shape then
+          Some (Printf.sprintf "h%d" j)
+        else None)
+      (List.init cfg.n_helpers Fun.id)
+  in
+  let name = Printf.sprintf "h%d" i in
+  if cfg.ptr_helper.(i) then
+    let env =
+      { cfg; fresh = fresh_counter (); vals = []; callables = higher false;
+        ptr_callables = []; can_icall = true; ptr_param = None }
+    in
+    let x = env.fresh () in
+    let pre = [ load x (l "p") ] in
+    env.vals <- [ x ];
+    let body = block env 1 (1 + Rng.below cfg.rng 2) in
+    func name [ pp_ "p" Ty.Word ]
+      (pre @ body
+      @ [ store (l "p") E.(l x + operand env);
+          store E.(l "p" + c 4) (value_expr env); ret0 ])
+  else
+    let env =
+      { cfg; fresh = fresh_counter (); vals = [ "x" ]; callables = higher false;
+        ptr_callables = higher true; can_icall = true; ptr_param = None }
+    in
+    let body = block env 1 (1 + Rng.below cfg.rng 2) in
+    func name [ pw "x" ] (body @ [ ret (value_expr env) ])
+
+let entry_func cfg i =
+  let helpers shape =
+    List.filter_map
+      (fun j ->
+        if cfg.ptr_helper.(j) = shape then Some (Printf.sprintf "h%d" j)
+        else None)
+      (List.init cfg.n_helpers Fun.id)
+  in
+  let with_ptr = i = 0 in
+  let env =
+    { cfg; fresh = fresh_counter (); vals = (if with_ptr then [ "n" ] else []);
+      callables = helpers false; ptr_callables = helpers true;
+      can_icall = true; ptr_param = (if with_ptr then Some "p" else None) }
+  in
+  let params = if with_ptr then [ pp_ "p" Ty.Word; pw "n" ] else [] in
+  let body = block env 2 (body_size cfg) in
+  func (Printf.sprintf "e%d" i) params (body @ [ ret0 ])
+
+let init_func cfg =
+  let slots =
+    List.init cfg.n_table (fun i ->
+        let off = 4 * i in
+        store E.(gv "fptab" + c off) (fn (Printf.sprintf "t%d" i)))
+  in
+  func "init_tabs" []
+    (slots @ [ store E.(gv "st" + c 4) (gv (gname 0)); ret0 ])
+
+let main_func cfg =
+  let rng = cfg.rng in
+  let entry_calls round =
+    List.concat
+      (List.init cfg.n_entries (fun i ->
+           let name = Printf.sprintf "e%d" i in
+           let one =
+             if i = 0 then call name [ l "mb"; c 4 ] else call name []
+           in
+           (* occasionally drive an entry from a bounded loop *)
+           if round = 1 && Rng.one_in rng 3 then
+             for_ (Printf.sprintf "ix%d" i) (c (1 + Rng.below rng 2)) [ one ]
+           else [ one ]))
+  in
+  let body =
+    [ call "init_tabs" [];
+      alloca "mb" (Ty.Array (Ty.Word, 4));
+      store (l "mb") (c 1);
+      store E.(l "mb" + c 4) (c 2);
+      store E.(l "mb" + c 8) (c 3);
+      store E.(l "mb" + c 12) (c 4) ]
+    @ entry_calls 0 @ entry_calls 1
+    @ [ load "r0" (l "mb");
+        load "r1" E.(l "mb" + c 4);
+        store (gv (gname 0)) E.(l "r0" + l "r1");
+        halt ]
+  in
+  func "main" [] body
+
+(* --- whole programs ---------------------------------------------------- *)
+
+let periph_gen rng =
+  let n = 2 + Rng.below rng 3 in
+  let rec pick k acc =
+    if k = 0 then acc
+    else
+      let slot = Rng.below rng 8 in
+      if List.mem slot acc then pick k acc else pick (k - 1) (slot :: acc)
+  in
+  let slots = List.sort compare (pick n []) in
+  List.mapi
+    (fun i slot ->
+      Peripheral.v
+        (Printf.sprintf "P%d" i)
+        ~base:(0x4000_0000 + (slot * 0x1000))
+        ~size:0x400)
+    slots
+
+let case ~seed ~size =
+  let rng = Rng.create seed in
+  let size = max 1 size in
+  let n_helpers = 2 + Rng.below rng size in
+  let ptr_helper =
+    Array.init n_helpers (fun i -> i > 0 && Rng.one_in rng 3)
+  in
+  let cfg =
+    { rng;
+      n_words = 4 + Rng.below rng 3;
+      arr_len = 4 + Rng.below rng 4;
+      buf_len = 8 + (4 * Rng.below rng 3);
+      has_heap = Rng.one_in rng 3;
+      periphs = periph_gen rng;
+      n_table = 2 + Rng.below rng 2;
+      n_helpers;
+      ptr_helper;
+      n_entries = 2 + Rng.below rng (min 3 (1 + size)) }
+  in
+  let globals =
+    List.init cfg.n_words (fun i ->
+        word (gname i) ~init:(Int64.of_int ((i * 3) + 1)))
+    @ [ words "arr" cfg.arr_len ~init:[ 5L; 7L ];
+        bytes "buf" cfg.buf_len;
+        words "rom" 4 ~const:true ~init:[ 11L; 22L; 33L; 44L ];
+        struct_ "st"
+          [ ("a", Ty.Word); ("p", Ty.Pointer Ty.Word); ("b", Ty.Word) ];
+        words "fptab" cfg.n_table ]
+    @ (if cfg.has_heap then [ heap_arena "hp" 64 ] else [])
+  in
+  let funcs =
+    List.init cfg.n_table (table_func cfg)
+    @ List.init cfg.n_helpers (helper_func cfg)
+    @ List.init cfg.n_entries (entry_func cfg)
+    @ [ init_func cfg; main_func cfg ]
+  in
+  let program =
+    Program.v ~name:(app_name ~seed) ~globals ~peripherals:cfg.periphs ~funcs ()
+  in
+  let entries = List.init cfg.n_entries (Printf.sprintf "e%d") in
+  let stack_infos =
+    [ { C.Dev_input.si_entry = "e0";
+        ptr_args = [ { C.Dev_input.param_index = 0; buffer_bytes = 16 } ] } ]
+  in
+  let sanitize =
+    if Rng.bool rng then
+      [ { C.Dev_input.sz_global = gname (cfg.n_words - 1);
+          sz_min = 0L;
+          sz_max = 0xFFFF_FFFFL } ]
+    else []
+  in
+  (program, C.Dev_input.v ~stack_infos ~sanitize entries)
+
+(* --- worlds ------------------------------------------------------------ *)
+
+(* A scratch-register device: reads echo the bytes last written, so
+   MMIO values are a pure function of the program's own actions and the
+   baseline and protected runs observe identical device state. *)
+let scratch (p : Peripheral.t) =
+  let store = Bytes.make p.Peripheral.size '\000' in
+  let read off width =
+    let v = ref 0L in
+    for k = width - 1 downto 0 do
+      let b =
+        if off + k < Bytes.length store then
+          Int64.of_int (Char.code (Bytes.get store (off + k)))
+        else 0L
+      in
+      v := Int64.logor (Int64.shift_left !v 8) b
+    done;
+    !v
+  in
+  let write off width v =
+    for k = 0 to width - 1 do
+      if off + k < Bytes.length store then
+        Bytes.set store (off + k)
+          (Char.chr
+             (Int64.to_int
+                (Int64.logand (Int64.shift_right_logical v (8 * k)) 0xFFL)))
+    done
+  in
+  M.Device.v p.Peripheral.name ~base:p.Peripheral.base ~size:p.Peripheral.size
+    ~read ~write
+
+let app_of ?name program dev_input =
+  let app_name = Option.value name ~default:program.Program.name in
+  { Opec_apps.App.app_name;
+    board = M.Memmap.stm32f4_discovery;
+    program;
+    dev_input;
+    make_world =
+      (fun () ->
+        { Opec_apps.App.devices =
+            List.map scratch program.Program.peripherals;
+          prepare = (fun () -> ());
+          check = (fun () -> Ok ()) }) }
+
+let app ~seed ~size =
+  let program, dev_input = case ~seed ~size in
+  app_of program dev_input
+
+let observable (p : Program.t) =
+  List.filter_map
+    (fun (g : Global.t) ->
+      if g.const || g.heap || g.name = "fptab" then None
+      else if Global.pointer_field_offsets g <> [] then None
+      else Some g.name)
+    p.Program.globals

@@ -1,0 +1,36 @@
+(** Seeded, size-parameterized random firmware generator.
+
+    [case ~seed ~size] builds a well-formed task-structured program plus
+    the developer input the OPEC-Compiler needs — guaranteed to pass
+    [Program.validate] by construction, and shaped to exercise the whole
+    machinery: globals of every type (words, byte buffers, word arrays,
+    a pointer-carrying struct, read-only data, an optional heap arena),
+    pointer-typed entry arguments with matching stack information,
+    indirect calls through a function-pointer table, MMIO against a
+    randomized peripheral datasheet, and a recursion-free call DAG with
+    a randomized entry set.
+
+    The same [(seed, size)] pair always yields the same program: the
+    only entropy is {!Rng}'s splitmix64 stream. *)
+
+val app_name : seed:int -> string
+
+(** Generate the program and its developer input.  [size] scales global
+    counts, entry counts, and statements per body; 1 is small, 3 is a
+    typical application-sized workload. *)
+val case : seed:int -> size:int -> Opec_ir.Program.t * Opec_core.Dev_input.t
+
+(** Wrap a (program, dev_input) pair — freshly generated, shrunk, or
+    replayed from a reproducer — as a runnable app whose world maps one
+    deterministic scratch-register device per datasheet peripheral. *)
+val app_of :
+  ?name:string -> Opec_ir.Program.t -> Opec_core.Dev_input.t -> Opec_apps.App.t
+
+val app : seed:int -> size:int -> Opec_apps.App.t
+
+(** The globals whose final values the transparency oracle compares
+    between the baseline and the protected run: every mutable global
+    except heap arenas, pointer-carrying globals, and the function
+    table — those legitimately hold addresses, which differ between the
+    two layouts. *)
+val observable : Opec_ir.Program.t -> string list

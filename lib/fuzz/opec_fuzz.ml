@@ -1,0 +1,13 @@
+(** Property-based firmware fuzzing: the seeded {!Gen} program
+    generator, the differential {!Oracle} properties, greedy {!Shrink}
+    delta-debugging, {!Repro} reproducer files, seeded {!Defect}
+    corruptions for the oracle gate, and the pool-parallel {!Runner}
+    sweep driver. *)
+
+module Rng = Rng
+module Gen = Gen
+module Oracle = Oracle
+module Shrink = Shrink
+module Repro = Repro
+module Defect = Defect
+module Runner = Runner

@@ -1,0 +1,286 @@
+(* The five differential oracles of the fuzzer.
+
+   All of them consume the compile-once pipeline's memoized artifacts
+   where possible; only the engine differential and defect-gate
+   variants (a substitute image) pay for private runs. *)
+
+module P = Opec_pipeline.Pipeline
+module C = Opec_core
+module M = Opec_machine
+module Ex = Opec_exec
+module Mon = Opec_monitor
+module Apps = Opec_apps
+module L = Opec_lint
+module Atk = Opec_attack
+
+type outcome = Pass | Fail of string
+
+type property = {
+  name : string;
+  doc : string;
+  check : ?image:C.Image.t -> P.ctx -> outcome;
+}
+
+let image_of ?image c = match image with Some i -> i | None -> P.image c
+
+let failf fmt = Format.kasprintf (fun s -> Fail s) fmt
+
+(* --- lint-static ------------------------------------------------------- *)
+
+let lint_static ?image c =
+  let diags = L.Lint.run ~dynamic:false (image_of ?image c) in
+  match L.Lint.errors diags with
+  | [] -> Pass
+  | errs ->
+    failf "%d lint error(s): %a" (List.length errs)
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f "; ")
+         L.Diag.pp)
+      errs
+
+(* --- trace-oracle ------------------------------------------------------ *)
+
+(* every access of the traced baseline must be inside the static
+   resource prediction of the operation active at that point (L007) *)
+let trace_oracle ?image c =
+  let img = image_of ?image c in
+  let b = P.baseline_traced c in
+  let map = b.P.b_run.Mon.Runner.b_layout.Ex.Vanilla_layout.map in
+  let diags =
+    L.Oracle.check_trace ~map ~events:b.P.b_events ~failure:b.P.b_err img
+  in
+  match L.Lint.errors diags with
+  | [] -> Pass
+  | errs ->
+    failf "%d unpredicted access(es): %a" (List.length errs)
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f "; ")
+         L.Diag.pp)
+      errs
+
+(* --- transparency ------------------------------------------------------ *)
+
+let snapshot_baseline (b : P.baseline) program =
+  Atk.Snapshot.baseline b.P.b_run.Mon.Runner.b_bus
+    ~map:b.P.b_run.Mon.Runner.b_layout.Ex.Vanilla_layout.map program
+
+(* The program's own final view of each global: the run halts inside
+   the default operation, whose trailing writes live in its shadows —
+   the masters are only as fresh as the last operation switch.  So read
+   the default op's shadow where one exists and the master otherwise;
+   that is the state the firmware would observe at halt. *)
+let snapshot_final_view bus (img : C.Image.t) =
+  let layout = img.C.Image.layout in
+  let dop = (C.Image.default_op img).C.Operation.name in
+  let hex addr size =
+    String.concat ""
+      (List.init size (fun i ->
+           Printf.sprintf "%02LX" (M.Bus.read_raw bus (addr + i) 1)))
+  in
+  List.filter_map
+    (fun (g : Opec_ir.Global.t) ->
+      let home =
+        match C.Layout.shadow_of layout ~op:dop ~var:g.Opec_ir.Global.name with
+        | Some s -> Some s
+        | None -> C.Layout.master_of layout g.Opec_ir.Global.name
+      in
+      match home with
+      | Some addr ->
+        Some (g.Opec_ir.Global.name, hex addr (Opec_ir.Global.size g))
+      | None -> None)
+    img.C.Image.source.Opec_ir.Program.globals
+
+let compare_observable program ~baseline ~protected_ =
+  let diffs =
+    List.filter_map
+      (fun g ->
+        let b = List.assoc_opt g baseline
+        and p = List.assoc_opt g protected_ in
+        if b = p then None
+        else
+          Some
+            (Printf.sprintf "%s: baseline=%s protected=%s" g
+               (Option.value b ~default:"<absent>")
+               (Option.value p ~default:"<absent>")))
+      (Gen.observable program)
+  in
+  match diffs with
+  | [] -> Pass
+  | ds -> Fail ("final state diverged: " ^ String.concat "; " ds)
+
+let transparency ?image c =
+  let app = P.app c in
+  let program = P.validated c in
+  let b = P.baseline c in
+  let p_mem, p_err =
+    match image with
+    | None ->
+      let p = P.protected_ c in
+      (snapshot_final_view p.P.p_run.Mon.Runner.bus (P.image c), p.P.p_err)
+    | Some img ->
+      (* defect gate: run the substitute image privately *)
+      let world = app.Apps.App.make_world () in
+      world.Apps.App.prepare ();
+      let r, err =
+        try
+          (Some (Mon.Runner.run_protected ~devices:world.Apps.App.devices img),
+           None)
+        with e -> (None, Some e)
+      in
+      ( (match r with
+        | Some r -> snapshot_final_view r.Mon.Runner.bus img
+        | None -> []),
+        err )
+  in
+  match (b.P.b_err, p_err) with
+  | Some _, Some _ ->
+    (* both runs died: the protection did not change how the program
+       terminates, which is all transparency asks of a crashing input
+       (the trace oracle separately flags crashing baselines) *)
+    Pass
+  | Some e, None -> failf "baseline died, protected ran: %s" (Printexc.to_string e)
+  | None, Some e -> failf "protected died, baseline ran: %s" (Printexc.to_string e)
+  | None, None ->
+    compare_observable program ~baseline:(snapshot_baseline b program)
+      ~protected_:p_mem
+
+(* --- engine-differential ----------------------------------------------- *)
+
+type observation = {
+  o_cycles : int64;
+  o_events : Ex.Trace.event list;
+  o_mem : Atk.Snapshot.t;
+  o_check : (unit, string) result;
+  o_err : string option;
+}
+
+let baseline_obs (app : Apps.App.t) engine =
+  let world = app.Apps.App.make_world () in
+  world.Apps.App.prepare ();
+  try
+    let r =
+      Mon.Runner.run_baseline ~devices:world.Apps.App.devices ~engine
+        ~board:app.Apps.App.board app.Apps.App.program
+    in
+    { o_cycles = Ex.Interp.cycles r.Mon.Runner.b_interp;
+      o_events = Ex.Trace.events (Ex.Interp.trace r.Mon.Runner.b_interp);
+      o_mem =
+        Atk.Snapshot.baseline r.Mon.Runner.b_bus
+          ~map:r.Mon.Runner.b_layout.Ex.Vanilla_layout.map
+          app.Apps.App.program;
+      o_check = world.Apps.App.check ();
+      o_err = None }
+  with e ->
+    { o_cycles = 0L; o_events = []; o_mem = []; o_check = Ok ();
+      o_err = Some (Printexc.to_string e) }
+
+let protected_obs (app : Apps.App.t) image engine =
+  let world = app.Apps.App.make_world () in
+  world.Apps.App.prepare ();
+  try
+    let r =
+      Mon.Runner.run_protected ~devices:world.Apps.App.devices ~engine image
+    in
+    { o_cycles = Ex.Interp.cycles r.Mon.Runner.interp;
+      o_events = Ex.Trace.events (Ex.Interp.trace r.Mon.Runner.interp);
+      o_mem = Atk.Snapshot.protected_ r.Mon.Runner.bus image;
+      o_check = world.Apps.App.check ();
+      o_err = None }
+  with e ->
+    { o_cycles = 0L; o_events = []; o_mem = []; o_check = Ok ();
+      o_err = Some (Printexc.to_string e) }
+
+let same_observation what a b =
+  if a.o_err <> b.o_err then
+    Some
+      (Printf.sprintf "%s: termination differs (tree %s, decoded %s)" what
+         (Option.value a.o_err ~default:"ok")
+         (Option.value b.o_err ~default:"ok"))
+  else if a.o_cycles <> b.o_cycles then
+    Some
+      (Printf.sprintf "%s: cycles differ (tree %Ld, decoded %Ld)" what
+         a.o_cycles b.o_cycles)
+  else if a.o_events <> b.o_events then
+    Some (Printf.sprintf "%s: trace events differ" what)
+  else if a.o_mem <> b.o_mem then
+    Some (Printf.sprintf "%s: final memory differs" what)
+  else if a.o_check <> b.o_check then
+    Some (Printf.sprintf "%s: world checks differ" what)
+  else None
+
+let engine_differential ?image c =
+  let app = P.app c in
+  let img = image_of ?image c in
+  let problems =
+    List.filter_map Fun.id
+      [ same_observation "baseline"
+          (baseline_obs app Ex.Interp.Tree)
+          (baseline_obs app Ex.Interp.Decoded);
+        same_observation "protected"
+          (protected_obs app img Ex.Interp.Tree)
+          (protected_obs app img Ex.Interp.Decoded) ]
+  in
+  match problems with [] -> Pass | ps -> Fail (String.concat "; " ps)
+
+(* --- attacks-blocked --------------------------------------------------- *)
+
+let attacks_blocked ?image c =
+  let app = P.app c in
+  let cells = Atk.Campaign.run_opec_only ?image app in
+  (* Only Escaped is a security failure — the same gate as
+     [Campaign.opec_escapes].  Contained and Crashed are the residual
+     the paper's threat model concedes: a compromised operation may
+     corrupt (or crash on) anything already inside its own policy, it
+     just must never reach across the boundary. *)
+  let bad =
+    List.filter
+      (fun cl -> cl.Atk.Campaign.outcome = Atk.Campaign.Escaped)
+      cells
+  in
+  match bad with
+  | [] -> Pass
+  | bs ->
+    Fail
+      (String.concat "; "
+         (List.map
+            (fun (cl : Atk.Campaign.cell) ->
+              Printf.sprintf "%s in %s: %s (%s)"
+                (Atk.Primitive.name cl.Atk.Campaign.injection.primitive)
+                cl.Atk.Campaign.injection.op.C.Operation.name
+                (Atk.Campaign.outcome_name cl.Atk.Campaign.outcome)
+                cl.Atk.Campaign.detail)
+            bs))
+
+(* --- registry ---------------------------------------------------------- *)
+
+let all =
+  [ { name = "lint-static";
+      doc = "static policy verification (L001-L008) reports no errors";
+      check = lint_static };
+    { name = "trace-oracle";
+      doc = "every traced baseline access is statically predicted (L007)";
+      check = trace_oracle };
+    { name = "transparency";
+      doc = "baseline and protected runs agree on all observable globals";
+      check = transparency };
+    { name = "engine-differential";
+      doc = "tree-walking and decode-once engines are bit-identical";
+      check = engine_differential };
+    { name = "attacks-blocked";
+      doc = "no planned attack injection escapes the monitor";
+      check = attacks_blocked } ]
+
+let find name = List.find_opt (fun p -> p.name = name) all
+
+let check_app ?image ?(properties = all) app =
+  let c = P.ctx app in
+  let fails =
+    List.filter_map
+      (fun pr ->
+        let verdict =
+          try pr.check ?image c
+          with e -> failf "oracle raised: %s" (Printexc.to_string e)
+        in
+        match verdict with Pass -> None | Fail d -> Some (pr.name, d))
+      properties
+  in
+  P.evict c;
+  fails

@@ -1,0 +1,142 @@
+module S = Opec_ir.Sexp
+module C = Opec_core
+
+type t = {
+  seed : int option;
+  size : int option;
+  property : string;
+  detail : string;
+  program : Opec_ir.Program.t;
+  dev_input : C.Dev_input.t;
+}
+
+(* --- developer input --------------------------------------------------- *)
+
+let encode_dev_input (di : C.Dev_input.t) =
+  let entries = S.List (S.Atom "entries" :: List.map (fun e -> S.Atom e) di.C.Dev_input.entries) in
+  let stack_infos =
+    List.map
+      (fun (si : C.Dev_input.stack_info) ->
+        S.List
+          (S.Atom "stack-info" :: S.Atom si.C.Dev_input.si_entry
+          :: List.map
+               (fun (a : C.Dev_input.ptr_arg) ->
+                 S.List
+                   [ S.Atom (string_of_int a.C.Dev_input.param_index);
+                     S.Atom (string_of_int a.C.Dev_input.buffer_bytes) ])
+               si.C.Dev_input.ptr_args))
+      di.C.Dev_input.stack_infos
+  in
+  let sanitize =
+    List.map
+      (fun (r : C.Dev_input.sanitize_rule) ->
+        S.List
+          [ S.Atom "sanitize"; S.Atom r.C.Dev_input.sz_global;
+            S.Atom (Int64.to_string r.C.Dev_input.sz_min);
+            S.Atom (Int64.to_string r.C.Dev_input.sz_max) ])
+      di.C.Dev_input.sanitize
+  in
+  S.List ((S.Atom "dev-input" :: entries :: stack_infos) @ sanitize)
+
+let bad what s = raise (S.Parse_error (what ^ ": " ^ S.to_string s))
+
+let atom = function S.Atom a -> a | s -> bad "expected atom" s
+
+let int_atom s =
+  match int_of_string_opt (atom s) with
+  | Some n -> n
+  | None -> bad "expected integer" s
+
+let int64_atom s =
+  match Int64.of_string_opt (atom s) with
+  | Some n -> n
+  | None -> bad "expected int64" s
+
+let decode_dev_input = function
+  | S.List (S.Atom "dev-input" :: fields) ->
+    let entries = ref [] and stack_infos = ref [] and sanitize = ref [] in
+    List.iter
+      (function
+        | S.List (S.Atom "entries" :: es) -> entries := List.map atom es
+        | S.List (S.Atom "stack-info" :: entry :: args) ->
+          let ptr_args =
+            List.map
+              (function
+                | S.List [ idx; bytes ] ->
+                  { C.Dev_input.param_index = int_atom idx;
+                    buffer_bytes = int_atom bytes }
+                | s -> bad "malformed ptr-arg" s)
+              args
+          in
+          stack_infos :=
+            { C.Dev_input.si_entry = atom entry; ptr_args } :: !stack_infos
+        | S.List [ S.Atom "sanitize"; g; lo; hi ] ->
+          sanitize :=
+            { C.Dev_input.sz_global = atom g;
+              sz_min = int64_atom lo;
+              sz_max = int64_atom hi }
+            :: !sanitize
+        | s -> bad "unknown dev-input field" s)
+      fields;
+    { C.Dev_input.entries = !entries;
+      stack_infos = List.rev !stack_infos;
+      sanitize = List.rev !sanitize }
+  | s -> bad "expected (dev-input ...)" s
+
+(* --- the reproducer ---------------------------------------------------- *)
+
+let encode t =
+  let meta name = function
+    | None -> []
+    | Some n -> [ S.List [ S.Atom name; S.Atom (string_of_int n) ] ]
+  in
+  S.List
+    ([ S.Atom "opec-fuzz-repro" ]
+    @ meta "seed" t.seed @ meta "size" t.size
+    @ [ S.List [ S.Atom "property"; S.Atom t.property ];
+        S.List [ S.Atom "detail"; S.Atom t.detail ];
+        S.encode_program t.program;
+        encode_dev_input t.dev_input ])
+
+let decode = function
+  | S.List (S.Atom "opec-fuzz-repro" :: fields) ->
+    let seed = ref None and size = ref None in
+    let property = ref "" and detail = ref "" in
+    let program = ref None and dev_input = ref None in
+    List.iter
+      (function
+        | S.List [ S.Atom "seed"; n ] -> seed := Some (int_atom n)
+        | S.List [ S.Atom "size"; n ] -> size := Some (int_atom n)
+        | S.List [ S.Atom "property"; p ] -> property := atom p
+        | S.List [ S.Atom "detail"; d ] -> detail := atom d
+        | S.List (S.Atom "program" :: _) as s ->
+          program := Some (S.decode_program s)
+        | S.List (S.Atom "dev-input" :: _) as s ->
+          dev_input := Some (decode_dev_input s)
+        | s -> bad "unknown repro field" s)
+      fields;
+    (match (!program, !dev_input) with
+    | Some program, Some dev_input ->
+      { seed = !seed; size = !size; property = !property; detail = !detail;
+        program; dev_input }
+    | _ -> raise (S.Parse_error "reproducer lacks program or dev-input"))
+  | s -> bad "expected (opec-fuzz-repro ...)" s
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let f = Format.formatter_of_out_channel oc in
+      Format.fprintf f "%a@." S.pp (encode t))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      decode (S.parse s))
+
+let to_app t = Gen.app_of t.program t.dev_input

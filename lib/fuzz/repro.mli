@@ -1,0 +1,28 @@
+(** Self-contained reproducer files.
+
+    A reproducer records everything needed to replay a failure without
+    the generator: the minimized program, its developer input, the
+    failing property, and — when the case came from the generator — the
+    seed and size that produced the original.  The format is a single
+    S-expression; [load (save f t) = t]. *)
+
+type t = {
+  seed : int option;
+  size : int option;
+  property : string;
+  detail : string;
+  program : Opec_ir.Program.t;
+  dev_input : Opec_core.Dev_input.t;
+}
+
+val encode : t -> Opec_ir.Sexp.t
+val decode : Opec_ir.Sexp.t -> t
+
+(** Write to / read from a file path.  [load] raises
+    [Opec_ir.Sexp.Parse_error] on malformed content. *)
+val save : string -> t -> unit
+
+val load : string -> t
+
+(** The reproducer as a runnable app (scratch-device world). *)
+val to_app : t -> Opec_apps.App.t

@@ -1,0 +1,28 @@
+(* Splitmix64 (Steele, Lea, Flood 2014): tiny, fast, and identical on
+   every platform — unlike [Random], whose algorithm the stdlib is free
+   to change between versions.  Reproducibility of a fuzz seed is part
+   of the tool's contract, so the generator owns its arithmetic. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let below t n =
+  if n <= 0 then invalid_arg "Rng.below";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int n))
+
+let range t ~lo ~hi = lo + below t (hi - lo + 1)
+let bool t = Int64.logand (next t) 1L = 1L
+let one_in t n = below t n = 0
+
+let choose t = function
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | xs -> List.nth xs (below t (List.length xs))

@@ -1,0 +1,26 @@
+(** Deterministic splitmix64 pseudo-random stream.
+
+    The fuzzer's only entropy source: a generator seeded with the same
+    integer yields the same stream on every platform and in every
+    domain, so a seed fully identifies a generated program. *)
+
+type t
+
+val create : int -> t
+
+(** Next raw 64-bit word of the stream. *)
+val next : t -> int64
+
+(** Uniform integer in [\[0, n)]; [n] must be positive. *)
+val below : t -> int -> int
+
+(** Uniform integer in [\[lo, hi\]] (inclusive). *)
+val range : t -> lo:int -> hi:int -> int
+
+val bool : t -> bool
+
+(** [one_in t n] is true with probability 1/[n]. *)
+val one_in : t -> int -> bool
+
+(** Uniform choice from a non-empty list. *)
+val choose : t -> 'a list -> 'a

@@ -1,0 +1,127 @@
+module Pool = Opec_pipeline.Pool
+
+type failure = {
+  f_seed : int;
+  f_property : string;
+  f_detail : string;
+  f_funcs_before : int;
+  f_funcs_after : int;
+  f_repro : string option;
+}
+
+type report = {
+  r_lo : int;
+  r_hi : int;
+  r_size : int;
+  r_properties : string list;
+  r_passed : int;
+  r_failures : failure list;
+}
+
+let resolve_properties = function
+  | None -> Oracle.all
+  | Some names ->
+    List.map
+      (fun n ->
+        match Oracle.find n with
+        | Some p -> p
+        | None ->
+          invalid_arg
+            (Printf.sprintf "unknown fuzz property %S (known: %s)" n
+               (String.concat ", "
+                  (List.map (fun p -> p.Oracle.name) Oracle.all))))
+      names
+
+let mkdir_p dir =
+  let rec make d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      make (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  make dir
+
+(* shrink against the one property that failed: the minimized program
+   must fail for the same reason the original did *)
+let shrink_failure ~property ~size ~seed ~detail ~out_dir ~do_shrink program
+    dev_input =
+  let prop =
+    match Oracle.find property with Some p -> p | None -> assert false
+  in
+  let test (case : Shrink.case) =
+    Oracle.check_app ~properties:[ prop ]
+      (Gen.app_of case.Shrink.program case.Shrink.dev_input)
+    <> []
+  in
+  let original = { Shrink.program; dev_input } in
+  let minimized, _tests =
+    if do_shrink then Shrink.shrink ~test original else (original, 0)
+  in
+  let path =
+    Filename.concat out_dir
+      (Printf.sprintf "repro-seed%d-%s.sexp" seed property)
+  in
+  mkdir_p out_dir;
+  Repro.save path
+    { Repro.seed = Some seed; size = Some size; property; detail;
+      program = minimized.Shrink.program;
+      dev_input = minimized.Shrink.dev_input };
+  { f_seed = seed;
+    f_property = property;
+    f_detail = detail;
+    f_funcs_before = Shrink.func_count original;
+    f_funcs_after = Shrink.func_count minimized;
+    f_repro = Some path }
+
+let run ?domains ?(size = 2) ?properties ?(out_dir = "_fuzz")
+    ?(shrink = true) ~lo ~hi () =
+  if hi < lo then invalid_arg "Runner.run: empty seed range";
+  let props = resolve_properties properties in
+  let seeds = List.init (hi - lo + 1) (fun i -> lo + i) in
+  let judge seed =
+    let program, dev_input = Gen.case ~seed ~size in
+    let fails =
+      Oracle.check_app ~properties:props (Gen.app_of program dev_input)
+    in
+    (seed, program, dev_input, fails)
+  in
+  let results = Pool.map ?domains judge seeds in
+  let failures =
+    List.filter_map
+      (fun (seed, program, dev_input, fails) ->
+        match fails with
+        | [] -> None
+        | (property, detail) :: _ ->
+          Some
+            (shrink_failure ~property ~size ~seed ~detail ~out_dir
+               ~do_shrink:shrink program dev_input))
+      results
+  in
+  { r_lo = lo;
+    r_hi = hi;
+    r_size = size;
+    r_properties = List.map (fun p -> p.Oracle.name) props;
+    r_passed = List.length seeds - List.length failures;
+    r_failures = failures }
+
+let replay path =
+  let r = Repro.load path in
+  Oracle.check_app (Repro.to_app r)
+
+let pp_report f r =
+  Format.fprintf f "@[<v>opec fuzz: seeds %d..%d size %d (%s)@,"
+    r.r_lo r.r_hi r.r_size
+    (String.concat ", " r.r_properties);
+  Format.fprintf f "%d passed, %d failed@," r.r_passed
+    (List.length r.r_failures);
+  List.iter
+    (fun x ->
+      Format.fprintf f "  seed %d: %s — %s@," x.f_seed x.f_property
+        x.f_detail;
+      Format.fprintf f "    shrunk %d -> %d functions%s@," x.f_funcs_before
+        x.f_funcs_after
+        (match x.f_repro with
+        | Some p -> Printf.sprintf ", reproducer %s" p
+        | None -> ""))
+    r.r_failures;
+  Format.fprintf f "@]"

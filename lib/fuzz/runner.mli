@@ -1,0 +1,47 @@
+(** The sweep driver: fan a seed range across the domain pool, judge
+    every generated program with the {!Oracle} properties, shrink any
+    failure, and persist reproducers.
+
+    Per-seed results are deterministic and come back in seed order, so
+    two sweeps over the same range agree byte-for-byte; the pipeline
+    entry of every judged seed is evicted, holding memory constant over
+    arbitrarily long sweeps. *)
+
+type failure = {
+  f_seed : int;
+  f_property : string;   (** first failing property *)
+  f_detail : string;
+  f_funcs_before : int;
+  f_funcs_after : int;   (** function count after shrinking *)
+  f_repro : string option;  (** reproducer path, when one was written *)
+}
+
+type report = {
+  r_lo : int;
+  r_hi : int;
+  r_size : int;
+  r_properties : string list;
+  r_passed : int;
+  r_failures : failure list;
+}
+
+(** Sweep seeds [lo..hi] (inclusive).  [properties] selects oracle
+    names (default: all); unknown names raise [Invalid_argument].
+    Failures are shrunk unless [shrink:false] and written under
+    [out_dir] (default ["_fuzz"]). *)
+val run :
+  ?domains:int ->
+  ?size:int ->
+  ?properties:string list ->
+  ?out_dir:string ->
+  ?shrink:bool ->
+  lo:int ->
+  hi:int ->
+  unit ->
+  report
+
+(** Re-judge a saved reproducer; the failing [(property, detail)]
+    pairs, empty when the failure no longer reproduces. *)
+val replay : string -> (string * string) list
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,289 @@
+(* Delta debugging in four edit classes, coarse to fine: functions,
+   globals, instructions, constants.  A candidate is acceptable only if
+   it still validates and the caller's [test] still fails on it, so the
+   minimized case fails for the same property the original did.
+
+   Dropping an instruction that defines a local would leave later reads
+   of that register undefined — an artificial failure the shrinker must
+   not manufacture.  Every drop therefore cascades: instructions using
+   a killed local are killed too (recursively), and a [Return] that
+   used one degrades to [return 0] instead of disappearing, so value
+   functions keep returning. *)
+
+open Opec_ir
+module E = Expr
+module C = Opec_core
+
+type case = { program : Program.t; dev_input : C.Dev_input.t }
+
+let func_count c = List.length c.program.Program.funcs
+
+(* --- syntactic queries ------------------------------------------------- *)
+
+let shallow_exprs = function
+  | Instr.Let (_, e) -> [ e ]
+  | Instr.Load (_, _, a) -> [ a ]
+  | Instr.Store (_, a, v) -> [ a; v ]
+  | Instr.Alloca _ -> []
+  | Instr.Call (_, callee, args) ->
+    (match callee with Instr.Indirect e -> [ e ] | Instr.Direct _ -> []) @ args
+  | Instr.If (cnd, _, _) -> [ cnd ]
+  | Instr.While (cnd, _) -> [ cnd ]
+  | Instr.Return (Some e) -> [ e ]
+  | Instr.Memcpy (a, b, n) | Instr.Memset (a, b, n) -> [ a; b; n ]
+  | Instr.Return None | Instr.Svc _ | Instr.Halt | Instr.Nop -> []
+
+let rec expr_uses_func f = function
+  | E.Func_addr g -> g = f
+  | E.Bin (_, a, b) -> expr_uses_func f a || expr_uses_func f b
+  | E.Un (_, a) -> expr_uses_func f a
+  | E.Const _ | E.Local _ | E.Global_addr _ -> false
+
+let rec expr_uses_global g = function
+  | E.Global_addr h -> h = g
+  | E.Bin (_, a, b) -> expr_uses_global g a || expr_uses_global g b
+  | E.Un (_, a) -> expr_uses_global g a
+  | E.Const _ | E.Local _ | E.Func_addr _ -> false
+
+let instr_mentions_func f i =
+  (match i with
+  | Instr.Call (_, Instr.Direct g, _) -> g = f
+  | _ -> false)
+  || List.exists (expr_uses_func f) (shallow_exprs i)
+
+let instr_mentions_global g i =
+  List.exists (expr_uses_global g) (shallow_exprs i)
+
+let defined = function
+  | Instr.Let (x, _) | Instr.Load (x, _, _) | Instr.Alloca (x, _) -> [ x ]
+  | Instr.Call (Some x, _, _) -> [ x ]
+  | _ -> []
+
+(* locals defined anywhere inside an instruction, nested blocks included *)
+let deep_defined i = Instr.fold_block (fun acc j -> defined j @ acc) [] [ i ]
+
+let uses_local killed i =
+  List.exists
+    (fun e -> List.exists (fun x -> List.mem x killed) (E.locals e))
+    (shallow_exprs i)
+
+(* --- cascading drops --------------------------------------------------- *)
+
+(* Kill every instruction matched by [kill] in [body], then keep
+   killing instructions that read a register only the killed code
+   defined, until the body is closed again.  [Return]s degrade to
+   [return 0] rather than vanish. *)
+let scrub_body ~kill body =
+  let killed = ref [] in
+  let body =
+    Instr.map_block
+      (fun i ->
+        if kill i then (
+          killed := deep_defined i @ !killed;
+          [])
+        else [ i ])
+      body
+  in
+  let rec purge body =
+    if !killed = [] then body
+    else begin
+      let more = ref false in
+      let body' =
+        Instr.map_block
+          (fun i ->
+            if uses_local !killed i then
+              match i with
+              | Instr.Return (Some _) -> [ Instr.Return (Some (E.Const 0L)) ]
+              | _ ->
+                more := true;
+                killed := deep_defined i @ !killed;
+                []
+            else [ i ])
+          body
+      in
+      if !more then purge body' else body'
+    end
+  in
+  purge body
+
+let scrub_funcs ~kill funcs =
+  List.map
+    (fun (fd : Func.t) -> { fd with Func.body = scrub_body ~kill fd.Func.body })
+    funcs
+
+(* --- developer-input scrubbing ----------------------------------------- *)
+
+let scrub_dev_input (di : C.Dev_input.t) (p : Program.t) =
+  let entries =
+    List.filter (fun e -> Program.find_func p e <> None) di.C.Dev_input.entries
+  in
+  { C.Dev_input.entries;
+    stack_infos =
+      List.filter
+        (fun (si : C.Dev_input.stack_info) ->
+          List.mem si.C.Dev_input.si_entry entries)
+        di.C.Dev_input.stack_infos;
+    sanitize =
+      List.filter
+        (fun (r : C.Dev_input.sanitize_rule) ->
+          Program.find_global p r.C.Dev_input.sz_global <> None)
+        di.C.Dev_input.sanitize }
+
+let rebuild case ~globals ~funcs =
+  try
+    let p =
+      Program.v ~name:case.program.Program.name ~main:case.program.Program.main
+        ~globals ~peripherals:case.program.Program.peripherals ~funcs ()
+    in
+    Some { program = p; dev_input = scrub_dev_input case.dev_input p }
+  with Program.Ill_formed _ -> None
+
+(* --- edit classes ------------------------------------------------------ *)
+
+let drop_func case name =
+  if name = case.program.Program.main then None
+  else
+    let funcs =
+      List.filter (fun (f : Func.t) -> f.Func.name <> name)
+        case.program.Program.funcs
+    in
+    let funcs = scrub_funcs ~kill:(instr_mentions_func name) funcs in
+    rebuild case ~globals:case.program.Program.globals ~funcs
+
+let drop_global case name =
+  let globals =
+    List.filter (fun (g : Global.t) -> g.Global.name <> name)
+      case.program.Program.globals
+  in
+  let funcs =
+    scrub_funcs ~kill:(instr_mentions_global name) case.program.Program.funcs
+  in
+  rebuild case ~globals ~funcs
+
+(* number instructions in [map_block]'s traversal order; edit the nth *)
+let edit_nth_instr case fname k ~edit =
+  let hit = ref false in
+  let funcs =
+    List.map
+      (fun (fd : Func.t) ->
+        if fd.Func.name <> fname then fd
+        else begin
+          let counter = ref 0 in
+          let body =
+            Instr.map_block
+              (fun i ->
+                let n = !counter in
+                incr counter;
+                if n = k then (
+                  hit := true;
+                  edit i)
+                else [ i ])
+              fd.Func.body
+          in
+          { fd with Func.body = body }
+        end)
+      case.program.Program.funcs
+  in
+  if not !hit then None
+  else rebuild case ~globals:case.program.Program.globals ~funcs
+
+let instr_count (fd : Func.t) =
+  Instr.fold_block (fun n _ -> n + 1) 0 fd.Func.body
+
+let drop_instr case fname k =
+  (* never drop returns or halt: a value function must keep returning *)
+  let droppable = function
+    | Instr.Return _ | Instr.Halt -> false
+    | _ -> true
+  in
+  let target = ref None in
+  (match
+     edit_nth_instr case fname k ~edit:(fun i ->
+         target := Some i;
+         if droppable i then [] else [ i ])
+   with
+  | None -> ()
+  | Some _ -> ());
+  match !target with
+  | Some i when droppable i ->
+    (* re-apply with the cascade, killing uses of the dropped defs *)
+    let kill_set = deep_defined i in
+    let pass1 =
+      edit_nth_instr case fname k ~edit:(fun _ -> [])
+    in
+    Option.bind pass1 (fun c ->
+        if kill_set = [] then Some c
+        else
+          let funcs =
+            List.map
+              (fun (fd : Func.t) ->
+                if fd.Func.name <> fname then fd
+                else
+                  { fd with
+                    Func.body = scrub_body ~kill:(uses_local kill_set)
+                        fd.Func.body })
+              c.program.Program.funcs
+          in
+          rebuild c ~globals:c.program.Program.globals ~funcs)
+  | _ -> None
+
+let halve n =
+  if Int64.compare n 16L > 0 || Int64.compare n (-16L) < 0 then
+    Int64.div n 2L
+  else n
+
+let shrink_consts case fname k =
+  match
+    edit_nth_instr case fname k ~edit:(fun i ->
+        [ Instr.map_exprs (E.map_consts halve) i ])
+  with
+  | Some c when c.program <> case.program -> Some c
+  | _ -> None
+
+(* --- the greedy loop --------------------------------------------------- *)
+
+let candidates case =
+  let funcs = case.program.Program.funcs in
+  let fnames = List.map (fun (f : Func.t) -> f.Func.name) funcs in
+  let gnames =
+    List.map (fun (g : Global.t) -> g.Global.name) case.program.Program.globals
+  in
+  let per_instr edit =
+    List.concat_map
+      (fun (fd : Func.t) ->
+        List.init (instr_count fd) (fun k () ->
+            edit case fd.Func.name k))
+      funcs
+  in
+  List.map (fun n () -> drop_func case n) fnames
+  @ List.map (fun n () -> drop_global case n) gnames
+  @ per_instr drop_instr
+  @ per_instr shrink_consts
+
+let improve_counted ~test ~budget case =
+  let rec scan = function
+    | [] -> None
+    | cand :: rest -> (
+      if !budget <= 0 then None
+      else
+        match cand () with
+        | None -> scan rest
+        | Some c when c.program = case.program -> scan rest
+        | Some c ->
+          decr budget;
+          if test c then Some c else scan rest)
+  in
+  scan (candidates case)
+
+let improve ~test case =
+  improve_counted ~test ~budget:(ref max_int) case
+
+let shrink ?(max_tests = 2000) ~test case =
+  let budget = ref max_tests in
+  let rec go case =
+    match improve_counted ~test ~budget case with
+    | Some smaller -> go smaller
+    | None -> case
+  in
+  let result = go case in
+  (result, max_tests - !budget)

@@ -1,0 +1,27 @@
+(** Greedy delta-debugging over the IR.
+
+    [shrink ~test case] minimizes a failing case: [test] must hold
+    (i.e. the failure must reproduce) on the input and on every
+    accepted reduction.  Reduction steps drop whole functions, drop
+    globals, drop single instructions (cascading away the uses of any
+    local they defined, so candidates never read undefined registers),
+    and halve large integer constants.  Every candidate re-passes
+    [Program.validate]; the result is a fixpoint — no single remaining
+    step both validates and still fails. *)
+
+type case = { program : Opec_ir.Program.t; dev_input : Opec_core.Dev_input.t }
+
+(** Restrict a developer input to the functions and globals that still
+    exist in the program (entries, stack infos, sanitize rules). *)
+val scrub_dev_input : Opec_core.Dev_input.t -> Opec_ir.Program.t -> Opec_core.Dev_input.t
+
+val func_count : case -> int
+
+(** One greedy pass: the first single reduction that validates and
+    still fails, if any. *)
+val improve : test:(case -> bool) -> case -> case option
+
+(** Iterate {!improve} to a fixpoint; gives up after [max_tests]
+    candidate evaluations (default 2000).  Returns the smallest failing
+    case found and the number of [test] evaluations spent. *)
+val shrink : ?max_tests:int -> test:(case -> bool) -> case -> case * int

@@ -81,6 +81,14 @@ let rec address_root e =
     | (`Global _ | `Func _ | `Local _ | `Mixed), _ -> `Mixed)
   | Bin (_, _, _) -> if const_fold e <> None then `Const else `Mixed
 
+(* Rewrite every integer constant (generator/shrinker hook: the fuzz
+   harness halves literals while delta-debugging a failing program). *)
+let rec map_consts f = function
+  | Const n -> Const (f n)
+  | (Local _ | Global_addr _ | Func_addr _) as e -> e
+  | Un (op, a) -> Un (op, map_consts f a)
+  | Bin (op, a, b) -> Bin (op, map_consts f a, map_consts f b)
+
 let pp_binop fmt op =
   Fmt.string fmt
     (match op with

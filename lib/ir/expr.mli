@@ -40,6 +40,10 @@ val address_root :
   t ->
   [ `Const | `Func of string | `Global of string | `Local of string | `Mixed ]
 
+(** Rewrite every integer constant of the expression (generator and
+    shrinker hook). *)
+val map_consts : (int64 -> int64) -> t -> t
+
 val pp_binop : Format.formatter -> binop -> unit
 val pp : Format.formatter -> t -> unit
 

@@ -59,6 +59,26 @@ and map_instr f instr =
   in
   f instr
 
+(* Rewrite every expression of one instruction, branch/loop conditions
+   included but without descending into nested blocks (compose with
+   [map_block] for a deep rewrite).  Generator/shrinker hook. *)
+let map_exprs f instr =
+  match instr with
+  | Let (x, e) -> Let (x, f e)
+  | Load (x, w, a) -> Load (x, w, f a)
+  | Store (w, a, v) -> Store (w, f a, f v)
+  | Call (dst, callee, args) ->
+    let callee =
+      match callee with Direct _ -> callee | Indirect e -> Indirect (f e)
+    in
+    Call (dst, callee, List.map f args)
+  | If (c, a, b) -> If (f c, a, b)
+  | While (c, body) -> While (f c, body)
+  | Return (Some e) -> Return (Some (f e))
+  | Memcpy (d, s, n) -> Memcpy (f d, f s, f n)
+  | Memset (d, v, n) -> Memset (f d, f v, f n)
+  | Alloca _ | Return None | Svc _ | Halt | Nop -> instr
+
 let pp_width fmt = function W8 -> Fmt.string fmt "i8" | W32 -> Fmt.string fmt "i32"
 
 let pp_callee fmt = function

@@ -40,6 +40,11 @@ val iter_block : (t -> unit) -> block -> unit
 val map_block : (t -> t list) -> block -> block
 
 val map_instr : (t -> t list) -> t -> t list
+
+(** Rewrite every expression of one instruction (conditions included)
+    without descending into nested blocks; compose with {!map_block}
+    for a deep rewrite. *)
+val map_exprs : (Expr.t -> Expr.t) -> t -> t
 val pp_width : Format.formatter -> width -> unit
 val pp_callee : Format.formatter -> callee -> unit
 val pp : Format.formatter -> t -> unit

@@ -12,3 +12,4 @@ module Instr = Instr
 module Func = Func
 module Program = Program
 module Build = Build
+module Sexp = Sexp

@@ -1,0 +1,383 @@
+(* S-expression round-trip for whole programs (the fuzz reproducer
+   format).  Self-contained: its own reader and printer, no external
+   sexp dependency, so reproducer files load anywhere the IR does. *)
+
+type t = Atom of string | List of t list
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* --- printing ----------------------------------------------------------- *)
+
+let atom_needs_quoting s =
+  String.length s = 0
+  || String.exists
+       (function
+         | ' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | ';' | '\\' -> true
+         | _ -> false)
+       s
+
+let quote_atom s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let rec to_string = function
+  | Atom s -> if atom_needs_quoting s then quote_atom s else s
+  | List l -> "(" ^ String.concat " " (List.map to_string l) ^ ")"
+
+let rec pp fmt = function
+  | Atom _ as a -> Format.pp_print_string fmt (to_string a)
+  | List l ->
+    Format.fprintf fmt "@[<hov 1>(";
+    List.iteri
+      (fun i s ->
+        if i > 0 then Format.fprintf fmt "@ ";
+        pp fmt s)
+      l;
+    Format.fprintf fmt ")@]"
+
+(* --- parsing ------------------------------------------------------------ *)
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | Some ';' ->
+      (* comment to end of line *)
+      while !pos < n && s.[!pos] <> '\n' do
+        advance ()
+      done;
+      skip_ws ()
+    | _ -> ()
+  in
+  let parse_quoted () =
+    advance ();
+    (* opening quote *)
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string at end of input"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+        advance ();
+        match peek () with
+        | Some 'n' ->
+          Buffer.add_char b '\n';
+          advance ();
+          go ()
+        | Some c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+        | None -> fail "unterminated escape at end of input")
+      | Some c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Atom (Buffer.contents b)
+  in
+  let parse_bare () =
+    let start = !pos in
+    let rec go () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | ';') | None -> ()
+      | Some _ ->
+        advance ();
+        go ()
+    in
+    go ();
+    if !pos = start then fail "empty atom at offset %d" start;
+    Atom (String.sub s start (!pos - start))
+  in
+  let rec parse_one () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '(' ->
+      advance ();
+      let items = ref [] in
+      let rec go () =
+        skip_ws ();
+        match peek () with
+        | None -> fail "unterminated list"
+        | Some ')' -> advance ()
+        | Some _ ->
+          items := parse_one () :: !items;
+          go ()
+      in
+      go ();
+      List (List.rev !items)
+    | Some ')' -> fail "unexpected ')' at offset %d" !pos
+    | Some '"' -> parse_quoted ()
+    | Some _ -> parse_bare ()
+  in
+  let v = parse_one () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage at offset %d" !pos;
+  v
+
+(* --- small codec helpers ------------------------------------------------ *)
+
+let atom = function
+  | Atom a -> a
+  | List _ as l -> fail "expected atom, got %s" (to_string l)
+
+let int_of s =
+  match int_of_string_opt (atom s) with
+  | Some i -> i
+  | None -> fail "expected integer, got %s" (to_string s)
+
+let int64_of s =
+  match Int64.of_string_opt (atom s) with
+  | Some i -> i
+  | None -> fail "expected int64, got %s" (to_string s)
+
+let bool_of s =
+  match atom s with
+  | "true" -> true
+  | "false" -> false
+  | a -> fail "expected bool, got %s" a
+
+let of_bool b = Atom (if b then "true" else "false")
+let of_int i = Atom (string_of_int i)
+let of_int64 i = Atom (Int64.to_string i)
+
+(* --- types -------------------------------------------------------------- *)
+
+let rec encode_ty = function
+  | Ty.Byte -> Atom "byte"
+  | Ty.Word -> Atom "word"
+  | Ty.Pointer t -> List [ Atom "ptr"; encode_ty t ]
+  | Ty.Array (t, n) -> List [ Atom "array"; encode_ty t; of_int n ]
+  | Ty.Struct fields ->
+    List
+      (Atom "struct"
+      :: List.map
+           (fun { Ty.field_name; field_ty } ->
+             List [ Atom field_name; encode_ty field_ty ])
+           fields)
+
+let rec decode_ty = function
+  | Atom "byte" -> Ty.Byte
+  | Atom "word" -> Ty.Word
+  | List [ Atom "ptr"; t ] -> Ty.Pointer (decode_ty t)
+  | List [ Atom "array"; t; n ] -> Ty.Array (decode_ty t, int_of n)
+  | List (Atom "struct" :: fields) ->
+    Ty.Struct
+      (List.map
+         (function
+           | List [ Atom field_name; ty ] ->
+             { Ty.field_name; field_ty = decode_ty ty }
+           | s -> fail "bad struct field %s" (to_string s))
+         fields)
+  | s -> fail "bad type %s" (to_string s)
+
+(* --- expressions -------------------------------------------------------- *)
+
+let binop_name = function
+  | Expr.Add -> "add"
+  | Expr.Sub -> "sub"
+  | Expr.Mul -> "mul"
+  | Expr.Div -> "div"
+  | Expr.Rem -> "rem"
+  | Expr.And -> "and"
+  | Expr.Or -> "or"
+  | Expr.Xor -> "xor"
+  | Expr.Shl -> "shl"
+  | Expr.Shr -> "shr"
+  | Expr.Eq -> "eq"
+  | Expr.Ne -> "ne"
+  | Expr.Lt -> "lt"
+  | Expr.Le -> "le"
+  | Expr.Gt -> "gt"
+  | Expr.Ge -> "ge"
+
+let binops =
+  [ Expr.Add; Expr.Sub; Expr.Mul; Expr.Div; Expr.Rem; Expr.And; Expr.Or;
+    Expr.Xor; Expr.Shl; Expr.Shr; Expr.Eq; Expr.Ne; Expr.Lt; Expr.Le;
+    Expr.Gt; Expr.Ge ]
+
+let binop_of name =
+  match List.find_opt (fun op -> String.equal (binop_name op) name) binops with
+  | Some op -> op
+  | None -> fail "unknown binary operator %s" name
+
+let rec encode_expr = function
+  | Expr.Const n -> of_int64 n
+  | Expr.Local x -> List [ Atom "l"; Atom x ]
+  | Expr.Global_addr g -> List [ Atom "gv"; Atom g ]
+  | Expr.Func_addr f -> List [ Atom "fn"; Atom f ]
+  | Expr.Un (Expr.Neg, a) -> List [ Atom "neg"; encode_expr a ]
+  | Expr.Un (Expr.Not, a) -> List [ Atom "not"; encode_expr a ]
+  | Expr.Bin (op, a, b) ->
+    List [ Atom (binop_name op); encode_expr a; encode_expr b ]
+
+let rec decode_expr = function
+  | Atom _ as a -> Expr.Const (int64_of a)
+  | List [ Atom "l"; x ] -> Expr.Local (atom x)
+  | List [ Atom "gv"; g ] -> Expr.Global_addr (atom g)
+  | List [ Atom "fn"; f ] -> Expr.Func_addr (atom f)
+  | List [ Atom "neg"; a ] -> Expr.Un (Expr.Neg, decode_expr a)
+  | List [ Atom "not"; a ] -> Expr.Un (Expr.Not, decode_expr a)
+  | List [ Atom op; a; b ] ->
+    Expr.Bin (binop_of op, decode_expr a, decode_expr b)
+  | s -> fail "bad expression %s" (to_string s)
+
+(* --- instructions ------------------------------------------------------- *)
+
+let encode_width = function Instr.W8 -> Atom "w8" | Instr.W32 -> Atom "w32"
+
+let decode_width = function
+  | Atom "w8" -> Instr.W8
+  | Atom "w32" -> Instr.W32
+  | s -> fail "bad width %s" (to_string s)
+
+let rec encode_instr = function
+  | Instr.Let (x, e) -> List [ Atom "let"; Atom x; encode_expr e ]
+  | Instr.Load (x, w, a) ->
+    List [ Atom "load"; Atom x; encode_width w; encode_expr a ]
+  | Instr.Store (w, a, v) ->
+    List [ Atom "store"; encode_width w; encode_expr a; encode_expr v ]
+  | Instr.Alloca (x, ty) -> List [ Atom "alloca"; Atom x; encode_ty ty ]
+  | Instr.Call (dst, callee, args) ->
+    let dst = match dst with None -> Atom "_" | Some x -> Atom x in
+    let callee =
+      match callee with
+      | Instr.Direct f -> List [ Atom "d"; Atom f ]
+      | Instr.Indirect e -> List [ Atom "i"; encode_expr e ]
+    in
+    List (Atom "call" :: dst :: callee :: List.map encode_expr args)
+  | Instr.If (c, a, b) ->
+    List
+      [ Atom "if"; encode_expr c; List (List.map encode_instr a);
+        List (List.map encode_instr b) ]
+  | Instr.While (c, body) ->
+    List [ Atom "while"; encode_expr c; List (List.map encode_instr body) ]
+  | Instr.Return None -> List [ Atom "ret" ]
+  | Instr.Return (Some e) -> List [ Atom "ret"; encode_expr e ]
+  | Instr.Memcpy (d, s, n) ->
+    List [ Atom "memcpy"; encode_expr d; encode_expr s; encode_expr n ]
+  | Instr.Memset (d, v, n) ->
+    List [ Atom "memset"; encode_expr d; encode_expr v; encode_expr n ]
+  | Instr.Svc n -> List [ Atom "svc"; of_int n ]
+  | Instr.Halt -> List [ Atom "halt" ]
+  | Instr.Nop -> List [ Atom "nop" ]
+
+let rec decode_instr = function
+  | List [ Atom "let"; x; e ] -> Instr.Let (atom x, decode_expr e)
+  | List [ Atom "load"; x; w; a ] ->
+    Instr.Load (atom x, decode_width w, decode_expr a)
+  | List [ Atom "store"; w; a; v ] ->
+    Instr.Store (decode_width w, decode_expr a, decode_expr v)
+  | List [ Atom "alloca"; x; ty ] -> Instr.Alloca (atom x, decode_ty ty)
+  | List (Atom "call" :: dst :: callee :: args) ->
+    let dst = match atom dst with "_" -> None | x -> Some x in
+    let callee =
+      match callee with
+      | List [ Atom "d"; f ] -> Instr.Direct (atom f)
+      | List [ Atom "i"; e ] -> Instr.Indirect (decode_expr e)
+      | s -> fail "bad callee %s" (to_string s)
+    in
+    Instr.Call (dst, callee, List.map decode_expr args)
+  | List [ Atom "if"; c; List a; List b ] ->
+    Instr.If (decode_expr c, List.map decode_instr a, List.map decode_instr b)
+  | List [ Atom "while"; c; List body ] ->
+    Instr.While (decode_expr c, List.map decode_instr body)
+  | List [ Atom "ret" ] -> Instr.Return None
+  | List [ Atom "ret"; e ] -> Instr.Return (Some (decode_expr e))
+  | List [ Atom "memcpy"; d; s; n ] ->
+    Instr.Memcpy (decode_expr d, decode_expr s, decode_expr n)
+  | List [ Atom "memset"; d; v; n ] ->
+    Instr.Memset (decode_expr d, decode_expr v, decode_expr n)
+  | List [ Atom "svc"; n ] -> Instr.Svc (int_of n)
+  | List [ Atom "halt" ] -> Instr.Halt
+  | List [ Atom "nop" ] -> Instr.Nop
+  | s -> fail "bad instruction %s" (to_string s)
+
+(* --- functions, globals, peripherals ------------------------------------ *)
+
+let encode_func (f : Func.t) =
+  List
+    [ Atom "func"; Atom f.name; Atom f.file; of_bool f.irq; of_bool f.varargs;
+      List
+        (List.map (fun (x, ty) -> List [ Atom x; encode_ty ty ]) f.params);
+      List (List.map encode_instr f.body) ]
+
+let decode_func = function
+  | List [ Atom "func"; name; file; irq; varargs; List params; List body ] ->
+    { Func.name = atom name;
+      file = atom file;
+      irq = bool_of irq;
+      varargs = bool_of varargs;
+      params =
+        List.map
+          (function
+            | List [ x; ty ] -> (atom x, decode_ty ty)
+            | s -> fail "bad parameter %s" (to_string s))
+          params;
+      body = List.map decode_instr body }
+  | s -> fail "bad function %s" (to_string s)
+
+let encode_global (g : Global.t) =
+  List
+    [ Atom "global"; Atom g.name; encode_ty g.ty;
+      List (List.map of_int64 g.init); of_bool g.const; of_bool g.heap ]
+
+let decode_global = function
+  | List [ Atom "global"; name; ty; List init; const; heap ] ->
+    { Global.name = atom name;
+      ty = decode_ty ty;
+      init = List.map int64_of init;
+      const = bool_of const;
+      heap = bool_of heap }
+  | s -> fail "bad global %s" (to_string s)
+
+let encode_peripheral (p : Peripheral.t) =
+  List
+    [ Atom "periph"; Atom p.name; of_int p.base; of_int p.size; of_bool p.core ]
+
+let decode_peripheral = function
+  | List [ Atom "periph"; name; base; size; core ] ->
+    { Peripheral.name = atom name;
+      base = int_of base;
+      size = int_of size;
+      core = bool_of core }
+  | s -> fail "bad peripheral %s" (to_string s)
+
+(* --- programs ----------------------------------------------------------- *)
+
+let encode_program (p : Program.t) =
+  List
+    [ Atom "program"; Atom p.name; Atom p.main;
+      List (List.map encode_peripheral p.peripherals);
+      List (List.map encode_global p.globals);
+      List (List.map encode_func p.funcs) ]
+
+let decode_program = function
+  | List [ Atom "program"; name; main; List periphs; List globals; List funcs ]
+    ->
+    Program.validate
+      { Program.name = atom name;
+        main = atom main;
+        peripherals = List.map decode_peripheral periphs;
+        globals = List.map decode_global globals;
+        funcs = List.map decode_func funcs }
+  | s -> fail "bad program %s" (to_string s)

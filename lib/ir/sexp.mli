@@ -1,0 +1,45 @@
+(** S-expression round-trip for whole programs.
+
+    The fuzzing harness persists minimized failing firmware as a
+    self-contained S-expression (program + seed metadata) so a failure
+    found on one machine replays bit-identically on another.  The
+    encoding is total and the decoder rejects malformed input with
+    {!Parse_error}; [decode_program (encode_program p) = p] holds for
+    every well-formed program (an alcotest property guards it). *)
+
+type t = Atom of string | List of t list
+
+exception Parse_error of string
+
+(** {2 Generic reading and printing} *)
+
+(** Parse one S-expression; trailing whitespace is allowed.  Raises
+    {!Parse_error} on malformed input. *)
+val parse : string -> t
+
+(** Render with minimal quoting; [parse (to_string s) = s]. *)
+val to_string : t -> string
+
+(** Multi-line rendering for human-readable reproducer files. *)
+val pp : Format.formatter -> t -> unit
+
+(** {2 IR encoders/decoders} *)
+
+val encode_ty : Ty.t -> t
+val decode_ty : t -> Ty.t
+val encode_expr : Expr.t -> t
+val decode_expr : t -> Expr.t
+val encode_instr : Instr.t -> t
+val decode_instr : t -> Instr.t
+val encode_func : Func.t -> t
+val decode_func : t -> Func.t
+val encode_global : Global.t -> t
+val decode_global : t -> Global.t
+val encode_peripheral : Peripheral.t -> t
+val decode_peripheral : t -> Peripheral.t
+
+(** The whole program, including name and entry point.  The decoder
+    re-validates, so a decoded program is well-formed by construction. *)
+val encode_program : Program.t -> t
+
+val decode_program : t -> Program.t

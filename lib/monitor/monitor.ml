@@ -34,6 +34,10 @@ type t = {
   ptr_offsets : (string, int list) Hashtbl.t;
   (* reverse index: (op, var, base, size) for pointer translation *)
   shadow_ranges : (string * string * int * int) list;
+  (* (var, base, size) of the public-section masters: a pointer field can
+     hold a master address after a sync through an operation without
+     access to the target, and must localize again on the next switch *)
+  master_ranges : (string * int * int) list;
   sync_whole_section : bool;
       (** ablation: copy entire sections at switches instead of only the
           shared variables (Section 6.3 credits the shared-only policy) *)
@@ -74,8 +78,13 @@ let create ?(sync_whole_section = false) (image : C.Image.t) (bus : M.Bus.t) =
           acc homes)
       image.C.Image.layout.C.Layout.shadow_addr []
   in
+  let master_ranges =
+    List.map
+      (fun (s : C.Layout.slot) -> (s.C.Layout.var, s.C.Layout.addr, s.C.Layout.size))
+      image.C.Image.layout.C.Layout.public.C.Layout.slots
+  in
   { image; bus; stats = Stats.create (); var_size; ptr_offsets; shadow_ranges;
-    sync_whole_section; frames = [] }
+    master_ranges; sync_whole_section; frames = [] }
 
 (* --- privileged memory helpers ----------------------------------------- *)
 
@@ -151,22 +160,37 @@ let sync_out t (meta : C.Metadata.op_meta) =
 let translate_pointer t ~op v =
   let addr = Int64.to_int v in
   let hit =
-    List.find_opt
-      (fun (owner, _var, base, size) ->
-        (not (String.equal owner op)) && addr >= base && addr < base + size)
-      t.shadow_ranges
+    match
+      List.find_opt
+        (fun (owner, _var, base, size) ->
+          (not (String.equal owner op)) && addr >= base && addr < base + size)
+        t.shadow_ranges
+    with
+    | Some (_owner, var, base, _size) -> Some (var, base)
+    | None ->
+      (* a master address is the canonical form a pointer takes after
+         passing through an operation without access to the target;
+         localize it into [op]'s shadow when one exists *)
+      Option.map
+        (fun (var, base, _size) -> (var, base))
+        (List.find_opt
+           (fun (_var, base, size) -> addr >= base && addr < base + size)
+           t.master_ranges)
   in
   match hit with
   | None -> v
-  | Some (_owner, var, base, _size) ->
+  | Some (var, base) ->
     let delta = addr - base in
     let target =
       match C.Layout.shadow_of t.image.C.Image.layout ~op ~var with
       | Some s -> s + delta
       | None -> master_of t var + delta
     in
-    t.stats.Stats.pointer_fixups <- t.stats.Stats.pointer_fixups + 1;
-    Int64.of_int target
+    if target = addr then v
+    else begin
+      t.stats.Stats.pointer_fixups <- t.stats.Stats.pointer_fixups + 1;
+      Int64.of_int target
+    end
 
 (* copy masters into the incoming operation's shadows and fix up pointer
    fields that still reference another operation's section *)

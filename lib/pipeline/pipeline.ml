@@ -114,6 +114,13 @@ let key (c : ctx) = c.key
 let reset () =
   Mutex.protect store_lock (fun () -> Hashtbl.reset store)
 
+(* Drop one workload's artifacts.  Long generative sweeps (the fuzz
+   harness) pipe thousands of distinct programs through the store; each
+   evicts its entry once judged, so memory stays bounded while the
+   bundled workloads' artifacts survive. *)
+let evict (c : ctx) =
+  Mutex.protect store_lock (fun () -> Hashtbl.remove store c.key)
+
 (* Caching can be switched off to emulate the pre-pipeline behaviour —
    every consumer recomputing its own artifacts — which is what the
    [bench pipeline] target measures the store against.  The engine knob

@@ -49,6 +49,10 @@ val key : ctx -> string
 (** Drop every cached artifact (all workloads). *)
 val reset : unit -> unit
 
+(** Drop one workload's cached artifacts (the fuzz sweep's memory
+    bound: each generated program evicts its entry once judged). *)
+val evict : ctx -> unit
+
 (** Switch memoization off/on (default: on).  With caching off every
     accessor recomputes from scratch — the pre-pipeline behaviour the
     [bench pipeline] target measures against. *)

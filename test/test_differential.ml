@@ -209,9 +209,11 @@ let test_engines_agree (app : Apps.App.t) () =
 
 let suite () =
   [ ( "differential",
-      [ QCheck_alcotest.to_alcotest prop_transparent;
-        QCheck_alcotest.to_alcotest prop_overhead_nonnegative;
-        Alcotest.test_case "engines agree on PinLock" `Slow
-          (test_engines_agree (Apps.Registry.pinlock ()));
-        Alcotest.test_case "engines agree on TCP-Echo" `Slow
-          (test_engines_agree (Apps.Registry.tcp_echo ())) ] ) ]
+      QCheck_alcotest.to_alcotest prop_transparent
+      :: QCheck_alcotest.to_alcotest prop_overhead_nonnegative
+      :: List.map
+           (fun (app : Apps.App.t) ->
+             Alcotest.test_case
+               ("engines agree on " ^ app.Apps.App.app_name)
+               `Slow (test_engines_agree app))
+           (Apps.Registry.all ()) ) ]

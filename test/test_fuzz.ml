@@ -1,0 +1,242 @@
+(* Tests for the fuzz subsystem: generator validity over a large seed
+   range, replay determinism, reproducer round-trips, the shrinker's
+   fixpoint contract, the seeded-defect gate (each deliberate image
+   corruption must be caught by its routed oracle property and shrink
+   to a small witness), and the sweep driver's determinism.
+
+   Also holds the regression test for [Interp.last_fault] staleness
+   across back-to-back runs of one interpreter. *)
+
+open Opec_ir
+open Build
+module M = Opec_machine
+module Ex = Opec_exec
+module C = Opec_core
+module F = Opec_fuzz
+
+let board = M.Memmap.stm32f4_discovery
+
+(* --- generator validity ------------------------------------------------- *)
+
+(* [Gen.case] promises well-formedness by construction: [Program.v]
+   validates inside it, so surviving construction is the check — plus
+   the developer input must only name things that exist. *)
+let test_generator_validity () =
+  for seed = 0 to 999 do
+    let program, dev_input = F.Gen.case ~seed ~size:2 in
+    let funcs =
+      List.map (fun (f : Func.t) -> f.Func.name) program.Program.funcs
+    in
+    let globals =
+      List.map (fun (g : Global.t) -> g.Global.name) program.Program.globals
+    in
+    List.iter
+      (fun e ->
+        if not (List.mem e funcs) then
+          Alcotest.failf "seed %d: entry %s is not a function" seed e)
+      dev_input.C.Dev_input.entries;
+    List.iter
+      (fun (si : C.Dev_input.stack_info) ->
+        if not (List.mem si.C.Dev_input.si_entry dev_input.C.Dev_input.entries)
+        then Alcotest.failf "seed %d: stack info for non-entry" seed)
+      dev_input.C.Dev_input.stack_infos;
+    List.iter
+      (fun (r : C.Dev_input.sanitize_rule) ->
+        if not (List.mem r.C.Dev_input.sz_global globals) then
+          Alcotest.failf "seed %d: sanitize rule for unknown global" seed)
+      dev_input.C.Dev_input.sanitize;
+    if dev_input.C.Dev_input.entries = [] then
+      Alcotest.failf "seed %d: no entries" seed
+  done
+
+(* every generated case must also compile to an image *)
+let test_generator_compiles () =
+  for seed = 0 to 99 do
+    let program, dev_input = F.Gen.case ~seed ~size:2 in
+    ignore (C.Compiler.compile ~board program dev_input)
+  done
+
+(* --- determinism --------------------------------------------------------- *)
+
+let render p = Sexp.to_string (Sexp.encode_program p)
+
+let test_replay_deterministic () =
+  let p1, d1 = F.Gen.case ~seed:11 ~size:2 in
+  let p2, d2 = F.Gen.case ~seed:11 ~size:2 in
+  Alcotest.(check string) "same seed, byte-identical program" (render p1)
+    (render p2);
+  Alcotest.(check bool) "same seed, identical dev input" true (d1 = d2);
+  let p3, _ = F.Gen.case ~seed:12 ~size:2 in
+  Alcotest.(check bool) "different seed, different program" false
+    (String.equal (render p1) (render p3))
+
+let test_repro_roundtrip () =
+  let program, dev_input = F.Gen.case ~seed:7 ~size:2 in
+  let t =
+    { F.Repro.seed = Some 7; size = Some 2; property = "transparency";
+      detail = "final state diverged"; program; dev_input }
+  in
+  let path = Filename.temp_file "opec-repro" ".sexp" in
+  F.Repro.save path t;
+  let t' = F.Repro.load path in
+  Sys.remove path;
+  Alcotest.(check (option int)) "seed survives" (Some 7) t'.F.Repro.seed;
+  Alcotest.(check (option int)) "size survives" (Some 2) t'.F.Repro.size;
+  Alcotest.(check string) "property survives" "transparency"
+    t'.F.Repro.property;
+  Alcotest.(check string) "program round-trips" (render program)
+    (render t'.F.Repro.program);
+  Alcotest.(check bool) "dev input round-trips" true
+    (t'.F.Repro.dev_input = dev_input)
+
+let test_runner_deterministic () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "opec-fuzz-test" in
+  let r1 = F.Runner.run ~domains:1 ~lo:0 ~hi:5 ~out_dir:dir () in
+  let r2 = F.Runner.run ~domains:1 ~lo:0 ~hi:5 ~out_dir:dir () in
+  Alcotest.(check int) "clean sweep" 6 r1.F.Runner.r_passed;
+  Alcotest.(check bool) "two sweeps agree" true (r1 = r2)
+
+(* --- shrinker ------------------------------------------------------------ *)
+
+let has_store (p : Program.t) =
+  List.exists
+    (fun (f : Func.t) ->
+      Instr.fold_block
+        (fun acc i ->
+          acc || match i with Instr.Store _ -> true | _ -> false)
+        false f.Func.body)
+    p.Program.funcs
+
+let test_shrink_fixpoint () =
+  let program, dev_input = F.Gen.case ~seed:5 ~size:2 in
+  let test (c : F.Shrink.case) = has_store c.F.Shrink.program in
+  let case = { F.Shrink.program; dev_input } in
+  Alcotest.(check bool) "input fails" true (test case);
+  let before = F.Shrink.func_count case in
+  let shrunk, _tests = F.Shrink.shrink ~test case in
+  Alcotest.(check bool) "result still fails" true (test shrunk);
+  Alcotest.(check bool)
+    (Printf.sprintf "shrunk (%d -> %d funcs)" before
+       (F.Shrink.func_count shrunk))
+    true
+    (F.Shrink.func_count shrunk <= before);
+  Alcotest.(check bool) "fixpoint: no single step remains" true
+    (F.Shrink.improve ~test shrunk = None)
+
+(* --- seeded-defect gate -------------------------------------------------- *)
+
+(* A case fires the defect when its image accepts the corruption and
+   the routed property then fails on the corrupted image. *)
+let defect_fires defect prop (case : F.Shrink.case) =
+  match
+    try Some (C.Compiler.compile ~board case.F.Shrink.program
+                case.F.Shrink.dev_input)
+    with _ -> None
+  with
+  | None -> false
+  | Some img -> (
+    match F.Defect.apply defect img with
+    | None -> false
+    | Some bad -> (
+      try
+        F.Oracle.check_app ~image:bad ~properties:[ prop ]
+          (F.Gen.app_of case.F.Shrink.program case.F.Shrink.dev_input)
+        <> []
+      with _ -> false))
+
+let test_defect_gate defect () =
+  let prop =
+    match F.Oracle.find (F.Defect.caught_by defect) with
+    | Some p -> p
+    | None ->
+      Alcotest.failf "defect %s routed to unknown property"
+        (F.Defect.name defect)
+  in
+  let rec hunt seed =
+    if seed > 99 then
+      Alcotest.failf "no seed in 0..99 fires defect %s" (F.Defect.name defect)
+    else
+      let program, dev_input = F.Gen.case ~seed ~size:2 in
+      let case = { F.Shrink.program; dev_input } in
+      if defect_fires defect prop case then case else hunt (seed + 1)
+  in
+  let case = hunt 0 in
+  let shrunk, _ =
+    F.Shrink.shrink ~max_tests:400 ~test:(defect_fires defect prop) case
+  in
+  Alcotest.(check bool) "shrunk case still caught" true
+    (defect_fires defect prop shrunk);
+  Alcotest.(check bool)
+    (Printf.sprintf "shrunk to <= 5 functions (got %d)"
+       (F.Shrink.func_count shrunk))
+    true
+    (F.Shrink.func_count shrunk <= 5)
+
+(* clean images must NOT trip the gate properties: the oracles catch
+   the corruption, not the program *)
+let test_defects_need_corruption () =
+  let program, dev_input = F.Gen.case ~seed:0 ~size:2 in
+  let app = F.Gen.app_of program dev_input in
+  List.iter
+    (fun d ->
+      let prop =
+        match F.Oracle.find (F.Defect.caught_by d) with
+        | Some p -> p
+        | None -> Alcotest.fail "unknown property"
+      in
+      Alcotest.(check (list (pair string string)))
+        (F.Defect.name d ^ ": clean image passes its property")
+        []
+        (F.Oracle.check_app ~properties:[ prop ] app))
+    F.Defect.all
+
+(* --- Interp.last_fault regression ---------------------------------------- *)
+
+(* A faulting run used to leave [last_fault] set for the next run of
+   the same interpreter, so post-mortem classifiers reading it after a
+   clean run saw the stale fault.  [run] must reset it. *)
+let test_last_fault_reset () =
+  let p =
+    Program.v ~name:"t" ~globals:[ word "out" ] ~peripherals:[]
+      ~funcs:
+        [ func "bad" [] [ store (c 0) (c 1); ret0 ];
+          func "main" [] [ store (gv "out") (c 7); halt ] ]
+      ()
+  in
+  let bus = M.Bus.create ~board in
+  let layout = Ex.Vanilla_layout.make ~board p in
+  Ex.Vanilla_layout.load_initial_values bus
+    ~global_addr:layout.Ex.Vanilla_layout.map.Ex.Address_map.global_addr p;
+  let interp = Ex.Interp.create ~bus ~map:layout.Ex.Vanilla_layout.map p in
+  (try ignore (Ex.Interp.call interp "bad" [])
+   with _ -> ());
+  Alcotest.(check bool) "faulting store recorded" true
+    (Ex.Interp.last_fault interp <> None);
+  Ex.Interp.run interp;
+  Alcotest.(check bool) "clean run clears the stale fault" true
+    (Ex.Interp.last_fault interp = None)
+
+let suite () =
+  [ ( "fuzz",
+      [ Alcotest.test_case "1000 seeds generate valid programs" `Slow
+          test_generator_validity;
+        Alcotest.test_case "generated cases compile" `Slow
+          test_generator_compiles;
+        Alcotest.test_case "same seed replays byte-identically" `Quick
+          test_replay_deterministic;
+        Alcotest.test_case "reproducer files round-trip" `Quick
+          test_repro_roundtrip;
+        Alcotest.test_case "sweep driver is deterministic" `Slow
+          test_runner_deterministic;
+        Alcotest.test_case "shrinker reaches a fixpoint" `Quick
+          test_shrink_fixpoint;
+        Alcotest.test_case "defect gate: drop-svc" `Slow
+          (test_defect_gate F.Defect.Drop_svc);
+        Alcotest.test_case "defect gate: widen-mpu" `Slow
+          (test_defect_gate F.Defect.Widen_mpu);
+        Alcotest.test_case "defect gate: corrupt-shadow" `Slow
+          (test_defect_gate F.Defect.Corrupt_shadow);
+        Alcotest.test_case "clean images pass the gate properties" `Quick
+          test_defects_need_corruption;
+        Alcotest.test_case "last_fault resets between runs" `Quick
+          test_last_fault_reset ] ) ]

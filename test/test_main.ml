@@ -10,4 +10,5 @@ let () =
     @ Test_lint.suite ()
     @ Test_attack.suite ()
     @ Test_pipeline.suite ()
+    @ Test_fuzz.suite ()
     @ Test_apps.suite ())
