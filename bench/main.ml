@@ -4,7 +4,7 @@
 
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe -- table1  # one artifact
-     ... table1 | figure9 | table2 | figure10 | figure11 | table3 | campaign | ablation | micro | pipeline
+     ... table1 | figure9 | table2 | figure10 | figure11 | table3 | campaign | ablation | micro | pipeline | obs
 
    Absolute numbers differ from the paper (the substrate is a machine
    model, not an STM32 board); the comparisons of EXPERIMENTS.md are about
@@ -501,6 +501,154 @@ let pipeline_bench () =
   close_out oc;
   say "  wrote BENCH_pipeline.json"
 
+(* --------------------------------------------------------------------- obs *)
+
+(* Overhead breakdown per workload (Section 6.3): where the monitor's
+   cycles go, measured from the telemetry stream of the instrumented
+   protected run.  Results land in BENCH_obs.json; when a checked-in
+   reference breakdown (BENCH_obs_ref.json) exists, the target fails if
+   any workload's total monitor overhead regressed more than 25%
+   against it — the CI perf smoke. *)
+
+let w_obs c = ignore (P.protected_obs c)
+
+let obs_ref_file = "BENCH_obs_ref.json"
+
+(* Naive field scan over our own writer's output (one workload per
+   line); there is no JSON library in the tree and none is needed for
+   a file this regular. *)
+let find_sub s pat =
+  let n = String.length s and m = String.length pat in
+  let rec go i =
+    if i + m > n then None
+    else if String.equal (String.sub s i m) pat then Some (i + m)
+    else go (i + 1)
+  in
+  go 0
+
+let scan_field line key =
+  match find_sub line (Printf.sprintf "\"%s\": " key) with
+  | None -> None
+  | Some i ->
+    let n = String.length line in
+    if i < n && line.[i] = '"' then (
+      let j = ref (i + 1) in
+      while !j < n && line.[!j] <> '"' do incr j done;
+      Some (String.sub line (i + 1) (!j - i - 1)))
+    else (
+      let j = ref i in
+      while
+        !j < n
+        && match line.[!j] with '0' .. '9' | '-' | '.' -> true | _ -> false
+      do
+        incr j
+      done;
+      if !j = i then None else Some (String.sub line i (!j - i)))
+
+let parse_obs_ref path =
+  if not (Sys.file_exists path) then []
+  else (
+    let ic = open_in path in
+    let rows = ref [] in
+    (try
+       while true do
+         let line = input_line ic in
+         match (scan_field line "app", scan_field line "overhead_cycles") with
+         | Some app, Some oh -> rows := (app, Int64.of_string oh) :: !rows
+         | _ -> ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !rows)
+
+let write_obs_json path (rows : Met.Overhead.breakdown list) =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n  \"workloads\": [\n";
+  List.iteri
+    (fun i (b : Met.Overhead.breakdown) ->
+      out
+        "    {\"app\": %S, \"baseline_cycles\": %Ld, \"protected_cycles\": \
+         %Ld, \"overhead_cycles\": %Ld, \"sanitize\": %Ld, \"sync\": %Ld, \
+         \"relocate\": %Ld, \"mpu\": %Ld, \"svc\": %Ld, \"init\": %Ld, \
+         \"other\": %Ld, \"switches\": %d, \"swaps\": %d, \"emulations\": \
+         %d, \"synced_bytes\": %d}%s\n"
+        b.Met.Overhead.bd_app b.Met.Overhead.bd_base_cycles
+        b.Met.Overhead.bd_prot_cycles b.Met.Overhead.bd_overhead_cycles
+        b.Met.Overhead.bd_sanitize b.Met.Overhead.bd_sync
+        b.Met.Overhead.bd_relocate b.Met.Overhead.bd_mpu
+        b.Met.Overhead.bd_svc b.Met.Overhead.bd_init b.Met.Overhead.bd_other
+        b.Met.Overhead.bd_switches b.Met.Overhead.bd_swaps
+        b.Met.Overhead.bd_emulations b.Met.Overhead.bd_synced_bytes
+        (if i < List.length rows - 1 then "," else ""))
+    rows;
+  out "  ]\n}\n";
+  close_out oc
+
+let obs () =
+  say "%s" (R.heading "Overhead breakdown (Section 6.3): where monitor cycles go");
+  let apps = Apps.Registry.all () in
+  prewarm [ w_baseline; w_obs ] apps;
+  let rows = List.map Met.Overhead.breakdown_of_app apps in
+  let pct part (b : Met.Overhead.breakdown) =
+    100.0
+    *. Int64.to_float part
+    /. Int64.to_float (Int64.max 1L b.Met.Overhead.bd_overhead_cycles)
+  in
+  let cells (b : Met.Overhead.breakdown) =
+    [ b.Met.Overhead.bd_app;
+      Int64.to_string b.Met.Overhead.bd_overhead_cycles;
+      Printf.sprintf "%Ld(%.1f%%)" b.Met.Overhead.bd_sanitize
+        (pct b.Met.Overhead.bd_sanitize b);
+      Printf.sprintf "%Ld(%.1f%%)" b.Met.Overhead.bd_sync
+        (pct b.Met.Overhead.bd_sync b);
+      Printf.sprintf "%Ld(%.1f%%)" b.Met.Overhead.bd_relocate
+        (pct b.Met.Overhead.bd_relocate b);
+      Int64.to_string b.Met.Overhead.bd_mpu;
+      Printf.sprintf "%Ld(%.1f%%)" b.Met.Overhead.bd_svc
+        (pct b.Met.Overhead.bd_svc b);
+      Printf.sprintf "%Ld(%.1f%%)" b.Met.Overhead.bd_other
+        (pct b.Met.Overhead.bd_other b);
+      string_of_int b.Met.Overhead.bd_switches;
+      string_of_int b.Met.Overhead.bd_synced_bytes ]
+  in
+  say "%s@."
+    (R.table
+       ~header:
+         [ "Application"; "Overhead"; "Sanitize"; "Sync"; "Relocate"; "MPU";
+           "SVC"; "Other"; "Switches"; "Synced(B)" ]
+       (List.map cells rows));
+  write_obs_json "BENCH_obs.json" rows;
+  say "  wrote BENCH_obs.json";
+  (* the regression gate against the checked-in reference breakdown *)
+  match parse_obs_ref obs_ref_file with
+  | [] -> say "  no %s reference found; overhead gate skipped" obs_ref_file
+  | refs ->
+    let failures =
+      List.filter_map
+        (fun (b : Met.Overhead.breakdown) ->
+          match List.assoc_opt b.Met.Overhead.bd_app refs with
+          | None -> None
+          | Some ref_oh ->
+            let cur = Int64.to_float b.Met.Overhead.bd_overhead_cycles in
+            let limit = Int64.to_float ref_oh *. 1.25 in
+            if cur > limit then
+              Some
+                (Printf.sprintf
+                   "%s: overhead %Ld cycles exceeds reference %Ld by more \
+                    than 25%%"
+                   b.Met.Overhead.bd_app b.Met.Overhead.bd_overhead_cycles
+                   ref_oh)
+            else None)
+        rows
+    in
+    (match failures with
+    | [] ->
+      say "  overhead gate: every workload within 25%% of %s" obs_ref_file
+    | fs ->
+      List.iter (fun f -> say "  OVERHEAD REGRESSION: %s" f) fs;
+      exit 1)
+
 (* ------------------------------------------------------------------ driver *)
 
 let all () =
@@ -528,9 +676,10 @@ let () =
   | "ablation" -> ablation ()
   | "micro" -> micro ()
   | "pipeline" -> pipeline_bench ()
+  | "obs" -> obs ()
   | "all" -> all ()
   | other ->
     Format.eprintf
-      "unknown artifact %S (expected table1|figure9|table2|figure10|figure11|table3|campaign|ablation|micro|pipeline|all)@."
+      "unknown artifact %S (expected table1|figure9|table2|figure10|figure11|table3|campaign|ablation|micro|pipeline|obs|all)@."
       other;
     exit 2

@@ -165,51 +165,91 @@ let aces_cmd =
 (* ----------------------------------------------------------------- trace *)
 
 let trace_cmd =
+  let module Obs = Opec_obs in
+  let app_opt =
+    let doc = "Workload to trace (default: every bundled workload)." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the export to FILE instead of stdout (single workload only).")
+  in
+  let format =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("text", Obs.Export.Text); ("json", Obs.Export.Json);
+               ("chrome", Obs.Export.Chrome) ])
+          Obs.Export.Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Export format: text (human summary), json (machine), or \
+             chrome (trace-event JSON loadable in Perfetto / \
+             chrome://tracing).")
+  in
   let limit =
     Arg.(
       value & opt int 40
-      & info [ "n"; "limit" ] ~docv:"N" ~doc:"Events to print (default 40).")
+      & info [ "n"; "limit" ] ~docv:"N"
+          ~doc:"Telemetry events to list in text format (default 40).")
   in
-  let run name limit =
-    match find_app name with
-    | Error e -> exits_with_error e
-    | Ok app ->
-      let p = P.protected_traced (P.ctx app) in
-      P.reraise p.P.p_err;
-      let events = p.P.p_events in
-      let switches =
-        List.filter
-          (function
-            | Opec_exec.Trace.Op_enter _ | Opec_exec.Trace.Op_exit _ -> true
-            | Opec_exec.Trace.Call _ | Opec_exec.Trace.Return _
-            | Opec_exec.Trace.Access _ -> false)
-          events
-      in
-      Format.printf "%d trace events, %d operation switch events@."
-        (List.length events) (List.length switches);
+  let trace_app fmt limit out (app : Apps.App.t) =
+    let c = P.ctx app in
+    let o = P.protected_obs c in
+    P.reraise o.P.o_err;
+    let events = o.P.o_events in
+    match fmt with
+    | Obs.Export.Text ->
+      let emit line = Format.printf "%s" line in
+      emit (Printf.sprintf "== %s ==\n" app.Apps.App.app_name);
+      emit
+        (Fmt.str "monitor: %a\nsvc transitions (interp): %d\n@?" Mon.Stats.pp
+           o.P.o_stats o.P.o_switches);
+      emit (Obs.Export.text events);
+      let n = List.length events in
+      Format.printf "@.first %d of %d events:@." (min limit n) n;
       List.iteri
         (fun i e ->
-          if i < limit then
-            Format.printf "%4d  %a@." i Opec_exec.Trace.pp_event e)
-        switches;
-      if List.length switches > limit then
-        Format.printf "... (%d more; raise -n to see them)@."
-          (List.length switches - limit);
-      (* per-operation invocation counts *)
-      let tbl = Hashtbl.create 16 in
-      List.iter
-        (function
-          | Opec_exec.Trace.Op_enter op ->
-            Hashtbl.replace tbl op
-              (1 + Option.value (Hashtbl.find_opt tbl op) ~default:0)
-          | _ -> ())
-        switches;
-      Format.printf "@.invocations per operation:@.";
-      Hashtbl.iter (fun op n -> Format.printf "  %-24s %d@." op n) tbl
+          if i < limit then Format.printf "  %a@." Obs.Sink.pp_event e)
+        events;
+      if n > limit then
+        Format.printf "... (%d more; raise -n or use --format json)@."
+          (n - limit)
+    | Obs.Export.Json | Obs.Export.Chrome -> (
+      let rendered = Obs.Export.render fmt events in
+      match out with
+      | None -> print_string rendered
+      | Some path ->
+        let oc = open_out path in
+        output_string oc rendered;
+        close_out oc;
+        Format.eprintf "wrote %d %s events to %s@." (List.length events)
+          (Obs.Export.format_name fmt) path)
+  in
+  let run name fmt limit out =
+    let apps =
+      match name with
+      | None -> Ok (Apps.Registry.all ())
+      | Some n -> Result.map (fun a -> [ a ]) (find_app n)
+    in
+    match apps with
+    | Error e -> exits_with_error e
+    | Ok apps ->
+      if out <> None && List.length apps > 1 then
+        exits_with_error "--out requires naming a single workload";
+      List.iter (trace_app fmt limit out) apps
   in
   Cmd.v
-    (Cmd.info "trace" ~doc:"Run a workload and print its operation-switch timeline")
-    Term.(const run $ app_arg $ limit)
+    (Cmd.info "trace"
+       ~doc:
+         "Run a workload with cycle-accurate monitor telemetry and export \
+          it: per-phase switch spans, region swaps, PPB emulations, and \
+          denials, as human text, JSON, or a Chrome/Perfetto trace")
+    Term.(const run $ app_opt $ format $ limit $ out)
 
 (* --------------------------------------------------------------- profile *)
 
@@ -228,7 +268,9 @@ let profile_cmd =
       (fun (stage, dt) ->
         Format.printf "  %-18s %9.2f ms@." stage (dt *. 1000.0))
       (P.timings c);
-    Format.printf "  %-18s %9.2f ms@." "total" (total *. 1000.0)
+    Format.printf "  %-18s %9.2f ms@." "total" (total *. 1000.0);
+    let p = P.protected_ c in
+    Format.printf "  monitor: %a@." Mon.Stats.pp p.P.p_stats
   in
   let run name =
     let apps =

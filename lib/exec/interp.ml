@@ -37,6 +37,7 @@
 
 open Opec_ir
 module M = Opec_machine
+module Obs = Opec_obs
 
 exception Aborted of string
 exception Fuel_exhausted
@@ -95,8 +96,12 @@ type t = {
   max_depth : int;
   engine : engine;
   dfuncs : (string, dfunc) Hashtbl.t;  (** decoded code, [Decoded] only *)
-  (* switch bookkeeping for metrics *)
+  (* switch bookkeeping for metrics: counts completed SVC transitions,
+     both traps — one on entry, one on exit — matching the monitor's
+     [Stats.switches] on single-threaded runs *)
   mutable operation_switches : int;
+  (* telemetry sink; [Obs.Sink.null] unless a collector is attached *)
+  mutable sink : Obs.Sink.t;
   (* last data-access fault delivered to the handler, for post-mortem
      classification (the attack campaign reads it after an abort) *)
   mutable last_fault : (access_desc * M.Fault.info) option;
@@ -109,6 +114,18 @@ let trace t = t.trace
 let cycles t = M.Cpu.cycles (cpu t)
 let switches t = t.operation_switches
 let engine t = t.engine
+let sink t = t.sink
+let set_sink t sink = t.sink <- sink
+
+(* One SVC transition completed: count it and leave an independent mark
+   in the telemetry stream (the counter-drift test reconciles these
+   marks against the monitor's switch spans). *)
+let svc_mark t kind (fname : string) =
+  t.operation_switches <- t.operation_switches + 1;
+  if t.sink.Obs.Sink.active then
+    t.sink.Obs.Sink.emit
+      (Obs.Sink.Svc_switch
+         { sv_kind = kind; sv_entry = fname; sv_at = M.Cpu.cycles (cpu t) })
 
 exception Halted
 exception Returning of int64
@@ -326,7 +343,7 @@ and call_operation t (f : Func.t) argv =
   let argv' =
     M.Cpu.with_privilege c (fun () -> t.handler.on_operation_enter ~entry:f ~args:argv)
   in
-  t.operation_switches <- t.operation_switches + 1;
+  svc_mark t Obs.Sink.Enter f.name;
   Trace.record t.trace (Trace.Op_enter f.name);
   t.depth <- t.depth + 1;
   let env = Env.create () in
@@ -337,6 +354,9 @@ and call_operation t (f : Func.t) argv =
   let finish () =
     M.Cpu.charge c 4;
     M.Cpu.with_privilege c (fun () -> t.handler.on_operation_exit ~entry:f);
+    (* the exit trap is a switch too — keep this count in lockstep with
+       the monitor's [Stats.switches], which counts both directions *)
+    svc_mark t Obs.Sink.Exit f.name;
     t.depth <- t.depth - 1;
     Trace.record t.trace (Trace.Op_exit f.name);
     c.M.Cpu.sp <- saved_sp
@@ -441,13 +461,15 @@ and dcall_operation t df (argv : int64 array) =
   let argv' =
     M.Cpu.with_privilege c (fun () -> t.handler.on_operation_enter ~entry:f ~args:argv)
   in
-  t.operation_switches <- t.operation_switches + 1;
+  svc_mark t Obs.Sink.Enter f.Func.name;
   Trace.record t.trace (Trace.Op_enter f.Func.name);
   t.depth <- t.depth + 1;
   let fr = dframe df argv' in
   let finish () =
     M.Cpu.charge c 4;
     M.Cpu.with_privilege c (fun () -> t.handler.on_operation_exit ~entry:f);
+    (* exit trap counts too; see [call_operation] *)
+    svc_mark t Obs.Sink.Exit f.Func.name;
     t.depth <- t.depth - 1;
     Trace.record t.trace (Trace.Op_exit f.Func.name);
     c.M.Cpu.sp <- saved_sp
@@ -757,7 +779,8 @@ let decode t (f : Func.t) : dfunc =
 (* --- construction ------------------------------------------------------- *)
 
 let create ?(fuel = 200_000_000) ?(max_depth = 200) ?(handler = abort_handler)
-    ?(entries = []) ?(engine = Decoded) ~bus ~map program =
+    ?(entries = []) ?(engine = Decoded) ?(sink = Obs.Sink.null) ~bus ~map
+    program =
   let tbl = Hashtbl.create 16 in
   List.iter (fun e -> Hashtbl.replace tbl e ()) entries;
   let t =
@@ -774,6 +797,7 @@ let create ?(fuel = 200_000_000) ?(max_depth = 200) ?(handler = abort_handler)
       engine;
       dfuncs = Hashtbl.create 64;
       operation_switches = 0;
+      sink;
       last_fault = None }
   in
   (match engine with

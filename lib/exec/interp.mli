@@ -57,13 +57,15 @@ type t
     the operation entry functions (calls to them run the SVC switch
     protocol); [fuel] bounds executed instructions; [max_depth] bounds
     the call stack; [engine] selects the execution engine (default
-    [Decoded]). *)
+    [Decoded]); [sink] attaches a telemetry collector (default
+    {!Opec_obs.Sink.null} — disabled, no allocation, no cycles). *)
 val create :
   ?fuel:int ->
   ?max_depth:int ->
   ?handler:handler ->
   ?entries:string list ->
   ?engine:engine ->
+  ?sink:Opec_obs.Sink.t ->
   bus:Opec_machine.Bus.t ->
   map:Address_map.t ->
   Program.t ->
@@ -91,8 +93,20 @@ val trace : t -> Trace.t
 (** Cycles charged so far (the DWT measurement). *)
 val cycles : t -> int64
 
-(** Operation switches performed. *)
+(** Completed SVC transitions — both traps of the switch protocol, one
+    on operation entry and one on exit — so this agrees with the
+    monitor's [Stats.switches] on single-threaded runs.  (Threaded runs
+    additionally count the scheduler's context switches on the monitor
+    side.) *)
 val switches : t -> int
+
+(** The attached telemetry sink ({!Opec_obs.Sink.null} by default). *)
+val sink : t -> Opec_obs.Sink.t
+
+(** Attach a telemetry sink.  The interpreter emits one
+    [Svc_switch] mark per completed SVC transition; recording charges no
+    cycles. *)
+val set_sink : t -> Opec_obs.Sink.t -> unit
 
 (** Normal termination via the [Halt] instruction. *)
 exception Halted

@@ -13,20 +13,43 @@ type event =
   | Access of { addr : int; write : bool }
       (** one MPU-visible memory access (recorded only when {!t.mem} is set) *)
 
+(* Events are consed in reverse; [fwd_cache] memoizes the reversed
+   (execution-order) view so repeated consumers (the lint oracle, trace
+   segmentation) stop paying an O(n) copy per query.  Any mutation of
+   [rev_events] must go through {!record}/{!record_access}/{!clear} so
+   the cache is invalidated. *)
 type t = {
-  mutable events : event list;
+  mutable rev_events : event list;
+  mutable fwd_cache : event list option;
   mutable enabled : bool;
   mutable mem : bool;  (** also record individual memory accesses *)
 }
 
-let create () = { events = []; enabled = true; mem = false }
-let record t e = if t.enabled then t.events <- e :: t.events
+let create () = { rev_events = []; fwd_cache = None; enabled = true; mem = false }
+
+let record t e =
+  if t.enabled then begin
+    t.rev_events <- e :: t.rev_events;
+    t.fwd_cache <- None
+  end
 
 let record_access t ~addr ~write =
-  if t.enabled && t.mem then t.events <- Access { addr; write } :: t.events
+  if t.enabled && t.mem then begin
+    t.rev_events <- Access { addr; write } :: t.rev_events;
+    t.fwd_cache <- None
+  end
 
-let events t = List.rev t.events
-let clear t = t.events <- []
+let events t =
+  match t.fwd_cache with
+  | Some evs -> evs
+  | None ->
+    let evs = List.rev t.rev_events in
+    t.fwd_cache <- Some evs;
+    evs
+
+let clear t =
+  t.rev_events <- [];
+  t.fwd_cache <- None
 
 (* Functions executed anywhere in the trace. *)
 let executed_functions t =

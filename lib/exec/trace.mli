@@ -11,7 +11,11 @@ type event =
           set) — the raw material of the lint trace-oracle *)
 
 type t = {
-  mutable events : event list;
+  mutable rev_events : event list;
+      (** reverse emission order — internal; mutate only through
+          {!record}/{!clear} or the {!events} cache goes stale *)
+  mutable fwd_cache : event list option;
+      (** memoized execution-order view — internal *)
   mutable enabled : bool;
   mutable mem : bool;  (** also record individual memory accesses *)
 }
@@ -23,7 +27,9 @@ val record : t -> event -> unit
     set, so function-granularity tracing stays cheap. *)
 val record_access : t -> addr:int -> write:bool -> unit
 
-(** Events in execution order. *)
+(** Events in execution order.  The reversed view is computed once per
+    burst of records and cached until the next {!record} or {!clear},
+    so repeated consumers pay O(1) after the first call. *)
 val events : t -> event list
 
 val clear : t -> unit

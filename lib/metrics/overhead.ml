@@ -81,3 +81,79 @@ let table2_of_app (app : Opec_apps.App.t) =
        (fun kind -> t2_aces app kind ~baseline)
        [ A.Strategy.Filename; A.Strategy.Filename_no_opt;
          A.Strategy.By_peripheral ]
+
+(* --- overhead breakdown (Section 6.3) ------------------------------------ *)
+
+module Obs = Opec_obs
+module P = Opec_pipeline.Pipeline
+
+(* Where the monitor's overhead cycles go, per workload, measured from
+   the telemetry stream of the instrumented protected run.  The phase
+   buckets come from the span samples; [bd_svc] is the SVC pipeline cost
+   (4 cycles per completed trap); [bd_other] is the residual of the
+   total overhead not inside any monitor span — fault-handling entry
+   costs, re-executed instructions after a Retry, and the switched
+   program's own extra work. *)
+type breakdown = {
+  bd_app : string;
+  bd_base_cycles : int64;
+  bd_prot_cycles : int64;
+  bd_overhead_cycles : int64;  (** protected - baseline *)
+  bd_sanitize : int64;
+  bd_sync : int64;
+  bd_relocate : int64;
+  bd_mpu : int64;
+      (** 0 in this model: [Mpu.set] is a register write the machine
+          charges no bus cycles for *)
+  bd_init : int64;   (** the one-time init span (shadow fill + first arm) *)
+  bd_svc : int64;    (** 4-cycle SVC pipeline cost per completed trap *)
+  bd_other : int64;  (** residual overhead outside monitor spans *)
+  bd_switches : int;
+  bd_swaps : int;
+  bd_emulations : int;
+  bd_synced_bytes : int;
+}
+
+let svc_trap_cycles = 4L
+
+let breakdown_of ~app_name ~base_cycles ~prot_cycles
+    (agg : Obs.Agg.t) =
+  let overhead = Int64.sub prot_cycles base_cycles in
+  let ph p = Obs.Agg.phase_cycles agg p in
+  let sanitize = ph Obs.Sink.Sanitize in
+  let sync = ph Obs.Sink.Sync in
+  let relocate = ph Obs.Sink.Relocate in
+  let mpu = ph Obs.Sink.Mpu_config in
+  let init = agg.Obs.Agg.init_cycles in
+  let svc = Int64.mul svc_trap_cycles (Int64.of_int agg.Obs.Agg.svc_marks) in
+  let accounted =
+    List.fold_left Int64.add 0L [ sanitize; sync; relocate; mpu; svc ]
+  in
+  (* init's phase legs are already inside sanitize/sync/..., so subtract
+     the phase totals (which include init's samples) plus svc only *)
+  { bd_app = app_name;
+    bd_base_cycles = base_cycles;
+    bd_prot_cycles = prot_cycles;
+    bd_overhead_cycles = overhead;
+    bd_sanitize = sanitize;
+    bd_sync = sync;
+    bd_relocate = relocate;
+    bd_mpu = mpu;
+    bd_init = init;
+    bd_svc = svc;
+    bd_other = Int64.sub overhead accounted;
+    bd_switches = agg.Obs.Agg.switch_spans;
+    bd_swaps = agg.Obs.Agg.swap_events;
+    bd_emulations = agg.Obs.Agg.emulation_events;
+    bd_synced_bytes = agg.Obs.Agg.synced_bytes }
+
+(* Run one workload baseline + instrumented-protected (both memoized)
+   and derive its overhead breakdown. *)
+let breakdown_of_app (app : Opec_apps.App.t) =
+  let c = P.ctx app in
+  let baseline = Workload.run_baseline app in
+  let o = P.protected_obs c in
+  P.reraise o.P.o_err;
+  breakdown_of ~app_name:app.Opec_apps.App.app_name
+    ~base_cycles:baseline.Workload.b_cycles ~prot_cycles:o.P.o_cycles
+    (Obs.Agg.of_events o.P.o_events)

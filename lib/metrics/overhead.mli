@@ -31,3 +31,46 @@ val t2_aces :
 
 (** The four policy rows of one application. *)
 val table2_of_app : Opec_apps.App.t -> t2_row list
+
+(** {2 Overhead breakdown (Section 6.3)} *)
+
+(** Where the monitor's overhead cycles go for one workload, measured
+    from the telemetry stream of the instrumented protected run.  The
+    phase buckets include the one-time init span's legs; [bd_init]
+    reports that span separately for reference.  [bd_other] is the part
+    of the total overhead spent outside monitor spans (fault-handler
+    entry, re-executed instructions after an MPU rotation retry, and the
+    protected program's own extra work). *)
+type breakdown = {
+  bd_app : string;
+  bd_base_cycles : int64;
+  bd_prot_cycles : int64;
+  bd_overhead_cycles : int64;  (** protected - baseline *)
+  bd_sanitize : int64;
+  bd_sync : int64;
+  bd_relocate : int64;
+  bd_mpu : int64;
+      (** 0 in this model: MPU reconfiguration is a register write the
+          machine charges no bus cycles for *)
+  bd_init : int64;
+  bd_svc : int64;    (** 4-cycle SVC pipeline cost per completed trap *)
+  bd_other : int64;
+  bd_switches : int;
+  bd_swaps : int;
+  bd_emulations : int;
+  bd_synced_bytes : int;
+}
+
+val svc_trap_cycles : int64
+
+(** Derive a breakdown from already-measured numbers. *)
+val breakdown_of :
+  app_name:string ->
+  base_cycles:int64 ->
+  prot_cycles:int64 ->
+  Opec_obs.Agg.t ->
+  breakdown
+
+(** Run one workload baseline + instrumented-protected (both memoized)
+    and derive its overhead breakdown. *)
+val breakdown_of_app : Opec_apps.App.t -> breakdown

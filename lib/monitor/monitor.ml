@@ -15,6 +15,7 @@
 open Opec_ir
 module M = Opec_machine
 module C = Opec_core
+module Obs = Opec_obs
 module SS = Set.Make (String)
 
 type frame = {
@@ -42,24 +43,93 @@ type t = {
       (** ablation: copy entire sections at switches instead of only the
           shared variables (Section 6.3 credits the shared-only policy) *)
   mutable frames : frame list;      (** head = current operation *)
+  mutable sink : Obs.Sink.t;
+      (** telemetry sink; {!Obs.Sink.null} unless a collector is attached *)
 }
 
 exception Violation of string
 
 let stats t = t.stats
+let sink t = t.sink
+let set_sink t sink = t.sink <- sink
 
-let abort t msg =
+let now t = M.Cpu.cycles t.bus.M.Bus.cpu
+
+let current_op_name t =
+  match t.frames with
+  | f :: _ -> f.op.C.Operation.name
+  | [] -> ""
+
+(* Count a denial and leave its telemetry event; returns the message so
+   fault handlers can do [Abort (deny t ~info msg)]. *)
+let deny t ?info msg =
   t.stats.Stats.denied <- t.stats.Stats.denied + 1;
-  raise (Violation msg)
+  if t.sink.Obs.Sink.active then
+    t.sink.Obs.Sink.emit
+      (Obs.Sink.Denial
+         { dn_op = current_op_name t; dn_reason = msg; dn_info = info;
+           dn_at = now t });
+  msg
+
+let abort t ?info msg = raise (Violation (deny t ?info msg))
 
 let current t =
   match t.frames with
   | f :: _ -> f
   | [] -> invalid_arg "Monitor: no active operation"
 
+(* --- phase bracketing ---------------------------------------------------- *)
+
+(* Per-span phase recorder, allocated only when the sink is active so the
+   disabled path costs a single [option] match per bracket.  Phase byte
+   counts are [synced_bytes] deltas, so summing them over every emitted
+   sample reconciles exactly with the aggregate counter. *)
+type recorder = {
+  mutable r_phases : Obs.Sink.phase_sample list;  (* reverse protocol order *)
+  mutable r_ph : Obs.Sink.phase;
+  mutable r_ph_start : int64;
+  mutable r_bytes0 : int;
+  r_span_start : int64;
+}
+
+let rec_create t =
+  if t.sink.Obs.Sink.active then
+    Some
+      { r_phases = []; r_ph = Obs.Sink.Sync; r_ph_start = 0L; r_bytes0 = 0;
+        r_span_start = now t }
+  else None
+
+let ph_begin t r ph =
+  match r with
+  | None -> ()
+  | Some r ->
+    r.r_ph <- ph;
+    r.r_ph_start <- now t;
+    r.r_bytes0 <- t.stats.Stats.synced_bytes
+
+let ph_end t r =
+  match r with
+  | None -> ()
+  | Some r ->
+    r.r_phases <-
+      { Obs.Sink.ph = r.r_ph; ph_start = r.r_ph_start; ph_end = now t;
+        ph_bytes = t.stats.Stats.synced_bytes - r.r_bytes0 }
+      :: r.r_phases
+
+let emit_span t r kind ~src ~dst =
+  match r with
+  | None -> ()
+  | Some r ->
+    t.sink.Obs.Sink.emit
+      (Obs.Sink.Switch
+         { sp_kind = kind; sp_src = src; sp_dst = dst;
+           sp_start = r.r_span_start; sp_end = now t;
+           sp_phases = List.rev r.r_phases })
+
 (* --- construction ------------------------------------------------------- *)
 
-let create ?(sync_whole_section = false) (image : C.Image.t) (bus : M.Bus.t) =
+let create ?(sync_whole_section = false) ?(sink = Obs.Sink.null)
+    (image : C.Image.t) (bus : M.Bus.t) =
   let var_size = Hashtbl.create 64 in
   let ptr_offsets = Hashtbl.create 64 in
   List.iter
@@ -84,7 +154,7 @@ let create ?(sync_whole_section = false) (image : C.Image.t) (bus : M.Bus.t) =
       image.C.Image.layout.C.Layout.public.C.Layout.slots
   in
   { image; bus; stats = Stats.create (); var_size; ptr_offsets; shadow_ranges;
-    master_ranges; sync_whole_section; frames = [] }
+    master_ranges; sync_whole_section; frames = []; sink }
 
 (* --- privileged memory helpers ----------------------------------------- *)
 
@@ -145,12 +215,21 @@ let stage_whole_section t (meta : C.Metadata.op_meta) =
               slot.C.Layout.size)
         sec.C.Layout.slots
 
-(* write back the current operation's shadows to the public section *)
+(* Run every sanitize rule of [meta] against its shadow values.  Hoisted
+   out of {!sync_out} so the telemetry can bracket sanitization as its
+   own phase — and so a failing check aborts before any shadow value has
+   propagated to the public section. *)
+let sanitize_all t (meta : C.Metadata.op_meta) =
+  List.iter
+    (fun (var, shadow) -> sanitize t meta var shadow)
+    meta.C.Metadata.shadow_slots
+
+(* write back the current operation's shadows to the public section;
+   the caller runs {!sanitize_all} first *)
 let sync_out t (meta : C.Metadata.op_meta) =
   stage_whole_section t meta;
   List.iter
     (fun (var, shadow) ->
-      sanitize t meta var shadow;
       copy_words t ~src:shadow ~dst:(master_of t var)
         (Hashtbl.find t.var_size var))
     meta.C.Metadata.shadow_slots
@@ -290,23 +369,36 @@ let enter_operation t ~(entry : Func.t) ~(args : int64 array) =
     | None -> invalid_arg ("Monitor: not an operation entry: " ^ entry.Func.name)
   in
   let meta = meta_exn t op.C.Operation.name in
-  (* 1. write back the previous operation's shadows *)
+  let r = rec_create t in
+  let src = current_op_name t in
+  (* 1. sanitize, then write back the previous operation's shadows *)
   (match t.frames with
-  | prev :: _ -> sync_out t prev.meta
-  | [] -> ());
+  | prev :: _ ->
+    ph_begin t r Obs.Sink.Sanitize;
+    sanitize_all t prev.meta;
+    ph_end t r;
+    ph_begin t r Obs.Sink.Sync;
+    sync_out t prev.meta
+  | [] -> ph_begin t r Obs.Sink.Sync);
   (* 2. fill the new operation's shadows and fix pointers *)
   sync_in t meta;
   update_reloc_table t meta;
+  ph_end t r;
   (* 3. relocate stack arguments *)
+  ph_begin t r Obs.Sink.Relocate;
   let cpu = t.bus.M.Bus.cpu in
   let saved_sp = cpu.M.Cpu.sp in
   let args, relocated = relocate_arguments t meta args in
+  ph_end t r;
   (* 4. disable the sub-regions of previous stack frames *)
+  ph_begin t r Obs.Sink.Mpu_config;
   let srd = srd_for t cpu.M.Cpu.sp in
   let frame = { op; meta; srd; saved_sp; relocated; virt_next = 0 } in
   t.frames <- frame :: t.frames;
   install_mpu t meta ~srd;
+  ph_end t r;
   t.stats.Stats.switches <- t.stats.Stats.switches + 1;
+  emit_span t r Obs.Sink.Enter ~src ~dst:op.C.Operation.name;
   args
 
 let exit_operation t ~(entry : Func.t) =
@@ -315,22 +407,39 @@ let exit_operation t ~(entry : Func.t) =
   | frame :: rest ->
     if not (String.equal frame.op.C.Operation.entry entry.Func.name) then
       invalid_arg "Monitor: mismatched operation exit";
+    let r = rec_create t in
+    let src = frame.op.C.Operation.name in
+    let dst =
+      match rest with f :: _ -> f.op.C.Operation.name | [] -> ""
+    in
     (* 1. sanitize + write back the exiting operation's shadows.  (The
        paper also clears the general-purpose registers here; the
        interpreter gives every activation a fresh register file, so no
        register value can survive an operation exit by construction.) *)
+    ph_begin t r Obs.Sink.Sanitize;
+    sanitize_all t frame.meta;
+    ph_end t r;
+    ph_begin t r Obs.Sink.Sync;
     sync_out t frame.meta;
+    ph_end t r;
     (* 2. restore stack data and pointer arguments *)
+    ph_begin t r Obs.Sink.Relocate;
     copy_back_relocated t frame;
+    ph_end t r;
     t.frames <- rest;
     (* 3. refill the resumed operation's shadows and MPU *)
     (match rest with
     | prev :: _ ->
+      ph_begin t r Obs.Sink.Sync;
       sync_in t prev.meta;
       update_reloc_table t prev.meta;
-      install_mpu t prev.meta ~srd:prev.srd
+      ph_end t r;
+      ph_begin t r Obs.Sink.Mpu_config;
+      install_mpu t prev.meta ~srd:prev.srd;
+      ph_end t r
     | [] -> ());
-    t.stats.Stats.switches <- t.stats.Stats.switches + 1
+    t.stats.Stats.switches <- t.stats.Stats.switches + 1;
+    emit_span t r Obs.Sink.Exit ~src ~dst
 
 (* --- thread context switching (Section 7) -------------------------------- *)
 
@@ -348,18 +457,31 @@ let initial_snapshot t =
    thread's operation shadows, adopt the next thread's context, refill
    its shadows, and reconfigure the MPU. *)
 let thread_switch t ~(next : thread_snapshot) : thread_snapshot =
+  let r = rec_create t in
+  let src = current_op_name t in
   (match t.frames with
-  | f :: _ -> sync_out t f.meta
+  | f :: _ ->
+    ph_begin t r Obs.Sink.Sanitize;
+    sanitize_all t f.meta;
+    ph_end t r;
+    ph_begin t r Obs.Sink.Sync;
+    sync_out t f.meta;
+    ph_end t r
   | [] -> ());
   let prev = t.frames in
   t.frames <- next;
   (match next with
   | f :: _ ->
+    ph_begin t r Obs.Sink.Sync;
     sync_in t f.meta;
     update_reloc_table t f.meta;
-    install_mpu t f.meta ~srd:f.srd
+    ph_end t r;
+    ph_begin t r Obs.Sink.Mpu_config;
+    install_mpu t f.meta ~srd:f.srd;
+    ph_end t r
   | [] -> ());
   t.stats.Stats.switches <- t.stats.Stats.switches + 1;
+  emit_span t r Obs.Sink.Thread ~src ~dst:(current_op_name t);
   prev
 
 (* --- fault handlers ------------------------------------------------------ *)
@@ -376,8 +498,9 @@ let handle_mem_fault t (_desc : Opec_exec.Interp.access_desc)
   in
   if not permitted then
     Opec_exec.Interp.Abort
-      (Fmt.str "isolation violation in %s: %a" frame.op.C.Operation.name
-         M.Fault.pp_info info)
+      (deny t ~info
+         (Fmt.str "isolation violation in %s: %a" frame.op.C.Operation.name
+            M.Fault.pp_info info))
   else begin
     (* the access is in the allow list: rotate one of the four reserved
        regions to cover it (round-robin) *)
@@ -390,8 +513,9 @@ let handle_mem_fault t (_desc : Opec_exec.Interp.access_desc)
     match covering with
     | None ->
       Opec_exec.Interp.Abort
-        (Fmt.str "no planned region in %s covers permitted access: %a"
-           frame.op.C.Operation.name M.Fault.pp_info info)
+        (deny t ~info
+           (Fmt.str "no planned region in %s covers permitted access: %a"
+              frame.op.C.Operation.name M.Fault.pp_info info))
     | Some region ->
       let first =
         C.Config.peripheral_region_first
@@ -403,9 +527,18 @@ let handle_mem_fault t (_desc : Opec_exec.Interp.access_desc)
       in
       let slot = first + (frame.virt_next mod max 1 count) in
       frame.virt_next <- frame.virt_next + 1;
+      let evicted =
+        Option.map Obs.Sink.region_id_of (M.Mpu.get t.bus.M.Bus.mpu slot)
+      in
       M.Cpu.with_privilege t.bus.M.Bus.cpu (fun () ->
           M.Mpu.set t.bus.M.Bus.mpu slot (Some region));
       t.stats.Stats.virt_swaps <- t.stats.Stats.virt_swaps + 1;
+      if t.sink.Obs.Sink.active then
+        t.sink.Obs.Sink.emit
+          (Obs.Sink.Region_swap
+             { rs_op = frame.op.C.Operation.name; rs_slot = slot;
+               rs_evicted = evicted;
+               rs_installed = Obs.Sink.region_id_of region; rs_at = now t });
       Opec_exec.Interp.Retry
   end
 
@@ -430,10 +563,20 @@ let handle_bus_fault t (desc : Opec_exec.Interp.access_desc)
   in
   if not permitted then
     Opec_exec.Interp.Bus_abort
-      (Fmt.str "bus fault in %s: %a" frame.op.C.Operation.name
-         M.Fault.pp_info info)
+      (deny t ~info
+         (Fmt.str "bus fault in %s: %a" frame.op.C.Operation.name
+            M.Fault.pp_info info))
   else begin
     t.stats.Stats.emulations <- t.stats.Stats.emulations + 1;
+    if t.sink.Obs.Sink.active then
+      t.sink.Obs.Sink.emit
+        (Obs.Sink.Emulation
+           { em_op = frame.op.C.Operation.name;
+             em_write =
+               (match desc with
+               | Opec_exec.Interp.Access_store _ -> true
+               | Opec_exec.Interp.Access_load _ -> false);
+             em_info = info; em_at = now t });
     match desc with
     | Opec_exec.Interp.Access_load { addr; width } ->
       Opec_exec.Interp.Emulated (priv_read t addr width)
@@ -446,6 +589,8 @@ let handle_bus_fault t (desc : Opec_exec.Interp.access_desc)
 
 let init t =
   let image = t.image in
+  let r = rec_create t in
+  ph_begin t r Obs.Sink.Sync;
   (* copy the initial value of every shared global into its shadows *)
   List.iter
     (fun (_op_name, (meta : C.Metadata.op_meta)) ->
@@ -466,9 +611,15 @@ let init t =
   t.frames <- [ frame ];
   sync_in t meta;
   update_reloc_table t meta;
+  ph_end t r;
+  ph_begin t r Obs.Sink.Mpu_config;
   install_mpu t meta ~srd:0;
+  ph_end t r;
   (* drop privilege: the application code runs unprivileged *)
-  M.Cpu.drop_privilege t.bus.M.Bus.cpu
+  M.Cpu.drop_privilege t.bus.M.Bus.cpu;
+  (* one-time cost, recorded as its own kind so it never counts as a
+     switch in the [Stats.switches] reconciliation *)
+  emit_span t r Obs.Sink.Init ~src:"" ~dst:dop.C.Operation.name
 
 (* --- the interpreter-facing handler -------------------------------------- *)
 

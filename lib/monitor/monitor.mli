@@ -16,13 +16,30 @@ exception Violation of string
 
 (** [create image bus] builds the monitor state.
     [sync_whole_section:true] selects the ablation that stages entire
-    sections at switches instead of only the shared variables. *)
+    sections at switches instead of only the shared variables; [sink]
+    attaches a telemetry collector (default {!Opec_obs.Sink.null}). *)
 val create :
-  ?sync_whole_section:bool -> Opec_core.Image.t -> Opec_machine.Bus.t -> t
+  ?sync_whole_section:bool ->
+  ?sink:Opec_obs.Sink.t ->
+  Opec_core.Image.t ->
+  Opec_machine.Bus.t ->
+  t
 
 (** Runtime counters (switches, synced bytes, rotations, emulations,
     fix-ups, denials). *)
 val stats : t -> Stats.t
+
+(** The attached telemetry sink ({!Opec_obs.Sink.null} by default). *)
+val sink : t -> Opec_obs.Sink.t
+
+(** Attach a telemetry sink.  With an active sink the monitor emits one
+    phase-bracketed span per switch (and per {!init}), a region-swap
+    event per MPU rotation, an emulation event per PPB access it
+    performs, and a denial event — carrying the hardware's
+    {!Opec_machine.Fault.info} when one exists — per rejected action.
+    Event counts reconcile exactly with {!Stats}; recording charges no
+    cycles, so instrumented runs are cycle-identical to plain ones. *)
+val set_sink : t -> Opec_obs.Sink.t -> unit
 
 (** Initialization (Section 5.1): copy initial values into every shadow
     section, enter the default operation, install its MPU plan, and drop

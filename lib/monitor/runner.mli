@@ -14,12 +14,15 @@ type protected_run = {
 (** Build a protected run without starting it: machine + devices + core
     peripherals + loaded image + monitor-backed interpreter.
     [wrap_handler] interposes on the monitor's trap handler — used by
-    instrumentation such as the attack-injection campaign. *)
+    instrumentation such as the attack-injection campaign; [sink]
+    attaches one telemetry collector to both the monitor and the
+    interpreter. *)
 val prepare :
   ?devices:M.Device.t list ->
   ?sync_whole_section:bool ->
   ?wrap_handler:(E.Interp.handler -> E.Interp.handler) ->
   ?engine:E.Interp.engine ->
+  ?sink:Opec_obs.Sink.t ->
   C.Image.t ->
   protected_run
 
@@ -30,6 +33,7 @@ val run_protected :
   ?sync_whole_section:bool ->
   ?wrap_handler:(E.Interp.handler -> E.Interp.handler) ->
   ?engine:E.Interp.engine ->
+  ?sink:Opec_obs.Sink.t ->
   C.Image.t ->
   protected_run
 

@@ -1,0 +1,73 @@
+(** Per-operation aggregation over a telemetry stream: switch-latency
+    histograms, a source→destination switch matrix, and per-phase cycle
+    and byte totals (paper, Section 6.3). *)
+
+val hist_buckets : int
+
+(** Power-of-two latency histogram: bucket [i] counts spans costing
+    [2{^i} .. 2{^i+1}-1] cycles. *)
+type hist = {
+  buckets : int array;
+  mutable samples : int;
+  mutable total : int64;
+  mutable min : int64;
+  mutable max : int64;
+}
+
+val hist_mean : hist -> float
+
+type phase_total = {
+  mutable pt_cycles : int64;
+  mutable pt_bytes : int;
+  mutable pt_samples : int;
+}
+
+val phase_index : Sink.phase -> int
+val phase_of_index : int -> Sink.phase
+val n_phases : int
+
+type op_agg = {
+  op_name : string;
+  mutable enters : int;
+  mutable exits : int;
+  mutable threads : int;
+  op_latency : hist;
+  op_phases : phase_total array;  (** indexed by {!phase_index} *)
+  mutable op_synced_bytes : int;
+  mutable op_swaps : int;
+  mutable op_emulations : int;
+  mutable op_denials : int;
+}
+
+type t = {
+  ops : (string, op_agg) Hashtbl.t;
+  matrix : (string * string, int) Hashtbl.t;
+  all_latency : hist;
+  totals : phase_total array;
+  mutable switch_spans : int;   (** Enter + Exit + Thread spans *)
+  mutable init_spans : int;
+  mutable swap_events : int;
+  mutable emulation_events : int;
+  mutable denial_events : int;
+  mutable svc_marks : int;
+  mutable switch_cycles : int64;
+  mutable init_cycles : int64;
+  mutable synced_bytes : int;
+}
+
+val create : unit -> t
+val add : t -> Sink.event -> unit
+val of_events : Sink.event list -> t
+
+(** Cycles spent in monitor spans of any kind (switches + init). *)
+val monitor_cycles : t -> int64
+
+val phase_cycles : t -> Sink.phase -> int64
+val phase_bytes : t -> Sink.phase -> int
+
+(** Operations sorted by total switch cycles spent on their behalf,
+    descending (ties by name). *)
+val ops_by_cost : t -> op_agg list
+
+(** [(src, dst, count)] rows of the switch matrix, sorted. *)
+val matrix_rows : t -> (string * string * int) list

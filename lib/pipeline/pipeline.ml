@@ -29,6 +29,7 @@ module An = Opec_analysis
 module A = Opec_aces
 module Mon = Opec_monitor
 module Apps = Opec_apps
+module Obs = Opec_obs
 open Opec_ir
 
 (* --- artifact types ----------------------------------------------------- *)
@@ -56,6 +57,14 @@ type protected_result = {
   p_stats : Mon.Stats.t;
 }
 
+type obs_result = {
+  o_err : exn option;
+  o_cycles : int64;
+  o_stats : Mon.Stats.t;
+  o_switches : int;  (** the interpreter's independent SVC count *)
+  o_events : Obs.Sink.event list;
+}
+
 type art =
   | A_program of Program.t
   | A_points_to of An.Points_to.t
@@ -66,6 +75,7 @@ type art =
   | A_aces of A.Aces.t
   | A_baseline of baseline
   | A_protected of protected_result
+  | A_obs of obs_result
 
 type ctx = {
   app : Apps.App.t;
@@ -255,7 +265,7 @@ let run_baseline_with c ~entries ?(traced = true) ~mem stage =
       let events = E.Trace.events tr in
       (* artifacts live for the process; keep one copy of the (possibly
          huge) event stream, not the interpreter's internal one too *)
-      tr.E.Trace.events <- [];
+      E.Trace.clear tr;
       A_baseline
         { b_run = r;
           b_err = err;
@@ -317,7 +327,7 @@ let run_protected_with c ~traced stage =
         in
         let tr = E.Interp.trace r.Mon.Runner.interp in
         let events = E.Trace.events tr in
-        tr.E.Trace.events <- [];
+        E.Trace.clear tr;
         A_protected
           { p_run = r;
             p_err = err;
@@ -339,12 +349,50 @@ let protected_ c = run_protected_with c ~traced:false "protected"
    [opec trace] command's and the differential tests' raw material. *)
 let protected_traced c = run_protected_with c ~traced:true "protected-traced"
 
+(* The protected run with a telemetry collector attached — the [opec
+   trace] exporters' and [bench obs]'s raw material.  Function-granularity
+   tracing stays off (the telemetry stream carries the switch structure
+   itself); neither tracing nor telemetry charges cycles, so this run's
+   cycles and statistics are bit-identical to {!protected_}. *)
+let protected_obs c =
+  let image = image c in
+  let app = c.app in
+  match
+    get c "protected-obs" (fun () ->
+        let world = app.Apps.App.make_world () in
+        world.Apps.App.prepare ();
+        let buf = Obs.Sink.Memory.create () in
+        let r =
+          Mon.Runner.prepare ~devices:world.Apps.App.devices
+            ~engine:(Atomic.get engine)
+            ~sink:(Obs.Sink.Memory.sink buf) image
+        in
+        (E.Interp.trace r.Mon.Runner.interp).E.Trace.enabled <- false;
+        let cpu = r.Mon.Runner.bus.M.Bus.cpu in
+        cpu.M.Cpu.sp <- image.C.Image.map.E.Address_map.stack_top;
+        cpu.M.Cpu.stack_base <- image.C.Image.map.E.Address_map.stack_base;
+        cpu.M.Cpu.stack_limit <- image.C.Image.map.E.Address_map.stack_top;
+        Mon.Monitor.init r.Mon.Runner.monitor;
+        let err =
+          run_to_end (fun () ->
+              E.Interp.run ~reset_stack:false r.Mon.Runner.interp)
+        in
+        A_obs
+          { o_err = err;
+            o_cycles = E.Interp.cycles r.Mon.Runner.interp;
+            o_stats = Mon.Monitor.stats r.Mon.Runner.monitor;
+            o_switches = E.Interp.switches r.Mon.Runner.interp;
+            o_events = Obs.Sink.Memory.events buf })
+  with
+  | A_obs o -> o
+  | _ -> assert false
+
 (* --- instrumentation ---------------------------------------------------- *)
 
 let stage_names =
   [ "validate"; "points-to"; "callgraph"; "resources"; "partition"; "image";
     "baseline"; "baseline-traced"; "baseline-marked"; "protected";
-    "protected-traced" ]
+    "protected-traced"; "protected-obs" ]
 
 let timings c = Mutex.protect c.lock (fun () -> c.timings)
 

@@ -37,6 +37,16 @@ type protected_result = {
   p_stats : Opec_monitor.Stats.t;
 }
 
+type obs_result = {
+  o_err : exn option;
+  o_cycles : int64;
+  o_stats : Opec_monitor.Stats.t;
+  o_switches : int;
+      (** the interpreter's independent SVC transition count *)
+  o_events : Opec_obs.Sink.event list;
+      (** the telemetry stream, in emission order *)
+}
+
 type ctx
 
 (** The store context for a workload: creates or retrieves the entry
@@ -100,6 +110,12 @@ val protected_ : ctx -> protected_result
     the differential tests' raw material.  Identical cycle counts and
     statistics to {!protected_}. *)
 val protected_traced : ctx -> protected_result
+
+(** The protected run with a telemetry collector attached — the [opec
+    trace] exporters' and [bench obs]'s raw material.  Telemetry charges
+    no cycles, so cycles and statistics are bit-identical to
+    {!protected_}. *)
+val protected_obs : ctx -> obs_result
 
 (** Re-raise a memoized run's terminating exception, if any. *)
 val reraise : exn option -> unit

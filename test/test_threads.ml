@@ -101,6 +101,48 @@ let test_spawn_exhaustion () =
              ~stack_bytes:1024)
       done)
 
+(* telemetry across context switches: each scheduler switch emits one
+   Thread span, and the monitor's switch counter is exactly the
+   interpreter's SVC transitions plus the scheduler's context
+   switches — the counters the obs drift test pins for single-threaded
+   runs stay consistent when operations interleave. *)
+let test_thread_telemetry () =
+  let rounds = 4 in
+  let p = interleave_program rounds in
+  let image =
+    C.Compiler.compile p (C.Dev_input.v [ "worker_a"; "worker_b" ])
+  in
+  let buf = Opec_obs.Sink.Memory.create () in
+  let run = Mon.Runner.prepare ~sink:(Opec_obs.Sink.Memory.sink buf) image in
+  let cpu = run.Mon.Runner.bus.M.Bus.cpu in
+  cpu.M.Cpu.sp <- image.C.Image.map.Ex.Address_map.stack_top;
+  cpu.M.Cpu.stack_base <- image.C.Image.map.Ex.Address_map.stack_base;
+  cpu.M.Cpu.stack_limit <- image.C.Image.map.Ex.Address_map.stack_top;
+  Mon.Monitor.init run.Mon.Runner.monitor;
+  let sched = Mon.Threads.create run in
+  ignore (Mon.Threads.spawn sched ~entry:"worker_a" ~args:[] ~stack_bytes:1024);
+  ignore (Mon.Threads.spawn sched ~entry:"worker_b" ~args:[] ~stack_bytes:1024);
+  Mon.Threads.run sched;
+  let st = Mon.Monitor.stats run.Mon.Runner.monitor in
+  let cs = Mon.Threads.context_switches sched in
+  let a = Opec_obs.Agg.of_events (Opec_obs.Sink.Memory.events buf) in
+  let thread_spans =
+    List.length
+      (List.filter
+         (function
+           | Opec_obs.Sink.Switch s ->
+             s.Opec_obs.Sink.sp_kind = Opec_obs.Sink.Thread
+           | _ -> false)
+         (Opec_obs.Sink.Memory.events buf))
+  in
+  Alcotest.(check bool) "scheduler actually switched" true (cs >= 2 * rounds);
+  Alcotest.(check int) "one Thread span per context switch" cs thread_spans;
+  Alcotest.(check int) "switch spans = Stats.switches" st.Mon.Stats.switches
+    a.Opec_obs.Agg.switch_spans;
+  Alcotest.(check int) "Stats.switches = Interp.switches + context switches"
+    st.Mon.Stats.switches
+    (Ex.Interp.switches run.Mon.Runner.interp + cs)
+
 (* isolation still holds inside threads: a rogue thread poking another
    operation's data dies, and the other thread's work is unaffected *)
 let test_rogue_thread_blocked () =
@@ -162,4 +204,6 @@ let suite () =
       [ Alcotest.test_case "interleaving + sync" `Quick test_interleaving;
         Alcotest.test_case "stack slices" `Quick test_thread_stack_isolation;
         Alcotest.test_case "spawn exhaustion" `Quick test_spawn_exhaustion;
+        Alcotest.test_case "telemetry across switches" `Quick
+          test_thread_telemetry;
         Alcotest.test_case "rogue thread blocked" `Quick test_rogue_thread_blocked ] ) ]
