@@ -554,7 +554,9 @@ let parse_obs_ref path =
        while true do
          let line = input_line ic in
          match (scan_field line "app", scan_field line "overhead_cycles") with
-         | Some app, Some oh -> rows := (app, Int64.of_string oh) :: !rows
+         | Some app, Some oh ->
+           let sb = Option.map int_of_string (scan_field line "synced_bytes") in
+           rows := (app, Int64.of_string oh, sb) :: !rows
          | _ -> ()
        done
      with End_of_file -> ());
@@ -620,31 +622,62 @@ let obs () =
        (List.map cells rows));
   write_obs_json "BENCH_obs.json" rows;
   say "  wrote BENCH_obs.json";
-  (* the regression gate against the checked-in reference breakdown *)
+  (* the regression gates against the checked-in reference breakdown *)
   match parse_obs_ref obs_ref_file with
   | [] -> say "  no %s reference found; overhead gate skipped" obs_ref_file
   | refs ->
+    let ref_of app =
+      List.find_opt (fun (a, _, _) -> String.equal a app) refs
+    in
+    (* explicit synced-bytes delta per workload before gating *)
+    List.iter
+      (fun (b : Met.Overhead.breakdown) ->
+        match ref_of b.Met.Overhead.bd_app with
+        | Some (_, _, Some ref_sb) when ref_sb > 0 ->
+          let cur = b.Met.Overhead.bd_synced_bytes in
+          say "  synced bytes %-12s %6d -> %6d  (%+d B, %.2fx)"
+            b.Met.Overhead.bd_app ref_sb cur (cur - ref_sb)
+            (float_of_int cur /. float_of_int ref_sb)
+        | _ -> ())
+      rows;
     let failures =
-      List.filter_map
+      List.concat_map
         (fun (b : Met.Overhead.breakdown) ->
-          match List.assoc_opt b.Met.Overhead.bd_app refs with
-          | None -> None
-          | Some ref_oh ->
-            let cur = Int64.to_float b.Met.Overhead.bd_overhead_cycles in
-            let limit = Int64.to_float ref_oh *. 1.25 in
-            if cur > limit then
-              Some
-                (Printf.sprintf
-                   "%s: overhead %Ld cycles exceeds reference %Ld by more \
-                    than 25%%"
-                   b.Met.Overhead.bd_app b.Met.Overhead.bd_overhead_cycles
-                   ref_oh)
-            else None)
+          match ref_of b.Met.Overhead.bd_app with
+          | None -> []
+          | Some (_, ref_oh, ref_sb) ->
+            let cycles =
+              let cur = Int64.to_float b.Met.Overhead.bd_overhead_cycles in
+              let limit = Int64.to_float ref_oh *. 1.25 in
+              if cur > limit then
+                [ Printf.sprintf
+                    "%s: overhead %Ld cycles exceeds reference %Ld by more \
+                     than 25%%"
+                    b.Met.Overhead.bd_app b.Met.Overhead.bd_overhead_cycles
+                    ref_oh ]
+              else []
+            in
+            let synced =
+              match ref_sb with
+              | None -> [] (* pre-schedule reference: no synced-bytes gate *)
+              | Some ref_sb ->
+                let cur = b.Met.Overhead.bd_synced_bytes in
+                if float_of_int cur > float_of_int ref_sb *. 1.25 then
+                  [ Printf.sprintf
+                      "%s: synced bytes %d exceed reference %d by more than \
+                       25%%"
+                      b.Met.Overhead.bd_app cur ref_sb ]
+                else []
+            in
+            cycles @ synced)
         rows
     in
     (match failures with
     | [] ->
-      say "  overhead gate: every workload within 25%% of %s" obs_ref_file
+      say
+        "  overhead gate: every workload within 25%% of %s (cycles and \
+         synced bytes)"
+        obs_ref_file
     | fs ->
       List.iter (fun f -> say "  OVERHEAD REGRESSION: %s" f) fs;
       exit 1)

@@ -7,6 +7,7 @@
      opec aces APP [-s STRATEGY]    show the ACES baseline's compartments
      opec trace APP [-n N]          operation-switch timeline of a run
      opec profile [APP]             per-stage pipeline timings
+     opec syncsets [APP] [--json]   static sync-schedule report
      opec lint [APP] [--all] [--json]  verify the derived policy
      opec attack [APP] [--all] [--json]  run the attack-injection campaign
      opec fuzz [--seeds A..B] [--size N] [--property P] [--replay FILE]
@@ -290,6 +291,117 @@ let profile_cmd =
           image, reference runs, ACES)")
     Term.(const run $ app_opt)
 
+(* -------------------------------------------------------------- syncsets *)
+
+let syncsets_cmd =
+  let app_opt =
+    let doc = "Workload to report (default: every bundled workload)." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  let module Ss = Opec_analysis.Syncset in
+  let list_bytes s =
+    C.Config.syncset_header_bytes
+    + (Ss.SS.cardinal s * C.Config.syncset_entry_bytes)
+  in
+  let report_app ~json (app : Apps.App.t) =
+    let c = P.ctx app in
+    let image = P.image c in
+    let ss = image.C.Image.syncsets in
+    let pair_rows =
+      List.map
+        (fun (src, dst) ->
+          let r = Ss.resume_set ss ~src ~dst in
+          (src, dst, Ss.SS.cardinal r, list_bytes r))
+        (Ss.pairs ss)
+    in
+    let op_rows =
+      List.map
+        (fun opn ->
+          let out = Ss.out_set ss opn and enter = Ss.enter_set ss opn in
+          ( opn,
+            Ss.SS.cardinal (Ss.slots_of ss opn),
+            Ss.SS.cardinal out,
+            Ss.SS.cardinal enter,
+            Ss.SS.cardinal (Ss.relevant_set ss opn),
+            Ss.SS.cardinal (Ss.ro_set ss opn),
+            Ss.SS.cardinal (Ss.unobserved_set ss opn),
+            list_bytes out + list_bytes enter ))
+        (Ss.ops ss)
+    in
+    if json then begin
+      let quote s = Printf.sprintf "%S" s in
+      let ops_json =
+        List.map
+          (fun (opn, slots, out, enter, relevant, ro, dead, bytes) ->
+            Printf.sprintf
+              {|{"op":%s,"slots":%d,"out":%d,"enter":%d,"relevant":%d,"ro":%d,"dead":%d,"bytes":%d}|}
+              (quote opn) slots out enter relevant ro dead bytes)
+          op_rows
+      in
+      let pairs_json =
+        List.map
+          (fun (src, dst, slots, bytes) ->
+            Printf.sprintf {|{"src":%s,"dst":%s,"slots":%d,"bytes":%d}|}
+              (quote src) (quote dst) slots bytes)
+          pair_rows
+      in
+      Format.printf
+        {|{"app":%s,"conservative_resume":%b,"escaped":[%s],"ops":[%s],"pairs":[%s],"schedule_bytes":%d}@.|}
+        (quote app.Apps.App.app_name)
+        (Ss.conservative_resume ss)
+        (String.concat "," (List.map quote (Ss.SS.elements (Ss.escaped ss))))
+        (String.concat "," ops_json)
+        (String.concat "," pairs_json)
+        image.C.Image.syncset_bytes
+    end
+    else begin
+      Format.printf "== %s ==@." app.Apps.App.app_name;
+      Format.printf "  resume scheduling: %s@."
+        (if Ss.conservative_resume ss then
+           "conservative (raw SVC yields: resume = enter)"
+         else Printf.sprintf "precise (%d pairs)" (List.length pair_rows));
+      (match Ss.SS.elements (Ss.escaped ss) with
+      | [] -> Format.printf "  escaped globals: none@."
+      | gs ->
+        Format.printf "  escaped globals: %s@." (String.concat ", " gs));
+      Format.printf "  %-16s %5s %5s %6s %9s %4s %5s %6s@." "operation"
+        "slots" "out" "enter" "relevant" "ro" "dead" "bytes";
+      List.iter
+        (fun (opn, slots, out, enter, relevant, ro, dead, bytes) ->
+          Format.printf "  %-16s %5d %5d %6d %9d %4d %5d %6d@." opn slots out
+            enter relevant ro dead bytes)
+        op_rows;
+      List.iter
+        (fun (src, dst, slots, bytes) ->
+          Format.printf "  resume %s -> %s: %d slot%s, %d B@." src dst slots
+            (if slots = 1 then "" else "s")
+            bytes)
+        pair_rows;
+      Format.printf "  schedule: %d B of flash@." image.C.Image.syncset_bytes
+    end
+  in
+  let run name json =
+    let apps =
+      match name with
+      | None -> Ok (Apps.Registry.all ())
+      | Some n -> Result.map (fun a -> [ a ]) (find_app n)
+    in
+    match apps with
+    | Error e -> exits_with_error e
+    | Ok apps -> List.iter (report_app ~json) apps
+  in
+  Cmd.v
+    (Cmd.info "syncsets"
+       ~doc:
+         "Report the static sync schedule: per-operation out/enter set \
+          sizes, read-only master mappings, dead (never-observed) \
+          publishes, per-pair resume sets, escaped globals, and the \
+          schedule's flash footprint")
+    Term.(const run $ app_opt $ json)
+
 (* ------------------------------------------------------------------ lint *)
 
 let lint_cmd =
@@ -542,4 +654,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; policy_cmd; run_cmd; compare_cmd; aces_cmd; trace_cmd;
-            profile_cmd; lint_cmd; attack_cmd; fuzz_cmd ]))
+            profile_cmd; syncsets_cmd; lint_cmd; attack_cmd; fuzz_cmd ]))

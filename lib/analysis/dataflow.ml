@@ -1,0 +1,717 @@
+(* Interprocedural may-read/may-write dataflow.
+
+   The resource analysis (resource.ml) computes one combined access set
+   per function — enough for MPU policy, too coarse for scheduling
+   synchronization.  This pass re-walks the same instructions over the
+   same points-to solution but keeps the direction of every access:
+   which globals a function may LOAD from and which it may STORE to,
+   including stores through address-taken pointers, [memcpy]-style
+   propagation, and (once folded over an operation's member set, which
+   already includes resolved icall targets) indirect calls.
+
+   The lattice is the flow-insensitive powerset of global names ordered
+   by inclusion; each function's sets are the join over its access
+   sites, and an operation's sets are the join over its members.  Both
+   are over-approximations of the dynamic access sets — the property
+   the static sync schedules (syncset.ml) depend on. *)
+
+open Opec_ir
+module SS = Set.Make (String)
+
+type func_rw = {
+  reads : SS.t;   (** globals the function may load from *)
+  writes : SS.t;  (** globals the function may store to *)
+}
+
+let empty = { reads = SS.empty; writes = SS.empty }
+
+let union a b =
+  { reads = SS.union a.reads b.reads; writes = SS.union a.writes b.writes }
+
+type t = (string, func_rw) Hashtbl.t
+
+(* Globals an address expression in [func] may target: named directly,
+   or through any pointer the points-to analysis says it may hold. *)
+let addr_globals (p : Program.t) pts ~func acc (e : Expr.t) =
+  List.fold_left
+    (fun acc root ->
+      match root with
+      | `Obj o -> (
+        match Node.as_global o with Some g -> SS.add g acc | None -> acc)
+      | `Var v ->
+        Node.Set.fold
+          (fun o acc ->
+            match Node.as_global o with Some g -> SS.add g acc | None -> acc)
+          (Points_to.find_pts pts v)
+          acc)
+    acc
+    (Points_to.roots p.peripherals ~func e)
+
+let analyze_function (p : Program.t) pts (f : Func.t) =
+  let func = f.name in
+  let reads = ref SS.empty and writes = ref SS.empty in
+  Instr.iter_block
+    (fun instr ->
+      match instr with
+      | Instr.Load (_, _, a) -> reads := addr_globals p pts ~func !reads a
+      | Instr.Store (_, a, _) -> writes := addr_globals p pts ~func !writes a
+      | Instr.Memcpy (d, s, _) ->
+        writes := addr_globals p pts ~func !writes d;
+        reads := addr_globals p pts ~func !reads s
+      | Instr.Memset (d, _, _) -> writes := addr_globals p pts ~func !writes d
+      | Instr.Let _ | Instr.Alloca _ | Instr.Call _ | Instr.If _
+      | Instr.While _ | Instr.Return _ | Instr.Svc _ | Instr.Halt
+      | Instr.Nop -> ())
+    f.body;
+  { reads = !reads; writes = !writes }
+
+let analyze (p : Program.t) pts : t =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Func.t) -> Hashtbl.replace tbl f.name (analyze_function p pts f))
+    p.funcs;
+  tbl
+
+let of_func (t : t) name = Option.value (Hashtbl.find_opt t name) ~default:empty
+
+let of_funcs (t : t) names =
+  SS.fold (fun f acc -> union acc (of_func t f)) names empty
+
+(* Globals whose address escaped into a peripheral window: the program
+   stored a pointer to them into an MMIO register, so a DMA-style device
+   may read or write them at any moment — no static bound on the writers
+   exists.  The sync schedules treat them fully conservatively and lint
+   L010 reports each one. *)
+let escaped_globals (p : Program.t) pts =
+  List.fold_left
+    (fun acc (pe : Peripheral.t) ->
+      Node.Set.fold
+        (fun o acc ->
+          match Node.as_global o with Some g -> SS.add g acc | None -> acc)
+        (Points_to.find_pts pts (Node.periph pe.name))
+        acc)
+    SS.empty p.peripherals
+
+(* Does the program contain a raw SVC?  Cooperative-thread yields do, and
+   they allow context switches at points the operation-call relation
+   cannot see; syncset falls back to conservative resume sets then. *)
+let has_svc (p : Program.t) =
+  List.exists
+    (fun (f : Func.t) ->
+      let found = ref false in
+      Instr.iter_block
+        (fun i -> match i with Instr.Svc _ -> found := true | _ -> ())
+        f.body;
+      !found)
+    p.funcs
+
+(* Does the program declare an interrupt handler?  An IRQ-entered
+   operation can preempt any other mid-activation, which widens the set
+   of switch points exactly like a cooperative yield does. *)
+let has_irq (p : Program.t) =
+  List.exists (fun (f : Func.t) -> f.Func.irq) p.funcs
+
+(* ------------------------------------------------------------------ *)
+(* Exposed-read (kill) analysis.
+
+   The may-read/may-write sets above bound WHAT an operation touches;
+   they say nothing about ORDER.  Many embedded buffers are scratch: the
+   operation fully overwrites them before its first read (a disk sector
+   window, a staging buffer refilled from a device), so the value the
+   buffer held when the operation was entered is dead — refilling the
+   shadow from the master at entry moves bytes nobody will look at.
+   This pass proves such kills with a per-variable three-point lattice
+   walked flow-sensitively through the operation's code:
+
+       Killed(0)  <  Unseen(1)  <  NeedsFill(2)
+
+   Unseen is the entry state; the join of two control-flow paths is the
+   maximum.  A proven whole-variable overwrite moves Unseen to Killed; a
+   read — or a write not proven to cover the variable — moves Unseen to
+   NeedsFill.  Both extremes absorb: once the entry value is dead it
+   stays dead (later reads see the operation's own data), and once it
+   may have been observed no later overwrite un-observes it.  A variable
+   that finishes the walk Killed never exposes its entry value, so the
+   monitor can skip its entry refill — and, when no other operation
+   observes it either, the publish too.
+
+   Whole-variable overwrites are recognized in three syntactic forms:
+   - a store at offset 0 whose width covers the variable;
+   - [Memcpy]/[Memset] with a constant byte count covering it;
+   - the canonical [Build.for_] fill loop — a constant-trip-count
+     counting loop whose only accesses to the variable are stores at
+     [base + i*s] of width [s] with [trips * s] covering it (the
+     BSP_SD_ReadBlock / driver-refill shape).
+
+   Everything subtler degrades toward NeedsFill, never toward Killed:
+   address-taken variables are never killed (an unseen alias could read
+   them), unresolvable indirect calls and recursion join the callee's
+   whole may-access set as reads, and a call that crosses into another
+   operation's entry is treated as opaque (its effects land in that
+   operation's shadows, and the resume schedule — which deliberately
+   ignores kills — refreshes whatever it published).  The dynamic side
+   of lint L011 replays a traced run against the resulting schedule, so
+   an unsound kill would surface as a stale read there. *)
+
+(* abstract state of one variable: 0 = killed, 1 = unseen, 2 = needs-fill *)
+let st_killed = 0
+and st_unseen = 1
+and st_needs = 2
+
+(* Abstract value of a local during the walk. *)
+type aval =
+  | AGlob of string * int64 option  (** &g + known or unknown offset *)
+  | AFuncs of SS.t                  (** one of these functions' addresses *)
+  | ATop
+
+let aval_eq a b =
+  match (a, b) with
+  | AGlob (g, o), AGlob (g', o') ->
+    String.equal g g' && Option.equal Int64.equal o o'
+  | AFuncs s, AFuncs s' -> SS.equal s s'
+  | ATop, ATop -> true
+  | (AGlob _ | AFuncs _ | ATop), _ -> false
+
+let rec contains_global = function
+  | Expr.Global_addr _ -> true
+  | Expr.Const _ | Expr.Local _ | Expr.Func_addr _ -> false
+  | Expr.Bin (_, a, b) -> contains_global a || contains_global b
+  | Expr.Un (_, a) -> contains_global a
+
+let rec globals_in acc = function
+  | Expr.Global_addr g -> SS.add g acc
+  | Expr.Const _ | Expr.Local _ | Expr.Func_addr _ -> acc
+  | Expr.Bin (_, a, b) -> globals_in (globals_in acc a) b
+  | Expr.Un (_, a) -> globals_in acc a
+
+(* [&g + k] for a syntactically constant offset [k]. *)
+let rec global_offset (e : Expr.t) =
+  match e with
+  | Expr.Global_addr g -> Some (g, 0L)
+  | Expr.Bin (Expr.Add, a, b) -> (
+    match (global_offset a, Expr.const_fold b) with
+    | Some (g, o), Some k -> Some (g, Int64.add o k)
+    | _ -> (
+      match (Expr.const_fold a, global_offset b) with
+      | Some k, Some (g, o) -> Some (g, Int64.add o k)
+      | _ -> None))
+  | Expr.Bin (Expr.Sub, a, b) -> (
+    match (global_offset a, Expr.const_fold b) with
+    | Some (g, o), Some k -> Some (g, Int64.sub o k)
+    | _ -> None)
+  | _ -> None
+
+type exposure = {
+  ex_p : Program.t;
+  ex_pts : Points_to.t;
+  ex_rw : t;
+  ex_cg : Callgraph.t;
+  ex_sizes : (string, int) Hashtbl.t;
+  ex_taken : SS.t;
+  (* function-pointer tables: validated global -> (offset -> targets) *)
+  ex_tables : (string * int64, SS.t) Hashtbl.t;
+  ex_table_ok : SS.t;
+  ex_op_entries : SS.t;
+  ex_memo : (string, SS.t) Hashtbl.t;
+}
+
+(* Globals whose address can flow somewhere the walker cannot follow:
+   bound to a local, stored as a value, compared, returned, passed to an
+   undefined function, or passed through an unresolvable indirect call.
+   Direct-call and resolved-icall arguments are exempt — the walker
+   descends into those callees with the argument bound to the parameter.
+   An address used purely as a load/store/memcpy target is an access,
+   not a taking. *)
+let address_taken_globals (p : Program.t) pts =
+  let acc = ref SS.empty in
+  let take e = acc := globals_in !acc e in
+  let defined f = Program.find_func p f <> None in
+  let resolved_targets ~func (e : Expr.t) =
+    match e with
+    | Expr.Local x ->
+      let ts =
+        Node.Set.fold
+          (fun o acc ->
+            match Node.as_func o with Some f -> f :: acc | None -> acc)
+          (Points_to.points_to pts ~func ~local:x)
+          []
+      in
+      if ts <> [] && List.for_all defined ts then Some ts else None
+    | _ -> None
+  in
+  List.iter
+    (fun (f : Func.t) ->
+      let func = f.name in
+      Instr.iter_block
+        (fun instr ->
+          match instr with
+          | Instr.Let (_, e) -> take e
+          | Instr.Load (_, _, _) -> ()
+          | Instr.Store (_, _, v) -> take v
+          | Instr.Alloca _ -> ()
+          | Instr.Call (_, Instr.Direct g, args) ->
+            if not (defined g) then List.iter take args
+          | Instr.Call (_, Instr.Indirect e, args) ->
+            take e;
+            if resolved_targets ~func e = None then List.iter take args
+          | Instr.If (c, _, _) | Instr.While (c, _) -> take c
+          | Instr.Return (Some e) -> take e
+          | Instr.Memcpy (_, _, n) -> take n
+          | Instr.Memset (_, v, n) -> take v; take n
+          | Instr.Return None | Instr.Svc _ | Instr.Halt | Instr.Nop -> ())
+        f.body)
+    p.funcs;
+  !acc
+
+(* Function-pointer dispatch tables: a global is a valid table when its
+   address never escapes at all (not even as a call argument), every
+   store into it lands a function address at a constant offset, and no
+   memcpy/memset touches it.  Loads from a valid table resolve to the
+   stored slot's targets — offset-sensitive, unlike the Andersen
+   solution, which is what lets the walker follow [disk_ops]-style
+   dispatch into the per-slot callee. *)
+let funcptr_tables (p : Program.t) ~taken =
+  let tables = Hashtbl.create 8 in
+  let poisoned = ref SS.empty in
+  let candidates = ref SS.empty in
+  let poison_expr e = poisoned := globals_in !poisoned e in
+  List.iter
+    (fun (f : Func.t) ->
+      Instr.iter_block
+        (fun instr ->
+          match instr with
+          | Instr.Store (_, a, v) -> (
+            match global_offset a with
+            | Some (g, off) -> (
+              match v with
+              | Expr.Func_addr fn ->
+                candidates := SS.add g !candidates;
+                let key = (g, off) in
+                let prev =
+                  Option.value (Hashtbl.find_opt tables key) ~default:SS.empty
+                in
+                Hashtbl.replace tables key (SS.add fn prev)
+              | _ -> poisoned := SS.add g !poisoned)
+            | None -> poison_expr a)
+          | Instr.Memcpy (d, _, _) -> poison_expr d
+          | Instr.Memset (d, _, _) -> poison_expr d
+          | Instr.Call (_, _, args) -> List.iter poison_expr args
+          | _ -> ())
+        f.body)
+    p.funcs;
+  let ok = SS.diff (SS.diff !candidates !poisoned) taken in
+  (tables, ok)
+
+let exposure (p : Program.t) pts (rw : t) (cg : Callgraph.t)
+    ~(op_entries : SS.t) : exposure =
+  let sizes = Hashtbl.create 64 in
+  List.iter
+    (fun (g : Global.t) -> Hashtbl.replace sizes g.name (Global.size g))
+    p.globals;
+  let taken = address_taken_globals p pts in
+  let tables, table_ok = funcptr_tables p ~taken in
+  { ex_p = p; ex_pts = pts; ex_rw = rw; ex_cg = cg; ex_sizes = sizes;
+    ex_taken = taken; ex_tables = tables; ex_table_ok = table_ok;
+    ex_op_entries = op_entries; ex_memo = Hashtbl.create 8 }
+
+(* --- the interprocedural walk --- *)
+
+let get_state st g = Option.value (Hashtbl.find_opt st g) ~default:st_unseen
+let set_state st g v = Hashtbl.replace st g v
+
+(* dst := pointwise maximum over [sts] (a key absent from one table reads
+   as Unseen there, so a branch that killed a variable joins with an
+   untouched branch back to Unseen — never down to Killed). *)
+let join_all dst sts =
+  let keys =
+    List.fold_left
+      (fun acc t -> Hashtbl.fold (fun g _ acc -> SS.add g acc) t acc)
+      SS.empty sts
+  in
+  Hashtbl.reset dst;
+  SS.iter
+    (fun g ->
+      set_state dst g
+        (List.fold_left (fun m t -> max m (get_state t g)) st_killed sts))
+    keys
+
+let states_equal a b =
+  let sub x y =
+    Hashtbl.fold (fun g v acc -> acc && get_state y g = v) x true
+  in
+  sub a b && sub b a
+
+let mark_exposed ex st g =
+  if Hashtbl.mem ex.ex_sizes g && get_state st g <> st_killed then
+    set_state st g st_needs
+
+let trackable ex g =
+  Hashtbl.mem ex.ex_sizes g && not (SS.mem g ex.ex_taken)
+
+let mark_kill ex st g =
+  if trackable ex g && get_state st g = st_unseen then set_state st g st_killed
+
+let table_load ex g off =
+  if not (SS.mem g ex.ex_table_ok) then None
+  else
+    let specific =
+      Option.bind off (fun o -> Hashtbl.find_opt ex.ex_tables (g, o))
+    in
+    match specific with
+    | Some ts -> Some ts
+    | None ->
+      (* unknown or unpopulated offset: any slot of this table *)
+      Some
+        (Hashtbl.fold
+           (fun (g', _) ts acc ->
+             if String.equal g' g then SS.union acc ts else acc)
+           ex.ex_tables SS.empty)
+
+let rec aeval ex env (e : Expr.t) : aval =
+  match e with
+  | Expr.Global_addr g -> AGlob (g, Some 0L)
+  | Expr.Func_addr f -> AFuncs (SS.singleton f)
+  | Expr.Const _ -> ATop
+  | Expr.Local x -> Option.value (Hashtbl.find_opt env x) ~default:ATop
+  | Expr.Bin (((Expr.Add | Expr.Sub) as op), a, b) -> (
+    let shift g o k =
+      match (o, k) with
+      | Some o, Some k ->
+        AGlob (g, Some (if op = Expr.Add then Int64.add o k else Int64.sub o k))
+      | _ -> AGlob (g, None)
+    in
+    match aeval ex env a with
+    | AGlob (g, o) when not (contains_global b) ->
+      shift g o (Expr.const_fold b)
+    | _ -> (
+      match aeval ex env b with
+      | AGlob (g, o) when op = Expr.Add && not (contains_global a) ->
+        shift g o (Expr.const_fold a)
+      | _ -> ATop))
+  | Expr.Bin _ | Expr.Un _ -> ATop
+
+(* locals assigned anywhere in a block (loop-carried state poisoning) *)
+let assigned_locals block =
+  Instr.fold_block
+    (fun acc i ->
+      match i with
+      | Instr.Let (x, _) | Instr.Load (x, _, _) | Instr.Alloca (x, _)
+      | Instr.Call (Some x, _, _) -> SS.add x acc
+      | _ -> acc)
+    SS.empty block
+
+(* Recognize the [Build.for_] whole-variable fill: counting loop
+   [i = 0; while (i < N) { ...; i = i + 1 }] whose only accesses to a
+   candidate variable are affine stores [base + i*s] (or [base + i] for
+   byte stores) of width [s], covering [N*s >= size].  Loads targeting
+   other memory (a peripheral FIFO) are fine; any branch, nested loop,
+   call or early exit in the body rejects the candidacy outright. *)
+let loop_fill_kills ex ~func env ~ix ~trips body =
+  let flat_ok =
+    List.for_all
+      (fun i ->
+        match i with
+        | Instr.Let _ | Instr.Load _ | Instr.Store _ -> true
+        | _ -> false)
+      body
+  in
+  let increment_last =
+    match List.rev body with
+    | Instr.Let (x, Expr.Bin (Expr.Add, Expr.Local x', Expr.Const 1L)) :: _ ->
+      String.equal x ix && String.equal x' ix
+    | _ -> false
+  in
+  let ix_writes =
+    List.length
+      (List.filter
+         (fun i ->
+           match i with
+           | Instr.Let (x, _) | Instr.Load (x, _, _) -> String.equal x ix
+           | _ -> false)
+         body)
+  in
+  if not (flat_ok && increment_last && ix_writes = 1 && trips >= 1L) then []
+  else begin
+    let affine_base w (addr : Expr.t) =
+      let s = Int64.of_int (Instr.width_bytes w) in
+      match addr with
+      | Expr.Bin (Expr.Add, base, Expr.Bin (Expr.Mul, Expr.Local i, Expr.Const k))
+      | Expr.Bin (Expr.Add, base, Expr.Bin (Expr.Mul, Expr.Const k, Expr.Local i))
+        when String.equal i ix && Int64.equal k s ->
+        Some base
+      | Expr.Bin (Expr.Add, base, Expr.Local i)
+        when String.equal i ix && Int64.equal s 1L ->
+        Some base
+      | _ -> None
+    in
+    let candidates = ref [] in
+    List.iter
+      (fun instr ->
+        match instr with
+        | Instr.Store (w, addr, _) -> (
+          match Option.map (aeval ex env) (affine_base w addr) with
+          | Some (AGlob (g, Some 0L))
+            when trackable ex g
+                 && Int64.to_int trips * Instr.width_bytes w
+                    >= Hashtbl.find ex.ex_sizes g ->
+            if not (List.mem g !candidates) then candidates := g :: !candidates
+          | _ -> ())
+        | _ -> ())
+      body;
+    (* a candidate must not be read (or stored non-affinely) in the body *)
+    List.filter
+      (fun g ->
+        List.for_all
+          (fun instr ->
+            match instr with
+            | Instr.Load (_, _, a) -> (
+              match aeval ex env a with
+              | AGlob (g', _) -> not (String.equal g g')
+              | _ ->
+                (* unresolved address: reject if it may alias the
+                   candidate through a pointer *)
+                not
+                  (SS.mem g
+                     (addr_globals ex.ex_p ex.ex_pts ~func SS.empty a)))
+            | Instr.Store (w, a, v) ->
+              (not (contains_global v))
+              &&
+              (match Option.map (aeval ex env) (affine_base w a) with
+              | Some (AGlob (g', Some 0L)) when String.equal g g' -> true
+              | _ -> (
+                match aeval ex env a with
+                | AGlob (g', _) -> not (String.equal g g')
+                | _ -> true))
+            | _ -> true)
+          body)
+      !candidates
+  end
+
+let rec walk_block ex stack func env st block =
+  match block with
+  | [] -> ()
+  | Instr.Let (ix, Expr.Const 0L)
+    :: (Instr.While (Expr.Bin (Expr.Lt, Expr.Local ix', Expr.Const trips), _)
+        as loop)
+    :: rest
+    when String.equal ix ix' ->
+    let body = match loop with Instr.While (_, b) -> b | _ -> [] in
+    let kills = loop_fill_kills ex ~func env ~ix ~trips body in
+    let pre = List.map (fun g -> (g, get_state st g)) kills in
+    walk_instr ex stack func env st (Instr.Let (ix, Expr.Const 0L));
+    walk_instr ex stack func env st loop;
+    (* the loop provably runs all [trips] iterations and its only accesses
+       to each candidate are the covering stores: override the generic
+       partial-store result when the entry value was still unexposed *)
+    List.iter
+      (fun (g, pre_state) ->
+        if pre_state <> st_needs then set_state st g st_killed)
+      pre;
+    walk_block ex stack func env st rest
+  | instr :: rest ->
+    walk_instr ex stack func env st instr;
+    (* code after a Return/Halt in the same block is unreachable *)
+    (match instr with
+    | Instr.Return _ | Instr.Halt -> ()
+    | _ -> walk_block ex stack func env st rest)
+
+and walk_instr ex stack func env st (instr : Instr.t) =
+  let exposed_addr a =
+    (* address the walker cannot pin to one global: fall back to the
+       points-to roots, exposing each possible target *)
+    SS.iter (mark_exposed ex st)
+      (addr_globals ex.ex_p ex.ex_pts ~func SS.empty a)
+  in
+  match instr with
+  | Instr.Let (x, e) -> Hashtbl.replace env x (aeval ex env e)
+  | Instr.Alloca (x, _) -> Hashtbl.replace env x ATop
+  | Instr.Load (x, _, a) ->
+    (match aeval ex env a with
+    | AGlob (g, off) ->
+      mark_exposed ex st g;
+      Hashtbl.replace env x
+        (match table_load ex g off with
+        | Some ts -> AFuncs ts
+        | None -> ATop)
+    | AFuncs _ | ATop ->
+      exposed_addr a;
+      Hashtbl.replace env x ATop)
+  | Instr.Store (w, a, _) -> (
+    match aeval ex env a with
+    | AGlob (g, Some 0L)
+      when trackable ex g
+           && Instr.width_bytes w >= Hashtbl.find ex.ex_sizes g ->
+      mark_kill ex st g
+    | AGlob (g, _) -> mark_exposed ex st g
+    | AFuncs _ | ATop -> exposed_addr a)
+  | Instr.Memcpy (d, s, n) ->
+    (match aeval ex env s with
+    | AGlob (g, _) -> mark_exposed ex st g
+    | _ -> exposed_addr s);
+    (match (aeval ex env d, Expr.const_fold n) with
+    | AGlob (g, Some 0L), Some len
+      when trackable ex g && Int64.to_int len >= Hashtbl.find ex.ex_sizes g ->
+      mark_kill ex st g
+    | AGlob (g, _), _ -> mark_exposed ex st g
+    | _ -> exposed_addr d)
+  | Instr.Memset (d, _, n) -> (
+    match (aeval ex env d, Expr.const_fold n) with
+    | AGlob (g, Some 0L), Some len
+      when trackable ex g && Int64.to_int len >= Hashtbl.find ex.ex_sizes g ->
+      mark_kill ex st g
+    | AGlob (g, _), _ -> mark_exposed ex st g
+    | _ -> exposed_addr d)
+  | Instr.Call (dst, callee, args) ->
+    let avals = List.map (aeval ex env) args in
+    let targets =
+      match callee with
+      | Instr.Direct f -> Some [ f ]
+      | Instr.Indirect e -> (
+        match aeval ex env e with
+        | AFuncs fs when not (SS.is_empty fs) -> Some (SS.elements fs)
+        | _ -> (
+          match e with
+          | Expr.Local x ->
+            let ts =
+              Node.Set.fold
+                (fun o acc ->
+                  match Node.as_func o with Some f -> f :: acc | None -> acc)
+                (Points_to.points_to ex.ex_pts ~func ~local:x)
+                []
+            in
+            if ts = [] then None else Some ts
+          | _ -> None))
+    in
+    (match targets with
+    | None ->
+      (* an indirect call to who-knows-where: any global may be read *)
+      Hashtbl.iter (fun g _ -> mark_exposed ex st g) ex.ex_sizes
+    | Some ts ->
+      if List.length ts = 1 then
+        do_call ex stack st (List.hd ts) avals
+      else begin
+        (* branch over the possible targets and join *)
+        let outs =
+          List.map
+            (fun f ->
+              let st' = Hashtbl.copy st in
+              do_call ex stack st' f avals;
+              st')
+            ts
+        in
+        join_all st outs
+      end);
+    Option.iter (fun x -> Hashtbl.replace env x ATop) dst
+  | Instr.If (_, a, b) ->
+    let st1 = Hashtbl.copy st and env1 = Hashtbl.copy env in
+    let st2 = Hashtbl.copy st and env2 = Hashtbl.copy env in
+    walk_block ex stack func env1 st1 a;
+    walk_block ex stack func env2 st2 b;
+    join_all st [ st1; st2 ];
+    merge_envs env env1 env2
+  | Instr.While (_, body) ->
+    (* poison loop-carried locals, then iterate to a fixpoint: each pass
+       re-walks the body from a fresh copy of the poisoned environment,
+       joining the resulting states (the max-join keeps the entry state
+       for the zero-iteration path) *)
+    SS.iter
+      (fun x -> Hashtbl.replace env x ATop)
+      (assigned_locals body);
+    let env0 = Hashtbl.copy env in
+    let rec fix () =
+      let before = Hashtbl.copy st in
+      let st' = Hashtbl.copy st in
+      let env' = Hashtbl.copy env0 in
+      walk_block ex stack func env' st' body;
+      join_all st [ before; st' ];
+      if not (states_equal before st) then fix ()
+    in
+    fix ()
+  | Instr.Return _ | Instr.Svc _ | Instr.Halt | Instr.Nop -> ()
+
+and merge_envs env env1 env2 =
+  Hashtbl.reset env;
+  Hashtbl.iter
+    (fun x v ->
+      match Hashtbl.find_opt env2 x with
+      | Some v' when aval_eq v v' -> Hashtbl.replace env x v
+      | _ -> ())
+    env1
+
+and do_call ex stack st f avals =
+  if SS.mem f ex.ex_op_entries then begin
+    (* crossing into another operation: its accesses go to its own
+       shadows, and the (kill-free) resume schedule covers anything it
+       publishes that this operation observes afterwards.  Arguments
+       rooted at a global expose that global — the callee accesses it
+       through the pointer under its own slot. *)
+    List.iter
+      (fun av ->
+        match av with AGlob (g, _) -> mark_exposed ex st g | _ -> ())
+      avals;
+    (* re-entering this operation's own entry is the one switch the
+       resume schedule does not cover (reach* excludes the destination
+       itself), so everything the recursion may publish reads as exposed *)
+    match List.rev stack with
+    | entry :: _ when String.equal entry f ->
+      let { reads; writes } =
+        of_funcs ex.ex_rw (Callgraph.reachable ex.ex_cg f)
+      in
+      SS.iter (mark_exposed ex st) (SS.union reads writes)
+    | _ -> ()
+  end
+  else if List.mem f stack then
+    (* recursion: join the callee's whole reachable access set as reads *)
+    let { reads; writes } = of_funcs ex.ex_rw (Callgraph.reachable ex.ex_cg f) in
+    SS.iter (mark_exposed ex st) (SS.union reads writes)
+  else
+    match Program.find_func ex.ex_p f with
+    | None ->
+      List.iter
+        (fun av ->
+          match av with AGlob (g, _) -> mark_exposed ex st g | _ -> ())
+        avals
+    | Some fd ->
+      let env = Hashtbl.create 8 in
+      let rec bind params avs =
+        match (params, avs) with
+        | (x, _) :: ps, av :: avs ->
+          Hashtbl.replace env x av;
+          bind ps avs
+        | (x, _) :: ps, [] ->
+          Hashtbl.replace env x ATop;
+          bind ps []
+        | [], _ -> ()
+      in
+      bind fd.Func.params avals;
+      walk_block ex (f :: stack) f env st fd.Func.body
+
+(* The set of globals whose entry value the operation rooted at [entry]
+   provably never observes (memoized per entry). *)
+let killed_of ex ~entry =
+  match Hashtbl.find_opt ex.ex_memo entry with
+  | Some s -> s
+  | None ->
+    let killed =
+      match Program.find_func ex.ex_p entry with
+      | None -> SS.empty
+      | Some fd ->
+        let st = Hashtbl.create 16 in
+        let env = Hashtbl.create 8 in
+        List.iter (fun (x, _) -> Hashtbl.replace env x ATop) fd.Func.params;
+        walk_block ex [ entry ] entry env st fd.Func.body;
+        Hashtbl.fold
+          (fun g v acc -> if v = st_killed then SS.add g acc else acc)
+          st SS.empty
+    in
+    Hashtbl.replace ex.ex_memo entry killed;
+    killed
+
+(* Globals some type-level pointer field can inhabit: ineligible for
+   read-only master mapping, because shadow fills localize pointer
+   fields and a direct master read would skip that translation. *)
+let pointer_vars (p : Program.t) =
+  List.fold_left
+    (fun acc (g : Global.t) ->
+      if Global.pointer_field_offsets g <> [] then SS.add g.name acc else acc)
+    SS.empty p.globals

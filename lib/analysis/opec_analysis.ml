@@ -5,3 +5,5 @@ module Points_to = Points_to
 module Type_resolve = Type_resolve
 module Callgraph = Callgraph
 module Resource = Resource
+module Dataflow = Dataflow
+module Syncset = Syncset

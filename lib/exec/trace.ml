@@ -98,6 +98,37 @@ let tasks_of ~entries (events : event list) =
 
 let tasks ~entries t = tasks_of ~entries (events t)
 
+(* Per-global write observation: attribute every recorded write to the
+   innermost active context (operation entries push/pop like the lint
+   oracle's walker) and resolve its address to a named region.  Returns
+   the distinct (context, region) pairs in first-observation order — the
+   dynamic ground truth the sync-schedule soundness oracle checks the
+   static may-write sets against. *)
+let writes_by_context ~contexts ~default ~resolve (events : event list) =
+  let stack = ref [] in
+  let current () = match !stack with c :: _ -> c | [] -> default in
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  List.iter
+    (function
+      | Call f | Op_enter f -> if contexts f then stack := f :: !stack
+      | Return f | Op_exit f -> (
+        match !stack with
+        | c :: rest when String.equal c f -> stack := rest
+        | _ -> ())
+      | Access { addr; write } -> (
+        if write then
+          match resolve addr with
+          | None -> ()
+          | Some region ->
+            let key = (current (), region) in
+            if not (Hashtbl.mem seen key) then begin
+              Hashtbl.replace seen key ();
+              out := key :: !out
+            end))
+    events;
+  List.rev !out
+
 let pp_event fmt = function
   | Call f -> Fmt.pf fmt "call %s" f
   | Return f -> Fmt.pf fmt "ret %s" f

@@ -49,4 +49,19 @@ val tasks : entries:string list -> t -> (string * string list) list
 val tasks_of :
   entries:string list -> event list -> (string * string list) list
 
+(** Per-global write observation over a mem-traced event stream:
+    attribute each recorded write to the innermost active context
+    (functions matching [contexts] push on call and pop on return;
+    [default] applies outside all of them) and resolve its address to a
+    named region with [resolve].  Returns the distinct
+    [(context, region)] pairs in first-observation order — the dynamic
+    ground truth the sync-schedule soundness oracle (lint L011, fuzz
+    sync-soundness) compares against the static may-write sets. *)
+val writes_by_context :
+  contexts:(string -> bool) ->
+  default:string ->
+  resolve:(int -> string option) ->
+  event list ->
+  (string * string) list
+
 val pp_event : Format.formatter -> event -> unit

@@ -65,11 +65,23 @@ let snapshot_baseline (b : P.baseline) program =
 (* The program's own final view of each global: the run halts inside
    the default operation, whose trailing writes live in its shadows —
    the masters are only as fresh as the last operation switch.  So read
-   the default op's shadow where one exists and the master otherwise;
-   that is the state the firmware would observe at halt. *)
+   the default op's shadow where the sync schedule keeps one fresh
+   (slots in the default op's relevant set) and the master otherwise:
+   a shadow outside the relevant set is never refilled under
+   incremental synchronization, while its master was published by the
+   writing operation's last sync-out. *)
 let snapshot_final_view bus (img : C.Image.t) =
   let layout = img.C.Image.layout in
   let dop = (C.Image.default_op img).C.Operation.name in
+  let module Ss = Opec_analysis.Syncset in
+  let relevant =
+    try Ss.relevant_set img.C.Image.syncsets dop
+    with Invalid_argument _ -> Ss.SS.empty
+  in
+  let ro =
+    try Ss.ro_set img.C.Image.syncsets dop
+    with Invalid_argument _ -> Ss.SS.empty
+  in
   let hex addr size =
     String.concat ""
       (List.init size (fun i ->
@@ -77,29 +89,36 @@ let snapshot_final_view bus (img : C.Image.t) =
   in
   List.filter_map
     (fun (g : Opec_ir.Global.t) ->
+      let name = g.Opec_ir.Global.name in
       let home =
-        match C.Layout.shadow_of layout ~op:dop ~var:g.Opec_ir.Global.name with
-        | Some s -> Some s
-        | None -> C.Layout.master_of layout g.Opec_ir.Global.name
+        (* a read-only master mapping leaves the shadow dead: the
+           operation's view *is* the master *)
+        if Ss.SS.mem name relevant && not (Ss.SS.mem name ro) then
+          match C.Layout.shadow_of layout ~op:dop ~var:name with
+          | Some s -> Some s
+          | None -> C.Layout.master_of layout name
+        else C.Layout.master_of layout name
       in
       match home with
-      | Some addr ->
-        Some (g.Opec_ir.Global.name, hex addr (Opec_ir.Global.size g))
+      | Some addr -> Some (name, hex addr (Opec_ir.Global.size g))
       | None -> None)
     img.C.Image.source.Opec_ir.Program.globals
 
-let compare_observable program ~baseline ~protected_ =
+let compare_observable ?(exclude = Opec_analysis.Syncset.SS.empty) program
+    ~baseline ~protected_ =
   let diffs =
     List.filter_map
       (fun g ->
-        let b = List.assoc_opt g baseline
-        and p = List.assoc_opt g protected_ in
-        if b = p then None
+        if Opec_analysis.Syncset.SS.mem g exclude then None
         else
-          Some
-            (Printf.sprintf "%s: baseline=%s protected=%s" g
-               (Option.value b ~default:"<absent>")
-               (Option.value p ~default:"<absent>")))
+          let b = List.assoc_opt g baseline
+          and p = List.assoc_opt g protected_ in
+          if b = p then None
+          else
+            Some
+              (Printf.sprintf "%s: baseline=%s protected=%s" g
+                 (Option.value b ~default:"<absent>")
+                 (Option.value p ~default:"<absent>")))
       (Gen.observable program)
   in
   match diffs with
@@ -139,8 +158,77 @@ let transparency ?image c =
   | Some e, None -> failf "baseline died, protected ran: %s" (Printexc.to_string e)
   | None, Some e -> failf "protected died, baseline ran: %s" (Printexc.to_string e)
   | None, None ->
-    compare_observable program ~baseline:(snapshot_baseline b program)
-      ~protected_:p_mem
+    (* dead publishes: a write no other operation can observe is never
+       synced out, so its master (the external view) is legitimately
+       stale — the schedule's dead-publish filter names exactly these *)
+    let exclude =
+      let img = image_of ?image c in
+      try Opec_analysis.Syncset.unobserved img.C.Image.syncsets
+      with Invalid_argument _ -> Opec_analysis.Syncset.SS.empty
+    in
+    compare_observable ~exclude program
+      ~baseline:(snapshot_baseline b program) ~protected_:p_mem
+
+(* --- sync-soundness ----------------------------------------------------- *)
+
+(* Write-set soundness plus stale-read freedom of the static sync
+   schedule.  The write half is recomputed from raw trace attribution
+   ({!Opec_exec.Trace.writes_by_context}) — a deliberately independent
+   path from the lint walker — and the stale-read half replays the
+   generation simulation of lint L011. *)
+let sync_soundness ?image c =
+  let img = image_of ?image c in
+  let b = P.baseline_traced c in
+  match b.P.b_err with
+  | Some _ -> Pass (* crashing baselines are the trace oracle's concern *)
+  | None ->
+    let map = b.P.b_run.Mon.Runner.b_layout.Ex.Vanilla_layout.map in
+    let module Ss = Opec_analysis.Syncset in
+    let ss = img.C.Image.syncsets in
+    let op_of_entry = Hashtbl.create 8 in
+    List.iter
+      (fun (op : C.Operation.t) ->
+        Hashtbl.replace op_of_entry op.C.Operation.entry op.C.Operation.name)
+      img.C.Image.ops;
+    let dop = (C.Image.default_op img).C.Operation.name in
+    Hashtbl.replace op_of_entry img.C.Image.source.Opec_ir.Program.main dop;
+    let resolve =
+      let ivs =
+        List.filter_map
+          (fun (g : Opec_ir.Global.t) ->
+            if g.Opec_ir.Global.const then None
+            else
+              let lo = map.Ex.Address_map.global_addr g.Opec_ir.Global.name in
+              Some (lo, lo + Opec_ir.Global.size g, g.Opec_ir.Global.name))
+          img.C.Image.source.Opec_ir.Program.globals
+      in
+      fun addr ->
+        List.find_map
+          (fun (lo, hi, n) -> if addr >= lo && addr < hi then Some n else None)
+          ivs
+    in
+    let observed =
+      Ex.Trace.writes_by_context
+        ~contexts:(Hashtbl.mem op_of_entry)
+        ~default:img.C.Image.source.Opec_ir.Program.main ~resolve b.P.b_events
+    in
+    let unsound =
+      List.filter_map
+        (fun (ctx, v) ->
+          let opn = Option.value (Hashtbl.find_opt op_of_entry ctx) ~default:dop in
+          let mw = try Ss.may_write ss opn with Invalid_argument _ -> Ss.SS.empty in
+          if Ss.SS.mem v mw then None
+          else Some (Printf.sprintf "%s writes %s outside may-write" opn v))
+        observed
+    in
+    let stale =
+      L.Oracle.check_sync_trace ~map ~events:b.P.b_events ~failure:None img
+      |> L.Lint.errors
+      |> List.map (Format.asprintf "%a" L.Diag.pp)
+    in
+    (match unsound @ stale with
+    | [] -> Pass
+    | problems -> Fail (String.concat "; " problems))
 
 (* --- engine-differential ----------------------------------------------- *)
 
@@ -253,11 +341,16 @@ let attacks_blocked ?image c =
 
 let all =
   [ { name = "lint-static";
-      doc = "static policy verification (L001-L008) reports no errors";
+      doc = "static policy verification (L001-L010) reports no errors";
       check = lint_static };
     { name = "trace-oracle";
       doc = "every traced baseline access is statically predicted (L007)";
       check = trace_oracle };
+    { name = "sync-soundness";
+      doc =
+        "observed writes inside the static may-write sets; no read sees a \
+         shadow the sync schedule failed to refresh (L011)";
+      check = sync_soundness };
     { name = "transparency";
       doc = "baseline and protected runs agree on all observable globals";
       check = transparency };

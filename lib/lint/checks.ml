@@ -342,6 +342,153 @@ let svc_instrumentation (image : C.Image.t) =
   in
   ops_not_listed @ entries_valid @ stray_svc @ recount
 
+(* --- L009: sync-schedule soundness --------------------------------------- *)
+
+(* Recompute the sync schedule from the image's analysis artifacts and
+   demand the embedded one is at least as strong: every slot the fresh
+   computation would copy must be scheduled, and nothing scheduled may
+   fall outside the operation's slot domain.  A weaker embedded schedule
+   means a switch could skip a needed copy (stale shadow or lost master
+   update); an out-of-domain entry would have the monitor copy a slot
+   the operation has no region for. *)
+let sync_schedule_soundness (image : C.Image.t) =
+  let module Ss = A.Syncset in
+  let emb = image.syncsets in
+  let fresh =
+    C.Compiler.syncsets_of ~points_to:image.points_to
+      ~callgraph:image.callgraph ~ops:image.ops ~input:image.input
+      image.source
+  in
+  let conservative =
+    if A.Dataflow.has_svc image.source && not (Ss.conservative_resume emb)
+    then
+      [ Diag.v ~code:"L009" Diag.Error Diag.Program
+          "program contains raw SVC yields but the embedded schedule \
+           carries per-pair resume sets: a thread switch could resume \
+           with stale shadows" ]
+    else []
+  in
+  let per_op (op : C.Operation.t) =
+    let opn = op.name in
+    let loc = Diag.Operation opn in
+    match Ss.slots_of emb opn with
+    | exception Invalid_argument _ ->
+      [ Diag.v ~code:"L009" Diag.Error loc
+          "operation has no embedded sync schedule: the monitor cannot \
+           switch to it incrementally" ]
+    | _emb_slots ->
+      let domain = Ss.slots_of fresh opn in
+      let check_cover what needed scheduled =
+        let miss = SS.diff needed scheduled in
+        if SS.is_empty miss then []
+        else
+          [ Diag.vf ~code:"L009" Diag.Error loc
+              "%s set misses slot(s) {%s} the dataflow analysis requires: \
+               a switch would skip a needed copy"
+              what (names miss) ]
+      in
+      let check_domain what scheduled =
+        let extra = SS.diff scheduled domain in
+        if SS.is_empty extra then []
+        else
+          [ Diag.vf ~code:"L009" Diag.Error loc
+              "%s set schedules {%s} outside the operation's shadow-slot \
+               domain: the monitor would copy through a slot that does \
+               not exist"
+              what (names extra) ]
+      in
+      let check_ro () =
+        (* the read-only master mapping is an exemption, not a copy: the
+           embedded set must stay within what the fresh analysis can
+           prove write-free, or a mapped slot could hide a write *)
+        let extra = SS.diff (Ss.ro_set emb opn) (Ss.ro_set fresh opn) in
+        if SS.is_empty extra then []
+        else
+          [ Diag.vf ~code:"L009" Diag.Error loc
+              "read-only master mapping covers slot(s) {%s} the dataflow \
+               analysis cannot prove write-free: a write through the \
+               mapping would bypass synchronization"
+              (names extra) ]
+      in
+      check_cover "sync-out" (Ss.out_set fresh opn) (Ss.out_set emb opn)
+      @ check_cover "enter sync-in" (Ss.enter_set fresh opn)
+          (Ss.enter_set emb opn)
+      @ check_domain "sync-out" (Ss.out_set emb opn)
+      @ check_domain "enter sync-in" (Ss.enter_set emb opn)
+      @ check_ro ()
+      @ check_domain "read-only mapping" (Ss.ro_set emb opn)
+      @
+      (* resume_set falls back to the (larger) enter set for unknown
+         pairs and under conservative scheduling, which is always
+         sound; only explicit pairs can under-copy. *)
+      List.concat_map
+        (fun (src, dst) ->
+          if not (String.equal dst opn) then []
+          else
+            check_cover
+              (Printf.sprintf "resume (%s -> %s)" src dst)
+              (Ss.resume_set fresh ~src ~dst)
+              (Ss.resume_set emb ~src ~dst)
+            @ check_domain
+                (Printf.sprintf "resume (%s -> %s)" src dst)
+                (Ss.resume_set emb ~src ~dst))
+        (Ss.pairs fresh)
+  in
+  conservative @ List.concat_map per_op image.ops
+
+(* --- L010: unsyncable escape --------------------------------------------- *)
+
+(* A global whose address was stored into a peripheral window can be
+   written by the device at any time: no static may-write bound exists.
+   The schedule must treat it conservatively — copied at every switch
+   where a slot exists — and the developer should know the variable
+   defeats incremental synchronization. *)
+let unsyncable_escape (image : C.Image.t) =
+  let module Ss = A.Syncset in
+  let emb = image.syncsets in
+  let slots opn =
+    try Ss.slots_of emb opn with Invalid_argument _ -> SS.empty
+  in
+  let escaped = A.Dataflow.escaped_globals image.source image.points_to in
+  SS.fold
+    (fun g acc ->
+      let warn =
+        Diag.vf ~code:"L010" Diag.Warning Diag.Program
+          "address of global %s escapes into a peripheral window: its \
+           writers cannot be statically bounded, so every operation \
+           holding a slot falls back to synchronizing it at each switch"
+          g
+      in
+      let holes =
+        List.concat_map
+          (fun (op : C.Operation.t) ->
+            let opn = op.name in
+            if not (SS.mem g (slots opn)) then []
+            else
+              let missing what set =
+                if SS.mem g set then []
+                else
+                  [ Diag.vf ~code:"L010" Diag.Error (Diag.Operation opn)
+                      "escaped global %s missing from the %s set: a \
+                       device-initiated write could be lost or observed \
+                       stale"
+                      g what ]
+              in
+              missing "sync-out" (Ss.out_set emb opn)
+              @ missing "enter sync-in" (Ss.enter_set emb opn)
+              @ List.concat_map
+                  (fun (src, dst) ->
+                    if String.equal dst opn then
+                      missing
+                        (Printf.sprintf "resume (%s -> %s)" src dst)
+                        (Ss.resume_set emb ~src ~dst)
+                    else [])
+                  (Ss.pairs emb))
+          image.ops
+      in
+      (warn :: holes) @ acc)
+    escaped []
+
 (* --- L008: layout consistency ------------------------------------------- *)
 
 let layout_consistency (image : C.Image.t) =

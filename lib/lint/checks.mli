@@ -1,10 +1,11 @@
-(** The static policy checkers (codes L001–L006, L008).
+(** The static policy checkers (codes L001–L006, L008–L010).
 
     Each checker examines one facet of a compiled {!Opec_core.Image.t}
     against the isolation policy the OPEC compiler derived: indirect-call
     resolution, operation reachability, MPU-plan legality, resource-set
-    soundness, over-privilege, SVC instrumentation, and layout
-    consistency.  The dynamic trace oracle (L007) lives in {!Oracle}. *)
+    soundness, over-privilege, SVC instrumentation, layout consistency,
+    and sync-schedule soundness.  The dynamic trace oracles (L007, L011)
+    live in {!Oracle}. *)
 
 type check = Opec_core.Image.t -> Diag.t list
 
@@ -42,3 +43,15 @@ val svc_instrumentation : check
     every operation has the addresses instrumentation relies on (master,
     shadow, relocation slot). *)
 val layout_consistency : check
+
+(** L009: sync-schedule soundness — recomputes the static sync schedule
+    from the image's analysis artifacts and demands the embedded one is
+    at least as strong (no required slot missing from an out / enter /
+    resume set) and stays inside each operation's shadow-slot domain. *)
+val sync_schedule_soundness : check
+
+(** L010: unsyncable escape — warns about every global whose address
+    escaped into a peripheral window (no static write bound exists) and
+    errors if the embedded schedule is not conservative for it wherever
+    a slot exists. *)
+val unsyncable_escape : check

@@ -54,7 +54,25 @@ let checkers =
           | None -> Oracle.check image) };
     static "layout-consistency" ~code:"L008"
       ~doc:"data sections disjoint, in bounds, and fully addressable"
-      Checks.layout_consistency ]
+      Checks.layout_consistency;
+    static "sync-schedule" ~code:"L009"
+      ~doc:"embedded sync schedule at least as strong as a recomputation"
+      Checks.sync_schedule_soundness;
+    static "unsyncable-escape" ~code:"L010"
+      ~doc:"globals with no static write bound synchronized conservatively"
+      Checks.unsyncable_escape;
+    { code = "L011";
+      name = "stale-read";
+      doc = "replayed reads never observe a shadow a scheduled sync missed";
+      dynamic = true;
+      run =
+        (fun source image ->
+          match source with
+          | Some (Recorded r) ->
+            Oracle.check_sync_trace ~map:r.map ~events:r.events
+              ~failure:r.failure image
+          | Some (Live w) -> Oracle.check_sync ~devices:(w ()) image
+          | None -> Oracle.check_sync image) } ]
 
 let find_checker code =
   List.find_opt (fun c -> String.equal c.code code) checkers

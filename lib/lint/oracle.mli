@@ -31,3 +31,22 @@ val check_trace :
     prepared). *)
 val check :
   ?devices:Opec_machine.Device.t list -> Opec_core.Image.t -> Diag.t list
+
+(** L011: the sync-schedule soundness oracle.  Walks the same recorded
+    baseline trace, simulating the monitor's schedule-driven copies as
+    value generations, and reports (a) any observed write outside the
+    writing operation's static may-write set and (b) any read that would
+    observe a shadow a scheduled copy failed to refresh (a stale-read
+    hazard).  Returns nothing when the replay failed — L007 already
+    reports that. *)
+val check_sync_trace :
+  map:Opec_exec.Address_map.t ->
+  events:Opec_exec.Trace.event list ->
+  failure:exn option ->
+  Opec_core.Image.t ->
+  Diag.t list
+
+(** [check_sync ?devices image] replays the baseline itself and runs
+    {!check_sync_trace}. *)
+val check_sync :
+  ?devices:Opec_machine.Device.t list -> Opec_core.Image.t -> Diag.t list

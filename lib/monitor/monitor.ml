@@ -27,6 +27,19 @@ type frame = {
   mutable virt_next : int;          (** round-robin cursor for regions 4..7 *)
 }
 
+(* One scheduled copy: variable, its shadow address in the operation's
+   data section, its master address, and its size.  [sl_forced] marks a
+   variable whose address escaped into a peripheral window: a device can
+   rewrite its master at any time, so the incremental-copy bookkeeping
+   below never applies to it. *)
+type sync_slot = {
+  sl_var : string;
+  sl_shadow : int;
+  sl_master : int;
+  sl_size : int;
+  sl_forced : bool;
+}
+
 type t = {
   image : C.Image.t;
   bus : M.Bus.t;
@@ -42,6 +55,28 @@ type t = {
   sync_whole_section : bool;
       (** ablation: copy entire sections at switches instead of only the
           shared variables (Section 6.3 credits the shared-only policy) *)
+  full_sync : bool;
+      (** ablation: copy every shadow slot at switches, ignoring the
+          static sync schedule (the pre-schedule behaviour) *)
+  (* read-only master mappings: per operation, the slots the schedule
+     proved write-free.  Their relocation entries point straight at the
+     master (the MPU background region grants unprivileged reads of the
+     public section), so their shadows are never filled or synced.
+     Empty under the full-sync ablations, which bypass the schedule. *)
+  ro_vars : (string, SS.t) Hashtbl.t;
+  (* precomputed sync plans from the image's static schedule *)
+  all_plan : (string, sync_slot array) Hashtbl.t;      (* op -> all slots *)
+  out_plan : (string, sync_slot array) Hashtbl.t;
+  enter_plan : (string, sync_slot array) Hashtbl.t;
+  resume_plan : (string * string, sync_slot array) Hashtbl.t;  (* (src,dst) *)
+  (* incremental synchronization: [epoch] counts, per shared variable,
+     the sync-outs that actually changed its master; [pulled] records,
+     per (op, var), the epoch at which that shadow last matched the
+     master.  A sync-in copy is skipped when the two agree — the master
+     cannot have changed since the shadow was filled (or published), so
+     the copy would move identical bytes. *)
+  epoch : (string, int) Hashtbl.t;
+  pulled : (string * string, int) Hashtbl.t;
   mutable frames : frame list;      (** head = current operation *)
   mutable sink : Obs.Sink.t;
       (** telemetry sink; {!Obs.Sink.null} unless a collector is attached *)
@@ -128,8 +163,8 @@ let emit_span t r kind ~src ~dst =
 
 (* --- construction ------------------------------------------------------- *)
 
-let create ?(sync_whole_section = false) ?(sink = Obs.Sink.null)
-    (image : C.Image.t) (bus : M.Bus.t) =
+let create ?(sync_whole_section = false) ?(full_sync = false)
+    ?(sink = Obs.Sink.null) (image : C.Image.t) (bus : M.Bus.t) =
   let var_size = Hashtbl.create 64 in
   let ptr_offsets = Hashtbl.create 64 in
   List.iter
@@ -153,8 +188,58 @@ let create ?(sync_whole_section = false) ?(sink = Obs.Sink.null)
       (fun (s : C.Layout.slot) -> (s.C.Layout.var, s.C.Layout.addr, s.C.Layout.size))
       image.C.Image.layout.C.Layout.public.C.Layout.slots
   in
+  (* materialize the image's static sync schedule as per-switch copy
+     plans, resolving each scheduled variable to (shadow, master, size)
+     once here rather than per switch *)
+  let master_addr var =
+    match C.Layout.master_of image.C.Image.layout var with
+    | Some a -> a
+    | None -> invalid_arg ("Monitor: no master for " ^ var)
+  in
+  let module Ss = Opec_analysis.Syncset in
+  let ss = image.C.Image.syncsets in
+  let escaped = Ss.escaped ss in
+  let plan_of (meta : C.Metadata.op_meta) keep =
+    List.filter_map
+      (fun (var, shadow) ->
+        if keep var then
+          Some
+            { sl_var = var; sl_shadow = shadow; sl_master = master_addr var;
+              sl_size = Hashtbl.find var_size var;
+              sl_forced = Ss.SS.mem var escaped }
+        else None)
+      meta.C.Metadata.shadow_slots
+    |> Array.of_list
+  in
+  let all_plan = Hashtbl.create 8 in
+  let out_plan = Hashtbl.create 8 in
+  let enter_plan = Hashtbl.create 8 in
+  let resume_plan = Hashtbl.create 16 in
+  let ro_vars = Hashtbl.create 8 in
+  List.iter
+    (fun (opn, meta) ->
+      Hashtbl.replace ro_vars opn
+        (if full_sync || sync_whole_section then SS.empty
+         else Ss.ro_set ss opn);
+      Hashtbl.replace all_plan opn (plan_of meta (fun _ -> true));
+      Hashtbl.replace out_plan opn
+        (plan_of meta (fun v -> Ss.SS.mem v (Ss.out_set ss opn)));
+      Hashtbl.replace enter_plan opn
+        (plan_of meta (fun v -> Ss.SS.mem v (Ss.enter_set ss opn))))
+    image.C.Image.metas;
+  List.iter
+    (fun (src, dst) ->
+      match List.assoc_opt dst image.C.Image.metas with
+      | None -> ()
+      | Some meta ->
+        let set = Ss.resume_set ss ~src ~dst in
+        Hashtbl.replace resume_plan (src, dst)
+          (plan_of meta (fun v -> Ss.SS.mem v set)))
+    (Ss.pairs ss);
   { image; bus; stats = Stats.create (); var_size; ptr_offsets; shadow_ranges;
-    master_ranges; sync_whole_section; frames = []; sink }
+    master_ranges; sync_whole_section; full_sync; ro_vars; all_plan; out_plan;
+    enter_plan; resume_plan; epoch = Hashtbl.create 16;
+    pulled = Hashtbl.create 64; frames = []; sink }
 
 (* --- privileged memory helpers ----------------------------------------- *)
 
@@ -174,6 +259,18 @@ let copy_words t ~src ~dst bytes =
   in
   go 0;
   t.stats.Stats.synced_bytes <- t.stats.Stats.synced_bytes + bytes
+
+let words_equal t ~a ~b bytes =
+  let rec go off =
+    off >= bytes
+    ||
+    let w = if bytes - off >= 4 then 4 else 1 in
+    Int64.equal (priv_read t (a + off) w) (priv_read t (b + off) w)
+    && go (off + w)
+  in
+  go 0
+
+let gen tbl key = Option.value (Hashtbl.find_opt tbl key) ~default:0
 
 (* --- sanitization ------------------------------------------------------- *)
 
@@ -198,6 +295,13 @@ let master_of t var =
   match C.Layout.master_of t.image.C.Image.layout var with
   | Some a -> a
   | None -> invalid_arg ("Monitor: no master for " ^ var)
+
+(* Whether [op] reaches [var] through the read-only master mapping: its
+   relocation entry targets the master and its shadow is dead. *)
+let is_ro t ~op var =
+  match Hashtbl.find_opt t.ro_vars op with
+  | Some s -> SS.mem var s
+  | None -> false
 
 (* In the whole-section ablation every slot of the section is staged,
    modeling a design without the shared-variable filter; internal slots
@@ -224,15 +328,41 @@ let sanitize_all t (meta : C.Metadata.op_meta) =
     (fun (var, shadow) -> sanitize t meta var shadow)
     meta.C.Metadata.shadow_slots
 
-(* write back the current operation's shadows to the public section;
-   the caller runs {!sanitize_all} first *)
+(* Both ablation knobs disable the schedule: every shadow slot copies. *)
+let full_mode t = t.full_sync || t.sync_whole_section
+
+let plan_exn tbl key what =
+  match Hashtbl.find_opt tbl key with
+  | Some p -> p
+  | None -> invalid_arg ("Monitor: no " ^ what ^ " sync plan")
+
+(* write back the current operation's shadows to the public section,
+   restricted by the static schedule to the slots the operation may have
+   written (the masters of the rest are already equal by the sync-out
+   invariant); the caller runs {!sanitize_all} first *)
 let sync_out t (meta : C.Metadata.op_meta) =
   stage_whole_section t meta;
-  List.iter
-    (fun (var, shadow) ->
-      copy_words t ~src:shadow ~dst:(master_of t var)
-        (Hashtbl.find t.var_size var))
-    meta.C.Metadata.shadow_slots
+  let opn = meta.C.Metadata.op.C.Operation.name in
+  if full_mode t then
+    Array.iter
+      (fun sl -> copy_words t ~src:sl.sl_shadow ~dst:sl.sl_master sl.sl_size)
+      (plan_exn t.all_plan opn opn)
+  else
+    Array.iter
+      (fun sl ->
+        if (not sl.sl_forced)
+           && words_equal t ~a:sl.sl_shadow ~b:sl.sl_master sl.sl_size
+        then
+          (* the operation left the value it saw: the master is already
+             current, and this shadow is a faithful copy of it *)
+          Hashtbl.replace t.pulled (opn, sl.sl_var) (gen t.epoch sl.sl_var)
+        else begin
+          copy_words t ~src:sl.sl_shadow ~dst:sl.sl_master sl.sl_size;
+          let e = gen t.epoch sl.sl_var + 1 in
+          Hashtbl.replace t.epoch sl.sl_var e;
+          Hashtbl.replace t.pulled (opn, sl.sl_var) e
+        end)
+      (plan_exn t.out_plan opn opn)
 
 (* Translate a pointer that targets another operation's shadow section to
    the equivalent location visible to [op] (Section 5.3). *)
@@ -261,9 +391,11 @@ let translate_pointer t ~op v =
   | Some (var, base) ->
     let delta = addr - base in
     let target =
-      match C.Layout.shadow_of t.image.C.Image.layout ~op ~var with
-      | Some s -> s + delta
-      | None -> master_of t var + delta
+      if is_ro t ~op var then master_of t var + delta
+      else
+        match C.Layout.shadow_of t.image.C.Image.layout ~op ~var with
+        | Some s -> s + delta
+        | None -> master_of t var + delta
     in
     if target = addr then v
     else begin
@@ -272,35 +404,69 @@ let translate_pointer t ~op v =
     end
 
 (* copy masters into the incoming operation's shadows and fix up pointer
-   fields that still reference another operation's section *)
-let sync_in t (meta : C.Metadata.op_meta) =
+   fields that still reference another operation's section.  The static
+   schedule restricts the copy to the slots some other operation may
+   have synced out since this shadow was filled: [`Enter] uses the
+   all-writers enter set, [`Resume src] the tighter set for writers
+   reachable from the exiting operation [src].  Uncopied shadows keep
+   the operation's own (already local) values, so pointer translation is
+   only needed on the copied slots. *)
+let sync_in ?(via = `Enter) t (meta : C.Metadata.op_meta) =
   stage_whole_section t meta;
   let op = meta.C.Metadata.op.C.Operation.name in
-  List.iter
-    (fun (var, shadow) ->
-      copy_words t ~src:(master_of t var) ~dst:shadow
-        (Hashtbl.find t.var_size var);
-      match Hashtbl.find_opt t.ptr_offsets var with
-      | None -> ()
-      | Some offsets ->
-        List.iter
-          (fun off ->
-            let v = priv_read t (shadow + off) 4 in
-            let v' = translate_pointer t ~op v in
-            if not (Int64.equal v v') then priv_write t (shadow + off) 4 v')
-          offsets)
-    meta.C.Metadata.shadow_slots
+  let plan =
+    if full_mode t then plan_exn t.all_plan op op
+    else
+      match via with
+      | `Enter -> plan_exn t.enter_plan op op
+      | `Resume src -> (
+        match Hashtbl.find_opt t.resume_plan (src, op) with
+        | Some p -> p
+        | None -> plan_exn t.enter_plan op op)
+  in
+  Array.iter
+    (fun sl ->
+      let e = gen t.epoch sl.sl_var in
+      (* skip the copy when the master has not changed since this shadow
+         last matched it: every suspension publishes the operation's
+         writes first (sync-out invariant), so an unchanged epoch means
+         the shadow still holds the master's bytes — including already
+         localized pointer fields.  The ablations copy unconditionally. *)
+      if
+        full_mode t || sl.sl_forced
+        || gen t.pulled (op, sl.sl_var) <> e
+      then begin
+        copy_words t ~src:sl.sl_master ~dst:sl.sl_shadow sl.sl_size;
+        Hashtbl.replace t.pulled (op, sl.sl_var) e;
+        match Hashtbl.find_opt t.ptr_offsets sl.sl_var with
+        | None -> ()
+        | Some offsets ->
+          List.iter
+            (fun off ->
+              let v = priv_read t (sl.sl_shadow + off) 4 in
+              let v' = translate_pointer t ~op v in
+              if not (Int64.equal v v') then
+                priv_write t (sl.sl_shadow + off) 4 v')
+            offsets
+      end)
+    plan
 
-(* point every relocation-table slot at the operation's shadow, or NULL
-   when the operation has no access to the variable *)
+(* point every relocation-table slot at the operation's shadow — or, for
+   slots the schedule proved write-free for this operation, straight at
+   the master (reads are unprivileged-legal through the MPU background
+   region and a write faults, which is exactly the proof obligation) —
+   or NULL when the operation has no access to the variable *)
 let update_reloc_table t (meta : C.Metadata.op_meta) =
   let layout = t.image.C.Image.layout in
+  let op = meta.C.Metadata.op.C.Operation.name in
   List.iter
     (fun (var, slot) ->
       let target =
-        match List.assoc_opt var meta.C.Metadata.shadow_slots with
-        | Some shadow -> Int64.of_int shadow
-        | None -> 0L
+        if is_ro t ~op var then Int64.of_int (master_of t var)
+        else
+          match List.assoc_opt var meta.C.Metadata.shadow_slots with
+          | Some shadow -> Int64.of_int shadow
+          | None -> 0L
       in
       priv_write t slot 4 target)
     layout.C.Layout.reloc_slots
@@ -427,11 +593,13 @@ let exit_operation t ~(entry : Func.t) =
     copy_back_relocated t frame;
     ph_end t r;
     t.frames <- rest;
-    (* 3. refill the resumed operation's shadows and MPU *)
+    (* 3. refill the resumed operation's shadows and MPU: only writers
+       reachable from the exiting operation can have run meanwhile, so
+       the (src, dst) resume schedule applies *)
     (match rest with
     | prev :: _ ->
       ph_begin t r Obs.Sink.Sync;
-      sync_in t prev.meta;
+      sync_in ~via:(`Resume src) t prev.meta;
       update_reloc_table t prev.meta;
       ph_end t r;
       ph_begin t r Obs.Sink.Mpu_config;
@@ -591,13 +759,30 @@ let init t =
   let image = t.image in
   let r = rec_create t in
   ph_begin t r Obs.Sink.Sync;
-  (* copy the initial value of every shared global into its shadows *)
+  (* copy the initial value of every shared global into its shadows and
+     localize pointer fields right away: the incremental sync-in may
+     skip an operation's first fill (unchanged master), so the initial
+     shadow must already be what that fill would have produced *)
   List.iter
-    (fun (_op_name, (meta : C.Metadata.op_meta)) ->
+    (fun (op_name, (meta : C.Metadata.op_meta)) ->
       List.iter
         (fun (var, shadow) ->
+          if is_ro t ~op:op_name var then ()
+            (* dead shadow: the relocation entry targets the master *)
+          else begin
           copy_words t ~src:(master_of t var) ~dst:shadow
-            (Hashtbl.find t.var_size var))
+            (Hashtbl.find t.var_size var);
+          match Hashtbl.find_opt t.ptr_offsets var with
+          | None -> ()
+          | Some offsets ->
+            List.iter
+              (fun off ->
+                let v = priv_read t (shadow + off) 4 in
+                let v' = translate_pointer t ~op:op_name v in
+                if not (Int64.equal v v') then
+                  priv_write t (shadow + off) 4 v')
+              offsets
+          end)
         meta.C.Metadata.shadow_slots)
     image.C.Image.metas;
   (* start in the default operation *)

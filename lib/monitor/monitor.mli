@@ -14,12 +14,16 @@ type t
     surfaced to callers as {!Opec_exec.Interp.Aborted}. *)
 exception Violation of string
 
-(** [create image bus] builds the monitor state.
+(** [create image bus] builds the monitor state, materializing the
+    image's static sync schedule into per-switch copy plans.
     [sync_whole_section:true] selects the ablation that stages entire
-    sections at switches instead of only the shared variables; [sink]
+    sections at switches instead of only the shared variables;
+    [full_sync:true] the ablation that copies every shadow slot at
+    switches, ignoring the schedule (the pre-schedule behaviour); [sink]
     attaches a telemetry collector (default {!Opec_obs.Sink.null}). *)
 val create :
   ?sync_whole_section:bool ->
+  ?full_sync:bool ->
   ?sink:Opec_obs.Sink.t ->
   Opec_core.Image.t ->
   Opec_machine.Bus.t ->

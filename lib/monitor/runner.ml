@@ -15,15 +15,15 @@ type protected_run = {
    [devices] are attached to the bus before loading; [wrap_handler]
    interposes on the monitor's trap handler (instrumentation such as the
    attack-injection campaign). *)
-let prepare ?(devices = []) ?sync_whole_section ?wrap_handler ?engine ?sink
-    (image : C.Image.t) =
+let prepare ?(devices = []) ?sync_whole_section ?full_sync ?wrap_handler
+    ?engine ?sink (image : C.Image.t) =
   let bus = M.Bus.create ~board:image.C.Image.board in
   List.iter (M.Bus.attach bus) devices;
   M.Bus.attach bus (M.Core_periph.systick ~cycles:(fun () -> M.Cpu.cycles bus.M.Bus.cpu));
   M.Bus.attach bus (M.Core_periph.dwt ~cycles:(fun () -> M.Cpu.cycles bus.M.Bus.cpu));
   M.Bus.attach bus (M.Core_periph.scb ());
   C.Image.load image bus;
-  let monitor = Monitor.create ?sync_whole_section ?sink image bus in
+  let monitor = Monitor.create ?sync_whole_section ?full_sync ?sink image bus in
   let handler = Monitor.handler monitor in
   let handler =
     match wrap_handler with None -> handler | Some wrap -> wrap handler
@@ -36,10 +36,11 @@ let prepare ?(devices = []) ?sync_whole_section ?wrap_handler ?engine ?sink
 
 (* Initialize the monitor (shadow fill, MPU arm, privilege drop) and run
    the program from main. *)
-let run_protected ?devices ?sync_whole_section ?wrap_handler ?engine ?sink
-    image =
+let run_protected ?devices ?sync_whole_section ?full_sync ?wrap_handler
+    ?engine ?sink image =
   let r =
-    prepare ?devices ?sync_whole_section ?wrap_handler ?engine ?sink image
+    prepare ?devices ?sync_whole_section ?full_sync ?wrap_handler ?engine
+      ?sink image
   in
   let cpu = r.bus.M.Bus.cpu in
   cpu.M.Cpu.sp <- image.C.Image.map.E.Address_map.stack_top;

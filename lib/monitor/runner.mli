@@ -20,6 +20,7 @@ type protected_run = {
 val prepare :
   ?devices:M.Device.t list ->
   ?sync_whole_section:bool ->
+  ?full_sync:bool ->
   ?wrap_handler:(E.Interp.handler -> E.Interp.handler) ->
   ?engine:E.Interp.engine ->
   ?sink:Opec_obs.Sink.t ->
@@ -27,10 +28,12 @@ val prepare :
   protected_run
 
 (** Initialize the monitor (shadow fill, MPU arm, privilege drop) and
-    run the program from [main]. *)
+    run the program from [main].  [full_sync:true] disables the static
+    sync schedule (every shadow slot copies at every switch). *)
 val run_protected :
   ?devices:M.Device.t list ->
   ?sync_whole_section:bool ->
+  ?full_sync:bool ->
   ?wrap_handler:(E.Interp.handler -> E.Interp.handler) ->
   ?engine:E.Interp.engine ->
   ?sink:Opec_obs.Sink.t ->

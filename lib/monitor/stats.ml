@@ -14,9 +14,15 @@ let create () =
   { switches = 0; synced_bytes = 0; relocated_bytes = 0; virt_swaps = 0;
     emulations = 0; pointer_fixups = 0; denied = 0 }
 
+(* Average bytes synchronized per operation switch — the number the
+   static sync schedule exists to shrink. *)
+let synced_per_switch s =
+  if s.switches = 0 then 0.0
+  else float_of_int s.synced_bytes /. float_of_int s.switches
+
 let pp fmt s =
   Fmt.pf fmt
-    "switches=%d synced=%dB relocated=%dB virt_swaps=%d emulations=%d \
-     fixups=%d denied=%d"
-    s.switches s.synced_bytes s.relocated_bytes s.virt_swaps s.emulations
-    s.pointer_fixups s.denied
+    "switches=%d synced=%dB (%.1fB/switch) relocated=%dB virt_swaps=%d \
+     emulations=%d fixups=%d denied=%d"
+    s.switches s.synced_bytes (synced_per_switch s) s.relocated_bytes
+    s.virt_swaps s.emulations s.pointer_fixups s.denied

@@ -11,4 +11,9 @@ type t = {
 }
 
 val create : unit -> t
+
+(** Average bytes synchronized per operation switch (0 when no switch
+    has happened). *)
+val synced_per_switch : t -> float
+
 val pp : Format.formatter -> t -> unit

@@ -18,22 +18,67 @@ let reset_compile_count () = Atomic.set invocations 0
 (* Stage 0: static well-formedness. *)
 let front (program : Program.t) = Program.validate program
 
+module SS = Set.Make (String)
+
+(* Stage 1d': static sync schedules — the may-read/may-write dataflow
+   folded over the partition into per-switch copy sets.  Exposed as its
+   own stage so the pipeline can memoize it. *)
+let syncsets_of ~points_to ~callgraph ~(ops : Operation.t list)
+    ~(input : Dev_input.t) (program : Program.t) : Opec_analysis.Syncset.t =
+  let classification = Partition.classify_globals program ops in
+  let externals = SS.of_list classification.Partition.external_ in
+  let rw = Opec_analysis.Dataflow.analyze program points_to in
+  let escaped = Opec_analysis.Dataflow.escaped_globals program points_to in
+  let sanitized =
+    SS.of_list
+      (List.map
+         (fun r -> r.Dev_input.sz_global)
+         input.Dev_input.sanitize)
+  in
+  let op_entries =
+    SS.of_list (List.map (fun (op : Operation.t) -> op.Operation.entry) ops)
+  in
+  let exposure =
+    Opec_analysis.Dataflow.exposure program points_to rw callgraph ~op_entries
+  in
+  let views =
+    List.map
+      (fun (op : Operation.t) ->
+        { Opec_analysis.Syncset.ov_name = op.Operation.name;
+          ov_entry = op.Operation.entry;
+          ov_funcs = op.Operation.funcs;
+          ov_slots = SS.inter (Operation.accessible_globals op) externals;
+          ov_killed =
+            Opec_analysis.Dataflow.killed_of exposure
+              ~entry:op.Operation.entry })
+      ops
+  in
+  Opec_analysis.Syncset.compute ~ops:views ~callgraph ~rw ~escaped ~sanitized
+    ~ptr_vars:(Opec_analysis.Dataflow.pointer_vars program)
+    ~has_irq:(Opec_analysis.Dataflow.has_irq program)
+    ~conservative_resume:(Opec_analysis.Dataflow.has_svc program)
+
 (* Stages 1d: image generation from precomputed analysis artifacts.
    [program] must already be validated. *)
 let back ?(board = Opec_machine.Memmap.stm32f4_discovery)
-    ?(sort_sections = true) ~points_to ~callgraph ~resources
+    ?(sort_sections = true) ?syncsets ~points_to ~callgraph ~resources
     ~(ops : Operation.t list) (program : Program.t) (input : Dev_input.t) :
     Image.t =
   Atomic.incr invocations;
   let classification = Partition.classify_globals program ops in
   let layout = Layout.build ~sort_sections program ops classification in
   let metas = Metadata.build ~cls:classification layout input ops in
+  let syncsets =
+    match syncsets with
+    | Some s -> s
+    | None -> syncsets_of ~points_to ~callgraph ~ops ~input program
+  in
   let instrumented, stats =
     Instrument.instrument program layout
       ~entries:(List.map (fun (op : Operation.t) -> op.Operation.entry) ops)
   in
   Image.assemble ~board ~input ~ops ~layout ~metas ~stats ~callgraph
-    ~resources ~points_to ~source:program instrumented
+    ~resources ~points_to ~syncsets ~source:program instrumented
 
 let compile ?board ?sort_sections (program : Program.t) (input : Dev_input.t)
     : Image.t =

@@ -19,12 +19,28 @@ val compile :
 (** Stage 0: static well-formedness ({!Opec_ir.Program.validate}). *)
 val front : Opec_ir.Program.t -> Opec_ir.Program.t
 
+(** Stage 1d': static sync schedules — the may-read/may-write dataflow
+    and exposed-read (kill) analyses folded over the partition into
+    per-switch copy sets, read-only master mappings, and dead-publish
+    filters.  [input] supplies the sanitize rules, whose targets are
+    pinned into the schedules.  The program must already be
+    validated. *)
+val syncsets_of :
+  points_to:Opec_analysis.Points_to.t ->
+  callgraph:Opec_analysis.Callgraph.t ->
+  ops:Operation.t list ->
+  input:Dev_input.t ->
+  Opec_ir.Program.t ->
+  Opec_analysis.Syncset.t
+
 (** Stage 1d alone: image generation (global classification, layout,
     metadata, instrumentation, assembly) from precomputed analysis
-    artifacts.  The program must already be validated. *)
+    artifacts.  The program must already be validated; [syncsets]
+    defaults to a private {!syncsets_of} computation. *)
 val back :
   ?board:Opec_machine.Memmap.board ->
   ?sort_sections:bool ->
+  ?syncsets:Opec_analysis.Syncset.t ->
   points_to:Opec_analysis.Points_to.t ->
   callgraph:Opec_analysis.Callgraph.t ->
   resources:Opec_analysis.Resource.t ->

@@ -34,3 +34,10 @@ let metadata_reloc_entry_bytes = 4
    load sequence), matching the 4-bytes-per-instruction code model. *)
 let svc_site_bytes = 16
 let reloc_load_bytes = 16
+
+(* Static sync-schedule bytes embedded with the operation metadata: one
+   header per scheduled list (an out or enter set per operation, a
+   resume set per (src, dst) pair) plus one slot reference per scheduled
+   variable. *)
+let syncset_header_bytes = 8
+let syncset_entry_bytes = 4

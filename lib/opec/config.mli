@@ -39,3 +39,10 @@ val metadata_reloc_entry_bytes : int
 val svc_site_bytes : int
 
 val reloc_load_bytes : int
+
+(** Sync-schedule byte model: one header per embedded scheduled list
+    (out/enter per operation, resume per pair), one slot reference per
+    scheduled variable. *)
+val syncset_header_bytes : int
+
+val syncset_entry_bytes : int

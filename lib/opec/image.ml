@@ -25,12 +25,31 @@ type t = {
   callgraph : Opec_analysis.Callgraph.t;
   resources : Opec_analysis.Resource.t;
   points_to : Opec_analysis.Points_to.t;
+  syncsets : Opec_analysis.Syncset.t;
+  syncset_bytes : int;  (** flash bytes of the embedded sync schedule *)
 }
+
+(* Flash footprint of the embedded schedule: every per-operation out and
+   enter list plus every explicit (src, dst) resume list, at one header
+   per list and one slot reference per variable. *)
+let syncset_flash_bytes (ss : Opec_analysis.Syncset.t) =
+  let module An = Opec_analysis.Syncset in
+  let list_bytes s =
+    Config.syncset_header_bytes + (An.SS.cardinal s * Config.syncset_entry_bytes)
+  in
+  let per_op =
+    List.fold_left
+      (fun acc op -> acc + list_bytes (An.out_set ss op) + list_bytes (An.enter_set ss op))
+      0 (An.ops ss)
+  in
+  List.fold_left
+    (fun acc (src, dst) -> acc + list_bytes (An.resume_set ss ~src ~dst))
+    per_op (An.pairs ss)
 
 let align a n = (n + a - 1) / a * a
 
 let assemble ~board ~input ~ops ~layout ~metas ~stats ~callgraph ~resources
-    ~points_to ~(source : Program.t) (instrumented : Program.t) =
+    ~points_to ~syncsets ~(source : Program.t) (instrumented : Program.t) =
   let code_base = Opec_machine.Memmap.flash_base in
   let func_addr, func_of_addr, code_end =
     Opec_exec.Address_map.layout_functions ~code_base instrumented
@@ -54,8 +73,10 @@ let assemble ~board ~input ~ops ~layout ~metas ~stats ~callgraph ~resources
     (stats.Instrument.svc_sites * Config.svc_site_bytes)
     + (stats.Instrument.reloc_sites * Config.reloc_load_bytes)
   in
+  let syncset_bytes = syncset_flash_bytes syncsets in
   let flash_used =
-    !cursor + metadata_bytes + instrumentation_bytes - code_base
+    !cursor + metadata_bytes + instrumentation_bytes + syncset_bytes
+    - code_base
   in
   let global_addr name =
     match Hashtbl.find_opt const_addrs name with
@@ -96,7 +117,9 @@ let assemble ~board ~input ~ops ~layout ~metas ~stats ~callgraph ~resources
     stats;
     callgraph;
     resources;
-    points_to }
+    points_to;
+    syncsets;
+    syncset_bytes }
 
 let meta_of t op_name = List.assoc_opt op_name t.metas
 
@@ -165,8 +188,9 @@ let sram_overhead_pct t =
   /. float_of_int t.board.Opec_machine.Memmap.sram_size
   *. 100.0
 
-(* Privileged code bytes: only the monitor text runs privileged. *)
+(* Privileged code bytes: only the monitor text runs privileged; the
+   embedded sync schedule is monitor-owned data like the metadata. *)
 let privileged_code_bytes t =
-  Config.monitor_code_size + Metadata.total_bytes t.metas
+  Config.monitor_code_size + Metadata.total_bytes t.metas + t.syncset_bytes
 
 let total_code_bytes t = t.flash_used

@@ -23,7 +23,12 @@ type t = {
   callgraph : Opec_analysis.Callgraph.t;
   resources : Opec_analysis.Resource.t;
   points_to : Opec_analysis.Points_to.t;
+  syncsets : Opec_analysis.Syncset.t;
+  syncset_bytes : int;  (** flash bytes of the embedded sync schedule *)
 }
+
+(** Flash footprint of a sync schedule under the {!Config} byte model. *)
+val syncset_flash_bytes : Opec_analysis.Syncset.t -> int
 
 val assemble :
   board:Opec_machine.Memmap.board ->
@@ -35,6 +40,7 @@ val assemble :
   callgraph:Opec_analysis.Callgraph.t ->
   resources:Opec_analysis.Resource.t ->
   points_to:Opec_analysis.Points_to.t ->
+  syncsets:Opec_analysis.Syncset.t ->
   source:Program.t ->
   Program.t ->
   t

@@ -71,6 +71,7 @@ type art =
   | A_callgraph of An.Callgraph.t
   | A_resources of An.Resource.t
   | A_ops of C.Operation.t list
+  | A_syncsets of An.Syncset.t
   | A_image of C.Image.t
   | A_aces of A.Aces.t
   | A_baseline of baseline
@@ -208,17 +209,33 @@ let ops c =
   | A_ops x -> x
   | _ -> assert false
 
+let syncsets c =
+  let p = validated c in
+  let pts = points_to c in
+  let cg = callgraph c in
+  let ops = ops c in
+  match
+    get c "syncsets" (fun () ->
+        A_syncsets
+          (C.Compiler.syncsets_of ~points_to:pts ~callgraph:cg ~ops
+             ~input:c.app.Apps.App.dev_input p))
+  with
+  | A_syncsets x -> x
+  | _ -> assert false
+
 let image c =
   let p = validated c in
   let pts = points_to c in
   let cg = callgraph c in
   let res = resources c in
   let ops = ops c in
+  let ss = syncsets c in
   match
     get c "image" (fun () ->
         A_image
           (C.Compiler.back ~board:c.app.Apps.App.board ~points_to:pts
-             ~callgraph:cg ~resources:res ~ops p c.app.Apps.App.dev_input))
+             ~callgraph:cg ~resources:res ~ops ~syncsets:ss p
+             c.app.Apps.App.dev_input))
   with
   | A_image x -> x
   | _ -> assert false
@@ -390,9 +407,9 @@ let protected_obs c =
 (* --- instrumentation ---------------------------------------------------- *)
 
 let stage_names =
-  [ "validate"; "points-to"; "callgraph"; "resources"; "partition"; "image";
-    "baseline"; "baseline-traced"; "baseline-marked"; "protected";
-    "protected-traced"; "protected-obs" ]
+  [ "validate"; "points-to"; "callgraph"; "resources"; "partition";
+    "syncsets"; "image"; "baseline"; "baseline-traced"; "baseline-marked";
+    "protected"; "protected-traced"; "protected-obs" ]
 
 let timings c = Mutex.protect c.lock (fun () -> c.timings)
 

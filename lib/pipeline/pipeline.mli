@@ -84,6 +84,7 @@ val points_to : ctx -> Opec_analysis.Points_to.t
 val callgraph : ctx -> Opec_analysis.Callgraph.t
 val resources : ctx -> Opec_analysis.Resource.t
 val ops : ctx -> Opec_core.Operation.t list
+val syncsets : ctx -> Opec_analysis.Syncset.t
 val image : ctx -> Opec_core.Image.t
 val aces : ctx -> Opec_aces.Strategy.kind -> Opec_aces.Aces.t
 

@@ -283,6 +283,229 @@ let test_icall_arity_mismatch_unresolved () =
     Alcotest.(check (list string)) "cb2 candidate" [ "cb2" ] ic.targets
   | l -> Alcotest.failf "expected one icall site, got %d" (List.length l)
 
+(* --- may-read/may-write dataflow and sync schedules ---------------------- *)
+
+module Co = Opec_core
+
+let test_dataflow_rw_split () =
+  let p =
+    mk
+      ~globals:[ word "a"; word "b"; word "c" ]
+      [ func "f" [] [ load "x" (gv "a"); store (gv "b") (l "x"); ret0 ];
+        func "g" [ pp_ "p" Ty.Word ] [ store (l "p") (c 1); ret0 ];
+        func "main" [] [ call "f" []; call "g" [ gv "c" ]; halt ] ]
+  in
+  let pts = An.Points_to.solve p in
+  let rw = An.Dataflow.analyze p pts in
+  let fr = An.Dataflow.of_func rw "f" in
+  Alcotest.(check (list string)) "f reads a" [ "a" ]
+    (SS.elements fr.An.Dataflow.reads);
+  Alcotest.(check (list string)) "f writes b" [ "b" ]
+    (SS.elements fr.An.Dataflow.writes);
+  (* the write through g's pointer parameter lands on c *)
+  let gr = An.Dataflow.of_func rw "g" in
+  Alcotest.(check (list string)) "g writes c through its parameter" [ "c" ]
+    (SS.elements gr.An.Dataflow.writes);
+  Alcotest.(check (list string)) "g reads nothing" []
+    (SS.elements gr.An.Dataflow.reads);
+  (* the join over {f, g} is the union of both directions *)
+  let both = An.Dataflow.of_funcs rw (SS.of_list [ "f"; "g" ]) in
+  Alcotest.(check (list string)) "joined writes" [ "b"; "c" ]
+    (SS.elements both.An.Dataflow.writes)
+
+let test_dataflow_memcpy () =
+  let p =
+    mk
+      ~globals:[ words "src" 4; words "dst" 4 ]
+      [ func "cp" [] [ memcpy (gv "dst") (gv "src") (c 16); ret0 ];
+        func "main" [] [ call "cp" []; halt ] ]
+  in
+  let rw = An.Dataflow.analyze p (An.Points_to.solve p) in
+  let r = An.Dataflow.of_func rw "cp" in
+  Alcotest.(check (list string)) "memcpy reads src" [ "src" ]
+    (SS.elements r.An.Dataflow.reads);
+  Alcotest.(check (list string)) "memcpy writes dst" [ "dst" ]
+    (SS.elements r.An.Dataflow.writes)
+
+let test_escaped_globals () =
+  (* storing a global's address into a peripheral register gives the
+     device an unbounded write capability over it *)
+  let p =
+    mk
+      ~globals:[ word "dma_buf"; word "plain" ]
+      [ func "arm" [] [ store (reg uart 0) (gv "dma_buf"); ret0 ];
+        func "main" [] [ call "arm" []; store (gv "plain") (c 1); halt ] ]
+  in
+  let esc = An.Dataflow.escaped_globals p (An.Points_to.solve p) in
+  Alcotest.(check (list string)) "dma_buf escapes" [ "dma_buf" ]
+    (SS.elements esc)
+
+let sync_sample () =
+  Program.v ~name:"syncset-sample"
+    ~globals:[ word "shared"; word "priv_b" ]
+    ~peripherals:[]
+    ~funcs:
+      [ func "task_a" [] [ store (gv "shared") (c 1); ret0 ];
+        func "task_b" []
+          [ load "x" (gv "shared"); store (gv "priv_b") (l "x"); ret0 ];
+        func "main" [] [ call "task_a" []; call "task_b" []; halt ] ]
+    ()
+
+let test_syncset_schedule () =
+  let image =
+    Co.Compiler.compile (sync_sample ()) (Co.Dev_input.v [ "task_a"; "task_b" ])
+  in
+  let ss = image.Co.Image.syncsets in
+  let op_of entry =
+    (List.find
+       (fun (o : Co.Operation.t) -> String.equal o.entry entry)
+       image.Co.Image.ops)
+      .Co.Operation.name
+  in
+  let a = op_of "task_a" and b = op_of "task_b" in
+  let elems s = SS.elements s in
+  (* task_a writes the shared slot; task_b only reads it (priv_b is
+     internal, so never a slot) *)
+  Alcotest.(check (list string)) "out(a)" [ "shared" ]
+    (elems (An.Syncset.out_set ss a));
+  Alcotest.(check (list string)) "out(b)" [] (elems (An.Syncset.out_set ss b));
+  (* task_b provably never writes shared: the slot maps read-only onto
+     the master and drops out of every copy schedule *)
+  Alcotest.(check (list string)) "ro(b)" [ "shared" ]
+    (elems (An.Syncset.ro_set ss b));
+  Alcotest.(check (list string)) "enter(b)" []
+    (elems (An.Syncset.enter_set ss b));
+  Alcotest.(check (list string)) "enter(a)" []
+    (elems (An.Syncset.enter_set ss a));
+  (* raw sets keep internals: task_b may write priv_b *)
+  Alcotest.(check (list string)) "may_write(b)" [ "priv_b" ]
+    (elems (An.Syncset.may_write ss b));
+  Alcotest.(check (list string)) "may_read(b)" [ "shared" ]
+    (elems (An.Syncset.may_read ss b));
+  (* no SVC yields: explicit pair scheduling, with a's writes visible
+     when b resumes after it *)
+  Alcotest.(check bool) "precise resume" false
+    (An.Syncset.conservative_resume ss);
+  Alcotest.(check bool) "pairs exist" true (An.Syncset.pairs ss <> []);
+  Alcotest.(check (list string)) "resume(a -> b)" []
+    (elems (An.Syncset.resume_set ss ~src:a ~dst:b));
+  Alcotest.(check bool) "unknown op raises" true
+    (match An.Syncset.out_set ss "nonesuch" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_kill_analysis () =
+  (* entry values are dead when the operation provably overwrites the
+     whole variable before reading it: through a callee's direct store,
+     a covering memcpy, or a [Build.for_] fill loop — but never for an
+     address-taken variable, and never after an exposed read *)
+  let p =
+    mk
+      ~globals:
+        [ word "k1"; word "e1"; words "buf" 4; words "src" 4; words "arr" 4;
+          word "at"; word "hold" ]
+      [ func "helper" [] [ store (gv "k1") (c 7); ret0 ];
+        func "f" []
+          ([ call "helper" [];
+             load "x" (gv "e1");
+             store (gv "e1") E.(l "x" + c 1);
+             memcpy (gv "buf") (gv "src") (c 16) ]
+          @ for_ "i" (c 4) [ store E.(gv "arr" + (l "i" * c 4)) (c 0) ]
+          @ [ store (gv "hold") (gv "at"); store (gv "at") (c 1); ret0 ]);
+        func "main" [] [ call "f" []; halt ] ]
+  in
+  let pts = An.Points_to.solve p in
+  let rw = An.Dataflow.analyze p pts in
+  let cg = An.Callgraph.build p pts in
+  let ex =
+    An.Dataflow.exposure p pts rw cg ~op_entries:(SS.singleton "f")
+  in
+  let killed = An.Dataflow.killed_of ex ~entry:"f" in
+  (* k1 via the callee, buf via memcpy, arr via the fill loop, hold via
+     its direct whole-word store; e1 is read first and at is
+     address-taken, so neither is killed *)
+  Alcotest.(check (list string)) "killed" [ "arr"; "buf"; "hold"; "k1" ]
+    (SS.elements killed)
+
+let test_syncset_dead_publish () =
+  (* a slot every observer kills before reading carries no information
+     across switches: its publish is dead and dropped from every out
+     set, and [unobserved] names it for the dynamic oracles *)
+  let p =
+    Program.v ~name:"dead-publish"
+      ~globals:[ word "scratch"; word "shared" ]
+      ~peripherals:[]
+      ~funcs:
+        [ func "task_a" []
+            [ store (gv "scratch") (c 5);
+              load "t" (gv "scratch");
+              store (gv "shared") (l "t");
+              ret0 ];
+          func "task_b" []
+            [ store (gv "scratch") (c 9);
+              load "u" (gv "scratch");
+              load "s" (gv "shared");
+              store (gv "scratch") E.(l "u" + l "s");
+              ret0 ];
+          func "main" [] [ call "task_a" []; call "task_b" []; halt ] ]
+      ()
+  in
+  let image =
+    Co.Compiler.compile p (Co.Dev_input.v [ "task_a"; "task_b" ])
+  in
+  let ss = image.Co.Image.syncsets in
+  let op_of entry =
+    (List.find
+       (fun (o : Co.Operation.t) -> String.equal o.entry entry)
+       image.Co.Image.ops)
+      .Co.Operation.name
+  in
+  let a = op_of "task_a" and b = op_of "task_b" in
+  let elems s = SS.elements s in
+  Alcotest.(check (list string)) "out(a) publishes only shared" [ "shared" ]
+    (elems (An.Syncset.out_set ss a));
+  Alcotest.(check (list string)) "out(b) is empty" []
+    (elems (An.Syncset.out_set ss b));
+  Alcotest.(check (list string)) "unobserved(a)" [ "scratch" ]
+    (elems (An.Syncset.unobserved_set ss a));
+  Alcotest.(check (list string)) "unobserved(b)" [ "scratch" ]
+    (elems (An.Syncset.unobserved_set ss b));
+  Alcotest.(check (list string)) "global unobserved union" [ "scratch" ]
+    (elems (An.Syncset.unobserved ss));
+  (* b reads shared but never writes it: read-only master mapping, so
+     no entry refill either *)
+  Alcotest.(check (list string)) "ro(b)" [ "shared" ]
+    (elems (An.Syncset.ro_set ss b));
+  Alcotest.(check (list string)) "enter(b)" []
+    (elems (An.Syncset.enter_set ss b))
+
+let test_syncset_conservative_on_svc () =
+  let p = sync_sample () in
+  let yield =
+    Func.v "yield" ~params:[]
+      ~body:[ Instr.Svc Opec_monitor.Threads.yield_svc; Instr.Return None ]
+  in
+  let p =
+    { p with Program.funcs = yield :: p.Program.funcs }
+  in
+  Alcotest.(check bool) "program has a raw svc" true (An.Dataflow.has_svc p);
+  let image = Co.Compiler.compile p (Co.Dev_input.v [ "task_a"; "task_b" ]) in
+  let ss = image.Co.Image.syncsets in
+  Alcotest.(check bool) "conservative resume" true
+    (An.Syncset.conservative_resume ss);
+  Alcotest.(check bool) "no explicit pairs" true (An.Syncset.pairs ss = []);
+  (* resume falls back to the enter set *)
+  let op_of entry =
+    (List.find
+       (fun (o : Co.Operation.t) -> String.equal o.entry entry)
+       image.Co.Image.ops)
+      .Co.Operation.name
+  in
+  let a = op_of "task_a" and b = op_of "task_b" in
+  Alcotest.(check (list string)) "resume = enter under yields"
+    (SS.elements (An.Syncset.enter_set ss b))
+    (SS.elements (An.Syncset.resume_set ss ~src:a ~dst:b))
+
 let suite () =
   [ ( "analysis",
       [ Alcotest.test_case "direct globals" `Quick test_direct_global_use;
@@ -301,4 +524,14 @@ let suite () =
         Alcotest.test_case "peripheral base+offset" `Quick
           test_peripheral_base_plus_offset;
         Alcotest.test_case "icall arity mismatch" `Quick
-          test_icall_arity_mismatch_unresolved ] ) ]
+          test_icall_arity_mismatch_unresolved;
+        Alcotest.test_case "dataflow read/write split" `Quick
+          test_dataflow_rw_split;
+        Alcotest.test_case "dataflow memcpy" `Quick test_dataflow_memcpy;
+        Alcotest.test_case "escaped globals" `Quick test_escaped_globals;
+        Alcotest.test_case "kill analysis" `Quick test_kill_analysis;
+        Alcotest.test_case "syncset schedule" `Quick test_syncset_schedule;
+        Alcotest.test_case "syncset dead publish" `Quick
+          test_syncset_dead_publish;
+        Alcotest.test_case "syncset conservative on svc" `Quick
+          test_syncset_conservative_on_svc ] ) ]

@@ -208,6 +208,85 @@ let test_seeded_l008_layout_hole () =
   check_fires "unaddressable global" "L008"
     (L.Checks.layout_consistency image)
 
+(* a deliberately weak sync schedule: the real slot domains, but empty
+   may-read/may-write sets — so no switch copies anything *)
+let weak_syncsets (image : C.Image.t) =
+  let views =
+    List.map
+      (fun (op : C.Operation.t) ->
+        { An.Syncset.ov_name = op.name; ov_entry = op.entry;
+          ov_funcs = op.funcs;
+          ov_slots = An.Syncset.slots_of image.C.Image.syncsets op.name;
+          ov_killed = SS.empty })
+      image.C.Image.ops
+  in
+  An.Syncset.compute ~ops:views ~callgraph:image.C.Image.callgraph
+    ~rw:(Hashtbl.create 1) ~escaped:SS.empty ~sanitized:SS.empty
+    ~ptr_vars:SS.empty ~has_irq:false ~conservative_resume:true
+
+let test_seeded_l009_weak_schedule () =
+  let image = compile () in
+  Alcotest.(check (list string)) "embedded schedule is sound" []
+    (error_codes (L.Checks.sync_schedule_soundness image));
+  let image = { image with C.Image.syncsets = weak_syncsets image } in
+  check_fires "weakened schedule" "L009"
+    (L.Checks.sync_schedule_soundness image)
+
+let test_seeded_l010_unsyncable_escape () =
+  (* buf's address is stored into the UART window: the device can write
+     it at any time, so both tasks must sync it at every switch *)
+  let p =
+    Program.v ~name:"escape-sample"
+      ~globals:[ word "buf"; word "flag" ]
+      ~peripherals:[ uart ]
+      ~funcs:
+        [ func "task_a" []
+            [ store (reg uart 0) (gv "buf");
+              load "x" (gv "buf");
+              store (gv "flag") (l "x"); ret0 ];
+          func "task_b" []
+            [ load "y" (gv "buf"); store (gv "flag") (l "y"); ret0 ];
+          func "main" [] [ call "task_a" []; call "task_b" []; halt ] ]
+      ()
+  in
+  let image = C.Compiler.compile p (C.Dev_input.v [ "task_a"; "task_b" ]) in
+  let diags = L.Checks.unsyncable_escape image in
+  Alcotest.(check bool) "escape warning fires" true
+    (List.exists
+       (fun d ->
+         String.equal d.L.Diag.code "L010"
+         && d.L.Diag.severity = L.Diag.Warning)
+       diags);
+  Alcotest.(check (list string)) "conservative schedule has no errors" []
+    (error_codes diags);
+  (* drop the escaped global from every scheduled set: now a device
+     write could be lost *)
+  let image = { image with C.Image.syncsets = weak_syncsets image } in
+  check_fires "non-conservative escape" "L010"
+    (L.Checks.unsyncable_escape image)
+
+let test_seeded_l011_stale_read () =
+  (* the producer publishes through [shared]; the consumer reads it.
+     With the schedule emptied the simulated copies stop delivering the
+     write, and the generation replay must flag the stale read.  No
+     peripherals: the oracle replays the baseline without devices. *)
+  let p =
+    Program.v ~name:"stale-sample"
+      ~globals:[ word "shared"; word "sink" ]
+      ~peripherals:[]
+      ~funcs:
+        [ func "producer" [] [ store (gv "shared") (c 42); ret0 ];
+          func "consumer" []
+            [ load "x" (gv "shared"); store (gv "sink") (l "x"); ret0 ];
+          func "main" [] [ call "producer" []; call "consumer" []; halt ] ]
+      ()
+  in
+  let image = C.Compiler.compile p (C.Dev_input.v [ "producer"; "consumer" ]) in
+  Alcotest.(check (list string)) "sound schedule replays clean" []
+    (error_codes (L.Oracle.check_sync image));
+  let image = { image with C.Image.syncsets = weak_syncsets image } in
+  check_fires "stale read" "L011" (L.Oracle.check_sync image)
+
 (* --- framework behaviour ------------------------------------------------- *)
 
 let test_l002_dead_code_is_info () =
@@ -252,11 +331,15 @@ let test_diag_ordering_and_json () =
 let test_registry_complete () =
   let codes = List.map (fun c -> c.L.Lint.code) L.Lint.checkers in
   Alcotest.(check (list string)) "registry codes"
-    [ "L001"; "L002"; "L003"; "L004"; "L005"; "L006"; "L007"; "L008" ]
+    [ "L001"; "L002"; "L003"; "L004"; "L005"; "L006"; "L007"; "L008"; "L009";
+      "L010"; "L011" ]
     codes;
-  Alcotest.(check bool) "only the oracle is dynamic" true
+  Alcotest.(check bool) "only the trace oracles are dynamic" true
     (List.for_all
-       (fun c -> c.L.Lint.dynamic = String.equal c.L.Lint.code "L007")
+       (fun c ->
+         c.L.Lint.dynamic
+         = (String.equal c.L.Lint.code "L007"
+           || String.equal c.L.Lint.code "L011"))
        L.Lint.checkers)
 
 let suite () =
@@ -280,6 +363,12 @@ let suite () =
           test_seeded_l007_unpredicted_access;
         Alcotest.test_case "seeded L008 layout hole" `Quick
           test_seeded_l008_layout_hole;
+        Alcotest.test_case "seeded L009 weak schedule" `Quick
+          test_seeded_l009_weak_schedule;
+        Alcotest.test_case "seeded L010 unsyncable escape" `Quick
+          test_seeded_l010_unsyncable_escape;
+        Alcotest.test_case "seeded L011 stale read" `Quick
+          test_seeded_l011_stale_read;
         Alcotest.test_case "L002 dead code is info" `Quick
           test_l002_dead_code_is_info;
         Alcotest.test_case "diag ordering and json" `Quick

@@ -81,6 +81,47 @@ let test_sync_only_shared () =
   Alcotest.(check int64) "b_private" 8L (read_global image r.Mon.Runner.bus "b_private");
   Alcotest.(check int64) "common" 2L (read_global image r.Mon.Runner.bus "common")
 
+(* a provably read-only slot maps straight onto the master: its shadow
+   is dead (never filled at init, never refilled on entry), so the
+   reader only computes the right answer if its loads really travel
+   through the read-only master mapping *)
+let test_readonly_master_mapping () =
+  let p =
+    Program.v ~name:"romap"
+      ~globals:[ word "feed"; word "seen" ]
+      ~peripherals:[]
+      ~funcs:
+        [ func "producer" []
+            [ load "v" (gv "feed");
+              store (gv "feed") E.(l "v" + c 5);
+              ret0 ];
+          func "watcher" []
+            [ load "f" (gv "feed");
+              load "s" (gv "seen");
+              store (gv "seen") E.(l "s" + l "f");
+              ret0 ];
+          func "main" []
+            [ call "producer" []; call "watcher" [];
+              call "producer" []; call "watcher" []; halt ] ]
+      ()
+  in
+  let image = compile ~entries:[ "producer"; "watcher" ] p in
+  let ss = image.C.Image.syncsets in
+  let watcher_op =
+    (List.find
+       (fun (o : C.Operation.t) -> String.equal o.C.Operation.entry "watcher")
+       image.C.Image.ops)
+      .C.Operation.name
+  in
+  Alcotest.(check (list string)) "feed is read-only for watcher" [ "feed" ]
+    (Opec_analysis.Syncset.SS.elements
+       (Opec_analysis.Syncset.ro_set ss watcher_op));
+  let r = run image in
+  (* 0 +5 -> 5 (watcher adds 5), +5 -> 10 (watcher adds 10): 15 *)
+  Alcotest.(check int64) "feed" 10L (read_global image r.Mon.Runner.bus "feed");
+  Alcotest.(check int64) "seen accumulates fresh master values" 15L
+    (read_global image r.Mon.Runner.bus "seen")
+
 (* --- isolation ------------------------------------------------------------ *)
 
 (* a compromised task writing another operation's internal variable (at
@@ -411,10 +452,53 @@ let test_pointer_field_fixup () =
   Alcotest.(check bool) "a fixup happened" true
     ((Mon.Monitor.stats r.Mon.Runner.monitor).Mon.Stats.pointer_fixups >= 1)
 
+(* --- incremental synchronization ---------------------------------------- *)
+
+(* both tasks share x and y, but each writes only one: the static sync
+   schedule must move strictly fewer bytes than full-slot syncing while
+   producing bit-identical results *)
+let test_incremental_sync_cuts_bytes () =
+  let p =
+    Program.v ~name:"incsync"
+      ~globals:[ word "x"; word "y" ]
+      ~peripherals:[]
+      ~funcs:
+        [ func "ta" []
+            [ load "vx" (gv "x"); load "vy" (gv "y");
+              store (gv "x") E.(l "vx" + l "vy" + c 1); ret0 ];
+          func "tb" []
+            [ load "vx" (gv "x"); load "vy" (gv "y");
+              store (gv "y") E.(l "vx" + l "vy" + c 2); ret0 ];
+          func "main" []
+            [ call "ta" []; call "tb" []; call "ta" []; halt ] ]
+      ()
+  in
+  let image = compile ~entries:[ "ta"; "tb" ] p in
+  let r1 = run image in
+  let r2 = Mon.Runner.run_protected ~full_sync:true image in
+  List.iter
+    (fun gn ->
+      Alcotest.(check int64) (gn ^ " identical under both modes")
+        (read_global image r2.Mon.Runner.bus gn)
+        (read_global image r1.Mon.Runner.bus gn))
+    [ "x"; "y" ];
+  let s1 = Mon.Monitor.stats r1.Mon.Runner.monitor in
+  let s2 = Mon.Monitor.stats r2.Mon.Runner.monitor in
+  Alcotest.(check int) "same switch count" s2.Mon.Stats.switches
+    s1.Mon.Stats.switches;
+  Alcotest.(check bool) "schedule moves strictly fewer bytes" true
+    (s1.Mon.Stats.synced_bytes < s2.Mon.Stats.synced_bytes);
+  Alcotest.(check bool) "per-switch average reflects it" true
+    (Mon.Stats.synced_per_switch s1 < Mon.Stats.synced_per_switch s2)
+
 let suite () =
   [ ( "monitor",
       [ Alcotest.test_case "sync propagates" `Quick test_sync_propagates;
+        Alcotest.test_case "incremental sync cuts bytes" `Quick
+          test_incremental_sync_cuts_bytes;
         Alcotest.test_case "sync only shared" `Quick test_sync_only_shared;
+        Alcotest.test_case "read-only master mapping" `Quick
+          test_readonly_master_mapping;
         Alcotest.test_case "cross-section write blocked" `Quick test_cross_section_write_blocked;
         Alcotest.test_case "unlisted peripheral blocked" `Quick test_unlisted_peripheral_blocked;
         Alcotest.test_case "reloc table protected" `Quick test_reloc_table_not_writable;
