@@ -4,7 +4,13 @@
 
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe -- table1  # one artifact
-     ... table1 | figure9 | table2 | figure10 | figure11 | table3 | campaign | ablation | micro | pipeline | obs
+     dune exec bench/main.exe -- pipeline -j 4   # with 4 pool domains
+     ... table1 | figure9 | table2 | figure10 | figure11 | table3 | campaign | ablation | micro | pipeline | obs | fleet
+
+   [-j N] sets the size of the shared domain pool for the run, so every
+   parallel phase (prewarming, campaign fan-out, the fleet curve's
+   all-cores point) uses the requested width; the default is the pool's
+   own (recommended-domain-count - 1).
 
    Absolute numbers differ from the paper (the substrate is a machine
    model, not an STM32 board); the comparisons of EXPERIMENTS.md are about
@@ -497,7 +503,10 @@ let pipeline_bench () =
         (if i < List.length cycles - 1 then "," else ""))
     cycles;
   out "  },\n";
-  out "  \"domains\": %d\n}\n" (Opec_pipeline.Pool.default_domains ());
+  (* the high-water mark of participants any run actually used, not the
+     configured default: on a small machine these differ, and the field
+     is read as "how parallel was this measurement really" *)
+  out "  \"domains\": %d\n}\n" (Opec_pipeline.Pool.max_used ());
   close_out oc;
   say "  wrote BENCH_pipeline.json"
 
@@ -682,6 +691,93 @@ let obs () =
       List.iter (fun f -> say "  OVERHEAD REGRESSION: %s" f) fs;
       exit 1)
 
+(* ------------------------------------------------------------------- fleet *)
+
+(* Scaling curve of the fleet evaluation service: the same job at
+   j = 1, 2, 4, and all cores, each from a cold store, with the wall
+   clock, steal count, and speedup per point.  The consolidated report
+   must come back byte-identical at every width — that determinism is
+   gated here, not just documented.  Results land in BENCH_fleet.json. *)
+
+let fleet_bench () =
+  let module Fl = Opec_fleet in
+  say "%s" (R.heading "Fleet benchmark: work-stealing scheduler scaling curve");
+  let spec =
+    { Fl.Spec.apps = Fl.Spec.All_apps;
+      seeds = Some (0, 15);
+      seed_size = 2;
+      tasks = [ Fl.Spec.Compile; Fl.Spec.Lint; Fl.Spec.Attack; Fl.Spec.Trace ] }
+  in
+  let all_cores = max 1 (Domain.recommended_domain_count ()) in
+  let widths =
+    List.sort_uniq Int.compare [ 1; 2; 4; all_cores ]
+    |> List.filter (fun j -> j <= max 4 all_cores)
+  in
+  let points =
+    List.map
+      (fun j ->
+        (* cold store per point, so every width does the same work *)
+        P.reset ();
+        Gc.compact ();
+        let t0 = Unix.gettimeofday () in
+        match Fl.Fleet.run ~domains:j spec with
+        | Error e ->
+          Format.eprintf "fleet bench: %s@." e;
+          exit 2
+        | Ok o ->
+          let wall = Unix.gettimeofday () -. t0 in
+          let steals = Fl.Journal.count o.Fl.Fleet.o_journal "stolen" in
+          say "  j=%-2d  %7.3f s   %3d steals   %d/%d units ok" j wall steals
+            (List.length o.Fl.Fleet.o_units - List.length o.Fl.Fleet.o_failures)
+            (List.length o.Fl.Fleet.o_units);
+          (j, wall, steals, o))
+      widths
+  in
+  let _, wall1, _, o1 = List.hd points in
+  let report1 = Fl.Fleet.report_json o1 in
+  let deterministic =
+    List.for_all
+      (fun (_, _, _, o) -> String.equal (Fl.Fleet.report_json o) report1)
+      points
+  in
+  let failures =
+    List.concat_map (fun (_, _, _, o) -> o.Fl.Fleet.o_failures) points
+  in
+  say "  report deterministic across widths: %b" deterministic;
+  let oc = open_out "BENCH_fleet.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n  \"units\": %d,\n" (List.length o1.Fl.Fleet.o_units);
+  out "  \"tasks\": [%s],\n"
+    (String.concat ", "
+       (List.map
+          (fun t -> Printf.sprintf "%S" (Fl.Spec.task_name t))
+          spec.Fl.Spec.tasks));
+  out "  \"curve\": [\n";
+  List.iteri
+    (fun i (j, wall, steals, o) ->
+      out
+        "    {\"j\": %d, \"wall_s\": %.6f, \"speedup\": %.3f, \"steals\": %d, \
+         \"failures\": %d}%s\n"
+        j wall
+        (wall1 /. Float.max 1e-9 wall)
+        steals
+        (List.length o.Fl.Fleet.o_failures)
+        (if i < List.length points - 1 then "," else ""))
+    points;
+  out "  ],\n";
+  out "  \"deterministic\": %b,\n" deterministic;
+  out "  \"domains\": %d\n}\n" (Opec_pipeline.Pool.max_used ());
+  close_out oc;
+  say "  wrote BENCH_fleet.json";
+  if not deterministic then begin
+    say "  FLEET NONDETERMINISM: reports differ across -j";
+    exit 1
+  end;
+  if failures <> [] then begin
+    List.iter (fun (u, e) -> say "  FLEET TASK FAILURE %s: %s" u e) failures;
+    exit 1
+  end
+
 (* ------------------------------------------------------------------ driver *)
 
 let all () =
@@ -698,7 +794,29 @@ let all () =
   micro ()
 
 let () =
-  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
+  (* [-j N] anywhere on the line sizes the shared pool; the remaining
+     word picks the artifact *)
+  let rec parse target = function
+    | [] -> target
+    | ("-j" | "--domains") :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 ->
+        Opec_pipeline.Pool.set_size n;
+        parse target rest
+      | _ ->
+        Format.eprintf "bad -j value %S@." n;
+        exit 2)
+    | ("-j" | "--domains") :: [] ->
+      Format.eprintf "-j needs a value@.";
+      exit 2
+    | a :: rest -> parse (Some a) rest
+  in
+  let target =
+    Option.value
+      (parse None (List.tl (Array.to_list Sys.argv)))
+      ~default:"all"
+  in
+  match target with
   | "table1" -> table1 ()
   | "figure9" -> figure9 ()
   | "table2" -> table2 ()
@@ -710,9 +828,10 @@ let () =
   | "micro" -> micro ()
   | "pipeline" -> pipeline_bench ()
   | "obs" -> obs ()
+  | "fleet" -> fleet_bench ()
   | "all" -> all ()
   | other ->
     Format.eprintf
-      "unknown artifact %S (expected table1|figure9|table2|figure10|figure11|table3|campaign|ablation|micro|pipeline|obs|all)@."
+      "unknown artifact %S (expected table1|figure9|table2|figure10|figure11|table3|campaign|ablation|micro|pipeline|obs|fleet|all)@."
       other;
     exit 2

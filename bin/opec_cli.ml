@@ -12,10 +12,14 @@
      opec attack [APP] [--all] [--json]  run the attack-injection campaign
      opec fuzz [--seeds A..B] [--size N] [--property P] [--replay FILE]
                                     property-based differential fuzzing
+     opec fleet [--apps ...] [--seeds A..B] [--tasks ...] [-j N]
+                                    sharded fleet-scale evaluation
 
    Every command draws its artifacts from the compile-once pipeline, so
    within one invocation each workload is compiled and run at most
-   once no matter how many commands' worth of work an invocation does. *)
+   once no matter how many commands' worth of work an invocation does.
+   Parallel commands (attack --all, fuzz, fleet) share one domain pool;
+   [-j] sets its size for the invocation. *)
 
 open Cmdliner
 module M = Opec_machine
@@ -40,6 +44,24 @@ let app_arg =
 let exits_with_error msg =
   Format.eprintf "error: %s@." msg;
   exit 1
+
+(* "A..B" inclusive seed ranges, shared by fuzz and fleet. *)
+let seed_range_conv =
+  let parse s =
+    match String.index_opt s '.' with
+    | Some i
+      when i + 1 < String.length s
+           && s.[i + 1] = '.'
+           && i + 2 <= String.length s -> (
+      let lo = String.sub s 0 i
+      and hi = String.sub s (i + 2) (String.length s - i - 2) in
+      match (int_of_string_opt lo, int_of_string_opt hi) with
+      | Some lo, Some hi when lo <= hi -> Ok (lo, hi)
+      | _ -> Error (`Msg (Printf.sprintf "bad seed range %S" s)))
+    | _ -> Error (`Msg (Printf.sprintf "bad seed range %S (want A..B)" s))
+  in
+  let print f (lo, hi) = Format.fprintf f "%d..%d" lo hi in
+  Arg.conv (parse, print)
 
 (* ------------------------------------------------------------------ list *)
 
@@ -493,7 +515,18 @@ let attack_cmd =
       & info [ "details" ]
           ~doc:"Show each cell's injection rationale and classification.")
   in
-  let run name all json details =
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "domains" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the campaign fan-out (default: pool \
+             size).  The pool is shared with every other parallel \
+             command, so nested parallel work runs inline instead of \
+             oversubscribing.")
+  in
+  let run name all json details domains =
     (* reduced-size workload variants: same code and policy, fewer
        rounds, so the 30-cell matrix per app stays quick *)
     let small = Apps.Registry.all_small () in
@@ -509,7 +542,7 @@ let attack_cmd =
     match apps with
     | Error e -> exits_with_error e
     | Ok apps ->
-      let ms = Opec_attack.Campaign.run_all apps in
+      let ms = Opec_attack.Campaign.run_all ?domains apps in
       if json then print_endline (Opec_attack.Report.to_json ms)
       else begin
         List.iter
@@ -546,33 +579,16 @@ let attack_cmd =
           primitive against every defense (vanilla, ACES1-3, OPEC), \
           with outcomes classified as blocked / contained / escaped / \
           crashed.  Exits nonzero if any attack escapes OPEC.")
-    Term.(const run $ app_opt $ all $ json $ details)
+    Term.(const run $ app_opt $ all $ json $ details $ domains)
 
 (* ------------------------------------------------------------------ fuzz *)
 
 let fuzz_cmd =
   let module F = Opec_fuzz in
-  let seeds =
-    let parse s =
-      match String.index_opt s '.' with
-      | Some i
-        when i + 1 < String.length s
-             && s.[i + 1] = '.'
-             && i + 2 <= String.length s -> (
-        let lo = String.sub s 0 i
-        and hi = String.sub s (i + 2) (String.length s - i - 2) in
-        match (int_of_string_opt lo, int_of_string_opt hi) with
-        | Some lo, Some hi when lo <= hi -> Ok (lo, hi)
-        | _ -> Error (`Msg (Printf.sprintf "bad seed range %S" s)))
-      | _ -> Error (`Msg (Printf.sprintf "bad seed range %S (want A..B)" s))
-    in
-    let print f (lo, hi) = Format.fprintf f "%d..%d" lo hi in
-    Arg.conv (parse, print)
-  in
   let seeds_arg =
     Arg.(
       value
-      & opt seeds (0, 50)
+      & opt seed_range_conv (0, 50)
       & info [ "seeds" ] ~docv:"A..B"
           ~doc:"Inclusive seed range to sweep (default 0..50).")
   in
@@ -645,6 +661,128 @@ let fuzz_cmd =
       const run $ seeds_arg $ size $ properties $ replay $ out_dir
       $ no_shrink $ domains)
 
+(* ----------------------------------------------------------------- fleet *)
+
+let fleet_cmd =
+  let module Fl = Opec_fleet in
+  let apps =
+    Arg.(
+      value & opt string "all"
+      & info [ "apps" ] ~docv:"NAMES"
+          ~doc:
+            "Registry workloads to evaluate: $(b,all) (default), \
+             $(b,none), or a comma-separated name list.")
+  in
+  let seeds =
+    Arg.(
+      value
+      & opt (some seed_range_conv) None
+      & info [ "seeds" ] ~docv:"A..B"
+          ~doc:
+            "Also evaluate fuzz-generated firmware for this inclusive \
+             seed range (artifacts of each generated image are evicted \
+             when its last task finishes).")
+  in
+  let size =
+    Arg.(
+      value & opt int 2
+      & info [ "size" ]
+          ~doc:"Generator size for the seed images (as in `opec fuzz').")
+  in
+  let tasks =
+    Arg.(
+      value & opt string "compile,lint,attack,trace,fuzz"
+      & info [ "tasks" ] ~docv:"T1,T2,..."
+          ~doc:
+            "Evaluation tasks per image: any of $(b,compile), $(b,lint), \
+             $(b,attack), $(b,trace), $(b,fuzz).")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "domains" ] ~docv:"N"
+          ~doc:"Scheduler participants (default: pool size).")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"OUT"
+          ~doc:
+            "Write the consolidated report as JSON to $(docv) ($(b,-) \
+             for stdout).  The report is byte-identical across -j.")
+  in
+  let journal_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"OUT"
+          ~doc:
+            "Write the job journal (the scheduler's event log: enqueued \
+             / stolen / started / finished / failed, with domain ids \
+             and timestamps) as JSON to $(docv).")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "quiet"; "q" ] ~doc:"Suppress the streaming progress lines.")
+  in
+  let run apps seeds size tasks domains json_out journal_out quiet =
+    let spec_apps =
+      match String.lowercase_ascii (String.trim apps) with
+      | "all" -> Fl.Spec.All_apps
+      | "none" -> Fl.Spec.No_apps
+      | _ ->
+        Fl.Spec.Named
+          (String.split_on_char ',' apps |> List.map String.trim
+          |> List.filter (fun s -> s <> ""))
+    in
+    let spec =
+      match Fl.Spec.tasks_of_string tasks with
+      | Error e -> Error e
+      | Ok tasks ->
+        Ok { Fl.Spec.apps = spec_apps; seeds; seed_size = size; tasks }
+    in
+    match spec with
+    | Error e -> exits_with_error e
+    | Ok spec -> (
+      let progress s = Format.eprintf "%s@." s in
+      let progress = if quiet then fun _ -> () else progress in
+      match Fl.Fleet.run ?domains ~progress spec with
+      | Error e -> exits_with_error e
+      | Ok o ->
+        print_string (Fl.Fleet.report_text o);
+        Format.eprintf "fleet: %d units on %d domains in %.2fs@."
+          (List.length o.Fl.Fleet.o_units) o.Fl.Fleet.o_domains
+          o.Fl.Fleet.o_wall_s;
+        (match json_out with
+        | None -> ()
+        | Some "-" -> print_string (Fl.Fleet.report_json o)
+        | Some path -> Fl.Report.save path (Fl.Fleet.report_json o));
+        (match journal_out with
+        | None -> ()
+        | Some path -> Fl.Journal.save path o.Fl.Fleet.o_journal);
+        List.iter
+          (fun (u, e) -> Format.eprintf "FAILED %s: %s@." u e)
+          o.Fl.Fleet.o_failures;
+        if o.Fl.Fleet.o_failures <> [] then exit 1;
+        (* same security gate as `opec attack`: escapes fail the job *)
+        if o.Fl.Fleet.o_agg.Fl.Agg.g_opec_escapes > 0 then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Fleet-scale evaluation: expand registry workloads and \
+          fuzz-generated seed images into image×task units, run them on \
+          the work-stealing domain pool against the shared compile-once \
+          artifact store, and emit one consolidated deterministic \
+          report (plus an exportable job journal).  Exits nonzero on \
+          any task failure or OPEC escape.")
+    Term.(
+      const run $ apps $ seeds $ size $ tasks $ domains $ json_out
+      $ journal_out $ quiet)
+
 let () =
   let info =
     Cmd.info "opec" ~version:"1.0.0"
@@ -654,4 +792,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; policy_cmd; run_cmd; compare_cmd; aces_cmd; trace_cmd;
-            profile_cmd; syncsets_cmd; lint_cmd; attack_cmd; fuzz_cmd ]))
+            profile_cmd; syncsets_cmd; lint_cmd; attack_cmd; fuzz_cmd;
+            fleet_cmd ]))

@@ -1,0 +1,97 @@
+(* The job journal: an append-only event log of one fleet run, the
+   audit trail of what the scheduler actually did — which domain ran
+   which unit, what was stolen from whom, what failed and why — in the
+   jobs-API shape (one job, per-job artifacts, an exportable audit
+   trail).
+
+   The journal is deliberately *not* part of the deterministic
+   consolidated report: it records the schedule, and the schedule is
+   whatever work stealing made of the machine that day.  Two runs at
+   different [-j] produce byte-identical reports and different
+   journals; auditors read the journal, CI gates diff the report. *)
+
+module Pool = Opec_pipeline.Pool
+
+type entry = {
+  e_seq : int;  (** monotone per-journal sequence number *)
+  e_ns : int64;  (** nanoseconds since the run began *)
+  e_domain : int;  (** participant id; 0 is the calling domain *)
+  e_unit : string;  (** "image:task" *)
+  e_kind : string;  (** enqueued | stolen | started | finished | failed *)
+  e_detail : string;  (** steal victim, failure message, or empty *)
+}
+
+type t = {
+  lock : Mutex.t;
+  mutable rev_entries : entry list;  (** newest first *)
+  mutable seq : int;
+}
+
+let create () = { lock = Mutex.create (); rev_entries = []; seq = 0 }
+
+let record t ~ns ~domain ~unit_ ~kind ~detail =
+  Mutex.protect t.lock (fun () ->
+      let e =
+        { e_seq = t.seq; e_ns = ns; e_domain = domain; e_unit = unit_;
+          e_kind = kind; e_detail = detail }
+      in
+      t.seq <- t.seq + 1;
+      t.rev_entries <- e :: t.rev_entries)
+
+(* Record one scheduler event; [names.(i)] labels unit [i]. *)
+let record_pool_event t (names : string array) (ev : Pool.event) =
+  let kind, detail =
+    match ev.Pool.ev_kind with
+    | Pool.Enqueued -> ("enqueued", "")
+    | Pool.Stolen victim -> ("stolen", Printf.sprintf "from domain %d" victim)
+    | Pool.Started -> ("started", "")
+    | Pool.Finished -> ("finished", "")
+    | Pool.Failed msg -> ("failed", msg)
+  in
+  record t ~ns:ev.Pool.ev_ns ~domain:ev.Pool.ev_domain
+    ~unit_:names.(ev.Pool.ev_unit) ~kind ~detail
+
+let entries t = Mutex.protect t.lock (fun () -> List.rev t.rev_entries)
+
+let count t kind =
+  List.length (List.filter (fun e -> String.equal e.e_kind kind) (entries t))
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04X" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let entry_json e =
+  Printf.sprintf
+    {|{"seq":%d,"ns":%Ld,"domain":%d,"unit":"%s","kind":"%s","detail":"%s"}|}
+    e.e_seq e.e_ns e.e_domain (json_escape e.e_unit) (json_escape e.e_kind)
+    (json_escape e.e_detail)
+
+let to_json t =
+  let es = entries t in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"events\": [\n";
+  List.iteri
+    (fun i e ->
+      Buffer.add_string b "    ";
+      Buffer.add_string b (entry_json e);
+      if i < List.length es - 1 then Buffer.add_string b ",";
+      Buffer.add_string b "\n")
+    es;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let save path t =
+  let oc = open_out path in
+  output_string oc (to_json t);
+  close_out oc

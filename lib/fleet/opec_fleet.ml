@@ -1,0 +1,10 @@
+(** Fleet-scale evaluation service: job specs over images × tasks, a
+    work-stealing scheduler, per-domain aggregation, a deterministic
+    consolidated report, and an exportable job journal. *)
+
+module Spec = Spec
+module Task = Task
+module Agg = Agg
+module Journal = Journal
+module Report = Report
+module Fleet = Fleet

@@ -1,0 +1,148 @@
+(* A fleet job specification: which firmware images to evaluate and
+   which evaluation tasks to run on each.
+
+   Image sources compose two axes — the bundled registry workloads
+   (reduced-size variants: same code and policy as the paper-profiling
+   sizes, fewer rounds, so fleet scale comes from breadth, not from one
+   app's loop count) and fuzz-generated firmware from a seed range, the
+   same generator the fuzzing harness sweeps.  Tasks are the per-image
+   consumers the rest of the tree already provides: compile (the
+   pipeline image), lint (static policy verification), attack (the
+   containment campaign), trace (the cycle-accurate overhead
+   breakdown), and fuzz (the differential oracles).
+
+   The unit list — image × task, registry images first, seeds
+   ascending, tasks in the order requested — is the job's canonical
+   order: the scheduler may execute units in any interleaving, but
+   every report is rendered from this order, which is what makes fleet
+   reports byte-identical across [-j]. *)
+
+module Apps = Opec_apps
+
+type task = Compile | Lint | Attack | Trace | Fuzz
+
+let all_tasks = [ Compile; Lint; Attack; Trace; Fuzz ]
+
+let task_name = function
+  | Compile -> "compile"
+  | Lint -> "lint"
+  | Attack -> "attack"
+  | Trace -> "trace"
+  | Fuzz -> "fuzz"
+
+let task_of_name = function
+  | "compile" -> Some Compile
+  | "lint" -> Some Lint
+  | "attack" -> Some Attack
+  | "trace" -> Some Trace
+  | "fuzz" -> Some Fuzz
+  | _ -> None
+
+(* Parse a comma-separated task list ("compile,lint,attack"). *)
+let tasks_of_string s =
+  let names = String.split_on_char ',' s |> List.map String.trim in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | "" :: rest -> go acc rest
+    | n :: rest -> (
+      match task_of_name (String.lowercase_ascii n) with
+      | Some t -> if List.mem t acc then go acc rest else go (t :: acc) rest
+      | None ->
+        Error
+          (Printf.sprintf "unknown fleet task %S (known: %s)" n
+             (String.concat ", " (List.map task_name all_tasks))))
+  in
+  match go [] names with
+  | Ok [] -> Error "empty task list"
+  | r -> r
+
+(* Which registry workloads the job covers; seed images are selected
+   independently, so [No_apps] plus a seed range is a generated-only
+   fleet. *)
+type apps_sel = All_apps | No_apps | Named of string list
+
+type t = {
+  apps : apps_sel;
+  seeds : (int * int) option;  (** inclusive seed range of generated images *)
+  seed_size : int;  (** generator size for the seed images *)
+  tasks : task list;
+}
+
+let default =
+  { apps = All_apps; seeds = None; seed_size = 2; tasks = all_tasks }
+
+type image = {
+  im_name : string;
+  im_app : Apps.App.t;
+  im_generated : bool;
+      (** fuzz-generated: its artifacts are evicted from the store once
+          its last task completes, so fleet memory stays bounded *)
+}
+
+type unit_ = {
+  u_index : int;  (** position in the job's canonical order *)
+  u_image : image;
+  u_task : task;
+}
+
+let unit_name u = u.u_image.im_name ^ ":" ^ task_name u.u_task
+
+(* Resolve the job's image list in canonical order: registry images in
+   registry order, then generated images by ascending seed. *)
+let images (t : t) : (image list, string) result =
+  let registry = Apps.Registry.all_small () in
+  let named =
+    match t.apps with
+    | All_apps -> Ok registry
+    | No_apps -> Ok []
+    | Named names ->
+      List.fold_left
+        (fun acc name ->
+          match acc with
+          | Error _ -> acc
+          | Ok apps -> (
+            match Apps.Registry.find name registry with
+            | Some a -> Ok (apps @ [ a ])
+            | None ->
+              Error
+                (Printf.sprintf "unknown application %S; try `opec list'" name)))
+        (Ok []) names
+  in
+  match (named, t.seeds) with
+  | Error e, _ -> Error e
+  | Ok _, Some (lo, hi) when hi < lo ->
+    Error (Printf.sprintf "empty seed range %d..%d" lo hi)
+  | Ok apps, seeds ->
+    let registry_images =
+      List.map
+        (fun (a : Apps.App.t) ->
+          { im_name = a.Apps.App.app_name; im_app = a; im_generated = false })
+        apps
+    in
+    let seed_images =
+      match seeds with
+      | None -> []
+      | Some (lo, hi) ->
+        List.init (hi - lo + 1) (fun i ->
+            let seed = lo + i in
+            let app = Opec_fuzz.Gen.app ~seed ~size:t.seed_size in
+            { im_name = app.Apps.App.app_name;
+              im_app = app;
+              im_generated = true })
+    in
+    Ok (registry_images @ seed_images)
+
+(* The canonical unit list: image-major, tasks in requested order. *)
+let units (t : t) : (unit_ list, string) result =
+  if t.tasks = [] then Error "empty task list"
+  else
+    match images t with
+    | Error e -> Error e
+    | Ok [] -> Error "no images selected"
+    | Ok images ->
+      let units =
+        List.concat_map
+          (fun im -> List.map (fun task -> (im, task)) t.tasks)
+          images
+      in
+      Ok (List.mapi (fun i (im, task) -> { u_index = i; u_image = im; u_task = task }) units)

@@ -15,12 +15,16 @@
    variants always differ in program or developer input, which is what
    the digest covers.
 
-   Concurrency: the store is domain-safe.  Per-app pipelines fan out
-   across a {!Pool} of stdlib domains; artifact tables are guarded by
-   mutexes, and because results are deterministic a lost insertion race
-   costs only the duplicated work, never a wrong artifact.  Accessors
-   always return the winning insertion, so physical equality holds
-   between repeated lookups. *)
+   Concurrency: the store is domain-safe and sharded.  The workload
+   table is split across [shard_count] shards by key hash, one mutex
+   per shard, so concurrent context lookups from a saturated domain
+   pool never serialize on a single global lock.  Within a context,
+   each stage entry is either computed or in flight: the first domain
+   to ask for a stage claims it and computes outside the lock, and any
+   other domain asking meanwhile waits on the context's condition
+   variable for the result instead of duplicating the work — the
+   compile-exactly-once guarantee holds even under full-fleet
+   contention, and physical equality holds between repeated lookups. *)
 
 module M = Opec_machine
 module C = Opec_core
@@ -78,19 +82,33 @@ type art =
   | A_protected of protected_result
   | A_obs of obs_result
 
+type slot =
+  | Done of art
+  | In_flight
+      (** claimed by a domain that is computing it; waiters park on
+          [cond] until the slot is filled (or abandoned on failure) *)
+
 type ctx = {
   app : Apps.App.t;
   key : string;
   lock : Mutex.t;
-  arts : (string, art) Hashtbl.t;
+  cond : Condition.t;
+  arts : (string, slot) Hashtbl.t;
   mutable timings : (string * float) list;  (** (stage, seconds), oldest first *)
   counts : (string, int) Hashtbl.t;         (** stage -> times computed *)
 }
 
-(* --- the global store --------------------------------------------------- *)
+(* --- the global store, sharded by key hash ------------------------------ *)
 
-let store : (string, ctx) Hashtbl.t = Hashtbl.create 16
-let store_lock = Mutex.create ()
+type shard = { s_lock : Mutex.t; s_tbl : (string, ctx) Hashtbl.t }
+
+let shard_count = 16  (* power of two, for the mask below *)
+
+let shards : shard array =
+  Array.init shard_count (fun _ ->
+      { s_lock = Mutex.create (); s_tbl = Hashtbl.create 16 })
+
+let shard_of key = shards.(Hashtbl.hash key land (shard_count - 1))
 
 let fingerprint (app : Apps.App.t) =
   let bytes =
@@ -104,33 +122,39 @@ let fingerprint (app : Apps.App.t) =
 
 let ctx (app : Apps.App.t) : ctx =
   let key = app.Apps.App.app_name ^ ":" ^ fingerprint app in
-  Mutex.protect store_lock (fun () ->
-      match Hashtbl.find_opt store key with
+  let sh = shard_of key in
+  Mutex.protect sh.s_lock (fun () ->
+      match Hashtbl.find_opt sh.s_tbl key with
       | Some c -> c
       | None ->
         let c =
           { app;
             key;
             lock = Mutex.create ();
+            cond = Condition.create ();
             arts = Hashtbl.create 16;
             timings = [];
             counts = Hashtbl.create 16 }
         in
-        Hashtbl.replace store key c;
+        Hashtbl.replace sh.s_tbl key c;
         c)
 
 let app (c : ctx) = c.app
 let key (c : ctx) = c.key
 
 let reset () =
-  Mutex.protect store_lock (fun () -> Hashtbl.reset store)
+  Array.iter
+    (fun sh -> Mutex.protect sh.s_lock (fun () -> Hashtbl.reset sh.s_tbl))
+    shards
 
 (* Drop one workload's artifacts.  Long generative sweeps (the fuzz
-   harness) pipe thousands of distinct programs through the store; each
-   evicts its entry once judged, so memory stays bounded while the
-   bundled workloads' artifacts survive. *)
+   harness, the fleet's seed images) pipe thousands of distinct
+   programs through the store; each evicts its entry once judged, so
+   memory stays bounded while the bundled workloads' artifacts
+   survive. *)
 let evict (c : ctx) =
-  Mutex.protect store_lock (fun () -> Hashtbl.remove store c.key)
+  let sh = shard_of c.key in
+  Mutex.protect sh.s_lock (fun () -> Hashtbl.remove sh.s_tbl c.key)
 
 (* Caching can be switched off to emulate the pre-pipeline behaviour —
    every consumer recomputing its own artifacts — which is what the
@@ -146,27 +170,53 @@ let engine : E.Interp.engine Atomic.t = Atomic.make E.Interp.Decoded
 let set_engine e = Atomic.set engine e
 let current_engine () = Atomic.get engine
 
-(* Get-or-compute one stage.  The compute runs outside the entry lock
-   (stages recurse into their prerequisites); the first finished
-   insertion wins and everyone returns the winning artifact. *)
+(* Get-or-compute one stage, exactly once.  The first domain to ask
+   claims the slot ([In_flight]) and computes outside the lock (stages
+   recurse into their prerequisites); every other domain asking while
+   the computation runs parks on the context's condition variable and
+   returns the computed artifact — never a duplicate computation, which
+   is what the compile-exactly-once probe measures under fleet
+   contention.  A failing compute abandons its claim and re-raises, so
+   a waiter retries (and typically re-raises the same way) instead of
+   wedging. *)
 let get (c : ctx) stage compute =
   if not (Atomic.get caching) then compute ()
-  else
-  match Mutex.protect c.lock (fun () -> Hashtbl.find_opt c.arts stage) with
-  | Some a -> a
-  | None ->
-    let t0 = Unix.gettimeofday () in
-    let a = compute () in
-    let dt = Unix.gettimeofday () -. t0 in
-    Mutex.protect c.lock (fun () ->
-        match Hashtbl.find_opt c.arts stage with
-        | Some winner -> winner
-        | None ->
-          Hashtbl.replace c.arts stage a;
-          c.timings <- c.timings @ [ (stage, dt) ];
-          Hashtbl.replace c.counts stage
-            (1 + Option.value (Hashtbl.find_opt c.counts stage) ~default:0);
-          a)
+  else begin
+    let claim () =
+      Mutex.protect c.lock (fun () ->
+          let rec go () =
+            match Hashtbl.find_opt c.arts stage with
+            | Some (Done a) -> `Hit a
+            | Some In_flight ->
+              Condition.wait c.cond c.lock;
+              go ()
+            | None ->
+              Hashtbl.replace c.arts stage In_flight;
+              `Claimed
+          in
+          go ())
+    in
+    match claim () with
+    | `Hit a -> a
+    | `Claimed -> (
+      let t0 = Unix.gettimeofday () in
+      match compute () with
+      | a ->
+        let dt = Unix.gettimeofday () -. t0 in
+        Mutex.protect c.lock (fun () ->
+            Hashtbl.replace c.arts stage (Done a);
+            c.timings <- c.timings @ [ (stage, dt) ];
+            Hashtbl.replace c.counts stage
+              (1 + Option.value (Hashtbl.find_opt c.counts stage) ~default:0);
+            Condition.broadcast c.cond);
+        a
+      | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        Mutex.protect c.lock (fun () ->
+            Hashtbl.remove c.arts stage;
+            Condition.broadcast c.cond);
+        Printexc.raise_with_backtrace e bt)
+  end
 
 (* --- compile-time stages ------------------------------------------------ *)
 
