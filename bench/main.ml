@@ -5,7 +5,7 @@
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe -- table1  # one artifact
      dune exec bench/main.exe -- pipeline -j 4   # with 4 pool domains
-     ... table1 | figure9 | table2 | figure10 | figure11 | table3 | campaign | ablation | micro | pipeline | obs | fleet
+     ... table1 | figure9 | table2 | figure10 | figure11 | table3 | campaign | ablation | micro | pipeline | obs | fleet | backends
 
    [-j N] sets the size of the shared domain pool for the run, so every
    parallel phase (prewarming, campaign fan-out, the fleet curve's
@@ -706,7 +706,8 @@ let fleet_bench () =
     { Fl.Spec.apps = Fl.Spec.All_apps;
       seeds = Some (0, 15);
       seed_size = 2;
-      tasks = [ Fl.Spec.Compile; Fl.Spec.Lint; Fl.Spec.Attack; Fl.Spec.Trace ] }
+      tasks = [ Fl.Spec.Compile; Fl.Spec.Lint; Fl.Spec.Attack; Fl.Spec.Trace ];
+      backends = [ Opec_machine.Backend.Mpu ] }
   in
   let all_cores = max 1 (Domain.recommended_domain_count ()) in
   let widths =
@@ -778,6 +779,70 @@ let fleet_bench () =
     exit 1
   end
 
+(* --------------------------------------------------------------- backends *)
+
+(* Cross-backend trade-off study: the full containment campaign and the
+   cycle-accurate overhead breakdown under every enforcement backend
+   (MPU, PMP, CHERI, POE).  Gates that no backend lets any campaign
+   cell escape and that every backend's clean protected run is
+   denial-free; the numbers land in BENCH_backends.json. *)
+
+let backends_bench () =
+  let module Atk = Opec_attack in
+  let module M = Opec_machine in
+  say "%s" (R.heading "Backend trade-off study: MPU vs PMP vs CHERI vs POE");
+  let apps = Apps.Registry.all_small () in
+  let t = Atk.Backend_study.run apps in
+  say "%s" (Atk.Backend_study.render t);
+  let oc = open_out "BENCH_backends.json" in
+  output_string oc (Atk.Backend_study.to_json t);
+  output_string oc "\n";
+  close_out oc;
+  say "  wrote BENCH_backends.json";
+  let cells_per_backend k =
+    List.fold_left
+      (fun acc (r : Atk.Backend_study.row) ->
+        if r.Atk.Backend_study.r_backend = k then
+          acc + List.length r.Atk.Backend_study.r_cells
+        else acc)
+      0 t.Atk.Backend_study.rows
+  in
+  let escapes = Atk.Backend_study.escapes t in
+  List.iter
+    (fun k ->
+      let n = cells_per_backend k in
+      let esc =
+        List.length
+          (List.filter (fun (_, k', _) -> k' = k) escapes)
+      in
+      say "  %-5s contained %d/%d campaign cells" (M.Backend.kind_name k)
+        (n - esc) n)
+    t.Atk.Backend_study.backends;
+  (match escapes with
+  | [] -> say "  containment gate: no escape under any backend"
+  | esc ->
+    List.iter
+      (fun (app, k, (c : Atk.Campaign.cell)) ->
+        say "  BACKEND ESCAPE under %s in %s: %s" (M.Backend.kind_name k) app
+          c.Atk.Campaign.detail)
+      esc;
+    exit 1);
+  let denied =
+    List.filter
+      (fun (r : Atk.Backend_study.row) -> r.Atk.Backend_study.r_denied > 0)
+      t.Atk.Backend_study.rows
+  in
+  match denied with
+  | [] -> say "  transparency gate: clean runs denial-free on every backend"
+  | rs ->
+    List.iter
+      (fun (r : Atk.Backend_study.row) ->
+        say "  BACKEND DENIALS in clean %s run of %s: %d"
+          (M.Backend.kind_name r.Atk.Backend_study.r_backend)
+          r.Atk.Backend_study.r_app r.Atk.Backend_study.r_denied)
+      rs;
+    exit 1
+
 (* ------------------------------------------------------------------ driver *)
 
 let all () =
@@ -829,9 +894,10 @@ let () =
   | "pipeline" -> pipeline_bench ()
   | "obs" -> obs ()
   | "fleet" -> fleet_bench ()
+  | "backends" -> backends_bench ()
   | "all" -> all ()
   | other ->
     Format.eprintf
-      "unknown artifact %S (expected table1|figure9|table2|figure10|figure11|table3|campaign|ablation|micro|pipeline|obs|fleet|all)@."
+      "unknown artifact %S (expected table1|figure9|table2|figure10|figure11|table3|campaign|ablation|micro|pipeline|obs|fleet|backends|all)@."
       other;
     exit 2

@@ -10,6 +10,7 @@
      opec syncsets [APP] [--json]   static sync-schedule report
      opec lint [APP] [--all] [--json]  verify the derived policy
      opec attack [APP] [--all] [--json]  run the attack-injection campaign
+     opec compare-backends [APP] [--json]  MPU/PMP/CHERI/POE trade-off study
      opec fuzz [--seeds A..B] [--size N] [--property P] [--replay FILE]
                                     property-based differential fuzzing
      opec fleet [--apps ...] [--seeds A..B] [--tasks ...] [-j N]
@@ -62,6 +63,31 @@ let seed_range_conv =
   in
   let print f (lo, hi) = Format.fprintf f "%d..%d" lo hi in
   Arg.conv (parse, print)
+
+(* Enforcement-backend selection, shared by run/trace/attack and the
+   cross-backend study. *)
+let backend_conv =
+  let parse s =
+    match M.Backend.kind_of_name (String.lowercase_ascii (String.trim s)) with
+    | Some k -> Ok k
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown enforcement backend %S (known: %s)" s
+              (String.concat ", "
+                 (List.map M.Backend.kind_name M.Backend.all_kinds))))
+  in
+  let print fmt k = Format.pp_print_string fmt (M.Backend.kind_name k) in
+  Arg.conv (parse, print)
+
+let backend_arg =
+  Arg.(
+    value
+    & opt backend_conv M.Backend.Mpu
+    & info [ "backend" ] ~docv:"B"
+        ~doc:
+          "Enforcement backend the protected run uses: $(b,mpu) \
+           (default), $(b,pmp), $(b,cheri), or $(b,poe).")
 
 (* ------------------------------------------------------------------ list *)
 
@@ -220,8 +246,8 @@ let trace_cmd =
       & info [ "n"; "limit" ] ~docv:"N"
           ~doc:"Telemetry events to list in text format (default 40).")
   in
-  let trace_app fmt limit out (app : Apps.App.t) =
-    let c = P.ctx app in
+  let trace_app backend fmt limit out (app : Apps.App.t) =
+    let c = P.ctx ~backend app in
     let o = P.protected_obs c in
     P.reraise o.P.o_err;
     let events = o.P.o_events in
@@ -253,7 +279,7 @@ let trace_cmd =
         Format.eprintf "wrote %d %s events to %s@." (List.length events)
           (Obs.Export.format_name fmt) path)
   in
-  let run name fmt limit out =
+  let run name backend fmt limit out =
     let apps =
       match name with
       | None -> Ok (Apps.Registry.all ())
@@ -264,7 +290,7 @@ let trace_cmd =
     | Ok apps ->
       if out <> None && List.length apps > 1 then
         exits_with_error "--out requires naming a single workload";
-      List.iter (trace_app fmt limit out) apps
+      List.iter (trace_app backend fmt limit out) apps
   in
   Cmd.v
     (Cmd.info "trace"
@@ -272,7 +298,7 @@ let trace_cmd =
          "Run a workload with cycle-accurate monitor telemetry and export \
           it: per-phase switch spans, region swaps, PPB emulations, and \
           denials, as human text, JSON, or a Chrome/Perfetto trace")
-    Term.(const run $ app_opt $ format $ limit $ out)
+    Term.(const run $ app_opt $ backend_arg $ format $ limit $ out)
 
 (* --------------------------------------------------------------- profile *)
 
@@ -526,7 +552,7 @@ let attack_cmd =
              command, so nested parallel work runs inline instead of \
              oversubscribing.")
   in
-  let run name all json details domains =
+  let run name all json details domains backend =
     (* reduced-size workload variants: same code and policy, fewer
        rounds, so the 30-cell matrix per app stays quick *)
     let small = Apps.Registry.all_small () in
@@ -542,7 +568,7 @@ let attack_cmd =
     match apps with
     | Error e -> exits_with_error e
     | Ok apps ->
-      let ms = Opec_attack.Campaign.run_all ?domains apps in
+      let ms = Opec_attack.Campaign.run_all ?domains ~backend apps in
       if json then print_endline (Opec_attack.Report.to_json ms)
       else begin
         List.iter
@@ -579,7 +605,95 @@ let attack_cmd =
           primitive against every defense (vanilla, ACES1-3, OPEC), \
           with outcomes classified as blocked / contained / escaped / \
           crashed.  Exits nonzero if any attack escapes OPEC.")
-    Term.(const run $ app_opt $ all $ json $ details $ domains)
+    Term.(const run $ app_opt $ all $ json $ details $ domains $ backend_arg)
+
+(* ----------------------------------------------------- compare-backends *)
+
+let compare_backends_cmd =
+  let module Atk = Opec_attack in
+  let app_opt =
+    let doc = "Workload to study (default: every bundled workload)." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+  in
+  let backends =
+    Arg.(
+      value
+      & opt (list backend_conv) M.Backend.all_kinds
+      & info [ "backends" ] ~docv:"B1,B2,..."
+          ~doc:
+            "Comma-separated backends to compare (default: \
+             $(b,mpu,pmp,cheri,poe)).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the study as JSON.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Also write the JSON study to $(docv).")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "domains" ] ~docv:"N"
+          ~doc:"Worker domains per backend sweep (default: pool size).")
+  in
+  let run name backends json out domains =
+    let small = Apps.Registry.all_small () in
+    let apps =
+      match name with
+      | None -> Ok small
+      | Some n -> (
+        match Apps.Registry.find n small with
+        | Some a -> Ok [ a ]
+        | None ->
+          Error (Printf.sprintf "unknown application %S; try `opec list'" n))
+    in
+    (* keep first occurrence of each backend, in the order given *)
+    let backends =
+      List.fold_left
+        (fun acc k -> if List.mem k acc then acc else acc @ [ k ])
+        [] backends
+    in
+    match apps with
+    | Error e -> exits_with_error e
+    | Ok apps ->
+      if backends = [] then exits_with_error "empty backend list";
+      let t = Atk.Backend_study.run ~backends ?domains apps in
+      (match out with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (Atk.Backend_study.to_json t);
+        close_out oc;
+        Format.eprintf "wrote %s@." path);
+      if json then print_endline (Atk.Backend_study.to_json t)
+      else print_endline (Atk.Backend_study.render t);
+      (* same security gate as `opec attack`, per backend *)
+      let esc = Atk.Backend_study.escapes t in
+      List.iter
+        (fun (app, k, (c : Atk.Campaign.cell)) ->
+          Format.eprintf "ESCAPE under %s in %s/%s: %s@."
+            (M.Backend.kind_name k) app
+            (Atk.Primitive.name
+               c.Atk.Campaign.injection.Atk.Planner.primitive)
+            c.Atk.Campaign.detail)
+        esc;
+      if esc <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "compare-backends"
+       ~doc:
+         "Cross-backend trade-off study: run the containment campaign \
+          and the cycle-accurate overhead breakdown under every \
+          requested enforcement backend (MPU, PMP, CHERI, POE) and \
+          render the app\195\151primitive\195\151backend containment \
+          matrix next to the per-backend overhead and image footprint.  \
+          Exits nonzero if any attack escapes any backend.")
+    Term.(const run $ app_opt $ backends $ json $ out $ domains)
 
 (* ------------------------------------------------------------------ fuzz *)
 
@@ -697,6 +811,15 @@ let fleet_cmd =
             "Evaluation tasks per image: any of $(b,compile), $(b,lint), \
              $(b,attack), $(b,trace), $(b,fuzz).")
   in
+  let backends =
+    Arg.(
+      value & opt string "mpu"
+      & info [ "backends" ] ~docv:"B1,B2,..."
+          ~doc:
+            "Enforcement backends to mix in this job (any of $(b,mpu), \
+             $(b,pmp), $(b,cheri), $(b,poe)); every image\195\151task \
+             unit runs once per backend.")
+  in
   let domains =
     Arg.(
       value
@@ -728,7 +851,7 @@ let fleet_cmd =
       value & flag
       & info [ "quiet"; "q" ] ~doc:"Suppress the streaming progress lines.")
   in
-  let run apps seeds size tasks domains json_out journal_out quiet =
+  let run apps seeds size tasks backends domains json_out journal_out quiet =
     let spec_apps =
       match String.lowercase_ascii (String.trim apps) with
       | "all" -> Fl.Spec.All_apps
@@ -739,10 +862,13 @@ let fleet_cmd =
           |> List.filter (fun s -> s <> ""))
     in
     let spec =
-      match Fl.Spec.tasks_of_string tasks with
-      | Error e -> Error e
-      | Ok tasks ->
-        Ok { Fl.Spec.apps = spec_apps; seeds; seed_size = size; tasks }
+      match
+        (Fl.Spec.tasks_of_string tasks, Fl.Spec.backends_of_string backends)
+      with
+      | Error e, _ | _, Error e -> Error e
+      | Ok tasks, Ok backends ->
+        Ok
+          { Fl.Spec.apps = spec_apps; seeds; seed_size = size; tasks; backends }
     in
     match spec with
     | Error e -> exits_with_error e
@@ -780,7 +906,7 @@ let fleet_cmd =
           report (plus an exportable job journal).  Exits nonzero on \
           any task failure or OPEC escape.")
     Term.(
-      const run $ apps $ seeds $ size $ tasks $ domains $ json_out
+      const run $ apps $ seeds $ size $ tasks $ backends $ domains $ json_out
       $ journal_out $ quiet)
 
 let () =
@@ -792,5 +918,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; policy_cmd; run_cmd; compare_cmd; aces_cmd; trace_cmd;
-            profile_cmd; syncsets_cmd; lint_cmd; attack_cmd; fuzz_cmd;
-            fleet_cmd ]))
+            profile_cmd; syncsets_cmd; lint_cmd; attack_cmd;
+            compare_backends_cmd; fuzz_cmd; fleet_cmd ]))

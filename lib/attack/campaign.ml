@@ -203,8 +203,8 @@ let clean_protected (app : Apps.App.t) (image : C.Image.t) =
 
 let compile (app : Apps.App.t) = P.image (P.ctx app)
 
-let run_app ?image (app : Apps.App.t) : matrix =
-  let c = P.ctx app in
+let run_app ?backend ?image (app : Apps.App.t) : matrix =
+  let c = P.ctx ?backend app in
   let image = match image with Some i -> i | None -> P.image c in
   let pipelined = image == P.image c in
   (* device-presence probe: restrict MMIO/PPB targets to addresses the
@@ -267,8 +267,8 @@ let run_app ?image (app : Apps.App.t) : matrix =
    skipping the vanilla and ACES baselines.  The fuzz harness runs this
    per generated program, where only the "all Blocked under OPEC"
    verdict matters and the 4 baseline columns would triple the cost. *)
-let run_opec_only ?image (app : Apps.App.t) =
-  let c = P.ctx app in
+let run_opec_only ?backend ?image (app : Apps.App.t) =
+  let c = P.ctx ?backend app in
   let image = match image with Some i -> i | None -> P.image c in
   let pipelined = image == P.image c in
   let mapped, clean_p =
@@ -298,8 +298,10 @@ let run_opec_only ?image (app : Apps.App.t) =
 (* Per-app matrices are independent (every cell is a fresh machine), so
    they fan out across the domain pool; results come back in input
    order, so the report is byte-identical to a sequential run. *)
-let run_all ?domains apps =
-  P.parallel_map ?domains (fun c -> run_app (P.app c)) apps
+let run_all ?domains ?backend apps =
+  P.parallel_map ?domains ?backend
+    (fun c -> run_app ~backend:(P.backend c) (P.app c))
+    apps
 
 (* --- assertion helpers --------------------------------------------------- *)
 

@@ -41,21 +41,33 @@ type matrix = {
 val compile : Opec_apps.App.t -> Opec_core.Image.t
 
 (** Run the full matrix for one app ([image] defaults to
-    {!compile}[ app]).  With the store's own image the clean reference
-    runs are the pipeline's memoized artifacts; a foreign [image] falls
-    back to private runs. *)
-val run_app : ?image:Opec_core.Image.t -> Opec_apps.App.t -> matrix
+    {!compile}[ app]; [backend] selects the enforcement backend the
+    OPEC column runs under, default MPU).  With the store's own image
+    the clean reference runs are the pipeline's memoized artifacts; a
+    foreign [image] falls back to private runs. *)
+val run_app :
+  ?backend:Opec_machine.Backend.kind ->
+  ?image:Opec_core.Image.t ->
+  Opec_apps.App.t ->
+  matrix
 
 (** The OPEC column alone: every planned injection against the real
     monitor, no vanilla/ACES baseline cells.  The fuzz harness's
     containment oracle — it only needs the "all Blocked" verdict. *)
 val run_opec_only :
-  ?image:Opec_core.Image.t -> Opec_apps.App.t -> cell list
+  ?backend:Opec_machine.Backend.kind ->
+  ?image:Opec_core.Image.t ->
+  Opec_apps.App.t ->
+  cell list
 
 (** Run every app's matrix, fanned out across a domain pool
     ([domains] defaults to the pool's recommended size).  Results are
     in input order: byte-identical to a sequential run. *)
-val run_all : ?domains:int -> Opec_apps.App.t list -> matrix list
+val run_all :
+  ?domains:int ->
+  ?backend:Opec_machine.Backend.kind ->
+  Opec_apps.App.t list ->
+  matrix list
 
 val cells_of : matrix -> defense:defense -> cell list
 

@@ -11,3 +11,4 @@ module Inject = Inject
 module Snapshot = Snapshot
 module Campaign = Campaign
 module Report = Report
+module Backend_study = Backend_study

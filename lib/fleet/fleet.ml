@@ -63,24 +63,28 @@ let run ?domains ?(progress = fun (_ : string) -> ()) (spec : Spec.t) :
             Hashtbl.add accs id a;
             a)
     in
-    (* remaining-task refcounts of the generated images, for eviction *)
+    (* remaining-task refcounts of the generated images, for eviction;
+       keyed per (image, backend) since each backend memoizes its own
+       artifacts *)
     let refcounts : (string, int Atomic.t) Hashtbl.t = Hashtbl.create 16 in
     List.iter
       (fun (u : Spec.unit_) ->
         let im = u.Spec.u_image in
         if im.Spec.im_generated then
-          match Hashtbl.find_opt refcounts im.Spec.im_name with
+          let key = Spec.image_label im u.Spec.u_backend in
+          match Hashtbl.find_opt refcounts key with
           | Some c -> ignore (Atomic.fetch_and_add c 1)
-          | None -> Hashtbl.add refcounts im.Spec.im_name (Atomic.make 1))
+          | None -> Hashtbl.add refcounts key (Atomic.make 1))
       units;
     let done_count = Atomic.make 0 in
     let finish (u : Spec.unit_) (r : Task.result) =
       Agg.add (my_acc ()) r;
       let im = u.Spec.u_image in
       (if im.Spec.im_generated then
-         match Hashtbl.find_opt refcounts im.Spec.im_name with
+         match Hashtbl.find_opt refcounts (Spec.image_label im u.Spec.u_backend) with
          | Some c ->
-           if Atomic.fetch_and_add c (-1) = 1 then P.evict (P.ctx im.Spec.im_app)
+           if Atomic.fetch_and_add c (-1) = 1 then
+             P.evict (P.ctx ~backend:u.Spec.u_backend im.Spec.im_app)
          | None -> ());
       let n = Atomic.fetch_and_add done_count 1 + 1 in
       progress

@@ -33,27 +33,37 @@ let job_json (s : Spec.t) =
          (fun t -> Printf.sprintf {|"%s"|} (Spec.task_name t))
          s.Spec.tasks)
   in
-  Printf.sprintf {|{"apps":%s,"seeds":%s,"tasks":[%s]}|} apps seeds tasks
+  let backends =
+    String.concat ","
+      (List.map
+         (fun k -> Printf.sprintf {|"%s"|} (Opec_machine.Backend.kind_name k))
+         s.Spec.backends)
+  in
+  Printf.sprintf {|{"apps":%s,"seeds":%s,"tasks":[%s],"backends":[%s]}|} apps
+    seeds tasks backends
 
-(* Group the flat (unit, result) list back into per-image records.
-   Units are image-major in canonical order, so grouping is a single
-   left-to-right pass. *)
+(* Group the flat (unit, result) list back into per-(image, backend)
+   records.  Units are image-major (then backend-major) in canonical
+   order, so grouping is a single left-to-right pass; the group label
+   is the backend-qualified image name ("app@pmp"), which degenerates
+   to the bare image name on MPU-only jobs. *)
 let by_image (pairs : (Spec.unit_ * Task.result) list) :
-    (Spec.image * (Spec.task * Task.result) list) list =
+    (string * Spec.image * (Spec.task * Task.result) list) list =
   List.fold_left
     (fun acc ((u : Spec.unit_), r) ->
-      let im = u.Spec.u_image in
+      let label = Spec.image_label u.Spec.u_image u.Spec.u_backend in
       let entry = (u.Spec.u_task, r) in
       match acc with
-      | (im', rs) :: tl when String.equal im'.Spec.im_name im.Spec.im_name ->
-        (im', entry :: rs) :: tl
-      | _ -> (im, [ entry ]) :: acc)
+      | (label', im', rs) :: tl when String.equal label' label ->
+        (label', im', entry :: rs) :: tl
+      | _ -> (label, u.Spec.u_image, [ entry ]) :: acc)
     [] pairs
-  |> List.rev_map (fun (im, rs) -> (im, List.rev rs))
+  |> List.rev_map (fun (label, im, rs) -> (label, im, List.rev rs))
 
-let image_json (im : Spec.image) (tasks : (Spec.task * Task.result) list) =
-  Printf.sprintf {|{"image":"%s","generated":%b,"tasks":{%s}}|}
-    (quote im.Spec.im_name) im.Spec.im_generated
+let image_json label (im : Spec.image) (tasks : (Spec.task * Task.result) list)
+    =
+  Printf.sprintf {|{"image":"%s","generated":%b,"tasks":{%s}}|} (quote label)
+    im.Spec.im_generated
     (String.concat ","
        (List.map
           (fun (t, r) ->
@@ -92,9 +102,9 @@ let to_json ~(spec : Spec.t) ~(pairs : (Spec.unit_ * Task.result) list)
   Buffer.add_string b "  \"images\": [\n";
   let groups = by_image pairs in
   List.iteri
-    (fun i (im, tasks) ->
+    (fun i (label, im, tasks) ->
       Buffer.add_string b "    ";
-      Buffer.add_string b (image_json im tasks);
+      Buffer.add_string b (image_json label im tasks);
       if i < List.length groups - 1 then Buffer.add_string b ",";
       Buffer.add_string b "\n")
     groups;
@@ -141,8 +151,8 @@ let render ~(spec : Spec.t) ~(pairs : (Spec.unit_ * Task.result) list)
   List.iter (fun t -> pf " %-16s" (Spec.task_name t)) tasks;
   pf "\n";
   List.iter
-    (fun ((im : Spec.image), results) ->
-      pf "%-14s" im.Spec.im_name;
+    (fun (label, (_ : Spec.image), results) ->
+      pf "%-14s" label;
       List.iter
         (fun t ->
           match List.assoc_opt t results with

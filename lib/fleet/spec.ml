@@ -18,6 +18,7 @@
    reports byte-identical across [-j]. *)
 
 module Apps = Opec_apps
+module M = Opec_machine
 
 type task = Compile | Lint | Attack | Trace | Fuzz
 
@@ -56,6 +57,26 @@ let tasks_of_string s =
   | Ok [] -> Error "empty task list"
   | r -> r
 
+(* Parse a comma-separated backend list ("mpu,pmp,cheri,poe"); one job
+   may mix enforcement backends, each image×task unit then fans out per
+   backend. *)
+let backends_of_string s =
+  let names = String.split_on_char ',' s |> List.map String.trim in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | "" :: rest -> go acc rest
+    | n :: rest -> (
+      match M.Backend.kind_of_name (String.lowercase_ascii n) with
+      | Some k -> if List.mem k acc then go acc rest else go (k :: acc) rest
+      | None ->
+        Error
+          (Printf.sprintf "unknown enforcement backend %S (known: %s)" n
+             (String.concat ", " (List.map M.Backend.kind_name M.Backend.all_kinds))))
+  in
+  match go [] names with
+  | Ok [] -> Error "empty backend list"
+  | r -> r
+
 (* Which registry workloads the job covers; seed images are selected
    independently, so [No_apps] plus a seed range is a generated-only
    fleet. *)
@@ -66,10 +87,17 @@ type t = {
   seeds : (int * int) option;  (** inclusive seed range of generated images *)
   seed_size : int;  (** generator size for the seed images *)
   tasks : task list;
+  backends : M.Backend.kind list;
+      (** enforcement backends the job mixes; every image×task unit runs
+          once per backend *)
 }
 
 let default =
-  { apps = All_apps; seeds = None; seed_size = 2; tasks = all_tasks }
+  { apps = All_apps;
+    seeds = None;
+    seed_size = 2;
+    tasks = all_tasks;
+    backends = [ M.Backend.Mpu ] }
 
 type image = {
   im_name : string;
@@ -82,10 +110,20 @@ type image = {
 type unit_ = {
   u_index : int;  (** position in the job's canonical order *)
   u_image : image;
+  u_backend : M.Backend.kind;
   u_task : task;
 }
 
-let unit_name u = u.u_image.im_name ^ ":" ^ task_name u.u_task
+(* The image as named in reports: MPU units keep the bare image name
+   (so single-backend jobs render byte-identically to jobs that predate
+   backend mixing); other backends are qualified. *)
+let image_label im backend =
+  match backend with
+  | M.Backend.Mpu -> im.im_name
+  | k -> im.im_name ^ "@" ^ M.Backend.kind_name k
+
+let unit_name u =
+  image_label u.u_image u.u_backend ^ ":" ^ task_name u.u_task
 
 (* Resolve the job's image list in canonical order: registry images in
    registry order, then generated images by ascending seed. *)
@@ -132,9 +170,13 @@ let images (t : t) : (image list, string) result =
     in
     Ok (registry_images @ seed_images)
 
-(* The canonical unit list: image-major, tasks in requested order. *)
+(* The canonical unit list: image-major, then backend, then tasks in
+   requested order — an (image, backend) pair's tasks are consecutive,
+   which is what lets the scheduler evict a generated image's artifacts
+   the moment its last unit completes. *)
 let units (t : t) : (unit_ list, string) result =
   if t.tasks = [] then Error "empty task list"
+  else if t.backends = [] then Error "empty backend list"
   else
     match images t with
     | Error e -> Error e
@@ -142,7 +184,15 @@ let units (t : t) : (unit_ list, string) result =
     | Ok images ->
       let units =
         List.concat_map
-          (fun im -> List.map (fun task -> (im, task)) t.tasks)
+          (fun im ->
+            List.concat_map
+              (fun backend ->
+                List.map (fun task -> (im, backend, task)) t.tasks)
+              t.backends)
           images
       in
-      Ok (List.mapi (fun i (im, task) -> { u_index = i; u_image = im; u_task = task }) units)
+      Ok
+        (List.mapi
+           (fun i (im, backend, task) ->
+             { u_index = i; u_image = im; u_backend = backend; u_task = task })
+           units)

@@ -64,8 +64,8 @@ type result =
 
 (* --- the providers ------------------------------------------------------- *)
 
-let compile_task (im : Spec.image) =
-  let image = P.image (P.ctx im.Spec.im_app) in
+let compile_task ~backend (im : Spec.image) =
+  let image = P.image (P.ctx ~backend im.Spec.im_app) in
   Compiled
     { c_ops = List.length image.C.Image.ops;
       c_entries = List.length image.C.Image.entries;
@@ -73,8 +73,8 @@ let compile_task (im : Spec.image) =
       c_sram = image.C.Image.sram_used;
       c_syncset_bytes = image.C.Image.syncset_bytes }
 
-let lint_task (im : Spec.image) =
-  let image = P.image (P.ctx im.Spec.im_app) in
+let lint_task ~backend (im : Spec.image) =
+  let image = P.image (P.ctx ~backend im.Spec.im_app) in
   let diags = L.Lint.run ~dynamic:false image in
   let count sev =
     List.length (List.filter (fun d -> d.L.Diag.severity = sev) diags)
@@ -108,9 +108,9 @@ let count_outcomes cells =
    OPEC); generated images run the OPEC column only — the verdict that
    matters there is "no escape", and the four baseline columns would
    triple the fleet's dominant cost for no report value. *)
-let attack_task (im : Spec.image) =
+let attack_task ~backend (im : Spec.image) =
   if im.Spec.im_generated then begin
-    let cells = Atk.Campaign.run_opec_only im.Spec.im_app in
+    let cells = Atk.Campaign.run_opec_only ~backend im.Spec.im_app in
     let oc = count_outcomes cells in
     Attacked
       { a_injections = List.length cells;
@@ -118,7 +118,7 @@ let attack_task (im : Spec.image) =
         a_opec_escapes = oc.oc_escaped }
   end
   else begin
-    let m = Atk.Campaign.run_app im.Spec.im_app in
+    let m = Atk.Campaign.run_app ~backend im.Spec.im_app in
     let defenses =
       List.map
         (fun d ->
@@ -132,8 +132,8 @@ let attack_task (im : Spec.image) =
         a_opec_escapes = List.length (Atk.Campaign.opec_escapes m) }
   end
 
-let trace_task (im : Spec.image) =
-  let b = Met.Overhead.breakdown_of_app im.Spec.im_app in
+let trace_task ~backend (im : Spec.image) =
+  let b = Met.Overhead.breakdown_of_app ~backend im.Spec.im_app in
   Traced
     { t_base_cycles = b.Met.Overhead.bd_base_cycles;
       t_prot_cycles = b.Met.Overhead.bd_prot_cycles;
@@ -152,12 +152,12 @@ let trace_task (im : Spec.image) =
    for them twice. *)
 let fuzz_properties = [ "transparency"; "engine-differential"; "sync-soundness" ]
 
-let fuzz_task (im : Spec.image) =
+let fuzz_task ~backend (im : Spec.image) =
   let module O = Opec_fuzz.Oracle in
   let props =
     List.filter_map O.find fuzz_properties
   in
-  let c = P.ctx im.Spec.im_app in
+  let c = P.ctx ~backend im.Spec.im_app in
   let failures =
     List.filter_map
       (fun (p : O.property) ->
@@ -175,12 +175,13 @@ let fuzz_task (im : Spec.image) =
 
 let run (u : Spec.unit_) : result =
   let im = u.Spec.u_image in
+  let backend = u.Spec.u_backend in
   match u.Spec.u_task with
-  | Spec.Compile -> compile_task im
-  | Spec.Lint -> lint_task im
-  | Spec.Attack -> attack_task im
-  | Spec.Trace -> trace_task im
-  | Spec.Fuzz -> fuzz_task im
+  | Spec.Compile -> compile_task ~backend im
+  | Spec.Lint -> lint_task ~backend im
+  | Spec.Attack -> attack_task ~backend im
+  | Spec.Trace -> trace_task ~backend im
+  | Spec.Fuzz -> fuzz_task ~backend im
 
 (* --- JSON (deterministic; the report's raw material) -------------------- *)
 

@@ -337,6 +337,68 @@ let attacks_blocked ?image c =
                 cl.Atk.Campaign.detail)
             bs))
 
+(* --- backend-containment ------------------------------------------------ *)
+
+(* No attack primitive escapes under ANY enforcement backend, and every
+   backend's clean protected run is denial-free with its telemetry
+   stream agreeing with the monitor's own counter.  A substitute image
+   ([?image], the defect gate) is MPU-built, so it gates only the MPU
+   column; the other backends always judge their own pipeline image. *)
+let backend_containment ?image c =
+  let app = P.app c in
+  let problems =
+    List.concat_map
+      (fun backend ->
+        let bname = M.Backend.kind_name backend in
+        let image = if backend = M.Backend.Mpu then image else None in
+        let escaped =
+          let cells = Atk.Campaign.run_opec_only ~backend ?image app in
+          List.filter_map
+            (fun (cl : Atk.Campaign.cell) ->
+              if cl.Atk.Campaign.outcome = Atk.Campaign.Escaped then
+                Some
+                  (Printf.sprintf "%s: %s in %s escaped (%s)" bname
+                     (Atk.Primitive.name cl.Atk.Campaign.injection.primitive)
+                     cl.Atk.Campaign.injection.op.C.Operation.name
+                     cl.Atk.Campaign.detail)
+              else None)
+            cells
+        in
+        let reconcile =
+          match image with
+          | Some _ -> [] (* substitute images run privately, no obs run *)
+          | None ->
+            let bc = P.ctx ~backend app in
+            let o = P.protected_obs bc in
+            let denial_events =
+              List.length
+                (List.filter
+                   (function Opec_obs.Sink.Denial _ -> true | _ -> false)
+                   o.P.o_events)
+            in
+            (if denial_events <> o.P.o_stats.Mon.Stats.denied then
+               [ Printf.sprintf
+                   "%s: %d denial events in telemetry but the monitor \
+                    counted %d"
+                   bname denial_events o.P.o_stats.Mon.Stats.denied ]
+             else [])
+            @
+            if o.P.o_stats.Mon.Stats.denied <> 0 then
+              [ Printf.sprintf
+                  "%s: clean protected run denied %d accesses (protection \
+                   must be transparent for benign runs)"
+                  bname o.P.o_stats.Mon.Stats.denied ]
+            else []
+        in
+        (* generated programs flow through here by the thousands: drop
+           the per-backend artifacts once judged (the default context is
+           the caller's to evict) *)
+        if backend <> M.Backend.Mpu then P.evict (P.ctx ~backend app);
+        escaped @ reconcile)
+      M.Backend.all_kinds
+  in
+  match problems with [] -> Pass | ps -> Fail (String.concat "; " ps)
+
 (* --- registry ---------------------------------------------------------- *)
 
 let all =
@@ -359,7 +421,12 @@ let all =
       check = engine_differential };
     { name = "attacks-blocked";
       doc = "no planned attack injection escapes the monitor";
-      check = attacks_blocked } ]
+      check = attacks_blocked };
+    { name = "backend-containment";
+      doc =
+        "no attack primitive escapes under any enforcement backend, and \
+         denial telemetry reconciles with the monitor's counter";
+      check = backend_containment } ]
 
 let find name = List.find_opt (fun p -> p.name = name) all
 

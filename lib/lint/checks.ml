@@ -113,7 +113,7 @@ let covered regions (lo, hi) =
   in
   List.rev (go (lo land lnot 31) [])
 
-let mpu_plan_validity (image : C.Image.t) =
+let mpu_backend_plan_validity (image : C.Image.t) =
   let fixed_region opn slot build =
     match build () with
     | r -> validate_region ~opn ~slot r
@@ -202,6 +202,98 @@ let mpu_plan_validity (image : C.Image.t) =
         in
         code @ stack @ opdata @ periphs @ coverage @ budget)
     image.ops
+
+(* Non-MPU backends: re-validate the plan against the backend's own
+   constraint descriptor — data-section fit and alignment (granule or
+   bounds representability), peripheral coverage, and the entry or key
+   budget under the backend's fault model (PMP entry rotation vs POE key
+   recycling; CHERI has no budget at all). *)
+let backend_plan_validity (image : C.Image.t) =
+  let kind = image.backend in
+  let desc = M.Backend.descriptor kind in
+  let kname = M.Backend.kind_name kind in
+  let aligned ~base ~len =
+    match desc.M.Backend.d_alignment with
+    | M.Backend.Pow2 { min_log2 } -> base land ((1 lsl min_log2) - 1) = 0
+    | M.Backend.Granule { bytes } -> base mod bytes = 0
+    | M.Backend.Precision _ -> M.Cheri.representable ~base ~len
+  in
+  List.concat_map
+    (fun (op : C.Operation.t) ->
+      let opn = op.name in
+      match C.Image.meta_of image opn with
+      | None ->
+        [ Diag.v ~code:"L003" Diag.Error (Diag.Operation opn)
+            "no metadata entry: the monitor cannot switch to this operation" ]
+      | Some meta ->
+        let opdata =
+          match meta.C.Metadata.section with
+          | None -> []
+          | Some s ->
+            (if s.C.Layout.used > s.C.Layout.span then
+               [ Diag.vf ~code:"L003" Diag.Error
+                   (Diag.Region { op = opn; slot = "opdata" })
+                   "data section uses %d bytes but its %s window reserves \
+                    only %d"
+                   s.C.Layout.used kname s.C.Layout.span ]
+             else [])
+            @
+            if not (aligned ~base:s.C.Layout.base ~len:s.C.Layout.span) then
+              [ Diag.vf ~code:"L003" Diag.Error
+                  (Diag.Region { op = opn; slot = "opdata" })
+                  "data section base 0x%08X violates the %s alignment rule"
+                  s.C.Layout.base kname ]
+            else []
+        in
+        let coverage =
+          List.concat_map
+            (fun (lo, hi) ->
+              match covered meta.C.Metadata.periph_regions (lo, hi) with
+              | [] -> []
+              | addr :: _ ->
+                [ Diag.vf ~code:"L003" Diag.Error (Diag.Operation opn)
+                    "peripheral range [0x%08X,0x%08X) not covered by the \
+                     window plan (first hole at 0x%08X): accesses would fault"
+                    lo hi addr ])
+            op.periph_ranges
+        in
+        let budget =
+          let n = List.length meta.C.Metadata.periph_regions in
+          match kind with
+          | M.Backend.Mpu | M.Backend.Cheri -> []
+          | M.Backend.Pmp ->
+            let slots =
+              C.Backend_plan.pmp_periph_capacity
+                ~has_section:(meta.C.Metadata.section <> None)
+                ~has_heap:meta.C.Metadata.uses_heap
+            in
+            if n > slots then
+              [ Diag.vf ~code:"L003" Diag.Info (Diag.Operation opn)
+                  "%d peripheral windows exceed the %d available PMP \
+                   entries; the overflow is virtualized by the monitor at \
+                   runtime"
+                  n slots ]
+            else []
+          | M.Backend.Poe ->
+            let keys =
+              C.Backend_plan.poe_recycle_count
+                ~has_heap:meta.C.Metadata.uses_heap
+            in
+            if n > keys then
+              [ Diag.vf ~code:"L003" Diag.Info (Diag.Operation opn)
+                  "%d peripheral windows exceed the %d free POE keys; the \
+                   monitor recycles keys onto keyless windows at runtime"
+                  n keys ]
+            else []
+        in
+        opdata @ coverage @ budget)
+    image.ops
+
+let mpu_plan_validity (image : C.Image.t) =
+  match image.backend with
+  | M.Backend.Mpu -> mpu_backend_plan_validity image
+  | M.Backend.Pmp | M.Backend.Cheri | M.Backend.Poe ->
+    backend_plan_validity image
 
 (* --- L004: resource-coverage soundness ---------------------------------- *)
 

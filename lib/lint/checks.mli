@@ -17,9 +17,13 @@ val unresolved_icall : check
     does not cover (info: linked-library code is legitimately unused). *)
 val unreachable_function : check
 
-(** L003: every operation's MPU plan is constructible and legal — region
-    sizes, base alignment, sub-region masks — and its regions cover the
-    code span, the data section, and every merged peripheral range. *)
+(** L003: every operation's protection plan is constructible and legal
+    under the image's backend.  On the MPU: region sizes, base
+    alignment, sub-region masks, and coverage of the code span, data
+    section, and every merged peripheral range.  On PMP / CHERI / POE:
+    data-section fit and the backend's alignment rule (power-of-two,
+    granule, or bounds representability), peripheral coverage, and the
+    entry or key budget under the backend's fault model. *)
 val mpu_plan_validity : check
 
 (** L004: soundness of resource coverage — every resource of every

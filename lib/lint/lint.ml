@@ -29,7 +29,9 @@ let checkers =
       ~doc:"functions reachable from no operation entry"
       Checks.unreachable_function;
     static "mpu-plan-validity" ~code:"L003"
-      ~doc:"MPU regions legal, constructible, and covering their targets"
+      ~doc:
+        "protection plan legal under the image's backend and covering its \
+         targets"
       Checks.mpu_plan_validity;
     static "resource-coverage" ~code:"L004"
       ~doc:"every member function's resources inside its operation's set"

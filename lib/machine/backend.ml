@@ -1,0 +1,167 @@
+(* The enforcement-backend abstraction.
+
+   OPEC's isolation guarantee is substrate-independent: what the design
+   needs from hardware is (1) an unprivileged default-deny map with a
+   read-only background view, (2) per-operation read-write windows over
+   the stack prefix / data section / heap / permitted peripherals, and
+   (3) a fault the monitor can classify.  Each substrate meets those
+   with different *constraints*, which this module reifies as a
+   descriptor the plan and layout passes consult instead of hard-coding
+   the ARMv7-M rules:
+
+   - entry budget: MPU 8 regions, PMP 16 entries, POE 8 keys, CHERI
+     unbounded;
+   - alignment rule: MPU/PMP naturally-aligned powers of two, POE a
+     small tagging granule, CHERI byte-granular under bounds precision;
+   - match priority: MPU highest-numbered wins, PMP lowest wins,
+     POE first match, CHERI any grant suffices;
+   - fault model: MPU/PMP rotate evicted windows back in (region
+     virtualization), POE recycles keys, CHERI never faults on a
+     planned access (every grant is resident). *)
+
+type kind = Mpu | Pmp | Cheri | Poe
+
+let all_kinds = [ Mpu; Pmp; Cheri; Poe ]
+
+let kind_name = function
+  | Mpu -> "mpu"
+  | Pmp -> "pmp"
+  | Cheri -> "cheri"
+  | Poe -> "poe"
+
+let kind_of_name s =
+  match String.lowercase_ascii s with
+  | "mpu" -> Some Mpu
+  | "pmp" -> Some Pmp
+  | "cheri" -> Some Cheri
+  | "poe" | "mpk" -> Some Poe
+  | _ -> None
+
+type alignment =
+  | Pow2 of { min_log2 : int }
+      (** naturally aligned power-of-two windows of at least
+          [2^min_log2] bytes *)
+  | Granule of { bytes : int }
+      (** byte-granular windows up to a tagging granule *)
+  | Precision of { mantissa_bits : int }
+      (** byte-granular for small windows; large windows need
+          representable (compressed-capability) bounds *)
+
+type priority =
+  | Highest_wins  (** highest-numbered matching entry decides (MPU) *)
+  | Lowest_wins   (** lowest-numbered / first matching entry decides *)
+  | Any_grant     (** grants accumulate; any matching grant suffices *)
+
+type fault_model =
+  | Region_eviction  (** planned windows beyond the budget are rotated
+                         in from the fault handler *)
+  | Key_recycling    (** windows stay resident; scarce keys are
+                         reassigned from the fault handler *)
+  | Capability_bounds  (** no budget: every planned grant is resident,
+                           a fault is always a violation *)
+
+type descriptor = {
+  d_kind : kind;
+  d_entry_budget : int option;  (** simultaneously-resident windows/keys *)
+  d_alignment : alignment;
+  d_priority : priority;
+  d_fault_model : fault_model;
+}
+
+let descriptor = function
+  | Mpu ->
+    { d_kind = Mpu;
+      d_entry_budget = Some Mpu.region_count;
+      d_alignment = Pow2 { min_log2 = Mpu.min_size_log2 };
+      d_priority = Highest_wins;
+      d_fault_model = Region_eviction }
+  | Pmp ->
+    { d_kind = Pmp;
+      d_entry_budget = Some Pmp.entry_count;
+      d_alignment = Pow2 { min_log2 = 3 };
+      d_priority = Lowest_wins;
+      d_fault_model = Region_eviction }
+  | Cheri ->
+    { d_kind = Cheri;
+      d_entry_budget = None;
+      d_alignment = Precision { mantissa_bits = Cheri.mantissa_bits };
+      d_priority = Any_grant;
+      d_fault_model = Capability_bounds }
+  | Poe ->
+    { d_kind = Poe;
+      d_entry_budget = Some Poe.key_count;
+      d_alignment = Granule { bytes = Poe.granule };
+      d_priority = Lowest_wins;
+      d_fault_model = Key_recycling }
+
+let round_up a n = (n + a - 1) / a * a
+
+(* The (alignment, span) a window of [bytes] bytes costs under the
+   backend's encoding: the base must be [alignment]-aligned and the
+   window reserves [span] bytes.  For power-of-two backends this is
+   exactly {!Mpu.region_size_for} (so the MPU layout is bit-identical to
+   the pre-abstraction plan); capability and key backends pack tighter. *)
+let region_fit d bytes =
+  match d.d_alignment with
+  | Pow2 { min_log2 } ->
+    let rec go k = if 1 lsl k >= bytes then k else go (k + 1) in
+    let k = go min_log2 in
+    (1 lsl k, 1 lsl k)
+  | Granule { bytes = g } ->
+    let span = max g (round_up g bytes) in
+    (g, span)
+  | Precision _ ->
+    (* widening the span can raise the representable alignment, so
+       iterate to the fixpoint, mirroring {!Cheri.round_bounds} *)
+    let rec go a =
+      let span = max 1 (round_up a bytes) in
+      let a' = Cheri.representable_align span in
+      if a' <= a then (max a 1, span) else go a'
+    in
+    go (max 1 (Cheri.representable_align (max bytes 1)))
+
+(* --- runtime state ------------------------------------------------------- *)
+
+type state =
+  | Mpu_state of Mpu.t
+  | Pmp_state of Pmp.t
+  | Cheri_state of Cheri.t
+  | Poe_state of Poe.t
+
+let create = function
+  | Mpu -> Mpu_state (Mpu.create ())
+  | Pmp -> Pmp_state (Pmp.create ())
+  | Cheri -> Cheri_state (Cheri.create ())
+  | Poe -> Poe_state (Poe.create ())
+
+let kind_of = function
+  | Mpu_state _ -> Mpu
+  | Pmp_state _ -> Pmp
+  | Cheri_state _ -> Cheri
+  | Poe_state _ -> Poe
+
+let check st ~privileged ~addr ~access =
+  match st with
+  | Mpu_state m -> Mpu.check m ~privileged ~addr ~access
+  | Pmp_state p -> Pmp.check p ~privileged ~addr ~access
+  | Cheri_state c -> Cheri.check c ~privileged ~addr ~access
+  | Poe_state p -> Poe.check p ~privileged ~addr ~access
+
+let enable = function
+  | Mpu_state m -> Mpu.enable m
+  | Pmp_state p -> Pmp.enable p
+  | Cheri_state c -> Cheri.enable c
+  | Poe_state p -> Poe.enable p
+
+let pp fmt = function
+  | Mpu_state m -> Mpu.pp fmt m
+  | Pmp_state p ->
+    Fmt.pf fmt "@[<v>PMP@,%a@]"
+      Fmt.(
+        list ~sep:(any "@,") (fun fmt (i, e) ->
+            Fmt.pf fmt "  entry %d: %a" i Pmp.pp_entry e))
+      (List.filteri
+         (fun _ (_, e) -> e.Pmp.mode <> Pmp.Off)
+         (List.init Pmp.entry_count (fun i -> (i, Pmp.get p i))))
+  | Cheri_state c -> Cheri.pp fmt c
+  | Poe_state p -> Poe.pp fmt p

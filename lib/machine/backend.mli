@@ -1,0 +1,54 @@
+(** The enforcement-backend abstraction: a constraint descriptor per
+    substrate (entry budget, alignment rule, match priority, fault
+    model) and a uniform runtime state + check over the four hardware
+    models (ARMv7-M MPU, RISC-V PMP, CHERI capabilities, Arm POE/MPK
+    keys). *)
+
+type kind = Mpu | Pmp | Cheri | Poe
+
+val all_kinds : kind list
+val kind_name : kind -> string
+val kind_of_name : string -> kind option
+
+type alignment =
+  | Pow2 of { min_log2 : int }
+  | Granule of { bytes : int }
+  | Precision of { mantissa_bits : int }
+
+type priority = Highest_wins | Lowest_wins | Any_grant
+
+type fault_model = Region_eviction | Key_recycling | Capability_bounds
+
+type descriptor = {
+  d_kind : kind;
+  d_entry_budget : int option;
+  d_alignment : alignment;
+  d_priority : priority;
+  d_fault_model : fault_model;
+}
+
+val descriptor : kind -> descriptor
+
+val region_fit : descriptor -> int -> int * int
+(** [region_fit d bytes] is the [(alignment, span)] a window covering
+    [bytes] bytes costs under the backend's encoding.  Identical to
+    [Mpu.region_size_for] for power-of-two backends. *)
+
+type state =
+  | Mpu_state of Mpu.t
+  | Pmp_state of Pmp.t
+  | Cheri_state of Cheri.t
+  | Poe_state of Poe.t
+
+val create : kind -> state
+val kind_of : state -> kind
+
+val check :
+  state ->
+  privileged:bool ->
+  addr:int ->
+  access:Fault.access ->
+  (unit, Fault.info) result
+
+val enable : state -> unit
+val pp : Format.formatter -> state -> unit

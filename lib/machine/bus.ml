@@ -13,23 +13,34 @@ type t = {
   sram : Memory.t;
   mutable devices : Device.t list;
   mpu : Mpu.t;
+  mutable prot : Backend.state;
+      (** the active enforcement backend; defaults to [Mpu_state mpu],
+          the same MPU object, so legacy pokes through [mpu] stay
+          authoritative until another backend is installed *)
   cpu : Cpu.t;
 }
 
 let create ~(board : Memmap.board) =
   let cpu = Cpu.create () in
+  let mpu = Mpu.create () in
   { flash = Memory.create ~base:Memmap.flash_base ~size:board.flash_size;
     sram = Memory.create ~base:Memmap.sram_base ~size:board.sram_size;
     devices = [];
-    mpu = Mpu.create ();
+    mpu;
+    prot = Backend.Mpu_state mpu;
     cpu }
 
 let attach t d = t.devices <- d :: t.devices
 
 let find_device t addr = List.find_opt (fun d -> Device.contains d addr) t.devices
 
+let set_protection t st = t.prot <- st
+let protection t = t.prot
+
 let mpu_check t ~addr ~access =
-  match Mpu.check t.mpu ~privileged:t.cpu.Cpu.privileged ~addr ~access with
+  match
+    Backend.check t.prot ~privileged:t.cpu.Cpu.privileged ~addr ~access
+  with
   | Ok () -> ()
   | Error info -> raise (Fault.Mem_manage info)
 

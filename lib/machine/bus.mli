@@ -10,10 +10,18 @@ type t = {
   sram : Memory.t;
   mutable devices : Device.t list;
   mpu : Mpu.t;
+  mutable prot : Backend.state;
   cpu : Cpu.t;
 }
 
 val create : board:Memmap.board -> t
+
+(** Swap the enforcement backend.  The default is [Backend.Mpu_state]
+    over the bus's own [mpu], so MPU-backed machines behave exactly as
+    before the backend abstraction existed. *)
+val set_protection : t -> Backend.state -> unit
+
+val protection : t -> Backend.state
 
 (** Map a device window onto the bus. Devices attached later take
     precedence on overlapping ranges. *)

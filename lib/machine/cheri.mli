@@ -1,0 +1,52 @@
+(** CHERI-style capability protection (CompartOS model): per-compartment
+    capability tables with byte-granular bounds, no entry budget, and
+    bounds-precision (compressed-capability representability) as the
+    only constraint. *)
+
+type cap = {
+  cap_base : int;
+  cap_len : int;
+  cap_r : bool;
+  cap_w : bool;
+  cap_x : bool;
+}
+
+type t = { mutable caps : cap list; mutable enforcing : bool }
+
+exception Invalid_cap of string
+
+val mantissa_bits : int
+
+val log2_ceil : int -> int
+
+val representable_align : int -> int
+(** Alignment base and length of a capability of the given length must
+    satisfy under the compressed (CHERI-concentrate) encoding. *)
+
+val representable : base:int -> len:int -> bool
+
+val round_bounds : base:int -> len:int -> int * int
+(** Smallest representable [(base, len)] containing the request. *)
+
+val create : unit -> t
+
+val cap : ?r:bool -> ?w:bool -> ?x:bool -> base:int -> len:int -> unit -> cap
+(** @raise Invalid_cap on empty or unrepresentable bounds. *)
+
+val clear : t -> unit
+val add : t -> cap -> unit
+val grant : t -> cap list -> unit
+val enable : t -> unit
+val caps : t -> cap list
+val cap_count : t -> int
+val cap_matches : cap -> int -> bool
+
+val check :
+  t ->
+  privileged:bool ->
+  addr:int ->
+  access:Fault.access ->
+  (unit, Fault.info) result
+
+val pp_cap : Format.formatter -> cap -> unit
+val pp : Format.formatter -> t -> unit

@@ -10,6 +10,9 @@ module Memmap = Memmap
 module Fault = Fault
 module Mpu = Mpu
 module Pmp = Pmp
+module Cheri = Cheri
+module Poe = Poe
+module Backend = Backend
 module Memory = Memory
 module Device = Device
 module Cpu = Cpu

@@ -1,0 +1,49 @@
+(** Arm POE / MPK-style permission-overlay keys (Complets model):
+    byte-granular tagged windows, a fixed pool of permission keys, and
+    key recycling instead of region eviction on exhaustion. *)
+
+type perm = No_access | Read_only | Read_write
+
+type overlay = {
+  ov_base : int;
+  ov_limit : int;
+  mutable ov_key : int;
+}
+
+type t = {
+  mutable overlays : overlay list;
+  por : perm array;
+  por_x : bool array;
+  mutable enforcing : bool;
+}
+
+exception Invalid_overlay of string
+
+val key_count : int
+val no_key : int
+val granule : int
+
+val create : unit -> t
+
+val overlay : ?key:int -> base:int -> limit:int -> unit -> overlay
+(** @raise Invalid_overlay on an empty, misaligned, or bad-key window. *)
+
+val clear : t -> unit
+val add : t -> overlay -> unit
+val set_key : t -> int -> ?x:bool -> perm -> unit
+val enable : t -> unit
+val overlays : t -> overlay list
+val find : t -> int -> overlay option
+
+val reclaim_key : t -> int -> overlay list
+(** Strip [key] from every window holding it; returns the victims. *)
+
+val check :
+  t ->
+  privileged:bool ->
+  addr:int ->
+  access:Fault.access ->
+  (unit, Fault.info) result
+
+val pp_overlay : Format.formatter -> overlay -> unit
+val pp : Format.formatter -> t -> unit

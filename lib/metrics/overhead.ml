@@ -148,9 +148,11 @@ let breakdown_of ~app_name ~base_cycles ~prot_cycles
     bd_synced_bytes = agg.Obs.Agg.synced_bytes }
 
 (* Run one workload baseline + instrumented-protected (both memoized)
-   and derive its overhead breakdown. *)
-let breakdown_of_app (app : Opec_apps.App.t) =
-  let c = P.ctx app in
+   and derive its overhead breakdown.  The baseline is unprotected and
+   backend-independent, so every backend shares the default context's
+   run; only the protected run is per-backend. *)
+let breakdown_of_app ?backend (app : Opec_apps.App.t) =
+  let c = P.ctx ?backend app in
   let baseline = Workload.run_baseline app in
   let o = P.protected_obs c in
   P.reraise o.P.o_err;

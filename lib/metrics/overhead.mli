@@ -72,5 +72,8 @@ val breakdown_of :
   breakdown
 
 (** Run one workload baseline + instrumented-protected (both memoized)
-    and derive its overhead breakdown. *)
-val breakdown_of_app : Opec_apps.App.t -> breakdown
+    and derive its overhead breakdown.  [backend] selects the
+    enforcement backend of the protected run (default MPU); the
+    unprotected baseline is shared across backends. *)
+val breakdown_of_app :
+  ?backend:Opec_machine.Backend.kind -> Opec_apps.App.t -> breakdown

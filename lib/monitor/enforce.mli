@@ -1,0 +1,39 @@
+(** Backend-generic enforcement glue: operation-switch installation and
+    fault-time virtualization over whatever protection state the bus
+    carries (MPU regions, PMP entries, POE keys; CHERI grants are always
+    fully resident). *)
+
+module C = Opec_core
+module M = Opec_machine
+module Obs = Opec_obs
+
+(** Install the operation's plan on the backend; returns the planned
+    peripheral windows left non-resident (rotated in at fault time). *)
+val install :
+  M.Backend.state ->
+  image:C.Image.t ->
+  meta:C.Metadata.op_meta ->
+  srd:int ->
+  M.Mpu.region list
+
+(** One fault-time rotation: which slot (MPU region / PMP entry / POE
+    key) was rotated, what it evicted, and what is now resident. *)
+type swap = {
+  sw_slot : int;
+  sw_evicted : Obs.Sink.region_id option;
+  sw_installed : Obs.Sink.region_id;
+}
+
+(** The planned peripheral window covering [addr], if any. *)
+val covering_region : C.Metadata.op_meta -> int -> M.Mpu.region option
+
+(** Rotate protection onto the permitted-but-faulting access at [addr];
+    [None] when no planned window covers it (a real violation — always
+    the case on CHERI). *)
+val virtualize :
+  M.Backend.state ->
+  cpu:M.Cpu.t ->
+  meta:C.Metadata.op_meta ->
+  virt_next:int ->
+  addr:int ->
+  swap option

@@ -515,11 +515,12 @@ let copy_back_relocated t frame =
     (fun (orig, copy, bytes) -> copy_words t ~src:copy ~dst:orig bytes)
     frame.relocated
 
-(* --- MPU installation ---------------------------------------------------- *)
+(* --- protection installation --------------------------------------------- *)
 
 let install_mpu t (meta : C.Metadata.op_meta) ~srd =
   M.Cpu.with_privilege t.bus.M.Bus.cpu (fun () ->
-      ignore (Mpu_install.install t.bus.M.Bus.mpu ~image:t.image ~meta ~srd))
+      ignore
+        (Enforce.install (M.Bus.protection t.bus) ~image:t.image ~meta ~srd))
 
 (* --- switch protocol ----------------------------------------------------- *)
 
@@ -670,43 +671,26 @@ let handle_mem_fault t (_desc : Opec_exec.Interp.access_desc)
          (Fmt.str "isolation violation in %s: %a" frame.op.C.Operation.name
             M.Fault.pp_info info))
   else begin
-    (* the access is in the allow list: rotate one of the four reserved
-       regions to cover it (round-robin) *)
-    let covering =
-      List.find_opt
-        (fun (r : M.Mpu.region) ->
-          addr >= r.M.Mpu.base && addr < r.M.Mpu.base + (1 lsl r.M.Mpu.size_log2))
-        frame.meta.C.Metadata.periph_regions
-    in
-    match covering with
+    (* the access is in the allow list: rotate protection onto it
+       (round-robin over the backend's reserved slots / keys) *)
+    match
+      Enforce.virtualize (M.Bus.protection t.bus) ~cpu:t.bus.M.Bus.cpu
+        ~meta:frame.meta ~virt_next:frame.virt_next ~addr
+    with
     | None ->
       Opec_exec.Interp.Abort
         (deny t ~info
            (Fmt.str "no planned region in %s covers permitted access: %a"
               frame.op.C.Operation.name M.Fault.pp_info info))
-    | Some region ->
-      let first =
-        C.Config.peripheral_region_first
-        + if frame.meta.C.Metadata.uses_heap then 1 else 0
-      in
-      let count =
-        (C.Config.peripheral_region_first + C.Config.peripheral_region_count)
-        - first
-      in
-      let slot = first + (frame.virt_next mod max 1 count) in
+    | Some sw ->
       frame.virt_next <- frame.virt_next + 1;
-      let evicted =
-        Option.map Obs.Sink.region_id_of (M.Mpu.get t.bus.M.Bus.mpu slot)
-      in
-      M.Cpu.with_privilege t.bus.M.Bus.cpu (fun () ->
-          M.Mpu.set t.bus.M.Bus.mpu slot (Some region));
       t.stats.Stats.virt_swaps <- t.stats.Stats.virt_swaps + 1;
       if t.sink.Obs.Sink.active then
         t.sink.Obs.Sink.emit
           (Obs.Sink.Region_swap
-             { rs_op = frame.op.C.Operation.name; rs_slot = slot;
-               rs_evicted = evicted;
-               rs_installed = Obs.Sink.region_id_of region; rs_at = now t });
+             { rs_op = frame.op.C.Operation.name; rs_slot = sw.Enforce.sw_slot;
+               rs_evicted = sw.Enforce.sw_evicted;
+               rs_installed = sw.Enforce.sw_installed; rs_at = now t });
       Opec_exec.Interp.Retry
   end
 

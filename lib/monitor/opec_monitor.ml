@@ -2,6 +2,7 @@
 
 module Stats = Stats
 module Mpu_install = Mpu_install
+module Enforce = Enforce
 module Monitor = Monitor
 module Runner = Runner
 module Threads = Threads

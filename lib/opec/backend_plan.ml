@@ -1,0 +1,196 @@
+(* Backend-parameterized protection plans.
+
+   One entry point, [install], maps an operation's policy — code,
+   accessible stack prefix, data section, heap, permitted peripherals —
+   onto whichever enforcement backend the machine carries:
+
+   - MPU:   the fixed 8-region plan of {!Mpu_plan} (regions beyond the
+            four reserved peripheral slots overflow into runtime
+            virtualization);
+   - PMP:   the 16-entry translation of {!Pmp_plan} (lowest-match-wins,
+            TOR stack prefix instead of sub-region masking);
+   - CHERI: a per-operation capability table — one precise grant per
+            object, no budget, nothing to virtualize;
+   - POE:   per-window permission-overlay keys — every window resident,
+            peripheral windows beyond the free keys left keyless for the
+            monitor to recycle keys onto at fault time.
+
+   The background read-only view (code + SRAM readable, nothing writable
+   at the unprivileged level) is part of OPEC's design — relocation
+   entries may point straight at public-section masters — so every
+   backend grants it: MPU region 0, the PMP's last entry, a CHERI
+   default data capability, the POE background overlay on key 0. *)
+
+module M = Opec_machine
+
+(* The stack prefix [stack_base, limit) the MPU expresses as a
+   sub-region disable mask: [srd] disables every 1/8th strictly above
+   the live frame, so the limit is the base of the lowest disabled
+   sub-region. *)
+let stack_limit_of_srd ~stack_base ~stack_top srd =
+  if srd = 0 then stack_top
+  else
+    let rec first_disabled i =
+      if i > 7 then 8 else if srd land (1 lsl i) <> 0 then i else first_disabled (i + 1)
+    in
+    stack_base + (first_disabled 0 * Config.stack_subregion_size)
+
+(* --- CHERI ---------------------------------------------------------------- *)
+
+(* The operation's capability table.  Bounds are byte-granular; only
+   bounds precision (representability) can widen a grant, via
+   {!M.Cheri.round_bounds}. *)
+let cheri_caps ~code_base ~code_bytes ~stack_base ~stack_limit ?heap
+    (section : Layout.section option) (op : Operation.t) =
+  let rounded ?(r = true) ?(w = false) ?(x = false) ~base ~len () =
+    let base, len = M.Cheri.round_bounds ~base ~len in
+    M.Cheri.cap ~r ~w ~x ~base ~len ()
+  in
+  let background = rounded ~base:0x0 ~len:(1 lsl 30) () in
+  let code = rounded ~x:true ~base:code_base ~len:code_bytes () in
+  let stack =
+    rounded ~w:true ~base:stack_base ~len:(max 1 (stack_limit - stack_base)) ()
+  in
+  let opdata =
+    match section with
+    | None -> []
+    | Some s -> [ rounded ~w:true ~base:s.Layout.base ~len:s.Layout.span () ]
+  in
+  let heap_caps =
+    match heap with
+    | None -> []
+    | Some (hs : Layout.section) ->
+      [ rounded ~w:true ~base:hs.Layout.base ~len:hs.Layout.span () ]
+  in
+  let periphs =
+    List.map
+      (fun (base, limit) -> rounded ~w:true ~base ~len:(limit - base) ())
+      op.Operation.periph_ranges
+  in
+  (background :: code :: stack :: opdata) @ heap_caps @ periphs
+
+let install_cheri c ~code_base ~code_bytes ~stack_base ~stack_limit ?heap
+    section op =
+  M.Cheri.clear c;
+  M.Cheri.grant c
+    (cheri_caps ~code_base ~code_bytes ~stack_base ~stack_limit ?heap section
+       op);
+  M.Cheri.enable c
+
+(* --- POE ------------------------------------------------------------------ *)
+
+(* Fixed key plan mirroring the MPU's region numbering: key 0 the
+   read-only background, 1 executable code, 2 the stack prefix, 3 the
+   operation data section, 4..7 heap + peripheral windows.  Windows
+   beyond the free keys stay resident but keyless; the monitor recycles
+   keys onto them from the fault handler. *)
+let poe_key_background = 0
+let poe_key_code = 1
+let poe_key_stack = 2
+let poe_key_opdata = 3
+let poe_key_first_free = 4
+
+let round_down g n = n / g * g
+let round_up g n = (n + g - 1) / g * g
+
+let poe_window ~base ~limit =
+  (round_down M.Poe.granule base, round_up M.Poe.granule limit)
+
+let install_poe p ~code_base ~code_bytes ~stack_base ~stack_limit ?heap
+    (section : Layout.section option) (op : Operation.t) =
+  M.Poe.clear p;
+  let g = M.Poe.granule in
+  M.Poe.set_key p poe_key_background M.Poe.Read_only;
+  M.Poe.set_key p poe_key_code ~x:true M.Poe.Read_only;
+  M.Poe.set_key p poe_key_stack M.Poe.Read_write;
+  M.Poe.set_key p poe_key_opdata M.Poe.Read_write;
+  for k = poe_key_first_free to M.Poe.key_count - 1 do
+    M.Poe.set_key p k M.Poe.Read_write
+  done;
+  (* specific windows first (first match wins), background last *)
+  (if stack_limit > stack_base then
+     let base, limit = poe_window ~base:stack_base ~limit:stack_limit in
+     M.Poe.add p (M.Poe.overlay ~key:poe_key_stack ~base ~limit ()));
+  (match section with
+  | None -> ()
+  | Some s ->
+    let base, limit =
+      poe_window ~base:s.Layout.base ~limit:(s.Layout.base + s.Layout.span)
+    in
+    M.Poe.add p (M.Poe.overlay ~key:poe_key_opdata ~base ~limit ()));
+  let next_key = ref poe_key_first_free in
+  let keyed () =
+    if !next_key < M.Poe.key_count then begin
+      let k = !next_key in
+      incr next_key;
+      k
+    end
+    else M.Poe.no_key
+  in
+  (match heap with
+  | None -> ()
+  | Some (hs : Layout.section) ->
+    let base, limit =
+      poe_window ~base:hs.Layout.base ~limit:(hs.Layout.base + hs.Layout.span)
+    in
+    M.Poe.add p (M.Poe.overlay ~key:(keyed ()) ~base ~limit ()));
+  List.iter
+    (fun (base, limit) ->
+      let base, limit = poe_window ~base ~limit in
+      M.Poe.add p (M.Poe.overlay ~key:(keyed ()) ~base ~limit ()))
+    op.Operation.periph_ranges;
+  let code_lo = round_down g code_base in
+  M.Poe.add p
+    (M.Poe.overlay ~key:poe_key_code ~base:code_lo
+       ~limit:(round_up g (code_base + code_bytes))
+       ());
+  M.Poe.add p
+    (M.Poe.overlay ~key:poe_key_background ~base:0x0 ~limit:(1 lsl 30) ());
+  M.Poe.enable p
+
+(* --- dispatch ------------------------------------------------------------- *)
+
+(* Install the operation's plan on whatever backend the machine carries.
+   Returns the planned peripheral windows that are not resident (MPU /
+   PMP overflow, rotated in by the monitor); CHERI and POE plans are
+   always fully resident ([] — POE's keyless windows are resident, only
+   their keys are lazily assigned). *)
+let install st ~code_base ~code_bytes ~(layout : Layout.t) ~srd ?heap
+    (section : Layout.section option) (op : Operation.t) =
+  let stack_base = layout.Layout.stack_base in
+  let stack_limit =
+    stack_limit_of_srd ~stack_base ~stack_top:layout.Layout.stack_top srd
+  in
+  match st with
+  | M.Backend.Mpu_state m ->
+    Mpu_plan.install m ~code_base ~code_bytes ~stack_base ~srd ?heap section op
+  | M.Backend.Pmp_state p ->
+    Pmp_plan.install p ~code_base ~code_bytes ~stack_base
+      ~stack_accessible_limit:stack_limit ?heap section op
+  | M.Backend.Cheri_state c ->
+    install_cheri c ~code_base ~code_bytes ~stack_base ~stack_limit ?heap
+      section op;
+    []
+  | M.Backend.Poe_state p ->
+    install_poe p ~code_base ~code_bytes ~stack_base ~stack_limit ?heap
+      section op;
+    []
+
+(* First PMP entry index holding a peripheral window, and the capacity
+   before the table is full — the monitor's rotation arithmetic.
+   Mirrors the push order of {!Pmp_plan.install}: stack, data section,
+   heap, code, then peripherals, with the top two entries reserved
+   (spare + background). *)
+let pmp_periph_first ~has_section ~has_heap =
+  1 + (if has_section then 1 else 0) + (if has_heap then 1 else 0) + 1
+
+let pmp_periph_capacity ~has_section ~has_heap =
+  M.Pmp.entry_count - 2 - pmp_periph_first ~has_section ~has_heap
+
+(* First recyclable POE key and how many there are (after the heap claims
+   one when present) — the monitor's key-recycling arithmetic. *)
+let poe_recycle_first ~has_heap =
+  poe_key_first_free + if has_heap then 1 else 0
+
+let poe_recycle_count ~has_heap =
+  M.Poe.key_count - poe_recycle_first ~has_heap

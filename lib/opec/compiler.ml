@@ -61,12 +61,12 @@ let syncsets_of ~points_to ~callgraph ~(ops : Operation.t list)
 (* Stages 1d: image generation from precomputed analysis artifacts.
    [program] must already be validated. *)
 let back ?(board = Opec_machine.Memmap.stm32f4_discovery)
-    ?(sort_sections = true) ?syncsets ~points_to ~callgraph ~resources
-    ~(ops : Operation.t list) (program : Program.t) (input : Dev_input.t) :
-    Image.t =
+    ?(backend = Opec_machine.Backend.Mpu) ?(sort_sections = true) ?syncsets
+    ~points_to ~callgraph ~resources ~(ops : Operation.t list)
+    (program : Program.t) (input : Dev_input.t) : Image.t =
   Atomic.incr invocations;
   let classification = Partition.classify_globals program ops in
-  let layout = Layout.build ~sort_sections program ops classification in
+  let layout = Layout.build ~sort_sections ~backend program ops classification in
   let metas = Metadata.build ~cls:classification layout input ops in
   let syncsets =
     match syncsets with
@@ -77,11 +77,11 @@ let back ?(board = Opec_machine.Memmap.stm32f4_discovery)
     Instrument.instrument program layout
       ~entries:(List.map (fun (op : Operation.t) -> op.Operation.entry) ops)
   in
-  Image.assemble ~board ~input ~ops ~layout ~metas ~stats ~callgraph
+  Image.assemble ~backend ~board ~input ~ops ~layout ~metas ~stats ~callgraph
     ~resources ~points_to ~syncsets ~source:program instrumented
 
-let compile ?board ?sort_sections (program : Program.t) (input : Dev_input.t)
-    : Image.t =
+let compile ?board ?backend ?sort_sections (program : Program.t)
+    (input : Dev_input.t) : Image.t =
   let program = front program in
   (* Stage 1a: call graph generation (points-to + type-based fallback) *)
   let points_to = Opec_analysis.Points_to.solve program in
@@ -89,10 +89,10 @@ let compile ?board ?sort_sections (program : Program.t) (input : Dev_input.t)
   (* Stage 1b: resource dependency analysis *)
   let resources = Opec_analysis.Resource.analyze program points_to in
   (* Stage 1c: operation partitioning *)
-  let ops = Partition.partition program callgraph resources input in
+  let ops = Partition.partition ?backend program callgraph resources input in
   (* Stage 1d: image generation *)
-  back ?board ?sort_sections ~points_to ~callgraph ~resources ~ops program
-    input
+  back ?board ?backend ?sort_sections ~points_to ~callgraph ~resources ~ops
+    program input
 
 (* The policy file for an image. *)
 let policy (image : Image.t) = Policy.to_string image.Image.ops

@@ -11,6 +11,7 @@
     (ablation). *)
 val compile :
   ?board:Opec_machine.Memmap.board ->
+  ?backend:Opec_machine.Backend.kind ->
   ?sort_sections:bool ->
   Opec_ir.Program.t ->
   Dev_input.t ->
@@ -39,6 +40,7 @@ val syncsets_of :
     defaults to a private {!syncsets_of} computation. *)
 val back :
   ?board:Opec_machine.Memmap.board ->
+  ?backend:Opec_machine.Backend.kind ->
   ?sort_sections:bool ->
   ?syncsets:Opec_analysis.Syncset.t ->
   points_to:Opec_analysis.Points_to.t ->

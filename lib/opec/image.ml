@@ -11,6 +11,7 @@ type t = {
   program : Program.t;           (** instrumented program *)
   source : Program.t;            (** the original, for baseline builds *)
   board : Opec_machine.Memmap.board;
+  backend : Opec_machine.Backend.kind;  (** enforcement backend the plan targets *)
   input : Dev_input.t;
   ops : Operation.t list;
   layout : Layout.t;
@@ -48,8 +49,9 @@ let syncset_flash_bytes (ss : Opec_analysis.Syncset.t) =
 
 let align a n = (n + a - 1) / a * a
 
-let assemble ~board ~input ~ops ~layout ~metas ~stats ~callgraph ~resources
-    ~points_to ~syncsets ~(source : Program.t) (instrumented : Program.t) =
+let assemble ?(backend = Opec_machine.Backend.Mpu) ~board ~input ~ops ~layout
+    ~metas ~stats ~callgraph ~resources ~points_to ~syncsets
+    ~(source : Program.t) (instrumented : Program.t) =
   let code_base = Opec_machine.Memmap.flash_base in
   let func_addr, func_of_addr, code_end =
     Opec_exec.Address_map.layout_functions ~code_base instrumented
@@ -104,6 +106,7 @@ let assemble ~board ~input ~ops ~layout ~metas ~stats ~callgraph ~resources
   { program = instrumented;
     source;
     board;
+    backend;
     input;
     ops;
     layout;

@@ -9,6 +9,7 @@ type t = {
   program : Program.t;  (** instrumented program *)
   source : Program.t;   (** the original, for baseline builds *)
   board : Opec_machine.Memmap.board;
+  backend : Opec_machine.Backend.kind;  (** enforcement backend the plan targets *)
   input : Dev_input.t;
   ops : Operation.t list;
   layout : Layout.t;
@@ -31,6 +32,7 @@ type t = {
 val syncset_flash_bytes : Opec_analysis.Syncset.t -> int
 
 val assemble :
+  ?backend:Opec_machine.Backend.kind ->
   board:Opec_machine.Memmap.board ->
   input:Dev_input.t ->
   ops:Operation.t list ->

@@ -18,6 +18,10 @@ type section = {
   base : int;
   used : int;             (** bytes occupied by variables *)
   region_log2 : int;      (** MPU region size covering the section *)
+  span : int;             (** bytes the section reserves under the
+                              target backend's window encoding; equals
+                              [2^region_log2] for power-of-two backends,
+                              tighter for capability/key backends *)
   slots : slot list;
 }
 
@@ -61,15 +65,26 @@ let pack_section ~owner ~base vars =
       vars
   in
   let used = !cursor - base in
-  { owner; base; used; region_log2 = section_region_log2 used; slots }
+  let region_log2 = section_region_log2 used in
+  { owner; base; used; region_log2; span = 1 lsl region_log2; slots }
 
 let slot_addr section var =
   match List.find_opt (fun s -> String.equal s.var var) section.slots with
   | Some s -> Some s.addr
   | None -> None
 
-let build ?(sort_sections = true) (p : Program.t) (ops : Operation.t list)
+let log2_ceil n =
+  let rec go k = if 1 lsl k >= n then k else go (k + 1) in
+  if n <= 1 then 0 else go 0
+
+let build ?(sort_sections = true) ?(backend = Opec_machine.Backend.Mpu)
+    (p : Program.t) (ops : Operation.t list)
     (cls : Partition.classification) =
+  let desc = Opec_machine.Backend.descriptor backend in
+  (* (base alignment, reserved span) of a window under the backend's
+     encoding; for the MPU this reproduces [section_region_log2]'s
+     power-of-two rounding bit for bit *)
+  let fit bytes = Opec_machine.Backend.region_fit desc bytes in
   let sizes = Hashtbl.create 64 in
   List.iter
     (fun (g : Global.t) -> Hashtbl.replace sizes g.name (Global.size g))
@@ -105,11 +120,13 @@ let build ?(sort_sections = true) (p : Program.t) (ops : Operation.t list)
     | arenas ->
       let vars = List.map (fun v -> (v, size_of v)) arenas in
       let bytes = List.fold_left (fun a (_, sz) -> a + align 4 sz) 0 vars in
-      let log2 = section_region_log2 (max bytes 32) in
-      let base = align (1 lsl log2) !cursor in
+      let alignment, _ = fit bytes in
+      let base = align alignment !cursor in
       let sec = pack_section ~owner:"heap" ~base vars in
-      let sec = { sec with region_log2 = max sec.region_log2 log2 } in
-      cursor := base + (1 lsl sec.region_log2);
+      (* the window must still cover the packed size *)
+      let _, span = fit (max bytes sec.used) in
+      let sec = { sec with region_log2 = log2_ceil span; span } in
+      cursor := base + span;
       List.iter (fun sl -> Hashtbl.replace var_home sl.var sl.addr) sec.slots;
       Some sec
   in
@@ -150,14 +167,15 @@ let build ?(sort_sections = true) (p : Program.t) (ops : Operation.t list)
   let op_sections =
     List.map
       (fun (op, vars, bytes) ->
-        let log2 = section_region_log2 (max bytes 32) in
-        let base = align (1 lsl log2) !cursor in
+        let alignment, _ = fit bytes in
+        let base = align alignment !cursor in
         let section = pack_section ~owner:op.Operation.name ~base vars in
-        (* region must still cover the packed size *)
+        (* the window must still cover the packed size *)
+        let _, span = fit (max bytes section.used) in
         let section =
-          { section with region_log2 = max section.region_log2 log2 }
+          { section with region_log2 = log2_ceil span; span }
         in
-        cursor := base + (1 lsl section.region_log2);
+        cursor := base + span;
         List.iter
           (fun s ->
             if SS.mem s.var external_set then

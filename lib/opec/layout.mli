@@ -16,6 +16,9 @@ type section = {
   base : int;
   used : int;         (** bytes occupied by variables *)
   region_log2 : int;  (** MPU region size covering the section *)
+  span : int;         (** bytes reserved under the target backend's
+                          window encoding ([2^region_log2] for
+                          power-of-two backends) *)
   slots : slot list;
 }
 
@@ -42,10 +45,16 @@ val pack_section : owner:string -> base:int -> (string * int) list -> section
 
 val slot_addr : section -> string -> int option
 
+val log2_ceil : int -> int
+
 (** Build the layout.  [sort_sections:false] keeps declaration order —
-    the placement ablation. *)
+    the placement ablation.  [backend] supplies the window-encoding
+    constraints (alignment, span) section placement must satisfy; the
+    default MPU descriptor reproduces the original power-of-two plan
+    bit for bit. *)
 val build :
   ?sort_sections:bool ->
+  ?backend:Opec_machine.Backend.kind ->
   Program.t ->
   Operation.t list ->
   Partition.classification ->

@@ -24,8 +24,11 @@ let validate_entry (p : Program.t) name =
 
 (* Sort peripherals needed by one operation in ascending order of start
    address and merge adjacent ones so one MPU region can protect several
-   (Section 4.3). *)
-let merge_peripheral_ranges (p : Program.t) periphs =
+   (Section 4.3).  Merging trades precision for entries, so it only
+   applies to backends with a window budget: an unbudgeted backend
+   (CHERI) keeps one precise grant per peripheral instead. *)
+let merge_peripheral_ranges ?(backend = Opec_machine.Backend.Mpu)
+    (p : Program.t) periphs =
   let ranges =
     List.filter_map
       (fun (pe : Peripheral.t) ->
@@ -40,9 +43,11 @@ let merge_peripheral_ranges (p : Program.t) periphs =
     | r :: rest -> r :: merge rest
     | [] -> []
   in
-  merge ranges
+  match (Opec_machine.Backend.descriptor backend).Opec_machine.Backend.d_entry_budget with
+  | None -> ranges
+  | Some _ -> merge ranges
 
-let partition (p : Program.t) (cg : CG.t) (resources : R.t)
+let partition ?backend (p : Program.t) (cg : CG.t) (resources : R.t)
     (input : Dev_input.t) =
   List.iter (validate_entry p) input.Dev_input.entries;
   let entry_set = SS.of_list input.Dev_input.entries in
@@ -55,7 +60,7 @@ let partition (p : Program.t) (cg : CG.t) (resources : R.t)
       entry;
       funcs;
       resources = res;
-      periph_ranges = merge_peripheral_ranges p res.R.peripherals }
+      periph_ranges = merge_peripheral_ranges ?backend p res.R.peripherals }
   in
   let ops =
     List.mapi (fun i e -> make (i + 1) e) input.Dev_input.entries

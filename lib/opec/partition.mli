@@ -10,12 +10,18 @@ exception Invalid_entry of string
 val validate_entry : Program.t -> string -> unit
 
 (** Sort an operation's needed peripherals by start address and merge
-    adjacent ranges so one MPU region can protect several. *)
+    adjacent ranges so one protection window can cover several.  An
+    unbudgeted backend (CHERI) skips the merge and keeps one precise
+    range per peripheral. *)
 val merge_peripheral_ranges :
-  Program.t -> Opec_analysis.Resource.SS.t -> (int * int) list
+  ?backend:Opec_machine.Backend.kind ->
+  Program.t ->
+  Opec_analysis.Resource.SS.t ->
+  (int * int) list
 
 (** Form the operation list (default operation first). *)
 val partition :
+  ?backend:Opec_machine.Backend.kind ->
   Program.t ->
   Opec_analysis.Callgraph.t ->
   Opec_analysis.Resource.t ->

@@ -55,6 +55,14 @@ let install pmp ~code_base ~code_bytes ~stack_base ~stack_accessible_limit
          (Pmp.napot ~base:hs.Layout.base ~size_log2:hs.Layout.region_log2
             ~r:true ~w:true ~x:false ()))
   | None -> ());
+  (* code window, executable — pushed before the peripherals so a
+     peripheral-heavy operation can never crowd the code entry out of
+     the table (peripheral windows overflow into virtualization; the
+     code window must always be resident) *)
+  let _, code_log2 = Opec_machine.Mpu.region_size_for code_bytes in
+  let code_aligned = code_base land lnot ((1 lsl code_log2) - 1) in
+  ignore
+    (push (Pmp.napot ~base:code_aligned ~size_log2:code_log2 ~r:true ~w:false ~x:true ()));
   let overflow = ref [] in
   List.iter
     (fun r ->
@@ -62,11 +70,6 @@ let install pmp ~code_base ~code_bytes ~stack_base ~stack_accessible_limit
       | Some () -> ()
       | None -> overflow := r :: !overflow)
     (Mpu_plan.peripheral_regions op);
-  (* code window, executable *)
-  let _, code_log2 = Opec_machine.Mpu.region_size_for code_bytes in
-  let code_aligned = code_base land lnot ((1 lsl code_log2) - 1) in
-  ignore
-    (push (Pmp.napot ~base:code_aligned ~size_log2:code_log2 ~r:true ~w:false ~x:true ()));
   (* background: code + SRAM read-only, lowest priority *)
   Pmp.set pmp
     (Pmp.entry_count - 1)

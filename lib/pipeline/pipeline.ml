@@ -90,6 +90,7 @@ type slot =
 
 type ctx = {
   app : Apps.App.t;
+  backend : M.Backend.kind;
   key : string;
   lock : Mutex.t;
   cond : Condition.t;
@@ -120,8 +121,11 @@ let fingerprint (app : Apps.App.t) =
   in
   Digest.to_hex (Digest.string bytes)
 
-let ctx (app : Apps.App.t) : ctx =
-  let key = app.Apps.App.app_name ^ ":" ^ fingerprint app in
+let ctx ?(backend = M.Backend.Mpu) (app : Apps.App.t) : ctx =
+  let key =
+    app.Apps.App.app_name ^ ":" ^ M.Backend.kind_name backend ^ ":"
+    ^ fingerprint app
+  in
   let sh = shard_of key in
   Mutex.protect sh.s_lock (fun () ->
       match Hashtbl.find_opt sh.s_tbl key with
@@ -129,6 +133,7 @@ let ctx (app : Apps.App.t) : ctx =
       | None ->
         let c =
           { app;
+            backend;
             key;
             lock = Mutex.create ();
             cond = Condition.create ();
@@ -140,6 +145,7 @@ let ctx (app : Apps.App.t) : ctx =
         c)
 
 let app (c : ctx) = c.app
+let backend (c : ctx) = c.backend
 let key (c : ctx) = c.key
 
 let reset () =
@@ -254,7 +260,9 @@ let ops c =
   let res = resources c in
   match
     get c "partition" (fun () ->
-        A_ops (C.Partition.partition p cg res c.app.Apps.App.dev_input))
+        A_ops
+          (C.Partition.partition ~backend:c.backend p cg res
+             c.app.Apps.App.dev_input))
   with
   | A_ops x -> x
   | _ -> assert false
@@ -283,8 +291,8 @@ let image c =
   match
     get c "image" (fun () ->
         A_image
-          (C.Compiler.back ~board:c.app.Apps.App.board ~points_to:pts
-             ~callgraph:cg ~resources:res ~ops ~syncsets:ss p
+          (C.Compiler.back ~board:c.app.Apps.App.board ~backend:c.backend
+             ~points_to:pts ~callgraph:cg ~resources:res ~ops ~syncsets:ss p
              c.app.Apps.App.dev_input))
   with
   | A_image x -> x
@@ -488,8 +496,9 @@ let warm (c : ctx) =
 
 (* Evaluate [f] over per-app pipelines on a domain pool; results come
    back in input order, so cross-domain evaluation is deterministic. *)
-let parallel_map ?domains (f : ctx -> 'a) (apps : Apps.App.t list) : 'a list =
-  Pool.map ?domains (fun a -> f (ctx a)) apps
+let parallel_map ?domains ?backend (f : ctx -> 'a) (apps : Apps.App.t list) :
+    'a list =
+  Pool.map ?domains (fun a -> f (ctx ?backend a)) apps
 
 (* Pre-materialize every app's pipeline in parallel; subsequent
    sequential rendering then hits only the cache. *)

@@ -50,10 +50,13 @@ type obs_result = {
 type ctx
 
 (** The store context for a workload: creates or retrieves the entry
-    keyed by the workload's fingerprint. *)
-val ctx : Opec_apps.App.t -> ctx
+    keyed by the workload's fingerprint plus the enforcement backend
+    (default MPU) — each backend's image and reference runs memoize
+    separately. *)
+val ctx : ?backend:Opec_machine.Backend.kind -> Opec_apps.App.t -> ctx
 
 val app : ctx -> Opec_apps.App.t
+val backend : ctx -> Opec_machine.Backend.kind
 val key : ctx -> string
 
 (** Drop every cached artifact (all workloads). *)
@@ -140,7 +143,11 @@ val warm : ctx -> unit
 (** Evaluate [f] over per-app pipelines on the domain pool;
     deterministic (input-order) results. *)
 val parallel_map :
-  ?domains:int -> (ctx -> 'a) -> Opec_apps.App.t list -> 'a list
+  ?domains:int ->
+  ?backend:Opec_machine.Backend.kind ->
+  (ctx -> 'a) ->
+  Opec_apps.App.t list ->
+  'a list
 
 (** Pre-materialize every app's pipeline in parallel; subsequent
     sequential rendering hits only the cache. *)

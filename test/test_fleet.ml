@@ -42,7 +42,8 @@ let test_fleet_compiles_once () =
     { Fl.Spec.apps = Fl.Spec.All_apps;
       seeds = Some (0, 5);
       seed_size = 2;
-      tasks = [ Fl.Spec.Compile; Fl.Spec.Lint ] }
+      tasks = [ Fl.Spec.Compile; Fl.Spec.Lint ];
+      backends = [ Opec_machine.Backend.Mpu ] }
   in
   let n_images =
     match Fl.Spec.images spec with
@@ -82,7 +83,8 @@ let test_report_bytes_deterministic () =
     { Fl.Spec.apps = Fl.Spec.No_apps;
       seeds = Some (0, 9);
       seed_size = 2;
-      tasks = [ Fl.Spec.Compile; Fl.Spec.Lint; Fl.Spec.Attack ] }
+      tasks = [ Fl.Spec.Compile; Fl.Spec.Lint; Fl.Spec.Attack ];
+      backends = [ Opec_machine.Backend.Mpu ] }
   in
   let run j =
     fresh ();
@@ -158,6 +160,40 @@ let test_nested_no_oversubscription () =
     true
     (Pool.live_peak_value () <= 3)
 
+(* --- mixed enforcement backends in one job ------------------------------- *)
+
+(* One job spec naming two backends runs every image×task unit once per
+   backend, qualifies the non-MPU units' names, and completes with no
+   failures and no OPEC escapes under either backend. *)
+let test_fleet_mixes_backends () =
+  fresh ();
+  let spec =
+    { Fl.Spec.apps = Fl.Spec.Named [ "PinLock" ];
+      seeds = Some (0, 1);
+      seed_size = 2;
+      tasks = [ Fl.Spec.Compile; Fl.Spec.Attack ];
+      backends = [ Opec_machine.Backend.Mpu; Opec_machine.Backend.Pmp ] }
+  in
+  (match Fl.Spec.backends_of_string "mpu, pmp" with
+  | Ok ks ->
+    Alcotest.(check bool) "backend list parser round-trips" true
+      (ks = spec.Fl.Spec.backends)
+  | Error e -> Alcotest.fail e);
+  match Fl.Fleet.run ~domains:2 spec with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    Alcotest.(check (list (pair string string))) "no task failures" []
+      o.Fl.Fleet.o_failures;
+    Alcotest.(check int) "image x task x backend units" (3 * 2 * 2)
+      (List.length o.Fl.Fleet.o_units);
+    let names = List.map Fl.Spec.unit_name o.Fl.Fleet.o_units in
+    Alcotest.(check bool) "MPU units keep the bare image name" true
+      (List.mem "PinLock:attack" names);
+    Alcotest.(check bool) "PMP units are backend-qualified" true
+      (List.mem "PinLock@pmp:attack" names);
+    Alcotest.(check int) "no escapes under either backend" 0
+      o.Fl.Fleet.o_agg.Fl.Agg.g_opec_escapes
+
 (* --- journal well-formedness --------------------------------------------- *)
 
 let test_journal_well_formed () =
@@ -166,7 +202,8 @@ let test_journal_well_formed () =
     { Fl.Spec.apps = Fl.Spec.No_apps;
       seeds = Some (0, 7);
       seed_size = 2;
-      tasks = [ Fl.Spec.Compile; Fl.Spec.Lint ] }
+      tasks = [ Fl.Spec.Compile; Fl.Spec.Lint ];
+      backends = [ Opec_machine.Backend.Mpu ] }
   in
   match Fl.Fleet.run ~domains:3 spec with
   | Error e -> Alcotest.fail e
@@ -249,6 +286,8 @@ let suite () =
           test_pool_raise_regression;
         Alcotest.test_case "nested map cannot oversubscribe" `Quick
           test_nested_no_oversubscription;
+        Alcotest.test_case "fleet mixes backends in one job" `Slow
+          test_fleet_mixes_backends;
         Alcotest.test_case "journal well-formed" `Quick
           test_journal_well_formed;
         Alcotest.test_case "failures contained and journaled" `Quick
