@@ -843,6 +843,104 @@ let backends_bench () =
       rs;
     exit 1
 
+(* ------------------------------------------------------------------- load *)
+
+(* The traffic suite: every load scenario under every enforcement
+   backend, ≥1M events per backend, with the switch-latency tail
+   (p50/p99/p999) per row.  Gates that each backend's run total makes
+   the million-event floor and that every scenario's end-to-end output
+   check passes; rows land in BENCH_load.json. *)
+
+let load_bench () =
+  let module L = Opec_load in
+  let module M = Opec_machine in
+  say "%s" (R.heading "Load scenarios: switch tail latency under traffic");
+  (* per-scenario event targets chosen to clear 1M per backend with the
+     fixed TCP-Echo slice on top *)
+  let plan =
+    [ (L.Scenario.Request_storm, 550_000);
+      (L.Scenario.Sensor_burst, 330_000);
+      (L.Scenario.Interrupt_preempt, 150_000);
+      (L.Scenario.Tcp_echo_slice, 0) ]
+  in
+  let rows =
+    List.concat_map
+      (fun backend ->
+        List.map
+          (fun (kind, target_events) ->
+            L.Scenario.run ~backend ~target_events kind)
+          plan)
+      M.Backend.all_kinds
+  in
+  let cells (r : L.Scenario.result) =
+    [ r.L.Scenario.r_scenario; r.L.Scenario.r_backend;
+      string_of_int r.L.Scenario.r_events;
+      string_of_int r.L.Scenario.r_switch_spans;
+      Printf.sprintf "%.1f" r.L.Scenario.r_mean;
+      Int64.to_string r.L.Scenario.r_p50;
+      Int64.to_string r.L.Scenario.r_p99;
+      Int64.to_string r.L.Scenario.r_p999;
+      Int64.to_string r.L.Scenario.r_max;
+      Printf.sprintf "%.2f" r.L.Scenario.r_wall_s;
+      (match r.L.Scenario.r_check with Ok () -> "ok" | Error e -> e) ]
+  in
+  say "%s@."
+    (R.table
+       ~header:
+         [ "Scenario"; "Backend"; "Events"; "Switches"; "Mean"; "p50"; "p99";
+           "p999"; "Max"; "Wall(s)"; "Check" ]
+       (List.map cells rows));
+  let oc = open_out "BENCH_load.json" in
+  output_string oc "{\n  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      output_string oc "    ";
+      output_string oc (L.Scenario.result_json r);
+      output_string oc (if i = List.length rows - 1 then "\n" else ",\n"))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  say "  wrote BENCH_load.json";
+  let failures =
+    List.concat_map
+      (fun backend ->
+        let name = M.Backend.kind_name backend in
+        let mine =
+          List.filter
+            (fun (r : L.Scenario.result) -> r.L.Scenario.r_backend = name)
+            rows
+        in
+        let events =
+          List.fold_left
+            (fun acc (r : L.Scenario.result) -> acc + r.L.Scenario.r_events)
+            0 mine
+        in
+        let floor_failures =
+          if events < 1_000_000 then
+            [ Printf.sprintf "%s: %d events under the 1M floor" name events ]
+          else begin
+            say "  %-5s drove %d events" name events;
+            []
+          end
+        in
+        floor_failures
+        @ List.filter_map
+            (fun (r : L.Scenario.result) ->
+              match r.L.Scenario.r_check with
+              | Ok () -> None
+              | Error e ->
+                Some
+                  (Printf.sprintf "%s under %s: %s" r.L.Scenario.r_scenario
+                     name e))
+            mine)
+      M.Backend.all_kinds
+  in
+  match failures with
+  | [] -> say "  load gate: 1M-event floor and output checks hold on every backend"
+  | fs ->
+    List.iter (fun f -> say "  LOAD GATE FAILURE: %s" f) fs;
+    exit 1
+
 (* ------------------------------------------------------------------ driver *)
 
 let all () =
@@ -895,9 +993,10 @@ let () =
   | "obs" -> obs ()
   | "fleet" -> fleet_bench ()
   | "backends" -> backends_bench ()
+  | "load" -> load_bench ()
   | "all" -> all ()
   | other ->
     Format.eprintf
-      "unknown artifact %S (expected table1|figure9|table2|figure10|figure11|table3|campaign|ablation|micro|pipeline|obs|fleet|backends|all)@."
+      "unknown artifact %S (expected table1|figure9|table2|figure10|figure11|table3|campaign|ablation|micro|pipeline|obs|fleet|backends|load|all)@."
       other;
     exit 2

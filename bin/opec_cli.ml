@@ -12,9 +12,13 @@
      opec attack [APP] [--all] [--json]  run the attack-injection campaign
      opec compare-backends [APP] [--json]  MPU/PMP/CHERI/POE trade-off study
      opec fuzz [--seeds A..B] [--size N] [--property P] [--replay FILE]
+               [--corpus DIR] [--budget N]
                                     property-based differential fuzzing
+                                    (coverage-guided with --corpus)
      opec fleet [--apps ...] [--seeds A..B] [--tasks ...] [-j N]
                                     sharded fleet-scale evaluation
+     opec load [SCENARIO] [--backend B] [--events N] [--json]
+                                    traffic-driven switch-latency tails
 
    Every command draws its artifacts from the compile-once pipeline, so
    within one invocation each workload is compiled and run at most
@@ -742,7 +746,28 @@ let fuzz_cmd =
       & info [ "j"; "domains" ] ~docv:"N"
           ~doc:"Worker domains for the sweep (default: pool size).")
   in
-  let run (lo, hi) size properties replay out_dir no_shrink domains =
+  let corpus =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Coverage-guided mode: replay the corpus in $(docv), sweep \
+             the seed range feeding the coverage map, then mutate \
+             corpus inputs, persisting every input that grows the map \
+             back into $(docv).")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"N"
+          ~doc:
+            "Mutation budget for $(b,--corpus) mode (default: the seed \
+             range width).")
+  in
+  let run (lo, hi) size properties replay out_dir no_shrink domains corpus
+      budget =
     match replay with
     | Some path -> (
       match F.Runner.replay path with
@@ -754,14 +779,25 @@ let fuzz_cmd =
         exit 1)
     | None -> (
       let properties = if properties = [] then None else Some properties in
-      match
-        F.Runner.run ?domains ~size ?properties ~out_dir
-          ~shrink:(not no_shrink) ~lo ~hi ()
-      with
-      | exception Invalid_argument msg -> exits_with_error msg
-      | report ->
-        Format.printf "%a@." F.Runner.pp_report report;
-        if report.F.Runner.r_failures <> [] then exit 1)
+      match corpus with
+      | Some corpus_dir -> (
+        match
+          F.Runner.run_guided ~size ?properties ~out_dir
+            ~shrink:(not no_shrink) ?budget ~corpus_dir ~lo ~hi ()
+        with
+        | exception Invalid_argument msg -> exits_with_error msg
+        | report ->
+          Format.printf "%a@." F.Runner.pp_guided_report report;
+          if report.F.Runner.g_failures <> [] then exit 1)
+      | None -> (
+        match
+          F.Runner.run ?domains ~size ?properties ~out_dir
+            ~shrink:(not no_shrink) ~lo ~hi ()
+        with
+        | exception Invalid_argument msg -> exits_with_error msg
+        | report ->
+          Format.printf "%a@." F.Runner.pp_report report;
+          if report.F.Runner.r_failures <> [] then exit 1))
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -773,7 +809,7 @@ let fuzz_cmd =
           replayable reproducers; exits nonzero if any seed fails.")
     Term.(
       const run $ seeds_arg $ size $ properties $ replay $ out_dir
-      $ no_shrink $ domains)
+      $ no_shrink $ domains $ corpus $ budget)
 
 (* ----------------------------------------------------------------- fleet *)
 
@@ -909,6 +945,74 @@ let fleet_cmd =
       const run $ apps $ seeds $ size $ tasks $ backends $ domains $ json_out
       $ journal_out $ quiet)
 
+(* ------------------------------------------------------------------ load *)
+
+let load_cmd =
+  let module L = Opec_load in
+  let scenario =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"SCENARIO"
+          ~doc:
+            "Scenario to drive (default: all): request-storm, \
+             sensor-burst, interrupt-preempt, or tcp-echo-slice.")
+  in
+  let events =
+    Arg.(
+      value & opt int 100_000
+      & info [ "events" ] ~docv:"N"
+          ~doc:
+            "Event target per scenario run (the tcp-echo-slice drives \
+             a fixed 500-frame slice regardless).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit one JSON object per line instead of text.")
+  in
+  let run scenario backend events json =
+    let kinds =
+      match scenario with
+      | None -> Ok L.Scenario.all
+      | Some s -> (
+        match L.Scenario.of_name s with
+        | Some k -> Ok [ k ]
+        | None ->
+          Error
+            (Printf.sprintf "unknown scenario %S (known: %s)" s
+               (String.concat ", " (List.map L.Scenario.name L.Scenario.all))))
+    in
+    match kinds with
+    | Error msg -> exits_with_error msg
+    | Ok kinds ->
+      let results =
+        List.map (fun k -> L.Scenario.run ~backend ~target_events:events k)
+          kinds
+      in
+      List.iter
+        (fun r ->
+          if json then print_endline (L.Scenario.result_json r)
+          else Format.printf "%a@.@." L.Scenario.pp_result r)
+        results;
+      if
+        List.exists
+          (fun r -> match r.L.Scenario.r_check with Ok () -> false | Error _ -> true)
+          results
+      then exit 1
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Traffic-driven load scenarios: server-shaped drivers \
+          (request/response storms, sensor bursts, preemptive thread \
+          traffic, and a TCP-Echo slice) pushing sustained event \
+          streams through the protected image and reporting the \
+          operation-switch latency tail (mean, p50, p99, p999) under \
+          the selected enforcement backend.  Exits nonzero if any \
+          scenario's end-to-end output check fails.")
+    Term.(const run $ scenario $ backend_arg $ events $ json)
+
 let () =
   let info =
     Cmd.info "opec" ~version:"1.0.0"
@@ -919,4 +1023,4 @@ let () =
        (Cmd.group info
           [ list_cmd; policy_cmd; run_cmd; compare_cmd; aces_cmd; trace_cmd;
             profile_cmd; syncsets_cmd; lint_cmd; attack_cmd;
-            compare_backends_cmd; fuzz_cmd; fleet_cmd ]))
+            compare_backends_cmd; fuzz_cmd; fleet_cmd; load_cmd ]))

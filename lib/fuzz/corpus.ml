@@ -1,0 +1,110 @@
+(* The on-disk fuzz corpus: every input that ever grew the coverage
+   map, persisted as ordinary [Repro] S-expression files
+   (corpus-NNNNNN.sexp) so corpus entries and failure reproducers share
+   one format and one replay path.  CI caches the directory across
+   runs; a stale entry (from before an IR or generator change) is
+   skipped with a diagnostic, never a crash. *)
+
+module S = Opec_ir.Sexp
+module C = Opec_core
+open Opec_ir
+
+type entry = {
+  path : string;
+  provenance : string;  (** the repro [detail]: where the input came from *)
+  case : Shrink.case;
+}
+
+type loaded = {
+  entries : entry list;               (** in file order *)
+  skipped : (string * string) list;   (** (path, reason) for stale files *)
+}
+
+let property = "corpus"
+
+let is_corpus_file name =
+  String.length name > 11
+  && String.sub name 0 7 = "corpus-"
+  && Filename.check_suffix name ".sexp"
+
+let mkdir_p dir =
+  let rec make d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      make (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  make dir
+
+let files dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter is_corpus_file
+    |> List.sort compare
+    |> List.map (Filename.concat dir)
+
+let next_index dir =
+  List.fold_left
+    (fun acc path ->
+      let base = Filename.basename path in
+      match
+        int_of_string_opt
+          (String.sub base 7 (String.length base - 7 - 5))
+      with
+      | Some n -> max acc (n + 1)
+      | None -> acc)
+    0 (files dir)
+
+(* A decoded entry must still make sense against the current IR and
+   generator surface: the program re-validates and the developer input
+   only names things that exist.  Everything else is "stale". *)
+let check_current (r : Repro.t) =
+  let p = Program.validate r.Repro.program in
+  List.iter
+    (fun e ->
+      if Program.find_func p e = None then
+        raise (S.Parse_error (Printf.sprintf "entry %s is not a function" e)))
+    r.Repro.dev_input.C.Dev_input.entries;
+  if r.Repro.dev_input.C.Dev_input.entries = [] then
+    raise (S.Parse_error "no operation entries");
+  List.iter
+    (fun (rule : C.Dev_input.sanitize_rule) ->
+      if Program.find_global p rule.C.Dev_input.sz_global = None then
+        raise
+          (S.Parse_error
+             (Printf.sprintf "sanitize rule for unknown global %s"
+                rule.C.Dev_input.sz_global)))
+    r.Repro.dev_input.C.Dev_input.sanitize
+
+let load dir =
+  let entries = ref [] and skipped = ref [] in
+  List.iter
+    (fun path ->
+      match
+        let r = Repro.load path in
+        check_current r;
+        r
+      with
+      | r ->
+        entries :=
+          { path;
+            provenance = r.Repro.detail;
+            case =
+              { Shrink.program = r.Repro.program;
+                dev_input = r.Repro.dev_input } }
+          :: !entries
+      | exception S.Parse_error reason -> skipped := (path, reason) :: !skipped
+      | exception Program.Ill_formed reason ->
+        skipped := (path, reason) :: !skipped
+      | exception Sys_error reason -> skipped := (path, reason) :: !skipped)
+    (files dir);
+  { entries = List.rev !entries; skipped = List.rev !skipped }
+
+let save ~dir ~index ~provenance (case : Shrink.case) =
+  mkdir_p dir;
+  let path = Filename.concat dir (Printf.sprintf "corpus-%06d.sexp" index) in
+  Repro.save path
+    { Repro.seed = None; size = None; property; detail = provenance;
+      program = case.Shrink.program; dev_input = case.Shrink.dev_input };
+  path

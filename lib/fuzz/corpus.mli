@@ -1,0 +1,31 @@
+(** The on-disk fuzz corpus: coverage-growing inputs persisted as
+    {!Repro} S-expression files ([corpus-NNNNNN.sexp]) and reloaded by
+    later runs (and by CI, which caches the directory).  Stale entries
+    that no longer parse, validate, or name existing IR constructs are
+    skipped with a diagnostic, never a crash. *)
+
+type entry = {
+  path : string;
+  provenance : string;  (** where the input came from (seed, mutation) *)
+  case : Shrink.case;
+}
+
+type loaded = {
+  entries : entry list;               (** in file order *)
+  skipped : (string * string) list;   (** (path, reason) per stale file *)
+}
+
+(** The [Repro.property] tag corpus files carry. *)
+val property : string
+
+(** Corpus file paths under a directory, sorted. *)
+val files : string -> string list
+
+(** First unused entry index (max existing index + 1). *)
+val next_index : string -> int
+
+val load : string -> loaded
+
+(** Persist one case; returns the file path written. *)
+val save :
+  dir:string -> index:int -> provenance:string -> Shrink.case -> string

@@ -1,0 +1,36 @@
+(** Coverage maps for the guided fuzzer: sets of
+    (operation, resource-class, outcome) edges distilled from the
+    access-traced baseline and the protected run's telemetry stream.
+    An input is interesting exactly when it contributes an edge the
+    corpus has not seen — the granularity OPEC's policies are written
+    at. *)
+
+type t
+
+val empty : t
+val cardinal : t -> int
+val union : t -> t -> t
+
+(** Number of edges of [cand] that [base] lacks. *)
+val news : base:t -> t -> int
+
+(** Edges as sorted (operation, resource-class, outcome) triples. *)
+val edges : t -> (string * string * string) list
+
+(** Canonical serialization: sorted edges, one tab-separated triple per
+    line.  Equal maps encode byte-identically. *)
+val encode : t -> string
+
+val decode : string -> t
+
+(** Coverage of an already-built pipeline context (shares its memoized
+    baseline/protected artifacts). *)
+val of_ctx : Opec_pipeline.Pipeline.ctx -> t
+
+(** Coverage of one generated case through a private, evicted pipeline
+    context.  Raises if the case fails to compile or run. *)
+val of_case :
+  ?backend:Opec_machine.Backend.kind ->
+  Opec_ir.Program.t ->
+  Opec_core.Dev_input.t ->
+  t

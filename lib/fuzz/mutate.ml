@@ -1,0 +1,396 @@
+(* Mutations over the [Gen] IR surface.
+
+   Each mutation rewrites a well-formed generated case into a nearby
+   one while preserving the generator's determinism invariants (see
+   gen.ml's header): division stays by non-zero constants, MMIO reads
+   still follow a write of the same register, branch-local registers
+   stay local, and address-derived values still flow only into the
+   function table and the struct pointer field.  A mutant that fails
+   [Program.v]'s validation is rejected here; one that fails to compile
+   is rejected by the runner. *)
+
+open Opec_ir
+module C = Opec_core
+
+type kind =
+  | Splice_function  (** duplicate a function and call it from an entry *)
+  | Perturb_icall    (** swap two slots of the function-pointer table *)
+  | Widen_global     (** grow an array/buffer global *)
+  | Narrow_global    (** shrink a global to its constant access extent *)
+  | Reorder_mmio     (** retarget a write/read MMIO pair to another register *)
+
+let all_kinds =
+  [ Splice_function; Perturb_icall; Widen_global; Narrow_global; Reorder_mmio ]
+
+let kind_name = function
+  | Splice_function -> "splice-function"
+  | Perturb_icall -> "perturb-icall"
+  | Widen_global -> "widen-global"
+  | Narrow_global -> "narrow-global"
+  | Reorder_mmio -> "reorder-mmio"
+
+(* Rebuild (and re-validate) the program around replaced pieces. *)
+let rebuild (p : Program.t) ?globals ?funcs () =
+  match
+    Program.v ~name:p.Program.name ~main:p.Program.main
+      ~globals:(Option.value globals ~default:p.Program.globals)
+      ~peripherals:p.Program.peripherals
+      ~funcs:(Option.value funcs ~default:p.Program.funcs)
+      ()
+  with
+  | p -> Some p
+  | exception Program.Ill_formed _ -> None
+
+let func_names (p : Program.t) =
+  List.map (fun (f : Func.t) -> f.Func.name) p.Program.funcs
+
+let fresh_func_name p base =
+  let names = func_names p in
+  let rec go i =
+    let n = Printf.sprintf "%s_m%d" base i in
+    if List.mem n names then go (i + 1) else n
+  in
+  go 0
+
+(* --- splice-function ---------------------------------------------------- *)
+
+(* Duplicate a word-signature function under a fresh name and call the
+   copy from the head of an operation entry: the clone joins the
+   callee's operations with a new resource footprint, so the partition,
+   sync schedules, and switch matrix all shift.  The copy's body calls
+   the same callees as the original, so the call graph stays a DAG. *)
+let splice_function rng (case : Shrink.case) =
+  let p = case.Shrink.program in
+  let word_only (f : Func.t) =
+    List.for_all (fun (_, ty) -> ty = Ty.Word) f.Func.params
+  in
+  let donors =
+    List.filter
+      (fun (f : Func.t) ->
+        f.Func.name <> p.Program.main
+        && f.Func.name <> "init_tabs"
+        && word_only f
+        && not (List.mem f.Func.name case.Shrink.dev_input.C.Dev_input.entries))
+      p.Program.funcs
+  in
+  let entries =
+    List.filter
+      (fun e -> Program.find_func p e <> None)
+      case.Shrink.dev_input.C.Dev_input.entries
+  in
+  match (donors, entries) with
+  | [], _ | _, [] -> None
+  | donors, entries ->
+    let donor = Rng.choose rng donors in
+    let host = Rng.choose rng entries in
+    let clone_name = fresh_func_name p donor.Func.name in
+    let clone = { donor with Func.name = clone_name } in
+    let args =
+      List.map
+        (fun _ -> Expr.Const (Int64.of_int (Rng.below rng 64)))
+        donor.Func.params
+    in
+    (* "mv" is outside the generator's local namespace (v%d, x, p, n,
+       mb, r0, r1, ix%d), so the head insertion cannot capture *)
+    let call = Instr.Call (Some "mv0", Instr.Direct clone_name, args) in
+    let funcs =
+      List.map
+        (fun (f : Func.t) ->
+          if f.Func.name = host then { f with Func.body = call :: f.Func.body }
+          else f)
+        p.Program.funcs
+    in
+    rebuild p ~funcs:(funcs @ [ clone ]) ()
+    |> Option.map (fun program -> { case with Shrink.program })
+
+(* --- perturb-icall ------------------------------------------------------ *)
+
+(* Swap the [Func_addr] values of two stores into the function-pointer
+   table.  Table functions share one signature by construction, so the
+   indirect calls stay well-typed; the points-to sets and the operation
+   partition see a different table. *)
+let perturb_icall rng (case : Shrink.case) =
+  let p = case.Shrink.program in
+  let slots = ref [] in
+  List.iter
+    (fun (f : Func.t) ->
+      Instr.iter_block
+        (fun i ->
+          match i with
+          | Instr.Store (_, _, Expr.Func_addr g) ->
+            slots := (f.Func.name, g) :: !slots
+          | _ -> ())
+        f.Func.body)
+    p.Program.funcs;
+  let targets = List.sort_uniq compare (List.map snd !slots) in
+  if List.length !slots < 2 || List.length targets < 2 then None
+  else begin
+    let n = List.length !slots in
+    let a = Rng.below rng n in
+    let b = (a + 1 + Rng.below rng (n - 1)) mod n in
+    let nth k = List.nth (List.rev !slots) k in
+    let _, fa = nth a and _, fb = nth b in
+    if fa = fb then None
+    else begin
+      let seen = ref (-1) in
+      let funcs =
+        List.map
+          (fun (f : Func.t) ->
+            let body =
+              Instr.map_block
+                (fun i ->
+                  match i with
+                  | Instr.Store (w, addr, Expr.Func_addr g) ->
+                    incr seen;
+                    let g' =
+                      if !seen = a then fb else if !seen = b then fa else g
+                    in
+                    [ Instr.Store (w, addr, Expr.Func_addr g') ]
+                  | i -> [ i ])
+                f.Func.body
+            in
+            { f with Func.body })
+          p.Program.funcs
+      in
+      rebuild p ~funcs ()
+      |> Option.map (fun program -> { case with Shrink.program })
+    end
+  end
+
+(* --- widen-global ------------------------------------------------------- *)
+
+let array_globals (p : Program.t) =
+  List.filter
+    (fun (g : Global.t) ->
+      (not g.Global.const) && (not g.Global.heap)
+      && g.Global.name <> "fptab"
+      && Global.pointer_field_offsets g = []
+      && match g.Global.ty with Ty.Array _ -> true | _ -> false)
+    p.Program.globals
+
+(* Grow an array global: every existing access stays in range while the
+   layout, MPU/PMP region spans, and sync byte counts all move. *)
+let widen_global rng (case : Shrink.case) =
+  let p = case.Shrink.program in
+  match array_globals p with
+  | [] -> None
+  | gs ->
+    let g = Rng.choose rng gs in
+    (match g.Global.ty with
+    | Ty.Array (elt, n) ->
+      let extra = 1 + Rng.below rng 4 in
+      let ty = Ty.Array (elt, n + extra) in
+      let globals =
+        List.map
+          (fun (h : Global.t) ->
+            if h.Global.name = g.Global.name then { h with Global.ty } else h)
+          p.Program.globals
+      in
+      rebuild p ~globals ()
+      |> Option.map (fun program -> { case with Shrink.program })
+    | _ -> None)
+
+(* --- narrow-global ------------------------------------------------------ *)
+
+(* The constant byte extent of one instruction's uses of global [g]:
+   [Some bytes] when every occurrence is base-plus-constant addressing
+   with a knowable width, [None] if any use is outside that shape
+   (value position, escaping address, non-constant length). *)
+let instr_extent g i =
+  let bad = ref false in
+  let extent = ref 0 in
+  let rec uses_g = function
+    | Expr.Global_addr h -> h = g
+    | Expr.Const _ | Expr.Local _ | Expr.Func_addr _ -> false
+    | Expr.Bin (_, a, b) -> uses_g a || uses_g b
+    | Expr.Un (_, a) -> uses_g a
+  in
+  let addr_offset e =
+    (* base + constant addressing only *)
+    match e with
+    | Expr.Global_addr h when h = g -> Some 0
+    | Expr.Bin (Expr.Add, Expr.Global_addr h, k) when h = g ->
+      Option.map Int64.to_int (Expr.const_fold k)
+    | _ -> None
+  in
+  let touch width e =
+    if uses_g e then
+      match addr_offset e with
+      | Some off -> extent := max !extent (off + width)
+      | None -> bad := true
+  in
+  let value e = if uses_g e then bad := true in
+  let rec go i =
+    match i with
+    | Instr.Let (_, e) -> value e
+    | Instr.Load (_, w, addr) -> touch (Instr.width_bytes w) addr
+    | Instr.Store (w, addr, v) ->
+      touch (Instr.width_bytes w) addr;
+      value v
+    | Instr.Alloca _ | Instr.Svc _ | Instr.Halt | Instr.Nop -> ()
+    | Instr.Call (_, callee, args) ->
+      (match callee with
+      | Instr.Direct _ -> ()
+      | Instr.Indirect e -> value e);
+      List.iter value args
+    | Instr.If (cnd, a, b) ->
+      value cnd;
+      List.iter go a;
+      List.iter go b
+    | Instr.While (cnd, body) ->
+      value cnd;
+      List.iter go body
+    | Instr.Return e -> Option.iter value e
+    | Instr.Memcpy (dst, src, len) | Instr.Memset (dst, src, len) -> (
+      value src;
+      match Expr.const_fold len with
+      | None -> if uses_g dst || uses_g src then bad := true
+      | Some n ->
+        touch (Int64.to_int n) dst;
+        (match i with
+        | Instr.Memcpy _ -> touch (Int64.to_int n) src
+        | _ -> ()))
+  in
+  go i;
+  if !bad then None else Some !extent
+
+(* Shrink an array global to the least length covering every constant
+   access of it — the dual of widening, probing the layout's lower
+   bound.  Bails whenever any use is not base-plus-constant. *)
+let narrow_global rng (case : Shrink.case) =
+  let p = case.Shrink.program in
+  let candidates =
+    List.filter
+      (fun (g : Global.t) ->
+        match g.Global.ty with Ty.Array (_, n) -> n > 1 | _ -> false)
+      (array_globals p)
+  in
+  if candidates = [] then None
+  else begin
+    let g = Rng.choose rng candidates in
+    let name = g.Global.name in
+    let extent = ref 0 and bad = ref false in
+    List.iter
+      (fun (f : Func.t) ->
+        Instr.iter_block
+          (fun i ->
+            match instr_extent name i with
+            | Some e -> extent := max !extent e
+            | None -> bad := true)
+          f.Func.body)
+      p.Program.funcs;
+    match g.Global.ty with
+    | Ty.Array (elt, n) when not !bad ->
+      let elt_size = Ty.size_of elt in
+      let need = max 1 ((!extent + elt_size - 1) / elt_size) in
+      if need >= n then None
+      else begin
+        let ty = Ty.Array (elt, need) in
+        let words = (need * elt_size + 3) / 4 in
+        let init = List.filteri (fun i _ -> i < words) g.Global.init in
+        let globals =
+          List.map
+            (fun (h : Global.t) ->
+              if h.Global.name = name then { h with Global.ty; init } else h)
+            p.Program.globals
+        in
+        rebuild p ~globals ()
+        |> Option.map (fun program -> { case with Shrink.program })
+      end
+    | _ -> None
+  end
+
+(* --- reorder-mmio ------------------------------------------------------- *)
+
+(* Retarget one write-then-read MMIO pair to a different register of
+   the same peripheral window.  Both halves move together, so reads
+   still follow a write of the same register (the scratch device echo
+   invariant) while the emulation/rotation path sees new addresses. *)
+let reorder_mmio rng (case : Shrink.case) =
+  let p = case.Shrink.program in
+  let periph_of a = Peripheral.find p.Program.peripherals a in
+  (* count candidate adjacent pairs first, then rewrite the k-th *)
+  let count = ref 0 in
+  let rec scan_block block =
+    let rec go = function
+      | Instr.Store (Instr.W32, Expr.Const a, _)
+        :: Instr.Load (_, Instr.W32, Expr.Const a') :: rest
+        when a = a' && periph_of (Int64.to_int a) <> None ->
+        incr count;
+        go rest
+      | Instr.If (_, t, e) :: rest ->
+        scan_block t;
+        scan_block e;
+        go rest
+      | Instr.While (_, b) :: rest ->
+        scan_block b;
+        go rest
+      | _ :: rest -> go rest
+      | [] -> ()
+    in
+    go block
+  in
+  List.iter (fun (f : Func.t) -> scan_block f.Func.body) p.Program.funcs;
+  if !count = 0 then None
+  else begin
+    let target = Rng.below rng !count in
+    let delta = 1 + Rng.below rng 7 in
+    let seen = ref (-1) in
+    let rec rewrite = function
+      | (Instr.Store (Instr.W32, Expr.Const a, v) as s)
+        :: (Instr.Load (x, Instr.W32, Expr.Const a') as l) :: rest
+        when a = a' && periph_of (Int64.to_int a) <> None -> (
+        incr seen;
+        if !seen <> target then s :: l :: rewrite rest
+        else
+          let addr = Int64.to_int a in
+          match periph_of addr with
+          | None -> s :: l :: rewrite rest
+          | Some per ->
+            let window = min per.Peripheral.size 32 in
+            let off = addr - per.Peripheral.base in
+            let off' = (off + (4 * delta)) mod window in
+            let a'' = Int64.of_int (per.Peripheral.base + off') in
+            Instr.Store (Instr.W32, Expr.Const a'', v)
+            :: Instr.Load (x, Instr.W32, Expr.Const a'')
+            :: rewrite rest)
+      | Instr.If (cnd, t, e) :: rest ->
+        Instr.If (cnd, rewrite t, rewrite e) :: rewrite rest
+      | Instr.While (cnd, b) :: rest ->
+        Instr.While (cnd, rewrite b) :: rewrite rest
+      | i :: rest -> i :: rewrite rest
+      | [] -> []
+    in
+    let funcs =
+      List.map
+        (fun (f : Func.t) -> { f with Func.body = rewrite f.Func.body })
+        p.Program.funcs
+    in
+    rebuild p ~funcs ()
+    |> Option.map (fun program -> { case with Shrink.program })
+  end
+
+(* --- driver ------------------------------------------------------------- *)
+
+let apply kind rng case =
+  match kind with
+  | Splice_function -> splice_function rng case
+  | Perturb_icall -> perturb_icall rng case
+  | Widen_global -> widen_global rng case
+  | Narrow_global -> narrow_global rng case
+  | Reorder_mmio -> reorder_mmio rng case
+
+(* One mutation: try kinds in a seeded random rotation and return the
+   first that applies, or [None] when no kind fits the case. *)
+let mutate ~rng case =
+  let n = List.length all_kinds in
+  let start = Rng.below rng n in
+  let rec try_at i =
+    if i >= n then None
+    else
+      let kind = List.nth all_kinds ((start + i) mod n) in
+      match apply kind rng case with
+      | Some case' -> Some (kind, case')
+      | None -> try_at (i + 1)
+  in
+  try_at 0

@@ -1,0 +1,21 @@
+(** Mutations over the {!Gen} IR surface, preserving the generator's
+    determinism invariants so mutants fail oracles only for real
+    reasons.  Every mutant re-passes [Program.v]'s validation before it
+    is returned; compile failures are the runner's to discard. *)
+
+type kind =
+  | Splice_function  (** duplicate a function and call it from an entry *)
+  | Perturb_icall    (** swap two slots of the function-pointer table *)
+  | Widen_global     (** grow an array/buffer global *)
+  | Narrow_global    (** shrink a global to its constant access extent *)
+  | Reorder_mmio     (** retarget a write/read MMIO pair to another register *)
+
+val all_kinds : kind list
+val kind_name : kind -> string
+
+(** Apply one specific mutation kind; [None] when it does not fit the
+    case or the result fails validation. *)
+val apply : kind -> Rng.t -> Shrink.case -> Shrink.case option
+
+(** Try kinds in a seeded random rotation; the first that applies. *)
+val mutate : rng:Rng.t -> Shrink.case -> (kind * Shrink.case) option

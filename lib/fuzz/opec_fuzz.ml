@@ -10,4 +10,7 @@ module Oracle = Oracle
 module Shrink = Shrink
 module Repro = Repro
 module Defect = Defect
+module Coverage = Coverage
+module Mutate = Mutate
+module Corpus = Corpus
 module Runner = Runner

@@ -1,0 +1,4 @@
+(** Load-generator scenario suite: traffic-shaped drivers ({!Scenario})
+    measuring operation-switch tail latency per enforcement backend. *)
+
+module Scenario = Scenario

@@ -42,6 +42,45 @@ let hist_mean h =
   if h.samples = 0 then 0.
   else Int64.to_float h.total /. float_of_int h.samples
 
+(* Bounds of bucket [i]: [0,1] for bucket 0, [2^i, 2^(i+1)-1] above. *)
+let bucket_bounds i =
+  if i = 0 then (0L, 1L)
+  else
+    ( Int64.shift_left 1L i,
+      Int64.sub (Int64.shift_left 1L (min 62 (i + 1))) 1L )
+
+(* Quantile estimate from the power-of-two buckets: find the bucket
+   holding the q-th sample and interpolate linearly inside it, clamped
+   to the exact observed extremes so p0/p100 are never invented. *)
+let hist_percentile h q =
+  if h.samples = 0 then 0L
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let rank = Float.max 1. (Float.of_int h.samples *. q) in
+    let rec locate i seen =
+      if i >= hist_buckets then hist_buckets - 1
+      else
+        let seen' = seen + h.buckets.(i) in
+        if Float.of_int seen' >= rank then i else locate (i + 1) seen'
+    in
+    let rec seen_before i acc k =
+      if k >= i then acc else seen_before i (acc + h.buckets.(k)) (k + 1)
+    in
+    let b = locate 0 0 in
+    let lo, hi = bucket_bounds b in
+    let inside = h.buckets.(b) in
+    let frac =
+      if inside = 0 then 0.
+      else (rank -. Float.of_int (seen_before b 0 0)) /. Float.of_int inside
+    in
+    let v =
+      Int64.add lo
+        (Int64.of_float (frac *. Int64.to_float (Int64.sub hi lo)))
+    in
+    let v = if v < h.min then h.min else v in
+    if v > h.max then h.max else v
+  end
+
 (* Per-phase running totals, one cell per [Sink.phase]. *)
 type phase_total = {
   mutable pt_cycles : int64;
@@ -204,6 +243,12 @@ let of_events events =
   let t = create () in
   List.iter (add t) events;
   t
+
+(* Every telemetry event the aggregate has consumed — the load suite's
+   "events observed" half of its throughput accounting. *)
+let event_count t =
+  t.switch_spans + t.init_spans + t.swap_events + t.emulation_events
+  + t.denial_events + t.svc_marks
 
 (* Cycles the monitor spent in spans of any kind (switches + init). *)
 let monitor_cycles t = Int64.add t.switch_cycles t.init_cycles

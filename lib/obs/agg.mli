@@ -16,6 +16,12 @@ type hist = {
 
 val hist_mean : hist -> float
 
+(** [hist_percentile h q] estimates the [q]-quantile ([0. .. 1.], e.g.
+    [0.99] for p99) of the samples: the power-of-two bucket holding the
+    q-th sample, interpolated linearly inside the bucket and clamped to
+    the observed [min]/[max].  [0L] on an empty histogram. *)
+val hist_percentile : hist -> float -> int64
+
 type phase_total = {
   mutable pt_cycles : int64;
   mutable pt_bytes : int;
@@ -58,6 +64,10 @@ type t = {
 val create : unit -> t
 val add : t -> Sink.event -> unit
 val of_events : Sink.event list -> t
+
+(** Total telemetry events consumed (spans + swaps + emulations +
+    denials + SVC marks). *)
+val event_count : t -> int
 
 (** Cycles spent in monitor spans of any kind (switches + init). *)
 val monitor_cycles : t -> int64

@@ -216,6 +216,184 @@ let test_last_fault_reset () =
   Alcotest.(check bool) "clean run clears the stale fault" true
     (Ex.Interp.last_fault interp = None)
 
+(* --- coverage-guided mode ------------------------------------------------ *)
+
+(* fresh per-test corpus directories under the test sandbox *)
+let fresh_dir name =
+  if Sys.file_exists name then
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat name f))
+      (Sys.readdir name)
+  else Unix.mkdir name 0o755;
+  name
+
+(* Satellite gate: at the same seed budget, the coverage-guided
+   stopping rule must rediscover every seeded defect class in strictly
+   fewer executions than blind generation, which has no signal that it
+   is done and so always spends the whole budget. *)
+let test_efficiency_gate () =
+  let effs = F.Runner.defect_efficiency ~lo:0 ~hi:39 () in
+  Alcotest.(check int) "one row per defect class" (List.length F.Defect.all)
+    (List.length effs);
+  List.iter
+    (fun (e : F.Runner.efficiency) ->
+      Alcotest.(check int) "blind spends the whole budget" e.F.Runner.e_budget
+        e.F.Runner.e_blind_execs;
+      (match e.F.Runner.e_blind_first with
+      | Some _ -> ()
+      | None ->
+        Alcotest.failf "%s: blind mode never rediscovered the defect"
+          e.F.Runner.e_defect);
+      (match e.F.Runner.e_guided_first with
+      | Some _ -> ()
+      | None ->
+        Alcotest.failf "%s: guided mode never rediscovered the defect"
+          e.F.Runner.e_defect);
+      if e.F.Runner.e_guided_execs >= e.F.Runner.e_blind_execs then
+        Alcotest.failf "%s: guided used %d executions, blind %d"
+          e.F.Runner.e_defect e.F.Runner.e_guided_execs
+          e.F.Runner.e_blind_execs)
+    effs
+
+(* loading a persisted corpus twice yields byte-identical coverage
+   maps (and the replay traces they are distilled from) *)
+let test_corpus_load_deterministic () =
+  let dir = fresh_dir "_corpus_det" in
+  let r =
+    F.Runner.run_guided ~lo:0 ~hi:3 ~budget:4 ~corpus_dir:dir ~shrink:false ()
+  in
+  Alcotest.(check bool) "run persisted entries" true
+    (r.F.Runner.g_new_entries > 0);
+  let round () =
+    let l = F.Corpus.load dir in
+    Alcotest.(check (list string)) "no stale entries" []
+      (List.map fst l.F.Corpus.skipped);
+    let cov =
+      List.fold_left
+        (fun acc (e : F.Corpus.entry) ->
+          F.Coverage.union acc
+            (F.Coverage.of_case e.F.Corpus.case.F.Shrink.program
+               e.F.Corpus.case.F.Shrink.dev_input))
+        F.Coverage.empty l.F.Corpus.entries
+    in
+    (List.map (fun (e : F.Corpus.entry) -> e.F.Corpus.path) l.F.Corpus.entries,
+     F.Coverage.encode cov)
+  in
+  let paths1, cov1 = round () in
+  let paths2, cov2 = round () in
+  Alcotest.(check (list string)) "same files in the same order" paths1 paths2;
+  Alcotest.(check string) "byte-identical coverage maps" cov1 cov2;
+  Alcotest.(check bool) "maps are non-trivial" true (String.length cov1 > 0)
+
+(* corpus entries survive a Shrink round-trip: the minimized case still
+   persists, reloads, and passes the staleness screen *)
+let test_corpus_shrink_roundtrip () =
+  let dir = fresh_dir "_corpus_shrink" in
+  let program, dev_input = F.Gen.case ~seed:3 ~size:2 in
+  let path0 =
+    F.Corpus.save ~dir ~index:0 ~provenance:"seed 3"
+      { F.Shrink.program; dev_input }
+  in
+  let loaded = F.Corpus.load dir in
+  let entry =
+    match loaded.F.Corpus.entries with
+    | [ e ] -> e
+    | es -> Alcotest.failf "expected 1 entry, loaded %d" (List.length es)
+  in
+  Alcotest.(check string) "loaded the saved file" path0 entry.F.Corpus.path;
+  (* shrink against the corpus invariant — still has an operation,
+     still compiles, still covers — not a failing property *)
+  let test (c : F.Shrink.case) =
+    c.F.Shrink.dev_input.C.Dev_input.entries <> []
+    &&
+    match F.Coverage.of_case c.F.Shrink.program c.F.Shrink.dev_input with
+    | cov -> F.Coverage.cardinal cov > 0
+    | exception _ -> false
+  in
+  let minimized, _tests = F.Shrink.shrink ~max_tests:200 ~test entry.F.Corpus.case in
+  Alcotest.(check bool) "shrinking never grows the case" true
+    (F.Shrink.func_count minimized <= F.Shrink.func_count entry.F.Corpus.case);
+  ignore (F.Corpus.save ~dir ~index:1 ~provenance:"shrunk seed 3" minimized);
+  let reloaded = F.Corpus.load dir in
+  Alcotest.(check int) "both entries load" 2
+    (List.length reloaded.F.Corpus.entries);
+  Alcotest.(check (list string)) "neither is stale" []
+    (List.map fst reloaded.F.Corpus.skipped)
+
+(* stale corpus entries — unparseable files or ones naming removed IR
+   constructs — are skipped with a diagnostic, never a crash *)
+let test_corpus_stale_skipped () =
+  let dir = fresh_dir "_corpus_stale" in
+  let program, dev_input = F.Gen.case ~seed:0 ~size:2 in
+  ignore
+    (F.Corpus.save ~dir ~index:0 ~provenance:"seed 0"
+       { F.Shrink.program; dev_input });
+  (* an entry whose operation entry function no longer exists *)
+  F.Repro.save
+    (Filename.concat dir "corpus-000001.sexp")
+    { F.Repro.seed = None; size = None; property = F.Corpus.property;
+      detail = "stale"; program;
+      dev_input = C.Dev_input.v [ "removed_entry" ] };
+  (* bytes that are not a reproducer at all *)
+  let oc = open_out (Filename.concat dir "corpus-000002.sexp") in
+  output_string oc "(((not a repro";
+  close_out oc;
+  let loaded = F.Corpus.load dir in
+  Alcotest.(check int) "the valid entry loads" 1
+    (List.length loaded.F.Corpus.entries);
+  Alcotest.(check int) "both stale files are skipped" 2
+    (List.length loaded.F.Corpus.skipped);
+  List.iter
+    (fun (path, reason) ->
+      if String.length reason = 0 then
+        Alcotest.failf "no diagnostic for skipped %s" path)
+    loaded.F.Corpus.skipped;
+  Alcotest.(check int) "next index steps past stale files" 3
+    (F.Corpus.next_index dir)
+
+(* backend-matrix smoke: the coverage sweep runs once per enforcement
+   backend and the backend-containment oracle holds on every corpus
+   entry under every backend *)
+let test_backend_matrix () =
+  let dir = fresh_dir "_corpus_matrix" in
+  ignore
+    (F.Runner.run_guided ~lo:0 ~hi:2 ~budget:2 ~corpus_dir:dir ~shrink:false ());
+  let loaded = F.Corpus.load dir in
+  Alcotest.(check bool) "corpus has entries" true
+    (loaded.F.Corpus.entries <> []);
+  let containment =
+    match F.Oracle.find "backend-containment" with
+    | Some p -> p
+    | None -> Alcotest.fail "backend-containment oracle is gone"
+  in
+  List.iter
+    (fun backend ->
+      List.iter
+        (fun (e : F.Corpus.entry) ->
+          let case = e.F.Corpus.case in
+          let cov =
+            F.Coverage.of_case ~backend case.F.Shrink.program
+              case.F.Shrink.dev_input
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s sweep covers %s"
+               (M.Backend.kind_name backend)
+               (Filename.basename e.F.Corpus.path))
+            true
+            (F.Coverage.cardinal cov > 0);
+          match
+            F.Oracle.check_app ~properties:[ containment ]
+              (F.Gen.app_of case.F.Shrink.program case.F.Shrink.dev_input)
+          with
+          | [] -> ()
+          | (_, detail) :: _ ->
+            Alcotest.failf "containment broke under %s on %s: %s"
+              (M.Backend.kind_name backend)
+              (Filename.basename e.F.Corpus.path)
+              detail)
+        loaded.F.Corpus.entries)
+    M.Backend.all_kinds
+
 let suite () =
   [ ( "fuzz",
       [ Alcotest.test_case "1000 seeds generate valid programs" `Slow
@@ -239,4 +417,14 @@ let suite () =
         Alcotest.test_case "clean images pass the gate properties" `Quick
           test_defects_need_corruption;
         Alcotest.test_case "last_fault resets between runs" `Quick
-          test_last_fault_reset ] ) ]
+          test_last_fault_reset;
+        Alcotest.test_case "guided beats blind on seeded defects" `Slow
+          test_efficiency_gate;
+        Alcotest.test_case "corpus loads deterministically" `Slow
+          test_corpus_load_deterministic;
+        Alcotest.test_case "corpus entries survive shrinking" `Slow
+          test_corpus_shrink_roundtrip;
+        Alcotest.test_case "stale corpus entries are skipped" `Quick
+          test_corpus_stale_skipped;
+        Alcotest.test_case "backend matrix holds on the corpus" `Slow
+          test_backend_matrix ] ) ]

@@ -1,0 +1,142 @@
+(* Tests for the load-generator scenario suite: determinism of the
+   scripted device drivers, the percentile estimator's contract, and
+   the tail-latency regression gate — a fixed 10k-event run whose p99
+   switch latency must stay inside a tolerance band around the
+   checked-in reference (mirroring the BENCH_obs_ref.json overhead
+   gate). *)
+
+module L = Opec_load
+module Obs = Opec_obs
+
+let ref_file = "data/load_p99_ref.json"
+let tolerance = 0.25
+
+(* --- percentile estimator ------------------------------------------------ *)
+
+let test_percentile_contract () =
+  let h =
+    { Obs.Agg.buckets = Array.make Obs.Agg.hist_buckets 0;
+      samples = 0; total = 0L; min = Int64.max_int; max = 0L }
+  in
+  Alcotest.(check int64) "empty histogram reads 0" 0L
+    (Obs.Agg.hist_percentile h 0.99);
+  (* 100 samples of 10 cycles and one of 1000: the tail pops only past
+     the 99th percentile *)
+  let addc v =
+    let rec bucket i = if v < (1 lsl (i + 1)) then i else bucket (i + 1) in
+    let b = min (bucket 0) (Obs.Agg.hist_buckets - 1) in
+    h.Obs.Agg.buckets.(b) <- h.Obs.Agg.buckets.(b) + 1;
+    h.Obs.Agg.samples <- h.Obs.Agg.samples + 1;
+    h.Obs.Agg.total <- Int64.add h.Obs.Agg.total (Int64.of_int v);
+    if Int64.of_int v < h.Obs.Agg.min then h.Obs.Agg.min <- Int64.of_int v;
+    if Int64.of_int v > h.Obs.Agg.max then h.Obs.Agg.max <- Int64.of_int v
+  in
+  for _ = 1 to 100 do addc 10 done;
+  addc 1000;
+  let p50 = Obs.Agg.hist_percentile h 0.5 in
+  let p99 = Obs.Agg.hist_percentile h 0.99 in
+  let p999 = Obs.Agg.hist_percentile h 0.999 in
+  Alcotest.(check bool) "p50 sits in the 10-cycle bucket" true
+    (p50 >= 8L && p50 <= 15L);
+  Alcotest.(check bool) "p99 still below the outlier" true (p99 < 1000L);
+  Alcotest.(check bool) "p999 lands in the outlier's bucket, capped at max"
+    true
+    (p999 >= 512L && p999 <= 1000L);
+  Alcotest.(check bool) "quantiles are monotone" true
+    (p50 <= p99 && p99 <= p999)
+
+(* --- scenario determinism ------------------------------------------------ *)
+
+(* the scripted device world is deterministic: two identical runs agree
+   on every count and on the whole latency distribution *)
+let test_run_deterministic () =
+  let run () = L.Scenario.run ~target_events:10_000 L.Scenario.Request_storm in
+  let a = run () and b = run () in
+  Alcotest.(check int) "same events" a.L.Scenario.r_events
+    b.L.Scenario.r_events;
+  Alcotest.(check int) "same switch spans" a.L.Scenario.r_switch_spans
+    b.L.Scenario.r_switch_spans;
+  Alcotest.(check int64) "same cycles" a.L.Scenario.r_cycles
+    b.L.Scenario.r_cycles;
+  Alcotest.(check int64) "same p99" a.L.Scenario.r_p99 b.L.Scenario.r_p99;
+  Alcotest.(check int64) "same p999" a.L.Scenario.r_p999 b.L.Scenario.r_p999
+
+(* every scenario's end-to-end output check passes at a small target *)
+let test_checks_pass () =
+  List.iter
+    (fun kind ->
+      let r = L.Scenario.run ~target_events:5_000 kind in
+      match r.L.Scenario.r_check with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %s" r.L.Scenario.r_scenario e)
+    [ L.Scenario.Request_storm; L.Scenario.Sensor_burst;
+      L.Scenario.Interrupt_preempt ]
+
+(* --- the p99 regression gate --------------------------------------------- *)
+
+(* naive field scanner, enough for the flat reference object *)
+let scan_field line key =
+  let pat = Printf.sprintf "\"%s\":" key in
+  match String.index_opt line ':' with
+  | None -> None
+  | Some _ ->
+    let plen = String.length pat and llen = String.length line in
+    let rec find i =
+      if i + plen > llen then None
+      else if String.sub line i plen = pat then
+        let rec num j acc =
+          if j < llen && (line.[j] = '-' || ('0' <= line.[j] && line.[j] <= '9'))
+          then num (j + 1) (acc ^ String.make 1 line.[j])
+          else acc
+        in
+        let rec skip j =
+          if j < llen && line.[j] = ' ' then skip (j + 1) else j
+        in
+        let s = num (skip (i + plen)) "" in
+        int_of_string_opt s
+      else find (i + 1)
+    in
+    find 0
+
+let parse_ref path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    let line = String.map (fun ch -> if ch = '\n' then ' ' else ch) s in
+    match (scan_field line "events", scan_field line "p99") with
+    | Some events, Some p99 -> Some (events, p99)
+    | _ -> None
+  end
+
+(* A deterministic 10k-event request-storm run under the default
+   backend, gated against the checked-in reference with a tolerance
+   band — switch-protocol regressions that fatten the tail fail here
+   before they reach the benchmark. *)
+let test_p99_reference () =
+  match parse_ref ref_file with
+  | None -> Alcotest.failf "missing or unparseable %s" ref_file
+  | Some (ref_events, ref_p99) ->
+    let r = L.Scenario.run ~target_events:10_000 L.Scenario.Request_storm in
+    Alcotest.(check int) "event count is pinned" ref_events
+      r.L.Scenario.r_events;
+    let p99 = Int64.to_float r.L.Scenario.r_p99 in
+    let hi = float_of_int ref_p99 *. (1.0 +. tolerance) in
+    (* the band is one-sided with a +1-cycle floor: faster is fine,
+       and at single-digit references a one-cycle wobble is noise *)
+    if p99 > Float.max (float_of_int (ref_p99 + 1)) hi then
+      Alcotest.failf "p99 switch latency %.0f exceeds reference %d by >%.0f%%"
+        p99 ref_p99 (tolerance *. 100.0)
+
+let suite () =
+  [ ( "load",
+      [ Alcotest.test_case "percentile estimator contract" `Quick
+          test_percentile_contract;
+        Alcotest.test_case "scenario runs are deterministic" `Quick
+          test_run_deterministic;
+        Alcotest.test_case "scenario output checks pass" `Quick
+          test_checks_pass;
+        Alcotest.test_case "p99 stays inside the reference band" `Quick
+          test_p99_reference ] ) ]
