@@ -2,7 +2,7 @@
 
      opec list                      enumerate bundled workloads
      opec policy APP                print the operation policy file
-     opec run APP [--baseline]     execute a workload on the machine model
+     opec run APP [--baseline] [--engine E]     execute a workload on the machine model
      opec compare APP               baseline vs OPEC overhead for one app
      opec aces APP [-s STRATEGY]    show the ACES baseline's compartments
      opec trace APP [-n N]          operation-switch timeline of a run
@@ -12,7 +12,7 @@
      opec attack [APP] [--all] [--json]  run the attack-injection campaign
      opec compare-backends [APP] [--json]  MPU/PMP/CHERI/POE trade-off study
      opec fuzz [--seeds A..B] [--size N] [--property P] [--replay FILE]
-               [--corpus DIR] [--budget N]
+               [--corpus DIR] [--budget N] [--json]
                                     property-based differential fuzzing
                                     (coverage-guided with --corpus)
      opec fleet [--apps ...] [--seeds A..B] [--tasks ...] [-j N]
@@ -67,6 +67,41 @@ let seed_range_conv =
   in
   let print f (lo, hi) = Format.fprintf f "%d..%d" lo hi in
   Arg.conv (parse, print)
+
+(* Interpreter-engine selection, shared by run and compare: all three
+   engines are observationally identical (the engine-differential
+   oracle holds them to it), so this only trades translation time
+   against run throughput. *)
+let engine_conv =
+  let parse s =
+    match String.lowercase_ascii (String.trim s) with
+    | "tree" -> Ok Opec_exec.Interp.Tree
+    | "decoded" -> Ok Opec_exec.Interp.Decoded
+    | "compiled" -> Ok Opec_exec.Interp.Compiled
+    | _ ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown engine %S (tree, decoded, compiled)" s))
+  in
+  let print f e =
+    Format.pp_print_string f
+      (match e with
+      | Opec_exec.Interp.Tree -> "tree"
+      | Opec_exec.Interp.Decoded -> "decoded"
+      | Opec_exec.Interp.Compiled -> "compiled")
+  in
+  Arg.conv (parse, print)
+
+let engine_arg =
+  Arg.(
+    value
+    & opt engine_conv Opec_exec.Interp.Compiled
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Interpreter engine: $(b,compiled) (closure-compiled, the \
+           default), $(b,decoded) (decode-once), or $(b,tree) (the \
+           reference tree walker).  All three are bit-identical in \
+           every observable; they differ only in speed.")
 
 (* Enforcement-backend selection, shared by run/trace/attack and the
    cross-backend study. *)
@@ -130,7 +165,8 @@ let run_cmd =
   let baseline =
     Arg.(value & flag & info [ "baseline" ] ~doc:"Run the unprotected baseline binary.")
   in
-  let run name baseline_only =
+  let run name baseline_only engine =
+    P.set_engine engine;
     match find_app name with
     | Error e -> exits_with_error e
     | Ok app ->
@@ -152,12 +188,13 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a workload on the machine model")
-    Term.(const run $ app_arg $ baseline)
+    Term.(const run $ app_arg $ baseline $ engine_arg)
 
 (* --------------------------------------------------------------- compare *)
 
 let compare_cmd =
-  let run name =
+  let run name engine =
+    P.set_engine engine;
     match find_app name with
     | Error e -> exits_with_error e
     | Ok app ->
@@ -175,7 +212,7 @@ let compare_cmd =
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Baseline vs OPEC overhead for one workload")
-    Term.(const run $ app_arg)
+    Term.(const run $ app_arg $ engine_arg)
 
 (* ------------------------------------------------------------------ aces *)
 
@@ -766,8 +803,16 @@ let fuzz_cmd =
             "Mutation budget for $(b,--corpus) mode (default: the seed \
              range width).")
   in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the report as one JSON object on stdout; diagnostics \
+             (stale corpus entries) go to stderr.")
+  in
   let run (lo, hi) size properties replay out_dir no_shrink domains corpus
-      budget =
+      budget json =
     match replay with
     | Some path -> (
       match F.Runner.replay path with
@@ -787,7 +832,17 @@ let fuzz_cmd =
         with
         | exception Invalid_argument msg -> exits_with_error msg
         | report ->
-          Format.printf "%a@." F.Runner.pp_guided_report report;
+          if json then begin
+            (* stdout carries exactly one JSON object; human-facing
+               warnings about stale corpus files go to stderr *)
+            List.iter
+              (fun (path, reason) ->
+                Format.eprintf "opec fuzz: skipped stale %s: %s@." path
+                  reason)
+              report.F.Runner.g_skipped;
+            print_endline (F.Runner.guided_report_json report)
+          end
+          else Format.printf "%a@." F.Runner.pp_guided_report report;
           if report.F.Runner.g_failures <> [] then exit 1)
       | None -> (
         match
@@ -796,7 +851,8 @@ let fuzz_cmd =
         with
         | exception Invalid_argument msg -> exits_with_error msg
         | report ->
-          Format.printf "%a@." F.Runner.pp_report report;
+          if json then print_endline (F.Runner.report_json report)
+          else Format.printf "%a@." F.Runner.pp_report report;
           if report.F.Runner.r_failures <> [] then exit 1))
   in
   Cmd.v
@@ -809,7 +865,7 @@ let fuzz_cmd =
           replayable reproducers; exits nonzero if any seed fails.")
     Term.(
       const run $ seeds_arg $ size $ properties $ replay $ out_dir
-      $ no_shrink $ domains $ corpus $ budget)
+      $ no_shrink $ domains $ corpus $ budget $ json)
 
 (* ----------------------------------------------------------------- fleet *)
 

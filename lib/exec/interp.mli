@@ -43,13 +43,20 @@ type handler = {
 (** Baseline handler: no monitor, any fault aborts. *)
 val abort_handler : handler
 
-(** Execution engine.  [Decoded] (the default) resolves each function's
-    locals to array slots and compiles its instructions and expressions
-    to closures once, at image-load time — the fast path.  [Tree] walks
-    the IR with a hashtable environment per activation — the reference
-    semantics the differential tests replay against.  Cycle accounting,
-    traces, and memory effects are identical between the two. *)
-type engine = Tree | Decoded
+(** Execution engine.  [Compiled] (the default) translates each function
+    body once, at image-load time, into a tree of OCaml closures with no
+    opcode dispatch: constants folded and local slots bound into the
+    closures, runs of pure instructions fused into superblocks with one
+    fuel/cycle charge per run, direct-call targets bound to the callee's
+    compiled code, and load/store fast paths that skip the bus's address
+    decode when the target region is statically known.  [Decoded]
+    resolves locals to array slots and compiles instructions to closures
+    with per-instruction dispatch; [Tree] walks the IR with a hashtable
+    environment per activation — the reference semantics.  Cycle
+    accounting, traces, and memory effects are identical across all
+    three; the differential tests replay workloads under every engine
+    and assert bit-equal observations. *)
+type engine = Tree | Decoded | Compiled
 
 type t
 
@@ -57,7 +64,7 @@ type t
     the operation entry functions (calls to them run the SVC switch
     protocol); [fuel] bounds executed instructions; [max_depth] bounds
     the call stack; [engine] selects the execution engine (default
-    [Decoded]); [sink] attaches a telemetry collector (default
+    [Compiled]); [sink] attaches a telemetry collector (default
     {!Opec_obs.Sink.null} — disabled, no allocation, no cycles). *)
 val create :
   ?fuel:int ->

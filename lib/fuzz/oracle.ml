@@ -276,35 +276,40 @@ let protected_obs (app : Apps.App.t) image engine =
     { o_cycles = 0L; o_events = []; o_mem = []; o_check = Ok ();
       o_err = Some (Printexc.to_string e) }
 
-let same_observation what a b =
+let same_observation what other a b =
   if a.o_err <> b.o_err then
     Some
-      (Printf.sprintf "%s: termination differs (tree %s, decoded %s)" what
+      (Printf.sprintf "%s: termination differs (tree %s, %s %s)" what
          (Option.value a.o_err ~default:"ok")
+         other
          (Option.value b.o_err ~default:"ok"))
   else if a.o_cycles <> b.o_cycles then
     Some
-      (Printf.sprintf "%s: cycles differ (tree %Ld, decoded %Ld)" what
-         a.o_cycles b.o_cycles)
+      (Printf.sprintf "%s: cycles differ (tree %Ld, %s %Ld)" what a.o_cycles
+         other b.o_cycles)
   else if a.o_events <> b.o_events then
-    Some (Printf.sprintf "%s: trace events differ" what)
+    Some (Printf.sprintf "%s: trace events differ (tree vs %s)" what other)
   else if a.o_mem <> b.o_mem then
-    Some (Printf.sprintf "%s: final memory differs" what)
+    Some (Printf.sprintf "%s: final memory differs (tree vs %s)" what other)
   else if a.o_check <> b.o_check then
-    Some (Printf.sprintf "%s: world checks differ" what)
+    Some (Printf.sprintf "%s: world checks differ (tree vs %s)" what other)
   else None
 
 let engine_differential ?image c =
   let app = P.app c in
   let img = image_of ?image c in
+  (* three-way: the tree walker is the reference; the decoded and the
+     closure-compiled engines must each match it bit for bit *)
+  let b_tree = baseline_obs app Ex.Interp.Tree in
+  let p_tree = protected_obs app img Ex.Interp.Tree in
   let problems =
     List.filter_map Fun.id
-      [ same_observation "baseline"
-          (baseline_obs app Ex.Interp.Tree)
-          (baseline_obs app Ex.Interp.Decoded);
-        same_observation "protected"
-          (protected_obs app img Ex.Interp.Tree)
-          (protected_obs app img Ex.Interp.Decoded) ]
+      (List.concat_map
+         (fun (other, engine) ->
+           [ same_observation "baseline" other b_tree (baseline_obs app engine);
+             same_observation "protected" other p_tree
+               (protected_obs app img engine) ])
+         [ ("decoded", Ex.Interp.Decoded); ("compiled", Ex.Interp.Compiled) ])
   in
   match problems with [] -> Pass | ps -> Fail (String.concat "; " ps)
 
@@ -417,7 +422,9 @@ let all =
       doc = "baseline and protected runs agree on all observable globals";
       check = transparency };
     { name = "engine-differential";
-      doc = "tree-walking and decode-once engines are bit-identical";
+      doc =
+        "tree-walking, decode-once, and closure-compiled engines are \
+         bit-identical";
       check = engine_differential };
     { name = "attacks-blocked";
       doc = "no planned attack injection escapes the monitor";

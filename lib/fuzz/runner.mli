@@ -91,6 +91,12 @@ val run_guided :
 
 val pp_guided_report : Format.formatter -> guided_report -> unit
 
+(** Single-object JSON encodings of the reports, for [--json] runs:
+    the whole report on one line, nothing else on stdout. *)
+val report_json : report -> string
+
+val guided_report_json : guided_report -> string
+
 (** {1 Seeded-defect efficiency} *)
 
 type efficiency = {

@@ -38,11 +38,14 @@ let set_protection t st = t.prot <- st
 let protection t = t.prot
 
 let mpu_check t ~addr ~access =
-  match
-    Backend.check t.prot ~privileged:t.cpu.Cpu.privileged ~addr ~access
-  with
-  | Ok () -> ()
-  | Error info -> raise (Fault.Mem_manage info)
+  match t.prot with
+  (* disabled-MPU short circuit: baseline runs take this on every bus
+     access, so don't pay two cross-module calls to learn "allowed" *)
+  | Backend.Mpu_state m when not m.Mpu.enabled -> ()
+  | st -> (
+    match Backend.check st ~privileged:t.cpu.Cpu.privileged ~addr ~access with
+    | Ok () -> ()
+    | Error info -> raise (Fault.Mem_manage info))
 
 let fault_bus t ~addr ~access =
   raise (Fault.Bus { Fault.addr; access; privileged = t.cpu.Cpu.privileged })
@@ -83,6 +86,41 @@ let write t addr width v =
       match find_device t addr with
       | Some d -> d.Device.write (addr - d.Device.base) width v
       | None -> fault_bus t ~addr ~access:Fault.Write)
+
+(* Fast paths for translation-time-routed accesses (the closure-compiled
+   interpreter engine): same one-cycle charge, same MPU check, same fault
+   behaviour as [read]/[write] for an address whose region is already
+   known — only the region classification and the memory-range scans are
+   skipped.  Callers guarantee the routing precondition (e.g. the address
+   is in SRAM range for [read_sram]). *)
+let read_sram t addr width =
+  Cpu.charge t.cpu 1;
+  mpu_check t ~addr ~access:Fault.Read;
+  Memory.read_unchecked t.sram addr width
+
+let write_sram t addr width v =
+  Cpu.charge t.cpu 1;
+  mpu_check t ~addr ~access:Fault.Write;
+  Memory.write_unchecked t.sram addr width v
+
+let read_flash t addr width =
+  Cpu.charge t.cpu 1;
+  mpu_check t ~addr ~access:Fault.Read;
+  Memory.read_unchecked t.flash addr width
+
+let read_device t addr width =
+  Cpu.charge t.cpu 1;
+  mpu_check t ~addr ~access:Fault.Read;
+  match find_device t addr with
+  | Some d -> d.Device.read (addr - d.Device.base) width
+  | None -> fault_bus t ~addr ~access:Fault.Read
+
+let write_device t addr width v =
+  Cpu.charge t.cpu 1;
+  mpu_check t ~addr ~access:Fault.Write;
+  match find_device t addr with
+  | Some d -> d.Device.write (addr - d.Device.base) width v
+  | None -> fault_bus t ~addr ~access:Fault.Write
 
 (* Privileged raw accessors for the monitor and the loader: bypass the
    MPU (the monitor runs on the background map) but still route devices. *)

@@ -35,6 +35,21 @@ val read : t -> int -> int -> int64
 
 val write : t -> int -> int -> int64 -> unit
 
+(** Fast paths for accesses whose region was resolved at translation
+    time (the closure-compiled interpreter engine): identical charge,
+    MPU check, and faults to {!read}/{!write}, skipping only the region
+    classification and memory-range scans.  The caller guarantees the
+    routing precondition — the address lies in the named region. *)
+val read_sram : t -> int -> int -> int64
+
+val write_sram : t -> int -> int -> int64 -> unit
+
+val read_flash : t -> int -> int -> int64
+
+val read_device : t -> int -> int -> int64
+
+val write_device : t -> int -> int -> int64 -> unit
+
 (** Privileged raw accessors for the loader and the monitor: bypass the
     MPU (background map) but still route to devices. *)
 val read_raw : t -> int -> int -> int64

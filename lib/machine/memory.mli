@@ -14,6 +14,13 @@ val read : t -> int -> int -> int64
 
 val write : t -> int -> int -> int64 -> unit
 
+(** Range-check-free variants for callers that have already established
+    {!in_range} (the bus region fast paths).  Out-of-range accesses are
+    undefined behaviour — never call these on an unvalidated address. *)
+val read_unchecked : t -> int -> int -> int64
+
+val write_unchecked : t -> int -> int -> int64 -> unit
+
 (** Bulk extraction/injection for loaders and tests. *)
 val blit_out : t -> int -> int -> Bytes.t
 

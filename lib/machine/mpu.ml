@@ -86,9 +86,10 @@ let perm_allows perm access =
        [check] where the region is known *)
     perm <> No_access
 
-(* Check a single access.  Returns [Ok ()] or the faulting info. *)
+(* Check a single access.  Returns [Ok ()] or the faulting info.  The
+   info record is only built on the fault paths: this runs per bus
+   access, and the common allow outcome must not allocate. *)
 let check t ~privileged ~addr ~(access : Fault.access) =
-  let info = { Fault.addr; access; privileged } in
   if not t.enabled then Ok ()
   else
     let rec highest n best =
@@ -109,12 +110,12 @@ let check t ~privileged ~addr ~(access : Fault.access) =
         | Execute -> r.executable && perm_allows perm Fault.Read
         | Read | Write -> perm_allows perm access
       in
-      if allowed then Ok () else Error info
+      if allowed then Ok () else Error { Fault.addr; access; privileged }
     | None ->
       (* PRIVDEFENA behaviour: background map for privileged code only. *)
       if privileged && access <> Fault.Execute then Ok ()
       else if privileged then Ok () (* privileged execute uses default map *)
-      else Error info
+      else Error { Fault.addr; access; privileged }
 
 let pp_perm fmt p =
   Fmt.string fmt

@@ -50,12 +50,16 @@ let bucket_bounds i =
       Int64.sub (Int64.shift_left 1L (min 62 (i + 1))) 1L )
 
 (* Quantile estimate from the power-of-two buckets: find the bucket
-   holding the q-th sample and interpolate linearly inside it, clamped
-   to the exact observed extremes so p0/p100 are never invented. *)
+   holding the q-th sample and interpolate linearly inside it.  The
+   observed extremes stand in for the first and last occupied buckets'
+   theoretical bounds, so interpolation never invents a value outside
+   [min, max] — and p0/p100 are exactly the extremes, not estimates. *)
 let hist_percentile h q =
   if h.samples = 0 then 0L
+  else if q <= 0. then h.min
+  else if q >= 1. then h.max
+  else if h.samples = 1 then h.min (* min = max = the one sample *)
   else begin
-    let q = Float.max 0. (Float.min 1. q) in
     let rank = Float.max 1. (Float.of_int h.samples *. q) in
     let rec locate i seen =
       if i >= hist_buckets then hist_buckets - 1
@@ -66,8 +70,19 @@ let hist_percentile h q =
     let rec seen_before i acc k =
       if k >= i then acc else seen_before i (acc + h.buckets.(k)) (k + 1)
     in
+    let rec first_occupied i =
+      if i >= hist_buckets - 1 || h.buckets.(i) > 0 then i
+      else first_occupied (i + 1)
+    in
+    let rec last_occupied i =
+      if i <= 0 || h.buckets.(i) > 0 then i else last_occupied (i - 1)
+    in
     let b = locate 0 0 in
     let lo, hi = bucket_bounds b in
+    (* the observed extremes live in the outermost occupied buckets, so
+       they are tighter (and always correct) endpoints *)
+    let lo = if b = first_occupied 0 then h.min else lo in
+    let hi = if b = last_occupied (hist_buckets - 1) then h.max else hi in
     let inside = h.buckets.(b) in
     let frac =
       if inside = 0 then 0.

@@ -14,6 +14,11 @@ type hist = {
   mutable max : int64;
 }
 
+val hist_create : unit -> hist
+
+(** Record one sample. *)
+val hist_add : hist -> int64 -> unit
+
 val hist_mean : hist -> float
 
 (** [hist_percentile h q] estimates the [q]-quantile ([0. .. 1.], e.g.

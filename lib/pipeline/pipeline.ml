@@ -165,14 +165,14 @@ let evict (c : ctx) =
 (* Caching can be switched off to emulate the pre-pipeline behaviour —
    every consumer recomputing its own artifacts — which is what the
    [bench pipeline] target measures the store against.  The engine knob
-   selects the interpreter for the store's reference runs; both engines
+   selects the interpreter for the store's reference runs; all engines
    produce bit-identical traces and cycle counts, so artifacts computed
-   under either are interchangeable. *)
+   under any of them are interchangeable. *)
 let caching = Atomic.make true
 let set_caching b = Atomic.set caching b
 let caching_enabled () = Atomic.get caching
 
-let engine : E.Interp.engine Atomic.t = Atomic.make E.Interp.Decoded
+let engine : E.Interp.engine Atomic.t = Atomic.make E.Interp.Compiled
 let set_engine e = Atomic.set engine e
 let current_engine () = Atomic.get engine
 

@@ -74,7 +74,7 @@ val set_caching : bool -> unit
 val caching_enabled : unit -> bool
 
 (** Interpreter engine for the store's reference runs (default:
-    [Decoded]).  Both engines produce bit-identical traces and cycle
+    [Compiled]).  All engines produce bit-identical traces and cycle
     counts. *)
 val set_engine : Opec_exec.Interp.engine -> unit
 

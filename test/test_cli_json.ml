@@ -1,0 +1,179 @@
+(* JSON-output purity of the CLI: every [--json] mode must emit
+   machine-parseable JSON on stdout — diagnostics and warnings belong
+   on stderr.  These tests spawn the real binary and run a minimal
+   JSON reader over the captured stdout; a stray prose line anywhere
+   in the stream fails the parse. *)
+
+(* The test binary runs from test/ inside the dune sandbox; the CLI
+   executable lands next to it under ../bin. *)
+let cli = Filename.concat (Filename.concat ".." "bin") "opec_cli.exe"
+
+(* --- a minimal JSON parser ----------------------------------------------
+   Accepts the JSON subset our writers emit (objects, arrays, strings
+   with escapes, numbers, booleans, null).  Returns unit — the tests
+   only care that the text IS JSON, not what it says. *)
+
+exception Bad of string
+
+let parse_json (s : string) =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let next () =
+    if !pos >= n then raise (Bad "unexpected end");
+    let c = s.[!pos] in
+    incr pos;
+    c
+  in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      incr pos;
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    let g = next () in
+    if g <> c then raise (Bad (Printf.sprintf "expected %c, got %c" c g))
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> string_lit ()
+    | Some ('t' | 'f' | 'n') -> keyword ()
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some c -> raise (Bad (Printf.sprintf "unexpected %c" c))
+    | None -> raise (Bad "unexpected end")
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then incr pos
+    else
+      let rec members () =
+        skip_ws ();
+        string_lit ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match next () with
+        | ',' -> members ()
+        | '}' -> ()
+        | c -> raise (Bad (Printf.sprintf "expected , or } in object, got %c" c))
+      in
+      members ()
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then incr pos
+    else
+      let rec elements () =
+        value ();
+        skip_ws ();
+        match next () with
+        | ',' -> elements ()
+        | ']' -> ()
+        | c -> raise (Bad (Printf.sprintf "expected , or ] in array, got %c" c))
+      in
+      elements ()
+  and string_lit () =
+    expect '"';
+    let rec go () =
+      match next () with
+      | '"' -> ()
+      | '\\' ->
+        ignore (next ());
+        go ()
+      | _ -> go ()
+    in
+    go ()
+  and keyword () =
+    let take w =
+      if !pos + String.length w <= n && String.sub s !pos (String.length w) = w
+      then pos := !pos + String.length w
+      else raise (Bad ("bad keyword at " ^ string_of_int !pos))
+    in
+    match peek () with
+    | Some 't' -> take "true"
+    | Some 'f' -> take "false"
+    | _ -> take "null"
+  and number () =
+    let start = !pos in
+    let cont () =
+      match peek () with
+      | Some ('0' .. '9' | '-' | '+' | '.' | 'e' | 'E') ->
+        incr pos;
+        true
+      | _ -> false
+    in
+    while cont () do
+      ()
+    done;
+    if !pos = start then raise (Bad "empty number")
+  in
+  value ();
+  skip_ws ();
+  if !pos <> n then
+    raise (Bad (Printf.sprintf "trailing content at byte %d" !pos))
+
+(* run a command, capture stdout (stderr goes to the null device), and
+   return (exit_ok, stdout_text) *)
+let capture cmd =
+  let ic = Unix.open_process_in (cmd ^ " 2>/dev/null") in
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  (status = Unix.WEXITED 0, Buffer.contents buf)
+
+let check_json_lines what text =
+  let lines =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' text)
+  in
+  Alcotest.(check bool) (what ^ ": produced output") true (lines <> []);
+  List.iter
+    (fun line ->
+      match parse_json line with
+      | () -> ()
+      | exception Bad msg ->
+        Alcotest.failf "%s: stdout line is not JSON (%s): %s" what msg line)
+    lines
+
+let test_cmd_json what cmd () =
+  if not (Sys.file_exists cli) then
+    (* dune always builds bin/ alongside test/, so this is unreachable
+       in a normal run; keep the message actionable just in case *)
+    Alcotest.failf "CLI binary %s not found" cli
+  else begin
+    let ok, out = capture cmd in
+    Alcotest.(check bool) (what ^ ": exit status zero") true ok;
+    check_json_lines what out
+  end
+
+let suite () =
+  [ ( "cli-json",
+      [ Alcotest.test_case "syncsets --json is pure JSON" `Slow
+          (test_cmd_json "syncsets"
+             (Filename.quote_command cli [ "syncsets"; "pinlock"; "--json" ]));
+        Alcotest.test_case "load --json is pure JSON" `Slow
+          (test_cmd_json "load"
+             (Filename.quote_command cli
+                [ "load"; "request-storm"; "--events"; "2000"; "--json" ]));
+        Alcotest.test_case "fuzz --corpus --json is pure JSON" `Slow
+          (test_cmd_json "fuzz"
+             (Filename.quote_command cli
+                [ "fuzz"; "--seeds"; "0..1"; "--size"; "1"; "--corpus";
+                  "_cli_json_corpus"; "--budget"; "1"; "--out";
+                  "_cli_json_fuzz"; "--json" ]));
+        Alcotest.test_case "fuzz --json is pure JSON" `Slow
+          (test_cmd_json "fuzz-blind"
+             (Filename.quote_command cli
+                [ "fuzz"; "--seeds"; "0..1"; "--size"; "1"; "--out";
+                  "_cli_json_fuzz"; "--json" ])) ] ) ]

@@ -209,23 +209,71 @@ let check_same_observation what (c1, e1, m1, k1) (c2, e2, m2, k2) =
 let test_engines_agree (app : Apps.App.t) () =
   let name = app.Apps.App.app_name in
   let tree = baseline_observation app Ex.Interp.Tree in
-  let decoded = baseline_observation app Ex.Interp.Decoded in
-  check_same_observation (name ^ " baseline") tree decoded;
   let image =
     C.Compiler.compile ~board:app.Apps.App.board app.Apps.App.program
       app.Apps.App.dev_input
   in
   let tree_p = protected_observation app image Ex.Interp.Tree in
-  let decoded_p = protected_observation app image Ex.Interp.Decoded in
-  check_same_observation (name ^ " protected") tree_p decoded_p
+  List.iter
+    (fun (ename, engine) ->
+      check_same_observation
+        (Printf.sprintf "%s baseline (tree vs %s)" name ename)
+        tree
+        (baseline_observation app engine);
+      check_same_observation
+        (Printf.sprintf "%s protected (tree vs %s)" name ename)
+        tree_p
+        (protected_observation app image engine))
+    [ ("decoded", Ex.Interp.Decoded); ("compiled", Ex.Interp.Compiled) ]
+
+(* --- engine-equivalence regression corpus --------------------------------
+   Checked-in reproducer files (test/data/corpus/corpus-NNNNNN.sexp):
+   past fuzz inputs that once exercised interesting engine behaviour.
+   Each is replayed under all three engines; the closure-compiled and
+   the decode-once engines must reproduce the tree walker's observation
+   bit for bit, forever. *)
+
+module Fz = Opec_fuzz
+
+let corpus_dir = "data/corpus"
+
+let test_corpus_case path () =
+  let r = Fz.Repro.load path in
+  let app = Fz.Repro.to_app r in
+  let tree = baseline_observation app Ex.Interp.Tree in
+  let image =
+    C.Compiler.compile ~board:app.Apps.App.board app.Apps.App.program
+      app.Apps.App.dev_input
+  in
+  let tree_p = protected_observation app image Ex.Interp.Tree in
+  List.iter
+    (fun (ename, engine) ->
+      check_same_observation
+        (Printf.sprintf "%s baseline (tree vs %s)" path ename)
+        tree
+        (baseline_observation app engine);
+      check_same_observation
+        (Printf.sprintf "%s protected (tree vs %s)" path ename)
+        tree_p
+        (protected_observation app image engine))
+    [ ("decoded", Ex.Interp.Decoded); ("compiled", Ex.Interp.Compiled) ]
+
+let corpus_tests () =
+  List.map
+    (fun path ->
+      Alcotest.test_case
+        ("corpus replay " ^ Filename.basename path)
+        `Slow (test_corpus_case path))
+    (Fz.Corpus.files corpus_dir)
 
 let suite () =
   [ ( "differential",
       QCheck_alcotest.to_alcotest prop_transparent
       :: QCheck_alcotest.to_alcotest prop_overhead_nonnegative
-      :: List.map
-           (fun (app : Apps.App.t) ->
-             Alcotest.test_case
-               ("engines agree on " ^ app.Apps.App.app_name)
-               `Slow (test_engines_agree app))
-           (Apps.Registry.all ()) ) ]
+      :: (List.map
+            (fun (app : Apps.App.t) ->
+              Alcotest.test_case
+                ("engines agree on " ^ app.Apps.App.app_name)
+                `Slow (test_engines_agree app))
+            (Apps.Registry.all ())
+         @ corpus_tests ()) ) ]

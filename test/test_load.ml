@@ -45,6 +45,56 @@ let test_percentile_contract () =
   Alcotest.(check bool) "quantiles are monotone" true
     (p50 <= p99 && p99 <= p999)
 
+(* the estimator's edge cases: empty, single-sample, and the exact
+   p0/p100 endpoints, which must be the observed extremes, never an
+   interpolation artifact *)
+let test_percentile_edges () =
+  let fresh () =
+    { Obs.Agg.buckets = Array.make Obs.Agg.hist_buckets 0;
+      samples = 0; total = 0L; min = Int64.max_int; max = 0L }
+  in
+  let add h v =
+    Obs.Agg.hist_add h (Int64.of_int v)
+  in
+  (* empty: every quantile reads 0 *)
+  let h = fresh () in
+  List.iter
+    (fun q ->
+      Alcotest.(check int64)
+        (Printf.sprintf "empty q=%g is 0" q)
+        0L (Obs.Agg.hist_percentile h q))
+    [ 0.; 0.5; 1. ];
+  (* single sample: every quantile is that sample *)
+  let h = fresh () in
+  add h 37;
+  List.iter
+    (fun q ->
+      Alcotest.(check int64)
+        (Printf.sprintf "single-sample q=%g is the sample" q)
+        37L (Obs.Agg.hist_percentile h q))
+    [ 0.; 0.25; 0.5; 0.99; 1. ];
+  (* p0 / p100 are the exact observed extremes, and out-of-range
+     quantiles clamp to them *)
+  let h = fresh () in
+  List.iter (add h) [ 3; 10; 10; 12; 900 ];
+  Alcotest.(check int64) "p0 is the observed minimum" 3L
+    (Obs.Agg.hist_percentile h 0.);
+  Alcotest.(check int64) "p100 is the observed maximum" 900L
+    (Obs.Agg.hist_percentile h 1.);
+  Alcotest.(check int64) "q < 0 clamps to the minimum" 3L
+    (Obs.Agg.hist_percentile h (-0.5));
+  Alcotest.(check int64) "q > 1 clamps to the maximum" 900L
+    (Obs.Agg.hist_percentile h 2.);
+  (* interpolated quantiles stay within the observed range *)
+  List.iter
+    (fun q ->
+      let v = Obs.Agg.hist_percentile h q in
+      Alcotest.(check bool)
+        (Printf.sprintf "q=%g within [min, max]" q)
+        true
+        (v >= 3L && v <= 900L))
+    [ 0.01; 0.1; 0.5; 0.9; 0.99 ]
+
 (* --- scenario determinism ------------------------------------------------ *)
 
 (* the scripted device world is deterministic: two identical runs agree
@@ -134,6 +184,8 @@ let suite () =
   [ ( "load",
       [ Alcotest.test_case "percentile estimator contract" `Quick
           test_percentile_contract;
+        Alcotest.test_case "percentile estimator edge cases" `Quick
+          test_percentile_edges;
         Alcotest.test_case "scenario runs are deterministic" `Quick
           test_run_deterministic;
         Alcotest.test_case "scenario output checks pass" `Quick
